@@ -1,0 +1,86 @@
+//! Benchmarks of the extension machinery: the memory-capped scheduler, the
+//! exact Pareto solver, and the text renderers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use treesched_core::{mem_bounded_schedule, pareto_frontier, Admission, Heuristic};
+use treesched_gen::{random_deep, spider, WeightRange};
+use treesched_seq::best_postorder;
+
+fn bench_membound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_bounded_schedule");
+    g.sample_size(20);
+    for &n in &[10_000usize, 50_000] {
+        let tree = random_deep(n, 4, WeightRange::MIXED, 21);
+        let seq = best_postorder(&tree);
+        g.throughput(Throughput::Elements(n as u64));
+        for (name, cap_factor) in [("tight", 1.0), ("loose", 8.0)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("seq_order_{name}"), n),
+                &tree,
+                |b, t| {
+                    b.iter(|| {
+                        mem_bounded_schedule(
+                            t,
+                            8,
+                            &seq.order,
+                            seq.peak * cap_factor,
+                            Admission::SequentialOrder,
+                        )
+                    });
+                },
+            );
+        }
+        // the greedy policy's skip-scan is O(ready) per event once memory
+        // saturates; bench it only at the smaller size to keep the suite
+        // fast (see the membound module docs)
+        if n <= 10_000 {
+            g.bench_with_input(BenchmarkId::new("greedy_loose", n), &tree, |b, t| {
+                b.iter(|| {
+                    mem_bounded_schedule(t, 8, &seq.order, seq.peak * 8.0, Admission::Greedy)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto_frontier");
+    g.sample_size(10);
+    // spider trees: wide enough for real wave choices, small enough for the
+    // exponential solver
+    for &(legs, len) in &[(3usize, 4usize), (4, 4)] {
+        let tree = spider(legs, len);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("spider{legs}x{len}")),
+            &tree,
+            |b, t| {
+                b.iter(|| pareto_frontier(t, 2));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viz_rendering");
+    g.sample_size(30);
+    let tree = random_deep(20_000, 4, WeightRange::MIXED, 5);
+    let schedule = Heuristic::ParDeepestFirst.schedule(&tree, 8);
+    g.bench_function("gantt_20k", |b| {
+        b.iter(|| treesched_viz::gantt(&tree, &schedule, treesched_viz::GanttOptions::default()));
+    });
+    g.bench_function("memory_profile_20k", |b| {
+        b.iter(|| {
+            treesched_viz::memory_profile_plot(
+                &tree,
+                &schedule,
+                treesched_viz::ProfileOptions::default(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_membound, bench_pareto, bench_rendering);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Runtime of the four heuristics versus tree size — validates the
+//! complexity claims of paper §5 (`O(n log n)` for the list schedulers and
+//! `ParSubtrees` with the optimal-postorder sub-algorithm,
+//! `O(n(log n + p))` for `SplitSubtrees`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use treesched_core::Heuristic;
+use treesched_gen::{random_deep, WeightRange};
+use treesched_model::TaskTree;
+use treesched_sparse::{assembly, generate, ordering};
+
+fn corpus_tree(nx: usize) -> TaskTree {
+    let pattern = generate::grid2d(nx, nx, generate::Stencil::Star);
+    let ord = ordering::nested_dissection_2d(nx, nx);
+    assembly::assembly_tree_ordered(&pattern, &ord, 4).expect("connected grid")
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_runtime");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let tree = random_deep(n, 4, WeightRange::MIXED, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        for h in Heuristic::ALL {
+            g.bench_with_input(BenchmarkId::new(h.name(), n), &tree, |b, t| {
+                b.iter(|| h.schedule(t, 8));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_heuristics_assembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_runtime_assembly");
+    g.sample_size(20);
+    for &nx in &[30usize, 60, 120] {
+        let tree = corpus_tree(nx);
+        g.throughput(Throughput::Elements(tree.len() as u64));
+        for h in Heuristic::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(h.name(), format!("grid{nx}x{nx}")),
+                &tree,
+                |b, t| {
+                    b.iter(|| h.schedule(t, 8));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_processor_scaling(c: &mut Criterion) {
+    // SplitSubtrees is O(n(log n + p)): runtime should grow mildly with p
+    let mut g = c.benchmark_group("split_subtrees_vs_p");
+    g.sample_size(30);
+    let tree = random_deep(50_000, 4, WeightRange::MIXED, 7);
+    for &p in &[2usize, 8, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &tree, |b, t| {
+            b.iter(|| treesched_core::split_subtrees(t, p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_evaluation(c: &mut Criterion) {
+    // the event-sweep memory evaluation is O(n log n)
+    let mut g = c.benchmark_group("schedule_evaluation");
+    g.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let tree = random_deep(n, 4, WeightRange::MIXED, 11);
+        let schedule = Heuristic::ParDeepestFirst.schedule(&tree, 8);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("peak_memory", n), &(), |b, _| {
+            b.iter(|| schedule.peak_memory(&tree));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics,
+    bench_heuristics_assembly,
+    bench_processor_scaling,
+    bench_schedule_evaluation
+);
+criterion_main!(benches);

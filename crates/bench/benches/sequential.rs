@@ -1,0 +1,48 @@
+//! Runtime of the sequential traversal algorithms — the paper's §6.1
+//! rationale for preferring the optimal postorder (`O(n log n)`) over Liu's
+//! exact algorithm (`O(n²)` worst case, near-linear on realistic trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use treesched_gen::{random_attachment, random_deep, WeightRange};
+use treesched_seq::{best_postorder, liu_exact, naive_postorder};
+
+fn bench_traversals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_traversals");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let tree = random_deep(n, 4, WeightRange::MIXED, 13);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("naive_postorder", n), &tree, |b, t| {
+            b.iter(|| naive_postorder(t));
+        });
+        g.bench_with_input(BenchmarkId::new("best_postorder", n), &tree, |b, t| {
+            b.iter(|| best_postorder(t));
+        });
+        // Liu's exact algorithm is O(n²) worst case; cap its bench size so
+        // the suite stays fast (the 20k shape comparison below covers its
+        // realistic behaviour)
+        if n <= 10_000 {
+            g.bench_with_input(BenchmarkId::new("liu_exact", n), &tree, |b, t| {
+                b.iter(|| liu_exact(t));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_tree_shapes(c: &mut Criterion) {
+    // Liu exact on bushy vs deep trees: the hill-valley profile collapses
+    // on bushy trees and stays long on adversarial deep ones
+    let mut g = c.benchmark_group("liu_exact_shapes");
+    g.sample_size(20);
+    let n = 20_000;
+    let bushy = random_attachment(n, WeightRange::MIXED, 3);
+    let deep = random_deep(n, 2, WeightRange::MIXED, 3);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("bushy", |b| b.iter(|| liu_exact(&bushy)));
+    g.bench_function("deep", |b| b.iter(|| liu_exact(&deep)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversals, bench_tree_shapes);
+criterion_main!(benches);

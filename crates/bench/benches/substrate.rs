@@ -1,0 +1,58 @@
+//! Runtime of the sparse substrate: orderings, elimination trees, column
+//! counts and assembly-tree construction (the corpus pipeline of §6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use treesched_sparse::{assembly, etree, generate, ordering};
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orderings");
+    g.sample_size(10);
+    for &nx in &[20usize, 40, 80] {
+        let p = generate::grid2d(nx, nx, generate::Stencil::Star);
+        g.throughput(Throughput::Elements((nx * nx) as u64));
+        g.bench_with_input(BenchmarkId::new("min_degree", nx * nx), &p, |b, p| {
+            b.iter(|| ordering::min_degree(p));
+        });
+        g.bench_with_input(BenchmarkId::new("rcm", nx * nx), &p, |b, p| {
+            b.iter(|| ordering::reverse_cuthill_mckee(p));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("nested_dissection", nx * nx),
+            &nx,
+            |b, &nx| {
+                b.iter(|| ordering::nested_dissection_2d(nx, nx));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symbolic");
+    g.sample_size(20);
+    for &nx in &[40usize, 80] {
+        let base = generate::grid2d(nx, nx, generate::Stencil::Star);
+        let ord = ordering::nested_dissection_2d(nx, nx);
+        let p = base.permute(&ord.order);
+        g.throughput(Throughput::Elements((nx * nx) as u64));
+        g.bench_with_input(BenchmarkId::new("elimination_tree", nx * nx), &p, |b, p| {
+            b.iter(|| etree::elimination_tree(p));
+        });
+        let et = etree::elimination_tree(&p);
+        g.bench_with_input(BenchmarkId::new("column_counts", nx * nx), &p, |b, p| {
+            b.iter(|| etree::column_counts(p, &et));
+        });
+        let cc = etree::column_counts(&p, &et);
+        g.bench_with_input(
+            BenchmarkId::new("assembly_tree", nx * nx),
+            &(),
+            |b, _| {
+                b.iter(|| assembly::assembly_tree_from_etree(&et, &cc, 4).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_orderings, bench_symbolic);
+criterion_main!(benches);

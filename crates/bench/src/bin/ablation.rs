@@ -1,0 +1,143 @@
+//! Ablation studies beyond the paper's figures:
+//!
+//! 1. **Figure 3 sweep** — `ParSubtrees` vs optimal makespan on the fork
+//!    tree, showing the ratio approaching `p` (paper §5.1);
+//! 2. **sequential sub-algorithm** — `ParSubtrees` memory when the subtree
+//!    traversal is the naive postorder, the optimal postorder (paper's
+//!    choice), or Liu's exact algorithm;
+//! 3. **memory-capped scheduling** — the cap/makespan trade-off of the
+//!    `mem_bounded_schedule` extension (paper §7 future work).
+
+use treesched_core::{
+    cp_list_schedule, evaluate, fifo_list_schedule, mem_bounded_schedule, memory_reference,
+    par_deepest_first, par_inner_first, par_subtrees, random_list_schedule, Admission, SeqAlgo,
+};
+use treesched_gen::{assembly_corpus, fork_tree, Scale};
+use treesched_seq::best_postorder;
+
+fn main() {
+    fig3_sweep();
+    seq_algo_ablation();
+    memory_cap_ablation();
+    priority_component_ablation();
+}
+
+fn fig3_sweep() {
+    println!("Ablation 1 — Figure 3 fork: ParSubtrees makespan ratio vs p");
+    println!("  {:>4} {:>6} {:>12} {:>10} {:>8}", "p", "k", "ParSubtrees", "optimal", "ratio");
+    for p in [2u32, 4, 8, 16] {
+        for k in [4usize, 16, 64] {
+            let t = fork_tree(p as usize, k);
+            let ms = evaluate(&t, &par_subtrees(&t, p, SeqAlgo::default())).makespan;
+            let opt = (k + 1) as f64;
+            println!(
+                "  {:>4} {:>6} {:>12.0} {:>10.0} {:>8.3}",
+                p, k, ms, opt, ms / opt
+            );
+        }
+    }
+    println!("  (ratio tends to p as k grows; paper §5.1)\n");
+}
+
+fn seq_algo_ablation() {
+    println!("Ablation 2 — ParSubtrees memory under different sequential sub-algorithms");
+    let corpus = assembly_corpus(Scale::Small);
+    println!(
+        "  {:<24} {:>5} {:>14} {:>14} {:>14}",
+        "tree", "p", "naive-po", "best-po", "liu-exact"
+    );
+    let p = 4u32;
+    for e in corpus.iter().step_by(4).take(6) {
+        let mem =
+            |algo: SeqAlgo| evaluate(&e.tree, &par_subtrees(&e.tree, p, algo)).peak_memory;
+        println!(
+            "  {:<24} {:>5} {:>14.3e} {:>14.3e} {:>14.3e}",
+            e.name,
+            p,
+            mem(SeqAlgo::NaivePostorder),
+            mem(SeqAlgo::BestPostorder),
+            mem(SeqAlgo::LiuExact)
+        );
+    }
+    println!();
+}
+
+fn memory_cap_ablation() {
+    println!("Ablation 3 — memory-capped list scheduling (sequential-activation policy)");
+    let corpus = assembly_corpus(Scale::Small);
+    let e = &corpus[8]; // a mid-size entry
+    let t = &e.tree;
+    let order = best_postorder(t).order;
+    let mseq = memory_reference(t);
+    let p = 8;
+    println!("  tree {} ({} nodes), p = {p}, M_seq = {:.3e}", e.name, t.len(), mseq);
+    println!(
+        "  {:>10} {:>14} {:>14} {:>12}",
+        "cap/M_seq", "peak", "makespan", "violations"
+    );
+    for factor in [1.0, 1.5, 2.0, 4.0, 8.0, f64::INFINITY] {
+        let cap = if factor.is_infinite() { f64::INFINITY } else { mseq * factor };
+        let run = mem_bounded_schedule(t, p, &order, cap, Admission::SequentialOrder);
+        println!(
+            "  {:>10} {:>14.3e} {:>14.3e} {:>12}",
+            if factor.is_infinite() { "inf".to_string() } else { format!("{factor:.1}") },
+            run.peak_memory,
+            run.schedule.makespan(),
+            run.violations
+        );
+    }
+    println!("  (tighter caps trade makespan for memory; 0 violations at cap >= M_seq)\n");
+}
+
+fn priority_component_ablation() {
+    println!("Ablation 4 — what the paper-specific priorities buy over textbook list scheduling");
+    println!("  (geometric-mean memory relative to the sequential reference, p = 8)");
+    let p = 8u32;
+    // two families: realistic assembly trees, and the wide/irregular shapes
+    // where leaf ordering decides how many subtrees are opened concurrently
+    let assembly: Vec<(String, treesched_model::TaskTree)> = assembly_corpus(Scale::Small)
+        .into_iter()
+        .map(|e| (e.name, e.tree))
+        .collect();
+    let wide: Vec<(String, treesched_model::TaskTree)> = vec![
+        ("caterpillar".into(), treesched_gen::caterpillar(40, 6)),
+        ("longchain".into(), treesched_gen::long_chain_tree(24, 8)),
+        ("gadget".into(), treesched_gen::inner_first_gadget(8, 12)),
+        ("spider".into(), treesched_gen::spider(24, 12)),
+        ("bushy-random".into(), treesched_gen::random_attachment(
+            2000,
+            treesched_gen::WeightRange::PEBBLE,
+            5,
+        )),
+    ];
+    for (family, trees) in [("assembly corpus", &assembly), ("wide/irregular", &wide)] {
+        let mut ratios: Vec<(&str, Vec<f64>)> = vec![
+            ("ParInnerFirst", Vec::new()),
+            ("ParDeepestFirst", Vec::new()),
+            ("cp-list (no tie-breaks)", Vec::new()),
+            ("fifo-list", Vec::new()),
+            ("random-list", Vec::new()),
+        ];
+        for (_, t) in trees {
+            let mref = memory_reference(t);
+            let schedules = [
+                par_inner_first(t, p),
+                par_deepest_first(t, p),
+                cp_list_schedule(t, p),
+                fifo_list_schedule(t, p),
+                random_list_schedule(t, p, 42),
+            ];
+            for (k, s) in schedules.iter().enumerate() {
+                ratios[k].1.push(evaluate(t, s).peak_memory / mref);
+            }
+        }
+        println!("  {family}:");
+        for (name, rs) in &ratios {
+            let g = treesched_bench::stats::geomean(rs);
+            println!("    {:<26} {:>8.3}", name, g);
+        }
+    }
+    println!("  (on bounded-degree assembly trees the tie-breaks barely matter;");
+    println!("   on wide/irregular trees the postorder leaf ordering of the");
+    println!("   paper's ParInnerFirst separates clearly from naive priorities)");
+}

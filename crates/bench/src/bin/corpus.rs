@@ -1,0 +1,63 @@
+//! Describes the experiment corpus the way the paper's §6.2 describes its
+//! dataset: per-tree node counts, depths, maximum degrees and parallelism,
+//! plus the aggregate ranges.
+
+use treesched_bench::cli;
+use treesched_gen::assembly_corpus;
+use treesched_model::TreeStats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: corpus [options]\n{}", cli::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let corpus = assembly_corpus(opts.scale);
+    println!(
+        "{:<26} {:>8} {:>7} {:>8} {:>8} {:>7} {:>11} {:>11}",
+        "tree", "nodes", "leaves", "height", "maxdeg", "par", "total W", "CP"
+    );
+    let mut stats: Vec<(String, TreeStats)> = Vec::new();
+    for e in &corpus {
+        let s = e.stats();
+        println!(
+            "{:<26} {:>8} {:>7} {:>8} {:>8} {:>7.2} {:>11.3e} {:>11.3e}",
+            e.name,
+            s.nodes,
+            s.leaves,
+            s.height,
+            s.max_degree,
+            s.parallelism(),
+            s.total_work,
+            s.critical_path
+        );
+        stats.push((e.name.clone(), s));
+    }
+
+    let range = |f: &dyn Fn(&TreeStats) -> f64| {
+        let lo = stats.iter().map(|(_, s)| f(s)).fold(f64::INFINITY, f64::min);
+        let hi = stats.iter().map(|(_, s)| f(s)).fold(0.0f64, f64::max);
+        (lo, hi)
+    };
+    let (n_lo, n_hi) = range(&|s: &TreeStats| s.nodes as f64);
+    let (d_lo, d_hi) = range(&|s: &TreeStats| s.height as f64);
+    let (g_lo, g_hi) = range(&|s: &TreeStats| s.max_degree as f64);
+    println!(
+        "\n{} trees: {:.0}..{:.0} nodes, depth {:.0}..{:.0}, max degree {:.0}..{:.0}",
+        corpus.len(),
+        n_lo,
+        n_hi,
+        d_lo,
+        d_hi,
+        g_lo,
+        g_hi
+    );
+    println!("(paper §6.2: 608 trees, 2,000..1,000,000 nodes, depth 12..70,000, degree 2..175,000)");
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Figure 6** of the paper: every scenario's makespan relative
+//! to the lower bound `max(W/p, CP)` against its memory relative to the
+//! best sequential postorder, summarized per heuristic by the mean and the
+//! 10th–90th percentile "cross".
+
+use treesched_bench::{cli, harness};
+use treesched_gen::assembly_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: fig6 [options]\n{}", cli::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    eprintln!("building corpus ({:?})...", opts.scale);
+    let corpus = assembly_corpus(opts.scale);
+    let rows = harness::run_corpus(&corpus, &opts.procs);
+    let series = harness::fig6(&rows);
+
+    print!(
+        "{}",
+        harness::render_crosses(
+            &format!("Figure 6 — comparison to lower bounds ({} scenarios)", rows.len() / 4),
+            "makespan / lower bound",
+            "memory / sequential reference",
+            &series,
+        )
+    );
+    // the paper's qualitative checks: ParSubtrees best in memory,
+    // ParDeepestFirst best in makespan
+    let mem_order: Vec<&str> = {
+        let mut v: Vec<_> = series.iter().map(|(h, _, c)| (h.name(), c.y_mean)).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v.into_iter().map(|(n, _)| n).collect()
+    };
+    println!("\nmemory-mean ordering (best first): {}", mem_order.join(" < "));
+    let ms_order: Vec<&str> = {
+        let mut v: Vec<_> = series.iter().map(|(h, _, c)| (h.name(), c.x_mean)).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v.into_iter().map(|(n, _)| n).collect()
+    };
+    println!("makespan-mean ordering (best first): {}", ms_order.join(" < "));
+
+    if let Some(path) = opts.csv {
+        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
+        eprintln!("raw rows written to {path}");
+    }
+}

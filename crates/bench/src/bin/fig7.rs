@@ -1,0 +1,43 @@
+//! Reproduces **Figure 7** of the paper: per-scenario makespan and memory of
+//! every heuristic normalized by `ParSubtrees`.
+
+use treesched_bench::{cli, harness};
+use treesched_core::Heuristic;
+use treesched_gen::assembly_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: fig7 [options]\n{}", cli::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    eprintln!("building corpus ({:?})...", opts.scale);
+    let corpus = assembly_corpus(opts.scale);
+    let rows = harness::run_corpus(&corpus, &opts.procs);
+    let series = harness::fig_normalized(&rows, Heuristic::ParSubtrees);
+
+    print!(
+        "{}",
+        harness::render_crosses(
+            &format!(
+                "Figure 7 — comparison to ParSubtrees ({} scenarios)",
+                rows.len() / 4
+            ),
+            "makespan / ParSubtrees makespan",
+            "memory / ParSubtrees memory",
+            &series,
+        )
+    );
+
+    if let Some(path) = opts.csv {
+        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
+        eprintln!("raw rows written to {path}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Reproduces **Figure 8** of the paper: per-scenario makespan and memory of
+//! every heuristic normalized by `ParInnerFirst`.
+
+use treesched_bench::{cli, harness};
+use treesched_core::Heuristic;
+use treesched_gen::assembly_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: fig8 [options]\n{}", cli::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    eprintln!("building corpus ({:?})...", opts.scale);
+    let corpus = assembly_corpus(opts.scale);
+    let rows = harness::run_corpus(&corpus, &opts.procs);
+    let series = harness::fig_normalized(&rows, Heuristic::ParInnerFirst);
+
+    print!(
+        "{}",
+        harness::render_crosses(
+            &format!(
+                "Figure 8 — comparison to ParInnerFirst ({} scenarios)",
+                rows.len() / 4
+            ),
+            "makespan / ParInnerFirst makespan",
+            "memory / ParInnerFirst memory",
+            &series,
+        )
+    );
+
+    if let Some(path) = opts.csv {
+        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
+        eprintln!("raw rows written to {path}");
+    }
+}

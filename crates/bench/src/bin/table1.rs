@@ -1,0 +1,47 @@
+//! Reproduces **Table 1** of the paper: proportions of scenarios where each
+//! heuristic reaches (or comes within 5% of) the best memory/makespan, and
+//! average deviations from the sequential memory and the best makespan.
+
+use treesched_bench::{cli, harness};
+use treesched_gen::assembly_corpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: table1 [options]\n{}", cli::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    eprintln!("building corpus ({:?})...", opts.scale);
+    let corpus = assembly_corpus(opts.scale);
+    eprintln!(
+        "running {} trees x {:?} processors x 4 heuristics...",
+        corpus.len(),
+        opts.procs
+    );
+    let rows = harness::run_corpus(&corpus, &opts.procs);
+
+    println!(
+        "Table 1 — {} scenarios ({} trees, p in {:?})",
+        rows.len() / 4,
+        corpus.len(),
+        opts.procs
+    );
+    println!("{}", harness::render_table1(&harness::table1(&rows)));
+    println!("Paper reference (608 UF trees):");
+    println!("  ParSubtrees        81.1%  85.2%  133.0%  |  0.2%  14.2%  34.7%");
+    println!("  ParSubtreesOptim   49.9%  65.6%  144.8%  |  1.1%  19.1%  28.5%");
+    println!("  ParInnerFirst      19.1%  26.2%  276.5%  | 37.2%  82.4%   2.6%");
+    println!("  ParDeepestFirst     3.0%   9.6%  325.8%  | 95.7%  99.9%   0.0%");
+
+    if let Some(path) = opts.csv {
+        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
+        eprintln!("raw rows written to {path}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal argument parsing shared by the experiment binaries (no external
+//! dependency needed for `--scale`, `--procs`, `--csv`).
+
+use treesched_gen::Scale;
+
+/// Options common to every experiment binary.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Corpus scale (`--scale small|medium|large`, default medium).
+    pub scale: Scale,
+    /// Processor counts (`--procs 2,4,8`, default the paper's 2..32).
+    pub procs: Vec<u32>,
+    /// Optional CSV dump path (`--csv out.csv`).
+    pub csv: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::Medium,
+            procs: crate::harness::PAPER_PROCS.to_vec(),
+            csv: None,
+        }
+    }
+}
+
+/// Parses `args` (without the program name). Returns an error message
+/// suitable for printing alongside [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                opts.scale = match v.as_str() {
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--procs" => {
+                let v = it.next().ok_or("--procs needs a value")?;
+                let parsed: Result<Vec<u32>, _> =
+                    v.split(',').map(|s| s.trim().parse::<u32>()).collect();
+                opts.procs = parsed.map_err(|e| format!("bad --procs: {e}"))?;
+                if opts.procs.is_empty() || opts.procs.contains(&0) {
+                    return Err("--procs needs positive processor counts".into());
+                }
+            }
+            "--csv" => {
+                opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone());
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Usage string for the experiment binaries.
+pub const USAGE: &str = "options:
+  --scale small|medium|large   corpus size (default: medium)
+  --procs P1,P2,...            processor counts (default: 2,4,8,16,32)
+  --csv PATH                   dump raw scenario rows as CSV";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Medium);
+        assert_eq!(o.procs, vec![2, 4, 8, 16, 32]);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn full_parse() {
+        let o = parse(&s(&["--scale", "small", "--procs", "2,8", "--csv", "x.csv"])).unwrap();
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.procs, vec![2, 8]);
+        assert_eq!(o.csv.as_deref(), Some("x.csv"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&s(&["--scale", "giant"])).is_err());
+        assert!(parse(&s(&["--procs", "0"])).is_err());
+        assert!(parse(&s(&["--procs", "a,b"])).is_err());
+        assert!(parse(&s(&["--bogus"])).is_err());
+        assert!(parse(&s(&["--help"])).is_err());
+    }
+}

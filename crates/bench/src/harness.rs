@@ -1,0 +1,388 @@
+//! Experiment driver: runs every heuristic over the corpus for every
+//! processor count and aggregates the paper's Table 1 and Figures 6–8.
+
+use crate::stats::{cross, mean, Cross};
+use std::fmt::Write as _;
+use treesched_core::{evaluate, makespan_lower_bound, Heuristic};
+use treesched_gen::CorpusEntry;
+
+/// The processor counts of the paper's campaign (§6.2).
+pub const PAPER_PROCS: [u32; 5] = [2, 4, 8, 16, 32];
+
+/// One measured scenario: a heuristic on a tree with `p` processors.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Corpus entry name.
+    pub tree: String,
+    /// Number of tasks of the tree.
+    pub nodes: usize,
+    /// Processor count.
+    pub p: u32,
+    /// The heuristic measured.
+    pub heuristic: Heuristic,
+    /// Achieved makespan.
+    pub makespan: f64,
+    /// Achieved peak memory.
+    pub memory: f64,
+    /// Makespan lower bound `max(W/p, CP)`.
+    pub ms_lb: f64,
+    /// Sequential memory reference (optimal postorder peak).
+    pub mem_ref: f64,
+}
+
+/// Runs all four heuristics on every `(tree, p)` scenario, in parallel
+/// across corpus entries.
+pub fn run_corpus(corpus: &[CorpusEntry], ps: &[u32]) -> Vec<Row> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(corpus.len().max(1));
+    let chunk = corpus.len().div_ceil(threads.max(1));
+    let mut all: Vec<Row> = std::thread::scope(|scope| {
+        let handles: Vec<_> = corpus
+            .chunks(chunk.max(1))
+            .map(|entries| scope.spawn(move || run_entries(entries, ps)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    // deterministic output order regardless of thread interleaving
+    all.sort_by(|a, b| {
+        a.tree
+            .cmp(&b.tree)
+            .then(a.p.cmp(&b.p))
+            .then(a.heuristic.name().cmp(b.heuristic.name()))
+    });
+    all
+}
+
+fn run_entries(entries: &[CorpusEntry], ps: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(entries.len() * ps.len() * 4);
+    for e in entries {
+        let tree = &e.tree;
+        let seq = treesched_seq::best_postorder(tree);
+        for &p in ps {
+            let ms_lb = makespan_lower_bound(tree, p);
+            for h in Heuristic::ALL {
+                let schedule = h.schedule_with_order(tree, p, &seq.order);
+                let ev = evaluate(tree, &schedule);
+                rows.push(Row {
+                    tree: e.name.clone(),
+                    nodes: tree.len(),
+                    p,
+                    heuristic: h,
+                    makespan: ev.makespan,
+                    memory: ev.peak_memory,
+                    ms_lb,
+                    mem_ref: seq.peak,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One line of the paper's Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Row {
+    /// The heuristic.
+    pub heuristic: Heuristic,
+    /// % of scenarios where the heuristic achieves the best memory of the
+    /// four (ties count).
+    pub best_mem_pct: f64,
+    /// % of scenarios within 5% of the best memory.
+    pub within5_mem_pct: f64,
+    /// Average deviation from the sequential memory reference, in %
+    /// (`(mem / mem_ref − 1) · 100`).
+    pub avg_dev_mem_pct: f64,
+    /// % of scenarios achieving the best makespan of the four.
+    pub best_ms_pct: f64,
+    /// % of scenarios within 5% of the best makespan.
+    pub within5_ms_pct: f64,
+    /// Average deviation from the best makespan, in %.
+    pub avg_dev_ms_pct: f64,
+}
+
+/// Scenario key: rows are grouped by `(tree, p)` before computing
+/// best-of-four statistics.
+fn scenario_groups(rows: &[Row]) -> Vec<&[Row]> {
+    // rows are sorted by (tree, p, heuristic): each group is 4 consecutive
+    let mut groups = Vec::with_capacity(rows.len() / 4);
+    let mut start = 0;
+    while start < rows.len() {
+        let mut end = start + 1;
+        while end < rows.len() && rows[end].tree == rows[start].tree && rows[end].p == rows[start].p
+        {
+            end += 1;
+        }
+        groups.push(&rows[start..end]);
+        start = end;
+    }
+    groups
+}
+
+const REL_EPS: f64 = 1e-9;
+
+/// Aggregates [`Row`]s into the paper's Table 1.
+pub fn table1(rows: &[Row]) -> Vec<Table1Row> {
+    let groups = scenario_groups(rows);
+    let mut out = Vec::with_capacity(4);
+    for h in Heuristic::ALL {
+        let mut best_mem = 0usize;
+        let mut within5_mem = 0usize;
+        let mut dev_mem = Vec::new();
+        let mut best_ms = 0usize;
+        let mut within5_ms = 0usize;
+        let mut dev_ms = Vec::new();
+        let mut n = 0usize;
+        for g in &groups {
+            let Some(row) = g.iter().find(|r| r.heuristic == h) else { continue };
+            let gbest_mem = g.iter().map(|r| r.memory).fold(f64::INFINITY, f64::min);
+            let gbest_ms = g.iter().map(|r| r.makespan).fold(f64::INFINITY, f64::min);
+            n += 1;
+            if row.memory <= gbest_mem * (1.0 + REL_EPS) {
+                best_mem += 1;
+            }
+            if row.memory <= gbest_mem * 1.05 {
+                within5_mem += 1;
+            }
+            dev_mem.push((row.memory / row.mem_ref - 1.0) * 100.0);
+            if row.makespan <= gbest_ms * (1.0 + REL_EPS) {
+                best_ms += 1;
+            }
+            if row.makespan <= gbest_ms * 1.05 {
+                within5_ms += 1;
+            }
+            dev_ms.push((row.makespan / gbest_ms - 1.0) * 100.0);
+        }
+        let pct = |c: usize| 100.0 * c as f64 / n.max(1) as f64;
+        out.push(Table1Row {
+            heuristic: h,
+            best_mem_pct: pct(best_mem),
+            within5_mem_pct: pct(within5_mem),
+            avg_dev_mem_pct: mean(&dev_mem),
+            best_ms_pct: pct(best_ms),
+            within5_ms_pct: pct(within5_ms),
+            avg_dev_ms_pct: mean(&dev_ms),
+        });
+    }
+    out
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<18} | {:>11} {:>12} {:>14} | {:>13} {:>14} {:>13}",
+        "Heuristic",
+        "Best memory",
+        "Within 5% of",
+        "Avg. dev. from",
+        "Best makespan",
+        "Within 5% of",
+        "Avg. dev. from"
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} | {:>11} {:>12} {:>14} | {:>13} {:>14} {:>13}",
+        "", "", "best memory", "seq. memory", "", "best makespan", "best makespan"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(112));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<18} | {:>10.1}% {:>11.1}% {:>13.1}% | {:>12.1}% {:>13.1}% {:>12.1}%",
+            r.heuristic.name(),
+            r.best_mem_pct,
+            r.within5_mem_pct,
+            r.avg_dev_mem_pct,
+            r.best_ms_pct,
+            r.within5_ms_pct,
+            r.avg_dev_ms_pct
+        );
+    }
+    s
+}
+
+/// One figure series: a heuristic, its scatter points, and their summary
+/// cross.
+pub type FigSeries = (Heuristic, Vec<(f64, f64)>, Cross);
+
+/// Figure 6 series: per heuristic, the scatter points
+/// `(makespan / ms_lb, memory / mem_ref)` and their summary cross.
+pub fn fig6(rows: &[Row]) -> Vec<FigSeries> {
+    Heuristic::ALL
+        .iter()
+        .map(|&h| {
+            let pts: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r.heuristic == h)
+                .map(|r| (r.makespan / r.ms_lb, r.memory / r.mem_ref))
+                .collect();
+            let c = cross(&pts);
+            (h, pts, c)
+        })
+        .collect()
+}
+
+/// Figures 7/8: scatter points normalized by a baseline heuristic within
+/// each `(tree, p)` scenario; the baseline itself is omitted (it would be
+/// the constant point `(1, 1)`).
+pub fn fig_normalized(rows: &[Row], baseline: Heuristic) -> Vec<FigSeries> {
+    let groups = scenario_groups(rows);
+    let mut out = Vec::new();
+    for h in Heuristic::ALL {
+        if h == baseline {
+            continue;
+        }
+        let mut pts = Vec::new();
+        for g in &groups {
+            let (Some(b), Some(r)) = (
+                g.iter().find(|r| r.heuristic == baseline),
+                g.iter().find(|r| r.heuristic == h),
+            ) else {
+                continue;
+            };
+            if b.makespan > 0.0 && b.memory > 0.0 {
+                pts.push((r.makespan / b.makespan, r.memory / b.memory));
+            }
+        }
+        let c = cross(&pts);
+        out.push((h, pts, c));
+    }
+    out
+}
+
+/// Renders a figure's crosses as the text series the paper's plots encode.
+pub fn render_crosses(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[FigSeries],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "  x = {xlabel}; y = {ylabel}");
+    let _ = writeln!(
+        s,
+        "  {:<18} {:>7} {:>17} {:>9} {:>19} {:>7}",
+        "heuristic", "x-mean", "x-[p10,p90]", "y-mean", "y-[p10,p90]", "points"
+    );
+    for (h, pts, c) in series {
+        let _ = writeln!(
+            s,
+            "  {:<18} {:>7.3} [{:>6.3},{:>7.3}] {:>9.3} [{:>7.3},{:>8.3}] {:>7}",
+            h.name(),
+            c.x_mean,
+            c.x_p10,
+            c.x_p90,
+            c.y_mean,
+            c.y_p10,
+            c.y_p90,
+            pts.len()
+        );
+    }
+    s
+}
+
+/// CSV dump of the raw scenario rows (for external plotting).
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut s = String::from("tree,nodes,p,heuristic,makespan,memory,ms_lb,mem_ref\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{}",
+            r.tree, r.nodes, r.p, r.heuristic.name(), r.makespan, r.memory, r.ms_lb, r.mem_ref
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_gen::{assembly_corpus, Scale};
+
+    fn tiny_rows() -> Vec<Row> {
+        let corpus = assembly_corpus(Scale::Small);
+        run_corpus(&corpus[..4], &[2, 4])
+    }
+
+    #[test]
+    fn run_corpus_produces_every_scenario() {
+        let rows = tiny_rows();
+        assert_eq!(rows.len(), 4 * 2 * 4); // 4 trees × 2 p × 4 heuristics
+        for r in &rows {
+            assert!(r.makespan >= r.ms_lb - 1e-9, "{} {}", r.tree, r.heuristic);
+            assert!(r.memory > 0.0);
+            assert!(r.mem_ref > 0.0);
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let a = tiny_rows();
+        let b = tiny_rows();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tree, y.tree);
+            assert_eq!(x.makespan, y.makespan);
+            assert_eq!(x.memory, y.memory);
+        }
+    }
+
+    #[test]
+    fn table1_percentages_consistent() {
+        let rows = tiny_rows();
+        let t1 = table1(&rows);
+        assert_eq!(t1.len(), 4);
+        // at least one heuristic achieves the best in every scenario, so the
+        // best-% columns sum to at least 100
+        let mem_sum: f64 = t1.iter().map(|r| r.best_mem_pct).sum();
+        let ms_sum: f64 = t1.iter().map(|r| r.best_ms_pct).sum();
+        assert!(mem_sum >= 100.0 - 1e-9);
+        assert!(ms_sum >= 100.0 - 1e-9);
+        for r in &t1 {
+            assert!(r.within5_mem_pct >= r.best_mem_pct - 1e-9);
+            assert!(r.within5_ms_pct >= r.best_ms_pct - 1e-9);
+            assert!(r.avg_dev_mem_pct >= -1e-9, "{}", r.heuristic);
+            assert!(r.avg_dev_ms_pct >= -1e-9);
+        }
+        let rendered = render_table1(&t1);
+        assert!(rendered.contains("ParSubtrees"));
+        assert!(rendered.contains("ParDeepestFirst"));
+    }
+
+    #[test]
+    fn fig6_ratios_at_least_one() {
+        let rows = tiny_rows();
+        for (h, pts, c) in fig6(&rows) {
+            assert!(!pts.is_empty(), "{h}");
+            for (x, y) in &pts {
+                assert!(*x >= 1.0 - 1e-9, "{h}: makespan below LB");
+                assert!(*y >= 0.99, "{h}: memory below sequential reference");
+            }
+            assert!(c.x_mean >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_baseline_excluded() {
+        let rows = tiny_rows();
+        let f7 = fig_normalized(&rows, Heuristic::ParSubtrees);
+        assert_eq!(f7.len(), 3);
+        assert!(f7.iter().all(|(h, _, _)| *h != Heuristic::ParSubtrees));
+        let rendered = render_crosses("fig7", "ms", "mem", &f7);
+        assert!(rendered.contains("ParInnerFirst"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = tiny_rows();
+        let csv = to_csv(&rows);
+        assert!(csv.starts_with("tree,nodes,p,"));
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+}

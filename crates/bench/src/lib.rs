@@ -1,0 +1,23 @@
+//! Experiment harness reproducing the paper's evaluation (§6).
+//!
+//! Binaries (one per table/figure — see DESIGN.md §4):
+//!
+//! * `table1` — the heuristic comparison of Table 1;
+//! * `fig6` — ratios to the lower bounds (Figure 6);
+//! * `fig7` — ratios to `ParSubtrees` (Figure 7);
+//! * `fig8` — ratios to `ParInnerFirst` (Figure 8);
+//! * `ablation` — design-choice ablations beyond the paper: sequential
+//!   sub-algorithm choice, the Figure 3 makespan-ratio sweep, and the
+//!   memory-capped scheduler's cap/makespan trade-off.
+//!
+//! Criterion micro-benchmarks live in `benches/` and validate the
+//! complexity claims of §5 (heuristic and traversal runtimes).
+
+pub mod cli;
+pub mod harness;
+pub mod stats;
+
+pub use harness::{
+    fig6, fig_normalized, render_crosses, render_table1, run_corpus, table1, Row, Table1Row,
+    PAPER_PROCS,
+};

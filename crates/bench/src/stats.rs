@@ -1,0 +1,113 @@
+//! Small statistics helpers for the experiment harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Percentile by linear interpolation between closest ranks;
+/// `q` in `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    if v.len() == 1 {
+        return v[0];
+    }
+    let rank = q / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Geometric mean; 0 for an empty slice. All entries must be positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|&x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// The "cross" of the paper's scatter plots: average plus the 10th–90th
+/// percentile span of each axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cross {
+    /// Mean of the x values (makespan ratio).
+    pub x_mean: f64,
+    /// 10th percentile of x.
+    pub x_p10: f64,
+    /// 90th percentile of x.
+    pub x_p90: f64,
+    /// Mean of the y values (memory ratio).
+    pub y_mean: f64,
+    /// 10th percentile of y.
+    pub y_p10: f64,
+    /// 90th percentile of y.
+    pub y_p90: f64,
+}
+
+/// Computes the scatter-cross over paired `(x, y)` points.
+pub fn cross(points: &[(f64, f64)]) -> Cross {
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    Cross {
+        x_mean: mean(&xs),
+        x_p10: percentile(&xs, 10.0),
+        x_p90: percentile(&xs, 90.0),
+        y_mean: mean(&ys),
+        y_p10: percentile(&ys, 10.0),
+        y_p90: percentile(&ys, 90.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        assert_eq!(percentile(&xs, 10.0), 1.4);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn cross_of_points() {
+        let pts: Vec<(f64, f64)> = (1..=9).map(|i| (i as f64, 10.0 * i as f64)).collect();
+        let c = cross(&pts);
+        assert_eq!(c.x_mean, 5.0);
+        assert_eq!(c.y_mean, 50.0);
+        assert!((c.x_p10 - 1.8).abs() < 1e-12);
+        assert!((c.x_p90 - 8.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Quality-regression guard: the paper's headline experimental claims must
+//! keep holding on the (deterministic) small corpus. If a refactor of a
+//! heuristic silently degrades its trade-off position, these tests fail.
+
+use treesched_bench::{fig_normalized, run_corpus, table1};
+use treesched_core::Heuristic;
+use treesched_gen::{assembly_corpus, Scale};
+
+fn small_rows() -> Vec<treesched_bench::Row> {
+    let corpus = assembly_corpus(Scale::Small);
+    run_corpus(&corpus, &[2, 4, 8, 16])
+}
+
+#[test]
+fn memory_ranking_matches_paper() {
+    let t1 = table1(&small_rows());
+    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).unwrap().clone();
+    let ps = by(Heuristic::ParSubtrees);
+    let pso = by(Heuristic::ParSubtreesOptim);
+    let pif = by(Heuristic::ParInnerFirst);
+    let pdf = by(Heuristic::ParDeepestFirst);
+    // Table 1 column 1: ParSubtrees wins memory most often, then Optim,
+    // then the list schedulers
+    assert!(ps.best_mem_pct >= pso.best_mem_pct);
+    assert!(pso.best_mem_pct >= pif.best_mem_pct);
+    assert!(pif.best_mem_pct >= pdf.best_mem_pct);
+    // average memory deviation follows the same order
+    assert!(ps.avg_dev_mem_pct <= pif.avg_dev_mem_pct);
+    assert!(pif.avg_dev_mem_pct <= pdf.avg_dev_mem_pct);
+}
+
+#[test]
+fn makespan_ranking_matches_paper() {
+    let t1 = table1(&small_rows());
+    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).unwrap().clone();
+    let ps = by(Heuristic::ParSubtrees);
+    let pif = by(Heuristic::ParInnerFirst);
+    let pdf = by(Heuristic::ParDeepestFirst);
+    // ParDeepestFirst is (almost) always the makespan winner
+    assert!(pdf.best_ms_pct >= 90.0, "{}", pdf.best_ms_pct);
+    assert!(pdf.avg_dev_ms_pct <= 1.0);
+    // ParInnerFirst close behind, ParSubtrees pays the most
+    assert!(pif.avg_dev_ms_pct <= ps.avg_dev_ms_pct);
+}
+
+#[test]
+fn fig7_claims_hold() {
+    // "ParSubtreesOptim gives results close to ParSubtrees, with better
+    //  makespans but slightly worse memory"
+    let rows = small_rows();
+    let f7 = fig_normalized(&rows, Heuristic::ParSubtrees);
+    let (_, _, optim) = f7
+        .iter()
+        .find(|(h, _, _)| *h == Heuristic::ParSubtreesOptim)
+        .unwrap();
+    assert!(optim.x_mean <= 1.0 + 1e-9, "makespan ratio {}", optim.x_mean);
+    assert!(optim.y_mean >= 1.0 - 1e-9, "memory ratio {}", optim.y_mean);
+}
+
+#[test]
+fn fig8_claims_hold() {
+    // "ParDeepestFirst always uses more memory than ParInnerFirst, while
+    //  having comparable makespans"
+    let rows = small_rows();
+    let f8 = fig_normalized(&rows, Heuristic::ParInnerFirst);
+    let (_, pts, c) = f8
+        .iter()
+        .find(|(h, _, _)| *h == Heuristic::ParDeepestFirst)
+        .unwrap();
+    assert!(c.y_mean >= 1.0 - 1e-9, "memory ratio {}", c.y_mean);
+    assert!(c.x_mean <= 1.05, "makespan ratio {}", c.x_mean);
+    // "always": no scenario where DeepestFirst uses meaningfully less
+    let below = pts.iter().filter(|(_, y)| *y < 0.999).count();
+    assert!(
+        below * 10 <= pts.len(),
+        "{below}/{} scenarios below parity",
+        pts.len()
+    );
+}

@@ -1,0 +1,544 @@
+//! Subcommand parsing and execution.
+
+use std::fmt::Write as _;
+use treesched_core::{evaluate, Heuristic};
+use treesched_model::{io as tree_io, TaskTree, TreeStats};
+
+/// Top-level usage text.
+pub const USAGE: &str = "treesched — memory/makespan-aware tree scheduling (IPDPS 2013)
+
+usage: treesched <command> [args]
+
+commands:
+  gen <kind> <params..> [-o FILE]   generate a tree (see `treesched gen`)
+  stats FILE..                      shape and weight statistics
+  sketch FILE [--max N]             indented tree view
+  seq FILE [--algo best|naive|liu]  sequential traversal peak + order head
+  schedule FILE -p N [--heuristic H] [--gantt] [--profile] [--cap X]
+           [--placements]           parallel schedule + evaluation
+  pareto FILE -p N                  exact (makespan, memory) frontier
+  dot FILE                          Graphviz DOT export
+
+Heuristics H: subtrees | subtrees-optim | inner | deepest
+Tree files use the `treesched tree v1` text format (id parent w f n).";
+
+const GEN_USAGE: &str = "treesched gen — tree generators
+
+  gen fork P K                 fork with P*K unit leaves (paper Fig. 3)
+  gen chain N                  pebble chain of N tasks
+  gen complete ARITY DEPTH     complete tree, pebble weights
+  gen random N SEED            random attachment tree, mixed weights
+  gen deep N SEED              depth-biased random tree, mixed weights
+  gen caterpillar SPINE LEGS   caterpillar, pebble weights
+  gen spider LEGS LEN          spider, pebble weights
+  gen inapprox N DELTA         inapproximability tree (paper Fig. 2)
+  gen gadget P K               ParInnerFirst gadget (paper Fig. 4)
+  gen longchain C LEN          long-chain tree (paper Fig. 5)
+  gen assembly KIND SIZE AMALG assembly tree: KIND = grid2d|grid3d|rand|band
+
+append `-o FILE` to write the tree file (default: stdout).";
+
+/// A CLI failure: message plus the exit code the binary should use.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message (already includes usage hints).
+    pub message: String,
+    /// Suggested process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), code: 2 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Executes `args` (without the program name) and returns the text to
+/// print on stdout. File writes (`gen -o`) happen inside.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::new(USAGE));
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "sketch" => cmd_sketch(rest),
+        "seq" => cmd_seq(rest),
+        "schedule" => cmd_schedule(rest),
+        "pareto" => cmd_pareto(rest),
+        "dot" => cmd_dot(rest),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn load_tree(path: &str) -> Result<TaskTree, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    tree_io::from_text(&text).map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::new(format!("cannot parse {what} from `{s}`")))
+}
+
+fn cmd_gen(args: &[String]) -> Result<String, CliError> {
+    use treesched_gen as g;
+    let mut out_file: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" {
+            out_file = Some(
+                it.next()
+                    .ok_or_else(|| CliError::new("-o needs a path"))?
+                    .clone(),
+            );
+        } else {
+            positional.push(a);
+        }
+    }
+    let Some((&kind, params)) = positional.split_first() else {
+        return Err(CliError::new(GEN_USAGE));
+    };
+    let need = |k: usize| -> Result<(), CliError> {
+        if params.len() == k {
+            Ok(())
+        } else {
+            Err(CliError::new(format!(
+                "gen {kind} needs {k} parameter(s)\n\n{GEN_USAGE}"
+            )))
+        }
+    };
+    let tree = match kind.as_str() {
+        "fork" => {
+            need(2)?;
+            g::fork_tree(parse_num(params[0], "P")?, parse_num(params[1], "K")?)
+        }
+        "chain" => {
+            need(1)?;
+            TaskTree::chain(parse_num(params[0], "N")?, 1.0, 1.0, 0.0)
+        }
+        "complete" => {
+            need(2)?;
+            TaskTree::complete(
+                parse_num(params[0], "ARITY")?,
+                parse_num(params[1], "DEPTH")?,
+                1.0,
+                1.0,
+                0.0,
+            )
+        }
+        "random" => {
+            need(2)?;
+            g::random_attachment(
+                parse_num(params[0], "N")?,
+                g::WeightRange::MIXED,
+                parse_num(params[1], "SEED")?,
+            )
+        }
+        "deep" => {
+            need(2)?;
+            g::random_deep(
+                parse_num(params[0], "N")?,
+                3,
+                g::WeightRange::MIXED,
+                parse_num(params[1], "SEED")?,
+            )
+        }
+        "caterpillar" => {
+            need(2)?;
+            g::caterpillar(parse_num(params[0], "SPINE")?, parse_num(params[1], "LEGS")?)
+        }
+        "spider" => {
+            need(2)?;
+            g::spider(parse_num(params[0], "LEGS")?, parse_num(params[1], "LEN")?)
+        }
+        "inapprox" => {
+            need(2)?;
+            g::inapprox_tree(parse_num(params[0], "N")?, parse_num(params[1], "DELTA")?)
+        }
+        "gadget" => {
+            need(2)?;
+            g::inner_first_gadget(parse_num(params[0], "P")?, parse_num(params[1], "K")?)
+        }
+        "longchain" => {
+            need(2)?;
+            g::long_chain_tree(parse_num(params[0], "C")?, parse_num(params[1], "LEN")?)
+        }
+        "assembly" => {
+            need(3)?;
+            gen_assembly(params[0], parse_num(params[1], "SIZE")?, parse_num(params[2], "AMALG")?)?
+        }
+        other => {
+            return Err(CliError::new(format!("unknown generator `{other}`\n\n{GEN_USAGE}")))
+        }
+    };
+    let text = tree_io::to_text(&tree);
+    match out_file {
+        Some(path) => {
+            std::fs::write(&path, &text)
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {} tasks to {path}\n", tree.len()))
+        }
+        None => Ok(text),
+    }
+}
+
+fn gen_assembly(kind: &str, size: usize, amalg: u32) -> Result<TaskTree, CliError> {
+    use treesched_sparse::{assembly, generate, ordering};
+    let (pattern, ord) = match kind {
+        "grid2d" => {
+            let p = generate::grid2d(size, size, generate::Stencil::Star);
+            let o = ordering::nested_dissection_2d(size, size);
+            (p, o)
+        }
+        "grid3d" => {
+            let p = generate::grid3d(size, size, size, generate::Stencil::Star);
+            let o = ordering::nested_dissection_3d(size, size, size);
+            (p, o)
+        }
+        "rand" => {
+            let p = generate::random_symmetric(size, 3.0, 42);
+            let o = ordering::min_degree(&p);
+            (p, o)
+        }
+        "band" => {
+            let p = generate::band(size, 8.min(size.saturating_sub(1)).max(1));
+            let o = ordering::min_degree(&p);
+            (p, o)
+        }
+        other => return Err(CliError::new(format!("unknown assembly kind `{other}`"))),
+    };
+    assembly::assembly_tree_ordered(&pattern, &ord, amalg)
+        .map_err(|e| CliError::new(format!("cannot build assembly tree: {e}")))
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    if args.is_empty() {
+        return Err(CliError::new("stats needs at least one tree file"));
+    }
+    let mut out = String::new();
+    for path in args {
+        let tree = load_tree(path)?;
+        let s = TreeStats::of(&tree);
+        let _ = writeln!(out, "{path}: {s}");
+        let _ = writeln!(
+            out,
+            "  seq memory: best postorder {:.6e}, max single task {:.6e}",
+            treesched_seq::best_postorder_peak(&tree),
+            s.max_local_need
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_sketch(args: &[String]) -> Result<String, CliError> {
+    let (path, max) = match args {
+        [p] => (p, 40usize),
+        [p, flag, n] if flag == "--max" => (p, parse_num(n, "N")?),
+        _ => return Err(CliError::new("usage: treesched sketch FILE [--max N]")),
+    };
+    let tree = load_tree(path)?;
+    Ok(treesched_viz::tree_sketch(&tree, max))
+}
+
+fn cmd_seq(args: &[String]) -> Result<String, CliError> {
+    let (path, algo) = match args {
+        [p] => (p, "best"),
+        [p, flag, a] if flag == "--algo" => (p, a.as_str()),
+        _ => return Err(CliError::new("usage: treesched seq FILE [--algo best|naive|liu]")),
+    };
+    let tree = load_tree(path)?;
+    let result = match algo {
+        "best" => treesched_seq::best_postorder(&tree),
+        "naive" => treesched_seq::naive_postorder(&tree),
+        "liu" => treesched_seq::liu_exact(&tree),
+        other => return Err(CliError::new(format!("unknown algorithm `{other}`"))),
+    };
+    let head: Vec<String> = result
+        .order
+        .iter()
+        .take(16)
+        .map(|v| v.index().to_string())
+        .collect();
+    Ok(format!(
+        "algorithm: {algo}\npeak memory: {}\norder head: {}{}\n",
+        result.peak,
+        head.join(" "),
+        if result.order.len() > 16 { " ..." } else { "" }
+    ))
+}
+
+fn heuristic_by_name(name: &str) -> Result<Heuristic, CliError> {
+    Ok(match name {
+        "subtrees" => Heuristic::ParSubtrees,
+        "subtrees-optim" => Heuristic::ParSubtreesOptim,
+        "inner" => Heuristic::ParInnerFirst,
+        "deepest" => Heuristic::ParDeepestFirst,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown heuristic `{other}` (subtrees|subtrees-optim|inner|deepest)"
+            )))
+        }
+    })
+}
+
+fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut p: Option<u32> = None;
+    let mut heuristic = Heuristic::ParSubtrees;
+    let mut show_gantt = false;
+    let mut show_profile = false;
+    let mut show_placements = false;
+    let mut cap: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-p" => p = Some(parse_num(it.next().ok_or_else(|| CliError::new("-p needs N"))?, "N")?),
+            "--heuristic" => {
+                heuristic = heuristic_by_name(
+                    it.next().ok_or_else(|| CliError::new("--heuristic needs a name"))?,
+                )?;
+            }
+            "--gantt" => show_gantt = true,
+            "--profile" => show_profile = true,
+            "--placements" => show_placements = true,
+            "--cap" => {
+                cap = Some(parse_num(
+                    it.next().ok_or_else(|| CliError::new("--cap needs a value"))?,
+                    "cap",
+                )?);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(a),
+            other => return Err(CliError::new(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::new("schedule needs a tree file"))?;
+    let p = p.ok_or_else(|| CliError::new("schedule needs -p N"))?;
+    if p == 0 {
+        return Err(CliError::new("-p must be positive"));
+    }
+    let tree = load_tree(path)?;
+
+    let mut out = String::new();
+    let schedule = if let Some(cap) = cap {
+        let order = treesched_seq::best_postorder(&tree).order;
+        let run = treesched_core::mem_bounded_schedule(
+            &tree,
+            p,
+            &order,
+            cap,
+            treesched_core::Admission::SequentialOrder,
+        );
+        let _ = writeln!(
+            out,
+            "memory-capped schedule (cap {cap}): {} violation(s)",
+            run.violations
+        );
+        run.schedule
+    } else {
+        heuristic.schedule(&tree, p)
+    };
+    let ev = evaluate(&tree, &schedule);
+    let _ = writeln!(
+        out,
+        "heuristic: {}\nprocessors: {p}\nmakespan: {}  (lower bound {})\npeak memory: {}  (sequential reference {})",
+        if cap.is_some() { "memory-capped list" } else { heuristic.name() },
+        ev.makespan,
+        treesched_core::makespan_lower_bound(&tree, p),
+        ev.peak_memory,
+        treesched_core::memory_reference(&tree),
+    );
+    if show_gantt {
+        let _ = write!(
+            out,
+            "\n{}",
+            treesched_viz::gantt(&tree, &schedule, treesched_viz::GanttOptions::default())
+        );
+    }
+    if show_profile {
+        let _ = write!(
+            out,
+            "\n{}",
+            treesched_viz::memory_profile_plot(
+                &tree,
+                &schedule,
+                treesched_viz::ProfileOptions::default()
+            )
+        );
+    }
+    if show_placements {
+        let _ = writeln!(out, "\ntask,proc,start,finish");
+        for i in tree.ids() {
+            let pl = schedule.placement(i);
+            let _ = writeln!(out, "{},{},{},{}", i.index(), pl.proc, pl.start, pl.finish);
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
+    let (path, p) = match args {
+        [path, flag, n] if flag == "-p" => (path, parse_num::<u32>(n, "N")?),
+        _ => return Err(CliError::new("usage: treesched pareto FILE -p N")),
+    };
+    let tree = load_tree(path)?;
+    if tree.len() > treesched_core::pareto::MAX_PARETO_NODES {
+        return Err(CliError::new(format!(
+            "tree too large for the exact solver ({} > {} tasks)",
+            tree.len(),
+            treesched_core::pareto::MAX_PARETO_NODES
+        )));
+    }
+    if tree.ids().any(|i| tree.work(i) != 1.0) {
+        return Err(CliError::new("exact frontier requires unit works (pebble trees)"));
+    }
+    let frontier = treesched_core::pareto_frontier(&tree, p);
+    let mut out = format!("exact Pareto frontier, p = {p}:\n");
+    let _ = writeln!(out, "  {:>9} {:>12}", "makespan", "peak memory");
+    for pt in &frontier {
+        let _ = writeln!(out, "  {:>9} {:>12}", pt.makespan, pt.memory);
+    }
+    Ok(out)
+}
+
+fn cmd_dot(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::new("usage: treesched dot FILE"));
+    };
+    let tree = load_tree(path)?;
+    Ok(tree_io::to_dot(&tree, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("treesched-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&["--help"]).unwrap().contains("usage:"));
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.message.contains("unknown command"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_to_stdout_parses_back() {
+        let text = run(&["gen", "fork", "2", "3"]).unwrap();
+        let tree = tree_io::from_text(&text).unwrap();
+        assert_eq!(tree.len(), 7);
+    }
+
+    #[test]
+    fn gen_all_kinds() {
+        for args in [
+            vec!["gen", "chain", "5"],
+            vec!["gen", "complete", "2", "3"],
+            vec!["gen", "random", "30", "1"],
+            vec!["gen", "deep", "30", "1"],
+            vec!["gen", "caterpillar", "4", "2"],
+            vec!["gen", "spider", "3", "3"],
+            vec!["gen", "inapprox", "2", "3"],
+            vec!["gen", "gadget", "3", "3"],
+            vec!["gen", "longchain", "3", "2"],
+            vec!["gen", "assembly", "grid2d", "6", "4"],
+            vec!["gen", "assembly", "rand", "50", "2"],
+        ] {
+            let text = run(&args).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+            assert!(tree_io::from_text(&text).is_ok(), "{args:?}");
+        }
+    }
+
+    #[test]
+    fn gen_rejects_bad_params() {
+        assert!(run(&["gen", "fork", "2"]).is_err());
+        assert!(run(&["gen", "fork", "x", "y"]).is_err());
+        assert!(run(&["gen", "nosuch", "1"]).is_err());
+        assert!(run(&["gen", "assembly", "nosuch", "5", "1"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_via_file() {
+        let f = tmpfile("e2e.tree");
+        let msg = run(&["gen", "spider", "4", "3", "-o", &f]).unwrap();
+        assert!(msg.contains("wrote 13 tasks"));
+
+        let stats = run(&["stats", &f]).unwrap();
+        assert!(stats.contains("nodes=13"));
+
+        let sketch = run(&["sketch", &f]).unwrap();
+        assert!(sketch.contains("└─"));
+
+        // 4 legs meeting at the root: all leg outputs + in-flight pebble
+        let seq = run(&["seq", &f, "--algo", "liu"]).unwrap();
+        assert!(seq.contains("peak memory: 5"), "{seq}");
+
+        let sched = run(&["schedule", &f, "-p", "2", "--heuristic", "deepest", "--gantt"]).unwrap();
+        assert!(sched.contains("makespan:"));
+        assert!(sched.contains("p0 |"));
+
+        let pl = run(&["schedule", &f, "-p", "2", "--placements"]).unwrap();
+        assert!(pl.contains("task,proc,start,finish"));
+        assert_eq!(pl.lines().filter(|l| l.contains(',')).count(), 13 + 1);
+
+        let pareto = run(&["pareto", &f, "-p", "2"]).unwrap();
+        assert!(pareto.contains("Pareto frontier"));
+
+        let dot = run(&["dot", &f]).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn schedule_with_cap() {
+        let f = tmpfile("cap.tree");
+        run(&["gen", "complete", "2", "3", "-o", &f]).unwrap();
+        let out = run(&["schedule", &f, "-p", "4", "--cap", "5", "--profile"]).unwrap();
+        assert!(out.contains("memory-capped"));
+        assert!(out.contains("violation(s)"));
+        assert!(out.contains("Memory profile"));
+    }
+
+    #[test]
+    fn schedule_requires_p() {
+        let f = tmpfile("nop.tree");
+        run(&["gen", "chain", "3", "-o", &f]).unwrap();
+        assert!(run(&["schedule", &f]).is_err());
+        assert!(run(&["schedule", &f, "-p", "0"]).is_err());
+        assert!(run(&["schedule", &f, "-p", "2", "--heuristic", "nosuch"]).is_err());
+    }
+
+    #[test]
+    fn pareto_rejects_large_or_weighted() {
+        let f = tmpfile("big.tree");
+        run(&["gen", "chain", "30", "-o", &f]).unwrap();
+        assert!(run(&["pareto", &f, "-p", "2"]).is_err());
+        let f2 = tmpfile("weighted.tree");
+        run(&["gen", "random", "10", "1", "-o", &f2]).unwrap();
+        assert!(run(&["pareto", &f2, "-p", "2"]).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_cleanly() {
+        let e = run(&["stats", "/nonexistent/x.tree"]).unwrap_err();
+        assert!(e.message.contains("cannot read"));
+    }
+}

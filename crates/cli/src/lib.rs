@@ -1,0 +1,19 @@
+//! Command implementations for the `treesched` CLI.
+//!
+//! Every subcommand is a pure function from parsed arguments to an output
+//! string, so the whole surface is unit-testable without spawning
+//! processes. The binary (`src/main.rs`) only does I/O.
+//!
+//! ```text
+//! treesched gen fork 3 4 -o fork.tree        # generate instances
+//! treesched stats fork.tree                  # shape + weight statistics
+//! treesched sketch fork.tree                 # indented tree view
+//! treesched seq fork.tree --algo liu         # sequential traversals
+//! treesched schedule fork.tree -p 4 --heuristic deepest --gantt
+//! treesched pareto fork.tree -p 2            # exact trade-off frontier
+//! treesched dot fork.tree                    # Graphviz export
+//! ```
+
+pub mod commands;
+
+pub use commands::{dispatch, CliError, USAGE};

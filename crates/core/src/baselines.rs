@@ -1,0 +1,116 @@
+//! Classic list-scheduling baselines, for component ablations.
+//!
+//! The paper's `ParInnerFirst`/`ParDeepestFirst` differ from textbook list
+//! scheduling in two ingredients: the *inner-before-leaf* preference and
+//! the *optimal-postorder* ordering of equal-priority leaves. These
+//! baselines isolate those ingredients:
+//!
+//! * [`cp_list_schedule`] — plain critical-path scheduling (priority =
+//!   weighted depth only, no inner/leaf distinction, arbitrary ties);
+//! * [`fifo_list_schedule`] — ready tasks served in id order (no priority
+//!   at all);
+//! * [`random_list_schedule`] — ready tasks in a seeded random order, the
+//!   "how bad can a list schedule get" reference.
+//!
+//! All three inherit Graham's `(2 − 1/p)` makespan guarantee; the
+//! interesting axis is memory, where the paper-specific tie-breaks pay off
+//! (see the `ablation` experiment binary).
+
+use crate::listsched::{list_schedule, TotalF64};
+use crate::schedule::Schedule;
+use treesched_model::TaskTree;
+
+/// Critical-path list scheduling: deepest weighted depth first, ties by id.
+/// No inner-node preference, no postorder leaf ordering.
+pub fn cp_list_schedule(tree: &TaskTree, p: u32) -> Schedule {
+    let wdepth = tree.weighted_depths();
+    let keys: Vec<(TotalF64, u32)> = tree
+        .ids()
+        .map(|i| (TotalF64(-wdepth[i.index()]), i.0))
+        .collect();
+    list_schedule(tree, p, &keys)
+}
+
+/// FIFO/no-priority list scheduling: ready tasks in node-id order.
+pub fn fifo_list_schedule(tree: &TaskTree, p: u32) -> Schedule {
+    let keys: Vec<u32> = tree.ids().map(|i| i.0).collect();
+    list_schedule(tree, p, &keys)
+}
+
+/// Random-priority list scheduling with a deterministic seed (splitmix64
+/// over node ids, so no external RNG dependency is needed here).
+pub fn random_list_schedule(tree: &TaskTree, p: u32, seed: u64) -> Schedule {
+    let keys: Vec<(u64, u32)> = tree
+        .ids()
+        .map(|i| {
+            let mut z = seed
+                .wrapping_add(0x9e3779b97f4a7c15)
+                .wrapping_add((i.0 as u64) << 32 | i.0 as u64);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31), i.0)
+        })
+        .collect();
+    list_schedule(tree, p, &keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::evaluate;
+    use treesched_model::TaskTree;
+
+    fn sample() -> TaskTree {
+        TaskTree::complete(3, 3, 1.0, 2.0, 0.5)
+    }
+
+    #[test]
+    fn baselines_produce_valid_schedules() {
+        let t = sample();
+        for p in [1u32, 2, 4] {
+            for s in [
+                cp_list_schedule(&t, p),
+                fifo_list_schedule(&t, p),
+                random_list_schedule(&t, p, 1),
+            ] {
+                assert!(s.validate(&t).is_ok());
+                assert!(s.max_concurrency() <= p as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_meet_graham_bound() {
+        let t = sample();
+        let p = 4u32;
+        let bound = t.total_work() / p as f64 + t.critical_path() * (1.0 - 1.0 / p as f64);
+        for s in [
+            cp_list_schedule(&t, p),
+            fifo_list_schedule(&t, p),
+            random_list_schedule(&t, p, 7),
+        ] {
+            assert!(evaluate(&t, &s).makespan <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_schedules_differ_by_seed_but_not_run() {
+        let t = sample();
+        let a = random_list_schedule(&t, 3, 1);
+        let b = random_list_schedule(&t, 3, 1);
+        let c = random_list_schedule(&t, 3, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cp_matches_deepest_first_makespan_on_uniform_trees() {
+        // without ties the two differ only in tie-breaking, so on this
+        // regular tree the makespans coincide
+        let t = sample();
+        let p = 4;
+        let cp = evaluate(&t, &cp_list_schedule(&t, p)).makespan;
+        let df = evaluate(&t, &crate::heuristics::par_deepest_first(&t, p)).makespan;
+        assert_eq!(cp, df);
+    }
+}

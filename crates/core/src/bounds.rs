@@ -1,0 +1,83 @@
+//! Lower bounds for both objectives (paper §6.3, Figure 6).
+
+use treesched_model::TaskTree;
+
+/// Makespan lower bound for `p` processors: the maximum of the average load
+/// `W/p` and the `w`-weighted critical path. The paper uses exactly this
+/// bound for Figure 6.
+pub fn makespan_lower_bound(tree: &TaskTree, p: u32) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    (tree.total_work() / p as f64).max(tree.critical_path())
+}
+
+/// Memory reference used by the paper (§6.1, §6.3): the peak of the
+/// **optimal sequential postorder**. More processors can never require less
+/// memory than an optimal sequential traversal, and the optimal postorder
+/// is within 1% of it on realistic trees, so this is the paper's practical
+/// lower-bound estimate for parallel peak memory.
+pub fn memory_reference(tree: &TaskTree) -> f64 {
+    treesched_seq::best_postorder_peak(tree)
+}
+
+/// True optimal sequential memory (Liu's exact algorithm) — a genuine lower
+/// bound on the peak memory of any schedule, sequential or parallel, at
+/// `O(n²)` worst-case cost.
+pub fn memory_lower_bound_exact(tree: &TaskTree) -> f64 {
+    treesched_seq::liu_exact(tree).peak
+}
+
+/// Trivial structural memory bound: the largest single-task footprint.
+pub fn memory_lower_bound_trivial(tree: &TaskTree) -> f64 {
+    tree.max_local_need()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::Heuristic;
+    use crate::schedule::evaluate;
+    use treesched_model::TaskTree;
+
+    #[test]
+    fn makespan_bound_fork() {
+        let t = TaskTree::fork(8, 1.0, 1.0, 0.0);
+        assert_eq!(makespan_lower_bound(&t, 2), 4.5); // W/p = 9/2
+        assert_eq!(makespan_lower_bound(&t, 8), 2.0); // CP
+    }
+
+    #[test]
+    fn makespan_bound_chain_is_critical_path() {
+        let t = TaskTree::chain(7, 2.0, 1.0, 0.0);
+        for p in [1, 2, 4, 32] {
+            assert_eq!(makespan_lower_bound(&t, p), if p == 1 { 14.0 } else { 14.0 });
+        }
+    }
+
+    #[test]
+    fn bound_hierarchy() {
+        let t = TaskTree::complete(3, 3, 1.0, 2.0, 1.0);
+        let trivial = memory_lower_bound_trivial(&t);
+        let exact = memory_lower_bound_exact(&t);
+        let reference = memory_reference(&t);
+        assert!(trivial <= exact);
+        assert!(exact <= reference);
+    }
+
+    #[test]
+    fn all_heuristics_respect_bounds() {
+        let t = TaskTree::complete(2, 6, 1.0, 2.0, 0.5);
+        for h in Heuristic::ALL {
+            for p in [2u32, 4, 8] {
+                let ev = evaluate(&t, &h.schedule(&t, p));
+                assert!(
+                    ev.makespan >= makespan_lower_bound(&t, p) - 1e-9,
+                    "{h} p={p}"
+                );
+                assert!(
+                    ev.peak_memory >= memory_lower_bound_exact(&t) - 1e-9,
+                    "{h} p={p}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The paper's four scheduling heuristics (§5).
+//!
+//! | Heuristic           | Focus     | Memory guarantee        | Makespan guarantee |
+//! |---------------------|-----------|-------------------------|--------------------|
+//! | [`par_subtrees`]    | memory    | `≤ (p+1)·M_seq`         | `p`-approx         |
+//! | [`par_subtrees_optim`] | balanced | (weaker than above)  | better in practice |
+//! | [`par_inner_first`] | balanced  | unbounded (Fig. 4)      | `(2 − 1/p)`-approx |
+//! | [`par_deepest_first`] | makespan | unbounded (Fig. 5)    | `(2 − 1/p)`-approx |
+
+use crate::listsched::{list_schedule, TotalF64};
+use crate::schedule::{Placement, Schedule};
+use crate::split::split_subtrees;
+use treesched_model::{NodeId, TaskTree};
+use treesched_seq::TraversalResult;
+
+/// Which sequential memory-minimizing algorithm the subtree phases use.
+///
+/// The paper's implementation (§6.1) uses the **optimal postorder** rather
+/// than Liu's exact `O(n²)` algorithm, having measured it optimal in 95.8%
+/// of instances; that is the default here too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SeqAlgo {
+    /// Liu's optimal postorder (1986) — the paper's choice, `O(n log n)`.
+    #[default]
+    BestPostorder,
+    /// Liu's exact algorithm (1987) — optimal over all traversals, `O(n²)`.
+    LiuExact,
+    /// The postorder induced by the stored child order (baseline).
+    NaivePostorder,
+}
+
+impl SeqAlgo {
+    /// Runs the selected traversal algorithm.
+    pub fn traversal(self, tree: &TaskTree) -> TraversalResult {
+        match self {
+            SeqAlgo::BestPostorder => treesched_seq::best_postorder(tree),
+            SeqAlgo::LiuExact => treesched_seq::liu_exact(tree),
+            SeqAlgo::NaivePostorder => treesched_seq::naive_postorder(tree),
+        }
+    }
+}
+
+/// Schedules the subtree rooted at `r` sequentially on `proc` from `start`,
+/// in the order chosen by `seq`, writing placements. Returns the finish
+/// time.
+fn schedule_subtree(
+    tree: &TaskTree,
+    r: NodeId,
+    proc: u32,
+    start: f64,
+    seq: SeqAlgo,
+    placements: &mut [Placement],
+    member: &mut [bool],
+) -> f64 {
+    let (sub, map) = tree.subtree(r);
+    let order = seq.traversal(&sub).order;
+    let mut t = start;
+    for nid in order {
+        let orig = map[nid.index()];
+        member[orig.index()] = true;
+        let w = tree.work(orig);
+        placements[orig.index()] = Placement { proc, start: t, finish: t + w };
+        t += w;
+    }
+    t
+}
+
+/// Schedules `nodes` (an id-set filter over the tree, in the order induced
+/// by `global_order`) sequentially on `proc` from `start`.
+fn schedule_filtered(
+    tree: &TaskTree,
+    global_order: &[NodeId],
+    exclude: &[bool],
+    proc: u32,
+    start: f64,
+    placements: &mut [Placement],
+) -> f64 {
+    let mut t = start;
+    for &v in global_order {
+        if !exclude[v.index()] {
+            let w = tree.work(v);
+            placements[v.index()] = Placement { proc, start: t, finish: t + w };
+            t += w;
+        }
+    }
+    t
+}
+
+fn blank_placements(n: usize) -> Vec<Placement> {
+    vec![Placement { proc: 0, start: f64::NAN, finish: f64::NAN }; n]
+}
+
+/// **ParSubtrees** (paper Algorithm 1): split the tree with
+/// [`split_subtrees`], process the `q ≤ p` chosen subtrees concurrently
+/// (each with the sequential memory-optimal algorithm), then process the
+/// remaining nodes sequentially.
+///
+/// Guarantees (paper §5.1): peak memory `≤ (p+1)·M_seq`; makespan is a
+/// `p`-approximation and is optimal among all `ParSubtrees`-style splittings
+/// (Lemma 1).
+pub fn par_subtrees(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    let split = split_subtrees(tree, p as usize);
+    let n = tree.len();
+    let mut placements = blank_placements(n);
+    let mut in_parallel = vec![false; n];
+    let mut t0 = 0.0f64;
+    for (k, &r) in split.parallel_roots.iter().enumerate() {
+        let fin = schedule_subtree(tree, r, k as u32, 0.0, seq, &mut placements, &mut in_parallel);
+        t0 = t0.max(fin);
+    }
+    // Sequential remainder (popped nodes + surplus subtrees), in the
+    // memory-minimizing global order restricted to the remaining nodes.
+    let global = seq.traversal(tree).order;
+    schedule_filtered(tree, &global, &in_parallel, 0, t0, &mut placements);
+    Schedule { processors: p, placements }
+}
+
+/// **ParSubtreesOptim** (paper §5.1, makespan optimization): identical
+/// splitting, but *all* produced subtrees are allocated to the `p`
+/// processors LPT-style (largest total weight first, to the least-loaded
+/// processor), each processor running its subtrees back to back. The popped
+/// nodes still run sequentially at the end.
+///
+/// This improves the makespan at the price of a (usually slight) memory
+/// increase, as the paper's experiments show.
+pub fn par_subtrees_optim(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    let split = split_subtrees(tree, p as usize);
+    let subtree_w = tree.subtree_work();
+    let mut roots: Vec<NodeId> = split
+        .parallel_roots
+        .iter()
+        .chain(&split.surplus_roots)
+        .copied()
+        .collect();
+    // LPT order: non-increasing subtree weight, ties by id for determinism
+    roots.sort_by(|&a, &b| {
+        subtree_w[b.index()]
+            .total_cmp(&subtree_w[a.index()])
+            .then(a.cmp(&b))
+    });
+    let n = tree.len();
+    let mut placements = blank_placements(n);
+    let mut in_parallel = vec![false; n];
+    let mut loads = vec![0.0f64; p as usize];
+    for &r in &roots {
+        let (k, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .expect("p > 0");
+        loads[k] =
+            schedule_subtree(tree, r, k as u32, loads[k], seq, &mut placements, &mut in_parallel);
+    }
+    let t0 = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+    let global = seq.traversal(tree).order;
+    schedule_filtered(tree, &global, &in_parallel, 0, t0, &mut placements);
+    Schedule { processors: p, placements }
+}
+
+/// Priority key for [`par_inner_first`]: all inner nodes before all leaves;
+/// inner nodes by non-increasing edge-depth; leaves by their position in
+/// the optimal sequential postorder `O` (paper §5.2).
+fn inner_first_keys(tree: &TaskTree, order: &[NodeId]) -> Vec<(u8, u64, u64)> {
+    let pos = treesched_model::io::positions(tree.len(), order);
+    let depths = tree.depths();
+    tree.ids()
+        .map(|i| {
+            if tree.is_leaf(i) {
+                (1u8, pos[i.index()] as u64, 0u64)
+            } else {
+                (0u8, u32::MAX as u64 - depths[i.index()] as u64, pos[i.index()] as u64)
+            }
+        })
+        .collect()
+}
+
+/// **ParInnerFirst** (paper §5.2): event-based list scheduling where ready
+/// inner nodes always take priority (deepest first), and ready leaves are
+/// taken in optimal-postorder order. With one processor this reproduces a
+/// sequential postorder; with `p` processors it approximates one.
+///
+/// Makespan: `(2 − 1/p)`-approximation (list scheduling). Memory: can be
+/// arbitrarily worse than sequential (paper Fig. 4).
+pub fn par_inner_first(tree: &TaskTree, p: u32) -> Schedule {
+    let order = treesched_seq::best_postorder(tree).order;
+    par_inner_first_with_order(tree, p, &order)
+}
+
+/// [`par_inner_first`] with a caller-supplied sequential order `O`.
+pub fn par_inner_first_with_order(tree: &TaskTree, p: u32, order: &[NodeId]) -> Schedule {
+    let keys = inner_first_keys(tree, order);
+    list_schedule(tree, p, &keys)
+}
+
+/// Priority key for [`par_deepest_first`]: non-increasing `w`-weighted
+/// root-path depth (including the node's own `w`), then inner before leaf,
+/// then postorder position (paper §5.3).
+fn deepest_first_keys(tree: &TaskTree, order: &[NodeId]) -> Vec<(TotalF64, u8, u64)> {
+    let pos = treesched_model::io::positions(tree.len(), order);
+    let wdepth = tree.weighted_depths();
+    tree.ids()
+        .map(|i| {
+            (
+                TotalF64(-wdepth[i.index()]), // deepest first
+                u8::from(tree.is_leaf(i)),    // inner before leaf
+                pos[i.index()] as u64,        // postorder position
+            )
+        })
+        .collect()
+}
+
+/// **ParDeepestFirst** (paper §5.3): event-based list scheduling
+/// prioritizing the deepest ready node by weighted path length — the head
+/// of the critical path. Fully makespan-focused.
+///
+/// Makespan: `(2 − 1/p)`-approximation. Memory: unbounded relative to
+/// sequential (paper Fig. 5: proportional to the number of leaves on
+/// long-chain trees).
+pub fn par_deepest_first(tree: &TaskTree, p: u32) -> Schedule {
+    let order = treesched_seq::best_postorder(tree).order;
+    par_deepest_first_with_order(tree, p, &order)
+}
+
+/// [`par_deepest_first`] with a caller-supplied sequential order `O`.
+pub fn par_deepest_first_with_order(tree: &TaskTree, p: u32, order: &[NodeId]) -> Schedule {
+    let keys = deepest_first_keys(tree, order);
+    list_schedule(tree, p, &keys)
+}
+
+/// The four heuristics of the paper, as a value for driving experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// [`par_subtrees`]
+    ParSubtrees,
+    /// [`par_subtrees_optim`]
+    ParSubtreesOptim,
+    /// [`par_inner_first`]
+    ParInnerFirst,
+    /// [`par_deepest_first`]
+    ParDeepestFirst,
+}
+
+impl Heuristic {
+    /// All four heuristics in the paper's Table 1 order.
+    pub const ALL: [Heuristic; 4] = [
+        Heuristic::ParSubtrees,
+        Heuristic::ParSubtreesOptim,
+        Heuristic::ParInnerFirst,
+        Heuristic::ParDeepestFirst,
+    ];
+
+    /// Paper name of the heuristic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Heuristic::ParSubtrees => "ParSubtrees",
+            Heuristic::ParSubtreesOptim => "ParSubtreesOptim",
+            Heuristic::ParInnerFirst => "ParInnerFirst",
+            Heuristic::ParDeepestFirst => "ParDeepestFirst",
+        }
+    }
+
+    /// Builds the heuristic's schedule for `tree` on `p` processors with the
+    /// default sequential sub-algorithm.
+    pub fn schedule(self, tree: &TaskTree, p: u32) -> Schedule {
+        match self {
+            Heuristic::ParSubtrees => par_subtrees(tree, p, SeqAlgo::default()),
+            Heuristic::ParSubtreesOptim => par_subtrees_optim(tree, p, SeqAlgo::default()),
+            Heuristic::ParInnerFirst => par_inner_first(tree, p),
+            Heuristic::ParDeepestFirst => par_deepest_first(tree, p),
+        }
+    }
+
+    /// As [`Heuristic::schedule`] but reusing a precomputed optimal
+    /// sequential postorder (avoids recomputing it per heuristic in
+    /// experiment sweeps).
+    pub fn schedule_with_order(self, tree: &TaskTree, p: u32, order: &[NodeId]) -> Schedule {
+        match self {
+            Heuristic::ParSubtrees => par_subtrees(tree, p, SeqAlgo::default()),
+            Heuristic::ParSubtreesOptim => par_subtrees_optim(tree, p, SeqAlgo::default()),
+            Heuristic::ParInnerFirst => par_inner_first_with_order(tree, p, order),
+            Heuristic::ParDeepestFirst => par_deepest_first_with_order(tree, p, order),
+        }
+    }
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::evaluate;
+    use treesched_model::{TaskTree, TreeBuilder};
+    use treesched_seq::best_postorder;
+
+    /// Paper Figure 3: ParSubtrees achieves makespan `p(k−1) + 2` on the
+    /// fork with `p·k` unit leaves while the optimum is `k + 1`; the
+    /// optimized variant recovers it.
+    #[test]
+    fn fig3_fork_makespans() {
+        let (p, k) = (4u32, 6usize);
+        let t = TaskTree::fork(p as usize * k, 1.0, 1.0, 0.0);
+        let ms = evaluate(&t, &par_subtrees(&t, p, SeqAlgo::default())).makespan;
+        assert_eq!(ms, (p as usize * (k - 1) + 2) as f64);
+        let opt = evaluate(&t, &par_subtrees_optim(&t, p, SeqAlgo::default())).makespan;
+        assert_eq!(opt, (k + 1) as f64);
+        // list schedulers also achieve the optimum here
+        let dfs = evaluate(&t, &par_deepest_first(&t, p)).makespan;
+        assert_eq!(dfs, (k + 1) as f64);
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_schedules() {
+        let t = TaskTree::complete(3, 4, 1.0, 2.0, 0.5);
+        for h in Heuristic::ALL {
+            for p in [1u32, 2, 5, 16] {
+                let s = h.schedule(&t, p);
+                assert!(s.validate(&t).is_ok(), "{h} p={p}");
+                assert!(s.max_concurrency() <= p as usize, "{h} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_subtrees_makespan_equals_split_cost() {
+        let t = TaskTree::complete(2, 5, 1.0, 1.0, 0.0);
+        for p in [1u32, 2, 3, 8] {
+            let split = crate::split::split_subtrees(&t, p as usize);
+            let s = par_subtrees(&t, p, SeqAlgo::default());
+            let ev = evaluate(&t, &s);
+            assert!(
+                (ev.makespan - split.cost).abs() < 1e-9,
+                "p={p}: {} vs {}",
+                ev.makespan,
+                split.cost
+            );
+        }
+    }
+
+    #[test]
+    fn par_subtrees_memory_bound_holds() {
+        // M <= (p+1) * M_seq (paper §5.1), with M_seq the best postorder
+        let mut b = TreeBuilder::new();
+        let r = b.node(2.0, 3.0, 1.0);
+        let x = b.child(r, 1.0, 4.0, 0.0);
+        let y = b.child(r, 5.0, 2.0, 2.0);
+        for _ in 0..5 {
+            b.child(x, 2.0, 3.0, 1.0);
+            b.child(y, 1.0, 2.0, 0.0);
+        }
+        let t = b.build().unwrap();
+        let mseq = best_postorder(&t).peak;
+        for p in [1u32, 2, 4] {
+            let ev = evaluate(&t, &par_subtrees(&t, p, SeqAlgo::default()));
+            assert!(
+                ev.peak_memory <= (p as f64 + 1.0) * mseq + 1e-9,
+                "p={p}: {} > {}",
+                ev.peak_memory,
+                (p as f64 + 1.0) * mseq
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_heuristics_match_sequential_memory() {
+        // with p = 1, ParSubtrees runs the sequential algorithm on the whole
+        // tree; its memory equals the best postorder peak
+        let t = TaskTree::complete(2, 4, 1.0, 2.0, 1.0);
+        let ev = evaluate(&t, &par_subtrees(&t, 1, SeqAlgo::default()));
+        assert_eq!(ev.peak_memory, best_postorder(&t).peak);
+        assert_eq!(ev.makespan, t.total_work());
+        // ParInnerFirst on one processor replays a sequential postorder
+        let ev = evaluate(&t, &par_inner_first(&t, 1));
+        assert_eq!(ev.peak_memory, best_postorder(&t).peak);
+    }
+
+    #[test]
+    fn inner_first_prefers_inner_nodes() {
+        // a chain plus spare leaves: when the chain's inner node becomes
+        // ready it must run before any queued leaf
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        let c = b.child(r, 1.0, 1.0, 0.0);
+        b.child(c, 1.0, 1.0, 0.0); // chain leaf
+        for _ in 0..6 {
+            b.child(r, 1.0, 1.0, 0.0); // fork leaves
+        }
+        let t = b.build().unwrap();
+        let s = par_inner_first(&t, 1);
+        // node c (inner, id 1) becomes ready after its leaf (id 2); it must
+        // start right then, before the remaining fork leaves
+        let start_c = s.placement(NodeId(1)).start;
+        let later_leaves = (3..9)
+            .filter(|&i| s.placement(NodeId(i)).start > start_c)
+            .count();
+        assert!(later_leaves >= 5, "inner node must preempt queued leaves");
+    }
+
+    #[test]
+    fn deepest_first_follows_critical_path() {
+        // two chains of different weighted depth: the deep chain's leaf goes
+        // first
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        let a = b.child(r, 1.0, 1.0, 0.0);
+        let deep = b.child(a, 10.0, 1.0, 0.0); // wdepth 12
+        b.child(r, 1.0, 1.0, 0.0); // shallow leaf, wdepth 2
+        let t = b.build().unwrap();
+        let s = par_deepest_first(&t, 1);
+        assert!(s.placement(deep).start < s.placement(NodeId(3)).start);
+    }
+
+    #[test]
+    fn heuristic_names() {
+        assert_eq!(Heuristic::ParSubtrees.to_string(), "ParSubtrees");
+        assert_eq!(Heuristic::ALL.len(), 4);
+    }
+
+    #[test]
+    fn liu_exact_subtree_option_works() {
+        let t = TaskTree::complete(2, 4, 1.0, 3.0, 1.0);
+        let s = par_subtrees(&t, 3, SeqAlgo::LiuExact);
+        assert!(s.validate(&t).is_ok());
+        let s2 = par_subtrees(&t, 3, SeqAlgo::NaivePostorder);
+        assert!(s2.validate(&t).is_ok());
+        // exact sequential sub-traversals can only help memory
+        let m_exact = s.peak_memory(&t);
+        let m_naive = s2.peak_memory(&t);
+        assert!(m_exact <= m_naive + 1e-9);
+    }
+}

@@ -1,0 +1,61 @@
+//! Parallel memory/makespan-aware scheduling of task trees — the core
+//! contribution of Marchal, Sinnen and Vivien (IPDPS 2013).
+//!
+//! The problem (paper §3): schedule a tree-shaped task graph on `p`
+//! identical processors sharing one memory, minimizing both the **makespan**
+//! and the **peak memory**. The decision problem is NP-complete even in the
+//! unit-weight pebble-game model (Theorem 1) and the two objectives cannot
+//! be simultaneously approximated within constant factors (Theorem 2), so
+//! the paper proposes four heuristics spanning the trade-off — all
+//! implemented here:
+//!
+//! * [`heuristics::par_subtrees`] / [`heuristics::par_subtrees_optim`] —
+//!   split the tree into subtrees ([`split::split_subtrees`], Algorithm 2)
+//!   processed concurrently with a sequential memory-optimal algorithm;
+//!   memory-focused, `M ≤ (p+1)·M_seq`.
+//! * [`heuristics::par_inner_first`] — event-based list scheduling
+//!   (Algorithm 3) approximating a parallel postorder; balanced.
+//! * [`heuristics::par_deepest_first`] — list scheduling along the critical
+//!   path; makespan-focused.
+//!
+//! Supporting machinery: the generic list scheduler
+//! ([`listsched::list_schedule`]), parallel-schedule evaluation
+//! ([`schedule::Schedule::peak_memory`], [`schedule::evaluate`]), the
+//! lower bounds used by the paper's Figure 6 ([`bounds`]), textbook
+//! baselines for component ablations ([`baselines`]), an exact
+//! bi-objective Pareto solver for the unit-time model ([`pareto`]), and —
+//! as the paper's stated future work — a memory-capped list scheduler
+//! ([`membound::mem_bounded_schedule`]).
+//!
+//! ```
+//! use treesched_model::TaskTree;
+//! use treesched_core::{evaluate, makespan_lower_bound, Heuristic};
+//!
+//! let tree = TaskTree::fork(8, 1.0, 1.0, 0.0); // 8 pebble leaves
+//! for h in Heuristic::ALL {
+//!     let schedule = h.schedule(&tree, 4);
+//!     let ev = evaluate(&tree, &schedule);
+//!     assert!(ev.makespan >= makespan_lower_bound(&tree, 4));
+//!     assert!(ev.peak_memory >= 9.0); // all inputs + root file at the root
+//! }
+//! ```
+
+pub mod baselines;
+pub mod bounds;
+pub mod heuristics;
+pub mod listsched;
+pub mod membound;
+pub mod pareto;
+pub mod schedule;
+pub mod split;
+
+pub use baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
+pub use bounds::{makespan_lower_bound, memory_lower_bound_exact, memory_reference};
+pub use heuristics::{
+    par_deepest_first, par_inner_first, par_subtrees, par_subtrees_optim, Heuristic, SeqAlgo,
+};
+pub use listsched::list_schedule;
+pub use membound::{mem_bounded_schedule, Admission, MemBoundedRun};
+pub use pareto::{dominated_by_frontier, pareto_frontier, ParetoPoint};
+pub use schedule::{evaluate, EvalResult, Placement, Schedule, ScheduleError};
+pub use split::{split_subtrees, Split};

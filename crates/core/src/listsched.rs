@@ -1,0 +1,222 @@
+//! Event-driven list scheduling (paper Algorithm 3).
+//!
+//! The scheduler is driven by task-finish events. At each event, tasks whose
+//! children have all completed become *ready* and enter a priority queue;
+//! every idle processor is then given the head of the queue. The queue
+//! ordering is the only degree of freedom —
+//! [`par_inner_first`](crate::heuristics::par_inner_first) and
+//! [`par_deepest_first`](crate::heuristics::par_deepest_first) are both
+//! instances with different priority keys.
+//!
+//! As a list scheduling algorithm, any instance is a `(2 − 1/p)`-
+//! approximation for makespan minimization (Graham 1966, paper §5.2/§5.3).
+
+use crate::schedule::{Placement, Schedule};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use treesched_model::{NodeId, TaskTree};
+
+/// Totally ordered `f64` for use inside priority keys (weights are validated
+/// finite, so `total_cmp` agrees with the usual order).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Runs Algorithm 3: event-based list scheduling of `tree` on `p`
+/// processors, ready tasks ordered by `keys` (**smaller key = higher
+/// priority**), with the node id as the final deterministic tie-break.
+///
+/// # Panics
+///
+/// Panics when `p == 0` or `keys.len() != tree.len()`.
+pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    assert_eq!(keys.len(), tree.len(), "one key per task");
+    let n = tree.len();
+
+    // ready queue: min-heap on (key, id)
+    let mut ready: BinaryHeap<Reverse<(K, NodeId)>> = BinaryHeap::new();
+    // finish events: min-heap on (time, node)
+    let mut events: BinaryHeap<Reverse<(TotalF64, NodeId)>> = BinaryHeap::new();
+
+    let mut remaining_children: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId::from_index(i)).len())
+        .collect();
+    for i in tree.ids() {
+        if tree.is_leaf(i) {
+            ready.push(Reverse((keys[i.index()], i)));
+        }
+    }
+
+    let mut free_procs: Vec<u32> = (0..p).rev().collect(); // pop() yields proc 0 first
+    let mut proc_of: Vec<u32> = vec![0; n];
+    let mut placements: Vec<Placement> = vec![
+        Placement { proc: 0, start: f64::NAN, finish: f64::NAN };
+        n
+    ];
+
+    let assign = |t: f64,
+                      ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
+                      events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+                      free_procs: &mut Vec<u32>,
+                      placements: &mut Vec<Placement>,
+                      proc_of: &mut Vec<u32>| {
+        while !free_procs.is_empty() && !ready.is_empty() {
+            let Reverse((_, node)) = ready.pop().expect("nonempty");
+            let proc = free_procs.pop().expect("nonempty");
+            let finish = t + tree.work(node);
+            placements[node.index()] = Placement { proc, start: t, finish };
+            proc_of[node.index()] = proc;
+            events.push(Reverse((TotalF64(finish), node)));
+        }
+    };
+
+    // initial assignment at t = 0
+    assign(0.0, &mut ready, &mut events, &mut free_procs, &mut placements, &mut proc_of);
+
+    while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
+        // pop every task finishing exactly at t, release its processor, and
+        // promote parents that became ready
+        while let Some(&Reverse((TotalF64(tf), node))) = events.peek() {
+            if tf > t {
+                break;
+            }
+            events.pop();
+            free_procs.push(proc_of[node.index()]);
+            if let Some(parent) = tree.parent(node) {
+                let r = &mut remaining_children[parent.index()];
+                *r -= 1;
+                if *r == 0 {
+                    ready.push(Reverse((keys[parent.index()], parent)));
+                }
+            }
+        }
+        assign(t, &mut ready, &mut events, &mut free_procs, &mut placements, &mut proc_of);
+    }
+
+    Schedule {
+        processors: p,
+        placements,
+    }
+}
+
+/// Priority keys replaying a fixed sequential order: ready tasks are served
+/// in the order they appear in `order`. With `p = 1` this reproduces the
+/// sequential traversal exactly.
+pub fn keys_from_order(tree: &TaskTree, order: &[NodeId]) -> Vec<usize> {
+    treesched_model::io::positions(tree.len(), order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::evaluate;
+    use treesched_model::{TaskTree, TreeBuilder};
+    use treesched_seq::best_postorder;
+
+    #[test]
+    fn single_processor_replays_sequential_order() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        let x = b.child(r, 2.0, 3.0, 1.0);
+        b.child(x, 1.0, 5.0, 0.0);
+        b.child(r, 3.0, 2.0, 0.0);
+        let t = b.build().unwrap();
+        let order = best_postorder(&t).order;
+        let keys = keys_from_order(&t, &order);
+        let s = list_schedule(&t, 1, &keys);
+        let ev = evaluate(&t, &s);
+        assert_eq!(ev.makespan, t.total_work());
+        assert_eq!(
+            ev.peak_memory,
+            treesched_seq::peak_of_order(&t, &order).unwrap()
+        );
+        // tasks ran in exactly the given order
+        let mut seq: Vec<NodeId> = t.ids().collect();
+        seq.sort_by(|&a, &b| s.placement(a).start.total_cmp(&s.placement(b).start));
+        assert_eq!(seq, order);
+    }
+
+    #[test]
+    fn fork_uses_all_processors() {
+        let t = TaskTree::fork(6, 1.0, 1.0, 0.0);
+        let keys = keys_from_order(&t, &t.postorder());
+        let s = list_schedule(&t, 3, &keys);
+        let ev = evaluate(&t, &s);
+        assert_eq!(ev.makespan, 3.0); // 6 leaves / 3 procs + root
+        assert_eq!(s.max_concurrency(), 3);
+    }
+
+    #[test]
+    fn never_exceeds_processor_count() {
+        let t = TaskTree::complete(3, 4, 1.0, 1.0, 0.0);
+        let keys = keys_from_order(&t, &t.postorder());
+        for p in [1u32, 2, 4, 7] {
+            let s = list_schedule(&t, p, &keys);
+            assert!(s.validate(&t).is_ok());
+            assert!(s.max_concurrency() <= p as usize);
+        }
+    }
+
+    #[test]
+    fn makespan_within_graham_bound() {
+        let t = TaskTree::complete(2, 6, 1.0, 1.0, 0.0);
+        for p in [2u32, 4, 8] {
+            let keys = keys_from_order(&t, &t.postorder());
+            let s = list_schedule(&t, p, &keys);
+            let lb = (t.total_work() / p as f64).max(t.critical_path());
+            let graham = (2.0 - 1.0 / p as f64) * lb;
+            assert!(s.makespan() <= graham + 1e-9);
+            assert!(s.makespan() >= lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn respects_priorities() {
+        // two leaves with different priorities, one processor: the smaller
+        // key runs first
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        let keys = vec![9usize, 5, 3]; // leaf 2 first, then leaf 1
+        let s = list_schedule(&t, 1, &keys);
+        assert!(s.placement(NodeId(2)).start < s.placement(NodeId(1)).start);
+    }
+
+    #[test]
+    fn inner_node_scheduled_when_ready() {
+        // chain: with 4 processors only one can be busy at a time
+        let t = TaskTree::chain(5, 2.0, 1.0, 0.0);
+        let keys = keys_from_order(&t, &t.postorder());
+        let s = list_schedule(&t, 4, &keys);
+        assert_eq!(s.makespan(), 10.0);
+        assert_eq!(s.max_concurrency(), 1);
+    }
+
+    #[test]
+    fn work_conserving_no_idle_when_ready() {
+        // list scheduling never leaves a processor idle while a task is
+        // ready: on the fork, leaves are packed tightly
+        let t = TaskTree::fork(7, 1.0, 1.0, 0.0);
+        let keys = keys_from_order(&t, &t.postorder());
+        let s = list_schedule(&t, 2, &keys);
+        assert_eq!(s.makespan(), 5.0); // ceil(7/2) = 4 slots, then root
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_processors_panics() {
+        let t = TaskTree::chain(2, 1.0, 1.0, 0.0);
+        let keys = keys_from_order(&t, &t.postorder());
+        let _ = list_schedule(&t, 0, &keys);
+    }
+}

@@ -1,0 +1,337 @@
+//! Memory-capped list scheduling — the paper's stated future work (§7:
+//! *"we will consider designing scheduling algorithms that take as input a
+//! cap on the memory usage"*).
+//!
+//! Two admission policies are provided:
+//!
+//! * [`Admission::SequentialOrder`] (default, **safe**): tasks may only
+//!   *start* in the order of a reference sequential traversal `σ` (children
+//!   of a task precede it in `σ`, so dependencies are compatible). Multiple
+//!   consecutive `σ`-tasks run concurrently when memory allows. Key
+//!   property: if every started task has finished, the resident memory
+//!   equals the sequential resident memory before the next `σ`-step, so
+//!   whenever `cap ≥ peak(σ)` the next task *always* fits — the scheduler
+//!   never deadlocks and **never exceeds the cap**. This is the
+//!   "activation order" idea later formalized by the authors' follow-up
+//!   work on memory-bounded tree scheduling.
+//! * [`Admission::Greedy`]: scan the ready queue in priority order and
+//!   start anything that fits. More parallelism-seeking, but it can paint
+//!   itself into a corner (fill memory with leaf outputs whose parents no
+//!   longer fit) and then must *force-admit* a task over the cap to make
+//!   progress; each forced admission is counted as a violation. Note the
+//!   skip-scan costs `O(ready)` per event once memory is saturated —
+//!   `O(n · width)` worst case — so this policy is a comparison baseline,
+//!   not the production path.
+//!
+//! A run reporting `violations == 0` stayed under the cap throughout.
+
+use crate::listsched::TotalF64;
+use crate::schedule::{Placement, Schedule};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use treesched_model::{NodeId, TaskTree};
+
+/// Admission policy of the memory-capped scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Start tasks in the reference sequential order; safe for any cap at
+    /// least the sequential traversal's peak.
+    #[default]
+    SequentialOrder,
+    /// Start any ready task that fits, in priority order; may violate an
+    /// otherwise-feasible cap.
+    Greedy,
+}
+
+/// Outcome of a memory-capped scheduling run.
+#[derive(Clone, Debug)]
+pub struct MemBoundedRun {
+    /// The produced schedule (always dependency- and processor-valid).
+    pub schedule: Schedule,
+    /// Number of forced admissions that exceeded the cap.
+    pub violations: usize,
+    /// Peak memory actually reached.
+    pub peak_memory: f64,
+}
+
+struct State {
+    resident: f64,
+    peak: f64,
+    running: usize,
+    violations: usize,
+    free_procs: Vec<u32>,
+    proc_of: Vec<u32>,
+    placements: Vec<Placement>,
+}
+
+impl State {
+    fn start(
+        &mut self,
+        tree: &TaskTree,
+        node: NodeId,
+        t: f64,
+        events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+    ) {
+        let proc = self.free_procs.pop().expect("caller checked a processor is free");
+        let finish = t + tree.work(node);
+        self.placements[node.index()] = Placement { proc, start: t, finish };
+        self.proc_of[node.index()] = proc;
+        events.push(Reverse((TotalF64(finish), node)));
+        self.resident += tree.exec(node) + tree.output(node);
+        self.peak = self.peak.max(self.resident);
+        self.running += 1;
+    }
+}
+
+/// Memory-capped scheduling of `tree` on `p` processors under `cap`.
+///
+/// `order` is the reference sequential traversal (typically
+/// [`treesched_seq::best_postorder`]); under [`Admission::SequentialOrder`]
+/// it is also the activation order, and under [`Admission::Greedy`] it
+/// provides the ready-queue priorities.
+///
+/// # Panics
+///
+/// Panics when `p == 0` or when `order` is not a permutation of the nodes.
+pub fn mem_bounded_schedule(
+    tree: &TaskTree,
+    p: u32,
+    order: &[NodeId],
+    cap: f64,
+    policy: Admission,
+) -> MemBoundedRun {
+    assert!(p > 0, "need at least one processor");
+    let n = tree.len();
+    assert_eq!(order.len(), n, "order must cover every task");
+    let eps = 1e-9 * (1.0 + cap.abs());
+    let pos = treesched_model::io::positions(n, order);
+
+    let mut events: BinaryHeap<Reverse<(TotalF64, NodeId)>> = BinaryHeap::new();
+    let mut done = vec![false; n];
+    let mut remaining_children: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId::from_index(i)).len())
+        .collect();
+    // Greedy: ready min-heap keyed by σ-position. SequentialOrder: cursor.
+    let mut ready: BinaryHeap<Reverse<(usize, NodeId)>> = BinaryHeap::new();
+    if policy == Admission::Greedy {
+        for i in tree.ids() {
+            if tree.is_leaf(i) {
+                ready.push(Reverse((pos[i.index()], i)));
+            }
+        }
+    }
+    let mut cursor = 0usize; // next σ-index to start (SequentialOrder)
+
+    let mut st = State {
+        resident: 0.0,
+        peak: 0.0,
+        running: 0,
+        violations: 0,
+        free_procs: (0..p).rev().collect(),
+        proc_of: vec![0; n],
+        placements: vec![Placement { proc: 0, start: f64::NAN, finish: f64::NAN }; n],
+    };
+
+    let admit_sequential = |st: &mut State,
+                            cursor: &mut usize,
+                            t: f64,
+                            done: &[bool],
+                            events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+        while *cursor < n && !st.free_procs.is_empty() {
+            let node = order[*cursor];
+            if !tree.children(node).iter().all(|c| done[c.index()]) {
+                break; // a child is still running; wait for its event
+            }
+            let footprint = tree.exec(node) + tree.output(node);
+            if st.resident + footprint <= cap + eps {
+                st.start(tree, node, t, events);
+                *cursor += 1;
+            } else if st.running == 0 {
+                // cap below the sequential peak: force through, count it
+                st.start(tree, node, t, events);
+                st.violations += 1;
+                *cursor += 1;
+            } else {
+                break; // wait for running tasks to release memory
+            }
+        }
+    };
+
+    let admit_greedy = |st: &mut State,
+                        ready: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
+                        t: f64,
+                        events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+        let mut skipped: Vec<(usize, NodeId)> = Vec::new();
+        while !st.free_procs.is_empty() {
+            let Some(Reverse((k, node))) = ready.pop() else { break };
+            let footprint = tree.exec(node) + tree.output(node);
+            if st.resident + footprint <= cap + eps {
+                st.start(tree, node, t, events);
+            } else {
+                skipped.push((k, node));
+            }
+        }
+        if st.running == 0 && !st.free_procs.is_empty() && !skipped.is_empty() {
+            // nothing fits and nothing runs: force the cheapest through
+            let (j, _) = skipped
+                .iter()
+                .enumerate()
+                .min_by(|(_, (_, a)), (_, (_, b))| {
+                    (tree.exec(*a) + tree.output(*a))
+                        .total_cmp(&(tree.exec(*b) + tree.output(*b)))
+                })
+                .expect("nonempty");
+            let (_, node) = skipped.swap_remove(j);
+            st.start(tree, node, t, events);
+            st.violations += 1;
+        }
+        for e in skipped {
+            ready.push(Reverse(e));
+        }
+    };
+
+    match policy {
+        Admission::SequentialOrder => {
+            admit_sequential(&mut st, &mut cursor, 0.0, &done, &mut events)
+        }
+        Admission::Greedy => admit_greedy(&mut st, &mut ready, 0.0, &mut events),
+    }
+
+    while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
+        while let Some(&Reverse((TotalF64(tf), node))) = events.peek() {
+            if tf > t {
+                break;
+            }
+            events.pop();
+            st.free_procs.push(st.proc_of[node.index()]);
+            st.running -= 1;
+            st.resident -= tree.exec(node) + tree.input_size(node);
+            done[node.index()] = true;
+            if policy == Admission::Greedy {
+                if let Some(parent) = tree.parent(node) {
+                    let r = &mut remaining_children[parent.index()];
+                    *r -= 1;
+                    if *r == 0 {
+                        ready.push(Reverse((pos[parent.index()], parent)));
+                    }
+                }
+            }
+        }
+        match policy {
+            Admission::SequentialOrder => {
+                admit_sequential(&mut st, &mut cursor, t, &done, &mut events)
+            }
+            Admission::Greedy => admit_greedy(&mut st, &mut ready, t, &mut events),
+        }
+    }
+
+    debug_assert!(policy == Admission::Greedy || cursor == n);
+    MemBoundedRun {
+        schedule: Schedule { processors: p, placements: st.placements },
+        violations: st.violations,
+        peak_memory: st.peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::memory_reference;
+    use treesched_model::TaskTree;
+    use treesched_seq::best_postorder;
+
+    fn run(tree: &TaskTree, p: u32, cap: f64, policy: Admission) -> MemBoundedRun {
+        let order = best_postorder(tree).order;
+        mem_bounded_schedule(tree, p, &order, cap, policy)
+    }
+
+    #[test]
+    fn generous_cap_behaves_like_unbounded() {
+        let t = TaskTree::fork(6, 1.0, 1.0, 0.0);
+        for policy in [Admission::SequentialOrder, Admission::Greedy] {
+            let r = run(&t, 3, 1e12, policy);
+            assert_eq!(r.violations, 0);
+            assert!(r.schedule.validate(&t).is_ok());
+            assert_eq!(r.peak_memory, r.schedule.peak_memory(&t));
+        }
+        // greedy with ample memory packs the leaves: 6/3 + root = 3
+        assert_eq!(run(&t, 3, 1e12, Admission::Greedy).schedule.makespan(), 3.0);
+    }
+
+    /// The safety theorem for the sequential-activation policy: any cap at
+    /// least the reference traversal's peak yields zero violations and a
+    /// peak within the cap.
+    #[test]
+    fn sequential_policy_is_safe_at_reference_cap() {
+        let trees = [
+            TaskTree::complete(2, 5, 1.0, 1.0, 0.0),
+            TaskTree::complete(3, 3, 1.0, 2.0, 0.5),
+            TaskTree::fork(17, 1.0, 3.0, 1.0),
+            TaskTree::chain(25, 2.0, 4.0, 1.0),
+        ];
+        for t in &trees {
+            let mseq = memory_reference(t);
+            for p in [1u32, 2, 4, 8] {
+                let r = run(t, p, mseq, Admission::SequentialOrder);
+                assert_eq!(r.violations, 0, "p={p}");
+                assert!(r.peak_memory <= mseq + 1e-9, "p={p}");
+                assert!(r.schedule.validate(t).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_can_violate_where_sequential_does_not() {
+        // Binary tree: greedy grabs leaves across subtrees and strands
+        // itself; sequential-order stays feasible at the same cap.
+        let t = TaskTree::complete(2, 5, 1.0, 1.0, 0.0);
+        let mseq = memory_reference(&t);
+        let seq = run(&t, 8, mseq, Admission::SequentialOrder);
+        let greedy = run(&t, 8, mseq, Admission::Greedy);
+        assert_eq!(seq.violations, 0);
+        assert!(greedy.violations > 0, "greedy should strand itself here");
+    }
+
+    #[test]
+    fn cap_trades_makespan_for_memory() {
+        let t = TaskTree::complete(2, 6, 1.0, 1.0, 0.0);
+        let p = 8;
+        let loose = run(&t, p, 1e12, Admission::SequentialOrder);
+        let mseq = memory_reference(&t);
+        let tight = run(&t, p, mseq, Admission::SequentialOrder);
+        assert_eq!(tight.violations, 0);
+        assert!(tight.peak_memory <= mseq + 1e-9);
+        assert!(loose.peak_memory >= tight.peak_memory);
+        assert!(loose.schedule.makespan() <= tight.schedule.makespan() + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_cap_still_completes_with_violations() {
+        let t = TaskTree::complete(2, 3, 1.0, 5.0, 2.0);
+        for policy in [Admission::SequentialOrder, Admission::Greedy] {
+            let r = run(&t, 2, 0.5, policy);
+            assert!(r.schedule.validate(&t).is_ok());
+            assert!(r.violations > 0);
+            assert_eq!(r.peak_memory, r.schedule.peak_memory(&t));
+        }
+    }
+
+    #[test]
+    fn chain_cap_two_is_exact() {
+        let t = TaskTree::chain(20, 1.0, 1.0, 0.0);
+        let r = run(&t, 4, 2.0, Admission::SequentialOrder);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.peak_memory, 2.0);
+        assert_eq!(r.schedule.makespan(), 20.0);
+    }
+
+    #[test]
+    fn sequential_policy_parallelizes_when_memory_allows() {
+        // fork with ample cap: consecutive σ-leaves start concurrently
+        let t = TaskTree::fork(8, 1.0, 1.0, 0.0);
+        let r = run(&t, 4, 100.0, Admission::SequentialOrder);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.schedule.makespan(), 3.0); // 8 leaves / 4 procs + root
+        assert_eq!(r.schedule.max_concurrency(), 4);
+    }
+}

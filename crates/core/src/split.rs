@@ -1,0 +1,337 @@
+//! `SplitSubtrees` (paper Algorithm 2): makespan-optimal splitting of the
+//! tree into subtrees for [`crate::heuristics::par_subtrees`].
+//!
+//! The splitting process repeatedly replaces the heaviest subtree (by total
+//! work `W`) with its children, recording after each step the predicted
+//! `ParSubtrees` makespan
+//!
+//! ```text
+//! Cmax(s) = W_head(PQ) + Σ_{i ∈ seqSet} w_i + Σ_{i = PQ[p+1..]} W_i
+//! ```
+//!
+//! i.e. the heaviest remaining subtree (parallel phase) plus all popped
+//! nodes and all *surplus* subtrees beyond the `p` largest (sequential
+//! phase). The recorded splitting with minimal cost is returned; by the
+//! paper's Lemma 1 it is makespan-optimal for the `ParSubtrees` scheme.
+//!
+//! Complexity: `O(n log n)` via a two-set (top-`p` / rest) ordered
+//! structure, matching the paper's `O(n(log n + p))` analysis.
+
+use crate::listsched::TotalF64;
+use std::collections::BTreeSet;
+use treesched_model::{NodeId, TaskTree};
+
+/// Priority-queue key: non-increasing `W_i`, ties by non-increasing `w_i`
+/// (paper §5.1), final tie by id. Stored ascending; `last()` is the head.
+type Key = (TotalF64, TotalF64, u32);
+
+/// Ordered multiset split into the `p` largest elements (`top`) and the
+/// rest, with running sums of `W` over each part.
+struct TopP {
+    p: usize,
+    top: BTreeSet<Key>,
+    rest: BTreeSet<Key>,
+    rest_w_sum: f64,
+}
+
+impl TopP {
+    fn new(p: usize) -> Self {
+        TopP { p, top: BTreeSet::new(), rest: BTreeSet::new(), rest_w_sum: 0.0 }
+    }
+
+    fn len(&self) -> usize {
+        self.top.len() + self.rest.len()
+    }
+
+    fn insert(&mut self, k: Key) {
+        // invariant: `rest` is nonempty only while `top` holds `p` elements,
+        // so filling `top` first never strands a larger key in `rest`
+        debug_assert!(self.rest.is_empty() || self.top.len() == self.p);
+        if self.top.len() < self.p {
+            self.top.insert(k);
+            return;
+        }
+        let min_top = *self.top.first().expect("top nonempty when full");
+        if k > min_top {
+            self.top.remove(&min_top);
+            self.rest.insert(min_top);
+            self.rest_w_sum += min_top.0 .0;
+            self.top.insert(k);
+        } else {
+            self.rest.insert(k);
+            self.rest_w_sum += k.0 .0;
+        }
+    }
+
+    /// The head of the queue: the globally largest key.
+    fn head(&self) -> Option<Key> {
+        self.top.last().copied()
+    }
+
+    fn pop_head(&mut self) -> Key {
+        debug_assert!(self.len() > 0, "pop from empty queue");
+        let k = *self.top.last().expect("pop from nonempty queue");
+        self.top.remove(&k);
+        if let Some(&promote) = self.rest.last() {
+            self.rest.remove(&promote);
+            self.rest_w_sum -= promote.0 .0;
+            self.top.insert(promote);
+        }
+        k
+    }
+
+    /// `Σ W_i` over the elements beyond the `p` largest.
+    fn surplus_w(&self) -> f64 {
+        self.rest_w_sum
+    }
+}
+
+/// Result of `SplitSubtrees`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Split {
+    /// Roots of the `q ≤ p` subtrees processed in parallel, by
+    /// non-increasing `W`.
+    pub parallel_roots: Vec<NodeId>,
+    /// Roots of the surplus subtrees (beyond the `p` largest), processed
+    /// sequentially, by non-increasing `W`.
+    pub surplus_roots: Vec<NodeId>,
+    /// Nodes popped into the sequential set (the "top" of the tree, where
+    /// the parallel subtrees merge), in pop order.
+    pub seq_nodes: Vec<NodeId>,
+    /// Predicted `ParSubtrees` makespan of this splitting (equals the real
+    /// makespan of the schedule built from it).
+    pub cost: f64,
+    /// Number of pop steps performed to reach this splitting.
+    pub steps: usize,
+}
+
+fn key_of(tree: &TaskTree, subtree_w: &[f64], v: NodeId) -> Key {
+    (
+        TotalF64(subtree_w[v.index()]),
+        TotalF64(tree.work(v)),
+        // larger id = larger key; irrelevant for correctness, fixes ties
+        v.0,
+    )
+}
+
+/// Node id back out of a key.
+fn node_of(k: Key) -> NodeId {
+    NodeId(k.2)
+}
+
+/// Runs Algorithm 2 and returns the cost-minimal splitting.
+///
+/// # Panics
+///
+/// Panics when `p == 0`.
+pub fn split_subtrees(tree: &TaskTree, p: usize) -> Split {
+    assert!(p > 0, "need at least one processor");
+    let subtree_w = tree.subtree_work();
+
+    // Pass 1: find the number of pops minimizing the cost.
+    let (best_steps, best_cost) = {
+        let mut pq = TopP::new(p);
+        pq.insert(key_of(tree, &subtree_w, tree.root()));
+        let mut seq_w = 0.0f64;
+        let mut best = (0usize, subtree_w[tree.root().index()]);
+        let mut s = 0usize;
+        loop {
+            let head = pq.head().expect("queue never empties");
+            let (TotalF64(w_sub), TotalF64(w_node), _) = head;
+            if w_sub <= w_node {
+                break; // head subtree is a single task (or zero-work chain)
+            }
+            let popped = node_of(pq.pop_head());
+            seq_w += tree.work(popped);
+            for &c in tree.children(popped) {
+                pq.insert(key_of(tree, &subtree_w, c));
+            }
+            s += 1;
+            let head_w = pq.head().map_or(0.0, |k| k.0 .0);
+            let cost = head_w + seq_w + pq.surplus_w();
+            if cost < best.1 {
+                best = (s, cost);
+            }
+        }
+        best
+    };
+
+    // Pass 2: replay to the chosen step and extract the sets.
+    let mut pq = TopP::new(p);
+    pq.insert(key_of(tree, &subtree_w, tree.root()));
+    let mut seq_nodes = Vec::with_capacity(best_steps);
+    for _ in 0..best_steps {
+        let popped = node_of(pq.pop_head());
+        seq_nodes.push(popped);
+        for &c in tree.children(popped) {
+            pq.insert(key_of(tree, &subtree_w, c));
+        }
+    }
+    let parallel_roots: Vec<NodeId> = pq.top.iter().rev().map(|&k| node_of(k)).collect();
+    let surplus_roots: Vec<NodeId> = pq.rest.iter().rev().map(|&k| node_of(k)).collect();
+    Split {
+        parallel_roots,
+        surplus_roots,
+        seq_nodes,
+        cost: best_cost,
+        steps: best_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_model::{TaskTree, TreeBuilder};
+
+    #[test]
+    fn single_node_no_split() {
+        let t = TaskTree::chain(1, 3.0, 1.0, 0.0);
+        let s = split_subtrees(&t, 4);
+        assert_eq!(s.parallel_roots, vec![t.root()]);
+        assert!(s.surplus_roots.is_empty());
+        assert!(s.seq_nodes.is_empty());
+        assert_eq!(s.cost, 3.0);
+    }
+
+    /// Paper Figure 3: a fork with `p·k` unit leaves. The chosen splitting
+    /// pops the root and costs `p(k-1) + 2`.
+    #[test]
+    fn fork_split_matches_paper() {
+        let (p, k) = (3usize, 4usize);
+        let t = TaskTree::fork(p * k, 1.0, 1.0, 0.0);
+        let s = split_subtrees(&t, p);
+        assert_eq!(s.seq_nodes, vec![t.root()]);
+        assert_eq!(s.parallel_roots.len(), p);
+        assert_eq!(s.surplus_roots.len(), p * k - p);
+        assert_eq!(s.cost, (p * (k - 1) + 2) as f64);
+    }
+
+    #[test]
+    fn balanced_binary_splits_to_fill_processors() {
+        // complete binary tree, 2 processors: splitting once gives two equal
+        // subtrees
+        let t = TaskTree::complete(2, 3, 1.0, 1.0, 0.0);
+        let s = split_subtrees(&t, 2);
+        assert_eq!(s.seq_nodes.first(), Some(&t.root()));
+        assert_eq!(s.parallel_roots.len(), 2);
+        // each child subtree has 7 nodes; cost = 7 + 1 = 8 with no surplus
+        assert_eq!(s.cost, 8.0);
+        assert!(s.surplus_roots.is_empty());
+    }
+
+    #[test]
+    fn chain_never_benefits_from_splitting() {
+        // splitting a chain only adds sequential work
+        let t = TaskTree::chain(10, 1.0, 1.0, 0.0);
+        let s = split_subtrees(&t, 4);
+        // cost of not splitting = 10; every split costs the same 10
+        // (seq top + remaining chain), so the first recorded minimum (s=0)
+        // wins
+        assert_eq!(s.cost, 10.0);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.parallel_roots, vec![t.root()]);
+    }
+
+    #[test]
+    fn ties_broken_by_node_work() {
+        // two subtrees of equal W; the one whose root has larger w pops
+        // first
+        let mut b = TreeBuilder::new();
+        let r = b.node(0.0, 1.0, 0.0);
+        let a = b.child(r, 3.0, 1.0, 0.0); // W = 4, w = 3
+        b.child(a, 1.0, 1.0, 0.0);
+        let c = b.child(r, 1.0, 1.0, 0.0); // W = 4, w = 1
+        b.child(c, 3.0, 1.0, 0.0);
+        let t = b.build().unwrap();
+        let s = split_subtrees(&t, 2);
+        // after popping root (W=8 > w=0): PQ has a and c, both W=4.
+        // head must be `a` (w=3 > w=1).
+        assert!(s.seq_nodes.contains(&r));
+        if s.seq_nodes.len() > 1 {
+            assert_eq!(s.seq_nodes[1], a);
+        }
+    }
+
+    #[test]
+    fn cost_is_minimum_over_all_recorded_steps() {
+        // brute-force check on a modest random-ish tree: replaying every
+        // step and evaluating the cost formula directly
+        let mut b = TreeBuilder::new();
+        let r = b.node(2.0, 1.0, 0.0);
+        let x = b.child(r, 5.0, 1.0, 0.0);
+        let y = b.child(r, 3.0, 1.0, 0.0);
+        for _ in 0..4 {
+            b.child(x, 2.0, 1.0, 0.0);
+        }
+        for _ in 0..3 {
+            b.child(y, 4.0, 1.0, 0.0);
+        }
+        let t = b.build().unwrap();
+        let p = 2;
+        let s = split_subtrees(&t, p);
+
+        // naive replay computing every cost
+        let w = t.subtree_work();
+        let mut pq: Vec<NodeId> = vec![t.root()];
+        let sortkey = |v: &NodeId| {
+            (std::cmp::Reverse(TotalF64(w[v.index()])), std::cmp::Reverse(TotalF64(t.work(*v))))
+        };
+        let mut seqw = 0.0;
+        let mut best = w[t.root().index()];
+        loop {
+            pq.sort_by_key(|v| sortkey(v));
+            let head = pq[0];
+            if w[head.index()] <= t.work(head) {
+                break;
+            }
+            pq.remove(0);
+            seqw += t.work(head);
+            pq.extend_from_slice(t.children(head));
+            pq.sort_by_key(|v| sortkey(v));
+            let head_w = pq.first().map_or(0.0, |v| w[v.index()]);
+            let surplus: f64 = pq.iter().skip(p).map(|v| w[v.index()]).sum();
+            let cost = head_w + seqw + surplus;
+            if cost < best {
+                best = cost;
+            }
+        }
+        assert_eq!(s.cost, best);
+    }
+
+    #[test]
+    fn parallel_roots_are_disjoint_subtrees_covering_rest() {
+        let t = TaskTree::complete(3, 3, 1.0, 1.0, 0.0);
+        let s = split_subtrees(&t, 4);
+        // no parallel root is an ancestor of another
+        let depths = t.depths();
+        for &a in &s.parallel_roots {
+            let mut anc = t.parent(a);
+            while let Some(x) = anc {
+                assert!(!s.parallel_roots.contains(&x));
+                assert!(!s.surplus_roots.contains(&x));
+                anc = t.parent(x);
+            }
+            let _ = depths;
+        }
+        // counts add up: seq nodes + all subtree sizes = n
+        let sizes = t.subtree_sizes();
+        let covered: usize = s
+            .parallel_roots
+            .iter()
+            .chain(&s.surplus_roots)
+            .map(|v| sizes[v.index()])
+            .sum();
+        assert_eq!(covered + s.seq_nodes.len(), t.len());
+    }
+
+    #[test]
+    fn more_processors_never_increase_cost() {
+        let t = TaskTree::complete(2, 5, 1.0, 1.0, 0.0);
+        let mut prev = f64::INFINITY;
+        for p in [1, 2, 4, 8, 16] {
+            let s = split_subtrees(&t, p);
+            assert!(s.cost <= prev + 1e-9, "p={p}: {} > {prev}", s.cost);
+            prev = s.cost;
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Random and parametric tree generators for tests and stress experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treesched_model::{TaskTree, TreeBuilder};
+
+/// Weight ranges for random trees: each node draws `w`, `f`, `n` uniformly
+/// from the given inclusive integer ranges (integers keep `f64` memory
+/// arithmetic exact).
+#[derive(Clone, Copy, Debug)]
+pub struct WeightRange {
+    /// Processing-time range.
+    pub work: (u64, u64),
+    /// Output-file range.
+    pub output: (u64, u64),
+    /// Execution-file range.
+    pub exec: (u64, u64),
+}
+
+impl WeightRange {
+    /// Pebble-game weights: `w = f = 1`, `n = 0`.
+    pub const PEBBLE: WeightRange = WeightRange {
+        work: (1, 1),
+        output: (1, 1),
+        exec: (0, 0),
+    };
+
+    /// A generic mixed range for stress tests.
+    pub const MIXED: WeightRange = WeightRange {
+        work: (1, 20),
+        output: (1, 50),
+        exec: (0, 10),
+    };
+}
+
+fn sample(rng: &mut StdRng, (lo, hi): (u64, u64)) -> f64 {
+    if lo == hi {
+        lo as f64
+    } else {
+        rng.gen_range(lo..=hi) as f64
+    }
+}
+
+/// Uniform random attachment tree: node `i ≥ 1` picks its parent uniformly
+/// from `0..i` (node 0 is the root). Produces shallow, bushy trees.
+pub fn random_attachment(n: usize, weights: WeightRange, seed: u64) -> TaskTree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::with_capacity(n);
+    let root = b.node(
+        sample(&mut rng, weights.work),
+        sample(&mut rng, weights.output),
+        sample(&mut rng, weights.exec),
+    );
+    let mut ids = vec![root];
+    for i in 1..n {
+        let parent = ids[rng.gen_range(0..i)];
+        ids.push(b.child(
+            parent,
+            sample(&mut rng, weights.work),
+            sample(&mut rng, weights.output),
+            sample(&mut rng, weights.exec),
+        ));
+    }
+    b.build().expect("random attachment tree is valid")
+}
+
+/// Depth-biased random tree: node `i` attaches to one of the `k` most
+/// recently added nodes, producing deep, chain-heavy trees (elimination-
+/// tree-like shapes).
+pub fn random_deep(n: usize, window: usize, weights: WeightRange, seed: u64) -> TaskTree {
+    assert!(n >= 1 && window >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::with_capacity(n);
+    let root = b.node(
+        sample(&mut rng, weights.work),
+        sample(&mut rng, weights.output),
+        sample(&mut rng, weights.exec),
+    );
+    let mut recent = vec![root];
+    for _ in 1..n {
+        let lo = recent.len().saturating_sub(window);
+        let parent = recent[rng.gen_range(lo..recent.len())];
+        let id = b.child(
+            parent,
+            sample(&mut rng, weights.work),
+            sample(&mut rng, weights.output),
+            sample(&mut rng, weights.exec),
+        );
+        recent.push(id);
+    }
+    b.build().expect("random deep tree is valid")
+}
+
+/// Caterpillar: a spine of `spine` nodes, each with `legs` leaf children
+/// (pebble weights).
+pub fn caterpillar(spine: usize, legs: usize) -> TaskTree {
+    assert!(spine >= 1);
+    let mut b = TreeBuilder::new();
+    let root = b.node(1.0, 1.0, 0.0);
+    let mut cur = root;
+    for i in 0..spine {
+        b.pebble_leaves(cur, legs);
+        if i + 1 < spine {
+            cur = b.pebble_child(cur);
+        }
+    }
+    b.build().expect("caterpillar is valid")
+}
+
+/// Spider: `legs` chains of `len` nodes meeting at the root (pebble
+/// weights).
+pub fn spider(legs: usize, len: usize) -> TaskTree {
+    assert!(legs >= 1 && len >= 1);
+    let mut b = TreeBuilder::new();
+    let root = b.node(1.0, 1.0, 0.0);
+    for _ in 0..legs {
+        let mut cur = b.pebble_child(root);
+        for _ in 1..len {
+            cur = b.pebble_child(cur);
+        }
+    }
+    b.build().expect("spider is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_model::ValidateExt;
+
+    #[test]
+    fn random_attachment_is_valid_and_deterministic() {
+        let a = random_attachment(500, WeightRange::MIXED, 1);
+        let b = random_attachment(500, WeightRange::MIXED, 1);
+        let c = random_attachment(500, WeightRange::MIXED, 2);
+        assert!(a.validate().is_ok());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn random_attachment_is_shallow() {
+        let t = random_attachment(2000, WeightRange::PEBBLE, 3);
+        // expected height ~ ln(n); anything below 60 is fine
+        assert!(t.height() < 60, "height {}", t.height());
+    }
+
+    #[test]
+    fn random_deep_is_deep() {
+        let t = random_deep(2000, 3, WeightRange::PEBBLE, 3);
+        assert!(t.validate().is_ok());
+        assert!(t.height() > 200, "height {}", t.height());
+    }
+
+    #[test]
+    fn pebble_range_produces_unit_weights() {
+        let t = random_attachment(50, WeightRange::PEBBLE, 9);
+        for i in t.ids() {
+            assert_eq!(t.work(i), 1.0);
+            assert_eq!(t.output(i), 1.0);
+            assert_eq!(t.exec(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let t = caterpillar(4, 3);
+        assert_eq!(t.len(), 4 + 12);
+        assert_eq!(t.leaf_count(), 12); // every leg is a leaf, no spine node is
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn spider_counts() {
+        let t = spider(5, 4);
+        assert_eq!(t.len(), 21);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.height(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Incremental construction of task trees.
+
+use crate::tree::Node;
+use crate::{NodeId, TaskTree, TreeError};
+
+/// Incremental builder for [`TaskTree`].
+///
+/// The first node created with [`TreeBuilder::node`] becomes the root;
+/// further nodes are attached with [`TreeBuilder::child`]. Weights are given
+/// as `(w, f, n)` = (processing time, output-file size, execution-file size),
+/// matching the paper's notation.
+///
+/// ```
+/// use treesched_model::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// let root = b.node(2.0, 0.0, 1.0);
+/// let a = b.child(root, 1.0, 4.0, 1.0);
+/// let _b = b.child(a, 1.0, 3.0, 1.0);
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        TreeBuilder {
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a root-level node (only the first one may be created this way;
+    /// [`build`](Self::build) fails otherwise). Returns its id.
+    pub fn node(&mut self, w: f64, f: f64, n: f64) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            parent: None,
+            children: Vec::new(),
+            work: w,
+            output: f,
+            exec: n,
+        });
+        id
+    }
+
+    /// Adds a child of `parent` with weights `(w, f, n)`. Returns its id.
+    pub fn child(&mut self, parent: NodeId, w: f64, f: f64, n: f64) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            work: w,
+            output: f,
+            exec: n,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Adds a pebble-game child (`w = f = 1`, `n = 0`).
+    pub fn pebble_child(&mut self, parent: NodeId) -> NodeId {
+        self.child(parent, 1.0, 1.0, 0.0)
+    }
+
+    /// Adds `count` pebble-game leaf children under `parent`.
+    pub fn pebble_leaves(&mut self, parent: NodeId, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.pebble_child(parent)).collect()
+    }
+
+    /// Finalizes the tree, checking there is exactly one root and that the
+    /// structure is connected and acyclic.
+    pub fn build(self) -> Result<TaskTree, TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        let mut root = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.parent.is_none() && root.replace(NodeId::from_index(i)).is_some() {
+                return Err(TreeError::MultipleRoots);
+            }
+        }
+        let root = root.ok_or(TreeError::NoRoot)?;
+        let tree = TaskTree {
+            nodes: self.nodes,
+            root,
+        };
+        tree.check_connected()?;
+        Ok(tree)
+    }
+}
+
+impl TaskTree {
+    /// A chain of `len` tasks with uniform weights; entry `0` is the root and
+    /// the last node is the single leaf. `(w, f, n)` apply to every node.
+    pub fn chain(len: usize, w: f64, f: f64, n: f64) -> TaskTree {
+        assert!(len >= 1, "chain needs at least one node");
+        let mut b = TreeBuilder::with_capacity(len);
+        let mut cur = b.node(w, f, n);
+        for _ in 1..len {
+            cur = b.child(cur, w, f, n);
+        }
+        b.build().expect("chain is a valid tree")
+    }
+
+    /// A root with `leaves` leaf children (the *fork* of paper Fig. 3), with
+    /// uniform weights.
+    pub fn fork(leaves: usize, w: f64, f: f64, n: f64) -> TaskTree {
+        let mut b = TreeBuilder::with_capacity(leaves + 1);
+        let root = b.node(w, f, n);
+        for _ in 0..leaves {
+            b.child(root, w, f, n);
+        }
+        b.build().expect("fork is a valid tree")
+    }
+
+    /// A complete `arity`-ary tree of the given `depth` (depth 0 = single
+    /// node), with uniform weights.
+    pub fn complete(arity: usize, depth: usize, w: f64, f: f64, n: f64) -> TaskTree {
+        assert!(arity >= 1);
+        let mut b = TreeBuilder::new();
+        let root = b.node(w, f, n);
+        let mut frontier = vec![root];
+        for _ in 0..depth {
+            let mut next = Vec::with_capacity(frontier.len() * arity);
+            for &p in &frontier {
+                for _ in 0..arity {
+                    next.push(b.child(p, w, f, n));
+                }
+            }
+            frontier = next;
+        }
+        b.build().expect("complete tree is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValidateExt;
+
+    #[test]
+    fn builder_builds_valid_tree() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        let a = b.child(r, 1.0, 1.0, 0.0);
+        b.child(a, 1.0, 1.0, 0.0);
+        b.pebble_leaves(r, 3);
+        let t = b.build().unwrap();
+        assert_eq!(t.len(), 6);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.children(r).len(), 4);
+    }
+
+    #[test]
+    fn builder_rejects_two_roots() {
+        let mut b = TreeBuilder::new();
+        b.node(1.0, 1.0, 0.0);
+        b.node(1.0, 1.0, 0.0);
+        assert!(matches!(b.build(), Err(TreeError::MultipleRoots)));
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(matches!(TreeBuilder::new().build(), Err(TreeError::Empty)));
+    }
+
+    #[test]
+    fn chain_shape() {
+        let t = TaskTree::chain(4, 1.0, 2.0, 0.5);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.root(), NodeId(0));
+        assert!(t.is_leaf(NodeId(3)));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn fork_shape() {
+        let t = TaskTree::fork(5, 1.0, 1.0, 0.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.leaf_count(), 5);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn complete_tree_counts() {
+        let t = TaskTree::complete(2, 3, 1.0, 1.0, 0.0);
+        assert_eq!(t.len(), 15); // 1 + 2 + 4 + 8
+        assert_eq!(t.leaf_count(), 8);
+        let t = TaskTree::complete(3, 2, 1.0, 1.0, 0.0);
+        assert_eq!(t.len(), 13); // 1 + 3 + 9
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn chain_zero_panics() {
+        let _ = TaskTree::chain(0, 1.0, 1.0, 0.0);
+    }
+}

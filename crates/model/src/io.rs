@@ -1,0 +1,269 @@
+//! Plain-text interchange format and DOT export.
+//!
+//! The text format is line-oriented and self-describing:
+//!
+//! ```text
+//! # treesched tree v1
+//! # columns: id parent w f n      (parent = -1 for the root)
+//! 0 -1 1.0 1.0 0.0
+//! 1 0 1.0 1.0 0.0
+//! 2 0 1.0 1.0 0.0
+//! ```
+//!
+//! Ids must be dense `0..n`. Lines starting with `#` and blank lines are
+//! ignored. This keeps the corpus files diff-able and avoids any external
+//! serialization dependency.
+
+use crate::{NodeId, TaskTree, TreeError};
+use std::fmt::Write as _;
+
+/// Serializes `tree` into the v1 text format.
+pub fn to_text(tree: &TaskTree) -> String {
+    let mut s = String::with_capacity(tree.len() * 24 + 64);
+    s.push_str("# treesched tree v1\n");
+    s.push_str("# columns: id parent w f n\n");
+    for i in tree.ids() {
+        let p = tree
+            .parent(i)
+            .map_or(-1i64, |p| p.index() as i64);
+        let _ = writeln!(
+            s,
+            "{} {} {} {} {}",
+            i.index(),
+            p,
+            tree.work(i),
+            tree.output(i),
+            tree.exec(i)
+        );
+    }
+    s
+}
+
+/// Errors raised while parsing the text format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// A data line did not have exactly five whitespace-separated fields.
+    BadLine { line: usize },
+    /// A field failed to parse as a number.
+    BadNumber { line: usize, field: &'static str },
+    /// Node ids were not the dense range `0..n` in order of appearance.
+    NonDenseIds { line: usize, expected: usize, got: usize },
+    /// The resulting structure is not a tree.
+    Tree(TreeError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line } => write!(f, "line {line}: expected 5 fields"),
+            ParseError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse {field}")
+            }
+            ParseError::NonDenseIds { line, expected, got } => {
+                write!(f, "line {line}: expected id {expected}, got {got}")
+            }
+            ParseError::Tree(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TreeError> for ParseError {
+    fn from(e: TreeError) -> Self {
+        ParseError::Tree(e)
+    }
+}
+
+/// Parses the v1 text format produced by [`to_text`].
+pub fn from_text(text: &str) -> Result<TaskTree, ParseError> {
+    let mut parents: Vec<Option<usize>> = Vec::new();
+    let mut work = Vec::new();
+    let mut output = Vec::new();
+    let mut exec = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut next = || -> Result<&str, ParseError> {
+            it.next().ok_or(ParseError::BadLine { line: lineno + 1 })
+        };
+        let id: usize = next()?
+            .parse()
+            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "id" })?;
+        if id != parents.len() {
+            return Err(ParseError::NonDenseIds {
+                line: lineno + 1,
+                expected: parents.len(),
+                got: id,
+            });
+        }
+        let p: i64 = next()?
+            .parse()
+            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "parent" })?;
+        let w: f64 = next()?
+            .parse()
+            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "w" })?;
+        let f: f64 = next()?
+            .parse()
+            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "f" })?;
+        let n: f64 = next()?
+            .parse()
+            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "n" })?;
+        if it.next().is_some() {
+            return Err(ParseError::BadLine { line: lineno + 1 });
+        }
+        parents.push(if p < 0 { None } else { Some(p as usize) });
+        work.push(w);
+        output.push(f);
+        exec.push(n);
+    }
+    Ok(TaskTree::from_parents(&parents, &work, &output, &exec)?)
+}
+
+/// Renders the tree in Graphviz DOT syntax. Node labels show
+/// `id / w / f / n`; the edge direction follows the data-flow (child →
+/// parent), matching the in-tree reading of the paper.
+pub fn to_dot(tree: &TaskTree, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    let _ = writeln!(s, "  rankdir=BT;");
+    let _ = writeln!(s, "  node [shape=box, fontsize=10];");
+    for i in tree.ids() {
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{}\\nw={} f={} n={}\"];",
+            i.index(),
+            i.index(),
+            tree.work(i),
+            tree.output(i),
+            tree.exec(i)
+        );
+    }
+    for i in tree.ids() {
+        if let Some(p) = tree.parent(i) {
+            let _ = writeln!(s, "  n{} -> n{};", i.index(), p.index());
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Compact single-line description used in logs:
+/// `id(parent) id(parent) ...` with `-` for the root.
+pub fn to_compact(tree: &TaskTree) -> String {
+    let mut s = String::new();
+    for i in tree.ids() {
+        let _ = match tree.parent(i) {
+            Some(p) => write!(s, "{}({}) ", i.index(), p.index()),
+            None => write!(s, "{}(-) ", i.index()),
+        };
+    }
+    s.trim_end().to_string()
+}
+
+/// `NodeId`-indexed helper: positions of each node in `order`.
+pub fn positions(n: usize, order: &[NodeId]) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; n];
+    for (k, &v) in order.iter().enumerate() {
+        pos[v.index()] = k;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    fn sample() -> TaskTree {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.5, 2.0, 0.25);
+        let a = b.child(r, 3.0, 4.0, 0.0);
+        b.child(a, 5.0, 6.0, 1.0);
+        b.child(r, 7.0, 8.0, 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let t = sample();
+        let s = to_text(&t);
+        let t2 = from_text(&s).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let s = "# hi\n\n0 -1 1 1 0\n# mid\n1 0 1 1 0\n";
+        let t = from_text(s).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_field_count() {
+        assert!(matches!(
+            from_text("0 -1 1 1\n"),
+            Err(ParseError::BadLine { line: 1 })
+        ));
+        assert!(matches!(
+            from_text("0 -1 1 1 0 9\n"),
+            Err(ParseError::BadLine { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_number() {
+        assert!(matches!(
+            from_text("0 -1 x 1 0\n"),
+            Err(ParseError::BadNumber { field: "w", .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_non_dense_ids() {
+        assert!(matches!(
+            from_text("1 -1 1 1 0\n"),
+            Err(ParseError::NonDenseIds { expected: 0, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_invalid_tree() {
+        assert!(matches!(
+            from_text("0 -1 1 1 0\n1 -1 1 1 0\n"),
+            Err(ParseError::Tree(TreeError::MultipleRoots))
+        ));
+    }
+
+    #[test]
+    fn dot_mentions_all_nodes_and_edges() {
+        let t = sample();
+        let dot = to_dot(&t, "sample");
+        assert!(dot.contains("digraph \"sample\""));
+        for i in 0..4 {
+            assert!(dot.contains(&format!("n{i} [label=")));
+        }
+        assert!(dot.contains("n1 -> n0;"));
+        assert!(dot.contains("n2 -> n1;"));
+        assert!(dot.contains("n3 -> n0;"));
+    }
+
+    #[test]
+    fn compact_format() {
+        let t = sample();
+        assert_eq!(to_compact(&t), "0(-) 1(0) 2(1) 3(0)");
+    }
+
+    #[test]
+    fn positions_inverse_of_order() {
+        let t = sample();
+        let po = t.postorder();
+        let pos = positions(t.len(), &po);
+        for (k, &v) in po.iter().enumerate() {
+            assert_eq!(pos[v.index()], k);
+        }
+    }
+}

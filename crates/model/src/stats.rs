@@ -1,0 +1,125 @@
+//! Summary statistics of a task tree (shape + weight distribution).
+
+use crate::TaskTree;
+use std::fmt;
+
+/// Descriptive statistics of a tree, mirroring the corpus description of the
+/// paper's §6.2 (node count, depth, maximum degree) plus weight aggregates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of tasks.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Height in edges.
+    pub height: u32,
+    /// Maximum number of children of any node.
+    pub max_degree: usize,
+    /// Sum of `w_i`.
+    pub total_work: f64,
+    /// `w`-weighted critical path.
+    pub critical_path: f64,
+    /// Largest single-task memory footprint.
+    pub max_local_need: f64,
+    /// Sum of all output-file sizes.
+    pub total_output: f64,
+    /// Mean number of children over inner nodes.
+    pub mean_inner_degree: f64,
+}
+
+impl TreeStats {
+    /// Computes statistics for `tree`.
+    pub fn of(tree: &TaskTree) -> Self {
+        let leaves = tree.leaf_count();
+        let inner = tree.len() - leaves;
+        let edges = tree.len() - 1;
+        TreeStats {
+            nodes: tree.len(),
+            leaves,
+            height: tree.height(),
+            max_degree: tree.max_degree(),
+            total_work: tree.total_work(),
+            critical_path: tree.critical_path(),
+            max_local_need: tree.max_local_need(),
+            total_output: tree.ids().map(|i| tree.output(i)).sum(),
+            mean_inner_degree: if inner == 0 {
+                0.0
+            } else {
+                edges as f64 / inner as f64
+            },
+        }
+    }
+
+    /// Inherent parallelism of the tree: total work over critical path.
+    /// Values near 1 mean the tree is effectively a chain; large values mean
+    /// wide trees that scale with many processors.
+    pub fn parallelism(&self) -> f64 {
+        if self.critical_path == 0.0 {
+            1.0
+        } else {
+            self.total_work / self.critical_path
+        }
+    }
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} leaves={} height={} maxdeg={} W={:.3e} CP={:.3e} par={:.2}",
+            self.nodes,
+            self.leaves,
+            self.height,
+            self.max_degree,
+            self.total_work,
+            self.critical_path,
+            self.parallelism()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_fork() {
+        let t = TaskTree::fork(4, 1.0, 1.0, 0.0);
+        let s = TreeStats::of(&t);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.height, 1);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.total_work, 5.0);
+        assert_eq!(s.critical_path, 2.0);
+        assert_eq!(s.parallelism(), 2.5);
+        assert_eq!(s.mean_inner_degree, 4.0);
+    }
+
+    #[test]
+    fn stats_of_chain() {
+        let t = TaskTree::chain(6, 1.0, 1.0, 0.0);
+        let s = TreeStats::of(&t);
+        assert_eq!(s.height, 5);
+        assert_eq!(s.parallelism(), 1.0);
+        assert_eq!(s.mean_inner_degree, 1.0);
+    }
+
+    #[test]
+    fn display_compact() {
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        let s = TreeStats::of(&t).to_string();
+        assert!(s.contains("nodes=3"));
+        assert!(s.contains("maxdeg=2"));
+    }
+
+    #[test]
+    fn single_node_stats() {
+        let t = TaskTree::chain(1, 3.0, 2.0, 1.0);
+        let s = TreeStats::of(&t);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.mean_inner_degree, 0.0);
+        assert_eq!(s.parallelism(), 1.0);
+        assert_eq!(s.max_local_need, 3.0);
+    }
+}

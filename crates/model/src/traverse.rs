@@ -1,0 +1,174 @@
+//! Iterative tree traversals.
+//!
+//! All traversals are iterative (no recursion) so that trees with depth in
+//! the tens of thousands — the paper's corpus reaches depth 70 000 — do not
+//! overflow the stack.
+
+use crate::{NodeId, TaskTree};
+
+impl TaskTree {
+    /// Postorder traversal (children before parents), visiting each node's
+    /// children in their stored order. The root is last.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        self.postorder_from(self.root)
+    }
+
+    /// Postorder traversal of the subtree rooted at `r` (ids of the original
+    /// tree).
+    pub fn postorder_from(&self, r: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        // Emit in reverse-preorder with reversed children, then reverse:
+        // classic two-stack postorder without recursion.
+        let mut stack = vec![r];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            stack.extend_from_slice(self.children(v));
+        }
+        out.reverse();
+        out
+    }
+
+    /// Preorder traversal (parents before children). The root is first.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            // push children reversed so the leftmost child is visited first
+            for &c in self.children(v).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Breadth-first traversal from the root.
+    pub fn bfs(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.root);
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            for &c in self.children(v) {
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+
+    /// Checks that `order` is a valid topological order of the tree: every
+    /// node appears exactly once and after all of its children.
+    pub fn is_topological(&self, order: &[NodeId]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (k, &v) in order.iter().enumerate() {
+            if v.index() >= self.len() || pos[v.index()] != usize::MAX {
+                return false;
+            }
+            pos[v.index()] = k;
+        }
+        self.ids().all(|i| {
+            self.children(i)
+                .iter()
+                .all(|c| pos[c.index()] < pos[i.index()])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    /// Root 0 with children 1, 2; 1 has children 3, 4; 2 has child 5.
+    fn sample() -> TaskTree {
+        TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)])
+            .unwrap()
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let t = sample();
+        let po = t.postorder();
+        assert_eq!(po.len(), 6);
+        assert_eq!(*po.last().unwrap(), t.root());
+        assert!(t.is_topological(&po));
+        // left subtree fully before node 1
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (k, v) in po.iter().enumerate() {
+                p[v.index()] = k;
+            }
+            p
+        };
+        assert!(pos[3] < pos[1] && pos[4] < pos[1]);
+        assert!(pos[5] < pos[2]);
+    }
+
+    #[test]
+    fn postorder_respects_child_order() {
+        let t = sample();
+        let po = t.postorder();
+        // children of root are [1, 2]; subtree of 1 comes entirely first
+        assert_eq!(po, vec![
+            NodeId(3), NodeId(4), NodeId(1), NodeId(5), NodeId(2), NodeId(0)
+        ]);
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let t = sample();
+        let pre = t.preorder();
+        assert_eq!(pre[0], t.root());
+        assert_eq!(pre, vec![
+            NodeId(0), NodeId(1), NodeId(3), NodeId(4), NodeId(2), NodeId(5)
+        ]);
+    }
+
+    #[test]
+    fn bfs_level_order() {
+        let t = sample();
+        assert_eq!(t.bfs(), vec![
+            NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)
+        ]);
+    }
+
+    #[test]
+    fn is_topological_detects_violations() {
+        let t = sample();
+        let mut po = t.postorder();
+        assert!(t.is_topological(&po));
+        // swap a child after its parent
+        po.swap(0, 2); // 1 before its child 3
+        assert!(!t.is_topological(&po));
+        // duplicates
+        let dup = vec![NodeId(0); 6];
+        assert!(!t.is_topological(&dup));
+        // wrong length
+        assert!(!t.is_topological(&po[..3]));
+    }
+
+    #[test]
+    fn postorder_from_subtree_only() {
+        let t = sample();
+        let po = t.postorder_from(NodeId(1));
+        assert_eq!(po, vec![NodeId(3), NodeId(4), NodeId(1)]);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let t = TaskTree::chain(200_000, 1.0, 1.0, 0.0);
+        let po = t.postorder();
+        assert_eq!(po.len(), 200_000);
+        assert_eq!(*po.last().unwrap(), t.root());
+        let mut b = TreeBuilder::new();
+        let mut cur = b.node(1.0, 1.0, 0.0);
+        for _ in 0..100_000 {
+            cur = b.child(cur, 1.0, 1.0, 0.0);
+        }
+        let deep = b.build().unwrap();
+        assert!(deep.is_topological(&deep.postorder()));
+    }
+}

@@ -1,0 +1,431 @@
+//! Arena-backed rooted in-tree of weighted tasks.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`TaskTree`].
+///
+/// Node ids are dense indices in `0..tree.len()`; they are stable for the
+/// lifetime of the tree (nodes are never removed) and cheap to copy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index of this node in the tree arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense arena index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One task of the tree: weights plus the adjacency links.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Node {
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+    /// Processing time `w_i`.
+    pub work: f64,
+    /// Output-file size `f_i` (input file of the parent).
+    pub output: f64,
+    /// Execution-file (program) size `n_i`.
+    pub exec: f64,
+}
+
+/// A rooted in-tree of weighted tasks (paper §3.1).
+///
+/// The tree owns an arena of nodes; the root is the unique node without a
+/// parent. Children keep their insertion order, which matters for
+/// order-sensitive traversals such as the *naive* postorder.
+///
+/// # Example
+///
+/// ```
+/// use treesched_model::{TaskTree, TreeBuilder};
+///
+/// // root with two leaf children, pebble-game weights
+/// let mut b = TreeBuilder::new();
+/// let root = b.node(1.0, 1.0, 0.0);          // w, f, n
+/// let _a = b.child(root, 1.0, 1.0, 0.0);
+/// let _c = b.child(root, 1.0, 1.0, 0.0);
+/// let tree: TaskTree = b.build().unwrap();
+/// assert_eq!(tree.len(), 3);
+/// assert_eq!(tree.children(tree.root()).len(), 2);
+/// // running the root needs both inputs + its own output file
+/// assert_eq!(tree.local_need(tree.root()), 3.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+}
+
+impl TaskTree {
+    /// Number of tasks in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree holds no tasks (never the case for built trees).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root task (the only task without a parent).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `i`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, i: NodeId) -> Option<NodeId> {
+        self.nodes[i.index()].parent
+    }
+
+    /// Children of `i` in insertion order.
+    #[inline]
+    pub fn children(&self, i: NodeId) -> &[NodeId] {
+        &self.nodes[i.index()].children
+    }
+
+    /// `true` when `i` has no children.
+    #[inline]
+    pub fn is_leaf(&self, i: NodeId) -> bool {
+        self.nodes[i.index()].children.is_empty()
+    }
+
+    /// Processing time `w_i`.
+    #[inline]
+    pub fn work(&self, i: NodeId) -> f64 {
+        self.nodes[i.index()].work
+    }
+
+    /// Output-file size `f_i`.
+    #[inline]
+    pub fn output(&self, i: NodeId) -> f64 {
+        self.nodes[i.index()].output
+    }
+
+    /// Execution-file (program) size `n_i`.
+    #[inline]
+    pub fn exec(&self, i: NodeId) -> f64 {
+        self.nodes[i.index()].exec
+    }
+
+    /// Overwrites the processing time of `i`.
+    pub fn set_work(&mut self, i: NodeId, w: f64) {
+        self.nodes[i.index()].work = w;
+    }
+
+    /// Overwrites the output-file size of `i`.
+    pub fn set_output(&mut self, i: NodeId, f: f64) {
+        self.nodes[i.index()].output = f;
+    }
+
+    /// Overwrites the execution-file size of `i`.
+    pub fn set_exec(&mut self, i: NodeId, n: f64) {
+        self.nodes[i.index()].exec = n;
+    }
+
+    /// Memory needed *while* task `i` runs:
+    /// `Σ_{j ∈ children(i)} f_j + n_i + f_i` (paper §3.1).
+    pub fn local_need(&self, i: NodeId) -> f64 {
+        let inputs: f64 = self.children(i).iter().map(|&c| self.output(c)).sum();
+        inputs + self.exec(i) + self.output(i)
+    }
+
+    /// Sum of the input-file sizes of `i` (zero for leaves).
+    pub fn input_size(&self, i: NodeId) -> f64 {
+        self.children(i).iter().map(|&c| self.output(c)).sum()
+    }
+
+    /// Iterator over all node ids in arena order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All leaves, in arena order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.ids().filter(|&i| self.is_leaf(i)).collect()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.ids().filter(|&i| self.is_leaf(i)).count()
+    }
+
+    /// Sum of `w_i` over all tasks.
+    pub fn total_work(&self) -> f64 {
+        self.nodes.iter().map(|n| n.work).sum()
+    }
+
+    /// Largest single task weight, `max_i w_i`.
+    pub fn max_work(&self) -> f64 {
+        self.nodes.iter().map(|n| n.work).fold(0.0, f64::max)
+    }
+
+    /// Largest output-file size, `max_i f_i`.
+    pub fn max_output(&self) -> f64 {
+        self.nodes.iter().map(|n| n.output).fold(0.0, f64::max)
+    }
+
+    /// Builds a tree from a parent vector with uniform *pebble-game* weights
+    /// (`w = f = 1`, `n = 0`). `parents[i]` is the parent index of node `i`;
+    /// exactly one entry must be `None` (the root).
+    pub fn pebble_from_parents(parents: &[Option<usize>]) -> Result<Self, crate::TreeError> {
+        let n = parents.len();
+        Self::from_parents(parents, &vec![1.0; n], &vec![1.0; n], &vec![0.0; n])
+    }
+
+    /// Builds a tree from parallel arrays: parent links plus per-node
+    /// `w` (work), `f` (output) and `n` (execution file) weights.
+    ///
+    /// Fails when the arrays disagree in length, when there is not exactly
+    /// one root, when a parent index is out of range, or when the parent
+    /// links contain a cycle.
+    pub fn from_parents(
+        parents: &[Option<usize>],
+        work: &[f64],
+        output: &[f64],
+        exec: &[f64],
+    ) -> Result<Self, crate::TreeError> {
+        use crate::TreeError;
+        let n = parents.len();
+        if work.len() != n || output.len() != n || exec.len() != n {
+            return Err(TreeError::LengthMismatch {
+                parents: n,
+                weights: work.len().min(output.len()).min(exec.len()),
+            });
+        }
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|i| Node {
+                parent: None,
+                children: Vec::new(),
+                work: work[i],
+                output: output[i],
+                exec: exec[i],
+            })
+            .collect();
+        let mut root = None;
+        for (i, &p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    if root.replace(NodeId::from_index(i)).is_some() {
+                        return Err(TreeError::MultipleRoots);
+                    }
+                }
+                Some(p) => {
+                    if p >= n {
+                        return Err(TreeError::BadParent { node: i, parent: p });
+                    }
+                    if p == i {
+                        return Err(TreeError::SelfLoop { node: i });
+                    }
+                    nodes[i].parent = Some(NodeId::from_index(p));
+                    let child = NodeId::from_index(i);
+                    nodes[p].children.push(child);
+                }
+            }
+        }
+        let root = root.ok_or(TreeError::NoRoot)?;
+        let tree = TaskTree { nodes, root };
+        tree.check_connected()?;
+        Ok(tree)
+    }
+
+    /// Verifies that every node is reachable from the root (detects cycles
+    /// among non-root components).
+    pub(crate) fn check_connected(&self) -> Result<(), crate::TreeError> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.root];
+        let mut count = 0usize;
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                return Err(crate::TreeError::Cycle);
+            }
+            seen[v.index()] = true;
+            count += 1;
+            stack.extend_from_slice(self.children(v));
+        }
+        if count != self.len() {
+            return Err(crate::TreeError::Disconnected {
+                reachable: count,
+                total: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Extracts the subtree rooted at `r` as a standalone tree.
+    ///
+    /// Returns the new tree and the mapping `new id -> old id` (dense, the
+    /// new root is entry 0).
+    pub fn subtree(&self, r: NodeId) -> (TaskTree, Vec<NodeId>) {
+        let mut map: Vec<NodeId> = Vec::new();
+        let mut stack = vec![r];
+        while let Some(v) = stack.pop() {
+            map.push(v);
+            stack.extend_from_slice(self.children(v));
+        }
+        let mut old_to_new = std::collections::HashMap::with_capacity(map.len());
+        for (new, &old) in map.iter().enumerate() {
+            old_to_new.insert(old, NodeId::from_index(new));
+        }
+        let nodes: Vec<Node> = map
+            .iter()
+            .map(|&old| {
+                let n = &self.nodes[old.index()];
+                Node {
+                    parent: if old == r {
+                        None
+                    } else {
+                        n.parent.map(|p| old_to_new[&p])
+                    },
+                    children: n.children.iter().map(|c| old_to_new[c]).collect(),
+                    work: n.work,
+                    output: n.output,
+                    exec: n.exec,
+                }
+            })
+            .collect();
+        (
+            TaskTree {
+                nodes,
+                root: NodeId(0),
+            },
+            map,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> TaskTree {
+        // 0 <- 1 <- 2 (root is 0)
+        TaskTree::from_parents(
+            &[None, Some(0), Some(1)],
+            &[1.0, 2.0, 3.0],
+            &[10.0, 20.0, 30.0],
+            &[0.5, 0.25, 0.125],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = chain3();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1)]);
+        assert!(t.is_leaf(NodeId(2)));
+        assert!(!t.is_leaf(NodeId(0)));
+        assert_eq!(t.work(NodeId(2)), 3.0);
+        assert_eq!(t.output(NodeId(1)), 20.0);
+        assert_eq!(t.exec(NodeId(0)), 0.5);
+    }
+
+    #[test]
+    fn local_need_counts_inputs_program_output() {
+        let t = chain3();
+        // node 1: input f_2 = 30, exec 0.25, output 20
+        assert_eq!(t.local_need(NodeId(1)), 30.0 + 0.25 + 20.0);
+        // leaf 2: no inputs
+        assert_eq!(t.local_need(NodeId(2)), 0.125 + 30.0);
+        assert_eq!(t.input_size(NodeId(0)), 20.0);
+        assert_eq!(t.input_size(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = chain3();
+        assert_eq!(t.total_work(), 6.0);
+        assert_eq!(t.max_work(), 3.0);
+        assert_eq!(t.max_output(), 30.0);
+        assert_eq!(t.leaves(), vec![NodeId(2)]);
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn from_parents_rejects_multiple_roots() {
+        let e = TaskTree::pebble_from_parents(&[None, None]).unwrap_err();
+        assert!(matches!(e, crate::TreeError::MultipleRoots));
+    }
+
+    #[test]
+    fn from_parents_rejects_cycle() {
+        // 1 -> 2 -> 1 cycle beside the root
+        let e = TaskTree::pebble_from_parents(&[None, Some(2), Some(1)]).unwrap_err();
+        assert!(matches!(
+            e,
+            crate::TreeError::Cycle | crate::TreeError::Disconnected { .. }
+        ));
+    }
+
+    #[test]
+    fn from_parents_rejects_self_loop() {
+        let e = TaskTree::pebble_from_parents(&[None, Some(1)]).unwrap_err();
+        assert!(matches!(e, crate::TreeError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn from_parents_rejects_empty() {
+        let e = TaskTree::pebble_from_parents(&[]).unwrap_err();
+        assert!(matches!(e, crate::TreeError::Empty));
+    }
+
+    #[test]
+    fn from_parents_rejects_out_of_range_parent() {
+        let e = TaskTree::pebble_from_parents(&[None, Some(7)]).unwrap_err();
+        assert!(matches!(e, crate::TreeError::BadParent { node: 1, parent: 7 }));
+    }
+
+    #[test]
+    fn subtree_extraction_preserves_weights() {
+        let t = chain3();
+        let (sub, map) = t.subtree(NodeId(1));
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.root(), NodeId(0));
+        assert_eq!(map[0], NodeId(1));
+        assert_eq!(sub.work(NodeId(0)), 2.0);
+        assert_eq!(sub.output(NodeId(1)), 30.0);
+        assert_eq!(sub.parent(NodeId(1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn pebble_weights() {
+        let t = TaskTree::pebble_from_parents(&[None, Some(0), Some(0)]).unwrap();
+        for i in t.ids() {
+            assert_eq!(t.work(i), 1.0);
+            assert_eq!(t.output(i), 1.0);
+            assert_eq!(t.exec(i), 0.0);
+        }
+        assert_eq!(t.local_need(t.root()), 3.0);
+    }
+}

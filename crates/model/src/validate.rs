@@ -1,0 +1,192 @@
+//! Structural validation of task trees.
+
+use crate::{NodeId, TaskTree};
+use std::fmt;
+
+/// Errors raised while building or validating a [`TaskTree`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeError {
+    /// The parent vector was empty.
+    Empty,
+    /// No node had a `None` parent.
+    NoRoot,
+    /// More than one node had a `None` parent.
+    MultipleRoots,
+    /// A parent index pointed outside the arena.
+    BadParent { node: usize, parent: usize },
+    /// A node was declared to be its own parent.
+    SelfLoop { node: usize },
+    /// The parent links contain a cycle.
+    Cycle,
+    /// Not every node is reachable from the root.
+    Disconnected { reachable: usize, total: usize },
+    /// Parallel weight arrays disagree in length with the parent vector.
+    LengthMismatch { parents: usize, weights: usize },
+    /// A weight was negative or not finite.
+    BadWeight { node: usize, what: &'static str, value: f64 },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree has no nodes"),
+            TreeError::NoRoot => write!(f, "no root node (every node has a parent)"),
+            TreeError::MultipleRoots => write!(f, "more than one root node"),
+            TreeError::BadParent { node, parent } => {
+                write!(f, "node {node} has out-of-range parent {parent}")
+            }
+            TreeError::SelfLoop { node } => write!(f, "node {node} is its own parent"),
+            TreeError::Cycle => write!(f, "parent links contain a cycle"),
+            TreeError::Disconnected { reachable, total } => write!(
+                f,
+                "only {reachable} of {total} nodes reachable from the root"
+            ),
+            TreeError::LengthMismatch { parents, weights } => write!(
+                f,
+                "parent vector has {parents} entries but weights have {weights}"
+            ),
+            TreeError::BadWeight { node, what, value } => {
+                write!(f, "node {node} has invalid {what} weight {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Deep-validation helpers on [`TaskTree`].
+pub trait ValidateExt {
+    /// Checks structural consistency (parent/child links agree, exactly one
+    /// root, full reachability) and that every weight is finite and
+    /// non-negative. Built trees should always pass; this is intended for
+    /// trees deserialized from external input.
+    fn validate(&self) -> Result<(), TreeError>;
+}
+
+impl ValidateExt for TaskTree {
+    fn validate(&self) -> Result<(), TreeError> {
+        if self.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        // exactly one root
+        let mut roots = 0usize;
+        for i in self.ids() {
+            if self.parent(i).is_none() {
+                roots += 1;
+            }
+        }
+        if roots == 0 {
+            return Err(TreeError::NoRoot);
+        }
+        if roots > 1 {
+            return Err(TreeError::MultipleRoots);
+        }
+        if self.parent(self.root()).is_some() {
+            return Err(TreeError::NoRoot);
+        }
+        // parent/child symmetry
+        for i in self.ids() {
+            for &c in self.children(i) {
+                if self.parent(c) != Some(i) {
+                    return Err(TreeError::BadParent {
+                        node: c.index(),
+                        parent: i.index(),
+                    });
+                }
+            }
+            if let Some(p) = self.parent(i) {
+                if !self.children(p).contains(&i) {
+                    return Err(TreeError::BadParent {
+                        node: i.index(),
+                        parent: p.index(),
+                    });
+                }
+            }
+        }
+        self.check_connected()?;
+        // weights
+        for i in self.ids() {
+            for (what, v) in [
+                ("work", self.work(i)),
+                ("output", self.output(i)),
+                ("exec", self.exec(i)),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(TreeError::BadWeight {
+                        node: i.index(),
+                        what,
+                        value: v,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: ids of the maximal (i.e. ready) nodes of a downward-closed
+/// set `done`. A node is *ready* when all its children are done and it is not
+/// itself done. Exposed here because both sequential and parallel schedulers
+/// need it.
+pub fn ready_nodes(tree: &TaskTree, done: &[bool]) -> Vec<NodeId> {
+    tree.ids()
+        .filter(|&i| {
+            !done[i.index()] && tree.children(i).iter().all(|c| done[c.index()])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskTree;
+
+    #[test]
+    fn valid_tree_passes() {
+        let t = TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1)]).unwrap();
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn negative_weight_fails() {
+        let mut t = TaskTree::pebble_from_parents(&[None, Some(0)]).unwrap();
+        t.set_work(crate::NodeId(1), -1.0);
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            TreeError::BadWeight { node: 1, what: "work", .. }
+        ));
+    }
+
+    #[test]
+    fn nan_weight_fails() {
+        let mut t = TaskTree::pebble_from_parents(&[None, Some(0)]).unwrap();
+        t.set_output(crate::NodeId(0), f64::NAN);
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            TreeError::BadWeight { what: "output", .. }
+        ));
+    }
+
+    #[test]
+    fn ready_nodes_progress() {
+        // 0 <- {1, 2}, 1 <- 3
+        let t = TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1)]).unwrap();
+        let mut done = vec![false; 4];
+        let r = ready_nodes(&t, &done);
+        assert_eq!(r, vec![crate::NodeId(2), crate::NodeId(3)]);
+        done[3] = true;
+        let r = ready_nodes(&t, &done);
+        assert_eq!(r, vec![crate::NodeId(1), crate::NodeId(2)]);
+        done[1] = true;
+        done[2] = true;
+        assert_eq!(ready_nodes(&t, &done), vec![crate::NodeId(0)]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TreeError::Disconnected { reachable: 2, total: 5 };
+        assert!(e.to_string().contains("2 of 5"));
+        let e = TreeError::BadWeight { node: 3, what: "exec", value: -2.0 };
+        assert!(e.to_string().contains("exec"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests of the model crate: builder/parent-vector consistency,
+//! traversal invariants, and parser robustness (fuzzing).
+
+use proptest::prelude::*;
+use treesched_model::{io, NodeId, TaskTree, ValidateExt};
+
+fn arb_tree(max_nodes: usize) -> impl Strategy<Value = TaskTree> {
+    (1..=max_nodes)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<usize>> =
+                (1..n).map(|i| (0..i).boxed()).collect();
+            let weights = proptest::collection::vec((0u32..100, 0u32..100, 0u32..100), n);
+            (parents, weights)
+        })
+        .prop_map(|(parents, weights)| {
+            let n = parents.len() + 1;
+            let pvec: Vec<Option<usize>> = std::iter::once(None)
+                .chain(parents.into_iter().map(Some))
+                .collect();
+            let w: Vec<f64> = (0..n).map(|i| weights[i].0 as f64).collect();
+            let f: Vec<f64> = (0..n).map(|i| weights[i].1 as f64).collect();
+            let x: Vec<f64> = (0..n).map(|i| weights[i].2 as f64).collect();
+            TaskTree::from_parents(&pvec, &w, &f, &x).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_trees_validate(t in arb_tree(60)) {
+        prop_assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn traversals_are_permutations_and_ordered(t in arb_tree(60)) {
+        let po = t.postorder();
+        let pre = t.preorder();
+        let bfs = t.bfs();
+        prop_assert!(t.is_topological(&po));
+        prop_assert_eq!(po.len(), t.len());
+        prop_assert_eq!(pre.len(), t.len());
+        prop_assert_eq!(bfs.len(), t.len());
+        // preorder is the reverse topological: parents before children
+        let pos = io::positions(t.len(), &pre);
+        for i in t.ids() {
+            if let Some(p) = t.parent(i) {
+                prop_assert!(pos[p.index()] < pos[i.index()]);
+            }
+        }
+        // bfs visits by non-decreasing depth
+        let depths = t.depths();
+        for w in bfs.windows(2) {
+            prop_assert!(depths[w[0].index()] <= depths[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn metrics_consistent(t in arb_tree(60)) {
+        let w = t.subtree_work();
+        prop_assert!((w[t.root().index()] - t.total_work()).abs() < 1e-9);
+        let sizes = t.subtree_sizes();
+        prop_assert_eq!(sizes[t.root().index()], t.len());
+        let wd = t.weighted_depths();
+        prop_assert!(t.critical_path() >= wd[t.root().index()] - 1e-9);
+        prop_assert!(t.critical_path() <= t.total_work() + 1e-9);
+    }
+
+    #[test]
+    fn text_roundtrip(t in arb_tree(60)) {
+        let text = io::to_text(&t);
+        let back = io::from_text(&text).expect("roundtrip");
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "\\PC*") {
+        // any input is either parsed or rejected with an error — no panic
+        let _ = io::from_text(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_garbage(
+        rows in proptest::collection::vec((0i64..20, -2i64..20, -5i64..5, 0u32..9, 0u32..9), 0..20)
+    ) {
+        let mut s = String::new();
+        for (id, p, w, f, n) in rows {
+            s.push_str(&format!("{id} {p} {w} {f} {n}\n"));
+        }
+        let _ = io::from_text(&s);
+    }
+
+    #[test]
+    fn subtree_extraction_consistent(t in arb_tree(40)) {
+        for r in t.ids() {
+            let (sub, map) = t.subtree(r);
+            prop_assert!(sub.validate().is_ok());
+            prop_assert_eq!(sub.len(), map.len());
+            prop_assert_eq!(map[0], r);
+            // weights carried over
+            for i in sub.ids() {
+                let orig = map[i.index()];
+                prop_assert_eq!(sub.work(i), t.work(orig));
+                prop_assert_eq!(sub.output(i), t.output(orig));
+                prop_assert_eq!(sub.exec(i), t.exec(orig));
+            }
+            // total work of the subtree matches the metric on the original
+            let w = t.subtree_work();
+            prop_assert!((sub.total_work() - w[r.index()]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn positions_inverse(t in arb_tree(60)) {
+        let po = t.postorder();
+        let pos = io::positions(t.len(), &po);
+        for (k, &v) in po.iter().enumerate() {
+            prop_assert_eq!(pos[v.index()], k);
+        }
+    }
+}
+
+#[test]
+fn single_node_edge_cases() {
+    let t = TaskTree::from_parents(&[None], &[1.0], &[2.0], &[3.0]).unwrap();
+    assert_eq!(t.postorder(), vec![NodeId(0)]);
+    assert_eq!(t.subtree_sizes(), vec![1]);
+    assert_eq!(t.critical_path(), 1.0);
+    let (sub, map) = t.subtree(NodeId(0));
+    assert_eq!(sub.len(), 1);
+    assert_eq!(map, vec![NodeId(0)]);
+}

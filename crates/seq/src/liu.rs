@@ -1,0 +1,310 @@
+//! Liu's exact memory-minimal traversal (Liu 1987, ref. \[14\]).
+//!
+//! The optimal traversal of a subtree is represented as a chain of
+//! **hill–valley segments**. A segment covers a contiguous run of task
+//! executions and is summarized by two incremental quantities relative to the
+//! memory level at which the segment starts:
+//!
+//! * `h` — the *hill*: the maximum memory reached during the run;
+//! * `v` — the *valley*: the net change of resident memory over the run.
+//!
+//! Sequential composition of segments is associative:
+//! `combine(a, b) = (max(h_a, v_a + h_b), v_a + v_b)`.
+//!
+//! Interleaving the traversals of independent child subtrees is the problem
+//! of merging chains of segments so as to minimize the maximum prefix level
+//! `Σ_{earlier} v + h`. The optimal pairwise order is the classical
+//! two-class rule (Liu 1987; Abdel-Wahab & Kameda 1978):
+//!
+//! 1. **releasing** segments (`v ≤ 0`) come first, in non-decreasing `h`;
+//! 2. **accumulating** segments (`v > 0`) follow, in non-increasing `h − v`.
+//!
+//! Each subtree's chain is kept *canonical* — its segments sorted by this
+//! order — by greedily combining adjacent segments that would violate it
+//! (the violating pair is precedence-constrained, so it may be fused into a
+//! block; Liu's generalized-pebbling theorem shows an optimal traversal
+//! keeps such blocks contiguous). Children chains are then merged with a
+//! k-way heap merge and the parent's own execution step is appended.
+//!
+//! The worst-case complexity is `O(n²)` (matching the paper's statement);
+//! on realistic assembly trees the profile collapses quickly and the
+//! behaviour is near-linear.
+
+use crate::TraversalResult;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use treesched_model::{NodeId, TaskTree};
+
+/// One hill–valley segment with the tasks it executes.
+#[derive(Clone, Debug)]
+struct Seg {
+    /// Incremental hill: peak memory during the segment, relative to start.
+    h: f64,
+    /// Incremental valley: net memory change over the segment.
+    v: f64,
+    /// Tasks executed by this segment, in order.
+    nodes: Vec<NodeId>,
+}
+
+impl Seg {
+    /// The atomic segment of executing task `v` once its children are done:
+    /// hill `n_v + f_v` (program + output on top of the current level) and
+    /// valley `f_v − Σ_children f_c` (inputs freed, output retained).
+    fn step(tree: &TaskTree, v: NodeId) -> Seg {
+        Seg {
+            h: tree.exec(v) + tree.output(v),
+            v: tree.output(v) - tree.input_size(v),
+            nodes: vec![v],
+        }
+    }
+
+    /// Sequentially composes `self` followed by `b`.
+    fn fuse(&mut self, b: Seg) {
+        self.h = self.h.max(self.v + b.h);
+        self.v += b.v;
+        self.nodes.extend(b.nodes);
+    }
+
+    /// Priority class and key implementing the two-class merge order.
+    /// Smaller keys come first.
+    fn key(&self) -> (u8, f64) {
+        if self.v <= 0.0 {
+            (0, self.h) // releasing: ascending hill
+        } else {
+            (1, self.v - self.h) // accumulating: descending (h - v)
+        }
+    }
+}
+
+fn key_cmp(a: (u8, f64), b: (u8, f64)) -> Ordering {
+    a.0.cmp(&b.0).then(a.1.total_cmp(&b.1))
+}
+
+/// Appends `seg` to `chain`, restoring canonical (sorted) form by fusing the
+/// tail while the previous block should strictly come after the new one.
+fn push_normalized(chain: &mut Vec<Seg>, seg: Seg) {
+    chain.push(seg);
+    while chain.len() >= 2 {
+        let last = &chain[chain.len() - 1];
+        let prev = &chain[chain.len() - 2];
+        if key_cmp(prev.key(), last.key()) == Ordering::Greater {
+            let last = chain.pop().expect("len >= 2");
+            chain.last_mut().expect("len >= 1").fuse(last);
+        } else {
+            break;
+        }
+    }
+}
+
+/// Heap entry for the k-way merge of children chains (min-heap by key, with
+/// the chain index as a deterministic tie-break).
+struct Head {
+    class: u8,
+    key: f64,
+    chain: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the smallest key on top
+        key_cmp((other.class, other.key), (self.class, self.key))
+            .then(other.chain.cmp(&self.chain))
+    }
+}
+
+/// Merges the canonical chains of the children into one canonical sequence
+/// (no fusing needed across chains: a sorted merge of sorted chains).
+fn merge_children(chains: Vec<Vec<Seg>>) -> Vec<Seg> {
+    let total: usize = chains.iter().map(Vec::len).sum();
+    let mut cursors: Vec<std::vec::IntoIter<Seg>> =
+        chains.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(cursors.len());
+    let mut heads: Vec<Option<Seg>> = Vec::with_capacity(cursors.len());
+    for (i, it) in cursors.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some(s) = &head {
+            let (class, key) = s.key();
+            heap.push(Head { class, key, chain: i });
+        }
+        heads.push(head);
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Head { chain, .. }) = heap.pop() {
+        let seg = heads[chain].take().expect("head present for queued chain");
+        out.push(seg);
+        if let Some(next) = cursors[chain].next() {
+            let (class, key) = next.key();
+            heap.push(Head { class, key, chain });
+            heads[chain] = Some(next);
+        }
+    }
+    out
+}
+
+/// Exact minimum-memory sequential traversal (Liu 1987).
+///
+/// Returns the explicit optimal order and its peak. The peak is provably
+/// minimal over *all* topological orders of the tree (not only postorders);
+/// the crate's test-suite verifies this against an exhaustive DP oracle.
+pub fn liu_exact(tree: &TaskTree) -> TraversalResult {
+    let n = tree.len();
+    let mut chains: Vec<Vec<Seg>> = (0..n).map(|_| Vec::new()).collect();
+    for v in tree.postorder() {
+        let kid_chains: Vec<Vec<Seg>> = tree
+            .children(v)
+            .iter()
+            .map(|c| std::mem::take(&mut chains[c.index()]))
+            .collect();
+        let mut chain = if kid_chains.is_empty() {
+            Vec::new()
+        } else {
+            merge_children(kid_chains)
+        };
+        push_normalized(&mut chain, Seg::step(tree, v));
+        chains[v.index()] = chain;
+    }
+    let chain = std::mem::take(&mut chains[tree.root().index()]);
+    let mut order = Vec::with_capacity(n);
+    let mut level = 0.0f64;
+    let mut peak = 0.0f64;
+    for seg in chain {
+        let hill = level + seg.h;
+        if hill > peak {
+            peak = hill;
+        }
+        level += seg.v;
+        order.extend(seg.nodes);
+    }
+    TraversalResult { order, peak }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{best_postorder, oracle, peak_of_order};
+    use treesched_model::{TaskTree, TreeBuilder};
+
+    #[test]
+    fn seg_fuse_composes() {
+        let mut a = Seg { h: 5.0, v: 2.0, nodes: vec![NodeId(0)] };
+        let b = Seg { h: 4.0, v: -1.0, nodes: vec![NodeId(1)] };
+        a.fuse(b);
+        assert_eq!(a.h, 6.0); // max(5, 2 + 4)
+        assert_eq!(a.v, 1.0);
+        assert_eq!(a.nodes, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn two_class_order_releasing_first() {
+        let r = Seg { h: 9.0, v: -1.0, nodes: vec![] };
+        let a = Seg { h: 2.0, v: 1.0, nodes: vec![] };
+        assert_eq!(key_cmp(r.key(), a.key()), Ordering::Less);
+    }
+
+    #[test]
+    fn accumulating_sorted_by_drop() {
+        // larger h - v first
+        let big = Seg { h: 10.0, v: 1.0, nodes: vec![] }; // h-v = 9
+        let small = Seg { h: 4.0, v: 2.0, nodes: vec![] }; // h-v = 2
+        assert_eq!(key_cmp(big.key(), small.key()), Ordering::Less);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = TaskTree::chain(1, 1.0, 3.0, 4.0);
+        let r = liu_exact(&t);
+        assert_eq!(r.peak, 7.0);
+        assert_eq!(r.order, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn matches_simulated_peak() {
+        let t = TaskTree::complete(3, 3, 1.0, 2.0, 0.5);
+        let r = liu_exact(&t);
+        assert!(t.is_topological(&r.order));
+        assert_eq!(peak_of_order(&t, &r.order).unwrap(), r.peak);
+    }
+
+    /// The worked example from the module docs where the exact optimum (10)
+    /// beats the best postorder (11): child A's tall first segment and child
+    /// B's hill interleave inside A's valley.
+    #[test]
+    fn beats_best_postorder() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        let a = b.child(r, 1.0, 3.0, 0.0);
+        b.child(a, 1.0, 1.0, 9.0); // a1: hill 10, file 1
+        b.child(a, 1.0, 2.0, 1.0); // a2: hill 3, file 2
+        b.child(r, 1.0, 1.0, 8.0); // B: hill 9, file 1
+        let t = b.build().unwrap();
+
+        let po = best_postorder(&t);
+        let ex = liu_exact(&t);
+        assert_eq!(po.peak, 11.0);
+        assert_eq!(ex.peak, 10.0);
+        assert_eq!(peak_of_order(&t, &ex.order).unwrap(), 10.0);
+        assert_eq!(oracle::min_peak_exhaustive(&t), 10.0);
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_small_trees() {
+        // A catalogue of hand-built shapes with assorted weights.
+        let trees: Vec<TaskTree> = vec![
+            TaskTree::chain(5, 1.0, 3.0, 1.0),
+            TaskTree::fork(4, 1.0, 2.0, 1.0),
+            TaskTree::complete(2, 2, 1.0, 1.0, 0.0),
+            {
+                let mut b = TreeBuilder::new();
+                let r = b.node(1.0, 2.0, 1.0);
+                let x = b.child(r, 1.0, 5.0, 0.0);
+                b.child(x, 1.0, 4.0, 3.0);
+                b.child(x, 1.0, 1.0, 0.0);
+                let y = b.child(r, 1.0, 3.0, 2.0);
+                let z = b.child(y, 1.0, 6.0, 0.0);
+                b.child(z, 1.0, 2.0, 2.0);
+                b.build().unwrap()
+            },
+        ];
+        for t in &trees {
+            let ex = liu_exact(t);
+            assert_eq!(peak_of_order(t, &ex.order).unwrap(), ex.peak);
+            assert_eq!(
+                ex.peak,
+                oracle::min_peak_exhaustive(t),
+                "tree: {}",
+                treesched_model::io::to_compact(t)
+            );
+            assert!(ex.peak <= best_postorder(t).peak);
+        }
+    }
+
+    #[test]
+    fn pebble_game_values() {
+        // Pebble-game fork: all leaves' pebbles + root's = leaves + 1; the
+        // exact algorithm cannot do better than the postorder here.
+        let t = TaskTree::fork(5, 1.0, 1.0, 0.0);
+        assert_eq!(liu_exact(&t).peak, 6.0);
+        // Pebble-game chain: 2 pebbles.
+        let t = TaskTree::chain(9, 1.0, 1.0, 0.0);
+        assert_eq!(liu_exact(&t).peak, 2.0);
+    }
+
+    #[test]
+    fn deep_chain_linear_profile() {
+        let t = TaskTree::chain(50_000, 1.0, 1.0, 0.0);
+        let r = liu_exact(&t);
+        assert_eq!(r.peak, 2.0);
+        assert_eq!(r.order.len(), 50_000);
+    }
+}

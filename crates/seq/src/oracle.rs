@@ -1,0 +1,179 @@
+//! Exhaustive exact oracle: minimum sequential peak over all traversals.
+//!
+//! Dynamic program over the *ideals* (descendant-closed subsets) of the
+//! tree: `DP(S)` is the minimal peak needed to reach the state where exactly
+//! the tasks in `S` are done. A task `v` can extend `S` when all its
+//! children are in `S`; the step cost is `resident(S) + n_v + f_v`, where
+//! `resident(S)` is the total size of output files whose producer is done
+//! but whose consumer is not.
+//!
+//! The state space is exponential (up to `2^{n-1}` ideals for a star), so
+//! this is strictly a **test oracle** for small trees; [`crate::liu_exact`]
+//! is the polynomial algorithm validated against it.
+
+use std::collections::HashMap;
+use treesched_model::{NodeId, TaskTree};
+
+/// Largest tree the oracle accepts.
+pub const MAX_ORACLE_NODES: usize = 24;
+
+/// Minimum peak memory over **all** topological orders of `tree`.
+///
+/// # Panics
+///
+/// Panics when `tree.len() > MAX_ORACLE_NODES` (the DP is exponential).
+pub fn min_peak_exhaustive(tree: &TaskTree) -> f64 {
+    let n = tree.len();
+    assert!(
+        n <= MAX_ORACLE_NODES,
+        "oracle limited to {MAX_ORACLE_NODES} nodes, got {n}"
+    );
+    let child_mask: Vec<u32> = (0..n)
+        .map(|i| {
+            tree.children(NodeId::from_index(i))
+                .iter()
+                .fold(0u32, |m, c| m | (1 << c.index()))
+        })
+        .collect();
+    let outputs: Vec<f64> = (0..n).map(|i| tree.output(NodeId::from_index(i))).collect();
+    let execs: Vec<f64> = (0..n).map(|i| tree.exec(NodeId::from_index(i))).collect();
+    let parent_bit: Vec<Option<u32>> = (0..n)
+        .map(|i| tree.parent(NodeId::from_index(i)).map(|p| 1u32 << p.index()))
+        .collect();
+
+    let resident = |mask: u32| -> f64 {
+        let mut r = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                match parent_bit[i] {
+                    Some(pb) if mask & pb != 0 => {}
+                    _ => r += outputs[i],
+                }
+            }
+        }
+        r
+    };
+
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut frontier: HashMap<u32, f64> = HashMap::from([(0u32, 0.0)]);
+    for _ in 0..n {
+        let mut next: HashMap<u32, f64> = HashMap::with_capacity(frontier.len() * 2);
+        for (&mask, &cost) in &frontier {
+            let res = resident(mask);
+            for v in 0..n {
+                let bit = 1u32 << v;
+                if mask & bit != 0 || child_mask[v] & !mask != 0 {
+                    continue;
+                }
+                let step = res + execs[v] + outputs[v];
+                let total = cost.max(step);
+                next.entry(mask | bit)
+                    .and_modify(|e| {
+                        if total < *e {
+                            *e = total;
+                        }
+                    })
+                    .or_insert(total);
+            }
+        }
+        frontier = next;
+    }
+    frontier[&full]
+}
+
+/// Minimum peak over all *postorders* of `tree` (children of each node may
+/// be permuted, but every subtree is processed contiguously). Exhaustive;
+/// test oracle for [`crate::best_postorder`].
+pub fn min_postorder_exhaustive(tree: &TaskTree) -> f64 {
+    fn rec(tree: &TaskTree, v: NodeId) -> f64 {
+        let kids = tree.children(v);
+        if kids.is_empty() {
+            return tree.exec(v) + tree.output(v);
+        }
+        let peaks: Vec<f64> = kids.iter().map(|&c| rec(tree, c)).collect();
+        let files: Vec<f64> = kids.iter().map(|&c| tree.output(c)).collect();
+        let k = kids.len();
+        assert!(k <= 8, "postorder oracle limited to degree 8");
+        // try all child permutations
+        let mut idx: Vec<usize> = (0..k).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut idx, 0, &mut |perm| {
+            let mut acc = 0.0;
+            let mut peak = 0.0f64;
+            for &j in perm {
+                peak = peak.max(acc + peaks[j]);
+                acc += files[j];
+            }
+            peak = peak.max(acc + tree.exec(v) + tree.output(v));
+            if peak < best {
+                best = peak;
+            }
+        });
+        best
+    }
+    fn permute(idx: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == idx.len() {
+            f(idx);
+            return;
+        }
+        for i in k..idx.len() {
+            idx.swap(k, i);
+            permute(idx, k + 1, f);
+            idx.swap(k, i);
+        }
+    }
+    rec(tree, tree.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{best_postorder, liu_exact};
+    use treesched_model::{TaskTree, TreeBuilder};
+
+    #[test]
+    fn chain_oracle() {
+        let t = TaskTree::chain(6, 1.0, 1.0, 0.0);
+        assert_eq!(min_peak_exhaustive(&t), 2.0);
+    }
+
+    #[test]
+    fn fork_oracle() {
+        let t = TaskTree::fork(4, 1.0, 1.0, 0.0);
+        assert_eq!(min_peak_exhaustive(&t), 5.0);
+    }
+
+    #[test]
+    fn oracle_at_most_best_postorder() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 2.0, 0.0);
+        let x = b.child(r, 1.0, 4.0, 1.0);
+        b.child(x, 1.0, 3.0, 0.0);
+        b.child(r, 1.0, 5.0, 2.0);
+        let t = b.build().unwrap();
+        let o = min_peak_exhaustive(&t);
+        assert!(o <= best_postorder(&t).peak);
+        assert_eq!(o, liu_exact(&t).peak);
+    }
+
+    #[test]
+    fn postorder_oracle_matches_liu86() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.5);
+        let x = b.child(r, 1.0, 2.0, 0.0);
+        b.child(x, 1.0, 7.0, 1.0);
+        b.child(x, 1.0, 3.0, 0.0);
+        let y = b.child(r, 1.0, 4.0, 1.0);
+        b.child(y, 1.0, 6.0, 0.0);
+        b.child(y, 1.0, 2.0, 3.0);
+        let t = b.build().unwrap();
+        assert_eq!(min_postorder_exhaustive(&t), best_postorder(&t).peak);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oracle_rejects_large_trees() {
+        let t = TaskTree::chain(40, 1.0, 1.0, 0.0);
+        let _ = min_peak_exhaustive(&t);
+    }
+}

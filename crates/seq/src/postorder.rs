@@ -1,0 +1,190 @@
+//! Postorder traversals: naive and memory-optimal (Liu 1986).
+//!
+//! For a *postorder* traversal each subtree is processed contiguously. Liu
+//! \[13\] showed that the peak of the best postorder of the subtree rooted at
+//! `i` satisfies
+//!
+//! ```text
+//! P_i = max( max_j ( Σ_{l<j} f_{c_l} + P_{c_j} ),  Σ_l f_{c_l} + n_i + f_i )
+//! ```
+//!
+//! where the children `c_1 … c_k` are visited in **non-increasing
+//! `P_j − f_j`** order, and that this order is optimal among postorders.
+//! The paper's experiments (§6.1) use this `O(n log n)` traversal as the
+//! sequential memory reference, having observed it is optimal in 95.8% of
+//! their instances and within 1% on average.
+
+use crate::TraversalResult;
+use treesched_model::{NodeId, TaskTree};
+
+/// Peak memory of the postorder induced by the stored child order.
+///
+/// This is the baseline a fill-reducing ordering would give "for free";
+/// [`best_postorder`] is never worse.
+pub fn naive_postorder(tree: &TaskTree) -> TraversalResult {
+    let order = tree.postorder();
+    let peak = crate::peak_of_order(tree, &order).expect("tree postorder is topological");
+    TraversalResult { order, peak }
+}
+
+/// Liu's memory-optimal postorder (1986): children in non-increasing
+/// `P_j − f_j`. Returns the explicit order and its peak.
+pub fn best_postorder(tree: &TaskTree) -> TraversalResult {
+    let (peaks, sorted_children) = postorder_peaks(tree);
+    // Emit the traversal following the sorted child lists, iteratively.
+    let mut order = Vec::with_capacity(tree.len());
+    // Two-stack postorder on the re-ordered tree.
+    let mut stack = vec![tree.root()];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        stack.extend_from_slice(&sorted_children[v.index()]);
+    }
+    order.reverse();
+    TraversalResult {
+        order,
+        peak: peaks[tree.root().index()],
+    }
+}
+
+/// Value-only variant of [`best_postorder`] (skips building the order).
+pub fn best_postorder_peak(tree: &TaskTree) -> f64 {
+    postorder_peaks(tree).0[tree.root().index()]
+}
+
+/// Computes `P_i` for every node plus each node's children sorted by
+/// non-increasing `P_j − f_j` (ties broken by id for determinism).
+fn postorder_peaks(tree: &TaskTree) -> (Vec<f64>, Vec<Vec<NodeId>>) {
+    let n = tree.len();
+    let mut peaks = vec![0.0f64; n];
+    let mut sorted_children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in tree.postorder() {
+        let vi = v.index();
+        if tree.is_leaf(v) {
+            peaks[vi] = tree.exec(v) + tree.output(v);
+            continue;
+        }
+        let mut kids: Vec<NodeId> = tree.children(v).to_vec();
+        kids.sort_by(|&a, &b| {
+            let ka = peaks[a.index()] - tree.output(a);
+            let kb = peaks[b.index()] - tree.output(b);
+            kb.partial_cmp(&ka)
+                .expect("weights are finite")
+                .then(a.cmp(&b))
+        });
+        let mut acc = 0.0f64; // Σ of already-produced children files
+        let mut peak = 0.0f64;
+        for &c in &kids {
+            let during_child = acc + peaks[c.index()];
+            if during_child > peak {
+                peak = during_child;
+            }
+            acc += tree.output(c);
+        }
+        let during_self = acc + tree.exec(v) + tree.output(v);
+        if during_self > peak {
+            peak = during_self;
+        }
+        peaks[vi] = peak;
+        sorted_children[vi] = kids;
+    }
+    (peaks, sorted_children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peak_of_order;
+    use treesched_model::{TaskTree, TreeBuilder};
+
+    #[test]
+    fn leaf_peak_is_program_plus_output() {
+        let t = TaskTree::chain(1, 1.0, 5.0, 3.0);
+        assert_eq!(best_postorder(&t).peak, 8.0);
+    }
+
+    #[test]
+    fn reported_peak_matches_simulator() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 2.0, 1.0);
+        let a = b.child(r, 1.0, 5.0, 0.0);
+        b.child(a, 1.0, 7.0, 2.0);
+        b.child(a, 1.0, 1.0, 0.0);
+        let c = b.child(r, 1.0, 3.0, 1.0);
+        b.child(c, 1.0, 4.0, 0.0);
+        let t = b.build().unwrap();
+        let res = best_postorder(&t);
+        assert_eq!(peak_of_order(&t, &res.order).unwrap(), res.peak);
+        assert!(t.is_topological(&res.order));
+        let nv = naive_postorder(&t);
+        assert_eq!(peak_of_order(&t, &nv.order).unwrap(), nv.peak);
+        assert!(res.peak <= nv.peak);
+    }
+
+    #[test]
+    fn child_order_matters_and_is_chosen_well() {
+        // Two children: A with big peak & small file, B with small peak & big
+        // file. Optimal postorder runs A first: peak = max(P_A, f_A + P_B, ...).
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        // child A: leaf with huge program (peak 10, file 1)
+        b.child(r, 1.0, 1.0, 9.0);
+        // child B: leaf with big file (peak 5, file 5)
+        b.child(r, 1.0, 5.0, 0.0);
+        let t = b.build().unwrap();
+        // A first: max(10, 1+5, 1+5+0+1) = 10. B first: max(5, 5+10) = 15.
+        assert_eq!(best_postorder(&t).peak, 10.0);
+    }
+
+    #[test]
+    fn naive_vs_best_on_adversarial_child_order() {
+        // Build with the bad child order first: naive must be worse.
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        b.child(r, 1.0, 5.0, 0.0); // big file child inserted first
+        b.child(r, 1.0, 1.0, 9.0); // big peak child second
+        let t = b.build().unwrap();
+        assert_eq!(naive_postorder(&t).peak, 15.0);
+        assert_eq!(best_postorder(&t).peak, 10.0);
+    }
+
+    #[test]
+    fn pebble_fork_peak_counts_all_leaves() {
+        // In the pebble-game model a postorder of a fork must hold all leaf
+        // results before firing the root.
+        let t = TaskTree::fork(6, 1.0, 1.0, 0.0);
+        assert_eq!(best_postorder(&t).peak, 7.0);
+    }
+
+    #[test]
+    fn liu_1986_recurrence_by_hand() {
+        // node r with children x (P=6, f=2) and y (P=5, f=4):
+        //   order by P-f: x (4) then y (1)
+        //   P_r = max(6, 2+5, 2+4+n_r+f_r) with n_r = 0, f_r = 1 -> max(6,7,7) = 7
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 1.0, 0.0);
+        let x = b.child(r, 1.0, 2.0, 0.0);
+        b.child(x, 1.0, 6.0, 0.0); // P_x = max(6, 6-6+... ) -> leaf peak 6, then x: 6 vs 6+0+2=8? recompute
+        let y = b.child(r, 1.0, 4.0, 0.0);
+        b.child(y, 1.0, 5.0, 0.0);
+        let t = b.build().unwrap();
+        // P_leaf_x = 6; P_x = max(6, 6 + 0 + 2) = 8; f_x = 2
+        // P_leaf_y = 5; P_y = max(5, 5 + 0 + 4) = 9; f_y = 4
+        // order children of r by P-f: x: 8-2 = 6, y: 9-4 = 5 -> x first
+        // P_r = max(8, 2 + 9, 2 + 4 + 0 + 1) = 11
+        assert_eq!(best_postorder(&t).peak, 11.0);
+    }
+
+    #[test]
+    fn value_only_matches_full() {
+        let t = TaskTree::complete(3, 4, 1.0, 2.0, 0.5);
+        assert_eq!(best_postorder_peak(&t), best_postorder(&t).peak);
+    }
+
+    #[test]
+    fn deep_tree_runs_iteratively() {
+        let t = TaskTree::chain(150_000, 1.0, 1.0, 0.0);
+        let res = best_postorder(&t);
+        assert_eq!(res.peak, 2.0);
+        assert_eq!(res.order.len(), 150_000);
+    }
+}

@@ -1,0 +1,183 @@
+//! Explicit-order sequential traversal simulator.
+//!
+//! Given a topological order, replays the paper's memory model step by step:
+//! processing task `i` needs `resident + n_i + f_i` where `resident` already
+//! contains the output files of all completed-but-unconsumed tasks
+//! (including `i`'s children); afterwards the children files and the program
+//! are discarded and `f_i` stays resident until the parent completes.
+
+use treesched_model::{NodeId, TaskTree};
+
+/// Why an execution order was rejected by the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrderError {
+    /// The order does not contain every node exactly once.
+    NotAPermutation,
+    /// A node appears before one of its children.
+    DependencyViolated { node: NodeId, child: NodeId },
+}
+
+impl std::fmt::Display for OrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderError::NotAPermutation => write!(f, "order is not a permutation of the nodes"),
+            OrderError::DependencyViolated { node, child } => {
+                write!(f, "node {node} scheduled before its child {child}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+/// Peak memory of executing `order` sequentially, or an error when the order
+/// is not a valid topological order of `tree`.
+///
+/// Runs in `O(n)` time and performs the memory bookkeeping with plain `f64`
+/// sums; with integer-valued weights (as in the pebble-game model and the
+/// assembly-tree corpus) the result is exact.
+pub fn peak_of_order(tree: &TaskTree, order: &[NodeId]) -> Result<f64, OrderError> {
+    let n = tree.len();
+    if order.len() != n {
+        return Err(OrderError::NotAPermutation);
+    }
+    let mut done = vec![false; n];
+    let mut resident = 0.0f64;
+    let mut peak = 0.0f64;
+    for &v in order {
+        if done[v.index()] {
+            return Err(OrderError::NotAPermutation);
+        }
+        for &c in tree.children(v) {
+            if !done[c.index()] {
+                return Err(OrderError::DependencyViolated { node: v, child: c });
+            }
+        }
+        // children files are part of `resident`; add program + own output
+        let during = resident + tree.exec(v) + tree.output(v);
+        if during > peak {
+            peak = during;
+        }
+        // discard inputs and program, keep own output
+        resident += tree.output(v) - tree.input_size(v);
+        done[v.index()] = true;
+    }
+    Ok(peak)
+}
+
+/// Full memory profile of a sequential traversal: for every step, the memory
+/// in use **while** that task runs (the step peaks). The traversal peak is
+/// the maximum entry. Useful for plotting and for the hill–valley tests.
+pub fn profile_of_order(tree: &TaskTree, order: &[NodeId]) -> Result<Vec<f64>, OrderError> {
+    let n = tree.len();
+    if order.len() != n {
+        return Err(OrderError::NotAPermutation);
+    }
+    let mut done = vec![false; n];
+    let mut resident = 0.0f64;
+    let mut prof = Vec::with_capacity(n);
+    for &v in order {
+        if done[v.index()] {
+            return Err(OrderError::NotAPermutation);
+        }
+        for &c in tree.children(v) {
+            if !done[c.index()] {
+                return Err(OrderError::DependencyViolated { node: v, child: c });
+            }
+        }
+        prof.push(resident + tree.exec(v) + tree.output(v));
+        resident += tree.output(v) - tree.input_size(v);
+        done[v.index()] = true;
+    }
+    Ok(prof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_model::{TaskTree, TreeBuilder};
+
+    #[test]
+    fn single_node() {
+        let t = TaskTree::chain(1, 1.0, 5.0, 2.0);
+        let p = peak_of_order(&t, &[NodeId(0)]).unwrap();
+        assert_eq!(p, 7.0); // n + f
+    }
+
+    #[test]
+    fn fork_postorder_accumulates_leaves() {
+        // root + 3 pebble leaves: after all leaves, 3 files; root step: 3 + 1
+        let t = TaskTree::fork(3, 1.0, 1.0, 0.0);
+        let order = t.postorder();
+        assert_eq!(peak_of_order(&t, &order).unwrap(), 4.0);
+        let prof = profile_of_order(&t, &order).unwrap();
+        assert_eq!(prof, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn chain_resident_swaps() {
+        // chain: each step holds child file + own file
+        let t = TaskTree::chain(4, 1.0, 1.0, 0.0);
+        let order = t.postorder();
+        let prof = profile_of_order(&t, &order).unwrap();
+        assert_eq!(prof, vec![1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_example_by_hand() {
+        // r(f=1,n=2) <- a(f=4,n=0) <- b(f=3,n=1)
+        let mut bld = TreeBuilder::new();
+        let r = bld.node(1.0, 1.0, 2.0);
+        let a = bld.child(r, 1.0, 4.0, 0.0);
+        let b = bld.child(a, 1.0, 3.0, 1.0);
+        let t = bld.build().unwrap();
+        let order = vec![b, a, r];
+        // step b: 1 + 3 = 4 ; step a: 3 resident + 0 + 4 = 7 ; step r: 4 + 2 + 1 = 7
+        let prof = profile_of_order(&t, &order).unwrap();
+        assert_eq!(prof, vec![4.0, 7.0, 7.0]);
+        assert_eq!(peak_of_order(&t, &order).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        assert_eq!(
+            peak_of_order(&t, &[NodeId(0)]).unwrap_err(),
+            OrderError::NotAPermutation
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        assert_eq!(
+            peak_of_order(&t, &[NodeId(1), NodeId(1), NodeId(0)]).unwrap_err(),
+            OrderError::NotAPermutation
+        );
+    }
+
+    #[test]
+    fn rejects_parent_before_child() {
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        let e = peak_of_order(&t, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap_err();
+        assert!(matches!(e, OrderError::DependencyViolated { .. }));
+        assert!(e.to_string().contains("before its child"));
+    }
+
+    #[test]
+    fn final_resident_is_root_file() {
+        let mut bld = TreeBuilder::new();
+        let r = bld.node(1.0, 7.0, 0.0);
+        bld.child(r, 1.0, 2.0, 0.0);
+        bld.child(r, 1.0, 3.0, 0.0);
+        let t = bld.build().unwrap();
+        let order = t.postorder();
+        // replay manually to check the invariant: resident ends at f_root
+        let mut resident = 0.0;
+        for &v in &order {
+            resident += t.output(v) - t.input_size(v);
+        }
+        assert_eq!(resident, 7.0);
+        assert_eq!(peak_of_order(&t, &order).unwrap(), 2.0 + 3.0 + 7.0);
+    }
+}

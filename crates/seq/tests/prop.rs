@@ -1,0 +1,97 @@
+//! Property-based cross-validation of the sequential traversal algorithms.
+//!
+//! Random small trees are thrown at the polynomial algorithms and compared
+//! against the exhaustive oracles:
+//!
+//! * `liu_exact` peak == ideal-DP oracle (optimal over ALL traversals);
+//! * `best_postorder` peak == permutation oracle (optimal over postorders);
+//! * the algorithm hierarchy `exact ≤ best postorder ≤ naive postorder`;
+//! * every algorithm's reported peak equals the simulated peak of its order.
+
+use proptest::prelude::*;
+use treesched_model::{TaskTree, ValidateExt};
+use treesched_seq::{
+    best_postorder, liu_exact, naive_postorder, oracle, peak_of_order,
+};
+
+/// Strategy: a random tree of `n` nodes given by a parent vector where
+/// `parents[i] < i` (node 0 is the root), plus random integer-ish weights.
+fn arb_tree(max_nodes: usize, max_weight: u32) -> impl Strategy<Value = TaskTree> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let parents: Vec<BoxedStrategy<usize>> = (1..n)
+                .map(|i| (0..i).boxed())
+                .collect();
+            let weights = proptest::collection::vec(0..=max_weight, n * 2);
+            (parents, weights)
+        })
+        .prop_map(|(parents, weights)| {
+            let n = parents.len() + 1;
+            let pvec: Vec<Option<usize>> = std::iter::once(None)
+                .chain(parents.into_iter().map(Some))
+                .collect();
+            let work = vec![1.0; n];
+            // f in 1..=max+1 (outputs nonzero keeps instances interesting),
+            // n in 0..=max
+            let output: Vec<f64> = (0..n).map(|i| (weights[i] + 1) as f64).collect();
+            let exec: Vec<f64> = (0..n).map(|i| weights[n + i] as f64).collect();
+            TaskTree::from_parents(&pvec, &work, &output, &exec).expect("valid random tree")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn liu_exact_matches_ideal_dp_oracle(t in arb_tree(10, 8)) {
+        prop_assert!(t.validate().is_ok());
+        let ex = liu_exact(&t);
+        prop_assert!(t.is_topological(&ex.order));
+        prop_assert_eq!(peak_of_order(&t, &ex.order).unwrap(), ex.peak);
+        prop_assert_eq!(ex.peak, oracle::min_peak_exhaustive(&t));
+    }
+
+    #[test]
+    fn best_postorder_matches_permutation_oracle(t in arb_tree(9, 6)) {
+        // keep the permutation oracle tractable: skip high-degree trees
+        prop_assume!(t.max_degree() <= 6);
+        let bp = best_postorder(&t);
+        prop_assert_eq!(peak_of_order(&t, &bp.order).unwrap(), bp.peak);
+        prop_assert_eq!(bp.peak, oracle::min_postorder_exhaustive(&t));
+    }
+
+    #[test]
+    fn algorithm_hierarchy(t in arb_tree(12, 10)) {
+        let ex = liu_exact(&t);
+        let bp = best_postorder(&t);
+        let np = naive_postorder(&t);
+        prop_assert!(ex.peak <= bp.peak + 1e-9);
+        prop_assert!(bp.peak <= np.peak + 1e-9);
+        // all bounded below by the largest single-step footprint
+        prop_assert!(ex.peak >= t.max_local_need() - 1e-9);
+    }
+
+    #[test]
+    fn simulated_peaks_are_consistent(t in arb_tree(14, 10)) {
+        for r in [liu_exact(&t), best_postorder(&t), naive_postorder(&t)] {
+            prop_assert!(t.is_topological(&r.order));
+            prop_assert_eq!(peak_of_order(&t, &r.order).unwrap(), r.peak);
+        }
+    }
+
+    #[test]
+    fn pebble_game_exact_at_least_two_for_nontrivial(t in arb_tree(12, 0)) {
+        // pebble-ish game (f = 1, n = 0): any tree with >= 2 nodes needs >= 2
+        let n = t.len();
+        let mut pt = t.clone();
+        for i in pt.ids().collect::<Vec<_>>() {
+            pt.set_output(i, 1.0);
+            pt.set_exec(i, 0.0);
+        }
+        let ex = liu_exact(&pt);
+        if n >= 2 {
+            prop_assert!(ex.peak >= 2.0);
+        }
+        prop_assert!(ex.peak <= n as f64);
+    }
+}

@@ -1,0 +1,389 @@
+//! Assembly trees: relaxed node amalgamation over the elimination tree plus
+//! the paper's multifrontal weight formulas (§6.2).
+//!
+//! Each assembly-tree node amalgamates `η ≥ 1` consecutive elimination-tree
+//! columns; with `µ` the factor column count of the *highest* (closest to
+//! the root) amalgamated column, the paper models the frontal-matrix costs
+//! of the multifrontal factorization as
+//!
+//! ```text
+//! n_i = η² + 2η(µ−1)                      (frontal matrix memory)
+//! w_i = 2/3·η³ + η²(µ−1) + η(µ−1)²        (factor + update flops)
+//! f_i = (µ−1)²                            (contribution block passed up)
+//! ```
+
+use crate::etree::{column_counts, elimination_tree, EliminationTree};
+use crate::ordering::Ordering;
+use crate::pattern::SparsePattern;
+use treesched_model::{TaskTree, TreeError};
+
+/// Per-node weights from the paper's formulas, exposed for tests and
+/// detailed inspection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrontalWeights {
+    /// Execution-file (frontal matrix) size `n_i`.
+    pub exec: f64,
+    /// Processing cost `w_i`.
+    pub work: f64,
+    /// Output-file (contribution block) size `f_i`.
+    pub output: f64,
+}
+
+/// The paper's weight formulas for an amalgamated node with `eta` columns
+/// whose highest column has factor count `mu`.
+pub fn frontal_weights(eta: u32, mu: u32) -> FrontalWeights {
+    let eta = eta as f64;
+    let m = (mu.max(1) - 1) as f64;
+    FrontalWeights {
+        exec: eta * eta + 2.0 * eta * m,
+        work: 2.0 / 3.0 * eta * eta * eta + eta * eta * m + eta * m * m,
+        output: m * m,
+    }
+}
+
+/// Amalgamation rule: which columns may be merged into their parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmalgRule {
+    /// Relaxed (the paper's corpus rule): merge along only-child chains
+    /// while the group holds at most `limit` original columns. Introduces
+    /// logical zeros in the merged front but shrinks the tree aggressively.
+    Relaxed {
+        /// Maximum original columns per assembly node (`η ≤ limit`).
+        limit: u32,
+    },
+    /// Fundamental supernodes: merge an only child `j` into its parent `p`
+    /// only when `cc[j] == cc[p] + 1` — i.e. the two columns have identical
+    /// structure below the diagonal block, so the merge adds **no** fill.
+    Supernode {
+        /// Maximum original columns per assembly node.
+        limit: u32,
+    },
+}
+
+impl AmalgRule {
+    fn limit(self) -> u32 {
+        match self {
+            AmalgRule::Relaxed { limit } | AmalgRule::Supernode { limit } => limit,
+        }
+    }
+}
+
+/// Relaxed amalgamation of an elimination tree: bottom-up, an only child is
+/// merged into its parent while the merged group stays within `limit`
+/// original columns. `limit = 1` keeps the elimination tree as-is (`η = 1`
+/// everywhere); the paper uses limits 1, 2, 4 and 16.
+///
+/// Returns `group[j]` = assembly-node id of column `j` (ids are dense,
+/// `0..#groups`, numbered by the highest column of each group in
+/// elimination order).
+pub fn amalgamate(etree: &EliminationTree, limit: u32) -> Vec<u32> {
+    amalgamate_with(etree, &[], AmalgRule::Relaxed { limit })
+}
+
+/// Amalgamation under an explicit [`AmalgRule`]. `cc` (factor column
+/// counts) is required for [`AmalgRule::Supernode`] and ignored for
+/// [`AmalgRule::Relaxed`] (pass `&[]`).
+pub fn amalgamate_with(etree: &EliminationTree, cc: &[u32], rule: AmalgRule) -> Vec<u32> {
+    let limit = rule.limit();
+    assert!(limit >= 1, "amalgamation limit must be at least 1");
+    if let AmalgRule::Supernode { .. } = rule {
+        assert_eq!(cc.len(), etree.n(), "supernode rule needs column counts");
+    }
+    let n = etree.n();
+    let mut child_count = vec![0u32; n];
+    for j in 0..n {
+        if let Some(p) = etree.parent[j] {
+            child_count[p as usize] += 1;
+        }
+    }
+    // union-find over columns; group representative = highest column
+    let mut rep: Vec<u32> = (0..n as u32).collect();
+    let mut size: Vec<u32> = vec![1; n];
+    fn find(rep: &mut [u32], mut x: u32) -> u32 {
+        while rep[x as usize] != x {
+            let up = rep[rep[x as usize] as usize];
+            rep[x as usize] = up;
+            x = up;
+        }
+        x
+    }
+    // columns in increasing order = bottom-up in the etree
+    for j in 0..n as u32 {
+        let Some(p) = etree.parent[j as usize] else { continue };
+        if child_count[p as usize] != 1 {
+            continue; // both rules merge along only-child chains
+        }
+        if let AmalgRule::Supernode { .. } = rule {
+            // zero-fill condition: column j's structure is the parent's
+            // plus the parent index itself
+            if cc[j as usize] != cc[p as usize] + 1 {
+                continue;
+            }
+        }
+        let gj = find(&mut rep, j);
+        let gp = find(&mut rep, p);
+        if gj != gp && size[gj as usize] + size[gp as usize] <= limit {
+            // attach child group under the parent group; parent rep (higher
+            // column) stays the representative
+            size[gp as usize] += size[gj as usize];
+            rep[gj as usize] = gp;
+        }
+    }
+    // dense group ids ordered by representative column
+    let mut group = vec![u32::MAX; n];
+    let mut reps: Vec<u32> = (0..n as u32)
+        .filter(|&j| find(&mut rep, j) == j)
+        .collect();
+    reps.sort_unstable();
+    let mut id_of_rep = std::collections::HashMap::with_capacity(reps.len());
+    for (id, &r) in reps.iter().enumerate() {
+        id_of_rep.insert(r, id as u32);
+    }
+    for j in 0..n as u32 {
+        group[j as usize] = id_of_rep[&find(&mut rep, j)];
+    }
+    group
+}
+
+/// Builds the assembly [`TaskTree`] for an already-permuted pattern:
+/// elimination tree → relaxed amalgamation (`limit`) → paper weights.
+///
+/// The pattern must be connected (single elimination-tree root); otherwise a
+/// [`TreeError`] is returned.
+pub fn assembly_tree(p: &SparsePattern, limit: u32) -> Result<TaskTree, TreeError> {
+    let etree = elimination_tree(p);
+    let cc = column_counts(p, &etree);
+    assembly_tree_from_etree(&etree, &cc, limit)
+}
+
+/// As [`assembly_tree`], from a precomputed elimination tree and column
+/// counts.
+pub fn assembly_tree_from_etree(
+    etree: &EliminationTree,
+    cc: &[u32],
+    limit: u32,
+) -> Result<TaskTree, TreeError> {
+    assembly_tree_with_rule(etree, cc, AmalgRule::Relaxed { limit })
+}
+
+/// As [`assembly_tree_from_etree`], under an explicit [`AmalgRule`].
+pub fn assembly_tree_with_rule(
+    etree: &EliminationTree,
+    cc: &[u32],
+    rule: AmalgRule,
+) -> Result<TaskTree, TreeError> {
+    let n = etree.n();
+    assert_eq!(cc.len(), n);
+    let group = amalgamate_with(etree, cc, rule);
+    let n_groups = group.iter().copied().max().map_or(0, |m| m as usize + 1);
+
+    // per group: η (size), highest column, parent group
+    let mut eta = vec![0u32; n_groups];
+    let mut highest = vec![0u32; n_groups];
+    for (j, &g) in group.iter().enumerate() {
+        let g = g as usize;
+        eta[g] += 1;
+        highest[g] = highest[g].max(j as u32);
+    }
+    let mut parents: Vec<Option<usize>> = vec![None; n_groups];
+    for g in 0..n_groups {
+        let h = highest[g] as usize;
+        if let Some(p) = etree.parent[h] {
+            let pg = group[p as usize] as usize;
+            debug_assert_ne!(pg, g, "parent of a group's highest column is outside it");
+            parents[g] = Some(pg);
+        }
+    }
+    let mut work = vec![0.0; n_groups];
+    let mut output = vec![0.0; n_groups];
+    let mut exec = vec![0.0; n_groups];
+    for g in 0..n_groups {
+        let wts = frontal_weights(eta[g], cc[highest[g] as usize]);
+        work[g] = wts.work;
+        output[g] = wts.output;
+        exec[g] = wts.exec;
+    }
+    TaskTree::from_parents(&parents, &work, &output, &exec)
+}
+
+/// Convenience pipeline: order a pattern, permute, and build the assembly
+/// tree.
+pub fn assembly_tree_ordered(
+    base: &SparsePattern,
+    ordering: &Ordering,
+    limit: u32,
+) -> Result<TaskTree, TreeError> {
+    assembly_tree(&base.permute(&ordering.order), limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid2d, random_symmetric, Stencil};
+    use crate::ordering::{min_degree, nested_dissection_2d};
+    use treesched_model::ValidateExt;
+
+    #[test]
+    fn weight_formulas_match_paper() {
+        // η = 1, µ = 1: leaf column with no off-diagonals
+        let w = frontal_weights(1, 1);
+        assert_eq!(w.exec, 1.0);
+        assert_eq!(w.work, 2.0 / 3.0);
+        assert_eq!(w.output, 0.0);
+        // η = 2, µ = 4
+        let w = frontal_weights(2, 4);
+        assert_eq!(w.exec, 4.0 + 2.0 * 2.0 * 3.0); // 16
+        assert_eq!(w.work, 2.0 / 3.0 * 8.0 + 4.0 * 3.0 + 2.0 * 9.0); // 35.333…
+        assert_eq!(w.output, 9.0);
+    }
+
+    #[test]
+    fn limit_one_keeps_elimination_tree() {
+        let p = grid2d(4, 4, Stencil::Star).permute(&min_degree(&grid2d(4, 4, Stencil::Star)).order);
+        let et = elimination_tree(&p);
+        let group = amalgamate(&et, 1);
+        // every column its own group
+        let mut sorted = group.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), p.n());
+    }
+
+    #[test]
+    fn amalgamation_respects_limit() {
+        let base = grid2d(8, 8, Stencil::Star);
+        let p = base.permute(&min_degree(&base).order);
+        let et = elimination_tree(&p);
+        for limit in [2u32, 4, 16] {
+            let group = amalgamate(&et, limit);
+            let n_groups = *group.iter().max().unwrap() as usize + 1;
+            let mut eta = vec![0u32; n_groups];
+            for &g in &group {
+                eta[g as usize] += 1;
+            }
+            assert!(eta.iter().all(|&e| e >= 1 && e <= limit));
+        }
+    }
+
+    #[test]
+    fn larger_limits_give_fewer_nodes() {
+        let base = random_symmetric(300, 3.0, 9);
+        let p = base.permute(&min_degree(&base).order);
+        let et = elimination_tree(&p);
+        let sizes: Vec<usize> = [1u32, 2, 4, 16]
+            .iter()
+            .map(|&l| *amalgamate(&et, l).iter().max().unwrap() as usize + 1)
+            .collect();
+        assert!(sizes[0] >= sizes[1] && sizes[1] >= sizes[2] && sizes[2] >= sizes[3]);
+        assert!(sizes[3] < sizes[0], "limit 16 should merge something");
+    }
+
+    #[test]
+    fn chain_amalgamates_to_blocks() {
+        // tridiagonal: pure chain etree; limit 4 → ceil(n/4) groups
+        let p = crate::generate::band(12, 1);
+        let et = elimination_tree(&p);
+        let group = amalgamate(&et, 4);
+        let n_groups = *group.iter().max().unwrap() + 1;
+        assert_eq!(n_groups, 3);
+    }
+
+    #[test]
+    fn assembly_tree_valid_for_all_pipelines() {
+        let grids = grid2d(7, 6, Stencil::Star);
+        let rand = random_symmetric(150, 4.0, 21);
+        let cases: Vec<(crate::pattern::SparsePattern, Ordering)> = vec![
+            (grids.clone(), min_degree(&grids)),
+            (grids.clone(), nested_dissection_2d(7, 6)),
+            (rand.clone(), min_degree(&rand)),
+        ];
+        for (base, ord) in cases {
+            for limit in [1u32, 2, 4, 16] {
+                let t = assembly_tree_ordered(&base, &ord, limit).expect("valid tree");
+                assert!(t.validate().is_ok());
+                assert!(t.len() <= base.n());
+                // weights positive/meaningful
+                for i in t.ids() {
+                    assert!(t.work(i) > 0.0);
+                    assert!(t.exec(i) >= 1.0);
+                    assert!(t.output(i) >= 0.0);
+                }
+                // root has the final (often zero-ish) contribution block
+                let _ = t.root();
+            }
+        }
+    }
+
+    #[test]
+    fn assembly_weights_use_highest_column_mu() {
+        // tridiagonal 4×4 with limit 2: groups {0,1} and {2,3};
+        // cc = [2,2,2,1]; group 0 highest column 1 (µ=2), group 1 highest
+        // column 3 (µ=1)
+        let p = crate::generate::band(4, 1);
+        let t = assembly_tree(&p, 2).unwrap();
+        assert_eq!(t.len(), 2);
+        let leaf = t.leaves()[0];
+        let root = t.root();
+        // leaf: η=2, µ=2 -> n = 4 + 2·2·1 = 8, f = 1, w = 16/3 + 4 + 2
+        assert_eq!(t.exec(leaf), 8.0);
+        assert_eq!(t.output(leaf), 1.0);
+        assert!((t.work(leaf) - (16.0 / 3.0 + 4.0 + 2.0)).abs() < 1e-12);
+        // root: η=2, µ=1 -> n = 4, f = 0, w = 16/3
+        assert_eq!(t.exec(root), 4.0);
+        assert_eq!(t.output(root), 0.0);
+        assert!((t.work(root) - 16.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pattern_fails_cleanly() {
+        let p = SparsePattern::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(assembly_tree(&p, 1).is_err());
+    }
+
+    #[test]
+    fn supernode_rule_rejects_fill_creating_merges() {
+        // tridiagonal: struct(j) = {j+1} differs from struct(j+1) = {j+2},
+        // so cc[j] == cc[p] (= 2), not cc[p] + 1 — no supernode merges,
+        // except the final pair (cc 2 and 1) which is a genuine supernode
+        let p = crate::generate::band(8, 1);
+        let et = elimination_tree(&p);
+        let cc = crate::etree::column_counts(&p, &et);
+        let group = amalgamate_with(&et, &cc, AmalgRule::Supernode { limit: 16 });
+        let n_groups = *group.iter().max().unwrap() as usize + 1;
+        assert_eq!(n_groups, 7, "only the trailing pair is a supernode");
+        // ... while the relaxed rule merges freely
+        let relaxed = amalgamate_with(&et, &cc, AmalgRule::Relaxed { limit: 16 });
+        assert_eq!(*relaxed.iter().max().unwrap(), 0);
+    }
+
+    #[test]
+    fn supernode_rule_merges_dense_trailing_block() {
+        // a fully dense pattern: every column's structure is the trailing
+        // block, cc[j] = n - j, so cc[j] == cc[j+1] + 1 everywhere — one
+        // giant supernode up to the cap
+        let n = 6;
+        let p = crate::generate::band(n, n - 1);
+        let et = elimination_tree(&p);
+        let cc = crate::etree::column_counts(&p, &et);
+        assert_eq!(cc, vec![6, 5, 4, 3, 2, 1]);
+        let group = amalgamate_with(&et, &cc, AmalgRule::Supernode { limit: 16 });
+        assert_eq!(*group.iter().max().unwrap(), 0, "single supernode");
+        // capped at 3: two supernodes
+        let capped = amalgamate_with(&et, &cc, AmalgRule::Supernode { limit: 3 });
+        assert_eq!(*capped.iter().max().unwrap(), 1);
+    }
+
+    #[test]
+    fn supernode_assembly_tree_never_smaller_than_relaxed() {
+        let base = grid2d(9, 7, Stencil::Star);
+        let p = base.permute(&min_degree(&base).order);
+        let et = elimination_tree(&p);
+        let cc = crate::etree::column_counts(&p, &et);
+        for limit in [2u32, 4, 16] {
+            let sn = assembly_tree_with_rule(&et, &cc, AmalgRule::Supernode { limit }).unwrap();
+            let rx = assembly_tree_with_rule(&et, &cc, AmalgRule::Relaxed { limit }).unwrap();
+            assert!(sn.len() >= rx.len(), "limit {limit}");
+            assert!(sn.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Elimination trees and symbolic Cholesky factorization.
+//!
+//! The elimination tree of a (permuted) symmetric pattern drives the
+//! multifrontal method: `parent(j) = min { i > j : L_ij ≠ 0 }`. We compute
+//! it with Liu's ancestor/union-find algorithm (near-linear), and the
+//! per-column factor counts `µ_j = |{i ≥ j : L_ij ≠ 0}|` by row-subtree
+//! traversal. A quadratic reference symbolic factorization is provided as a
+//! cross-check oracle.
+
+use crate::pattern::SparsePattern;
+
+/// Elimination tree over the *eliminated* (permuted) indices `0..n`:
+/// `parent[j] = Some(i)` with `i > j`, `None` for roots. Connected patterns
+/// give a single root (the last-eliminated vertex).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EliminationTree {
+    /// Parent of each column, `None` for roots.
+    pub parent: Vec<Option<u32>>,
+}
+
+impl EliminationTree {
+    /// Number of columns.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Indices of the roots (vertices without a parent).
+    pub fn roots(&self) -> Vec<u32> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Computes the elimination tree of an already-permuted pattern
+/// (Liu's algorithm with path compression).
+pub fn elimination_tree(p: &SparsePattern) -> EliminationTree {
+    let n = p.n();
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    // `ancestor` implements path compression over partially built subtrees
+    let mut ancestor: Vec<u32> = (0..n as u32).collect();
+    for j in 0..n {
+        for &i in p.neighbors(j) {
+            let i = i as usize;
+            if i >= j {
+                continue;
+            }
+            // climb from i to its current root, compressing
+            let mut r = i;
+            loop {
+                let a = ancestor[r] as usize;
+                if a == r || a == j {
+                    break;
+                }
+                r = a;
+            }
+            // second pass: compress the path to point at j
+            let mut c = i;
+            while c != r {
+                let next = ancestor[c] as usize;
+                ancestor[c] = j as u32;
+                c = next;
+            }
+            if r != j && parent[r].is_none() {
+                parent[r] = Some(j as u32);
+                ancestor[r] = j as u32;
+            }
+        }
+    }
+    EliminationTree { parent }
+}
+
+/// Per-column nonzero counts of the Cholesky factor `L` (including the
+/// diagonal): `µ_j = |{i ≥ j : L_ij ≠ 0}|`, by row-subtree traversal over
+/// the elimination tree.
+pub fn column_counts(p: &SparsePattern, etree: &EliminationTree) -> Vec<u32> {
+    let n = p.n();
+    let mut cc = vec![1u32; n]; // diagonal
+    let mut mark = vec![u32::MAX; n];
+    for i in 0..n {
+        mark[i] = i as u32; // the row vertex itself terminates climbs
+        for &k in p.neighbors(i) {
+            let k = k as usize;
+            if k >= i {
+                continue;
+            }
+            // walk up the etree from k towards i, counting row i once per
+            // newly visited column
+            let mut j = k;
+            while mark[j] != i as u32 {
+                mark[j] = i as u32;
+                cc[j] += 1;
+                match etree.parent[j] {
+                    Some(pj) => j = pj as usize,
+                    None => break,
+                }
+            }
+        }
+    }
+    cc
+}
+
+/// Reference symbolic factorization: the full column structures of `L`
+/// (excluding the diagonal), computed by child-merging. Quadratic memory —
+/// use only on small patterns and in tests.
+pub fn symbolic_factorization(p: &SparsePattern) -> Vec<Vec<u32>> {
+    let n = p.n();
+    let mut cols: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // struct(j) = (adj(j) ∩ {>j}) ∪ (∪_{children c} struct(c) \ {j})
+    // computed in increasing j; children are columns whose current minimum
+    // row index is j
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let mut set: std::collections::BTreeSet<u32> = p
+            .neighbors(j)
+            .iter()
+            .copied()
+            .filter(|&i| i as usize > j)
+            .collect();
+        for &c in &children[j] {
+            for &i in &cols[c as usize] {
+                if i as usize > j {
+                    set.insert(i);
+                }
+            }
+        }
+        let col: Vec<u32> = set.into_iter().collect();
+        if let Some(&first) = col.first() {
+            children[first as usize].push(j as u32);
+        }
+        cols[j] = col;
+    }
+    cols
+}
+
+/// Total factor nonzeros (both the fill metric and a corpus statistic).
+pub fn factor_nnz(column_counts: &[u32]) -> u64 {
+    column_counts.iter().map(|&c| c as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid2d, random_symmetric, Stencil};
+    use crate::ordering::{min_degree, Ordering};
+
+    /// Hand-worked example: the 4-cycle 0-1-2-3-0. Eliminating 0 fills
+    /// (1,3); the factor columns are 0:{1,3}, 1:{2,3}, 2:{3}, 3:{}.
+    #[test]
+    fn four_cycle_by_hand() {
+        let p = SparsePattern::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let sym = symbolic_factorization(&p);
+        assert_eq!(sym[0], vec![1, 3]);
+        assert_eq!(sym[1], vec![2, 3]);
+        assert_eq!(sym[2], vec![3]);
+        assert!(sym[3].is_empty());
+        let et = elimination_tree(&p);
+        assert_eq!(et.parent, vec![Some(1), Some(2), Some(3), None]);
+        let cc = column_counts(&p, &et);
+        assert_eq!(cc, vec![3, 3, 2, 1]);
+        assert_eq!(factor_nnz(&cc), 9);
+    }
+
+    /// A tridiagonal matrix has a chain elimination tree and no fill.
+    #[test]
+    fn tridiagonal_chain() {
+        let p = crate::generate::band(6, 1);
+        let et = elimination_tree(&p);
+        for j in 0..5 {
+            assert_eq!(et.parent[j], Some(j as u32 + 1));
+        }
+        assert_eq!(et.parent[5], None);
+        let cc = column_counts(&p, &et);
+        assert_eq!(cc, vec![2, 2, 2, 2, 2, 1]);
+    }
+
+    /// An arrow matrix (dense last row/col) has a star-to-chain etree and no
+    /// fill when the hub is eliminated last.
+    #[test]
+    fn arrow_no_fill() {
+        let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, 5u32)).collect();
+        let p = SparsePattern::from_edges(6, &edges);
+        let et = elimination_tree(&p);
+        for j in 0..5 {
+            assert_eq!(et.parent[j], Some(5));
+        }
+        let cc = column_counts(&p, &et);
+        assert_eq!(cc, vec![2, 2, 2, 2, 2, 1]);
+    }
+
+    /// Column counts agree with the reference symbolic factorization on
+    /// assorted patterns and orderings.
+    #[test]
+    fn counts_match_reference() {
+        let cases: Vec<SparsePattern> = vec![
+            grid2d(5, 4, Stencil::Star),
+            grid2d(4, 4, Stencil::Box),
+            random_symmetric(60, 3.0, 11),
+            random_symmetric(40, 6.0, 5),
+        ];
+        for base in cases {
+            for ord in [Ordering::natural(base.n()), min_degree(&base)] {
+                let p = base.permute(&ord.order);
+                let et = elimination_tree(&p);
+                let cc = column_counts(&p, &et);
+                let sym = symbolic_factorization(&p);
+                for j in 0..p.n() {
+                    assert_eq!(
+                        cc[j] as usize,
+                        sym[j].len() + 1,
+                        "column {j} mismatch"
+                    );
+                }
+                // etree parent = first off-diagonal of the factor column
+                for j in 0..p.n() {
+                    assert_eq!(et.parent[j], sym[j].first().copied(), "parent of {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_pattern_single_root() {
+        let p = grid2d(6, 3, Stencil::Star);
+        let et = elimination_tree(&p);
+        assert_eq!(et.roots(), vec![p.n() as u32 - 1]);
+    }
+
+    #[test]
+    fn min_degree_reduces_fill_on_grid() {
+        let base = grid2d(10, 10, Stencil::Star);
+        let fill = |ord: &Ordering| {
+            let p = base.permute(&ord.order);
+            let et = elimination_tree(&p);
+            factor_nnz(&column_counts(&p, &et))
+        };
+        let natural = fill(&Ordering::natural(100));
+        let md = fill(&min_degree(&base));
+        assert!(md < natural, "MD fill {md} should beat natural {natural}");
+    }
+
+    #[test]
+    fn nested_dissection_reduces_fill_on_grid() {
+        let base = grid2d(15, 15, Stencil::Star);
+        let fill = |order: &[u32]| {
+            let p = base.permute(order);
+            let et = elimination_tree(&p);
+            factor_nnz(&column_counts(&p, &et))
+        };
+        let natural = fill(&Ordering::natural(225).order);
+        let nd = fill(&crate::ordering::nested_dissection_2d(15, 15).order);
+        assert!(nd < natural, "ND fill {nd} should beat natural {natural}");
+    }
+}

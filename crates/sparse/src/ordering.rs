@@ -1,0 +1,407 @@
+//! Fill-reducing orderings: minimum degree, reverse Cuthill–McKee, and
+//! geometric nested dissection for grid graphs.
+//!
+//! These substitute for the `amd` and MeTiS orderings of the paper's corpus
+//! pipeline (§6.2): minimum degree is the same algorithmic family as `amd`,
+//! and geometric nested dissection is exact on the grid Laplacians where
+//! MeTiS would be used on general meshes.
+
+use crate::pattern::SparsePattern;
+
+/// An elimination ordering: `order[k]` is the original vertex eliminated at
+/// step `k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ordering {
+    /// `order[k]` = original index of the `k`-th eliminated vertex.
+    pub order: Vec<u32>,
+}
+
+impl Ordering {
+    /// The identity (natural) ordering.
+    pub fn natural(n: usize) -> Ordering {
+        Ordering { order: (0..n as u32).collect() }
+    }
+
+    /// Positions: `inverse()[old] = k` such that `order[k] == old`.
+    pub fn inverse(&self) -> Vec<u32> {
+        let mut inv = vec![u32::MAX; self.order.len()];
+        for (k, &old) in self.order.iter().enumerate() {
+            inv[old as usize] = k as u32;
+        }
+        inv
+    }
+
+    /// `true` when this is a permutation of `0..n`.
+    pub fn is_permutation_of(&self, n: usize) -> bool {
+        if self.order.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &v in &self.order {
+            if v as usize >= n || seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        true
+    }
+}
+
+/// Reverse Cuthill–McKee: BFS from a pseudo-peripheral vertex, neighbors
+/// visited by increasing degree, then reversed. Produces banded structures
+/// (chain-like elimination trees) — the "bad for parallelism" end of the
+/// ordering spectrum.
+pub fn reverse_cuthill_mckee(p: &SparsePattern) -> Ordering {
+    let n = p.n();
+    if n == 0 {
+        return Ordering { order: Vec::new() };
+    }
+    // pseudo-peripheral start: double BFS sweep from vertex 0
+    let far = |start: usize| -> usize {
+        let mut dist = vec![u32::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        dist[start] = 0;
+        q.push_back(start);
+        let mut last = start;
+        while let Some(v) = q.pop_front() {
+            last = v;
+            for &u in p.neighbors(v) {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = dist[v] + 1;
+                    q.push_back(u as usize);
+                }
+            }
+        }
+        last
+    };
+    let start = far(far(0));
+
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // handle disconnected graphs: restart BFS per component
+    let mut starts: Vec<usize> = vec![start];
+    starts.extend(0..n);
+    for s in starts {
+        if seen[s] {
+            continue;
+        }
+        seen[s] = true;
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(s as u32);
+        while let Some(v) = q.pop_front() {
+            order.push(v);
+            let mut nbrs: Vec<u32> = p
+                .neighbors(v as usize)
+                .iter()
+                .copied()
+                .filter(|&u| !seen[u as usize])
+                .collect();
+            nbrs.sort_by_key(|&u| (p.degree(u as usize), u));
+            for u in nbrs {
+                seen[u as usize] = true;
+                q.push_back(u);
+            }
+        }
+    }
+    order.reverse();
+    Ordering { order }
+}
+
+/// Minimum-degree ordering on the quotient (element) graph: at each step the
+/// variable of smallest exterior degree is eliminated, its adjacency merged
+/// into a new *element*, and the degrees of the affected variables are
+/// recomputed exactly. This is the plain (non-approximate, non-supervariable)
+/// form of the algorithm behind `amd`.
+pub fn min_degree(p: &SparsePattern) -> Ordering {
+    let n = p.n();
+    let mut adj_vars: Vec<Vec<u32>> = (0..n).map(|i| p.neighbors(i).to_vec()).collect();
+    let mut adj_elems: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut elems: Vec<Vec<u32>> = Vec::new(); // element -> member variables
+    let mut elem_alive: Vec<bool> = Vec::new();
+    let mut var_alive = vec![true; n];
+    let mut degree: Vec<usize> = (0..n).map(|i| p.degree(i)).collect();
+    // member_mark: which elimination step last saw a variable as a member of
+    // the freshly created element (drives adjacency pruning).
+    // scan_mark: per degree-recomputation scan (drives set-union counting).
+    let mut member_mark = vec![0u32; n];
+    let mut scan_mark = vec![0u32; n];
+    let mut elim_stamp = 0u32;
+    let mut scan_stamp = 0u32;
+
+    // lazy-deletion min-heap of (degree, vertex)
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> =
+        (0..n).map(|i| std::cmp::Reverse((degree[i], i as u32))).collect();
+
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        let v = v as usize;
+        if !var_alive[v] || d != degree[v] {
+            continue; // stale entry
+        }
+        order.push(v as u32);
+        var_alive[v] = false;
+
+        // gather the variables of the new element: live var-neighbors plus
+        // the members of all adjacent elements
+        elim_stamp += 1;
+        let mut members: Vec<u32> = Vec::new();
+        for &u in &adj_vars[v] {
+            let ui = u as usize;
+            if var_alive[ui] && member_mark[ui] != elim_stamp {
+                member_mark[ui] = elim_stamp;
+                members.push(u);
+            }
+        }
+        for &e in &adj_elems[v] {
+            if !elem_alive[e as usize] {
+                continue;
+            }
+            for &u in &elems[e as usize] {
+                let ui = u as usize;
+                if var_alive[ui] && member_mark[ui] != elim_stamp {
+                    member_mark[ui] = elim_stamp;
+                    members.push(u);
+                }
+            }
+            elem_alive[e as usize] = false; // absorbed
+        }
+        let e_new = elems.len() as u32;
+        elems.push(members.clone());
+        elem_alive.push(true);
+
+        // first pass: prune every member's adjacency (vars covered by e_new
+        // or dead) and attach the new element
+        for &u in &members {
+            let ui = u as usize;
+            adj_vars[ui].retain(|&w| {
+                let wi = w as usize;
+                var_alive[wi] && member_mark[wi] != elim_stamp
+            });
+            adj_elems[ui].retain(|&e| elem_alive[e as usize]);
+            adj_elems[ui].push(e_new);
+        }
+        // second pass: recompute each member's exact exterior degree
+        // |adj_vars[u] ∪ (∪_{e ∈ adj_elems[u]} vars(e))  {u}|
+        for &u in &members {
+            let ui = u as usize;
+            scan_stamp += 1;
+            scan_mark[ui] = scan_stamp; // exclude self
+            let mut deg = 0usize;
+            for &w in &adj_vars[ui] {
+                let wi = w as usize;
+                if var_alive[wi] && scan_mark[wi] != scan_stamp {
+                    scan_mark[wi] = scan_stamp;
+                    deg += 1;
+                }
+            }
+            for &e in &adj_elems[ui] {
+                for &w in &elems[e as usize] {
+                    let wi = w as usize;
+                    if var_alive[wi] && scan_mark[wi] != scan_stamp {
+                        scan_mark[wi] = scan_stamp;
+                        deg += 1;
+                    }
+                }
+            }
+            degree[ui] = deg;
+            heap.push(std::cmp::Reverse((deg, u)));
+        }
+    }
+    Ordering { order }
+}
+
+/// Geometric nested dissection for a 2D grid: recursively order the two
+/// halves, then the separator line, giving the balanced elimination trees
+/// MeTiS would produce on mesh matrices. Vertex `(x, y)` has index
+/// `y * nx + x`, matching [`crate::generate::grid2d`].
+pub fn nested_dissection_2d(nx: usize, ny: usize) -> Ordering {
+    let mut order = Vec::with_capacity(nx * ny);
+    rec2(0, nx, 0, ny, nx, &mut order);
+    Ordering { order }
+}
+
+fn rec2(x0: usize, x1: usize, y0: usize, y1: usize, nx: usize, out: &mut Vec<u32>) {
+    let w = x1 - x0;
+    let h = y1 - y0;
+    if w == 0 || h == 0 {
+        return;
+    }
+    if w * h <= 4 {
+        for y in y0..y1 {
+            for x in x0..x1 {
+                out.push((y * nx + x) as u32);
+            }
+        }
+        return;
+    }
+    if w >= h {
+        let xm = x0 + w / 2;
+        rec2(x0, xm, y0, y1, nx, out);
+        rec2(xm + 1, x1, y0, y1, nx, out);
+        for y in y0..y1 {
+            out.push((y * nx + xm) as u32);
+        }
+    } else {
+        let ym = y0 + h / 2;
+        rec2(x0, x1, y0, ym, nx, out);
+        rec2(x0, x1, ym + 1, y1, nx, out);
+        for x in x0..x1 {
+            out.push((ym * nx + x) as u32);
+        }
+    }
+}
+
+/// Geometric nested dissection for a 3D grid (separator planes). Vertex
+/// `(x, y, z)` has index `(z * ny + y) * nx + x`, matching
+/// [`crate::generate::grid3d`].
+pub fn nested_dissection_3d(nx: usize, ny: usize, nz: usize) -> Ordering {
+    let mut order = Vec::with_capacity(nx * ny * nz);
+    rec3(0, nx, 0, ny, 0, nz, nx, ny, &mut order);
+    Ordering { order }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec3(
+    x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize,
+    nx: usize, ny: usize, out: &mut Vec<u32>,
+) {
+    let (w, h, d) = (x1 - x0, y1 - y0, z1 - z0);
+    if w == 0 || h == 0 || d == 0 {
+        return;
+    }
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as u32;
+    if w * h * d <= 8 {
+        for z in z0..z1 {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    out.push(idx(x, y, z));
+                }
+            }
+        }
+        return;
+    }
+    if w >= h && w >= d {
+        let xm = x0 + w / 2;
+        rec3(x0, xm, y0, y1, z0, z1, nx, ny, out);
+        rec3(xm + 1, x1, y0, y1, z0, z1, nx, ny, out);
+        for z in z0..z1 {
+            for y in y0..y1 {
+                out.push(idx(xm, y, z));
+            }
+        }
+    } else if h >= d {
+        let ym = y0 + h / 2;
+        rec3(x0, x1, y0, ym, z0, z1, nx, ny, out);
+        rec3(x0, x1, ym + 1, y1, z0, z1, nx, ny, out);
+        for z in z0..z1 {
+            for x in x0..x1 {
+                out.push(idx(x, ym, z));
+            }
+        }
+    } else {
+        let zm = z0 + d / 2;
+        rec3(x0, x1, y0, y1, z0, zm, nx, ny, out);
+        rec3(x0, x1, y0, y1, zm + 1, z1, nx, ny, out);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                out.push(idx(x, y, zm));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid2d, grid3d, random_symmetric, Stencil};
+
+    #[test]
+    fn natural_identity() {
+        let o = Ordering::natural(5);
+        assert_eq!(o.order, vec![0, 1, 2, 3, 4]);
+        assert!(o.is_permutation_of(5));
+        assert_eq!(o.inverse(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rcm_is_permutation() {
+        let p = grid2d(7, 5, Stencil::Star);
+        let o = reverse_cuthill_mckee(&p);
+        assert!(o.is_permutation_of(35));
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_shuffled_band() {
+        // a band matrix permuted randomly: RCM should restore a small
+        // bandwidth
+        let p = crate::generate::band(60, 2);
+        let shuffle: Vec<u32> = {
+            // deterministic shuffle
+            let mut v: Vec<u32> = (0..60).collect();
+            let mut s = 12345u64;
+            for i in (1..60usize).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (s >> 33) as usize % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        };
+        let scrambled = p.permute(&shuffle);
+        let bw = |q: &crate::pattern::SparsePattern| -> usize {
+            (0..q.n())
+                .flat_map(|i| q.neighbors(i).iter().map(move |&j| (i as i64 - j as i64).unsigned_abs() as usize))
+                .max()
+                .unwrap_or(0)
+        };
+        let o = reverse_cuthill_mckee(&scrambled);
+        let reordered = scrambled.permute(&o.order);
+        assert!(bw(&reordered) < bw(&scrambled) / 2, "{} vs {}", bw(&reordered), bw(&scrambled));
+    }
+
+    #[test]
+    fn min_degree_is_permutation() {
+        for p in [
+            grid2d(6, 6, Stencil::Star),
+            grid3d(3, 3, 3, Stencil::Star),
+            random_symmetric(200, 4.0, 3),
+        ] {
+            let o = min_degree(&p);
+            assert!(o.is_permutation_of(p.n()));
+        }
+    }
+
+    #[test]
+    fn min_degree_eliminates_leaves_first() {
+        // a star graph: the center has degree n-1, the tips degree 1; MD
+        // must eliminate at least 6 tips before the center becomes degree-1
+        // and eligible (ties allow the hub to go just before the last tip)
+        let edges: Vec<(u32, u32)> = (1..8).map(|i| (0u32, i as u32)).collect();
+        let p = crate::pattern::SparsePattern::from_edges(8, &edges);
+        let o = min_degree(&p);
+        let hub_pos = o.order.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= 6, "hub eliminated too early at {hub_pos}");
+    }
+
+    #[test]
+    fn nested_dissection_2d_is_permutation_and_ends_with_separator() {
+        let o = nested_dissection_2d(7, 7);
+        assert!(o.is_permutation_of(49));
+        // the final entries are the top-level separator column x = 3
+        let last7: Vec<u32> = o.order[42..].to_vec();
+        let expect: Vec<u32> = (0..7).map(|y| y * 7 + 3).collect();
+        assert_eq!(last7, expect);
+    }
+
+    #[test]
+    fn nested_dissection_3d_is_permutation() {
+        let o = nested_dissection_3d(5, 4, 3);
+        assert!(o.is_permutation_of(60));
+    }
+
+    #[test]
+    fn nd_degenerate_sizes() {
+        assert!(nested_dissection_2d(1, 9).is_permutation_of(9));
+        assert!(nested_dissection_2d(9, 1).is_permutation_of(9));
+        assert!(nested_dissection_3d(1, 1, 5).is_permutation_of(5));
+    }
+}

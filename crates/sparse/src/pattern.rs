@@ -1,0 +1,170 @@
+//! Symmetric sparse-matrix patterns (structure only — the scheduling
+//! problem never needs numerical values).
+
+/// The adjacency structure of a symmetric sparse matrix: vertex `i`
+/// corresponds to row/column `i`, and an edge `{i, j}` to a symmetric
+/// off-diagonal nonzero pair. Diagonal entries are implicit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparsePattern {
+    n: usize,
+    /// Sorted, deduplicated neighbor lists without self-loops.
+    adj: Vec<Vec<u32>>,
+}
+
+impl SparsePattern {
+    /// Builds a pattern from undirected edges; duplicates and self-loops are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of `0..n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> SparsePattern {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            if a == b {
+                continue;
+            }
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        SparsePattern { n, adj }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Neighbors (off-diagonal nonzero columns) of row `i`, sorted.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adj[i]
+    }
+
+    /// Off-diagonal degree of row `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Number of off-diagonal nonzeros (both triangles).
+    pub fn nnz_offdiag(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Total nonzeros including the diagonal.
+    pub fn nnz(&self) -> usize {
+        self.nnz_offdiag() + self.n
+    }
+
+    /// Average nonzeros per row (including the diagonal), the corpus
+    /// selection metric of the paper (§6.2).
+    pub fn nnz_per_row(&self) -> f64 {
+        self.nnz() as f64 / self.n as f64
+    }
+
+    /// Renumbers the vertices so that `order[k]` becomes vertex `k`
+    /// (i.e. applies a symmetric permutation `P A Pᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a permutation of `0..n`.
+    pub fn permute(&self, order: &[u32]) -> SparsePattern {
+        assert_eq!(order.len(), self.n, "order must cover every vertex");
+        let mut inv = vec![u32::MAX; self.n];
+        for (new, &old) in order.iter().enumerate() {
+            assert!(
+                inv[old as usize] == u32::MAX,
+                "duplicate vertex {old} in order"
+            );
+            inv[old as usize] = new as u32;
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for (new, &old) in order.iter().enumerate() {
+            let mut l: Vec<u32> = self.adj[old as usize]
+                .iter()
+                .map(|&nb| inv[nb as usize])
+                .collect();
+            l.sort_unstable();
+            adj[new] = l;
+        }
+        SparsePattern { n: self.n, adj }
+    }
+
+    /// `true` when the pattern graph is connected (ignoring isolated
+    /// vertices makes no sense for factorization, so they count as their own
+    /// components).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &u in &self.adj[v] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    count += 1;
+                    stack.push(u as usize);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let p = SparsePattern::from_edges(4, &[(0, 1), (1, 0), (2, 1), (3, 3), (0, 3)]);
+        assert_eq!(p.neighbors(0), &[1, 3]);
+        assert_eq!(p.neighbors(1), &[0, 2]);
+        assert_eq!(p.neighbors(3), &[0]); // self-loop dropped
+        assert_eq!(p.nnz_offdiag(), 6);
+        assert_eq!(p.nnz(), 10);
+    }
+
+    #[test]
+    fn nnz_per_row() {
+        let p = SparsePattern::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!((p.nnz_per_row() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let p = SparsePattern::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let order = vec![3, 1, 0, 2];
+        let q = p.permute(&order);
+        // new vertex 0 = old 3, neighbors of old 3 = {2} = new 3
+        assert_eq!(q.neighbors(0), &[3]);
+        // permuting back with the inverse recovers the original
+        let mut inv = vec![0u32; 4];
+        for (new, &old) in order.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        assert_eq!(q.permute(&inv), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn permute_rejects_non_permutation() {
+        let p = SparsePattern::from_edges(3, &[(0, 1)]);
+        let _ = p.permute(&[0, 0, 2]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let p = SparsePattern::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(p.is_connected());
+        let q = SparsePattern::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!q.is_connected());
+    }
+}

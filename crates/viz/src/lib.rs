@@ -1,0 +1,11 @@
+//! Text rendering of trees and schedules: ASCII Gantt charts, memory
+//! profiles, and tree sketches — the visual half of the experiment
+//! tooling, with no graphics dependency.
+
+pub mod gantt;
+pub mod profile;
+pub mod treeview;
+
+pub use gantt::{gantt, GanttOptions};
+pub use profile::{memory_profile_plot, ProfileOptions};
+pub use treeview::tree_sketch;

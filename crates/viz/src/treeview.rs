@@ -1,0 +1,79 @@
+//! Indented text sketches of task trees.
+
+use std::fmt::Write as _;
+use treesched_model::{NodeId, TaskTree};
+
+/// Renders the tree as an indented sketch with box-drawing connectors,
+/// truncating at `max_nodes` (a `...` marker reports elision). Weights are
+/// shown as `w/f/n`.
+pub fn tree_sketch(tree: &TaskTree, max_nodes: usize) -> String {
+    let mut out = String::new();
+    let mut printed = 0usize;
+    // stack of (node, prefix, is_last_child, is_root)
+    let mut stack: Vec<(NodeId, String, bool, bool)> =
+        vec![(tree.root(), String::new(), true, true)];
+    while let Some((v, prefix, last, is_root)) = stack.pop() {
+        if printed >= max_nodes {
+            let _ = writeln!(out, "{prefix}...");
+            break;
+        }
+        let connector = if is_root {
+            ""
+        } else if last {
+            "└─ "
+        } else {
+            "├─ "
+        };
+        let _ = writeln!(
+            out,
+            "{prefix}{connector}{} (w={} f={} n={})",
+            v.index(),
+            tree.work(v),
+            tree.output(v),
+            tree.exec(v)
+        );
+        printed += 1;
+        let child_prefix = if is_root {
+            String::new()
+        } else if last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        let kids = tree.children(v);
+        for (k, &c) in kids.iter().enumerate().rev() {
+            stack.push((c, child_prefix.clone(), k == kids.len() - 1, false));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_model::TreeBuilder;
+
+    #[test]
+    fn sketch_shows_structure() {
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 2.0, 3.0);
+        let x = b.child(r, 4.0, 5.0, 6.0);
+        b.child(x, 7.0, 8.0, 9.0);
+        b.child(r, 10.0, 11.0, 12.0);
+        let t = b.build().unwrap();
+        let s = tree_sketch(&t, 100);
+        assert!(s.contains("0 (w=1 f=2 n=3)"));
+        assert!(s.contains("├─ 1"));
+        assert!(s.contains("└─ 3"));
+        assert!(s.contains("└─ 2 (w=7 f=8 n=9)"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn sketch_truncates() {
+        let t = treesched_model::TaskTree::chain(100, 1.0, 1.0, 0.0);
+        let s = tree_sketch(&t, 5);
+        assert!(s.contains("..."));
+        assert!(s.lines().count() <= 7);
+    }
+}

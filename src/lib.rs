@@ -1,0 +1,23 @@
+//! # treesched — memory- and makespan-aware scheduling of task trees
+//!
+//! Facade crate re-exporting the full `treesched` workspace: a Rust
+//! reproduction of Marchal, Sinnen and Vivien, *“Scheduling tree-shaped task
+//! graphs to minimize memory and makespan”* (INRIA RR-8082 / IPDPS 2013).
+//!
+//! * [`model`] — the task-tree data model (paper §3).
+//! * [`seq`] — sequential memory-optimal traversals (Liu 1986/1987).
+//! * [`core`] — the paper's parallel heuristics and simulators (§5).
+//! * [`sparse`] — sparse-matrix substrate producing assembly trees (§6.2).
+//! * [`gen`] — instance generators, including the proof constructions (§4).
+//! * [`viz`] — text rendering: Gantt charts, memory profiles, tree sketches.
+//!
+//! The most common entry points are re-exported at the crate root.
+
+pub use treesched_core as core;
+pub use treesched_gen as gen;
+pub use treesched_model as model;
+pub use treesched_seq as seq;
+pub use treesched_sparse as sparse;
+pub use treesched_viz as viz;
+
+pub use treesched_model::{NodeId, TaskTree, TreeBuilder, TreeStats};

@@ -1,0 +1,55 @@
+//! Cross-crate I/O integration: the text format round-trips every tree the
+//! generators produce, and the DOT export stays well-formed.
+
+use treesched::gen::{self, assembly_corpus, Scale, WeightRange};
+use treesched::model::io;
+
+#[test]
+fn text_roundtrip_across_generators() {
+    let trees = vec![
+        gen::random_attachment(200, WeightRange::MIXED, 5),
+        gen::random_deep(150, 2, WeightRange::MIXED, 6),
+        gen::caterpillar(10, 3),
+        gen::spider(6, 5),
+        gen::theory::inapprox_tree(3, 4),
+        gen::theory::inner_first_gadget(3, 4),
+        gen::theory::long_chain_tree(5, 3),
+    ];
+    for t in trees {
+        let text = io::to_text(&t);
+        let back = io::from_text(&text).expect("roundtrip parse");
+        assert_eq!(t, back);
+    }
+}
+
+#[test]
+fn text_roundtrip_corpus_trees() {
+    let corpus = assembly_corpus(Scale::Small);
+    for e in corpus.iter().take(8) {
+        let text = io::to_text(&e.tree);
+        let back = io::from_text(&text).unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert_eq!(e.tree, back, "{}", e.name);
+    }
+}
+
+#[test]
+fn dot_export_well_formed() {
+    let t = gen::spider(3, 2);
+    let dot = io::to_dot(&t, "spider");
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.trim_end().ends_with('}'));
+    // one node line per task, one edge per non-root
+    let nodes = dot.lines().filter(|l| l.contains("[label=")).count();
+    let edges = dot.lines().filter(|l| l.contains("->")).count();
+    assert_eq!(nodes, t.len());
+    assert_eq!(edges, t.len() - 1);
+}
+
+#[test]
+fn corpus_stats_are_printable() {
+    let corpus = assembly_corpus(Scale::Small);
+    for e in &corpus {
+        let line = format!("{}: {}", e.name, e.stats());
+        assert!(line.contains("nodes="));
+    }
+}

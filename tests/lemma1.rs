@@ -1,0 +1,89 @@
+//! Brute-force validation of the paper's Lemma 1: `SplitSubtrees` returns a
+//! splitting whose `ParSubtrees` makespan is minimal over **all** splittings
+//! of the tree into maximal subtrees.
+//!
+//! A splitting is any antichain `A` of subtree roots (pairwise
+//! non-ancestors); `ParSubtrees` then runs the `p` heaviest subtrees of `A`
+//! in parallel and everything else (surplus subtrees + all nodes outside
+//! `A`'s subtrees) sequentially, for a makespan of
+//! `max_A W + (W_total − Σ_{top-p} W)`.
+
+use treesched::core::split_subtrees;
+use treesched::gen::{random_attachment, WeightRange};
+use treesched::model::{NodeId, TaskTree};
+
+/// All antichains of the tree (sets of pairwise non-ancestor nodes),
+/// including the singleton `{root}`; exponential, for tiny trees only.
+fn antichains(tree: &TaskTree) -> Vec<Vec<NodeId>> {
+    // f(v) = antichains of subtree(v) that are nonempty
+    fn f(tree: &TaskTree, v: NodeId) -> Vec<Vec<NodeId>> {
+        let mut out = vec![vec![v]];
+        let kids = tree.children(v);
+        if kids.is_empty() {
+            return out;
+        }
+        // combine antichains of children: each child contributes either
+        // nothing or one of its antichains; at least one must contribute
+        let per_child: Vec<Vec<Vec<NodeId>>> =
+            kids.iter().map(|&c| f(tree, c)).collect();
+        let mut partial: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for opts in &per_child {
+            let mut next = Vec::new();
+            for base in &partial {
+                next.push(base.clone()); // child contributes nothing
+                for o in opts {
+                    let mut with = base.clone();
+                    with.extend_from_slice(o);
+                    next.push(with);
+                }
+            }
+            partial = next;
+        }
+        out.extend(partial.into_iter().filter(|a| !a.is_empty()));
+        out
+    }
+    f(tree, tree.root())
+}
+
+fn splitting_cost(tree: &TaskTree, a: &[NodeId], p: usize) -> f64 {
+    let w = tree.subtree_work();
+    let mut ws: Vec<f64> = a.iter().map(|v| w[v.index()]).collect();
+    ws.sort_by(|x, y| y.total_cmp(x));
+    let top: f64 = ws.iter().take(p).sum();
+    ws[0] + (tree.total_work() - top)
+}
+
+#[test]
+fn split_subtrees_is_optimal_over_all_splittings() {
+    for seed in 0..12u64 {
+        let tree = random_attachment(9, WeightRange::MIXED, seed);
+        let all = antichains(&tree);
+        for p in [1usize, 2, 3, 5] {
+            let best = all
+                .iter()
+                .map(|a| splitting_cost(&tree, a, p))
+                .fold(f64::INFINITY, f64::min);
+            let split = split_subtrees(&tree, p);
+            assert!(
+                split.cost <= best + 1e-9,
+                "seed {seed} p={p}: algorithm {} vs brute force {}",
+                split.cost,
+                best
+            );
+            // and the algorithm's cost is itself achievable (it is one of
+            // the splittings)
+            assert!(split.cost >= best - 1e-9, "seed {seed} p={p}: impossible cost");
+        }
+    }
+}
+
+#[test]
+fn antichain_enumeration_sanity() {
+    // fork with 2 leaves: antichains are {root}, {l1}, {l2}, {l1, l2}
+    let tree = TaskTree::fork(2, 1.0, 1.0, 0.0);
+    let all = antichains(&tree);
+    assert_eq!(all.len(), 4);
+    // chain of 3: one antichain per node
+    let tree = TaskTree::chain(3, 1.0, 1.0, 0.0);
+    assert_eq!(antichains(&tree).len(), 3);
+}

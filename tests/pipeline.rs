@@ -1,0 +1,130 @@
+//! End-to-end integration: sparse matrix → ordering → elimination tree →
+//! assembly tree → parallel heuristics → validated schedules and bounds.
+
+use treesched::core::{
+    evaluate, makespan_lower_bound, memory_lower_bound_exact, memory_reference, Heuristic,
+};
+use treesched::gen::{assembly_corpus, Scale};
+use treesched::model::ValidateExt;
+use treesched::sparse::{assembly, etree, generate, ordering};
+
+#[test]
+fn full_pipeline_grid_to_schedules() {
+    let pattern = generate::grid2d(12, 12, generate::Stencil::Star);
+    let ord = ordering::min_degree(&pattern);
+    let permuted = pattern.permute(&ord.order);
+    let et = etree::elimination_tree(&permuted);
+    let cc = etree::column_counts(&permuted, &et);
+    for limit in [1u32, 4] {
+        let tree = assembly::assembly_tree_from_etree(&et, &cc, limit).expect("connected");
+        tree.validate().expect("valid assembly tree");
+        for p in [2u32, 8] {
+            for h in Heuristic::ALL {
+                let s = h.schedule(&tree, p);
+                s.validate(&tree).unwrap_or_else(|e| panic!("{h} p={p}: {e}"));
+                let ev = evaluate(&tree, &s);
+                assert!(ev.makespan >= makespan_lower_bound(&tree, p) - 1e-9);
+                assert!(ev.peak_memory >= memory_lower_bound_exact(&tree) - 1e-6);
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_scenarios_all_valid_and_bounded() {
+    let corpus = assembly_corpus(Scale::Small);
+    for e in &corpus {
+        let tree = &e.tree;
+        let mem_exact = memory_lower_bound_exact(tree);
+        let mem_ref = memory_reference(tree);
+        assert!(mem_exact <= mem_ref + 1e-9, "{}", e.name);
+        for p in [2u32, 16] {
+            let lb = makespan_lower_bound(tree, p);
+            for h in Heuristic::ALL {
+                let ev = evaluate(tree, &h.schedule(tree, p));
+                assert!(ev.makespan >= lb - 1e-9 * lb, "{} {h} p={p}", e.name);
+                assert!(
+                    ev.peak_memory >= mem_exact - 1e-9 * mem_exact,
+                    "{} {h} p={p}: parallel memory {} below sequential optimum {}",
+                    e.name,
+                    ev.peak_memory,
+                    mem_exact
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn par_subtrees_memory_guarantee_on_corpus() {
+    // paper §5.1: M ≤ (p+1) · M_seq
+    let corpus = assembly_corpus(Scale::Small);
+    for e in &corpus {
+        let mseq = memory_reference(&e.tree);
+        for p in [2u32, 4, 8] {
+            let ev = evaluate(&e.tree, &Heuristic::ParSubtrees.schedule(&e.tree, p));
+            assert!(
+                ev.peak_memory <= (p as f64 + 1.0) * mseq * (1.0 + 1e-9),
+                "{} p={p}: {} > {}",
+                e.name,
+                ev.peak_memory,
+                (p as f64 + 1.0) * mseq
+            );
+        }
+    }
+}
+
+#[test]
+fn list_schedulers_meet_graham_bound_on_corpus() {
+    // §5.2/§5.3: ParInnerFirst and ParDeepestFirst are list schedulers,
+    // hence (2 − 1/p)-approximations of the optimal makespan; since
+    // Cmax* ≥ LB, their makespan is ≤ (2 − 1/p) · Cmax* which we can only
+    // check against the achievable bound W/p + CP (list scheduling bound).
+    let corpus = assembly_corpus(Scale::Small);
+    for e in &corpus {
+        let tree = &e.tree;
+        let w = tree.total_work();
+        let cp = tree.critical_path();
+        for p in [2u32, 8, 32] {
+            for h in [Heuristic::ParInnerFirst, Heuristic::ParDeepestFirst] {
+                let ev = evaluate(tree, &h.schedule(tree, p));
+                let list_bound = w / p as f64 + cp * (1.0 - 1.0 / p as f64);
+                assert!(
+                    ev.makespan <= list_bound * (1.0 + 1e-9),
+                    "{} {h} p={p}: {} > {}",
+                    e.name,
+                    ev.makespan,
+                    list_bound
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_processor_all_heuristics_sequentialize() {
+    let corpus = assembly_corpus(Scale::Small);
+    for e in corpus.iter().take(8) {
+        let tree = &e.tree;
+        for h in Heuristic::ALL {
+            let ev = evaluate(tree, &h.schedule(tree, 1));
+            assert!(
+                (ev.makespan - tree.total_work()).abs() <= 1e-9 * tree.total_work(),
+                "{} {h}",
+                e.name
+            );
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_work() {
+    // the facade crate exposes the whole pipeline under one namespace
+    let tree = treesched::TaskTree::fork(4, 1.0, 1.0, 0.0);
+    let stats = treesched::TreeStats::of(&tree);
+    assert_eq!(stats.nodes, 5);
+    let r = treesched::seq::best_postorder(&tree);
+    assert_eq!(r.peak, 5.0);
+    let s = treesched::core::Heuristic::ParSubtrees.schedule(&tree, 2);
+    assert!(s.validate(&tree).is_ok());
+}
