@@ -43,13 +43,9 @@ fn bench_symbolic(c: &mut Criterion) {
             b.iter(|| etree::column_counts(p, &et));
         });
         let cc = etree::column_counts(&p, &et);
-        g.bench_with_input(
-            BenchmarkId::new("assembly_tree", nx * nx),
-            &(),
-            |b, _| {
-                b.iter(|| assembly::assembly_tree_from_etree(&et, &cc, 4).unwrap());
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("assembly_tree", nx * nx), &(), |b, _| {
+            b.iter(|| assembly::assembly_tree_from_etree(&et, &cc, 4).unwrap());
+        });
     }
     g.finish();
 }

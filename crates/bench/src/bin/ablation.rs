@@ -24,7 +24,10 @@ fn main() {
 
 fn fig3_sweep() {
     println!("Ablation 1 — Figure 3 fork: ParSubtrees makespan ratio vs p");
-    println!("  {:>4} {:>6} {:>12} {:>10} {:>8}", "p", "k", "ParSubtrees", "optimal", "ratio");
+    println!(
+        "  {:>4} {:>6} {:>12} {:>10} {:>8}",
+        "p", "k", "ParSubtrees", "optimal", "ratio"
+    );
     for p in [2u32, 4, 8, 16] {
         for k in [4usize, 16, 64] {
             let t = fork_tree(p as usize, k);
@@ -32,7 +35,11 @@ fn fig3_sweep() {
             let opt = (k + 1) as f64;
             println!(
                 "  {:>4} {:>6} {:>12.0} {:>10.0} {:>8.3}",
-                p, k, ms, opt, ms / opt
+                p,
+                k,
+                ms,
+                opt,
+                ms / opt
             );
         }
     }
@@ -48,8 +55,7 @@ fn seq_algo_ablation() {
     );
     let p = 4u32;
     for e in corpus.iter().step_by(4).take(6) {
-        let mem =
-            |algo: SeqAlgo| evaluate(&e.tree, &par_subtrees(&e.tree, p, algo)).peak_memory;
+        let mem = |algo: SeqAlgo| evaluate(&e.tree, &par_subtrees(&e.tree, p, algo)).peak_memory;
         println!(
             "  {:<24} {:>5} {:>14.3e} {:>14.3e} {:>14.3e}",
             e.name,
@@ -70,17 +76,30 @@ fn memory_cap_ablation() {
     let order = best_postorder(t).order;
     let mseq = memory_reference(t);
     let p = 8;
-    println!("  tree {} ({} nodes), p = {p}, M_seq = {:.3e}", e.name, t.len(), mseq);
+    println!(
+        "  tree {} ({} nodes), p = {p}, M_seq = {:.3e}",
+        e.name,
+        t.len(),
+        mseq
+    );
     println!(
         "  {:>10} {:>14} {:>14} {:>12}",
         "cap/M_seq", "peak", "makespan", "violations"
     );
     for factor in [1.0, 1.5, 2.0, 4.0, 8.0, f64::INFINITY] {
-        let cap = if factor.is_infinite() { f64::INFINITY } else { mseq * factor };
+        let cap = if factor.is_infinite() {
+            f64::INFINITY
+        } else {
+            mseq * factor
+        };
         let run = mem_bounded_schedule(t, p, &order, cap, Admission::SequentialOrder);
         println!(
             "  {:>10} {:>14.3e} {:>14.3e} {:>12}",
-            if factor.is_infinite() { "inf".to_string() } else { format!("{factor:.1}") },
+            if factor.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{factor:.1}")
+            },
             run.peak_memory,
             run.schedule.makespan(),
             run.violations
@@ -104,11 +123,10 @@ fn priority_component_ablation() {
         ("longchain".into(), treesched_gen::long_chain_tree(24, 8)),
         ("gadget".into(), treesched_gen::inner_first_gadget(8, 12)),
         ("spider".into(), treesched_gen::spider(24, 12)),
-        ("bushy-random".into(), treesched_gen::random_attachment(
-            2000,
-            treesched_gen::WeightRange::PEBBLE,
-            5,
-        )),
+        (
+            "bushy-random".into(),
+            treesched_gen::random_attachment(2000, treesched_gen::WeightRange::PEBBLE, 5),
+        ),
     ];
     for (family, trees) in [("assembly corpus", &assembly), ("wide/irregular", &wide)] {
         let mut ratios: Vec<(&str, Vec<f64>)> = vec![

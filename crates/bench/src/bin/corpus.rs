@@ -42,7 +42,10 @@ fn main() {
     }
 
     let range = |f: &dyn Fn(&TreeStats) -> f64| {
-        let lo = stats.iter().map(|(_, s)| f(s)).fold(f64::INFINITY, f64::min);
+        let lo = stats
+            .iter()
+            .map(|(_, s)| f(s))
+            .fold(f64::INFINITY, f64::min);
         let hi = stats.iter().map(|(_, s)| f(s)).fold(0.0f64, f64::max);
         (lo, hi)
     };
@@ -59,5 +62,7 @@ fn main() {
         g_lo,
         g_hi
     );
-    println!("(paper §6.2: 608 trees, 2,000..1,000,000 nodes, depth 12..70,000, degree 2..175,000)");
+    println!(
+        "(paper §6.2: 608 trees, 2,000..1,000,000 nodes, depth 12..70,000, degree 2..175,000)"
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     print!(
         "{}",
         harness::render_crosses(
-            &format!("Figure 6 — comparison to lower bounds ({} scenarios)", rows.len() / 4),
+            &format!(
+                "Figure 6 — comparison to lower bounds ({} scenarios)",
+                rows.len() / 4
+            ),
             "makespan / lower bound",
             "memory / sequential reference",
             &series,
@@ -36,17 +39,29 @@ fn main() {
     // the paper's qualitative checks: ParSubtrees best in memory,
     // ParDeepestFirst best in makespan
     let mem_order: Vec<&str> = {
-        let mut v: Vec<_> = series.iter().map(|(h, _, c)| (h.name(), c.y_mean)).collect();
+        let mut v: Vec<_> = series
+            .iter()
+            .map(|(h, _, c)| (h.name(), c.y_mean))
+            .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(n, _)| n).collect()
     };
-    println!("\nmemory-mean ordering (best first): {}", mem_order.join(" < "));
+    println!(
+        "\nmemory-mean ordering (best first): {}",
+        mem_order.join(" < ")
+    );
     let ms_order: Vec<&str> = {
-        let mut v: Vec<_> = series.iter().map(|(h, _, c)| (h.name(), c.x_mean)).collect();
+        let mut v: Vec<_> = series
+            .iter()
+            .map(|(h, _, c)| (h.name(), c.x_mean))
+            .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(n, _)| n).collect()
     };
-    println!("makespan-mean ordering (best first): {}", ms_order.join(" < "));
+    println!(
+        "makespan-mean ordering (best first): {}",
+        ms_order.join(" < ")
+    );
 
     if let Some(path) = opts.csv {
         std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");

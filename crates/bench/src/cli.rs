@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn full_parse() {
-        let o = parse(&s(&["--scale", "small", "--procs", "2,8", "--csv", "x.csv"])).unwrap();
+        let o = parse(&s(&[
+            "--scale", "small", "--procs", "2,8", "--csv", "x.csv",
+        ]))
+        .unwrap();
         assert_eq!(o.scale, Scale::Small);
         assert_eq!(o.procs, vec![2, 8]);
         assert_eq!(o.csv.as_deref(), Some("x.csv"));

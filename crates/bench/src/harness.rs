@@ -138,7 +138,9 @@ pub fn table1(rows: &[Row]) -> Vec<Table1Row> {
         let mut dev_ms = Vec::new();
         let mut n = 0usize;
         for g in &groups {
-            let Some(row) = g.iter().find(|r| r.heuristic == h) else { continue };
+            let Some(row) = g.iter().find(|r| r.heuristic == h) else {
+                continue;
+            };
             let gbest_mem = g.iter().map(|r| r.memory).fold(f64::INFINITY, f64::min);
             let gbest_ms = g.iter().map(|r| r.makespan).fold(f64::INFINITY, f64::min);
             n += 1;
@@ -257,12 +259,7 @@ pub fn fig_normalized(rows: &[Row], baseline: Heuristic) -> Vec<FigSeries> {
 }
 
 /// Renders a figure's crosses as the text series the paper's plots encode.
-pub fn render_crosses(
-    title: &str,
-    xlabel: &str,
-    ylabel: &str,
-    series: &[FigSeries],
-) -> String {
+pub fn render_crosses(title: &str, xlabel: &str, ylabel: &str, series: &[FigSeries]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
     let _ = writeln!(s, "  x = {xlabel}; y = {ylabel}");
@@ -295,7 +292,14 @@ pub fn to_csv(rows: &[Row]) -> String {
         let _ = writeln!(
             s,
             "{},{},{},{},{},{},{},{}",
-            r.tree, r.nodes, r.p, r.heuristic.name(), r.makespan, r.memory, r.ms_lb, r.mem_ref
+            r.tree,
+            r.nodes,
+            r.p,
+            r.heuristic.name(),
+            r.makespan,
+            r.memory,
+            r.ms_lb,
+            r.mem_ref
         );
     }
     s

@@ -1,6 +1,10 @@
 //! Quality-regression guard: the paper's headline experimental claims must
 //! keep holding on the (deterministic) small corpus. If a refactor of a
 //! heuristic silently degrades its trade-off position, these tests fail.
+//!
+//! Tier-1 runs the `Scale::Small` corpus only. The `Scale::Medium` version
+//! (~80 trees, noticeably slower) is `#[ignore]`d; run it with
+//! `cargo test -p treesched_bench --test quality -- --ignored`.
 
 use treesched_bench::{fig_normalized, run_corpus, table1};
 use treesched_core::Heuristic;
@@ -14,7 +18,7 @@ fn small_rows() -> Vec<treesched_bench::Row> {
 #[test]
 fn memory_ranking_matches_paper() {
     let t1 = table1(&small_rows());
-    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).unwrap().clone();
+    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).copied().unwrap();
     let ps = by(Heuristic::ParSubtrees);
     let pso = by(Heuristic::ParSubtreesOptim);
     let pif = by(Heuristic::ParInnerFirst);
@@ -32,7 +36,7 @@ fn memory_ranking_matches_paper() {
 #[test]
 fn makespan_ranking_matches_paper() {
     let t1 = table1(&small_rows());
-    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).unwrap().clone();
+    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).copied().unwrap();
     let ps = by(Heuristic::ParSubtrees);
     let pif = by(Heuristic::ParInnerFirst);
     let pdf = by(Heuristic::ParDeepestFirst);
@@ -53,7 +57,11 @@ fn fig7_claims_hold() {
         .iter()
         .find(|(h, _, _)| *h == Heuristic::ParSubtreesOptim)
         .unwrap();
-    assert!(optim.x_mean <= 1.0 + 1e-9, "makespan ratio {}", optim.x_mean);
+    assert!(
+        optim.x_mean <= 1.0 + 1e-9,
+        "makespan ratio {}",
+        optim.x_mean
+    );
     assert!(optim.y_mean >= 1.0 - 1e-9, "memory ratio {}", optim.y_mean);
 }
 
@@ -76,4 +84,24 @@ fn fig8_claims_hold() {
         "{below}/{} scenarios below parity",
         pts.len()
     );
+}
+
+/// Full-scale version of the ranking guards on the medium corpus. Too slow
+/// for tier-1; run with
+/// `cargo test -p treesched_bench --test quality -- --ignored`.
+#[test]
+#[ignore = "medium corpus is slow, run with -- --ignored"]
+fn rankings_hold_on_medium_corpus() {
+    let corpus = assembly_corpus(Scale::Medium);
+    let rows = run_corpus(&corpus, &[2, 4, 8, 16]);
+    let t1 = table1(&rows);
+    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).copied().unwrap();
+    let ps = by(Heuristic::ParSubtrees);
+    let pif = by(Heuristic::ParInnerFirst);
+    let pdf = by(Heuristic::ParDeepestFirst);
+    // the paper's headline orderings must survive at scale
+    assert!(ps.best_mem_pct >= pif.best_mem_pct);
+    assert!(pif.best_mem_pct >= pdf.best_mem_pct);
+    assert!(pdf.best_ms_pct >= 90.0, "{}", pdf.best_ms_pct);
+    assert!(pif.avg_dev_ms_pct <= ps.avg_dev_ms_pct);
 }

@@ -49,7 +49,10 @@ pub struct CliError {
 
 impl CliError {
     fn new(message: impl Into<String>) -> CliError {
-        CliError { message: message.into(), code: 2 }
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
     }
 }
 
@@ -74,7 +77,9 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "pareto" => cmd_pareto(rest),
         "dot" => cmd_dot(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::new(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -155,7 +160,10 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         }
         "caterpillar" => {
             need(2)?;
-            g::caterpillar(parse_num(params[0], "SPINE")?, parse_num(params[1], "LEGS")?)
+            g::caterpillar(
+                parse_num(params[0], "SPINE")?,
+                parse_num(params[1], "LEGS")?,
+            )
         }
         "spider" => {
             need(2)?;
@@ -175,10 +183,16 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         }
         "assembly" => {
             need(3)?;
-            gen_assembly(params[0], parse_num(params[1], "SIZE")?, parse_num(params[2], "AMALG")?)?
+            gen_assembly(
+                params[0],
+                parse_num(params[1], "SIZE")?,
+                parse_num(params[2], "AMALG")?,
+            )?
         }
         other => {
-            return Err(CliError::new(format!("unknown generator `{other}`\n\n{GEN_USAGE}")))
+            return Err(CliError::new(format!(
+                "unknown generator `{other}`\n\n{GEN_USAGE}"
+            )))
         }
     };
     let text = tree_io::to_text(&tree);
@@ -254,7 +268,11 @@ fn cmd_seq(args: &[String]) -> Result<String, CliError> {
     let (path, algo) = match args {
         [p] => (p, "best"),
         [p, flag, a] if flag == "--algo" => (p, a.as_str()),
-        _ => return Err(CliError::new("usage: treesched seq FILE [--algo best|naive|liu]")),
+        _ => {
+            return Err(CliError::new(
+                "usage: treesched seq FILE [--algo best|naive|liu]",
+            ))
+        }
     };
     let tree = load_tree(path)?;
     let result = match algo {
@@ -302,10 +320,16 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "-p" => p = Some(parse_num(it.next().ok_or_else(|| CliError::new("-p needs N"))?, "N")?),
+            "-p" => {
+                p = Some(parse_num(
+                    it.next().ok_or_else(|| CliError::new("-p needs N"))?,
+                    "N",
+                )?)
+            }
             "--heuristic" => {
                 heuristic = heuristic_by_name(
-                    it.next().ok_or_else(|| CliError::new("--heuristic needs a name"))?,
+                    it.next()
+                        .ok_or_else(|| CliError::new("--heuristic needs a name"))?,
                 )?;
             }
             "--gantt" => show_gantt = true,
@@ -313,7 +337,8 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
             "--placements" => show_placements = true,
             "--cap" => {
                 cap = Some(parse_num(
-                    it.next().ok_or_else(|| CliError::new("--cap needs a value"))?,
+                    it.next()
+                        .ok_or_else(|| CliError::new("--cap needs a value"))?,
                     "cap",
                 )?);
             }
@@ -399,7 +424,9 @@ fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
         )));
     }
     if tree.ids().any(|i| tree.work(i) != 1.0) {
-        return Err(CliError::new("exact frontier requires unit works (pebble trees)"));
+        return Err(CliError::new(
+            "exact frontier requires unit works (pebble trees)",
+        ));
     }
     let frontier = treesched_core::pareto_frontier(&tree, p);
     let mut out = format!("exact Pareto frontier, p = {p}:\n");
@@ -492,7 +519,16 @@ mod tests {
         let seq = run(&["seq", &f, "--algo", "liu"]).unwrap();
         assert!(seq.contains("peak memory: 5"), "{seq}");
 
-        let sched = run(&["schedule", &f, "-p", "2", "--heuristic", "deepest", "--gantt"]).unwrap();
+        let sched = run(&[
+            "schedule",
+            &f,
+            "-p",
+            "2",
+            "--heuristic",
+            "deepest",
+            "--gantt",
+        ])
+        .unwrap();
         assert!(sched.contains("makespan:"));
         assert!(sched.contains("p0 |"));
 

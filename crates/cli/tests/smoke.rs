@@ -1,0 +1,145 @@
+//! CLI smoke tests: every subcommand's help and error paths through
+//! [`treesched_cli::dispatch`], plus true process-level exit codes via the
+//! compiled `treesched` binary.
+
+use treesched_cli::{dispatch, CliError, USAGE};
+
+fn run(args: &[&str]) -> Result<String, CliError> {
+    let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    dispatch(&v)
+}
+
+fn err(args: &[&str]) -> CliError {
+    match run(args) {
+        Ok(out) => panic!("expected `{}` to fail, got: {out}", args.join(" ")),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let e = err(&[]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("usage:"));
+}
+
+#[test]
+fn help_succeeds_for_all_spellings() {
+    for flag in ["--help", "-h", "help"] {
+        let out = run(&[flag]).unwrap_or_else(|e| panic!("{flag}: {e}"));
+        assert_eq!(out, USAGE);
+    }
+}
+
+#[test]
+fn unknown_command_mentions_itself_and_usage() {
+    let e = err(&["frobnicate"]);
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("unknown command `frobnicate`"));
+    assert!(e.message.contains("usage:"));
+}
+
+#[test]
+fn every_subcommand_rejects_missing_args() {
+    // each of the seven subcommands must fail cleanly with exit code 2 when
+    // called without its required arguments
+    for cmd in ["gen", "stats", "sketch", "seq", "schedule", "pareto", "dot"] {
+        let e = err(&[cmd]);
+        assert_eq!(e.code, 2, "{cmd}: wrong exit code");
+        assert!(!e.message.is_empty(), "{cmd}: empty error message");
+    }
+}
+
+#[test]
+fn gen_help_lists_all_generators() {
+    let e = err(&["gen"]);
+    for kind in [
+        "fork",
+        "chain",
+        "complete",
+        "random",
+        "deep",
+        "caterpillar",
+        "spider",
+        "inapprox",
+        "gadget",
+        "longchain",
+        "assembly",
+    ] {
+        assert!(e.message.contains(kind), "gen usage missing `{kind}`");
+    }
+}
+
+#[test]
+fn file_commands_report_missing_files() {
+    for cmd in ["stats", "sketch", "seq", "dot"] {
+        let e = err(&[cmd, "/nonexistent/treesched-smoke.tree"]);
+        assert_eq!(e.code, 2, "{cmd}");
+        assert!(e.message.contains("cannot read"), "{cmd}: {}", e.message);
+    }
+    let e = err(&["schedule", "/nonexistent/treesched-smoke.tree", "-p", "2"]);
+    assert!(e.message.contains("cannot read"));
+    let e = err(&["pareto", "/nonexistent/treesched-smoke.tree", "-p", "2"]);
+    assert!(e.message.contains("cannot read"));
+}
+
+#[test]
+fn malformed_flags_fail_cleanly() {
+    assert_eq!(err(&["gen", "fork", "2", "3", "-o"]).code, 2); // -o needs a path
+    assert_eq!(err(&["schedule", "x.tree", "-p"]).code, 2); // -p needs N
+    assert_eq!(err(&["seq", "x.tree", "--algo"]).code, 2); // wrong arity
+    assert_eq!(err(&["sketch", "x.tree", "--max"]).code, 2); // wrong arity
+    assert_eq!(err(&["pareto", "x.tree"]).code, 2); // missing -p
+}
+
+/// End-to-end through the real binary: process exit codes and stdio routing.
+mod process {
+    use std::process::Command;
+
+    fn treesched(args: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_treesched"))
+            .args(args)
+            .output()
+            .expect("spawn treesched binary")
+    }
+
+    #[test]
+    fn help_exits_zero_on_stdout() {
+        let out = treesched(&["--help"]);
+        assert!(out.status.success());
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+        assert!(out.stderr.is_empty());
+    }
+
+    #[test]
+    fn errors_exit_two_on_stderr() {
+        for args in [
+            &["frobnicate"][..],
+            &[][..],
+            &["stats", "/nonexistent/x.tree"][..],
+            &["gen", "fork", "2"][..],
+        ] {
+            let out = treesched(args);
+            assert_eq!(out.status.code(), Some(2), "{args:?}");
+            assert!(out.stdout.is_empty(), "{args:?}: error leaked to stdout");
+            assert!(!out.stderr.is_empty(), "{args:?}: empty stderr");
+        }
+    }
+
+    #[test]
+    fn gen_pipes_into_schedule_via_file() {
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("treesched-smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("fork.tree");
+        let path = file.to_str().unwrap();
+
+        let gen = treesched(&["gen", "fork", "2", "4", "-o", path]);
+        assert!(gen.status.success());
+
+        let sched = treesched(&["schedule", path, "-p", "2", "--heuristic", "deepest"]);
+        assert!(sched.status.success());
+        let text = String::from_utf8_lossy(&sched.stdout).into_owned();
+        assert!(text.contains("makespan:"), "{text}");
+        assert!(text.contains("peak memory:"), "{text}");
+    }
+}

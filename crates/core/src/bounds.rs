@@ -49,7 +49,7 @@ mod tests {
     fn makespan_bound_chain_is_critical_path() {
         let t = TaskTree::chain(7, 2.0, 1.0, 0.0);
         for p in [1, 2, 4, 32] {
-            assert_eq!(makespan_lower_bound(&t, p), if p == 1 { 14.0 } else { 14.0 });
+            assert_eq!(makespan_lower_bound(&t, p), 14.0);
         }
     }
 

@@ -59,7 +59,11 @@ fn schedule_subtree(
         let orig = map[nid.index()];
         member[orig.index()] = true;
         let w = tree.work(orig);
-        placements[orig.index()] = Placement { proc, start: t, finish: t + w };
+        placements[orig.index()] = Placement {
+            proc,
+            start: t,
+            finish: t + w,
+        };
         t += w;
     }
     t
@@ -79,7 +83,11 @@ fn schedule_filtered(
     for &v in global_order {
         if !exclude[v.index()] {
             let w = tree.work(v);
-            placements[v.index()] = Placement { proc, start: t, finish: t + w };
+            placements[v.index()] = Placement {
+                proc,
+                start: t,
+                finish: t + w,
+            };
             t += w;
         }
     }
@@ -87,7 +95,14 @@ fn schedule_filtered(
 }
 
 fn blank_placements(n: usize) -> Vec<Placement> {
-    vec![Placement { proc: 0, start: f64::NAN, finish: f64::NAN }; n]
+    vec![
+        Placement {
+            proc: 0,
+            start: f64::NAN,
+            finish: f64::NAN
+        };
+        n
+    ]
 }
 
 /// **ParSubtrees** (paper Algorithm 1): split the tree with
@@ -106,14 +121,25 @@ pub fn par_subtrees(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
     let mut in_parallel = vec![false; n];
     let mut t0 = 0.0f64;
     for (k, &r) in split.parallel_roots.iter().enumerate() {
-        let fin = schedule_subtree(tree, r, k as u32, 0.0, seq, &mut placements, &mut in_parallel);
+        let fin = schedule_subtree(
+            tree,
+            r,
+            k as u32,
+            0.0,
+            seq,
+            &mut placements,
+            &mut in_parallel,
+        );
         t0 = t0.max(fin);
     }
     // Sequential remainder (popped nodes + surplus subtrees), in the
     // memory-minimizing global order restricted to the remaining nodes.
     let global = seq.traversal(tree).order;
     schedule_filtered(tree, &global, &in_parallel, 0, t0, &mut placements);
-    Schedule { processors: p, placements }
+    Schedule {
+        processors: p,
+        placements,
+    }
 }
 
 /// **ParSubtreesOptim** (paper §5.1, makespan optimization): identical
@@ -150,13 +176,23 @@ pub fn par_subtrees_optim(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
             .enumerate()
             .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .expect("p > 0");
-        loads[k] =
-            schedule_subtree(tree, r, k as u32, loads[k], seq, &mut placements, &mut in_parallel);
+        loads[k] = schedule_subtree(
+            tree,
+            r,
+            k as u32,
+            loads[k],
+            seq,
+            &mut placements,
+            &mut in_parallel,
+        );
     }
     let t0 = loads.iter().fold(0.0f64, |a, &b| a.max(b));
     let global = seq.traversal(tree).order;
     schedule_filtered(tree, &global, &in_parallel, 0, t0, &mut placements);
-    Schedule { processors: p, placements }
+    Schedule {
+        processors: p,
+        placements,
+    }
 }
 
 /// Priority key for [`par_inner_first`]: all inner nodes before all leaves;
@@ -170,7 +206,11 @@ fn inner_first_keys(tree: &TaskTree, order: &[NodeId]) -> Vec<(u8, u64, u64)> {
             if tree.is_leaf(i) {
                 (1u8, pos[i.index()] as u64, 0u64)
             } else {
-                (0u8, u32::MAX as u64 - depths[i.index()] as u64, pos[i.index()] as u64)
+                (
+                    0u8,
+                    u32::MAX as u64 - depths[i.index()] as u64,
+                    pos[i.index()] as u64,
+                )
             }
         })
         .collect()

@@ -62,28 +62,43 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
     let mut free_procs: Vec<u32> = (0..p).rev().collect(); // pop() yields proc 0 first
     let mut proc_of: Vec<u32> = vec![0; n];
     let mut placements: Vec<Placement> = vec![
-        Placement { proc: 0, start: f64::NAN, finish: f64::NAN };
+        Placement {
+            proc: 0,
+            start: f64::NAN,
+            finish: f64::NAN
+        };
         n
     ];
 
     let assign = |t: f64,
-                      ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
-                      events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
-                      free_procs: &mut Vec<u32>,
-                      placements: &mut Vec<Placement>,
-                      proc_of: &mut Vec<u32>| {
+                  ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
+                  events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+                  free_procs: &mut Vec<u32>,
+                  placements: &mut Vec<Placement>,
+                  proc_of: &mut Vec<u32>| {
         while !free_procs.is_empty() && !ready.is_empty() {
             let Reverse((_, node)) = ready.pop().expect("nonempty");
             let proc = free_procs.pop().expect("nonempty");
             let finish = t + tree.work(node);
-            placements[node.index()] = Placement { proc, start: t, finish };
+            placements[node.index()] = Placement {
+                proc,
+                start: t,
+                finish,
+            };
             proc_of[node.index()] = proc;
             events.push(Reverse((TotalF64(finish), node)));
         }
     };
 
     // initial assignment at t = 0
-    assign(0.0, &mut ready, &mut events, &mut free_procs, &mut placements, &mut proc_of);
+    assign(
+        0.0,
+        &mut ready,
+        &mut events,
+        &mut free_procs,
+        &mut placements,
+        &mut proc_of,
+    );
 
     while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
         // pop every task finishing exactly at t, release its processor, and
@@ -102,7 +117,14 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
                 }
             }
         }
-        assign(t, &mut ready, &mut events, &mut free_procs, &mut placements, &mut proc_of);
+        assign(
+            t,
+            &mut ready,
+            &mut events,
+            &mut free_procs,
+            &mut placements,
+            &mut proc_of,
+        );
     }
 
     Schedule {

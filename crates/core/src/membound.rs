@@ -72,9 +72,16 @@ impl State {
         t: f64,
         events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
     ) {
-        let proc = self.free_procs.pop().expect("caller checked a processor is free");
+        let proc = self
+            .free_procs
+            .pop()
+            .expect("caller checked a processor is free");
         let finish = t + tree.work(node);
-        self.placements[node.index()] = Placement { proc, start: t, finish };
+        self.placements[node.index()] = Placement {
+            proc,
+            start: t,
+            finish,
+        };
         self.proc_of[node.index()] = proc;
         events.push(Reverse((TotalF64(finish), node)));
         self.resident += tree.exec(node) + tree.output(node);
@@ -129,66 +136,77 @@ pub fn mem_bounded_schedule(
         violations: 0,
         free_procs: (0..p).rev().collect(),
         proc_of: vec![0; n],
-        placements: vec![Placement { proc: 0, start: f64::NAN, finish: f64::NAN }; n],
+        placements: vec![
+            Placement {
+                proc: 0,
+                start: f64::NAN,
+                finish: f64::NAN
+            };
+            n
+        ],
     };
 
-    let admit_sequential = |st: &mut State,
-                            cursor: &mut usize,
-                            t: f64,
-                            done: &[bool],
-                            events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
-        while *cursor < n && !st.free_procs.is_empty() {
-            let node = order[*cursor];
-            if !tree.children(node).iter().all(|c| done[c.index()]) {
-                break; // a child is still running; wait for its event
+    let admit_sequential =
+        |st: &mut State,
+         cursor: &mut usize,
+         t: f64,
+         done: &[bool],
+         events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+            while *cursor < n && !st.free_procs.is_empty() {
+                let node = order[*cursor];
+                if !tree.children(node).iter().all(|c| done[c.index()]) {
+                    break; // a child is still running; wait for its event
+                }
+                let footprint = tree.exec(node) + tree.output(node);
+                if st.resident + footprint <= cap + eps {
+                    st.start(tree, node, t, events);
+                    *cursor += 1;
+                } else if st.running == 0 {
+                    // cap below the sequential peak: force through, count it
+                    st.start(tree, node, t, events);
+                    st.violations += 1;
+                    *cursor += 1;
+                } else {
+                    break; // wait for running tasks to release memory
+                }
             }
-            let footprint = tree.exec(node) + tree.output(node);
-            if st.resident + footprint <= cap + eps {
-                st.start(tree, node, t, events);
-                *cursor += 1;
-            } else if st.running == 0 {
-                // cap below the sequential peak: force through, count it
+        };
+
+    let admit_greedy =
+        |st: &mut State,
+         ready: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
+         t: f64,
+         events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+            let mut skipped: Vec<(usize, NodeId)> = Vec::new();
+            while !st.free_procs.is_empty() {
+                let Some(Reverse((k, node))) = ready.pop() else {
+                    break;
+                };
+                let footprint = tree.exec(node) + tree.output(node);
+                if st.resident + footprint <= cap + eps {
+                    st.start(tree, node, t, events);
+                } else {
+                    skipped.push((k, node));
+                }
+            }
+            if st.running == 0 && !st.free_procs.is_empty() && !skipped.is_empty() {
+                // nothing fits and nothing runs: force the cheapest through
+                let (j, _) = skipped
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (_, a)), (_, (_, b))| {
+                        (tree.exec(*a) + tree.output(*a))
+                            .total_cmp(&(tree.exec(*b) + tree.output(*b)))
+                    })
+                    .expect("nonempty");
+                let (_, node) = skipped.swap_remove(j);
                 st.start(tree, node, t, events);
                 st.violations += 1;
-                *cursor += 1;
-            } else {
-                break; // wait for running tasks to release memory
             }
-        }
-    };
-
-    let admit_greedy = |st: &mut State,
-                        ready: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
-                        t: f64,
-                        events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
-        let mut skipped: Vec<(usize, NodeId)> = Vec::new();
-        while !st.free_procs.is_empty() {
-            let Some(Reverse((k, node))) = ready.pop() else { break };
-            let footprint = tree.exec(node) + tree.output(node);
-            if st.resident + footprint <= cap + eps {
-                st.start(tree, node, t, events);
-            } else {
-                skipped.push((k, node));
+            for e in skipped {
+                ready.push(Reverse(e));
             }
-        }
-        if st.running == 0 && !st.free_procs.is_empty() && !skipped.is_empty() {
-            // nothing fits and nothing runs: force the cheapest through
-            let (j, _) = skipped
-                .iter()
-                .enumerate()
-                .min_by(|(_, (_, a)), (_, (_, b))| {
-                    (tree.exec(*a) + tree.output(*a))
-                        .total_cmp(&(tree.exec(*b) + tree.output(*b)))
-                })
-                .expect("nonempty");
-            let (_, node) = skipped.swap_remove(j);
-            st.start(tree, node, t, events);
-            st.violations += 1;
-        }
-        for e in skipped {
-            ready.push(Reverse(e));
-        }
-    };
+        };
 
     match policy {
         Admission::SequentialOrder => {
@@ -227,7 +245,10 @@ pub fn mem_bounded_schedule(
 
     debug_assert!(policy == Admission::Greedy || cursor == n);
     MemBoundedRun {
-        schedule: Schedule { processors: p, placements: st.placements },
+        schedule: Schedule {
+            processors: p,
+            placements: st.placements,
+        },
         violations: st.violations,
         peak_memory: st.peak,
     }

@@ -78,7 +78,10 @@ pub fn pareto_frontier(tree: &TaskTree, p: u32) -> Vec<ParetoPoint> {
         })
         .collect();
     let parent_bit: Vec<Option<u32>> = (0..n)
-        .map(|i| tree.parent(NodeId::from_index(i)).map(|q| 1u32 << q.index()))
+        .map(|i| {
+            tree.parent(NodeId::from_index(i))
+                .map(|q| 1u32 << q.index())
+        })
         .collect();
     let outputs: Vec<f64> = (0..n).map(|i| tree.output(NodeId::from_index(i))).collect();
     let footprint: Vec<f64> = (0..n)
@@ -104,7 +107,13 @@ pub fn pareto_frontier(tree: &TaskTree, p: u32) -> Vec<ParetoPoint> {
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     let mut frontier: std::collections::HashMap<u32, Vec<ParetoPoint>> =
         std::collections::HashMap::new();
-    frontier.insert(0, vec![ParetoPoint { makespan: 0, memory: 0.0 }]);
+    frontier.insert(
+        0,
+        vec![ParetoPoint {
+            makespan: 0,
+            memory: 0.0,
+        }],
+    );
     // waves strictly grow the done set, so iterating "levels" by total
     // completed count visits each state after all its predecessors
     let mut by_count: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
@@ -113,7 +122,9 @@ pub fn pareto_frontier(tree: &TaskTree, p: u32) -> Vec<ParetoPoint> {
     for count in 0..n {
         let states = std::mem::take(&mut by_count[count]);
         for mask in states {
-            let Some(points) = frontier.get(&mask).cloned() else { continue };
+            let Some(points) = frontier.get(&mask).cloned() else {
+                continue;
+            };
             let res = resident(mask);
             // ready tasks
             let ready: Vec<usize> = (0..n)
@@ -175,7 +186,13 @@ mod tests {
         let t = TaskTree::chain(6, 1.0, 1.0, 0.0);
         for p in [1u32, 3] {
             let f = pareto_frontier(&t, p);
-            assert_eq!(f, vec![ParetoPoint { makespan: 6, memory: 2.0 }]);
+            assert_eq!(
+                f,
+                vec![ParetoPoint {
+                    makespan: 6,
+                    memory: 2.0
+                }]
+            );
         }
     }
 
@@ -188,7 +205,13 @@ mod tests {
         for p in [1u32, 2, 3, 6] {
             let f = pareto_frontier(&t, p);
             let steps = (k as u32).div_ceil(p) + 1;
-            assert_eq!(f, vec![ParetoPoint { makespan: steps, memory: k as f64 + 1.0 }]);
+            assert_eq!(
+                f,
+                vec![ParetoPoint {
+                    makespan: steps,
+                    memory: k as f64 + 1.0
+                }]
+            );
         }
     }
 
@@ -232,7 +255,7 @@ mod tests {
         }
         // fastest point: both chains in lockstep -> 2 files + 2 in flight
         assert_eq!(f[0].makespan, 6); // 5 per chain in parallel + root
-        // most frugal point: sequential-ish, 3 pebbles
+                                      // most frugal point: sequential-ish, 3 pebbles
         assert_eq!(f.last().unwrap().memory, 3.0);
     }
 
@@ -298,12 +321,42 @@ mod tests {
     #[test]
     fn insert_pareto_prunes_dominated() {
         let mut s = Vec::new();
-        insert_pareto(&mut s, ParetoPoint { makespan: 5, memory: 10.0 });
-        insert_pareto(&mut s, ParetoPoint { makespan: 6, memory: 12.0 }); // dominated
+        insert_pareto(
+            &mut s,
+            ParetoPoint {
+                makespan: 5,
+                memory: 10.0,
+            },
+        );
+        insert_pareto(
+            &mut s,
+            ParetoPoint {
+                makespan: 6,
+                memory: 12.0,
+            },
+        ); // dominated
         assert_eq!(s.len(), 1);
-        insert_pareto(&mut s, ParetoPoint { makespan: 4, memory: 11.0 });
-        insert_pareto(&mut s, ParetoPoint { makespan: 3, memory: 9.0 }); // dominates both
-        assert_eq!(s, vec![ParetoPoint { makespan: 3, memory: 9.0 }]);
+        insert_pareto(
+            &mut s,
+            ParetoPoint {
+                makespan: 4,
+                memory: 11.0,
+            },
+        );
+        insert_pareto(
+            &mut s,
+            ParetoPoint {
+                makespan: 3,
+                memory: 9.0,
+            },
+        ); // dominates both
+        assert_eq!(
+            s,
+            vec![ParetoPoint {
+                makespan: 3,
+                memory: 9.0
+            }]
+        );
     }
 
     #[test]

@@ -68,10 +68,7 @@ const TIME_EPS: f64 = 1e-9;
 impl Schedule {
     /// Total execution time: the latest finish time.
     pub fn makespan(&self) -> f64 {
-        self.placements
-            .iter()
-            .map(|t| t.finish)
-            .fold(0.0, f64::max)
+        self.placements.iter().map(|t| t.finish).fold(0.0, f64::max)
     }
 
     /// Placement of node `i`.
@@ -101,12 +98,18 @@ impl Schedule {
                 return Err(ScheduleError::BadInterval { node: i });
             }
             if pl.proc >= self.processors {
-                return Err(ScheduleError::BadProcessor { node: i, proc: pl.proc });
+                return Err(ScheduleError::BadProcessor {
+                    node: i,
+                    proc: pl.proc,
+                });
             }
             for &c in tree.children(i) {
                 let cf = self.placement(c).finish;
                 if pl.start + TIME_EPS * (1.0 + cf.abs()) < cf {
-                    return Err(ScheduleError::DependencyViolated { parent: i, child: c });
+                    return Err(ScheduleError::DependencyViolated {
+                        parent: i,
+                        child: c,
+                    });
                 }
             }
         }
@@ -116,17 +119,17 @@ impl Schedule {
             by_proc[self.placement(i).proc as usize].push(i);
         }
         for (proc, tasks) in by_proc.iter_mut().enumerate() {
-            tasks.sort_by(|&a, &b| {
-                self.placement(a)
-                    .start
-                    .total_cmp(&self.placement(b).start)
-            });
+            tasks.sort_by(|&a, &b| self.placement(a).start.total_cmp(&self.placement(b).start));
             for pair in tasks.windows(2) {
                 let (a, b) = (pair[0], pair[1]);
                 let fa = self.placement(a).finish;
                 let sb = self.placement(b).start;
                 if sb + TIME_EPS * (1.0 + fa.abs()) < fa {
-                    return Err(ScheduleError::Overlap { a, b, proc: proc as u32 });
+                    return Err(ScheduleError::Overlap {
+                        a,
+                        b,
+                        proc: proc as u32,
+                    });
                 }
             }
         }
@@ -278,7 +281,11 @@ mod tests {
     use treesched_model::TaskTree;
 
     fn place(proc: u32, start: f64, w: f64) -> Placement {
-        Placement { proc, start, finish: start + w }
+        Placement {
+            proc,
+            start,
+            finish: start + w,
+        }
     }
 
     /// Sequential schedule of a fork: leaves then root on one processor.
@@ -287,7 +294,12 @@ mod tests {
         let t = TaskTree::fork(3, 1.0, 1.0, 0.0);
         let s = Schedule {
             processors: 1,
-            placements: vec![place(0, 3.0, 1.0), place(0, 0.0, 1.0), place(0, 1.0, 1.0), place(0, 2.0, 1.0)],
+            placements: vec![
+                place(0, 3.0, 1.0),
+                place(0, 0.0, 1.0),
+                place(0, 1.0, 1.0),
+                place(0, 2.0, 1.0),
+            ],
         };
         assert!(s.validate(&t).is_ok());
         assert_eq!(s.makespan(), 4.0);
@@ -303,7 +315,12 @@ mod tests {
         let t = TaskTree::fork(3, 1.0, 1.0, 0.0);
         let s = Schedule {
             processors: 3,
-            placements: vec![place(0, 1.0, 1.0), place(0, 0.0, 1.0), place(1, 0.0, 1.0), place(2, 0.0, 1.0)],
+            placements: vec![
+                place(0, 1.0, 1.0),
+                place(0, 0.0, 1.0),
+                place(1, 0.0, 1.0),
+                place(2, 0.0, 1.0),
+            ],
         };
         assert!(s.validate(&t).is_ok());
         assert_eq!(s.makespan(), 2.0);
@@ -341,13 +358,26 @@ mod tests {
     #[test]
     fn detects_bad_processor_and_interval() {
         let t = TaskTree::chain(1, 1.0, 1.0, 0.0);
-        let s = Schedule { processors: 1, placements: vec![place(5, 0.0, 1.0)] };
-        assert!(matches!(s.validate(&t), Err(ScheduleError::BadProcessor { .. })));
         let s = Schedule {
             processors: 1,
-            placements: vec![Placement { proc: 0, start: 0.0, finish: 0.5 }],
+            placements: vec![place(5, 0.0, 1.0)],
         };
-        assert!(matches!(s.validate(&t), Err(ScheduleError::BadInterval { .. })));
+        assert!(matches!(
+            s.validate(&t),
+            Err(ScheduleError::BadProcessor { .. })
+        ));
+        let s = Schedule {
+            processors: 1,
+            placements: vec![Placement {
+                proc: 0,
+                start: 0.0,
+                finish: 0.5,
+            }],
+        };
+        assert!(matches!(
+            s.validate(&t),
+            Err(ScheduleError::BadInterval { .. })
+        ));
     }
 
     #[test]
@@ -393,7 +423,12 @@ mod tests {
         // time units (the metrics depend only on the placements)
         let s = Schedule {
             processors: 3,
-            placements: vec![place(0, 1.0, 1.0), place(0, 0.0, 1.0), place(1, 0.0, 1.0), place(2, 0.0, 1.0)],
+            placements: vec![
+                place(0, 1.0, 1.0),
+                place(0, 0.0, 1.0),
+                place(1, 0.0, 1.0),
+                place(2, 0.0, 1.0),
+            ],
         };
         assert_eq!(s.loads(), vec![2.0, 1.0, 1.0]);
         assert!((s.speedup() - 2.0).abs() < 1e-12);
@@ -401,7 +436,12 @@ mod tests {
         // sequential schedule: speedup 1, utilization 1 on p = 1
         let seq = Schedule {
             processors: 1,
-            placements: vec![place(0, 3.0, 1.0), place(0, 0.0, 1.0), place(0, 1.0, 1.0), place(0, 2.0, 1.0)],
+            placements: vec![
+                place(0, 3.0, 1.0),
+                place(0, 0.0, 1.0),
+                place(0, 1.0, 1.0),
+                place(0, 2.0, 1.0),
+            ],
         };
         assert_eq!(seq.speedup(), 1.0);
         assert_eq!(seq.utilization(), 1.0);

@@ -36,7 +36,12 @@ struct TopP {
 
 impl TopP {
     fn new(p: usize) -> Self {
-        TopP { p, top: BTreeSet::new(), rest: BTreeSet::new(), rest_w_sum: 0.0 }
+        TopP {
+            p,
+            top: BTreeSet::new(),
+            rest: BTreeSet::new(),
+            rest_w_sum: 0.0,
+        }
     }
 
     fn len(&self) -> usize {
@@ -274,7 +279,10 @@ mod tests {
         let w = t.subtree_work();
         let mut pq: Vec<NodeId> = vec![t.root()];
         let sortkey = |v: &NodeId| {
-            (std::cmp::Reverse(TotalF64(w[v.index()])), std::cmp::Reverse(TotalF64(t.work(*v))))
+            (
+                std::cmp::Reverse(TotalF64(w[v.index()])),
+                std::cmp::Reverse(TotalF64(t.work(*v))),
+            )
         };
         let mut seqw = 0.0;
         let mut best = w[t.root().index()];

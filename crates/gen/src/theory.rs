@@ -18,7 +18,10 @@ use treesched_model::{NodeId, TaskTree, TreeBuilder};
 /// Panics unless `a.len()` is a positive multiple of 3 and `Σ a_i` is
 /// divisible by `a.len()/3`.
 pub fn three_partition_tree(a: &[u64]) -> TaskTree {
-    assert!(!a.is_empty() && a.len().is_multiple_of(3), "need 3m integers");
+    assert!(
+        !a.is_empty() && a.len().is_multiple_of(3),
+        "need 3m integers"
+    );
     let m = a.len() / 3;
     let total: u64 = a.iter().sum();
     assert_eq!(total % m as u64, 0, "Σ a_i must equal m·B");
@@ -54,7 +57,11 @@ pub fn three_partition_schedule(
     let b_val = a.iter().sum::<u64>() / m as u64;
     let p = 3 * m as u64 * b_val;
     let mut placements = vec![
-        treesched_core::Placement { proc: 0, start: f64::NAN, finish: f64::NAN };
+        treesched_core::Placement {
+            proc: 0,
+            start: f64::NAN,
+            finish: f64::NAN
+        };
         tree.len()
     ];
     for (k, group) in groups.iter().enumerate() {
@@ -387,7 +394,12 @@ mod tests {
         assert!(leaf_depths.iter().all(|&d| d == leaf_depths[0]));
         // ParDeepestFirst memory grows with the number of chains
         let ev = evaluate(&t, &par_deepest_first(&t, c as u32));
-        assert!(ev.peak_memory >= c as f64, "peak {} < c {}", ev.peak_memory, c);
+        assert!(
+            ev.peak_memory >= c as f64,
+            "peak {} < c {}",
+            ev.peak_memory,
+            c
+        );
     }
 
     #[test]

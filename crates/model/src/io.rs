@@ -23,9 +23,7 @@ pub fn to_text(tree: &TaskTree) -> String {
     s.push_str("# treesched tree v1\n");
     s.push_str("# columns: id parent w f n\n");
     for i in tree.ids() {
-        let p = tree
-            .parent(i)
-            .map_or(-1i64, |p| p.index() as i64);
+        let p = tree.parent(i).map_or(-1i64, |p| p.index() as i64);
         let _ = writeln!(
             s,
             "{} {} {} {} {}",
@@ -47,7 +45,11 @@ pub enum ParseError {
     /// A field failed to parse as a number.
     BadNumber { line: usize, field: &'static str },
     /// Node ids were not the dense range `0..n` in order of appearance.
-    NonDenseIds { line: usize, expected: usize, got: usize },
+    NonDenseIds {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// The resulting structure is not a tree.
     Tree(TreeError),
 }
@@ -59,7 +61,11 @@ impl std::fmt::Display for ParseError {
             ParseError::BadNumber { line, field } => {
                 write!(f, "line {line}: cannot parse {field}")
             }
-            ParseError::NonDenseIds { line, expected, got } => {
+            ParseError::NonDenseIds {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected id {expected}, got {got}")
             }
             ParseError::Tree(e) => write!(f, "invalid tree: {e}"),
@@ -90,9 +96,10 @@ pub fn from_text(text: &str) -> Result<TaskTree, ParseError> {
         let mut next = || -> Result<&str, ParseError> {
             it.next().ok_or(ParseError::BadLine { line: lineno + 1 })
         };
-        let id: usize = next()?
-            .parse()
-            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "id" })?;
+        let id: usize = next()?.parse().map_err(|_| ParseError::BadNumber {
+            line: lineno + 1,
+            field: "id",
+        })?;
         if id != parents.len() {
             return Err(ParseError::NonDenseIds {
                 line: lineno + 1,
@@ -100,18 +107,22 @@ pub fn from_text(text: &str) -> Result<TaskTree, ParseError> {
                 got: id,
             });
         }
-        let p: i64 = next()?
-            .parse()
-            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "parent" })?;
-        let w: f64 = next()?
-            .parse()
-            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "w" })?;
-        let f: f64 = next()?
-            .parse()
-            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "f" })?;
-        let n: f64 = next()?
-            .parse()
-            .map_err(|_| ParseError::BadNumber { line: lineno + 1, field: "n" })?;
+        let p: i64 = next()?.parse().map_err(|_| ParseError::BadNumber {
+            line: lineno + 1,
+            field: "parent",
+        })?;
+        let w: f64 = next()?.parse().map_err(|_| ParseError::BadNumber {
+            line: lineno + 1,
+            field: "w",
+        })?;
+        let f: f64 = next()?.parse().map_err(|_| ParseError::BadNumber {
+            line: lineno + 1,
+            field: "f",
+        })?;
+        let n: f64 = next()?.parse().map_err(|_| ParseError::BadNumber {
+            line: lineno + 1,
+            field: "n",
+        })?;
         if it.next().is_some() {
             return Err(ParseError::BadLine { line: lineno + 1 });
         }
@@ -226,7 +237,11 @@ mod tests {
     fn parse_rejects_non_dense_ids() {
         assert!(matches!(
             from_text("1 -1 1 1 0\n"),
-            Err(ParseError::NonDenseIds { expected: 0, got: 1, .. })
+            Err(ParseError::NonDenseIds {
+                expected: 0,
+                got: 1,
+                ..
+            })
         ));
     }
 

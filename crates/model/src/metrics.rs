@@ -66,7 +66,10 @@ impl TaskTree {
 
     /// Maximum out-degree (number of children) over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.ids().map(|i| self.children(i).len()).max().unwrap_or(0)
+        self.ids()
+            .map(|i| self.children(i).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// A trivial lower bound on the peak memory of **any** traversal,

@@ -84,8 +84,7 @@ mod tests {
 
     /// Root 0 with children 1, 2; 1 has children 3, 4; 2 has child 5.
     fn sample() -> TaskTree {
-        TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)])
-            .unwrap()
+        TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)]).unwrap()
     }
 
     #[test]
@@ -112,9 +111,17 @@ mod tests {
         let t = sample();
         let po = t.postorder();
         // children of root are [1, 2]; subtree of 1 comes entirely first
-        assert_eq!(po, vec![
-            NodeId(3), NodeId(4), NodeId(1), NodeId(5), NodeId(2), NodeId(0)
-        ]);
+        assert_eq!(
+            po,
+            vec![
+                NodeId(3),
+                NodeId(4),
+                NodeId(1),
+                NodeId(5),
+                NodeId(2),
+                NodeId(0)
+            ]
+        );
     }
 
     #[test]
@@ -122,17 +129,33 @@ mod tests {
         let t = sample();
         let pre = t.preorder();
         assert_eq!(pre[0], t.root());
-        assert_eq!(pre, vec![
-            NodeId(0), NodeId(1), NodeId(3), NodeId(4), NodeId(2), NodeId(5)
-        ]);
+        assert_eq!(
+            pre,
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(3),
+                NodeId(4),
+                NodeId(2),
+                NodeId(5)
+            ]
+        );
     }
 
     #[test]
     fn bfs_level_order() {
         let t = sample();
-        assert_eq!(t.bfs(), vec![
-            NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)
-        ]);
+        assert_eq!(
+            t.bfs(),
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(4),
+                NodeId(5)
+            ]
+        );
     }
 
     #[test]

@@ -403,7 +403,10 @@ mod tests {
     #[test]
     fn from_parents_rejects_out_of_range_parent() {
         let e = TaskTree::pebble_from_parents(&[None, Some(7)]).unwrap_err();
-        assert!(matches!(e, crate::TreeError::BadParent { node: 1, parent: 7 }));
+        assert!(matches!(
+            e,
+            crate::TreeError::BadParent { node: 1, parent: 7 }
+        ));
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub enum TreeError {
     /// Parallel weight arrays disagree in length with the parent vector.
     LengthMismatch { parents: usize, weights: usize },
     /// A weight was negative or not finite.
-    BadWeight { node: usize, what: &'static str, value: f64 },
+    BadWeight {
+        node: usize,
+        what: &'static str,
+        value: f64,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -130,9 +134,7 @@ impl ValidateExt for TaskTree {
 /// need it.
 pub fn ready_nodes(tree: &TaskTree, done: &[bool]) -> Vec<NodeId> {
     tree.ids()
-        .filter(|&i| {
-            !done[i.index()] && tree.children(i).iter().all(|c| done[c.index()])
-        })
+        .filter(|&i| !done[i.index()] && tree.children(i).iter().all(|c| done[c.index()]))
         .collect()
 }
 
@@ -153,7 +155,11 @@ mod tests {
         t.set_work(crate::NodeId(1), -1.0);
         assert!(matches!(
             t.validate().unwrap_err(),
-            TreeError::BadWeight { node: 1, what: "work", .. }
+            TreeError::BadWeight {
+                node: 1,
+                what: "work",
+                ..
+            }
         ));
     }
 
@@ -184,9 +190,16 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TreeError::Disconnected { reachable: 2, total: 5 };
+        let e = TreeError::Disconnected {
+            reachable: 2,
+            total: 5,
+        };
         assert!(e.to_string().contains("2 of 5"));
-        let e = TreeError::BadWeight { node: 3, what: "exec", value: -2.0 };
+        let e = TreeError::BadWeight {
+            node: 3,
+            what: "exec",
+            value: -2.0,
+        };
         assert!(e.to_string().contains("exec"));
     }
 }

@@ -7,8 +7,7 @@ use treesched_model::{io, NodeId, TaskTree, ValidateExt};
 fn arb_tree(max_nodes: usize) -> impl Strategy<Value = TaskTree> {
     (1..=max_nodes)
         .prop_flat_map(|n| {
-            let parents: Vec<BoxedStrategy<usize>> =
-                (1..n).map(|i| (0..i).boxed()).collect();
+            let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
             let weights = proptest::collection::vec((0u32..100, 0u32..100, 0u32..100), n);
             (parents, weights)
         })

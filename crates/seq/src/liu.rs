@@ -118,8 +118,7 @@ impl PartialOrd for Head {
 impl Ord for Head {
     fn cmp(&self, other: &Self) -> Ordering {
         // reversed: BinaryHeap is a max-heap, we want the smallest key on top
-        key_cmp((other.class, other.key), (self.class, self.key))
-            .then(other.chain.cmp(&self.chain))
+        key_cmp((other.class, other.key), (self.class, self.key)).then(other.chain.cmp(&self.chain))
     }
 }
 
@@ -135,7 +134,11 @@ fn merge_children(chains: Vec<Vec<Seg>>) -> Vec<Seg> {
         let head = it.next();
         if let Some(s) = &head {
             let (class, key) = s.key();
-            heap.push(Head { class, key, chain: i });
+            heap.push(Head {
+                class,
+                key,
+                chain: i,
+            });
         }
         heads.push(head);
     }
@@ -197,8 +200,16 @@ mod tests {
 
     #[test]
     fn seg_fuse_composes() {
-        let mut a = Seg { h: 5.0, v: 2.0, nodes: vec![NodeId(0)] };
-        let b = Seg { h: 4.0, v: -1.0, nodes: vec![NodeId(1)] };
+        let mut a = Seg {
+            h: 5.0,
+            v: 2.0,
+            nodes: vec![NodeId(0)],
+        };
+        let b = Seg {
+            h: 4.0,
+            v: -1.0,
+            nodes: vec![NodeId(1)],
+        };
         a.fuse(b);
         assert_eq!(a.h, 6.0); // max(5, 2 + 4)
         assert_eq!(a.v, 1.0);
@@ -207,16 +218,32 @@ mod tests {
 
     #[test]
     fn two_class_order_releasing_first() {
-        let r = Seg { h: 9.0, v: -1.0, nodes: vec![] };
-        let a = Seg { h: 2.0, v: 1.0, nodes: vec![] };
+        let r = Seg {
+            h: 9.0,
+            v: -1.0,
+            nodes: vec![],
+        };
+        let a = Seg {
+            h: 2.0,
+            v: 1.0,
+            nodes: vec![],
+        };
         assert_eq!(key_cmp(r.key(), a.key()), Ordering::Less);
     }
 
     #[test]
     fn accumulating_sorted_by_drop() {
         // larger h - v first
-        let big = Seg { h: 10.0, v: 1.0, nodes: vec![] }; // h-v = 9
-        let small = Seg { h: 4.0, v: 2.0, nodes: vec![] }; // h-v = 2
+        let big = Seg {
+            h: 10.0,
+            v: 1.0,
+            nodes: vec![],
+        }; // h-v = 9
+        let small = Seg {
+            h: 4.0,
+            v: 2.0,
+            nodes: vec![],
+        }; // h-v = 2
         assert_eq!(key_cmp(big.key(), small.key()), Ordering::Less);
     }
 

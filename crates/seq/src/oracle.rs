@@ -38,7 +38,10 @@ pub fn min_peak_exhaustive(tree: &TaskTree) -> f64 {
     let outputs: Vec<f64> = (0..n).map(|i| tree.output(NodeId::from_index(i))).collect();
     let execs: Vec<f64> = (0..n).map(|i| tree.exec(NodeId::from_index(i))).collect();
     let parent_bit: Vec<Option<u32>> = (0..n)
-        .map(|i| tree.parent(NodeId::from_index(i)).map(|p| 1u32 << p.index()))
+        .map(|i| {
+            tree.parent(NodeId::from_index(i))
+                .map(|p| 1u32 << p.index())
+        })
         .collect();
 
     let resident = |mask: u32| -> f64 {

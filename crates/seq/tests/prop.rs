@@ -10,18 +10,14 @@
 
 use proptest::prelude::*;
 use treesched_model::{TaskTree, ValidateExt};
-use treesched_seq::{
-    best_postorder, liu_exact, naive_postorder, oracle, peak_of_order,
-};
+use treesched_seq::{best_postorder, liu_exact, naive_postorder, oracle, peak_of_order};
 
 /// Strategy: a random tree of `n` nodes given by a parent vector where
 /// `parents[i] < i` (node 0 is the root), plus random integer-ish weights.
 fn arb_tree(max_nodes: usize, max_weight: u32) -> impl Strategy<Value = TaskTree> {
     (2..=max_nodes)
         .prop_flat_map(move |n| {
-            let parents: Vec<BoxedStrategy<usize>> = (1..n)
-                .map(|i| (0..i).boxed())
-                .collect();
+            let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
             let weights = proptest::collection::vec(0..=max_weight, n * 2);
             (parents, weights)
         })

@@ -109,7 +109,9 @@ pub fn amalgamate_with(etree: &EliminationTree, cc: &[u32], rule: AmalgRule) -> 
     }
     // columns in increasing order = bottom-up in the etree
     for j in 0..n as u32 {
-        let Some(p) = etree.parent[j as usize] else { continue };
+        let Some(p) = etree.parent[j as usize] else {
+            continue;
+        };
         if child_count[p as usize] != 1 {
             continue; // both rules merge along only-child chains
         }
@@ -131,9 +133,7 @@ pub fn amalgamate_with(etree: &EliminationTree, cc: &[u32], rule: AmalgRule) -> 
     }
     // dense group ids ordered by representative column
     let mut group = vec![u32::MAX; n];
-    let mut reps: Vec<u32> = (0..n as u32)
-        .filter(|&j| find(&mut rep, j) == j)
-        .collect();
+    let mut reps: Vec<u32> = (0..n as u32).filter(|&j| find(&mut rep, j) == j).collect();
     reps.sort_unstable();
     let mut id_of_rep = std::collections::HashMap::with_capacity(reps.len());
     for (id, &r) in reps.iter().enumerate() {
@@ -239,7 +239,8 @@ mod tests {
 
     #[test]
     fn limit_one_keeps_elimination_tree() {
-        let p = grid2d(4, 4, Stencil::Star).permute(&min_degree(&grid2d(4, 4, Stencil::Star)).order);
+        let p =
+            grid2d(4, 4, Stencil::Star).permute(&min_degree(&grid2d(4, 4, Stencil::Star)).order);
         let et = elimination_tree(&p);
         let group = amalgamate(&et, 1);
         // every column its own group

@@ -207,16 +207,12 @@ mod tests {
                 let et = elimination_tree(&p);
                 let cc = column_counts(&p, &et);
                 let sym = symbolic_factorization(&p);
-                for j in 0..p.n() {
-                    assert_eq!(
-                        cc[j] as usize,
-                        sym[j].len() + 1,
-                        "column {j} mismatch"
-                    );
+                for (j, col) in sym.iter().enumerate() {
+                    assert_eq!(cc[j] as usize, col.len() + 1, "column {j} mismatch");
                 }
                 // etree parent = first off-diagonal of the factor column
-                for j in 0..p.n() {
-                    assert_eq!(et.parent[j], sym[j].first().copied(), "parent of {j}");
+                for (j, col) in sym.iter().enumerate() {
+                    assert_eq!(et.parent[j], col.first().copied(), "parent of {j}");
                 }
             }
         }

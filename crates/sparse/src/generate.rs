@@ -47,9 +47,19 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> SparsePatter
     // canonical undirected directions: first nonzero component positive
     let star: &[(i64, i64, i64)] = &[(1, 0, 0), (0, 1, 0), (0, 0, 1)];
     let boxd: &[(i64, i64, i64)] = &[
-        (1, 0, 0), (0, 1, 0), (0, 0, 1),
-        (1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1), (0, 1, 1), (0, 1, -1),
-        (1, 1, 1), (1, 1, -1), (1, -1, 1), (1, -1, -1),
+        (1, 0, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 1, 0),
+        (1, -1, 0),
+        (1, 0, 1),
+        (1, 0, -1),
+        (0, 1, 1),
+        (0, 1, -1),
+        (1, 1, 1),
+        (1, 1, -1),
+        (1, -1, 1),
+        (1, -1, -1),
     ];
     let dirs = if stencil == Stencil::Star { star } else { boxd };
     let mut edges = Vec::with_capacity(nx * ny * nz * dirs.len());
@@ -58,7 +68,13 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> SparsePatter
             for x in 0..nx as i64 {
                 for &(dx, dy, dz) in dirs {
                     let (xx, yy, zz) = (x + dx, y + dy, z + dz);
-                    if xx >= 0 && xx < nx as i64 && yy >= 0 && yy < ny as i64 && zz >= 0 && zz < nz as i64 {
+                    if xx >= 0
+                        && xx < nx as i64
+                        && yy >= 0
+                        && yy < ny as i64
+                        && zz >= 0
+                        && zz < nz as i64
+                    {
                         edges.push((
                             idx(x as usize, y as usize, z as usize),
                             idx(xx as usize, yy as usize, zz as usize),

@@ -19,7 +19,9 @@ pub struct Ordering {
 impl Ordering {
     /// The identity (natural) ordering.
     pub fn natural(n: usize) -> Ordering {
-        Ordering { order: (0..n as u32).collect() }
+        Ordering {
+            order: (0..n as u32).collect(),
+        }
     }
 
     /// Positions: `inverse()[old] = k` such that `order[k] == old`.
@@ -129,8 +131,9 @@ pub fn min_degree(p: &SparsePattern) -> Ordering {
     let mut scan_stamp = 0u32;
 
     // lazy-deletion min-heap of (degree, vertex)
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> =
-        (0..n).map(|i| std::cmp::Reverse((degree[i], i as u32))).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> = (0..n)
+        .map(|i| std::cmp::Reverse((degree[i], i as u32)))
+        .collect();
 
     let mut order = Vec::with_capacity(n);
     while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
@@ -262,8 +265,15 @@ pub fn nested_dissection_3d(nx: usize, ny: usize, nz: usize) -> Ordering {
 
 #[allow(clippy::too_many_arguments)]
 fn rec3(
-    x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize,
-    nx: usize, ny: usize, out: &mut Vec<u32>,
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    y1: usize,
+    z0: usize,
+    z1: usize,
+    nx: usize,
+    ny: usize,
+    out: &mut Vec<u32>,
 ) {
     let (w, h, d) = (x1 - x0, y1 - y0, z1 - z0);
     if w == 0 || h == 0 || d == 0 {
@@ -349,13 +359,22 @@ mod tests {
         let scrambled = p.permute(&shuffle);
         let bw = |q: &crate::pattern::SparsePattern| -> usize {
             (0..q.n())
-                .flat_map(|i| q.neighbors(i).iter().map(move |&j| (i as i64 - j as i64).unsigned_abs() as usize))
+                .flat_map(|i| {
+                    q.neighbors(i)
+                        .iter()
+                        .map(move |&j| (i as i64 - j as i64).unsigned_abs() as usize)
+                })
                 .max()
                 .unwrap_or(0)
         };
         let o = reverse_cuthill_mckee(&scrambled);
         let reordered = scrambled.permute(&o.order);
-        assert!(bw(&reordered) < bw(&scrambled) / 2, "{} vs {}", bw(&reordered), bw(&scrambled));
+        assert!(
+            bw(&reordered) < bw(&scrambled) / 2,
+            "{} vs {}",
+            bw(&reordered),
+            bw(&scrambled)
+        );
     }
 
     #[test]

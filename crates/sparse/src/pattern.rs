@@ -21,7 +21,10 @@ impl SparsePattern {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> SparsePattern {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             if a == b {
                 continue;
             }

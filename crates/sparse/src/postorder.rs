@@ -136,13 +136,17 @@ mod tests {
     #[test]
     fn detects_non_postordered() {
         // parent below child
-        let et = EliminationTree { parent: vec![Some(2), Some(2), None, Some(4), None] };
+        let et = EliminationTree {
+            parent: vec![Some(2), Some(2), None, Some(4), None],
+        };
         assert!(is_postordered(&et));
         // non-contiguous subtree: 0 -> 3, 1 -> 2, 2 -> 3: subtree of 3 is
         // {0,1,2,3} contiguous; but subtree of 2 = {1,2} contiguous... build
         // a genuinely broken one: 0 -> 2, 1 -> 3, 2 -> 3? subtree(2) = {0,2}
         // is NOT contiguous ({0,2} misses 1)
-        let et = EliminationTree { parent: vec![Some(2), Some(3), Some(3), None] };
+        let et = EliminationTree {
+            parent: vec![Some(2), Some(3), Some(3), None],
+        };
         assert!(!is_postordered(&et));
     }
 }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use treesched_model::ValidateExt;
-use treesched_sparse::{
-    assembly, etree, ordering, pattern::SparsePattern, postorder,
-};
+use treesched_sparse::{assembly, etree, ordering, pattern::SparsePattern, postorder};
 
 /// Random connected symmetric pattern: a spanning path plus random extra
 /// edges.

@@ -15,7 +15,10 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions { width: 72, label_tasks: true }
+        GanttOptions {
+            width: 72,
+            label_tasks: true,
+        }
     }
 }
 
@@ -84,7 +87,12 @@ pub fn gantt(tree: &TaskTree, schedule: &Schedule, opts: GanttOptions) -> String
         let _ = writeln!(out, "p{p} |{}|", line);
     }
     // time axis
-    let _ = writeln!(out, "   0{}{:.1}", " ".repeat(width.saturating_sub(6)), makespan);
+    let _ = writeln!(
+        out,
+        "   0{}{:.1}",
+        " ".repeat(width.saturating_sub(6)),
+        makespan
+    );
     out
 }
 
@@ -110,7 +118,14 @@ mod tests {
     fn busy_processor_is_filled() {
         let t = TaskTree::chain(5, 1.0, 1.0, 0.0);
         let s = Heuristic::ParSubtrees.schedule(&t, 1);
-        let g = gantt(&t, &s, GanttOptions { width: 20, label_tasks: false });
+        let g = gantt(
+            &t,
+            &s,
+            GanttOptions {
+                width: 20,
+                label_tasks: false,
+            },
+        );
         let p0 = g.lines().find(|l| l.starts_with("p0 |")).unwrap();
         // a chain keeps the single processor fully busy
         let bar: String = p0.chars().skip(4).take(20).collect();
@@ -121,9 +136,23 @@ mod tests {
     fn labels_appear_when_requested() {
         let t = TaskTree::chain(3, 5.0, 1.0, 0.0);
         let s = Heuristic::ParSubtrees.schedule(&t, 1);
-        let g = gantt(&t, &s, GanttOptions { width: 30, label_tasks: true });
+        let g = gantt(
+            &t,
+            &s,
+            GanttOptions {
+                width: 30,
+                label_tasks: true,
+            },
+        );
         assert!(g.contains('2')); // leaf id drawn inside its bar
-        let g2 = gantt(&t, &s, GanttOptions { width: 30, label_tasks: false });
+        let g2 = gantt(
+            &t,
+            &s,
+            GanttOptions {
+                width: 30,
+                label_tasks: false,
+            },
+        );
         assert!(!g2.lines().any(|l| l.starts_with("p0") && l.contains('2')));
     }
 
@@ -131,7 +160,14 @@ mod tests {
     fn zero_width_is_clamped() {
         let t = TaskTree::chain(2, 1.0, 1.0, 0.0);
         let s = Heuristic::ParSubtrees.schedule(&t, 1);
-        let g = gantt(&t, &s, GanttOptions { width: 0, label_tasks: false });
+        let g = gantt(
+            &t,
+            &s,
+            GanttOptions {
+                width: 0,
+                label_tasks: false,
+            },
+        );
         assert!(g.contains("p0 |"));
     }
 }

@@ -15,7 +15,10 @@ pub struct ProfileOptions {
 
 impl Default for ProfileOptions {
     fn default() -> Self {
-        ProfileOptions { width: 72, height: 12 }
+        ProfileOptions {
+            width: 72,
+            height: 12,
+        }
     }
 }
 
@@ -104,7 +107,14 @@ mod tests {
         // the plot must be reached somewhere
         let t = TaskTree::chain(8, 1.0, 1.0, 0.0);
         let s = Heuristic::ParSubtrees.schedule(&t, 1);
-        let plot = memory_profile_plot(&t, &s, ProfileOptions { width: 40, height: 8 });
+        let plot = memory_profile_plot(
+            &t,
+            &s,
+            ProfileOptions {
+                width: 40,
+                height: 8,
+            },
+        );
         let top_row = plot.lines().nth(1).unwrap();
         assert!(top_row.contains('█'));
     }
@@ -113,7 +123,14 @@ mod tests {
     fn axis_labels_present() {
         let t = TaskTree::fork(3, 1.0, 1.0, 0.0);
         let s = Heuristic::ParSubtrees.schedule(&t, 2);
-        let plot = memory_profile_plot(&t, &s, ProfileOptions { width: 30, height: 5 });
+        let plot = memory_profile_plot(
+            &t,
+            &s,
+            ProfileOptions {
+                width: 30,
+                height: 5,
+            },
+        );
         assert!(plot.contains("0.00"));
         assert!(plot.lines().count() >= 7);
     }

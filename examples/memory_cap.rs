@@ -7,9 +7,7 @@
 //! cargo run --release --example memory_cap
 //! ```
 
-use treesched::core::{
-    evaluate, mem_bounded_schedule, memory_reference, Admission, Heuristic,
-};
+use treesched::core::{evaluate, mem_bounded_schedule, memory_reference, Admission, Heuristic};
 use treesched::gen::{assembly_corpus, Scale};
 use treesched::seq::best_postorder;
 
@@ -18,11 +16,7 @@ fn main() {
     // pick the entry with the most inherent parallelism so the cap bites
     let entry = corpus
         .iter()
-        .max_by(|a, b| {
-            a.stats()
-                .parallelism()
-                .total_cmp(&b.stats().parallelism())
-        })
+        .max_by(|a, b| a.stats().parallelism().total_cmp(&b.stats().parallelism()))
         .expect("corpus is nonempty");
     let tree = &entry.tree;
     let order = best_postorder(tree).order;

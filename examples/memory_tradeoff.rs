@@ -15,11 +15,7 @@ fn main() {
     // pick the widest tree so the processor sweep is meaningful
     let entry = corpus
         .iter()
-        .max_by(|a, b| {
-            a.stats()
-                .parallelism()
-                .total_cmp(&b.stats().parallelism())
-        })
+        .max_by(|a, b| a.stats().parallelism().total_cmp(&b.stats().parallelism()))
         .expect("corpus is nonempty");
     let tree = &entry.tree;
     println!("tree {} — {}", entry.name, entry.stats());

@@ -35,7 +35,10 @@ fn main() {
         tree.len(),
         tree.critical_path()
     );
-    println!("  optimal sequential memory: {} (= n + δ)", liu_exact(&tree).peak);
+    println!(
+        "  optimal sequential memory: {} (= n + δ)",
+        liu_exact(&tree).peak
+    );
     for p in [2u32, 8, 32] {
         let ev = evaluate(&tree, &par_deepest_first(&tree, p));
         println!(
@@ -43,7 +46,10 @@ fn main() {
             ev.makespan, ev.peak_memory
         );
     }
-    println!("  (pushing the makespan toward δ+2 = {} forces memory far above n+δ)", delta + 2);
+    println!(
+        "  (pushing the makespan toward δ+2 = {} forces memory far above n+δ)",
+        delta + 2
+    );
 
     // --- Figure 3: the fork --------------------------------------------
     let (p, k) = (8u32, 32usize);

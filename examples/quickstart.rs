@@ -39,11 +39,19 @@ fn main() {
             makespan_lower_bound(&tree, p),
             memory_reference(&tree)
         );
-        println!("  {:<18} {:>10} {:>12}", "heuristic", "makespan", "peak memory");
+        println!(
+            "  {:<18} {:>10} {:>12}",
+            "heuristic", "makespan", "peak memory"
+        );
         for h in Heuristic::ALL {
             let schedule = h.schedule(&tree, p);
             let ev = evaluate(&tree, &schedule);
-            println!("  {:<18} {:>10.1} {:>12.1}", h.name(), ev.makespan, ev.peak_memory);
+            println!(
+                "  {:<18} {:>10.1} {:>12.1}",
+                h.name(),
+                ev.makespan,
+                ev.peak_memory
+            );
         }
         println!();
     }

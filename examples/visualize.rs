@@ -13,7 +13,10 @@ fn main() {
     // the paper's Figure 4 gadget makes the memory contrast visible
     let (p, k) = (3usize, 4usize);
     let tree = inner_first_gadget(p, k);
-    println!("Figure 4 gadget (p = {p}, k = {k}), {} tasks:\n", tree.len());
+    println!(
+        "Figure 4 gadget (p = {p}, k = {k}), {} tasks:\n",
+        tree.len()
+    );
     println!("{}", tree_sketch(&tree, 24));
 
     for h in [Heuristic::ParSubtrees, Heuristic::ParInnerFirst] {
@@ -27,12 +30,26 @@ fn main() {
         );
         print!(
             "{}",
-            gantt(&tree, &schedule, GanttOptions { width: 60, label_tasks: true })
+            gantt(
+                &tree,
+                &schedule,
+                GanttOptions {
+                    width: 60,
+                    label_tasks: true
+                }
+            )
         );
         println!();
         print!(
             "{}",
-            memory_profile_plot(&tree, &schedule, ProfileOptions { width: 60, height: 8 })
+            memory_profile_plot(
+                &tree,
+                &schedule,
+                ProfileOptions {
+                    width: 60,
+                    height: 8
+                }
+            )
         );
         println!();
     }

@@ -51,12 +51,22 @@ fn validator_catches_truncated_and_stretched_intervals() {
     // NaN start
     let mut nan = base.clone();
     nan.placements[0].start = f64::NAN;
-    assert!(matches!(nan.validate(&t), Err(ScheduleError::BadInterval { .. })));
+    assert!(matches!(
+        nan.validate(&t),
+        Err(ScheduleError::BadInterval { .. })
+    ));
 
     // negative start
     let mut neg = base;
-    neg.placements[0] = Placement { proc: 0, start: -1.0, finish: -1.0 + t.work(NodeId(0)) };
-    assert!(matches!(neg.validate(&t), Err(ScheduleError::BadInterval { .. })));
+    neg.placements[0] = Placement {
+        proc: 0,
+        start: -1.0,
+        finish: -1.0 + t.work(NodeId(0)),
+    };
+    assert!(matches!(
+        neg.validate(&t),
+        Err(ScheduleError::BadInterval { .. })
+    ));
 }
 
 #[test]
@@ -90,10 +100,10 @@ fn corrupted_tree_files_fail_cleanly() {
 
     // bit-flip style corruptions of the text form
     let corruptions = [
-        good.replace("0 -1", "0 7"),          // root points at a child
-        good.replacen("1 0", "1 1", 1),       // self-loop
-        good.replace(' ', ""),                // mangled separators
-        good[..good.len() / 2].to_string(),   // truncation mid-line
+        good.replace("0 -1", "0 7"),        // root points at a child
+        good.replacen("1 0", "1 1", 1),     // self-loop
+        good.replace(' ', ""),              // mangled separators
+        good[..good.len() / 2].to_string(), // truncation mid-line
     ];
     for (k, bad) in corruptions.iter().enumerate() {
         if bad == &good {
@@ -104,7 +114,10 @@ fn corrupted_tree_files_fail_cleanly() {
             // if it still parses it must still be a *valid tree* (e.g. the
             // truncation may fall on a line boundary)
             use treesched::model::ValidateExt;
-            assert!(tree.validate().is_ok(), "corruption {k} produced a broken tree");
+            assert!(
+                tree.validate().is_ok(),
+                "corruption {k} produced a broken tree"
+            );
         }
     }
 }

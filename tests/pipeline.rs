@@ -21,7 +21,8 @@ fn full_pipeline_grid_to_schedules() {
         for p in [2u32, 8] {
             for h in Heuristic::ALL {
                 let s = h.schedule(&tree, p);
-                s.validate(&tree).unwrap_or_else(|e| panic!("{h} p={p}: {e}"));
+                s.validate(&tree)
+                    .unwrap_or_else(|e| panic!("{h} p={p}: {e}"));
                 let ev = evaluate(&tree, &s);
                 assert!(ev.makespan >= makespan_lower_bound(&tree, p) - 1e-9);
                 assert!(ev.peak_memory >= memory_lower_bound_exact(&tree) - 1e-6);

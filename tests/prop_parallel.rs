@@ -15,8 +15,7 @@ use treesched::seq::best_postorder;
 fn arb_tree(max_nodes: usize) -> impl Strategy<Value = TaskTree> {
     (2..=max_nodes)
         .prop_flat_map(move |n| {
-            let parents: Vec<BoxedStrategy<usize>> =
-                (1..n).map(|i| (0..i).boxed()).collect();
+            let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
             let weights = proptest::collection::vec((1u32..=9, 0u32..=9, 0u32..=6), n);
             (parents, weights)
         })

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of `criterion` 0.5: benchmark groups,
+//! `bench_with_input` / `bench_function`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — one warm-up call, then timed
+//! iterations until a small per-benchmark wall-clock budget (default 100 ms,
+//! `TREESCHED_BENCH_MS` overrides) or an iteration cap is reached; the mean
+//! is printed as `group/id: <time> (<iters> iters[, throughput])`. There is
+//! no statistical analysis, outlier rejection, or HTML report; the numbers
+//! are indicative. The stub exists so `cargo bench` compiles and produces
+//! usable relative timings offline.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget.
+fn time_budget() -> Duration {
+    let ms = std::env::var("TREESCHED_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration, max_iters: u64) -> Self {
+        Bencher {
+            budget,
+            max_iters,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times repeated calls of `f` (one warm-up call, then measured
+    /// iterations until the budget or iteration cap is hit).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget || self.iters >= self.max_iters {
+                break;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps measured iterations per benchmark (upstream: statistical sample
+    /// count; here: iteration cap on the timing loop).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the throughput annotation reported with each result.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(time_budget(), self.sample_size);
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmarks a no-input closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(time_budget(), self.sample_size);
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finishes the group (upstream renders the summary here; the stub
+    /// prints per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mean = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!(
+            "{}/{}: {} ({} iters",
+            self.name,
+            id.id,
+            format_duration(mean),
+            b.iters
+        );
+        if !mean.is_zero() {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 / mean.as_secs_f64();
+                    line.push_str(&format!(", {:.3e} elem/s", per_sec));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = n as f64 / mean.as_secs_f64();
+                    line.push_str(&format!(", {:.3e} B/s", per_sec));
+                }
+                None => {}
+            }
+        }
+        line.push(')');
+        println!("{line}");
+    }
+}
+
+/// Top-level harness handle, one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        self
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_caps() {
+        std::env::set_var("TREESCHED_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            });
+        });
+        g.finish();
+        // 1 warm-up + at most sample_size measured calls
+        assert!((2..=4).contains(&calls), "calls {calls}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+use rand::Rng as _;
+
+/// Number-of-elements specification accepted by [`vec`]: an exact `usize`
+/// or a `Range<usize>`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let fixed = vec(0u32..10, 5usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 5);
+        let ranged = vec(0u32..10, 2..6);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

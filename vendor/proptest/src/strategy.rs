@@ -1,0 +1,220 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+use rand::Rng as _;
+
+/// A generator of random values. Stub counterpart of proptest's `Strategy`:
+/// same combinator names, but generation is direct (no shrink trees).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value (dependent
+    /// generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A fixed-shape collection of strategies generates element-wise (used for
+/// `Vec<BoxedStrategy<_>>` in the tree-shape strategies).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// String-pattern strategies, approximated.
+///
+/// Upstream proptest interprets `&str` strategies as regexes. This stub
+/// ignores the pattern's structure and generates arbitrary short strings
+/// over a pool mixing ASCII printables, whitespace/control characters,
+/// digits-and-separator-heavy fragments, and multibyte code points — a
+/// superset of what `\PC*`-style fuzz patterns aim at (robustness of
+/// parsers against arbitrary garbage). Marker type so the choice is
+/// documented in one place.
+pub struct StrPattern;
+
+const CHAR_POOL: &[char] = &[
+    ' ', '\t', '\n', '\r', '0', '1', '9', '-', '+', '.', 'e', 'a', 'z', 'A', 'Z', '_', '#', '%',
+    '"', '\'', '\\', '/', '\u{0}', '\u{7}', 'é', 'λ', '中', '🌳', '\u{202e}', '\u{fffd}',
+];
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.gen_range(0usize..=64);
+        (0..len)
+            .map(|_| {
+                // half the draws come from the adversarial pool, half are
+                // arbitrary printable ASCII
+                if rng.gen_range(0u32..2) == 0 {
+                    CHAR_POOL[rng.gen_range(0..CHAR_POOL.len())]
+                } else {
+                    char::from(rng.gen_range(0x20u8..0x7f))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = (1usize..=4)
+            .prop_flat_map(|n| {
+                let elems: Vec<BoxedStrategy<usize>> = (0..n).map(|i| (0..i + 1).boxed()).collect();
+                (Just(n), elems)
+            })
+            .prop_map(|(n, v)| (n, v.len(), v));
+        for _ in 0..200 {
+            let (n, len, v) = strat.generate(&mut rng);
+            assert_eq!(n, len);
+            for (i, &x) in v.iter().enumerate() {
+                assert!(x <= i);
+            }
+        }
+    }
+
+    #[test]
+    fn str_pattern_generates_varied_strings() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let lens: Vec<usize> = (0..50).map(|_| "\\PC*".generate(&mut rng).len()).collect();
+        assert!(lens.contains(&0) || lens.iter().any(|&l| l > 10));
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of `rand` 0.8 covering exactly what the
+//! `treesched` crates use:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable generator (SplitMix64);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges.
+//!
+//! The generator is **not** cryptographic and intentionally differs from the
+//! real `StdRng` stream (ChaCha12); everything downstream only relies on
+//! determinism per seed, which this guarantees. Range sampling uses
+//! rejection to stay unbiased, so empirical-distribution tests (e.g. the
+//! average off-diagonal density checks in `treesched_sparse`) behave as they
+//! would with the real crate.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Minimal core-RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose entire stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics on empty ranges, matching the real crate.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform draw from `0..span` (`span == 0` means the full `u64`
+/// domain). Rejection sampling avoids modulo bias.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Accept v < limit where limit is the largest multiple of span <= 2^64;
+    // limit == 0 encodes "span divides 2^64 exactly" (accept everything).
+    let limit = 0u64.wrapping_sub(((u64::MAX % span) + 1) % span);
+    loop {
+        let v = rng.next_u64();
+        if limit == 0 || v < limit {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // two's-complement wrapping subtraction gives the span for
+                // signed and unsigned types alike
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // span == 0 encodes the full domain (hi - lo + 1 == 2^64)
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable RNG (SplitMix64). Stand-in for `rand`'s
+    /// `StdRng`; same trait surface, different (but fixed) stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014) — passes BigCrush, one
+            // u64 of state, trivially seedable.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_range(0u64..=u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_range(0u64..=u64::MAX)).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..=u64::MAX)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(0..7);
+            assert!(x < 7);
+            let y: u64 = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let z: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: usize = rng.gen_range(3..3);
+    }
+}
