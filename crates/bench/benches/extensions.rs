@@ -2,7 +2,9 @@
 //! exact Pareto solver, and the text renderers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use treesched_core::{mem_bounded_schedule, pareto_frontier, Admission, Heuristic};
+use treesched_core::{
+    mem_bounded_schedule, pareto_frontier, Admission, Platform, Request, SchedulerRegistry,
+};
 use treesched_gen::{random_deep, spider, WeightRange};
 use treesched_seq::best_postorder;
 
@@ -66,7 +68,12 @@ fn bench_rendering(c: &mut Criterion) {
     let mut g = c.benchmark_group("viz_rendering");
     g.sample_size(30);
     let tree = random_deep(20_000, 4, WeightRange::MIXED, 5);
-    let schedule = Heuristic::ParDeepestFirst.schedule(&tree, 8);
+    let schedule = SchedulerRegistry::standard()
+        .get("deepest")
+        .unwrap()
+        .schedule_once(&Request::new(&tree, Platform::new(8)))
+        .unwrap()
+        .schedule;
     g.bench_function("gantt_20k", |b| {
         b.iter(|| treesched_viz::gantt(&tree, &schedule, treesched_viz::GanttOptions::default()));
     });

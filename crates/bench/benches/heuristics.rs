@@ -1,10 +1,14 @@
-//! Runtime of the four heuristics versus tree size — validates the
+//! Runtime of the campaign schedulers versus tree size — validates the
 //! complexity claims of paper §5 (`O(n log n)` for the list schedulers and
 //! `ParSubtrees` with the optimal-postorder sub-algorithm,
 //! `O(n(log n + p))` for `SplitSubtrees`).
+//!
+//! Schedulers run through the registry's `Scratch`-reusing path — the same
+//! allocation-free path the corpus campaign uses — so these numbers track
+//! what the experiment harness actually pays per schedule.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use treesched_core::Heuristic;
+use treesched_core::{Platform, Request, SchedulerRegistry, Scratch};
 use treesched_gen::{random_deep, WeightRange};
 use treesched_model::TaskTree;
 use treesched_sparse::{assembly, generate, ordering};
@@ -16,14 +20,17 @@ fn corpus_tree(nx: usize) -> TaskTree {
 }
 
 fn bench_heuristics(c: &mut Criterion) {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
     let mut g = c.benchmark_group("heuristic_runtime");
     g.sample_size(20);
     for &n in &[1_000usize, 10_000, 100_000] {
         let tree = random_deep(n, 4, WeightRange::MIXED, 42);
         g.throughput(Throughput::Elements(n as u64));
-        for h in Heuristic::ALL {
-            g.bench_with_input(BenchmarkId::new(h.name(), n), &tree, |b, t| {
-                b.iter(|| h.schedule(t, 8));
+        for entry in registry.campaign() {
+            g.bench_with_input(BenchmarkId::new(entry.name(), n), &tree, |b, t| {
+                let req = Request::new(t, Platform::new(8));
+                b.iter(|| entry.scheduler().schedule(&req, &mut scratch).unwrap());
             });
         }
     }
@@ -31,17 +38,20 @@ fn bench_heuristics(c: &mut Criterion) {
 }
 
 fn bench_heuristics_assembly(c: &mut Criterion) {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
     let mut g = c.benchmark_group("heuristic_runtime_assembly");
     g.sample_size(20);
     for &nx in &[30usize, 60, 120] {
         let tree = corpus_tree(nx);
         g.throughput(Throughput::Elements(tree.len() as u64));
-        for h in Heuristic::ALL {
+        for entry in registry.campaign() {
             g.bench_with_input(
-                BenchmarkId::new(h.name(), format!("grid{nx}x{nx}")),
+                BenchmarkId::new(entry.name(), format!("grid{nx}x{nx}")),
                 &tree,
                 |b, t| {
-                    b.iter(|| h.schedule(t, 8));
+                    let req = Request::new(t, Platform::new(8));
+                    b.iter(|| entry.scheduler().schedule(&req, &mut scratch).unwrap());
                 },
             );
         }
@@ -64,11 +74,18 @@ fn bench_processor_scaling(c: &mut Criterion) {
 
 fn bench_schedule_evaluation(c: &mut Criterion) {
     // the event-sweep memory evaluation is O(n log n)
+    let registry = SchedulerRegistry::standard();
     let mut g = c.benchmark_group("schedule_evaluation");
     g.sample_size(20);
     for &n in &[10_000usize, 100_000] {
         let tree = random_deep(n, 4, WeightRange::MIXED, 11);
-        let schedule = Heuristic::ParDeepestFirst.schedule(&tree, 8);
+        let req = Request::new(&tree, Platform::new(8));
+        let schedule = registry
+            .get("deepest")
+            .unwrap()
+            .schedule_once(&req)
+            .unwrap()
+            .schedule;
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("peak_memory", n), &(), |b, _| {
             b.iter(|| schedule.peak_memory(&tree));

@@ -6,23 +6,46 @@
 //!    traversal is the naive postorder, the optimal postorder (paper's
 //!    choice), or Liu's exact algorithm;
 //! 3. **memory-capped scheduling** — the cap/makespan trade-off of the
-//!    `mem_bounded_schedule` extension (paper §7 future work).
+//!    `MemBoundedSeq` extension (paper §7 future work);
+//! 4. **priority components** — what the paper's tie-breaks buy over the
+//!    textbook list-scheduling baselines.
+//!
+//! Every scheduler is resolved by name through the registry; this binary
+//! contains no per-heuristic dispatch.
 
 use treesched_core::{
-    cp_list_schedule, evaluate, fifo_list_schedule, mem_bounded_schedule, memory_reference,
-    par_deepest_first, par_inner_first, par_subtrees, random_list_schedule, Admission, SeqAlgo,
+    memory_reference, Outcome, Platform, Request, SchedulerRegistry, Scratch, SeqAlgo,
 };
 use treesched_gen::{assembly_corpus, fork_tree, Scale};
-use treesched_seq::best_postorder;
+use treesched_model::TaskTree;
 
-fn main() {
-    fig3_sweep();
-    seq_algo_ablation();
-    memory_cap_ablation();
-    priority_component_ablation();
+/// Schedules `tree` by registry `name`, exiting cleanly on typed errors.
+fn run(
+    registry: &SchedulerRegistry,
+    scratch: &mut Scratch,
+    name: &str,
+    req: &Request<'_>,
+) -> Outcome {
+    let result = registry.get(name).and_then(|s| s.schedule(req, scratch));
+    match result {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
-fn fig3_sweep() {
+fn main() {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
+    fig3_sweep(&registry, &mut scratch);
+    seq_algo_ablation(&registry, &mut scratch);
+    memory_cap_ablation(&registry, &mut scratch);
+    priority_component_ablation(&registry, &mut scratch);
+}
+
+fn fig3_sweep(registry: &SchedulerRegistry, scratch: &mut Scratch) {
     println!("Ablation 1 — Figure 3 fork: ParSubtrees makespan ratio vs p");
     println!(
         "  {:>4} {:>6} {:>12} {:>10} {:>8}",
@@ -31,7 +54,8 @@ fn fig3_sweep() {
     for p in [2u32, 4, 8, 16] {
         for k in [4usize, 16, 64] {
             let t = fork_tree(p as usize, k);
-            let ms = evaluate(&t, &par_subtrees(&t, p, SeqAlgo::default())).makespan;
+            let req = Request::new(&t, Platform::new(p));
+            let ms = run(registry, scratch, "subtrees", &req).eval.makespan;
             let opt = (k + 1) as f64;
             println!(
                 "  {:>4} {:>6} {:>12.0} {:>10.0} {:>8.3}",
@@ -46,7 +70,7 @@ fn fig3_sweep() {
     println!("  (ratio tends to p as k grows; paper §5.1)\n");
 }
 
-fn seq_algo_ablation() {
+fn seq_algo_ablation(registry: &SchedulerRegistry, scratch: &mut Scratch) {
     println!("Ablation 2 — ParSubtrees memory under different sequential sub-algorithms");
     let corpus = assembly_corpus(Scale::Small);
     println!(
@@ -55,25 +79,27 @@ fn seq_algo_ablation() {
     );
     let p = 4u32;
     for e in corpus.iter().step_by(4).take(6) {
-        let mem = |algo: SeqAlgo| evaluate(&e.tree, &par_subtrees(&e.tree, p, algo)).peak_memory;
+        let mem = |scratch: &mut Scratch, algo: SeqAlgo| {
+            let req = Request::new(&e.tree, Platform::new(p)).with_seq(algo);
+            run(registry, scratch, "subtrees", &req).eval.peak_memory
+        };
         println!(
             "  {:<24} {:>5} {:>14.3e} {:>14.3e} {:>14.3e}",
             e.name,
             p,
-            mem(SeqAlgo::NaivePostorder),
-            mem(SeqAlgo::BestPostorder),
-            mem(SeqAlgo::LiuExact)
+            mem(scratch, SeqAlgo::NaivePostorder),
+            mem(scratch, SeqAlgo::BestPostorder),
+            mem(scratch, SeqAlgo::LiuExact)
         );
     }
     println!();
 }
 
-fn memory_cap_ablation() {
+fn memory_cap_ablation(registry: &SchedulerRegistry, scratch: &mut Scratch) {
     println!("Ablation 3 — memory-capped list scheduling (sequential-activation policy)");
     let corpus = assembly_corpus(Scale::Small);
     let e = &corpus[8]; // a mid-size entry
     let t = &e.tree;
-    let order = best_postorder(t).order;
     let mseq = memory_reference(t);
     let p = 8;
     println!(
@@ -92,7 +118,8 @@ fn memory_cap_ablation() {
         } else {
             mseq * factor
         };
-        let run = mem_bounded_schedule(t, p, &order, cap, Admission::SequentialOrder);
+        let req = Request::new(t, Platform::new(p).with_memory_cap(cap));
+        let out = run(registry, scratch, "membound", &req);
         println!(
             "  {:>10} {:>14.3e} {:>14.3e} {:>12}",
             if factor.is_infinite() {
@@ -100,25 +127,33 @@ fn memory_cap_ablation() {
             } else {
                 format!("{factor:.1}")
             },
-            run.peak_memory,
-            run.schedule.makespan(),
-            run.violations
+            out.eval.peak_memory,
+            out.eval.makespan,
+            out.diagnostics.cap_violations.unwrap_or(0)
         );
     }
     println!("  (tighter caps trade makespan for memory; 0 violations at cap >= M_seq)\n");
 }
 
-fn priority_component_ablation() {
+fn priority_component_ablation(registry: &SchedulerRegistry, scratch: &mut Scratch) {
     println!("Ablation 4 — what the paper-specific priorities buy over textbook list scheduling");
     println!("  (geometric-mean memory relative to the sequential reference, p = 8)");
     let p = 8u32;
+    // the compared priority schemes, by registry name
+    let schemes = [
+        ("ParInnerFirst", "inner"),
+        ("ParDeepestFirst", "deepest"),
+        ("cp-list (no tie-breaks)", "cp"),
+        ("fifo-list", "fifo"),
+        ("random-list", "random"),
+    ];
     // two families: realistic assembly trees, and the wide/irregular shapes
     // where leaf ordering decides how many subtrees are opened concurrently
-    let assembly: Vec<(String, treesched_model::TaskTree)> = assembly_corpus(Scale::Small)
+    let assembly: Vec<(String, TaskTree)> = assembly_corpus(Scale::Small)
         .into_iter()
         .map(|e| (e.name, e.tree))
         .collect();
-    let wide: Vec<(String, treesched_model::TaskTree)> = vec![
+    let wide: Vec<(String, TaskTree)> = vec![
         ("caterpillar".into(), treesched_gen::caterpillar(40, 6)),
         ("longchain".into(), treesched_gen::long_chain_tree(24, 8)),
         ("gadget".into(), treesched_gen::inner_first_gadget(8, 12)),
@@ -129,30 +164,22 @@ fn priority_component_ablation() {
         ),
     ];
     for (family, trees) in [("assembly corpus", &assembly), ("wide/irregular", &wide)] {
-        let mut ratios: Vec<(&str, Vec<f64>)> = vec![
-            ("ParInnerFirst", Vec::new()),
-            ("ParDeepestFirst", Vec::new()),
-            ("cp-list (no tie-breaks)", Vec::new()),
-            ("fifo-list", Vec::new()),
-            ("random-list", Vec::new()),
-        ];
+        let mut ratios: Vec<(&str, Vec<f64>)> = schemes
+            .iter()
+            .map(|&(label, _)| (label, Vec::new()))
+            .collect();
         for (_, t) in trees {
             let mref = memory_reference(t);
-            let schedules = [
-                par_inner_first(t, p),
-                par_deepest_first(t, p),
-                cp_list_schedule(t, p),
-                fifo_list_schedule(t, p),
-                random_list_schedule(t, p, 42),
-            ];
-            for (k, s) in schedules.iter().enumerate() {
-                ratios[k].1.push(evaluate(t, s).peak_memory / mref);
+            let req = Request::new(t, Platform::new(p));
+            for (k, &(_, name)) in schemes.iter().enumerate() {
+                let out = run(registry, scratch, name, &req);
+                ratios[k].1.push(out.eval.peak_memory / mref);
             }
         }
         println!("  {family}:");
-        for (name, rs) in &ratios {
+        for (label, rs) in &ratios {
             let g = treesched_bench::stats::geomean(rs);
-            println!("    {:<26} {:>8.3}", name, g);
+            println!("    {:<26} {:>8.3}", label, g);
         }
     }
     println!("  (on bounded-degree assembly trees the tie-breaks barely matter;");

@@ -65,4 +65,15 @@ fn main() {
     println!(
         "(paper §6.2: 608 trees, 2,000..1,000,000 nodes, depth 12..70,000, degree 2..175,000)"
     );
+
+    // the campaign this corpus feeds, straight from the scheduler registry
+    let registry = treesched_core::SchedulerRegistry::standard();
+    let campaign: Vec<&str> = registry.campaign().map(|e| e.name()).collect();
+    println!(
+        "\ncampaign schedulers ({} x {} trees x {} processor counts): {}",
+        campaign.len(),
+        corpus.len(),
+        treesched_bench::PAPER_PROCS.len(),
+        campaign.join(", ")
+    );
 }

@@ -1,9 +1,10 @@
 //! Reproduces **Figure 6** of the paper: every scenario's makespan relative
 //! to the lower bound `max(W/p, CP)` against its memory relative to the
-//! best sequential postorder, summarized per heuristic by the mean and the
+//! best sequential postorder, summarized per scheduler by the mean and the
 //! 10th–90th percentile "cross".
 
 use treesched_bench::{cli, harness};
+use treesched_core::SchedulerRegistry;
 use treesched_gen::assembly_corpus;
 
 fn main() {
@@ -19,9 +20,18 @@ fn main() {
         }
     };
 
+    let registry = SchedulerRegistry::standard();
+    let names = opts.scheduler_names(&registry);
     eprintln!("building corpus ({:?})...", opts.scale);
     let corpus = assembly_corpus(opts.scale);
-    let rows = harness::run_corpus(&corpus, &opts.procs);
+    let rows =
+        match harness::run_corpus_with(&corpus, &opts.procs, &registry, &names, opts.cap_factor) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
     let series = harness::fig6(&rows);
 
     print!(
@@ -29,7 +39,7 @@ fn main() {
         harness::render_crosses(
             &format!(
                 "Figure 6 — comparison to lower bounds ({} scenarios)",
-                rows.len() / 4
+                rows.len() / names.len().max(1)
             ),
             "makespan / lower bound",
             "memory / sequential reference",
@@ -41,7 +51,7 @@ fn main() {
     let mem_order: Vec<&str> = {
         let mut v: Vec<_> = series
             .iter()
-            .map(|(h, _, c)| (h.name(), c.y_mean))
+            .map(|(name, _, c)| (name.as_str(), c.y_mean))
             .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(n, _)| n).collect()
@@ -53,7 +63,7 @@ fn main() {
     let ms_order: Vec<&str> = {
         let mut v: Vec<_> = series
             .iter()
-            .map(|(h, _, c)| (h.name(), c.x_mean))
+            .map(|(name, _, c)| (name.as_str(), c.x_mean))
             .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(n, _)| n).collect()

@@ -1,8 +1,8 @@
 //! Reproduces **Figure 8** of the paper: per-scenario makespan and memory of
-//! every heuristic normalized by `ParInnerFirst`.
+//! every scheduler normalized by `ParInnerFirst`.
 
 use treesched_bench::{cli, harness};
-use treesched_core::Heuristic;
+use treesched_core::SchedulerRegistry;
 use treesched_gen::assembly_corpus;
 
 fn main() {
@@ -18,17 +18,36 @@ fn main() {
         }
     };
 
+    const BASELINE: &str = "ParInnerFirst";
+    let registry = SchedulerRegistry::standard();
+    let mut names = opts.scheduler_names(&registry);
+    // every series is normalized by the baseline: a selection without it
+    // would silently produce empty all-zero series
+    let has_baseline = names
+        .iter()
+        .any(|n| registry.resolve(n).map(|e| e.name()) == Ok(BASELINE));
+    if !has_baseline {
+        eprintln!("note: adding normalization baseline {BASELINE} to the scheduler selection");
+        names.push(BASELINE.to_string());
+    }
     eprintln!("building corpus ({:?})...", opts.scale);
     let corpus = assembly_corpus(opts.scale);
-    let rows = harness::run_corpus(&corpus, &opts.procs);
-    let series = harness::fig_normalized(&rows, Heuristic::ParInnerFirst);
+    let rows =
+        match harness::run_corpus_with(&corpus, &opts.procs, &registry, &names, opts.cap_factor) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+    let series = harness::fig_normalized(&rows, "ParInnerFirst");
 
     print!(
         "{}",
         harness::render_crosses(
             &format!(
                 "Figure 8 — comparison to ParInnerFirst ({} scenarios)",
-                rows.len() / 4
+                rows.len() / names.len().max(1)
             ),
             "makespan / ParInnerFirst makespan",
             "memory / ParInnerFirst memory",

@@ -1,11 +1,11 @@
 //! Strong-scaling sweep (companion to the paper's evaluation): fix each
 //! corpus tree and sweep the processor count, reporting speedup, processor
-//! utilization, and memory amplification per heuristic. Quantifies the
+//! utilization, and memory amplification per scheduler. Quantifies the
 //! tension of Theorem 2 end to end: speedup rises with `p` while memory
 //! amplification grows.
 
 use treesched_bench::{cli, stats};
-use treesched_core::{evaluate, memory_reference, Heuristic};
+use treesched_core::{Platform, Request, SchedulerRegistry, Scratch};
 use treesched_gen::assembly_corpus;
 
 fn main() {
@@ -21,31 +21,56 @@ fn main() {
         }
     };
 
+    let registry = SchedulerRegistry::standard();
+    let names = opts.scheduler_names(&registry);
     eprintln!("building corpus ({:?})...", opts.scale);
     let corpus = assembly_corpus(opts.scale);
     println!(
-        "Strong scaling over {} trees — geometric means per (heuristic, p)",
+        "Strong scaling over {} trees — geometric means per (scheduler, p)",
         corpus.len()
     );
     println!(
         "{:<18} {:>4} {:>10} {:>12} {:>14}",
-        "heuristic", "p", "speedup", "utilization", "mem/seq"
+        "scheduler", "p", "speedup", "utilization", "mem/seq"
     );
-    for h in Heuristic::ALL {
+    let mut scratch = Scratch::new();
+    for name in &names {
+        let scheduler = match registry.get(name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
         for &p in &opts.procs {
             let mut speedups = Vec::with_capacity(corpus.len());
             let mut utils = Vec::with_capacity(corpus.len());
             let mut mems = Vec::with_capacity(corpus.len());
             for e in &corpus {
-                let s = h.schedule(&e.tree, p);
-                let ev = evaluate(&e.tree, &s);
-                speedups.push(s.speedup());
-                utils.push(s.utilization());
-                mems.push(ev.peak_memory / memory_reference(&e.tree));
+                let mut platform = Platform::new(p);
+                if let Some(factor) = opts.cap_factor {
+                    platform = platform
+                        .with_memory_cap(factor * treesched_core::memory_reference(&e.tree));
+                }
+                let req = Request::new(&e.tree, platform);
+                let out = match scheduler.schedule(&req, &mut scratch) {
+                    Ok(out) => out,
+                    Err(err) => {
+                        eprintln!("error: {err}");
+                        std::process::exit(1);
+                    }
+                };
+                let mem_ref = out
+                    .diagnostics
+                    .seq_peak
+                    .unwrap_or_else(|| treesched_core::memory_reference(&e.tree));
+                speedups.push(out.schedule.speedup());
+                utils.push(out.schedule.utilization());
+                mems.push(out.eval.peak_memory / mem_ref);
             }
             println!(
                 "{:<18} {:>4} {:>10.3} {:>12.3} {:>14.3}",
-                h.name(),
+                scheduler.name(),
                 p,
                 stats::geomean(&speedups),
                 stats::geomean(&utils),

@@ -1,8 +1,12 @@
 //! Reproduces **Table 1** of the paper: proportions of scenarios where each
-//! heuristic reaches (or comes within 5% of) the best memory/makespan, and
+//! scheduler reaches (or comes within 5% of) the best memory/makespan, and
 //! average deviations from the sequential memory and the best makespan.
+//!
+//! Schedulers are resolved through the registry (`--schedulers` compares a
+//! different set than the paper's four campaign heuristics).
 
 use treesched_bench::{cli, harness};
+use treesched_core::SchedulerRegistry;
 use treesched_gen::assembly_corpus;
 
 fn main() {
@@ -18,18 +22,28 @@ fn main() {
         }
     };
 
+    let registry = SchedulerRegistry::standard();
+    let names = opts.scheduler_names(&registry);
     eprintln!("building corpus ({:?})...", opts.scale);
     let corpus = assembly_corpus(opts.scale);
     eprintln!(
-        "running {} trees x {:?} processors x 4 heuristics...",
+        "running {} trees x {:?} processors x {} schedulers...",
         corpus.len(),
-        opts.procs
+        opts.procs,
+        names.len()
     );
-    let rows = harness::run_corpus(&corpus, &opts.procs);
+    let rows =
+        match harness::run_corpus_with(&corpus, &opts.procs, &registry, &names, opts.cap_factor) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
 
     println!(
         "Table 1 — {} scenarios ({} trees, p in {:?})",
-        rows.len() / 4,
+        rows.len() / names.len().max(1),
         corpus.len(),
         opts.procs
     );

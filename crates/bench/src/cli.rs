@@ -10,6 +10,13 @@ pub struct Options {
     pub scale: Scale,
     /// Processor counts (`--procs 2,4,8`, default the paper's 2..32).
     pub procs: Vec<u32>,
+    /// Scheduler selection (`--schedulers deepest,fifo`): registry names or
+    /// aliases. `None` means the registry's campaign set.
+    pub schedulers: Option<Vec<String>>,
+    /// Platform memory cap as a multiple of each tree's sequential
+    /// reference peak (`--cap-factor 1.5`); required for the memory-capped
+    /// schedulers, ignored by the rest.
+    pub cap_factor: Option<f64>,
     /// Optional CSV dump path (`--csv out.csv`).
     pub csv: Option<String>,
 }
@@ -19,7 +26,20 @@ impl Default for Options {
         Options {
             scale: Scale::Medium,
             procs: crate::harness::PAPER_PROCS.to_vec(),
+            schedulers: None,
+            cap_factor: None,
             csv: None,
+        }
+    }
+}
+
+impl Options {
+    /// The scheduler names to run: the explicit `--schedulers` selection,
+    /// or the registry's campaign set.
+    pub fn scheduler_names(&self, registry: &treesched_core::SchedulerRegistry) -> Vec<String> {
+        match &self.schedulers {
+            Some(names) => names.clone(),
+            None => registry.campaign().map(|e| e.name().to_string()).collect(),
         }
     }
 }
@@ -49,6 +69,26 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     return Err("--procs needs positive processor counts".into());
                 }
             }
+            "--schedulers" => {
+                let v = it.next().ok_or("--schedulers needs a value")?;
+                let names: Vec<String> = v
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    return Err("--schedulers needs at least one name".into());
+                }
+                opts.schedulers = Some(names);
+            }
+            "--cap-factor" => {
+                let v = it.next().ok_or("--cap-factor needs a value")?;
+                let f: f64 = v.parse().map_err(|_| format!("bad --cap-factor `{v}`"))?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err("--cap-factor must be a positive finite number".into());
+                }
+                opts.cap_factor = Some(f);
+            }
             "--csv" => {
                 opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone());
             }
@@ -63,6 +103,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
 pub const USAGE: &str = "options:
   --scale small|medium|large   corpus size (default: medium)
   --procs P1,P2,...            processor counts (default: 2,4,8,16,32)
+  --schedulers N1,N2,...       registry names/aliases (default: campaign set;
+                               memory-capped ones also need --cap-factor)
+  --cap-factor F               memory cap = F x each tree's sequential peak
   --csv PATH                   dump raw scenario rows as CSV";
 
 #[cfg(test)]
@@ -84,12 +127,51 @@ mod tests {
     #[test]
     fn full_parse() {
         let o = parse(&s(&[
-            "--scale", "small", "--procs", "2,8", "--csv", "x.csv",
+            "--scale",
+            "small",
+            "--procs",
+            "2,8",
+            "--schedulers",
+            "deepest, fifo",
+            "--csv",
+            "x.csv",
         ]))
         .unwrap();
         assert_eq!(o.scale, Scale::Small);
         assert_eq!(o.procs, vec![2, 8]);
+        assert_eq!(
+            o.schedulers,
+            Some(vec!["deepest".to_string(), "fifo".to_string()])
+        );
         assert_eq!(o.csv.as_deref(), Some("x.csv"));
+    }
+
+    #[test]
+    fn scheduler_names_default_to_campaign() {
+        let registry = treesched_core::SchedulerRegistry::standard();
+        let o = parse(&[]).unwrap();
+        assert_eq!(
+            o.scheduler_names(&registry),
+            vec![
+                "ParSubtrees".to_string(),
+                "ParSubtreesOptim".to_string(),
+                "ParInnerFirst".to_string(),
+                "ParDeepestFirst".to_string(),
+            ]
+        );
+        let o = parse(&s(&["--schedulers", "cp"])).unwrap();
+        assert_eq!(o.scheduler_names(&registry), vec!["cp".to_string()]);
+    }
+
+    #[test]
+    fn cap_factor_parses_and_validates() {
+        assert_eq!(
+            parse(&s(&["--cap-factor", "1.5"])).unwrap().cap_factor,
+            Some(1.5)
+        );
+        assert!(parse(&s(&["--cap-factor", "0"])).is_err());
+        assert!(parse(&s(&["--cap-factor", "inf"])).is_err());
+        assert!(parse(&s(&["--cap-factor", "x"])).is_err());
     }
 
     #[test]
@@ -97,6 +179,7 @@ mod tests {
         assert!(parse(&s(&["--scale", "giant"])).is_err());
         assert!(parse(&s(&["--procs", "0"])).is_err());
         assert!(parse(&s(&["--procs", "a,b"])).is_err());
+        assert!(parse(&s(&["--schedulers", " , "])).is_err());
         assert!(parse(&s(&["--bogus"])).is_err());
         assert!(parse(&s(&["--help"])).is_err());
     }

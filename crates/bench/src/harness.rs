@@ -1,15 +1,24 @@
-//! Experiment driver: runs every heuristic over the corpus for every
+//! Experiment driver: runs schedulers from the
+//! [`treesched_core::SchedulerRegistry`] over the corpus for every
 //! processor count and aggregates the paper's Table 1 and Figures 6–8.
+//!
+//! The campaign set is whatever the registry marks as campaign members
+//! (the paper's four heuristics in [`SchedulerRegistry::standard`]) — a
+//! newly registered campaign scheduler automatically joins every table and
+//! figure. Rows carry the scheduler's canonical registry name.
 
 use crate::stats::{cross, mean, Cross};
 use std::fmt::Write as _;
-use treesched_core::{evaluate, makespan_lower_bound, Heuristic};
+use treesched_core::{
+    makespan_lower_bound, Platform, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
+    SeqAlgo,
+};
 use treesched_gen::CorpusEntry;
 
 /// The processor counts of the paper's campaign (§6.2).
 pub const PAPER_PROCS: [u32; 5] = [2, 4, 8, 16, 32];
 
-/// One measured scenario: a heuristic on a tree with `p` processors.
+/// One measured scenario: a scheduler on a tree with `p` processors.
 #[derive(Clone, Debug)]
 pub struct Row {
     /// Corpus entry name.
@@ -18,8 +27,8 @@ pub struct Row {
     pub nodes: usize,
     /// Processor count.
     pub p: u32,
-    /// The heuristic measured.
-    pub heuristic: Heuristic,
+    /// Canonical registry name of the scheduler measured.
+    pub scheduler: String,
     /// Achieved makespan.
     pub makespan: f64,
     /// Achieved peak memory.
@@ -30,9 +39,32 @@ pub struct Row {
     pub mem_ref: f64,
 }
 
-/// Runs all four heuristics on every `(tree, p)` scenario, in parallel
-/// across corpus entries.
-pub fn run_corpus(corpus: &[CorpusEntry], ps: &[u32]) -> Vec<Row> {
+/// Runs the registry's campaign schedulers on every `(tree, p)` scenario,
+/// in parallel across corpus entries.
+pub fn run_corpus(corpus: &[CorpusEntry], ps: &[u32]) -> Result<Vec<Row>, SchedError> {
+    let registry = SchedulerRegistry::standard();
+    let names: Vec<String> = registry.campaign().map(|e| e.name().to_string()).collect();
+    run_corpus_with(corpus, ps, &registry, &names, None)
+}
+
+/// As [`run_corpus`], but over an explicit registry and scheduler-name
+/// selection (canonical names or aliases). Rows always record canonical
+/// names, in the order the names were given.
+///
+/// `cap_factor` sets each request's platform memory cap to
+/// `factor × M_seq(tree)` (the sequential reference peak) — required for
+/// memory-capped schedulers to participate; uncapped schedulers ignore it.
+pub fn run_corpus_with(
+    corpus: &[CorpusEntry],
+    ps: &[u32],
+    registry: &SchedulerRegistry,
+    names: &[String],
+    cap_factor: Option<f64>,
+) -> Result<Vec<Row>, SchedError> {
+    let scheds: Vec<&dyn Scheduler> = names
+        .iter()
+        .map(|n| registry.get(n))
+        .collect::<Result<_, _>>()?;
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -41,63 +73,86 @@ pub fn run_corpus(corpus: &[CorpusEntry], ps: &[u32]) -> Vec<Row> {
     let mut all: Vec<Row> = std::thread::scope(|scope| {
         let handles: Vec<_> = corpus
             .chunks(chunk.max(1))
-            .map(|entries| scope.spawn(move || run_entries(entries, ps)))
+            .map(|entries| {
+                let scheds = &scheds;
+                scope.spawn(move || run_entries(entries, ps, scheds, cap_factor))
+            })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    // deterministic output order regardless of thread interleaving
-    all.sort_by(|a, b| {
-        a.tree
-            .cmp(&b.tree)
-            .then(a.p.cmp(&b.p))
-            .then(a.heuristic.name().cmp(b.heuristic.name()))
-    });
-    all
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<Vec<_>, SchedError>>()
+            .map(|vecs| vecs.into_iter().flatten().collect())
+    })?;
+    // deterministic output order regardless of thread interleaving; the
+    // stable sort keeps the scheduler selection order within each group
+    all.sort_by(|a, b| a.tree.cmp(&b.tree).then(a.p.cmp(&b.p)));
+    Ok(all)
 }
 
-fn run_entries(entries: &[CorpusEntry], ps: &[u32]) -> Vec<Row> {
-    let mut rows = Vec::with_capacity(entries.len() * ps.len() * 4);
+fn run_entries(
+    entries: &[CorpusEntry],
+    ps: &[u32],
+    scheds: &[&dyn Scheduler],
+    cap_factor: Option<f64>,
+) -> Result<Vec<Row>, SchedError> {
+    let mut rows = Vec::with_capacity(entries.len() * ps.len() * scheds.len());
+    let mut scratch = Scratch::new();
     for e in entries {
         let tree = &e.tree;
-        let seq = treesched_seq::best_postorder(tree);
+        // cached inside the scratch: every scheduler and p reuses it
+        let (_, mem_ref) = scratch.traversal(tree, SeqAlgo::default());
         for &p in ps {
             let ms_lb = makespan_lower_bound(tree, p);
-            for h in Heuristic::ALL {
-                let schedule = h.schedule_with_order(tree, p, &seq.order);
-                let ev = evaluate(tree, &schedule);
+            let mut platform = Platform::new(p);
+            if let Some(factor) = cap_factor {
+                platform = platform.with_memory_cap(factor * mem_ref);
+            }
+            let req = Request::new(tree, platform);
+            for s in scheds {
+                let out = s.schedule(&req, &mut scratch)?;
                 rows.push(Row {
                     tree: e.name.clone(),
                     nodes: tree.len(),
                     p,
-                    heuristic: h,
-                    makespan: ev.makespan,
-                    memory: ev.peak_memory,
+                    scheduler: s.name().to_string(),
+                    makespan: out.eval.makespan,
+                    memory: out.eval.peak_memory,
                     ms_lb,
-                    mem_ref: seq.peak,
+                    mem_ref,
                 });
             }
         }
     }
-    rows
+    Ok(rows)
+}
+
+/// Distinct scheduler names in first-appearance order — the selection
+/// order of the `run_corpus*` call that produced `rows`.
+pub fn scheduler_names(rows: &[Row]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for r in rows {
+        if !names.contains(&r.scheduler) {
+            names.push(r.scheduler.clone());
+        }
+    }
+    names
 }
 
 /// One line of the paper's Table 1.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
-    /// The heuristic.
-    pub heuristic: Heuristic,
-    /// % of scenarios where the heuristic achieves the best memory of the
-    /// four (ties count).
+    /// Canonical scheduler name.
+    pub scheduler: String,
+    /// % of scenarios where the scheduler achieves the best memory of the
+    /// compared set (ties count).
     pub best_mem_pct: f64,
     /// % of scenarios within 5% of the best memory.
     pub within5_mem_pct: f64,
     /// Average deviation from the sequential memory reference, in %
     /// (`(mem / mem_ref − 1) · 100`).
     pub avg_dev_mem_pct: f64,
-    /// % of scenarios achieving the best makespan of the four.
+    /// % of scenarios achieving the best makespan of the compared set.
     pub best_ms_pct: f64,
     /// % of scenarios within 5% of the best makespan.
     pub within5_ms_pct: f64,
@@ -106,10 +161,10 @@ pub struct Table1Row {
 }
 
 /// Scenario key: rows are grouped by `(tree, p)` before computing
-/// best-of-four statistics.
+/// best-of-set statistics.
 fn scenario_groups(rows: &[Row]) -> Vec<&[Row]> {
-    // rows are sorted by (tree, p, heuristic): each group is 4 consecutive
-    let mut groups = Vec::with_capacity(rows.len() / 4);
+    // rows are sorted by (tree, p): each group is one consecutive run
+    let mut groups = Vec::new();
     let mut start = 0;
     while start < rows.len() {
         let mut end = start + 1;
@@ -125,11 +180,13 @@ fn scenario_groups(rows: &[Row]) -> Vec<&[Row]> {
 
 const REL_EPS: f64 = 1e-9;
 
-/// Aggregates [`Row`]s into the paper's Table 1.
+/// Aggregates [`Row`]s into the paper's Table 1, one line per scheduler
+/// present in `rows`.
 pub fn table1(rows: &[Row]) -> Vec<Table1Row> {
     let groups = scenario_groups(rows);
-    let mut out = Vec::with_capacity(4);
-    for h in Heuristic::ALL {
+    let names = scheduler_names(rows);
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
         let mut best_mem = 0usize;
         let mut within5_mem = 0usize;
         let mut dev_mem = Vec::new();
@@ -138,7 +195,7 @@ pub fn table1(rows: &[Row]) -> Vec<Table1Row> {
         let mut dev_ms = Vec::new();
         let mut n = 0usize;
         for g in &groups {
-            let Some(row) = g.iter().find(|r| r.heuristic == h) else {
+            let Some(row) = g.iter().find(|r| r.scheduler == name) else {
                 continue;
             };
             let gbest_mem = g.iter().map(|r| r.memory).fold(f64::INFINITY, f64::min);
@@ -161,7 +218,7 @@ pub fn table1(rows: &[Row]) -> Vec<Table1Row> {
         }
         let pct = |c: usize| 100.0 * c as f64 / n.max(1) as f64;
         out.push(Table1Row {
-            heuristic: h,
+            scheduler: name,
             best_mem_pct: pct(best_mem),
             within5_mem_pct: pct(within5_mem),
             avg_dev_mem_pct: mean(&dev_mem),
@@ -179,7 +236,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         s,
         "{:<18} | {:>11} {:>12} {:>14} | {:>13} {:>14} {:>13}",
-        "Heuristic",
+        "Scheduler",
         "Best memory",
         "Within 5% of",
         "Avg. dev. from",
@@ -197,7 +254,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         let _ = writeln!(
             s,
             "{:<18} | {:>10.1}% {:>11.1}% {:>13.1}% | {:>12.1}% {:>13.1}% {:>12.1}%",
-            r.heuristic.name(),
+            r.scheduler,
             r.best_mem_pct,
             r.within5_mem_pct,
             r.avg_dev_mem_pct,
@@ -209,42 +266,42 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     s
 }
 
-/// One figure series: a heuristic, its scatter points, and their summary
-/// cross.
-pub type FigSeries = (Heuristic, Vec<(f64, f64)>, Cross);
+/// One figure series: a scheduler name, its scatter points, and their
+/// summary cross.
+pub type FigSeries = (String, Vec<(f64, f64)>, Cross);
 
-/// Figure 6 series: per heuristic, the scatter points
+/// Figure 6 series: per scheduler, the scatter points
 /// `(makespan / ms_lb, memory / mem_ref)` and their summary cross.
 pub fn fig6(rows: &[Row]) -> Vec<FigSeries> {
-    Heuristic::ALL
-        .iter()
-        .map(|&h| {
+    scheduler_names(rows)
+        .into_iter()
+        .map(|name| {
             let pts: Vec<(f64, f64)> = rows
                 .iter()
-                .filter(|r| r.heuristic == h)
+                .filter(|r| r.scheduler == name)
                 .map(|r| (r.makespan / r.ms_lb, r.memory / r.mem_ref))
                 .collect();
             let c = cross(&pts);
-            (h, pts, c)
+            (name, pts, c)
         })
         .collect()
 }
 
-/// Figures 7/8: scatter points normalized by a baseline heuristic within
+/// Figures 7/8: scatter points normalized by a baseline scheduler within
 /// each `(tree, p)` scenario; the baseline itself is omitted (it would be
 /// the constant point `(1, 1)`).
-pub fn fig_normalized(rows: &[Row], baseline: Heuristic) -> Vec<FigSeries> {
+pub fn fig_normalized(rows: &[Row], baseline: &str) -> Vec<FigSeries> {
     let groups = scenario_groups(rows);
     let mut out = Vec::new();
-    for h in Heuristic::ALL {
-        if h == baseline {
+    for name in scheduler_names(rows) {
+        if name == baseline {
             continue;
         }
         let mut pts = Vec::new();
         for g in &groups {
             let (Some(b), Some(r)) = (
-                g.iter().find(|r| r.heuristic == baseline),
-                g.iter().find(|r| r.heuristic == h),
+                g.iter().find(|r| r.scheduler == baseline),
+                g.iter().find(|r| r.scheduler == name),
             ) else {
                 continue;
             };
@@ -253,7 +310,7 @@ pub fn fig_normalized(rows: &[Row], baseline: Heuristic) -> Vec<FigSeries> {
             }
         }
         let c = cross(&pts);
-        out.push((h, pts, c));
+        out.push((name, pts, c));
     }
     out
 }
@@ -266,13 +323,13 @@ pub fn render_crosses(title: &str, xlabel: &str, ylabel: &str, series: &[FigSeri
     let _ = writeln!(
         s,
         "  {:<18} {:>7} {:>17} {:>9} {:>19} {:>7}",
-        "heuristic", "x-mean", "x-[p10,p90]", "y-mean", "y-[p10,p90]", "points"
+        "scheduler", "x-mean", "x-[p10,p90]", "y-mean", "y-[p10,p90]", "points"
     );
-    for (h, pts, c) in series {
+    for (name, pts, c) in series {
         let _ = writeln!(
             s,
             "  {:<18} {:>7.3} [{:>6.3},{:>7.3}] {:>9.3} [{:>7.3},{:>8.3}] {:>7}",
-            h.name(),
+            name,
             c.x_mean,
             c.x_p10,
             c.x_p90,
@@ -287,19 +344,12 @@ pub fn render_crosses(title: &str, xlabel: &str, ylabel: &str, series: &[FigSeri
 
 /// CSV dump of the raw scenario rows (for external plotting).
 pub fn to_csv(rows: &[Row]) -> String {
-    let mut s = String::from("tree,nodes,p,heuristic,makespan,memory,ms_lb,mem_ref\n");
+    let mut s = String::from("tree,nodes,p,scheduler,makespan,memory,ms_lb,mem_ref\n");
     for r in rows {
         let _ = writeln!(
             s,
             "{},{},{},{},{},{},{},{}",
-            r.tree,
-            r.nodes,
-            r.p,
-            r.heuristic.name(),
-            r.makespan,
-            r.memory,
-            r.ms_lb,
-            r.mem_ref
+            r.tree, r.nodes, r.p, r.scheduler, r.makespan, r.memory, r.ms_lb, r.mem_ref
         );
     }
     s
@@ -312,17 +362,29 @@ mod tests {
 
     fn tiny_rows() -> Vec<Row> {
         let corpus = assembly_corpus(Scale::Small);
-        run_corpus(&corpus[..4], &[2, 4])
+        run_corpus(&corpus[..4], &[2, 4]).expect("campaign schedulers are total")
     }
 
     #[test]
     fn run_corpus_produces_every_scenario() {
         let rows = tiny_rows();
-        assert_eq!(rows.len(), 4 * 2 * 4); // 4 trees × 2 p × 4 heuristics
+        assert_eq!(rows.len(), 4 * 2 * 4); // 4 trees × 2 p × 4 campaign schedulers
         for r in &rows {
-            assert!(r.makespan >= r.ms_lb - 1e-9, "{} {}", r.tree, r.heuristic);
+            assert!(r.makespan >= r.ms_lb - 1e-9, "{} {}", r.tree, r.scheduler);
             assert!(r.memory > 0.0);
             assert!(r.mem_ref > 0.0);
+        }
+    }
+
+    #[test]
+    fn rows_record_campaign_names_in_registry_order() {
+        let rows = tiny_rows();
+        let registry = SchedulerRegistry::standard();
+        let campaign: Vec<String> = registry.campaign().map(|e| e.name().to_string()).collect();
+        assert_eq!(scheduler_names(&rows), campaign);
+        // the name→scheduler→name round trip shared with the CLI suite
+        for r in &rows {
+            assert_eq!(registry.get(&r.scheduler).unwrap().name(), r.scheduler);
         }
     }
 
@@ -332,8 +394,50 @@ mod tests {
         let b = tiny_rows();
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.tree, y.tree);
+            assert_eq!(x.scheduler, y.scheduler);
             assert_eq!(x.makespan, y.makespan);
             assert_eq!(x.memory, y.memory);
+        }
+    }
+
+    #[test]
+    fn run_corpus_with_selects_schedulers_by_alias() {
+        let corpus = assembly_corpus(Scale::Small);
+        let registry = SchedulerRegistry::standard();
+        let names = vec!["deepest".to_string(), "fifo".to_string()];
+        let rows = run_corpus_with(&corpus[..2], &[2], &registry, &names, None).unwrap();
+        assert_eq!(rows.len(), 4); // 2 trees x 1 p x 2 schedulers
+        assert_eq!(
+            scheduler_names(&rows),
+            vec!["ParDeepestFirst".to_string(), "FifoList".to_string()]
+        );
+        // unknown names surface as typed errors
+        let bad = vec!["nosuch".to_string()];
+        assert!(matches!(
+            run_corpus_with(&corpus[..2], &[2], &registry, &bad, None),
+            Err(treesched_core::SchedError::UnknownScheduler { .. })
+        ));
+    }
+
+    #[test]
+    fn cap_factor_lets_capped_schedulers_join_the_campaign() {
+        let corpus = assembly_corpus(Scale::Small);
+        let registry = SchedulerRegistry::standard();
+        let names = vec!["membound".to_string(), "subtrees".to_string()];
+        // without a cap the capped scheduler is a typed error…
+        assert!(matches!(
+            run_corpus_with(&corpus[..2], &[2], &registry, &names, None),
+            Err(treesched_core::SchedError::MissingMemoryCap { .. })
+        ));
+        // …with a cap factor it runs, capped at factor × M_seq
+        let rows = run_corpus_with(&corpus[..2], &[2, 4], &registry, &names, Some(1.0)).unwrap();
+        assert_eq!(rows.len(), 2 * 2 * 2);
+        for r in rows.iter().filter(|r| r.scheduler == "MemBoundedSeq") {
+            assert!(
+                r.memory <= r.mem_ref * 1.0 + 1e-9,
+                "{}: capped run exceeded the cap",
+                r.tree
+            );
         }
     }
 
@@ -342,7 +446,7 @@ mod tests {
         let rows = tiny_rows();
         let t1 = table1(&rows);
         assert_eq!(t1.len(), 4);
-        // at least one heuristic achieves the best in every scenario, so the
+        // at least one scheduler achieves the best in every scenario, so the
         // best-% columns sum to at least 100
         let mem_sum: f64 = t1.iter().map(|r| r.best_mem_pct).sum();
         let ms_sum: f64 = t1.iter().map(|r| r.best_ms_pct).sum();
@@ -351,7 +455,7 @@ mod tests {
         for r in &t1 {
             assert!(r.within5_mem_pct >= r.best_mem_pct - 1e-9);
             assert!(r.within5_ms_pct >= r.best_ms_pct - 1e-9);
-            assert!(r.avg_dev_mem_pct >= -1e-9, "{}", r.heuristic);
+            assert!(r.avg_dev_mem_pct >= -1e-9, "{}", r.scheduler);
             assert!(r.avg_dev_ms_pct >= -1e-9);
         }
         let rendered = render_table1(&t1);
@@ -362,11 +466,11 @@ mod tests {
     #[test]
     fn fig6_ratios_at_least_one() {
         let rows = tiny_rows();
-        for (h, pts, c) in fig6(&rows) {
-            assert!(!pts.is_empty(), "{h}");
+        for (name, pts, c) in fig6(&rows) {
+            assert!(!pts.is_empty(), "{name}");
             for (x, y) in &pts {
-                assert!(*x >= 1.0 - 1e-9, "{h}: makespan below LB");
-                assert!(*y >= 0.99, "{h}: memory below sequential reference");
+                assert!(*x >= 1.0 - 1e-9, "{name}: makespan below LB");
+                assert!(*y >= 0.99, "{name}: memory below sequential reference");
             }
             assert!(c.x_mean >= 1.0 - 1e-9);
         }
@@ -375,9 +479,9 @@ mod tests {
     #[test]
     fn normalized_baseline_excluded() {
         let rows = tiny_rows();
-        let f7 = fig_normalized(&rows, Heuristic::ParSubtrees);
+        let f7 = fig_normalized(&rows, "ParSubtrees");
         assert_eq!(f7.len(), 3);
-        assert!(f7.iter().all(|(h, _, _)| *h != Heuristic::ParSubtrees));
+        assert!(f7.iter().all(|(name, _, _)| name != "ParSubtrees"));
         let rendered = render_crosses("fig7", "ms", "mem", &f7);
         assert!(rendered.contains("ParInnerFirst"));
     }

@@ -12,12 +12,17 @@
 //!
 //! Criterion micro-benchmarks live in `benches/` and validate the
 //! complexity claims of §5 (heuristic and traversal runtimes).
+//!
+//! All binaries resolve schedulers by name through
+//! [`treesched_core::SchedulerRegistry`] (`--schedulers` selects them);
+//! the default sweep is the registry's campaign set, so a newly registered
+//! campaign scheduler joins every table and figure automatically.
 
 pub mod cli;
 pub mod harness;
 pub mod stats;
 
 pub use harness::{
-    fig6, fig_normalized, render_crosses, render_table1, run_corpus, table1, Row, Table1Row,
-    PAPER_PROCS,
+    fig6, fig_normalized, render_crosses, render_table1, run_corpus, run_corpus_with,
+    scheduler_names, table1, Row, Table1Row, PAPER_PROCS,
 };

@@ -1,28 +1,32 @@
 //! Quality-regression guard: the paper's headline experimental claims must
 //! keep holding on the (deterministic) small corpus. If a refactor of a
-//! heuristic silently degrades its trade-off position, these tests fail.
+//! scheduler silently degrades its trade-off position, these tests fail.
 //!
 //! Tier-1 runs the `Scale::Small` corpus only. The `Scale::Medium` version
 //! (~80 trees, noticeably slower) is `#[ignore]`d; run it with
 //! `cargo test -p treesched_bench --test quality -- --ignored`.
 
-use treesched_bench::{fig_normalized, run_corpus, table1};
-use treesched_core::Heuristic;
+use treesched_bench::{fig_normalized, run_corpus, table1, Table1Row};
 use treesched_gen::{assembly_corpus, Scale};
 
 fn small_rows() -> Vec<treesched_bench::Row> {
     let corpus = assembly_corpus(Scale::Small);
-    run_corpus(&corpus, &[2, 4, 8, 16])
+    run_corpus(&corpus, &[2, 4, 8, 16]).expect("campaign schedulers are total")
+}
+
+fn by<'a>(t1: &'a [Table1Row], name: &str) -> &'a Table1Row {
+    t1.iter()
+        .find(|r| r.scheduler == name)
+        .unwrap_or_else(|| panic!("no table row for {name}"))
 }
 
 #[test]
 fn memory_ranking_matches_paper() {
     let t1 = table1(&small_rows());
-    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).copied().unwrap();
-    let ps = by(Heuristic::ParSubtrees);
-    let pso = by(Heuristic::ParSubtreesOptim);
-    let pif = by(Heuristic::ParInnerFirst);
-    let pdf = by(Heuristic::ParDeepestFirst);
+    let ps = by(&t1, "ParSubtrees");
+    let pso = by(&t1, "ParSubtreesOptim");
+    let pif = by(&t1, "ParInnerFirst");
+    let pdf = by(&t1, "ParDeepestFirst");
     // Table 1 column 1: ParSubtrees wins memory most often, then Optim,
     // then the list schedulers
     assert!(ps.best_mem_pct >= pso.best_mem_pct);
@@ -36,10 +40,9 @@ fn memory_ranking_matches_paper() {
 #[test]
 fn makespan_ranking_matches_paper() {
     let t1 = table1(&small_rows());
-    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).copied().unwrap();
-    let ps = by(Heuristic::ParSubtrees);
-    let pif = by(Heuristic::ParInnerFirst);
-    let pdf = by(Heuristic::ParDeepestFirst);
+    let ps = by(&t1, "ParSubtrees");
+    let pif = by(&t1, "ParInnerFirst");
+    let pdf = by(&t1, "ParDeepestFirst");
     // ParDeepestFirst is (almost) always the makespan winner
     assert!(pdf.best_ms_pct >= 90.0, "{}", pdf.best_ms_pct);
     assert!(pdf.avg_dev_ms_pct <= 1.0);
@@ -52,10 +55,10 @@ fn fig7_claims_hold() {
     // "ParSubtreesOptim gives results close to ParSubtrees, with better
     //  makespans but slightly worse memory"
     let rows = small_rows();
-    let f7 = fig_normalized(&rows, Heuristic::ParSubtrees);
+    let f7 = fig_normalized(&rows, "ParSubtrees");
     let (_, _, optim) = f7
         .iter()
-        .find(|(h, _, _)| *h == Heuristic::ParSubtreesOptim)
+        .find(|(name, _, _)| name == "ParSubtreesOptim")
         .unwrap();
     assert!(
         optim.x_mean <= 1.0 + 1e-9,
@@ -70,10 +73,10 @@ fn fig8_claims_hold() {
     // "ParDeepestFirst always uses more memory than ParInnerFirst, while
     //  having comparable makespans"
     let rows = small_rows();
-    let f8 = fig_normalized(&rows, Heuristic::ParInnerFirst);
+    let f8 = fig_normalized(&rows, "ParInnerFirst");
     let (_, pts, c) = f8
         .iter()
-        .find(|(h, _, _)| *h == Heuristic::ParDeepestFirst)
+        .find(|(name, _, _)| name == "ParDeepestFirst")
         .unwrap();
     assert!(c.y_mean >= 1.0 - 1e-9, "memory ratio {}", c.y_mean);
     assert!(c.x_mean <= 1.05, "makespan ratio {}", c.x_mean);
@@ -93,12 +96,11 @@ fn fig8_claims_hold() {
 #[ignore = "medium corpus is slow, run with -- --ignored"]
 fn rankings_hold_on_medium_corpus() {
     let corpus = assembly_corpus(Scale::Medium);
-    let rows = run_corpus(&corpus, &[2, 4, 8, 16]);
+    let rows = run_corpus(&corpus, &[2, 4, 8, 16]).expect("campaign schedulers are total");
     let t1 = table1(&rows);
-    let by = |h: Heuristic| t1.iter().find(|r| r.heuristic == h).copied().unwrap();
-    let ps = by(Heuristic::ParSubtrees);
-    let pif = by(Heuristic::ParInnerFirst);
-    let pdf = by(Heuristic::ParDeepestFirst);
+    let ps = by(&t1, "ParSubtrees");
+    let pif = by(&t1, "ParInnerFirst");
+    let pdf = by(&t1, "ParDeepestFirst");
     // the paper's headline orderings must survive at scale
     assert!(ps.best_mem_pct >= pif.best_mem_pct);
     assert!(pif.best_mem_pct >= pdf.best_mem_pct);

@@ -1,7 +1,12 @@
 //! Subcommand parsing and execution.
+//!
+//! Schedulers are resolved exclusively through
+//! [`treesched_core::SchedulerRegistry`] — the CLI holds no per-heuristic
+//! dispatch of its own. Scheduling failures ([`treesched_core::SchedError`])
+//! exit with code 1; usage errors exit with code 2.
 
 use std::fmt::Write as _;
-use treesched_core::{evaluate, Heuristic};
+use treesched_core::{Platform, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo};
 use treesched_model::{io as tree_io, TaskTree, TreeStats};
 
 /// Top-level usage text.
@@ -14,12 +19,15 @@ commands:
   stats FILE..                      shape and weight statistics
   sketch FILE [--max N]             indented tree view
   seq FILE [--algo best|naive|liu]  sequential traversal peak + order head
-  schedule FILE -p N [--heuristic H] [--gantt] [--profile] [--cap X]
-           [--placements]           parallel schedule + evaluation
+  schedule FILE -p N [--scheduler S] [--seq A] [--cap X] [--seed N]
+           [--json] [--gantt] [--profile] [--placements]
+                                    parallel schedule + evaluation
+  schedulers                        list registered schedulers + aliases
   pareto FILE -p N                  exact (makespan, memory) frontier
   dot FILE                          Graphviz DOT export
 
-Heuristics H: subtrees | subtrees-optim | inner | deepest
+Schedulers S: any name or alias from `treesched schedulers`
+(`--heuristic` is accepted as a synonym of `--scheduler`).
 Tree files use the `treesched tree v1` text format (id parent w f n).";
 
 const GEN_USAGE: &str = "treesched gen — tree generators
@@ -54,6 +62,19 @@ impl CliError {
             code: 2,
         }
     }
+
+    /// Maps a typed scheduling error to its exit code: unknown names are
+    /// usage errors (2), everything else is a scheduling failure (1).
+    fn sched(e: SchedError) -> CliError {
+        let code = match e {
+            SchedError::UnknownScheduler { .. } => 2,
+            _ => 1,
+        };
+        CliError {
+            message: e.to_string(),
+            code,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -74,6 +95,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "sketch" => cmd_sketch(rest),
         "seq" => cmd_seq(rest),
         "schedule" => cmd_schedule(rest),
+        "schedulers" => cmd_schedulers(rest),
         "pareto" => cmd_pareto(rest),
         "dot" => cmd_dot(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -275,12 +297,7 @@ fn cmd_seq(args: &[String]) -> Result<String, CliError> {
         }
     };
     let tree = load_tree(path)?;
-    let result = match algo {
-        "best" => treesched_seq::best_postorder(&tree),
-        "naive" => treesched_seq::naive_postorder(&tree),
-        "liu" => treesched_seq::liu_exact(&tree),
-        other => return Err(CliError::new(format!("unknown algorithm `{other}`"))),
-    };
+    let result = seq_algo_by_name(algo)?.traversal(&tree);
     let head: Vec<String> = result
         .order
         .iter()
@@ -295,27 +312,26 @@ fn cmd_seq(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-fn heuristic_by_name(name: &str) -> Result<Heuristic, CliError> {
+/// Parses a sequential-traversal algorithm name (`--algo` / `--seq`).
+fn seq_algo_by_name(name: &str) -> Result<SeqAlgo, CliError> {
     Ok(match name {
-        "subtrees" => Heuristic::ParSubtrees,
-        "subtrees-optim" => Heuristic::ParSubtreesOptim,
-        "inner" => Heuristic::ParInnerFirst,
-        "deepest" => Heuristic::ParDeepestFirst,
-        other => {
-            return Err(CliError::new(format!(
-                "unknown heuristic `{other}` (subtrees|subtrees-optim|inner|deepest)"
-            )))
-        }
+        "best" => SeqAlgo::BestPostorder,
+        "naive" => SeqAlgo::NaivePostorder,
+        "liu" => SeqAlgo::LiuExact,
+        other => return Err(CliError::new(format!("unknown algorithm `{other}`"))),
     })
 }
 
 fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     let mut path: Option<&String> = None;
     let mut p: Option<u32> = None;
-    let mut heuristic = Heuristic::ParSubtrees;
+    let mut name: Option<&String> = None;
+    let mut seq = SeqAlgo::default();
+    let mut seed: Option<u64> = None;
     let mut show_gantt = false;
     let mut show_profile = false;
     let mut show_placements = false;
+    let mut json = false;
     let mut cap: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -326,15 +342,28 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
                     "N",
                 )?)
             }
-            "--heuristic" => {
-                heuristic = heuristic_by_name(
+            "--scheduler" | "--heuristic" => {
+                name = Some(
                     it.next()
-                        .ok_or_else(|| CliError::new("--heuristic needs a name"))?,
+                        .ok_or_else(|| CliError::new(format!("{a} needs a name")))?,
+                );
+            }
+            "--seq" => {
+                seq = seq_algo_by_name(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--seq needs best|naive|liu"))?,
                 )?;
+            }
+            "--seed" => {
+                seed = Some(parse_num(
+                    it.next().ok_or_else(|| CliError::new("--seed needs N"))?,
+                    "seed",
+                )?);
             }
             "--gantt" => show_gantt = true,
             "--profile" => show_profile = true,
             "--placements" => show_placements = true,
+            "--json" => json = true,
             "--cap" => {
                 cap = Some(parse_num(
                     it.next()
@@ -348,45 +377,93 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     }
     let path = path.ok_or_else(|| CliError::new("schedule needs a tree file"))?;
     let p = p.ok_or_else(|| CliError::new("schedule needs -p N"))?;
-    if p == 0 {
-        return Err(CliError::new("-p must be positive"));
+    if json && (show_gantt || show_profile || show_placements) {
+        return Err(CliError::new(
+            "--json cannot be combined with --gantt/--profile/--placements",
+        ));
+    }
+    if let Some(cap) = cap {
+        // non-finite caps would corrupt the text/JSON record; "no cap" is
+        // spelled by omitting the flag
+        if !cap.is_finite() {
+            return Err(CliError::new("--cap must be a finite number"));
+        }
     }
     let tree = load_tree(path)?;
 
-    let mut out = String::new();
-    let schedule = if let Some(cap) = cap {
-        let order = treesched_seq::best_postorder(&tree).order;
-        let run = treesched_core::mem_bounded_schedule(
-            &tree,
+    // scheduler selection: explicit name wins; `--cap` alone picks the safe
+    // memory-capped scheduler; default is the paper's ParSubtrees
+    let registry = SchedulerRegistry::standard();
+    let name = name.map(|s| s.as_str()).unwrap_or(if cap.is_some() {
+        "MemBoundedSeq"
+    } else {
+        "ParSubtrees"
+    });
+    let scheduler = registry.get(name).map_err(CliError::sched)?;
+
+    let mut platform = Platform::new(p);
+    if let Some(cap) = cap {
+        platform = platform.with_memory_cap(cap);
+    }
+    let mut request = Request::new(&tree, platform).with_seq(seq);
+    if let Some(seed) = seed {
+        request = request.with_seed(seed);
+    }
+    let mut scratch = Scratch::new();
+    let outcome = scheduler
+        .schedule(&request, &mut scratch)
+        .map_err(CliError::sched)?;
+    if cap.is_some() && outcome.diagnostics.cap_violations.is_none() {
+        // the cap was requested but the resolved scheduler never reads it —
+        // refuse rather than report an uncapped schedule as capped
+        return Err(CliError::new(format!(
+            "scheduler `{}` does not enforce --cap; pick a memory-capped \
+             scheduler (see `treesched schedulers`)",
+            scheduler.name()
+        )));
+    }
+
+    let ms_lb = treesched_core::makespan_lower_bound(&tree, p);
+    let mem_ref = treesched_core::memory_reference(&tree);
+
+    if json {
+        return Ok(schedule_json(
+            scheduler.name(),
             p,
-            &order,
+            &tree,
+            &outcome,
+            ms_lb,
+            mem_ref,
             cap,
-            treesched_core::Admission::SequentialOrder,
-        );
+        ));
+    }
+
+    let mut out = String::new();
+    if let Some(violations) = outcome.diagnostics.cap_violations {
+        let cap = cap.expect("cap schedulers require a cap");
         let _ = writeln!(
             out,
-            "memory-capped schedule (cap {cap}): {} violation(s)",
-            run.violations
+            "memory-capped schedule (cap {cap}): {violations} violation(s)"
         );
-        run.schedule
-    } else {
-        heuristic.schedule(&tree, p)
-    };
-    let ev = evaluate(&tree, &schedule);
+    }
     let _ = writeln!(
         out,
-        "heuristic: {}\nprocessors: {p}\nmakespan: {}  (lower bound {})\npeak memory: {}  (sequential reference {})",
-        if cap.is_some() { "memory-capped list" } else { heuristic.name() },
-        ev.makespan,
-        treesched_core::makespan_lower_bound(&tree, p),
-        ev.peak_memory,
-        treesched_core::memory_reference(&tree),
+        "scheduler: {}\nprocessors: {p}\nmakespan: {}  (lower bound {})\npeak memory: {}  (sequential reference {})",
+        scheduler.name(),
+        outcome.eval.makespan,
+        ms_lb,
+        outcome.eval.peak_memory,
+        mem_ref,
     );
     if show_gantt {
         let _ = write!(
             out,
             "\n{}",
-            treesched_viz::gantt(&tree, &schedule, treesched_viz::GanttOptions::default())
+            treesched_viz::gantt(
+                &tree,
+                &outcome.schedule,
+                treesched_viz::GanttOptions::default()
+            )
         );
     }
     if show_profile {
@@ -395,7 +472,7 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
             "\n{}",
             treesched_viz::memory_profile_plot(
                 &tree,
-                &schedule,
+                &outcome.schedule,
                 treesched_viz::ProfileOptions::default()
             )
         );
@@ -403,10 +480,62 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     if show_placements {
         let _ = writeln!(out, "\ntask,proc,start,finish");
         for i in tree.ids() {
-            let pl = schedule.placement(i);
+            let pl = outcome.schedule.placement(i);
             let _ = writeln!(out, "{},{},{},{}", i.index(), pl.proc, pl.start, pl.finish);
         }
     }
+    Ok(out)
+}
+
+/// The stable machine-readable record of `schedule --json`: one flat JSON
+/// object per run, keys fixed, numbers in Rust `Display` form (finite by
+/// construction), absent diagnostics as `null`.
+fn schedule_json(
+    name: &str,
+    p: u32,
+    tree: &TaskTree,
+    outcome: &treesched_core::Outcome,
+    ms_lb: f64,
+    mem_ref: f64,
+    cap: Option<f64>,
+) -> String {
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "null".into());
+    format!(
+        concat!(
+            "{{\"scheduler\":\"{}\",\"processors\":{},\"tasks\":{},",
+            "\"makespan\":{},\"makespan_lower_bound\":{},",
+            "\"peak_memory\":{},\"memory_reference\":{},",
+            "\"cap\":{},\"cap_violations\":{}}}\n"
+        ),
+        name,
+        p,
+        tree.len(),
+        outcome.eval.makespan,
+        ms_lb,
+        outcome.eval.peak_memory,
+        mem_ref,
+        opt(cap.map(|c| c.to_string())),
+        opt(outcome.diagnostics.cap_violations.map(|v| v.to_string())),
+    )
+}
+
+fn cmd_schedulers(args: &[String]) -> Result<String, CliError> {
+    if !args.is_empty() {
+        return Err(CliError::new("usage: treesched schedulers"));
+    }
+    let registry = SchedulerRegistry::standard();
+    let mut out = String::from("registered schedulers (* = paper campaign):\n");
+    for e in registry.iter() {
+        let mark = if e.in_campaign() { "*" } else { " " };
+        let _ = writeln!(
+            out,
+            "{mark} {:<18} {:<28} {}",
+            e.name(),
+            e.aliases().join(", "),
+            e.description()
+        );
+    }
+    out.push_str("\nmemory-capped schedulers need `schedule --cap X`.\n");
     Ok(out)
 }
 
@@ -415,6 +544,7 @@ fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
         [path, flag, n] if flag == "-p" => (path, parse_num::<u32>(n, "N")?),
         _ => return Err(CliError::new("usage: treesched pareto FILE -p N")),
     };
+    Platform::new(p).validate().map_err(CliError::sched)?;
     let tree = load_tree(path)?;
     if tree.len() > treesched_core::pareto::MAX_PARETO_NODES {
         return Err(CliError::new(format!(
@@ -551,6 +681,47 @@ mod tests {
         assert!(out.contains("memory-capped"));
         assert!(out.contains("violation(s)"));
         assert!(out.contains("Memory profile"));
+        // a greedy capped scheduler honors the flag too
+        let out = run(&[
+            "schedule",
+            &f,
+            "-p",
+            "4",
+            "--cap",
+            "5",
+            "--scheduler",
+            "mem-greedy",
+        ])
+        .unwrap();
+        assert!(out.contains("MemBoundedGreedy"), "{out}");
+    }
+
+    #[test]
+    fn cap_rejects_noncapped_schedulers_and_nonfinite_values() {
+        let f = tmpfile("capmix.tree");
+        run(&["gen", "complete", "2", "3", "-o", &f]).unwrap();
+        // --cap with a scheduler that ignores it must not silently succeed
+        let e = run(&[
+            "schedule",
+            &f,
+            "-p",
+            "2",
+            "--scheduler",
+            "deepest",
+            "--cap",
+            "5",
+        ])
+        .unwrap_err();
+        assert!(
+            e.message.contains("does not enforce --cap"),
+            "{}",
+            e.message
+        );
+        // non-finite caps would corrupt the text/JSON record
+        for bad in ["inf", "-inf", "nan"] {
+            let e = run(&["schedule", &f, "-p", "2", "--cap", bad]).unwrap_err();
+            assert!(e.message.contains("finite"), "{bad}: {}", e.message);
+        }
     }
 
     #[test]
@@ -560,6 +731,131 @@ mod tests {
         assert!(run(&["schedule", &f]).is_err());
         assert!(run(&["schedule", &f, "-p", "0"]).is_err());
         assert!(run(&["schedule", &f, "-p", "2", "--heuristic", "nosuch"]).is_err());
+    }
+
+    #[test]
+    fn scheduling_errors_exit_one_usage_errors_exit_two() {
+        let f = tmpfile("codes.tree");
+        run(&["gen", "chain", "3", "-o", &f]).unwrap();
+        // p == 0 is a typed SchedError -> exit 1
+        assert_eq!(run(&["schedule", &f, "-p", "0"]).unwrap_err().code, 1);
+        assert_eq!(run(&["pareto", &f, "-p", "0"]).unwrap_err().code, 1);
+        // capped scheduler without --cap -> exit 1
+        let e = run(&["schedule", &f, "-p", "2", "--scheduler", "membound"]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("memory cap"), "{}", e.message);
+        // unknown scheduler name stays a usage error -> exit 2
+        let e = run(&["schedule", &f, "-p", "2", "--scheduler", "nosuch"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("known:"), "{}", e.message);
+    }
+
+    #[test]
+    fn schedule_resolves_registry_aliases() {
+        let f = tmpfile("alias.tree");
+        run(&["gen", "spider", "4", "3", "-o", &f]).unwrap();
+        for (alias, canonical) in [
+            ("subtrees", "ParSubtrees"),
+            ("optim", "ParSubtreesOptim"),
+            ("inner", "ParInnerFirst"),
+            ("deepest", "ParDeepestFirst"),
+            ("cp", "CpList"),
+            ("fifo", "FifoList"),
+            ("random", "RandomList"),
+        ] {
+            let out = run(&["schedule", &f, "-p", "2", "--scheduler", alias]).unwrap();
+            assert!(
+                out.contains(&format!("scheduler: {canonical}")),
+                "{alias}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedulers_lists_the_whole_registry() {
+        let out = run(&["schedulers"]).unwrap();
+        let registry = SchedulerRegistry::standard();
+        for e in registry.iter() {
+            assert!(out.contains(e.name()), "missing {}", e.name());
+            for a in e.aliases() {
+                assert!(out.contains(a), "missing alias {a}");
+            }
+        }
+        assert!(run(&["schedulers", "extra"]).is_err());
+    }
+
+    #[test]
+    fn schedule_json_emits_stable_record() {
+        let f = tmpfile("json.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        let out = run(&[
+            "schedule",
+            &f,
+            "-p",
+            "2",
+            "--scheduler",
+            "deepest",
+            "--json",
+        ])
+        .unwrap();
+        assert!(
+            out.starts_with('{') && out.trim_end().ends_with('}'),
+            "{out}"
+        );
+        for key in [
+            "\"scheduler\":\"ParDeepestFirst\"",
+            "\"processors\":2",
+            "\"tasks\":7",
+            "\"makespan\":",
+            "\"makespan_lower_bound\":",
+            "\"peak_memory\":",
+            "\"memory_reference\":",
+            "\"cap\":null",
+            "\"cap_violations\":null",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // capped run fills the cap fields
+        let out = run(&["schedule", &f, "-p", "2", "--cap", "100", "--json"]).unwrap();
+        assert!(out.contains("\"scheduler\":\"MemBoundedSeq\""), "{out}");
+        assert!(out.contains("\"cap\":100"), "{out}");
+        assert!(out.contains("\"cap_violations\":0"), "{out}");
+        // json is exclusive with the visual flags
+        assert!(run(&["schedule", &f, "-p", "2", "--json", "--gantt"]).is_err());
+    }
+
+    #[test]
+    fn schedule_seq_and_seed_flags() {
+        let f = tmpfile("seqflag.tree");
+        run(&["gen", "complete", "2", "4", "-o", &f]).unwrap();
+        for algo in ["best", "naive", "liu"] {
+            let out = run(&["schedule", &f, "-p", "2", "--seq", algo]).unwrap();
+            assert!(out.contains("makespan:"), "{algo}");
+        }
+        assert!(run(&["schedule", &f, "-p", "2", "--seq", "nosuch"]).is_err());
+        let a = run(&[
+            "schedule",
+            &f,
+            "-p",
+            "2",
+            "--scheduler",
+            "random",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        let b = run(&[
+            "schedule",
+            &f,
+            "-p",
+            "2",
+            "--scheduler",
+            "random",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(a, b, "seeded runs are deterministic");
     }
 
     #[test]

@@ -2,14 +2,19 @@
 //!
 //! Every subcommand is a pure function from parsed arguments to an output
 //! string, so the whole surface is unit-testable without spawning
-//! processes. The binary (`src/main.rs`) only does I/O.
+//! processes. The binary (`src/main.rs`) only does I/O. Schedulers are
+//! resolved by name through [`treesched_core::SchedulerRegistry`]; typed
+//! scheduling failures exit with code 1, usage errors with code 2.
 //!
 //! ```text
 //! treesched gen fork 3 4 -o fork.tree        # generate instances
 //! treesched stats fork.tree                  # shape + weight statistics
 //! treesched sketch fork.tree                 # indented tree view
 //! treesched seq fork.tree --algo liu         # sequential traversals
-//! treesched schedule fork.tree -p 4 --heuristic deepest --gantt
+//! treesched schedulers                       # registry: names + aliases
+//! treesched schedule fork.tree -p 4 --scheduler deepest --gantt
+//! treesched schedule fork.tree -p 4 --json   # machine-readable record
+//! treesched schedule fork.tree -p 4 --cap 12 # memory-capped scheduling
 //! treesched pareto fork.tree -p 2            # exact trade-off frontier
 //! treesched dot fork.tree                    # Graphviz export
 //! ```

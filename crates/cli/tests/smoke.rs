@@ -41,12 +41,39 @@ fn unknown_command_mentions_itself_and_usage() {
 
 #[test]
 fn every_subcommand_rejects_missing_args() {
-    // each of the seven subcommands must fail cleanly with exit code 2 when
+    // each file-taking subcommand must fail cleanly with exit code 2 when
     // called without its required arguments
     for cmd in ["gen", "stats", "sketch", "seq", "schedule", "pareto", "dot"] {
         let e = err(&[cmd]);
         assert_eq!(e.code, 2, "{cmd}: wrong exit code");
         assert!(!e.message.is_empty(), "{cmd}: empty error message");
+    }
+}
+
+/// The name→scheduler→name round trip the CLI relies on: every canonical
+/// name and alias printed by `treesched schedulers` resolves back to its
+/// canonical scheduler. The bench harness runs the same check on its side
+/// (`crates/bench/src/harness.rs`), so CLI and bench can never drift apart
+/// on scheduler naming.
+#[test]
+fn scheduler_names_round_trip_through_the_registry() {
+    let registry = treesched_core::SchedulerRegistry::standard();
+    let listing = run(&["schedulers"]).unwrap();
+    for e in registry.iter() {
+        assert!(listing.contains(e.name()), "listing misses {}", e.name());
+        assert_eq!(registry.get(e.name()).unwrap().name(), e.name());
+        for alias in e.aliases() {
+            assert_eq!(
+                registry.get(alias).unwrap().name(),
+                e.name(),
+                "alias {alias}"
+            );
+            assert_eq!(
+                registry.get(&alias.to_uppercase()).unwrap().name(),
+                e.name(),
+                "case-insensitive alias {alias}"
+            );
+        }
     }
 }
 
@@ -123,6 +150,28 @@ mod process {
             assert_eq!(out.status.code(), Some(2), "{args:?}");
             assert!(out.stdout.is_empty(), "{args:?}: error leaked to stdout");
             assert!(!out.stderr.is_empty(), "{args:?}: empty stderr");
+        }
+    }
+
+    #[test]
+    fn scheduling_failures_exit_one() {
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("treesched-smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("exit1.tree");
+        let path = file.to_str().unwrap();
+        assert!(treesched(&["gen", "chain", "4", "-o", path])
+            .status
+            .success());
+
+        // typed scheduling errors (not usage errors) exit with code 1
+        for args in [
+            &["schedule", path, "-p", "0"][..],
+            &["schedule", path, "-p", "2", "--scheduler", "membound"][..],
+        ] {
+            let out = treesched(args);
+            assert_eq!(out.status.code(), Some(1), "{args:?}");
+            assert!(out.stdout.is_empty(), "{args:?}");
+            assert!(!out.stderr.is_empty(), "{args:?}");
         }
     }
 

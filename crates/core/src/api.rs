@@ -1,0 +1,1047 @@
+//! The unified scheduling API: one pluggable surface over every scheduler
+//! in this crate.
+//!
+//! The paper evaluates its four heuristics (§5), textbook baselines, and a
+//! memory-capped scheduler (§7) over a large `(tree, p)` campaign. This
+//! module gives them all one shape so that front-ends (CLI, experiment
+//! harness, user code) never dispatch on concrete scheduler types:
+//!
+//! * [`Scheduler`] — the trait: `name()` plus
+//!   `schedule(&Request, &mut Scratch) -> Result<Outcome, SchedError>`;
+//! * [`Platform`] — the machine: `p` identical processors sharing one
+//!   memory, with an optional memory cap;
+//! * [`Request`] — a borrowed scheduling problem: tree + platform +
+//!   sequential sub-algorithm choice;
+//! * [`Outcome`] — the schedule, its validated evaluation, and diagnostics;
+//! * [`SchedError`] — every failure mode as a typed error (no panics);
+//! * [`Scratch`] — reusable ready-queue/placement buffers and per-tree
+//!   caches, so campaigns of thousands of schedules do not re-allocate;
+//! * [`SchedulerRegistry`] — name-based lookup (canonical names + aliases)
+//!   over all built-in schedulers, open for user registration.
+//!
+//! ```
+//! use treesched_core::api::{Platform, Request, Scratch, SchedulerRegistry};
+//! use treesched_model::TaskTree;
+//!
+//! let registry = SchedulerRegistry::standard();
+//! let tree = TaskTree::fork(8, 1.0, 1.0, 0.0);
+//! let req = Request::new(&tree, Platform::new(4));
+//! let mut scratch = Scratch::new();
+//! let sched = registry.get("deepest").unwrap(); // alias of ParDeepestFirst
+//! let out = sched.schedule(&req, &mut scratch).unwrap();
+//! assert_eq!(sched.name(), "ParDeepestFirst");
+//! assert!(out.eval.makespan >= treesched_core::makespan_lower_bound(&tree, 4));
+//! ```
+
+use crate::baselines::splitmix_key;
+use crate::heuristics::{par_subtrees_optim_with_order, par_subtrees_with_order, SeqAlgo};
+use crate::listsched::{key_from_f64, list_schedule_reusing, Key3, ListScratch};
+use crate::membound::{mem_bounded_schedule, Admission};
+use crate::schedule::{try_evaluate, EvalResult, Schedule, ScheduleError};
+use treesched_model::{NodeId, TaskTree};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a scheduling request failed. Every condition the schedulers used to
+/// `panic!`/`expect` on is a variant here; front-ends map them to clean
+/// process exits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedError {
+    /// The platform has `processors == 0`.
+    NoProcessors,
+    /// The task tree holds no tasks.
+    EmptyTree,
+    /// The memory cap is NaN or negative.
+    InvalidMemoryCap {
+        /// The offending cap value.
+        cap: f64,
+    },
+    /// A memory-capped scheduler was invoked without
+    /// [`Platform::memory_cap`].
+    MissingMemoryCap {
+        /// Canonical name of the scheduler that needs the cap.
+        scheduler: &'static str,
+    },
+    /// The scheduler produced a schedule that failed validation — an
+    /// internal bug surfaced as data instead of a panic.
+    InvalidSchedule {
+        /// Canonical name of the offending scheduler.
+        scheduler: String,
+        /// What [`Schedule::validate`] found.
+        error: ScheduleError,
+    },
+    /// No registered scheduler matches the requested name or alias.
+    UnknownScheduler {
+        /// The name that failed to resolve.
+        name: String,
+        /// Canonical names of all registered schedulers.
+        known: Vec<String>,
+    },
+    /// A registration clashed with an existing canonical name or alias.
+    DuplicateName {
+        /// The already-taken name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoProcessors => write!(f, "platform needs at least one processor"),
+            SchedError::EmptyTree => write!(f, "cannot schedule an empty task tree"),
+            SchedError::InvalidMemoryCap { cap } => {
+                write!(f, "invalid memory cap {cap} (must be non-negative)")
+            }
+            SchedError::MissingMemoryCap { scheduler } => {
+                write!(f, "scheduler `{scheduler}` needs a platform memory cap")
+            }
+            SchedError::InvalidSchedule { scheduler, error } => {
+                write!(
+                    f,
+                    "scheduler `{scheduler}` produced an invalid schedule: {error}"
+                )
+            }
+            SchedError::UnknownScheduler { name, known } => {
+                write!(
+                    f,
+                    "unknown scheduler `{name}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            SchedError::DuplicateName { name } => {
+                write!(f, "scheduler name or alias `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::InvalidSchedule { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Platform / Request / Outcome
+// ---------------------------------------------------------------------------
+
+/// The target machine of the paper's model (§3.2): `p` identical processors
+/// sharing one memory, optionally capped.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Platform {
+    /// Number of identical processors.
+    pub processors: u32,
+    /// Shared-memory cap, if the scheduler should respect one. `None`
+    /// means unbounded memory; memory-capped schedulers require `Some`.
+    pub memory_cap: Option<f64>,
+}
+
+impl Platform {
+    /// An uncapped platform with `processors` processors.
+    pub fn new(processors: u32) -> Platform {
+        Platform {
+            processors,
+            memory_cap: None,
+        }
+    }
+
+    /// Returns the platform with a shared-memory cap.
+    pub fn with_memory_cap(mut self, cap: f64) -> Platform {
+        self.memory_cap = Some(cap);
+        self
+    }
+
+    /// Checks the platform invariants (`p >= 1`, cap non-negative).
+    pub fn validate(&self) -> Result<(), SchedError> {
+        if self.processors == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        if let Some(cap) = self.memory_cap {
+            if cap.is_nan() || cap < 0.0 {
+                return Err(SchedError::InvalidMemoryCap { cap });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed scheduling problem: which tree, on which platform, with which
+/// sequential sub-algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct Request<'a> {
+    /// The task tree to schedule.
+    pub tree: &'a TaskTree,
+    /// The target platform.
+    pub platform: Platform,
+    /// Sequential memory-minimizing sub-algorithm used as the reference
+    /// traversal (subtree phases, activation orders, leaf tie-breaks).
+    pub seq: SeqAlgo,
+    /// Seed for randomized schedulers (the `RandomList` baseline).
+    pub seed: u64,
+}
+
+impl<'a> Request<'a> {
+    /// A request with the default sequential sub-algorithm and seed.
+    pub fn new(tree: &'a TaskTree, platform: Platform) -> Request<'a> {
+        Request {
+            tree,
+            platform,
+            seq: SeqAlgo::default(),
+            seed: 42,
+        }
+    }
+
+    /// Returns the request with a different sequential sub-algorithm.
+    pub fn with_seq(mut self, seq: SeqAlgo) -> Request<'a> {
+        self.seq = seq;
+        self
+    }
+
+    /// Returns the request with a different randomization seed.
+    pub fn with_seed(mut self, seed: u64) -> Request<'a> {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the request invariants shared by every scheduler.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        self.platform.validate()?;
+        if self.tree.is_empty() {
+            return Err(SchedError::EmptyTree);
+        }
+        Ok(())
+    }
+}
+
+/// Side observations a scheduler reports alongside its schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Diagnostics {
+    /// Peak memory of the reference sequential traversal the scheduler used
+    /// (the paper's memory reference when [`Request::seq`] is the default).
+    pub seq_peak: Option<f64>,
+    /// Forced admissions over the memory cap (memory-capped schedulers
+    /// only; `Some(0)` means the cap was honored throughout).
+    pub cap_violations: Option<usize>,
+}
+
+/// A successful scheduling run: the schedule, its validated evaluation, and
+/// diagnostics. The evaluation is always present — every outcome returned
+/// through this API has passed [`Schedule::validate`].
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The produced schedule.
+    pub schedule: Schedule,
+    /// Joint makespan/peak-memory evaluation of the schedule.
+    pub eval: EvalResult,
+    /// Scheduler-specific observations.
+    pub diagnostics: Diagnostics,
+}
+
+// ---------------------------------------------------------------------------
+// Scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable working memory for [`Scheduler::schedule`] calls.
+///
+/// A campaign runs thousands of `(tree, p, scheduler)` scenarios; `Scratch`
+/// keeps the allocations of one call alive for the next:
+///
+/// * the **reference traversal** (order, its peak, and node positions) is
+///   cached per `(tree, SeqAlgo)` — every scheduler and every processor
+///   count on the same tree reuses it;
+/// * node **depths** and **weighted depths** are cached per tree;
+/// * the encoded **priority keys** and the list scheduler's queues/tables
+///   (see [`ListScratch`]) are cleared, not re-allocated.
+///
+/// Trees are identified by a structural hash (parents + weights), so the
+/// caches invalidate automatically when a different tree arrives.
+#[derive(Default)]
+pub struct Scratch {
+    tree_hash: u64,
+    traversal_algo: Option<SeqAlgo>,
+    order: Vec<NodeId>,
+    pos: Vec<usize>,
+    seq_peak: f64,
+    depths: Vec<u32>,
+    wdepths: Vec<f64>,
+    keys: Vec<Key3>,
+    list: ListScratch,
+}
+
+/// Structural hash of a tree: parents and weight bits through splitmix64
+/// mixing. Used only for scratch-cache invalidation.
+fn tree_fingerprint(tree: &TaskTree) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut z = h ^ v.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(0x7ee5_c0de, tree.len() as u64);
+    h = mix(h, tree.root().0 as u64);
+    for i in tree.ids() {
+        let parent = tree.parent(i).map_or(u64::MAX, |p| p.0 as u64);
+        h = mix(h, parent);
+        h = mix(h, tree.work(i).to_bits());
+        h = mix(h, tree.output(i).to_bits());
+        h = mix(h, tree.exec(i).to_bits());
+    }
+    // 0 is the "empty" sentinel of a fresh Scratch
+    h | 1
+}
+
+impl Scratch {
+    /// A fresh scratch with empty caches.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Invalidates every cache if `tree` differs from the cached one.
+    fn sync(&mut self, tree: &TaskTree) {
+        let h = tree_fingerprint(tree);
+        if self.tree_hash != h {
+            self.tree_hash = h;
+            self.traversal_algo = None;
+            self.order.clear();
+            self.pos.clear();
+            self.seq_peak = 0.0;
+            self.depths.clear();
+            self.wdepths.clear();
+        }
+    }
+
+    fn ensure_traversal(&mut self, tree: &TaskTree, algo: SeqAlgo) {
+        self.sync(tree);
+        if self.traversal_algo != Some(algo) {
+            let tr = algo.traversal(tree);
+            self.order = tr.order;
+            self.seq_peak = tr.peak;
+            self.pos.clear();
+            self.pos.resize(tree.len(), 0);
+            for (k, &v) in self.order.iter().enumerate() {
+                self.pos[v.index()] = k;
+            }
+            self.traversal_algo = Some(algo);
+        }
+    }
+
+    fn ensure_depths(&mut self, tree: &TaskTree) {
+        self.sync(tree);
+        if self.depths.len() != tree.len() {
+            self.depths = tree.depths();
+        }
+    }
+
+    fn ensure_wdepths(&mut self, tree: &TaskTree) {
+        self.sync(tree);
+        if self.wdepths.len() != tree.len() {
+            self.wdepths = tree.weighted_depths();
+        }
+    }
+
+    /// The cached reference traversal of `tree` under `algo`: the execution
+    /// order and its sequential peak memory. Computes it on the first call
+    /// per `(tree, algo)` and reuses it afterwards. Available to custom
+    /// [`Scheduler`] implementations.
+    pub fn traversal(&mut self, tree: &TaskTree, algo: SeqAlgo) -> (&[NodeId], f64) {
+        self.ensure_traversal(tree, algo);
+        (&self.order, self.seq_peak)
+    }
+
+    /// Event-based list scheduling with reused buffers: builds one encoded
+    /// key per node with `key` and runs [`list_schedule_reusing`].
+    /// The building block for custom list schedulers on top of this API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0` (checked upstream by [`Request::validate`]).
+    pub fn run_list_schedule<F: FnMut(NodeId) -> Key3>(
+        &mut self,
+        tree: &TaskTree,
+        p: u32,
+        mut key: F,
+    ) -> Schedule {
+        self.sync(tree);
+        self.keys.clear();
+        for i in tree.ids() {
+            self.keys.push(key(i));
+        }
+        list_schedule_reusing(tree, p, &self.keys, &mut self.list)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Scheduler trait
+// ---------------------------------------------------------------------------
+
+/// A scheduling algorithm for tree-shaped task graphs on identical
+/// processors: anything that turns a [`Request`] into an [`Outcome`].
+///
+/// Implementations must be deterministic for a given request (randomized
+/// schedulers draw from [`Request::seed`]) and must return schedules that
+/// pass [`Schedule::validate`] — the built-ins funnel their result through
+/// [`try_evaluate`], surfacing internal bugs as
+/// [`SchedError::InvalidSchedule`] instead of panicking.
+pub trait Scheduler: Send + Sync {
+    /// Canonical name (stable across releases; the registry key).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for listings.
+    fn description(&self) -> &'static str {
+        ""
+    }
+
+    /// Builds and evaluates a schedule for `req`, using `scratch` for
+    /// reusable working memory.
+    fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError>;
+
+    /// Convenience: [`Scheduler::schedule`] with a throwaway scratch.
+    fn schedule_once(&self, req: &Request<'_>) -> Result<Outcome, SchedError> {
+        self.schedule(req, &mut Scratch::new())
+    }
+}
+
+/// Validates + evaluates `schedule` and bundles the outcome.
+fn finish(
+    name: &str,
+    tree: &TaskTree,
+    schedule: Schedule,
+    diagnostics: Diagnostics,
+) -> Result<Outcome, SchedError> {
+    let eval = try_evaluate(tree, &schedule).map_err(|error| SchedError::InvalidSchedule {
+        scheduler: name.to_string(),
+        error,
+    })?;
+    Ok(Outcome {
+        schedule,
+        eval,
+        diagnostics,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Built-in scheduler wrappers
+// ---------------------------------------------------------------------------
+
+/// `ParSubtrees` / `ParSubtreesOptim` (paper §5.1).
+struct ParSubtreesSched {
+    optim: bool,
+}
+
+impl Scheduler for ParSubtreesSched {
+    fn name(&self) -> &'static str {
+        if self.optim {
+            "ParSubtreesOptim"
+        } else {
+            "ParSubtrees"
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        if self.optim {
+            "ParSubtrees with LPT allocation of all subtrees; better makespan, slightly more memory"
+        } else {
+            "concurrent subtrees + sequential remainder; memory-focused, M <= (p+1)*M_seq"
+        }
+    }
+
+    fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
+        req.validate()?;
+        let (tree, p) = (req.tree, req.platform.processors);
+        scratch.ensure_traversal(tree, req.seq);
+        let schedule = if self.optim {
+            par_subtrees_optim_with_order(tree, p, req.seq, &scratch.order)
+        } else {
+            par_subtrees_with_order(tree, p, req.seq, &scratch.order)
+        };
+        let diag = Diagnostics {
+            seq_peak: Some(scratch.seq_peak),
+            cap_violations: None,
+        };
+        finish(self.name(), tree, schedule, diag)
+    }
+}
+
+/// Which priority scheme a [`ListSched`] uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ListKind {
+    /// `ParInnerFirst` (paper §5.2).
+    InnerFirst,
+    /// `ParDeepestFirst` (paper §5.3).
+    DeepestFirst,
+    /// Critical-path baseline (no inner/leaf preference, id ties).
+    Cp,
+    /// FIFO/no-priority baseline.
+    Fifo,
+    /// Seeded random-priority baseline.
+    Random,
+}
+
+struct ListSched {
+    kind: ListKind,
+}
+
+impl Scheduler for ListSched {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ListKind::InnerFirst => "ParInnerFirst",
+            ListKind::DeepestFirst => "ParDeepestFirst",
+            ListKind::Cp => "CpList",
+            ListKind::Fifo => "FifoList",
+            ListKind::Random => "RandomList",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.kind {
+            ListKind::InnerFirst => {
+                "list scheduling, inner nodes first then postorder leaves; balanced"
+            }
+            ListKind::DeepestFirst => "list scheduling along the critical path; makespan-focused",
+            ListKind::Cp => "baseline: critical-path priority, no paper tie-breaks",
+            ListKind::Fifo => "baseline: ready tasks in id order, no priority",
+            ListKind::Random => "baseline: seeded random priorities",
+        }
+    }
+
+    fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
+        req.validate()?;
+        let (tree, p) = (req.tree, req.platform.processors);
+        scratch.ensure_traversal(tree, req.seq);
+        match self.kind {
+            ListKind::InnerFirst => scratch.ensure_depths(tree),
+            ListKind::DeepestFirst | ListKind::Cp => scratch.ensure_wdepths(tree),
+            ListKind::Fifo | ListKind::Random => {}
+        }
+        let Scratch {
+            pos,
+            depths,
+            wdepths,
+            keys,
+            list,
+            seq_peak,
+            ..
+        } = scratch;
+        keys.clear();
+        match self.kind {
+            ListKind::InnerFirst => keys.extend(tree.ids().map(|i| {
+                if tree.is_leaf(i) {
+                    (1u64, pos[i.index()] as u64, 0u64)
+                } else {
+                    (
+                        0u64,
+                        (u32::MAX - depths[i.index()]) as u64,
+                        pos[i.index()] as u64,
+                    )
+                }
+            })),
+            ListKind::DeepestFirst => keys.extend(tree.ids().map(|i| {
+                (
+                    key_from_f64(-wdepths[i.index()]),
+                    u64::from(tree.is_leaf(i)),
+                    pos[i.index()] as u64,
+                )
+            })),
+            ListKind::Cp => keys.extend(
+                tree.ids()
+                    .map(|i| (key_from_f64(-wdepths[i.index()]), i.0 as u64, 0u64)),
+            ),
+            ListKind::Fifo => keys.extend(tree.ids().map(|i| (i.0 as u64, 0u64, 0u64))),
+            ListKind::Random => keys.extend(
+                tree.ids()
+                    .map(|i| (splitmix_key(req.seed, i.0), i.0 as u64, 0u64)),
+            ),
+        }
+        let schedule = list_schedule_reusing(tree, p, keys, list);
+        let diag = Diagnostics {
+            seq_peak: Some(*seq_peak),
+            cap_violations: None,
+        };
+        finish(self.name(), tree, schedule, diag)
+    }
+}
+
+/// Memory-capped list scheduling (paper §7 future work) under a fixed
+/// admission policy. Requires [`Platform::memory_cap`].
+struct MemBoundedSched {
+    policy: Admission,
+}
+
+impl Scheduler for MemBoundedSched {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            Admission::SequentialOrder => "MemBoundedSeq",
+            Admission::Greedy => "MemBoundedGreedy",
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.policy {
+            Admission::SequentialOrder => {
+                "memory-capped, sequential activation order; never exceeds a feasible cap"
+            }
+            Admission::Greedy => {
+                "memory-capped, greedy admission; more parallel but may violate the cap"
+            }
+        }
+    }
+
+    fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
+        req.validate()?;
+        let (tree, p) = (req.tree, req.platform.processors);
+        let cap = req
+            .platform
+            .memory_cap
+            .ok_or(SchedError::MissingMemoryCap {
+                scheduler: self.name(),
+            })?;
+        scratch.ensure_traversal(tree, req.seq);
+        let run = mem_bounded_schedule(tree, p, &scratch.order, cap, self.policy);
+        let diag = Diagnostics {
+            seq_peak: Some(scratch.seq_peak),
+            cap_violations: Some(run.violations),
+        };
+        finish(self.name(), tree, run.schedule, diag)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// One registered scheduler: the implementation, its aliases, and whether
+/// it belongs to the paper's comparison campaign (Table 1, Figures 6–8).
+pub struct RegistryEntry {
+    scheduler: Box<dyn Scheduler>,
+    aliases: Vec<&'static str>,
+    campaign: bool,
+}
+
+impl RegistryEntry {
+    /// The scheduler.
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
+    }
+
+    /// Canonical name.
+    pub fn name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &'static str {
+        self.scheduler.description()
+    }
+
+    /// Accepted aliases (canonical name excluded).
+    pub fn aliases(&self) -> &[&'static str] {
+        &self.aliases
+    }
+
+    /// Whether the scheduler participates in the default experiment
+    /// campaign.
+    pub fn in_campaign(&self) -> bool {
+        self.campaign
+    }
+}
+
+/// Name-based scheduler lookup: canonical names and aliases, matched
+/// case-insensitively. [`SchedulerRegistry::standard`] holds every built-in
+/// scheduler; front-ends resolve user input exclusively through this.
+#[derive(Default)]
+pub struct SchedulerRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry.
+    pub fn new() -> SchedulerRegistry {
+        SchedulerRegistry::default()
+    }
+
+    /// The built-in registry: the paper's four heuristics (campaign
+    /// members), the three textbook baselines, and the two memory-capped
+    /// wrappers.
+    pub fn standard() -> SchedulerRegistry {
+        let mut r = SchedulerRegistry::new();
+        let must = |res: Result<(), SchedError>| res.expect("built-in names are unique");
+        must(r.register(
+            Box::new(ParSubtreesSched { optim: false }),
+            &["subtrees"],
+            true,
+        ));
+        must(r.register(
+            Box::new(ParSubtreesSched { optim: true }),
+            &["subtrees-optim", "optim"],
+            true,
+        ));
+        must(r.register(
+            Box::new(ListSched {
+                kind: ListKind::InnerFirst,
+            }),
+            &["inner", "inner-first"],
+            true,
+        ));
+        must(r.register(
+            Box::new(ListSched {
+                kind: ListKind::DeepestFirst,
+            }),
+            &["deepest", "deepest-first"],
+            true,
+        ));
+        must(r.register(
+            Box::new(ListSched { kind: ListKind::Cp }),
+            &["cp", "cp-list"],
+            false,
+        ));
+        must(r.register(
+            Box::new(ListSched {
+                kind: ListKind::Fifo,
+            }),
+            &["fifo", "fifo-list"],
+            false,
+        ));
+        must(r.register(
+            Box::new(ListSched {
+                kind: ListKind::Random,
+            }),
+            &["random", "random-list"],
+            false,
+        ));
+        must(r.register(
+            Box::new(MemBoundedSched {
+                policy: Admission::SequentialOrder,
+            }),
+            &["membound", "capped", "mem-seq"],
+            false,
+        ));
+        must(r.register(
+            Box::new(MemBoundedSched {
+                policy: Admission::Greedy,
+            }),
+            &["mem-greedy", "greedy-capped"],
+            false,
+        ));
+        r
+    }
+
+    /// Registers a scheduler under its canonical name plus `aliases`.
+    /// `campaign` adds it to [`SchedulerRegistry::campaign`], i.e. the
+    /// default experiment sweep.
+    pub fn register(
+        &mut self,
+        scheduler: Box<dyn Scheduler>,
+        aliases: &[&'static str],
+        campaign: bool,
+    ) -> Result<(), SchedError> {
+        for name in std::iter::once(scheduler.name()).chain(aliases.iter().copied()) {
+            if self.resolve(name).is_ok() {
+                return Err(SchedError::DuplicateName {
+                    name: name.to_string(),
+                });
+            }
+        }
+        self.entries.push(RegistryEntry {
+            scheduler,
+            aliases: aliases.to_vec(),
+            campaign,
+        });
+        Ok(())
+    }
+
+    /// Resolves `name` (canonical or alias, case-insensitive) to its entry.
+    pub fn resolve(&self, name: &str) -> Result<&RegistryEntry, SchedError> {
+        self.entries
+            .iter()
+            .find(|e| {
+                e.name().eq_ignore_ascii_case(name)
+                    || e.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+            })
+            .ok_or_else(|| SchedError::UnknownScheduler {
+                name: name.to_string(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })
+    }
+
+    /// Resolves `name` to its scheduler.
+    pub fn get(&self, name: &str) -> Result<&dyn Scheduler, SchedError> {
+        Ok(self.resolve(name)?.scheduler())
+    }
+
+    /// All entries, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter()
+    }
+
+    /// The campaign members (the schedulers compared in Table 1 and
+    /// Figures 6–8), in registration order.
+    pub fn campaign(&self) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter().filter(|e| e.campaign)
+    }
+
+    /// Canonical names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
+    use crate::heuristics::Heuristic;
+    use crate::schedule::evaluate;
+    use treesched_model::TaskTree;
+
+    fn sample() -> TaskTree {
+        TaskTree::complete(3, 4, 1.0, 2.0, 0.5)
+    }
+
+    #[test]
+    fn registry_resolves_names_and_aliases_case_insensitively() {
+        let r = SchedulerRegistry::standard();
+        for (spelling, canonical) in [
+            ("ParSubtrees", "ParSubtrees"),
+            ("subtrees", "ParSubtrees"),
+            ("SUBTREES-OPTIM", "ParSubtreesOptim"),
+            ("inner", "ParInnerFirst"),
+            ("Deepest", "ParDeepestFirst"),
+            ("cp", "CpList"),
+            ("fifo", "FifoList"),
+            ("random", "RandomList"),
+            ("membound", "MemBoundedSeq"),
+            ("MEM-GREEDY", "MemBoundedGreedy"),
+        ] {
+            assert_eq!(r.get(spelling).unwrap().name(), canonical, "{spelling}");
+        }
+        assert!(matches!(
+            r.get("nosuch"),
+            Err(SchedError::UnknownScheduler { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_round_trips_every_name_and_alias() {
+        let r = SchedulerRegistry::standard();
+        assert_eq!(r.names().len(), 9);
+        for e in r.iter() {
+            assert_eq!(r.get(e.name()).unwrap().name(), e.name());
+            for a in e.aliases() {
+                assert_eq!(r.get(a).unwrap().name(), e.name(), "alias {a}");
+            }
+            assert!(!e.description().is_empty(), "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn campaign_is_the_four_paper_heuristics() {
+        let r = SchedulerRegistry::standard();
+        let names: Vec<&str> = r.campaign().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "ParSubtrees",
+                "ParSubtreesOptim",
+                "ParInnerFirst",
+                "ParDeepestFirst"
+            ]
+        );
+        assert_eq!(
+            names,
+            Heuristic::ALL.map(|h| h.name()),
+            "campaign mirrors Heuristic::ALL"
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        struct Dup;
+        impl Scheduler for Dup {
+            fn name(&self) -> &'static str {
+                "ParSubtrees"
+            }
+            fn schedule(
+                &self,
+                _req: &Request<'_>,
+                _s: &mut Scratch,
+            ) -> Result<Outcome, SchedError> {
+                unreachable!()
+            }
+        }
+        let mut r = SchedulerRegistry::standard();
+        assert!(matches!(
+            r.register(Box::new(Dup), &[], false),
+            Err(SchedError::DuplicateName { .. })
+        ));
+        struct AliasClash;
+        impl Scheduler for AliasClash {
+            fn name(&self) -> &'static str {
+                "Fresh"
+            }
+            fn schedule(
+                &self,
+                _req: &Request<'_>,
+                _s: &mut Scratch,
+            ) -> Result<Outcome, SchedError> {
+                unreachable!()
+            }
+        }
+        assert!(matches!(
+            r.register(Box::new(AliasClash), &["inner"], false),
+            Err(SchedError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn api_heuristics_match_legacy_functions() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        for p in [1u32, 2, 5] {
+            let req = Request::new(&t, Platform::new(p));
+            for h in Heuristic::ALL {
+                let legacy = h.schedule(&t, p);
+                let out = r
+                    .get(h.name())
+                    .unwrap()
+                    .schedule(&req, &mut scratch)
+                    .unwrap();
+                assert_eq!(out.schedule, legacy, "{h} p={p}");
+                assert_eq!(out.eval, evaluate(&t, &legacy));
+            }
+        }
+    }
+
+    #[test]
+    fn api_baselines_match_legacy_functions() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let p = 3;
+        let req = Request::new(&t, Platform::new(p)).with_seed(7);
+        let pairs: [(&str, Schedule); 3] = [
+            ("cp", cp_list_schedule(&t, p)),
+            ("fifo", fifo_list_schedule(&t, p)),
+            ("random", random_list_schedule(&t, p, 7)),
+        ];
+        for (name, legacy) in pairs {
+            let out = r.get(name).unwrap().schedule(&req, &mut scratch).unwrap();
+            assert_eq!(out.schedule, legacy, "{name}");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_tree_and_algo_changes() {
+        // interleave trees and algorithms through one scratch: cached
+        // traversals must invalidate correctly (wrong caches would produce
+        // invalid schedules, caught by the outcome evaluation)
+        let trees = [
+            TaskTree::fork(9, 1.0, 1.0, 0.0),
+            TaskTree::complete(2, 5, 1.0, 1.0, 0.0),
+            TaskTree::chain(12, 2.0, 1.0, 0.5),
+        ];
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        for algo in [SeqAlgo::BestPostorder, SeqAlgo::LiuExact] {
+            for t in &trees {
+                for e in r.iter() {
+                    let req =
+                        Request::new(t, Platform::new(4).with_memory_cap(1e12)).with_seq(algo);
+                    let out = e.scheduler().schedule(&req, &mut scratch).unwrap();
+                    assert!(out.schedule.validate(t).is_ok(), "{}", e.name());
+                    assert!(out.eval.makespan > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_errors_replace_panics() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        // p == 0
+        let req = Request::new(&t, Platform::new(0));
+        for e in r.iter() {
+            assert_eq!(
+                e.scheduler().schedule(&req, &mut scratch).unwrap_err(),
+                SchedError::NoProcessors,
+                "{}",
+                e.name()
+            );
+        }
+        // capped scheduler without a cap
+        let req = Request::new(&t, Platform::new(2));
+        assert_eq!(
+            r.get("membound")
+                .unwrap()
+                .schedule(&req, &mut scratch)
+                .unwrap_err(),
+            SchedError::MissingMemoryCap {
+                scheduler: "MemBoundedSeq"
+            }
+        );
+        // NaN cap
+        let req = Request::new(&t, Platform::new(2).with_memory_cap(f64::NAN));
+        assert!(matches!(
+            r.get("membound").unwrap().schedule(&req, &mut scratch),
+            Err(SchedError::InvalidMemoryCap { .. })
+        ));
+    }
+
+    #[test]
+    fn membound_outcome_reports_violations() {
+        let t = TaskTree::complete(2, 3, 1.0, 5.0, 2.0);
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        // infeasible cap: completes with violations counted
+        let req = Request::new(&t, Platform::new(2).with_memory_cap(0.5));
+        let out = r
+            .get("membound")
+            .unwrap()
+            .schedule(&req, &mut scratch)
+            .unwrap();
+        assert!(out.diagnostics.cap_violations.unwrap() > 0);
+        // generous cap: zero violations
+        let req = Request::new(&t, Platform::new(2).with_memory_cap(1e12));
+        let out = r
+            .get("mem-greedy")
+            .unwrap()
+            .schedule(&req, &mut scratch)
+            .unwrap();
+        assert_eq!(out.diagnostics.cap_violations, Some(0));
+    }
+
+    #[test]
+    fn diagnostics_carry_the_memory_reference() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let req = Request::new(&t, Platform::new(4));
+        let out = r
+            .get("subtrees")
+            .unwrap()
+            .schedule(&req, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            out.diagnostics.seq_peak,
+            Some(crate::bounds::memory_reference(&t))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let r = SchedulerRegistry::standard();
+        let e = r.resolve("warp-drive").err().expect("unknown name");
+        let msg = e.to_string();
+        assert!(msg.contains("warp-drive"));
+        assert!(msg.contains("ParSubtrees"), "lists known names: {msg}");
+        assert!(SchedError::NoProcessors.to_string().contains("processor"));
+    }
+}

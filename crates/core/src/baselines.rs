@@ -37,20 +37,22 @@ pub fn fifo_list_schedule(tree: &TaskTree, p: u32) -> Schedule {
     list_schedule(tree, p, &keys)
 }
 
+/// Splitmix64 hash of a node id under `seed` — the deterministic priority
+/// source of [`random_list_schedule`] (shared with the [`crate::api`]
+/// registry wrapper so both paths produce identical schedules).
+pub(crate) fn splitmix_key(seed: u64, id: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add((id as u64) << 32 | id as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
 /// Random-priority list scheduling with a deterministic seed (splitmix64
 /// over node ids, so no external RNG dependency is needed here).
 pub fn random_list_schedule(tree: &TaskTree, p: u32, seed: u64) -> Schedule {
-    let keys: Vec<(u64, u32)> = tree
-        .ids()
-        .map(|i| {
-            let mut z = seed
-                .wrapping_add(0x9e3779b97f4a7c15)
-                .wrapping_add((i.0 as u64) << 32 | i.0 as u64);
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-            (z ^ (z >> 31), i.0)
-        })
-        .collect();
+    let keys: Vec<(u64, u32)> = tree.ids().map(|i| (splitmix_key(seed, i.0), i.0)).collect();
     list_schedule(tree, p, &keys)
 }
 

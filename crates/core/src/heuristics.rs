@@ -114,6 +114,19 @@ fn blank_placements(n: usize) -> Vec<Placement> {
 /// `p`-approximation and is optimal among all `ParSubtrees`-style splittings
 /// (Lemma 1).
 pub fn par_subtrees(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
+    let global = seq.traversal(tree).order;
+    par_subtrees_with_order(tree, p, seq, &global)
+}
+
+/// [`par_subtrees`] with a caller-supplied whole-tree traversal `global`
+/// (the order produced by `seq` on `tree`), so experiment sweeps can reuse
+/// one traversal across processor counts.
+pub fn par_subtrees_with_order(
+    tree: &TaskTree,
+    p: u32,
+    seq: SeqAlgo,
+    global: &[NodeId],
+) -> Schedule {
     assert!(p > 0, "need at least one processor");
     let split = split_subtrees(tree, p as usize);
     let n = tree.len();
@@ -134,8 +147,7 @@ pub fn par_subtrees(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
     }
     // Sequential remainder (popped nodes + surplus subtrees), in the
     // memory-minimizing global order restricted to the remaining nodes.
-    let global = seq.traversal(tree).order;
-    schedule_filtered(tree, &global, &in_parallel, 0, t0, &mut placements);
+    schedule_filtered(tree, global, &in_parallel, 0, t0, &mut placements);
     Schedule {
         processors: p,
         placements,
@@ -151,6 +163,18 @@ pub fn par_subtrees(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
 /// This improves the makespan at the price of a (usually slight) memory
 /// increase, as the paper's experiments show.
 pub fn par_subtrees_optim(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
+    let global = seq.traversal(tree).order;
+    par_subtrees_optim_with_order(tree, p, seq, &global)
+}
+
+/// [`par_subtrees_optim`] with a caller-supplied whole-tree traversal
+/// `global` (the order produced by `seq` on `tree`).
+pub fn par_subtrees_optim_with_order(
+    tree: &TaskTree,
+    p: u32,
+    seq: SeqAlgo,
+    global: &[NodeId],
+) -> Schedule {
     assert!(p > 0, "need at least one processor");
     let split = split_subtrees(tree, p as usize);
     let subtree_w = tree.subtree_work();
@@ -187,8 +211,7 @@ pub fn par_subtrees_optim(tree: &TaskTree, p: u32, seq: SeqAlgo) -> Schedule {
         );
     }
     let t0 = loads.iter().fold(0.0f64, |a, &b| a.max(b));
-    let global = seq.traversal(tree).order;
-    schedule_filtered(tree, &global, &in_parallel, 0, t0, &mut placements);
+    schedule_filtered(tree, global, &in_parallel, 0, t0, &mut placements);
     Schedule {
         processors: p,
         placements,
@@ -314,11 +337,14 @@ impl Heuristic {
 
     /// As [`Heuristic::schedule`] but reusing a precomputed optimal
     /// sequential postorder (avoids recomputing it per heuristic in
-    /// experiment sweeps).
+    /// experiment sweeps). `order` must be the best-postorder traversal of
+    /// `tree` (the default sequential sub-algorithm's order).
     pub fn schedule_with_order(self, tree: &TaskTree, p: u32, order: &[NodeId]) -> Schedule {
         match self {
-            Heuristic::ParSubtrees => par_subtrees(tree, p, SeqAlgo::default()),
-            Heuristic::ParSubtreesOptim => par_subtrees_optim(tree, p, SeqAlgo::default()),
+            Heuristic::ParSubtrees => par_subtrees_with_order(tree, p, SeqAlgo::default(), order),
+            Heuristic::ParSubtreesOptim => {
+                par_subtrees_optim_with_order(tree, p, SeqAlgo::default(), order)
+            }
             Heuristic::ParInnerFirst => par_inner_first_with_order(tree, p, order),
             Heuristic::ParDeepestFirst => par_deepest_first_with_order(tree, p, order),
         }

@@ -18,28 +18,54 @@
 //! * [`heuristics::par_deepest_first`] — list scheduling along the critical
 //!   path; makespan-focused.
 //!
-//! Supporting machinery: the generic list scheduler
-//! ([`listsched::list_schedule`]), parallel-schedule evaluation
-//! ([`schedule::Schedule::peak_memory`], [`schedule::evaluate`]), the
-//! lower bounds used by the paper's Figure 6 ([`bounds`]), textbook
-//! baselines for component ablations ([`baselines`]), an exact
-//! bi-objective Pareto solver for the unit-time model ([`pareto`]), and —
-//! as the paper's stated future work — a memory-capped list scheduler
-//! ([`membound::mem_bounded_schedule`]).
+//! ## The unified scheduling API
+//!
+//! Every scheduler in this crate — the four paper heuristics, the textbook
+//! baselines, and the memory-capped wrappers — is exposed through one
+//! pluggable surface in [`api`]:
+//!
+//! * the [`api::Scheduler`] trait:
+//!   `schedule(&Request, &mut Scratch) -> Result<Outcome, SchedError>`;
+//! * [`api::Platform`] (processors + optional memory cap),
+//!   [`api::Request`] (tree + platform + [`SeqAlgo`] choice), and
+//!   [`api::Outcome`] (schedule + validated [`EvalResult`] + diagnostics);
+//! * [`api::SchedulerRegistry`] — name-based lookup with canonical names
+//!   and aliases, used by every front-end (CLI, experiment harness) so no
+//!   per-heuristic dispatch exists outside this crate;
+//! * [`api::Scratch`] — reusable ready-queue/placement buffers and
+//!   per-tree caches for allocation-free experiment campaigns;
+//! * [`api::SchedError`] — typed errors (`p == 0`, missing cap, invalid
+//!   schedule) where the low-level entry points would panic.
 //!
 //! ```
+//! use treesched_core::api::{Platform, Request, Scratch, SchedulerRegistry};
+//! use treesched_core::makespan_lower_bound;
 //! use treesched_model::TaskTree;
-//! use treesched_core::{evaluate, makespan_lower_bound, Heuristic};
 //!
+//! let registry = SchedulerRegistry::standard();
 //! let tree = TaskTree::fork(8, 1.0, 1.0, 0.0); // 8 pebble leaves
-//! for h in Heuristic::ALL {
-//!     let schedule = h.schedule(&tree, 4);
-//!     let ev = evaluate(&tree, &schedule);
-//!     assert!(ev.makespan >= makespan_lower_bound(&tree, 4));
-//!     assert!(ev.peak_memory >= 9.0); // all inputs + root file at the root
+//! let mut scratch = Scratch::new();
+//! for entry in registry.campaign() {
+//!     let req = Request::new(&tree, Platform::new(4));
+//!     let out = entry.scheduler().schedule(&req, &mut scratch).unwrap();
+//!     assert!(out.eval.makespan >= makespan_lower_bound(&tree, 4));
+//!     assert!(out.eval.peak_memory >= 9.0); // all inputs + root file
 //! }
 //! ```
+//!
+//! ## Low-level building blocks
+//!
+//! The algorithms behind the registry remain available as plain functions:
+//! the generic list scheduler ([`listsched::list_schedule`] and its
+//! buffer-reusing [`listsched::list_schedule_reusing`]), parallel-schedule
+//! evaluation ([`schedule::Schedule::peak_memory`],
+//! [`schedule::try_evaluate`]), the lower bounds used by the paper's
+//! Figure 6 ([`bounds`]), textbook baselines for component ablations
+//! ([`baselines`]), an exact bi-objective Pareto solver for the unit-time
+//! model ([`pareto`]), and — as the paper's stated future work — a
+//! memory-capped list scheduler ([`membound::mem_bounded_schedule`]).
 
+pub mod api;
 pub mod baselines;
 pub mod bounds;
 pub mod heuristics;
@@ -49,6 +75,9 @@ pub mod pareto;
 pub mod schedule;
 pub mod split;
 
+pub use api::{
+    Diagnostics, Outcome, Platform, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
+};
 pub use baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
 pub use bounds::{makespan_lower_bound, memory_lower_bound_exact, memory_reference};
 pub use heuristics::{
@@ -57,5 +86,5 @@ pub use heuristics::{
 pub use listsched::list_schedule;
 pub use membound::{mem_bounded_schedule, Admission, MemBoundedRun};
 pub use pareto::{dominated_by_frontier, pareto_frontier, ParetoPoint};
-pub use schedule::{evaluate, EvalResult, Placement, Schedule, ScheduleError};
+pub use schedule::{evaluate, try_evaluate, EvalResult, Placement, Schedule, ScheduleError};
 pub use split::{split_subtrees, Split};

@@ -33,34 +33,51 @@ impl Ord for TotalF64 {
     }
 }
 
-/// Runs Algorithm 3: event-based list scheduling of `tree` on `p`
-/// processors, ready tasks ordered by `keys` (**smaller key = higher
-/// priority**), with the node id as the final deterministic tie-break.
-///
-/// # Panics
-///
-/// Panics when `p == 0` or `keys.len() != tree.len()`.
-pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Schedule {
-    assert!(p > 0, "need at least one processor");
-    assert_eq!(keys.len(), tree.len(), "one key per task");
-    let n = tree.len();
+/// Canonical encoded priority key: three `u64` components compared
+/// lexicographically, **smaller = higher priority**. Every built-in
+/// priority scheme lowers into this shape so the ready queue inside
+/// [`ListScratch`] can be reused across schedulers and trees without
+/// re-allocating (see [`crate::api::Scratch`]).
+pub type Key3 = (u64, u64, u64);
 
-    // ready queue: min-heap on (key, id)
-    let mut ready: BinaryHeap<Reverse<(K, NodeId)>> = BinaryHeap::new();
-    // finish events: min-heap on (time, node)
-    let mut events: BinaryHeap<Reverse<(TotalF64, NodeId)>> = BinaryHeap::new();
-
-    let mut remaining_children: Vec<usize> = (0..n)
-        .map(|i| tree.children(NodeId::from_index(i)).len())
-        .collect();
-    for i in tree.ids() {
-        if tree.is_leaf(i) {
-            ready.push(Reverse((keys[i.index()], i)));
-        }
+/// Order-preserving encoding of an `f64` into a `u64`: for finite `a`, `b`,
+/// `a.total_cmp(&b) == key_from_f64(a).cmp(&key_from_f64(b))`.
+#[inline]
+pub fn key_from_f64(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
     }
+}
 
-    let mut free_procs: Vec<u32> = (0..p).rev().collect(); // pop() yields proc 0 first
-    let mut proc_of: Vec<u32> = vec![0; n];
+/// Reusable state for [`list_schedule_reusing`]: the ready queue, the event
+/// queue, and the bookkeeping tables. Clearing these instead of
+/// re-allocating them is what lets a corpus campaign of thousands of
+/// schedules run without per-schedule heap churn.
+#[derive(Default)]
+pub struct ListScratch {
+    ready: BinaryHeap<Reverse<(Key3, NodeId)>>,
+    events: BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+    remaining_children: Vec<usize>,
+    free_procs: Vec<u32>,
+    proc_of: Vec<u32>,
+}
+
+/// The event loop shared by [`list_schedule`] and [`list_schedule_reusing`]:
+/// callers provide pre-seeded queues and tables; `placements` is returned
+/// because it becomes the produced [`Schedule`] and cannot be reused.
+fn run_list<K: Ord + Copy>(
+    tree: &TaskTree,
+    keys: &[K],
+    ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
+    events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+    remaining_children: &mut [usize],
+    free_procs: &mut Vec<u32>,
+    proc_of: &mut [u32],
+) -> Vec<Placement> {
+    let n = tree.len();
     let mut placements: Vec<Placement> = vec![
         Placement {
             proc: 0,
@@ -75,7 +92,7 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
                   events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
                   free_procs: &mut Vec<u32>,
                   placements: &mut Vec<Placement>,
-                  proc_of: &mut Vec<u32>| {
+                  proc_of: &mut [u32]| {
         while !free_procs.is_empty() && !ready.is_empty() {
             let Reverse((_, node)) = ready.pop().expect("nonempty");
             let proc = free_procs.pop().expect("nonempty");
@@ -91,14 +108,7 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
     };
 
     // initial assignment at t = 0
-    assign(
-        0.0,
-        &mut ready,
-        &mut events,
-        &mut free_procs,
-        &mut placements,
-        &mut proc_of,
-    );
+    assign(0.0, ready, events, free_procs, &mut placements, proc_of);
 
     while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
         // pop every task finishing exactly at t, release its processor, and
@@ -117,16 +127,97 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
                 }
             }
         }
-        assign(
-            t,
-            &mut ready,
-            &mut events,
-            &mut free_procs,
-            &mut placements,
-            &mut proc_of,
-        );
+        assign(t, ready, events, free_procs, &mut placements, proc_of);
     }
 
+    placements
+}
+
+/// Runs Algorithm 3: event-based list scheduling of `tree` on `p`
+/// processors, ready tasks ordered by `keys` (**smaller key = higher
+/// priority**), with the node id as the final deterministic tie-break.
+///
+/// # Panics
+///
+/// Panics when `p == 0` or `keys.len() != tree.len()`. The [`crate::api`]
+/// layer checks both conditions and reports them as typed
+/// [`crate::api::SchedError`]s instead.
+pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    assert_eq!(keys.len(), tree.len(), "one key per task");
+    let n = tree.len();
+
+    // ready queue: min-heap on (key, id); finish events: min-heap on (time, node)
+    let mut ready: BinaryHeap<Reverse<(K, NodeId)>> = BinaryHeap::new();
+    let mut events: BinaryHeap<Reverse<(TotalF64, NodeId)>> = BinaryHeap::new();
+    let mut remaining_children: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId::from_index(i)).len())
+        .collect();
+    for i in tree.ids() {
+        if tree.is_leaf(i) {
+            ready.push(Reverse((keys[i.index()], i)));
+        }
+    }
+    let mut free_procs: Vec<u32> = (0..p).rev().collect(); // pop() yields proc 0 first
+    let mut proc_of: Vec<u32> = vec![0; n];
+
+    let placements = run_list(
+        tree,
+        keys,
+        &mut ready,
+        &mut events,
+        &mut remaining_children,
+        &mut free_procs,
+        &mut proc_of,
+    );
+    Schedule {
+        processors: p,
+        placements,
+    }
+}
+
+/// As [`list_schedule`], but with [`Key3`]-encoded priorities and all
+/// internal queues/tables borrowed from `scratch`, so repeated calls do not
+/// re-allocate. This is the hot path of the experiment campaign.
+///
+/// # Panics
+///
+/// Panics when `p == 0` or `keys.len() != tree.len()`.
+pub fn list_schedule_reusing(
+    tree: &TaskTree,
+    p: u32,
+    keys: &[Key3],
+    scratch: &mut ListScratch,
+) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    assert_eq!(keys.len(), tree.len(), "one key per task");
+    let n = tree.len();
+
+    scratch.ready.clear();
+    scratch.events.clear();
+    scratch.remaining_children.clear();
+    scratch
+        .remaining_children
+        .extend((0..n).map(|i| tree.children(NodeId::from_index(i)).len()));
+    for i in tree.ids() {
+        if tree.is_leaf(i) {
+            scratch.ready.push(Reverse((keys[i.index()], i)));
+        }
+    }
+    scratch.free_procs.clear();
+    scratch.free_procs.extend((0..p).rev());
+    scratch.proc_of.clear();
+    scratch.proc_of.resize(n, 0);
+
+    let placements = run_list(
+        tree,
+        keys,
+        &mut scratch.ready,
+        &mut scratch.events,
+        &mut scratch.remaining_children,
+        &mut scratch.free_procs,
+        &mut scratch.proc_of,
+    );
     Schedule {
         processors: p,
         placements,
@@ -232,6 +323,43 @@ mod tests {
         let keys = keys_from_order(&t, &t.postorder());
         let s = list_schedule(&t, 2, &keys);
         assert_eq!(s.makespan(), 5.0); // ceil(7/2) = 4 slots, then root
+    }
+
+    #[test]
+    fn reusing_path_matches_generic_path() {
+        // same keys through the fresh-allocation and the scratch-reusing
+        // entry points must yield identical schedules, across trees sharing
+        // one scratch
+        let mut scratch = ListScratch::default();
+        for t in [
+            TaskTree::fork(6, 1.0, 1.0, 0.0),
+            TaskTree::complete(3, 4, 1.0, 1.0, 0.0),
+            TaskTree::chain(9, 2.0, 1.0, 0.0),
+        ] {
+            let keys: Vec<Key3> = keys_from_order(&t, &t.postorder())
+                .into_iter()
+                .map(|k| (k as u64, 0, 0))
+                .collect();
+            for p in [1u32, 3, 8] {
+                let a = list_schedule(&t, p, &keys);
+                let b = list_schedule_reusing(&t, p, &keys, &mut scratch);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn key_encoding_preserves_f64_order() {
+        let xs: [f64; 8] = [-1e30, -2.5, -0.0, 0.0, 1e-300, 1.0, 2.5, 1e30];
+        for a in xs {
+            for b in xs {
+                assert_eq!(
+                    a.total_cmp(&b),
+                    key_from_f64(a).cmp(&key_from_f64(b)),
+                    "{a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

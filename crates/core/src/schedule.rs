@@ -259,19 +259,28 @@ pub struct EvalResult {
     pub peak_memory: f64,
 }
 
+/// Evaluates `schedule` against `tree`, validating it first. This is the
+/// non-panicking path used by the [`crate::api`] layer: an invalid schedule
+/// comes back as the [`ScheduleError`] that [`Schedule::validate`] found.
+pub fn try_evaluate(tree: &TaskTree, schedule: &Schedule) -> Result<EvalResult, ScheduleError> {
+    schedule.validate(tree)?;
+    Ok(EvalResult {
+        makespan: schedule.makespan(),
+        peak_memory: schedule.peak_memory(tree),
+    })
+}
+
 /// Evaluates `schedule` against `tree`, validating it first.
 ///
 /// # Panics
 ///
 /// Panics if the schedule is invalid — heuristics in this crate always
-/// produce valid schedules, so a panic indicates an internal bug.
+/// produce valid schedules, so a panic indicates an internal bug. Callers
+/// that evaluate untrusted schedules should use [`try_evaluate`].
 pub fn evaluate(tree: &TaskTree, schedule: &Schedule) -> EvalResult {
-    if let Err(e) = schedule.validate(tree) {
-        panic!("invalid schedule: {e}");
-    }
-    EvalResult {
-        makespan: schedule.makespan(),
-        peak_memory: schedule.peak_memory(tree),
+    match try_evaluate(tree, schedule) {
+        Ok(ev) => ev,
+        Err(e) => panic!("invalid schedule: {e}"),
     }
 }
 

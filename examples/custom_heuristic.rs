@@ -1,29 +1,68 @@
-//! Extending the library: plugging a custom priority into the generic
-//! event-based list scheduler (paper Algorithm 3).
+//! Extending the library: implementing the [`Scheduler`] trait and
+//! registering it in the [`SchedulerRegistry`], next to the paper's
+//! heuristics.
 //!
 //! The example builds a "LargestFileFirst" policy — prioritize the ready
 //! task whose output file is biggest, hoping to retire big files into their
-//! parents early — and compares it against the paper's heuristics.
+//! parents early — plugs it into the registry under the name
+//! `LargestFileFirst` (alias `lff`), and compares it against the paper's
+//! campaign through the exact same API every front-end uses.
 //!
 //! ```sh
 //! cargo run --release --example custom_heuristic
 //! ```
 
-use treesched::core::{evaluate, list_schedule, Heuristic};
+use treesched::core::api::{
+    Outcome, Platform, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
+};
+use treesched::core::listsched::key_from_f64;
+use treesched::core::try_evaluate;
 use treesched::gen::{assembly_corpus, Scale};
-use treesched::model::TaskTree;
 
-/// Priority keys: smaller = earlier. We negate the file size so that large
-/// files come first, and break ties by node id.
-fn largest_file_first_keys(tree: &TaskTree) -> Vec<(i64, u32)> {
-    tree.ids()
-        .map(|i| (-(tree.output(i) as i64), i.0))
-        .collect()
+/// The custom policy: a list scheduler whose priority is the (negated)
+/// output-file size — smaller key = higher priority, ties by node id.
+struct LargestFileFirst;
+
+impl Scheduler for LargestFileFirst {
+    fn name(&self) -> &'static str {
+        "LargestFileFirst"
+    }
+
+    fn description(&self) -> &'static str {
+        "example: list scheduling, biggest output file first"
+    }
+
+    fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
+        req.validate()?;
+        let tree = req.tree;
+        // Scratch::run_list_schedule reuses the campaign's ready-queue
+        // buffers; any Key3-encodable priority works
+        let schedule = scratch.run_list_schedule(tree, req.platform.processors, |i| {
+            (key_from_f64(-tree.output(i)), i.0 as u64, 0)
+        });
+        let eval = try_evaluate(tree, &schedule).map_err(|error| SchedError::InvalidSchedule {
+            scheduler: self.name().to_string(),
+            error,
+        })?;
+        Ok(Outcome {
+            schedule,
+            eval,
+            diagnostics: Default::default(),
+        })
+    }
 }
 
 fn main() {
+    // one registration: the custom scheduler joins every name-based
+    // front-end (and, with `campaign = true`, every experiment sweep)
+    let mut registry = SchedulerRegistry::standard();
+    registry
+        .register(Box::new(LargestFileFirst), &["lff"], false)
+        .expect("fresh name");
+
     let corpus = assembly_corpus(Scale::Small);
     let p = 4u32;
+    let mut scratch = Scratch::new();
     println!(
         "{:<26} {:>16} {:>12} | {:>16} {:>12}",
         "tree", "custom makespan", "memory", "best-paper ms", "memory"
@@ -32,15 +71,20 @@ fn main() {
     let mut total = 0usize;
     for e in corpus.iter().step_by(4) {
         let tree = &e.tree;
-        let keys = largest_file_first_keys(tree);
-        let custom = evaluate(tree, &list_schedule(tree, p, &keys));
+        let req = Request::new(tree, Platform::new(p));
+        let custom = registry
+            .get("lff") // resolved by alias, like any built-in
+            .unwrap()
+            .schedule(&req, &mut scratch)
+            .unwrap()
+            .eval;
 
         // best paper heuristic on memory for reference
-        let best_mem = Heuristic::ALL
-            .iter()
-            .map(|h| evaluate(tree, &h.schedule(tree, p)))
+        let best_mem = registry
+            .campaign()
+            .map(|entry| entry.scheduler().schedule(&req, &mut scratch).unwrap().eval)
             .min_by(|a, b| a.peak_memory.total_cmp(&b.peak_memory))
-            .expect("four heuristics");
+            .expect("four campaign heuristics");
         println!(
             "{:<26} {:>16.3e} {:>12.3e} | {:>16.3e} {:>12.3e}",
             e.name, custom.makespan, custom.peak_memory, best_mem.makespan, best_mem.peak_memory

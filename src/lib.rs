@@ -6,7 +6,10 @@
 //!
 //! * [`model`] — the task-tree data model (paper §3).
 //! * [`seq`] — sequential memory-optimal traversals (Liu 1986/1987).
-//! * [`core`] — the paper's parallel heuristics and simulators (§5).
+//! * [`core`] — the paper's parallel heuristics and simulators (§5), all
+//!   reachable through the unified scheduling API ([`core::api`]: the
+//!   `Scheduler` trait, `Platform`/`Request`/`Outcome`, and the name-based
+//!   `SchedulerRegistry`).
 //! * [`sparse`] — sparse-matrix substrate producing assembly trees (§6.2).
 //! * [`gen`] — instance generators, including the proof constructions (§4).
 //! * [`viz`] — text rendering: Gantt charts, memory profiles, tree sketches.

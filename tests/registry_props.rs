@@ -1,0 +1,114 @@
+//! Registry-driven property suite: **every** scheduler in the standard
+//! registry — paper heuristics, baselines, memory-capped wrappers, present
+//! and future — must, on random trees and assembly corpus trees,
+//!
+//! * produce a schedule that validates (checked by the API itself and
+//!   re-checked here),
+//! * meet the makespan lower bound `max(W/p, CP)`,
+//! * meet the exact sequential memory lower bound (Liu's algorithm),
+//!
+//! and every canonical name must round-trip through the registry. Because
+//! the suite iterates the registry, a newly registered scheduler is
+//! covered automatically with zero test changes.
+
+use treesched::core::api::{Platform, Request, SchedulerRegistry, Scratch};
+use treesched::core::{makespan_lower_bound, memory_lower_bound_exact, memory_reference};
+use treesched::gen::{assembly_corpus, caterpillar, random_attachment, spider, Scale, WeightRange};
+use treesched::model::TaskTree;
+
+const EPS: f64 = 1e-9;
+
+/// A deterministic mixed bag of tree shapes, small enough for the `O(n²)`
+/// exact memory bound.
+fn tree_zoo() -> Vec<(String, TaskTree)> {
+    let mut zoo: Vec<(String, TaskTree)> = vec![
+        ("fork".into(), TaskTree::fork(13, 1.0, 1.0, 0.0)),
+        ("chain".into(), TaskTree::chain(21, 2.0, 1.0, 0.5)),
+        ("complete".into(), TaskTree::complete(3, 4, 1.0, 2.0, 0.5)),
+        ("spider".into(), spider(6, 5)),
+        ("caterpillar".into(), caterpillar(12, 3)),
+    ];
+    for seed in [1u64, 7, 42] {
+        zoo.push((
+            format!("random-{seed}"),
+            random_attachment(300, WeightRange::MIXED, seed),
+        ));
+    }
+    for e in assembly_corpus(Scale::Small).into_iter().step_by(5) {
+        if e.tree.len() <= 2500 {
+            zoo.push((e.name, e.tree));
+        }
+    }
+    zoo
+}
+
+#[test]
+fn every_registered_scheduler_respects_both_lower_bounds() {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
+    for (name, tree) in tree_zoo() {
+        let ms_lbs: Vec<(u32, f64)> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&p| (p, makespan_lower_bound(&tree, p)))
+            .collect();
+        let mem_lb = memory_lower_bound_exact(&tree);
+        // a cap at the sequential reference keeps the capped schedulers
+        // honest and is ignored by the uncapped ones
+        let cap = memory_reference(&tree);
+        for entry in registry.iter() {
+            for &(p, ms_lb) in &ms_lbs {
+                let req = Request::new(&tree, Platform::new(p).with_memory_cap(cap));
+                let out = entry
+                    .scheduler()
+                    .schedule(&req, &mut scratch)
+                    .unwrap_or_else(|e| panic!("{}: {name} p={p}: {e}", entry.name()));
+                assert!(
+                    out.schedule.validate(&tree).is_ok(),
+                    "{}: {name} p={p}: invalid schedule",
+                    entry.name()
+                );
+                assert!(
+                    out.eval.makespan >= ms_lb - EPS,
+                    "{}: {name} p={p}: makespan {} < lower bound {ms_lb}",
+                    entry.name(),
+                    out.eval.makespan
+                );
+                assert!(
+                    out.eval.peak_memory >= mem_lb - EPS,
+                    "{}: {name} p={p}: memory {} < exact lower bound {mem_lb}",
+                    entry.name(),
+                    out.eval.peak_memory
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn campaign_schedulers_work_without_a_memory_cap() {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
+    let tree = random_attachment(200, WeightRange::PEBBLE, 3);
+    for entry in registry.campaign() {
+        let req = Request::new(&tree, Platform::new(4));
+        let out = entry.scheduler().schedule(&req, &mut scratch).unwrap();
+        assert!(out.eval.makespan > 0.0, "{}", entry.name());
+        assert_eq!(
+            out.diagnostics.seq_peak,
+            Some(memory_reference(&tree)),
+            "{}: diagnostics carry the memory reference",
+            entry.name()
+        );
+    }
+}
+
+#[test]
+fn registry_names_round_trip() {
+    let registry = SchedulerRegistry::standard();
+    for entry in registry.iter() {
+        assert_eq!(registry.get(entry.name()).unwrap().name(), entry.name());
+        for alias in entry.aliases() {
+            assert_eq!(registry.get(alias).unwrap().name(), entry.name());
+        }
+    }
+}

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use core::ops::Range;
 use rand::Rng as _;
 
-/// Number-of-elements specification accepted by [`vec`]: an exact `usize`
+/// Number-of-elements specification accepted by [`vec()`]: an exact `usize`
 /// or a `Range<usize>`.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
@@ -41,7 +41,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
