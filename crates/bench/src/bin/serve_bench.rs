@@ -1,0 +1,246 @@
+//! Throughput benchmark of the batched serving engine
+//! (`treesched_serve::ServeEngine`) against the per-request path.
+//!
+//! The request stream is every `(tree, p, scheduler)` scenario of the
+//! corpus — the same traffic shape as the experiment campaign, but served
+//! through the engine instead of the harness. Three things are measured:
+//!
+//! * **per-request baseline** — every request scheduled with a throwaway
+//!   scratch (`schedule_once`), the way one-shot consumers behave;
+//! * **engine sweep** — the same stream through `ServeEngine` at each
+//!   `--workers` count, with same-tree batching and warm per-worker
+//!   scratches;
+//! * **validity** — every engine result must succeed and agree exactly
+//!   with the baseline result. The binary exits 1 on any error or
+//!   mismatch and never fails on timing, so CI can gate on it without
+//!   flaking on shared runners.
+
+use std::sync::Arc;
+use std::time::Instant;
+use treesched_bench::cli;
+use treesched_core::{Platform, SchedulerRegistry, Scratch};
+use treesched_gen::assembly_corpus;
+use treesched_model::TaskTree;
+use treesched_serve::{ServeEngine, ServeRequest, ServeStats};
+
+struct Sweep {
+    workers: usize,
+    secs: f64,
+    rps: f64,
+    stats: ServeStats,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: serve_bench [options]\n{}", cli::USAGE);
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let registry = SchedulerRegistry::standard();
+    let names = opts.scheduler_names(&registry);
+    eprintln!("building corpus ({:?})...", opts.scale);
+    let corpus = assembly_corpus(opts.scale);
+    let trees: Vec<(String, Arc<TaskTree>)> = corpus
+        .into_iter()
+        .map(|e| (e.name, Arc::new(e.tree)))
+        .collect();
+
+    // the request stream: three rounds of the full campaign, p-major so
+    // consecutive requests switch trees — the worst case for any
+    // per-request cache and exactly the case same-tree batching fixes
+    const ROUNDS: usize = 3;
+    let mut requests: Vec<ServeRequest> = Vec::new();
+    for round in 0..ROUNDS {
+        for &p in &opts.procs {
+            for name in &names {
+                for (tag, tree) in &trees {
+                    requests.push(
+                        ServeRequest::new(Arc::clone(tree), name.clone(), Platform::new(p))
+                            .with_id(format!("{round}/{tag}/p{p}/{name}")),
+                    );
+                }
+            }
+        }
+    }
+    let total = requests.len();
+    eprintln!(
+        "serving {total} requests ({} trees x {:?} processors x {} schedulers)...",
+        trees.len(),
+        opts.procs,
+        names.len()
+    );
+
+    // best-of-REPS wall clock per configuration: these runs are tens of
+    // milliseconds, where machine jitter dwarfs the effect being measured
+    const REPS: usize = 3;
+
+    // --- per-request baseline: throwaway scratch, single thread ----------
+    // builds the same response payload as the engine (schedule + bounds),
+    // just without batching, warm caches, or workers
+    let mut baseline: Vec<(f64, f64, f64)> = Vec::with_capacity(total);
+    let mut base_secs = f64::INFINITY;
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let mut rows = Vec::with_capacity(total);
+        for req in &requests {
+            let scheduler = match registry.get(&req.scheduler) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match scheduler.schedule(&req.problem.as_request(), &mut Scratch::new()) {
+                Ok(out) => {
+                    let ms_lb = treesched_core::makespan_lower_bound(
+                        &req.problem.tree,
+                        req.problem.platform.processors,
+                    );
+                    rows.push((out.eval.makespan, out.eval.peak_memory, ms_lb));
+                }
+                Err(e) => {
+                    eprintln!("error: {} failed: {e}", req.id.as_deref().unwrap_or("?"));
+                    std::process::exit(1);
+                }
+            }
+        }
+        base_secs = base_secs.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            baseline = rows;
+        }
+    }
+    let base_rps = total as f64 / base_secs.max(1e-9);
+
+    // --- engine sweep ----------------------------------------------------
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    for &workers in &opts.workers {
+        let mut secs = f64::INFINITY;
+        let mut stats = None;
+        for rep in 0..REPS {
+            // a fresh engine per rep: every timed run starts cold, like
+            // the baseline
+            let mut engine = ServeEngine::new(SchedulerRegistry::standard(), workers);
+            let stream = requests.clone(); // built outside the timed region
+            let start = Instant::now();
+            let results = engine.run(stream);
+            secs = secs.min(start.elapsed().as_secs_f64());
+            if rep > 0 {
+                continue; // results and stats are identical across reps
+            }
+            stats = Some(engine.stats());
+            for (k, r) in results.iter().enumerate() {
+                let out = match &r.outcome {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("error: {} failed: {e}", r.id.as_deref().unwrap_or("?"));
+                        std::process::exit(1);
+                    }
+                };
+                let got = (
+                    out.outcome.eval.makespan,
+                    out.outcome.eval.peak_memory,
+                    out.ms_lb,
+                );
+                if got != baseline[k] {
+                    eprintln!(
+                        "error: {}: engine result {:?} != per-request result {:?}",
+                        r.id.as_deref().unwrap_or("?"),
+                        got,
+                        baseline[k]
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        sweeps.push(Sweep {
+            workers,
+            secs,
+            rps: total as f64 / secs.max(1e-9),
+            stats: stats.expect("first rep records stats"),
+        });
+    }
+
+    if opts.json {
+        let sweep_json: Vec<String> = sweeps
+            .iter()
+            .map(|s| {
+                format!(
+                    concat!(
+                        "{{\"workers\":{},\"secs\":{},\"rps\":{},\"speedup\":{},",
+                        "\"batches\":{},\"traversal_computes\":{},\"traversal_reuses\":{}}}"
+                    ),
+                    s.workers,
+                    s.secs,
+                    s.rps,
+                    s.rps / base_rps.max(1e-9),
+                    s.stats.batches,
+                    s.stats.traversal_computes,
+                    s.stats.traversal_reuses,
+                )
+            })
+            .collect();
+        println!(
+            concat!(
+                "{{\"benchmark\":\"serve\",\"requests\":{},\"trees\":{},",
+                "\"processors\":[{}],\"schedulers\":{},",
+                "\"baseline\":{{\"secs\":{},\"rps\":{},\"traversal_computes\":{}}},",
+                "\"sweep\":[{}]}}"
+            ),
+            total,
+            trees.len(),
+            opts.procs
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            names.len(),
+            base_secs,
+            base_rps,
+            total, // a throwaway scratch computes one traversal per request
+            sweep_json.join(","),
+        );
+        return;
+    }
+
+    println!(
+        "Serving throughput — {total} requests, {} trees",
+        trees.len()
+    );
+    println!(
+        "  per-request (fresh scratch): {base_secs:>8.3}s  {base_rps:>9.0} req/s  \
+         {total} traversals computed"
+    );
+    for s in &sweeps {
+        println!(
+            "  engine, {} worker(s):        {:>8.3}s  {:>9.0} req/s  \
+             ({:.2}x)  {} batches, {} traversals computed, {} reused",
+            s.workers,
+            s.secs,
+            s.rps,
+            s.rps / base_rps.max(1e-9),
+            s.stats.batches,
+            s.stats.traversal_computes,
+            s.stats.traversal_reuses,
+        );
+    }
+    let best = sweeps
+        .iter()
+        .max_by(|a, b| a.rps.total_cmp(&b.rps))
+        .expect("at least one worker count");
+    println!(
+        "\nbatching avoided {} of {} reference traversals; best sweep point: \
+         {} workers at {:.0} req/s ({:.2}x the per-request path)",
+        best.stats.traversal_reuses,
+        total,
+        best.workers,
+        best.rps,
+        best.rps / base_rps.max(1e-9),
+    );
+}

@@ -19,6 +19,11 @@ pub struct Options {
     pub cap_factor: Option<f64>,
     /// Optional CSV dump path (`--csv out.csv`).
     pub csv: Option<String>,
+    /// Machine-readable summary on stdout instead of the text report
+    /// (`--json`): one flat JSON object, stable keys.
+    pub json: bool,
+    /// Worker-count sweep for the serving benchmark (`--workers 1,2,4`).
+    pub workers: Vec<usize>,
 }
 
 impl Default for Options {
@@ -29,6 +34,8 @@ impl Default for Options {
             schedulers: None,
             cap_factor: None,
             csv: None,
+            json: false,
+            workers: vec![1, 2, 4],
         }
     }
 }
@@ -92,6 +99,16 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "--csv" => {
                 opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone());
             }
+            "--json" => opts.json = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                opts.workers = parsed.map_err(|e| format!("bad --workers: {e}"))?;
+                if opts.workers.is_empty() || opts.workers.contains(&0) {
+                    return Err("--workers needs positive worker counts".into());
+                }
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -106,7 +123,9 @@ pub const USAGE: &str = "options:
   --schedulers N1,N2,...       registry names/aliases (default: campaign set;
                                memory-capped ones also need --cap-factor)
   --cap-factor F               memory cap = F x each tree's sequential peak
-  --csv PATH                   dump raw scenario rows as CSV";
+  --csv PATH                   dump raw scenario rows as CSV
+  --json                       machine-readable summary record on stdout
+  --workers W1,W2,...          worker sweep for serve_bench (default: 1,2,4)";
 
 #[cfg(test)]
 mod tests {
@@ -175,11 +194,23 @@ mod tests {
     }
 
     #[test]
+    fn json_and_workers_flags() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.json);
+        assert_eq!(o.workers, vec![1, 2, 4]);
+        let o = parse(&s(&["--json", "--workers", "2, 8"])).unwrap();
+        assert!(o.json);
+        assert_eq!(o.workers, vec![2, 8]);
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&s(&["--scale", "giant"])).is_err());
         assert!(parse(&s(&["--procs", "0"])).is_err());
         assert!(parse(&s(&["--procs", "a,b"])).is_err());
         assert!(parse(&s(&["--schedulers", " , "])).is_err());
+        assert!(parse(&s(&["--workers", "0"])).is_err());
+        assert!(parse(&s(&["--workers", "x"])).is_err());
         assert!(parse(&s(&["--bogus"])).is_err());
         assert!(parse(&s(&["--help"])).is_err());
     }

@@ -5,9 +5,12 @@
 //! dispatch of its own. Scheduling failures ([`treesched_core::SchedError`])
 //! exit with code 1; usage errors exit with code 2.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use treesched_core::{Platform, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo};
 use treesched_model::{io as tree_io, TaskTree, TreeStats};
+use treesched_serve::{ServeEngine, ServeRequest};
 
 /// Top-level usage text.
 pub const USAGE: &str = "treesched — memory/makespan-aware tree scheduling (IPDPS 2013)
@@ -23,7 +26,10 @@ commands:
            [--json] [--gantt] [--profile] [--placements]
                                     parallel schedule + evaluation
   schedulers                        list registered schedulers + aliases
-  pareto FILE -p N                  exact (makespan, memory) frontier
+  serve [FILE] [--workers N]        batched serving: JSONL requests from
+                                    FILE (default stdin), one JSON record
+                                    per result, in input order
+  pareto FILE -p N [--json]         exact (makespan, memory) frontier
   dot FILE                          Graphviz DOT export
 
 Schedulers S: any name or alias from `treesched schedulers`
@@ -96,6 +102,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "seq" => cmd_seq(rest),
         "schedule" => cmd_schedule(rest),
         "schedulers" => cmd_schedulers(rest),
+        "serve" => cmd_serve(rest),
         "pareto" => cmd_pareto(rest),
         "dot" => cmd_dot(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -314,12 +321,7 @@ fn cmd_seq(args: &[String]) -> Result<String, CliError> {
 
 /// Parses a sequential-traversal algorithm name (`--algo` / `--seq`).
 fn seq_algo_by_name(name: &str) -> Result<SeqAlgo, CliError> {
-    Ok(match name {
-        "best" => SeqAlgo::BestPostorder,
-        "naive" => SeqAlgo::NaivePostorder,
-        "liu" => SeqAlgo::LiuExact,
-        other => return Err(CliError::new(format!("unknown algorithm `{other}`"))),
-    })
+    SeqAlgo::by_name(name).ok_or_else(|| CliError::new(format!("unknown algorithm `{name}`")))
 }
 
 fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
@@ -488,8 +490,9 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
 }
 
 /// The stable machine-readable record of `schedule --json`: one flat JSON
-/// object per run, keys fixed, numbers in Rust `Display` form (finite by
-/// construction), absent diagnostics as `null`.
+/// object per run, rendered by the shared record builder in
+/// [`treesched_serve::jsonl`] (the serving responses reuse the same field
+/// conventions, prefixed with the request id).
 fn schedule_json(
     name: &str,
     p: u32,
@@ -499,14 +502,7 @@ fn schedule_json(
     mem_ref: f64,
     cap: Option<f64>,
 ) -> String {
-    let opt = |v: Option<String>| v.unwrap_or_else(|| "null".into());
-    format!(
-        concat!(
-            "{{\"scheduler\":\"{}\",\"processors\":{},\"tasks\":{},",
-            "\"makespan\":{},\"makespan_lower_bound\":{},",
-            "\"peak_memory\":{},\"memory_reference\":{},",
-            "\"cap\":{},\"cap_violations\":{}}}\n"
-        ),
+    treesched_serve::schedule_json(
         name,
         p,
         tree.len(),
@@ -514,8 +510,8 @@ fn schedule_json(
         ms_lb,
         outcome.eval.peak_memory,
         mem_ref,
-        opt(cap.map(|c| c.to_string())),
-        opt(outcome.diagnostics.cap_violations.map(|v| v.to_string())),
+        cap,
+        outcome.diagnostics.cap_violations,
     )
 }
 
@@ -539,10 +535,130 @@ fn cmd_schedulers(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The JSONL serving front-end over [`treesched_serve::ServeEngine`].
+///
+/// Request records reference tree files by path; each distinct path is
+/// loaded once and shared across its requests, so same-tree traffic
+/// batches inside the engine. Per-request failures (unreadable tree,
+/// protocol errors, typed scheduling errors) become `error` records in the
+/// output — one line per input request, in input order, always.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut workers: usize = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                workers = parse_num(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--workers needs N"))?,
+                    "N",
+                )?;
+                if workers == 0 {
+                    return Err(CliError::new("--workers needs at least 1"));
+                }
+            }
+            other if path.is_none() && (other == "-" || !other.starts_with('-')) => path = Some(a),
+            other => return Err(CliError::new(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let input = match path.map(|s| s.as_str()) {
+        Some("-") | None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                .map_err(|e| CliError::new(format!("cannot read stdin: {e}")))?;
+            buf
+        }
+        Some(p) => std::fs::read_to_string(p)
+            .map_err(|e| CliError::new(format!("cannot read {p}: {e}")))?,
+    };
+    Ok(serve_jsonl(&input, workers))
+}
+
+/// Runs one JSONL request stream through a fresh engine and renders the
+/// response stream. Split from the `serve` subcommand so tests and the
+/// drive the exact byte-level protocol without touching stdin.
+pub fn serve_jsonl(input: &str, workers: usize) -> String {
+    let registry = SchedulerRegistry::standard();
+    let mut engine = ServeEngine::new(registry, workers);
+    let mut trees: HashMap<String, Arc<TaskTree>> = HashMap::new();
+    // one output slot per request line; protocol/file errors fill their
+    // slot immediately, scheduled requests fill theirs after the drain
+    let mut slots: Vec<Option<String>> = Vec::new();
+    let mut submitted: Vec<usize> = Vec::new(); // engine order -> slot
+    for line in input.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let slot = slots.len();
+        slots.push(None);
+        let record = match treesched_serve::RequestRecord::parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                slots[slot] = Some(treesched_serve::error_json(
+                    None,
+                    &format!("bad request: {e}"),
+                ));
+                continue;
+            }
+        };
+        let id = record.id.clone();
+        let tree = match trees.get(&record.tree) {
+            Some(t) => Arc::clone(t),
+            None => match load_tree(&record.tree) {
+                Ok(t) => {
+                    let t = Arc::new(t);
+                    trees.insert(record.tree.clone(), Arc::clone(&t));
+                    t
+                }
+                Err(e) => {
+                    slots[slot] = Some(treesched_serve::error_json(id.as_deref(), &e.message));
+                    continue;
+                }
+            },
+        };
+        let mut platform = Platform::new(record.processors);
+        if let Some(cap) = record.cap {
+            platform = platform.with_memory_cap(cap);
+        }
+        // same default as `schedule`: a bare cap picks the safe capped
+        // scheduler, otherwise the paper's ParSubtrees
+        let scheduler = record.scheduler.clone().unwrap_or_else(|| {
+            if record.cap.is_some() {
+                "MemBoundedSeq".to_string()
+            } else {
+                "ParSubtrees".to_string()
+            }
+        });
+        let mut request = ServeRequest::new(tree, scheduler, platform);
+        if let Some(seq) = record.seq {
+            request = request.with_seq(seq);
+        }
+        if let Some(seed) = record.seed {
+            request = request.with_seed(seed);
+        }
+        if let Some(id) = id {
+            request = request.with_id(id);
+        }
+        engine.submit(request);
+        submitted.push(slot);
+    }
+    for (k, result) in engine.drain().iter().enumerate() {
+        slots[submitted[k]] = Some(treesched_serve::result_json(result));
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
 fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
-    let (path, p) = match args {
-        [path, flag, n] if flag == "-p" => (path, parse_num::<u32>(n, "N")?),
-        _ => return Err(CliError::new("usage: treesched pareto FILE -p N")),
+    let (path, p, json) = match args {
+        [path, flag, n] if flag == "-p" => (path, parse_num::<u32>(n, "N")?, false),
+        [path, flag, n, j] if flag == "-p" && j == "--json" => {
+            (path, parse_num::<u32>(n, "N")?, true)
+        }
+        _ => return Err(CliError::new("usage: treesched pareto FILE -p N [--json]")),
     };
     Platform::new(p).validate().map_err(CliError::sched)?;
     let tree = load_tree(path)?;
@@ -559,6 +675,25 @@ fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let frontier = treesched_core::pareto_frontier(&tree, p);
+    if json {
+        // same record conventions as `schedule --json`: flat keys, Display
+        // numbers, one line — with the frontier as (makespan, peak_memory)
+        // pairs flattened into parallel arrays
+        let col = |f: &dyn Fn(&treesched_core::ParetoPoint) -> String| {
+            frontier.iter().map(f).collect::<Vec<_>>().join(",")
+        };
+        return Ok(format!(
+            concat!(
+                "{{\"command\":\"pareto\",\"processors\":{},\"tasks\":{},",
+                "\"points\":{},\"makespans\":[{}],\"peak_memories\":[{}]}}\n"
+            ),
+            p,
+            tree.len(),
+            frontier.len(),
+            col(&|pt| pt.makespan.to_string()),
+            col(&|pt| pt.memory.to_string()),
+        ));
+    }
     let mut out = format!("exact Pareto frontier, p = {p}:\n");
     let _ = writeln!(out, "  {:>9} {:>12}", "makespan", "peak memory");
     for pt in &frontier {
@@ -856,6 +991,114 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(a, b, "seeded runs are deterministic");
+    }
+
+    #[test]
+    fn serve_runs_a_jsonl_stream_in_input_order() {
+        let f = tmpfile("serve.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        let g = tmpfile("serve2.tree");
+        run(&["gen", "chain", "5", "-o", &g]).unwrap();
+        let input = format!(
+            "{{\"id\":\"a\",\"tree\":\"{f}\",\"scheduler\":\"deepest\",\"processors\":2}}\n\
+             {{\"id\":\"b\",\"tree\":\"{g}\",\"processors\":3}}\n\
+             \n\
+             {{\"id\":\"c\",\"tree\":\"{f}\",\"processors\":4,\"cap\":100}}\n"
+        );
+        let req_file = tmpfile("serve.jsonl");
+        std::fs::write(&req_file, &input).unwrap();
+        let out = run(&["serve", &req_file, "--workers", "2"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].starts_with("{\"id\":\"a\",\"scheduler\":\"ParDeepestFirst\""));
+        assert!(lines[1].starts_with("{\"id\":\"b\",\"scheduler\":\"ParSubtrees\""));
+        // bare cap resolves the capped default, like `schedule --cap`
+        assert!(lines[2].starts_with("{\"id\":\"c\",\"scheduler\":\"MemBoundedSeq\""));
+        assert!(lines[2].contains("\"cap\":100,\"cap_violations\":0"));
+        // responses share the schedule --json schema, id-prefixed
+        for key in [
+            "\"processors\":",
+            "\"tasks\":",
+            "\"makespan\":",
+            "\"makespan_lower_bound\":",
+            "\"peak_memory\":",
+            "\"memory_reference\":",
+        ] {
+            assert!(lines[0].contains(key), "missing {key} in {}", lines[0]);
+        }
+    }
+
+    #[test]
+    fn serve_reports_per_request_errors_in_place() {
+        let f = tmpfile("serveerr.tree");
+        run(&["gen", "fork", "2", "2", "-o", &f]).unwrap();
+        let input = format!(
+            "not json\n\
+             {{\"id\":\"gone\",\"tree\":\"/nonexistent/x.tree\",\"processors\":2}}\n\
+             {{\"id\":\"bad\",\"tree\":\"{f}\",\"scheduler\":\"nosuch\",\"processors\":2}}\n\
+             {{\"id\":\"zero\",\"tree\":\"{f}\",\"processors\":0}}\n\
+             {{\"id\":\"ok\",\"tree\":\"{f}\",\"processors\":2}}\n"
+        );
+        let out = serve_jsonl(&input, 2);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("{\"id\":null,\"error\":\"bad request:"));
+        assert!(lines[1].starts_with("{\"id\":\"gone\",\"error\":\"cannot read"));
+        assert!(
+            lines[2].contains("\"error\":\"unknown scheduler `nosuch`"),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[3].contains("\"error\":\"platform needs at least one processor\""));
+        assert!(lines[4].starts_with("{\"id\":\"ok\",\"scheduler\":\"ParSubtrees\""));
+    }
+
+    #[test]
+    fn serve_output_is_worker_count_independent() {
+        let f = tmpfile("servedet.tree");
+        run(&["gen", "complete", "2", "4", "-o", &f]).unwrap();
+        let g = tmpfile("servedet2.tree");
+        run(&["gen", "spider", "4", "3", "-o", &g]).unwrap();
+        let mut input = String::new();
+        for round in 0..3 {
+            for (k, t) in [&f, &g].iter().enumerate() {
+                for s in ["deepest", "inner", "subtrees", "random"] {
+                    let _ = writeln!(
+                        input,
+                        "{{\"id\":\"{round}.{k}.{s}\",\"tree\":\"{t}\",\"scheduler\":\"{s}\",\"processors\":{},\"seed\":9}}",
+                        2 + k
+                    );
+                }
+            }
+        }
+        let reference = serve_jsonl(&input, 1);
+        for workers in [2usize, 4] {
+            assert_eq!(serve_jsonl(&input, workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run(&["serve", "--workers"]).is_err());
+        assert!(run(&["serve", "x.jsonl", "--workers", "0"]).is_err());
+        assert!(run(&["serve", "x.jsonl", "--bogus"]).is_err());
+        assert!(run(&["serve", "/nonexistent/x.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn pareto_json_emits_stable_record() {
+        let f = tmpfile("paretojson.tree");
+        run(&["gen", "spider", "4", "3", "-o", &f]).unwrap();
+        let out = run(&["pareto", &f, "-p", "2", "--json"]).unwrap();
+        assert!(out.starts_with("{\"command\":\"pareto\",\"processors\":2,\"tasks\":13,"));
+        assert!(out.contains("\"points\":"));
+        assert!(out.contains("\"makespans\":["));
+        assert!(out.contains("\"peak_memories\":["));
+        assert!(out.trim_end().ends_with('}'));
+        // the text rendering is unchanged
+        let text = run(&["pareto", &f, "-p", "2"]).unwrap();
+        assert!(text.contains("Pareto frontier"));
+        assert!(run(&["pareto", &f, "-p", "2", "--bogus"]).is_err());
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! treesched schedule fork.tree -p 4 --scheduler deepest --gantt
 //! treesched schedule fork.tree -p 4 --json   # machine-readable record
 //! treesched schedule fork.tree -p 4 --cap 12 # memory-capped scheduling
+//! treesched serve requests.jsonl --workers 4 # batched serving (JSONL)
 //! treesched pareto fork.tree -p 2            # exact trade-off frontier
 //! treesched dot fork.tree                    # Graphviz export
 //! ```
 
 pub mod commands;
 
-pub use commands::{dispatch, CliError, USAGE};
+pub use commands::{dispatch, serve_jsonl, CliError, USAGE};

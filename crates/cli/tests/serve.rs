@@ -1,0 +1,66 @@
+//! Golden-file and determinism tests for the JSONL serving protocol.
+//!
+//! The golden files pin the request/response schema byte-for-byte: any
+//! change to field names, field order, number formatting, or error wording
+//! shows up as a diff against `tests/data/serve_responses.golden.jsonl`.
+//! Regenerate deliberately with `UPDATE_GOLDEN=1 cargo test -p
+//! treesched_cli --test serve` after an intentional protocol change.
+
+use treesched_cli::{dispatch, serve_jsonl};
+
+/// Request stream template; `{DIR}` is replaced with the tree directory.
+const REQUESTS_IN: &str = include_str!("data/serve_requests.jsonl.in");
+const RESPONSES_GOLDEN: &str = include_str!("data/serve_responses.golden.jsonl");
+
+fn run(args: &[&str]) -> String {
+    let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    dispatch(&v).expect("command succeeds")
+}
+
+/// Generates the fixture trees and returns the instantiated request stream.
+fn requests() -> String {
+    let dir = std::env::temp_dir().join("treesched-serve-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_string_lossy().into_owned();
+    run(&["gen", "fork", "2", "3", "-o", &format!("{dir}/fork.tree")]);
+    run(&[
+        "gen",
+        "spider",
+        "4",
+        "3",
+        "-o",
+        &format!("{dir}/spider.tree"),
+    ]);
+    REQUESTS_IN.replace("{DIR}", &dir)
+}
+
+#[test]
+fn serve_responses_match_the_golden_schema() {
+    let got = serve_jsonl(&requests(), 2);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/data/serve_responses.golden.jsonl"
+        );
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    assert_eq!(
+        got, RESPONSES_GOLDEN,
+        "JSONL response schema drifted from the golden file \
+         (UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+#[test]
+fn serve_output_is_byte_identical_across_worker_counts() {
+    let input = requests();
+    let reference = serve_jsonl(&input, 1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            serve_jsonl(&input, workers),
+            reference,
+            "serve output depends on the worker count (workers={workers})"
+        );
+    }
+}

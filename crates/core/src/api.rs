@@ -38,6 +38,7 @@ use crate::heuristics::{par_subtrees_optim_with_order, par_subtrees_with_order, 
 use crate::listsched::{key_from_f64, list_schedule_reusing, Key3, ListScratch};
 use crate::membound::{mem_bounded_schedule, Admission};
 use crate::schedule::{try_evaluate, EvalResult, Schedule, ScheduleError};
+use std::sync::Arc;
 use treesched_model::{NodeId, TaskTree};
 
 // ---------------------------------------------------------------------------
@@ -218,6 +219,66 @@ impl<'a> Request<'a> {
     }
 }
 
+/// An owned, thread-movable scheduling problem: [`Request`] with the tree
+/// behind an [`Arc`] instead of a borrow.
+///
+/// `Request` borrows its tree, which keeps one-shot callers allocation-free
+/// but pins the request to the tree's lifetime. Serving engines that move
+/// work across worker threads (see the `treesched_serve` crate) need the
+/// problem to be `'static` and cheap to clone — cloning an `OwnedRequest`
+/// copies an `Arc` pointer, never the tree. Requests built from the same
+/// `Arc` share one tree, so per-tree [`Scratch`] caches hit across them.
+#[derive(Clone, Debug)]
+pub struct OwnedRequest {
+    /// The task tree to schedule, shared across clones.
+    pub tree: Arc<TaskTree>,
+    /// The target platform.
+    pub platform: Platform,
+    /// Sequential sub-algorithm choice (see [`Request::seq`]).
+    pub seq: SeqAlgo,
+    /// Seed for randomized schedulers (see [`Request::seed`]).
+    pub seed: u64,
+}
+
+impl OwnedRequest {
+    /// An owned request with the default sequential sub-algorithm and seed.
+    pub fn new(tree: Arc<TaskTree>, platform: Platform) -> OwnedRequest {
+        OwnedRequest {
+            tree,
+            platform,
+            seq: SeqAlgo::default(),
+            seed: 42,
+        }
+    }
+
+    /// Returns the request with a different sequential sub-algorithm.
+    pub fn with_seq(mut self, seq: SeqAlgo) -> OwnedRequest {
+        self.seq = seq;
+        self
+    }
+
+    /// Returns the request with a different randomization seed.
+    pub fn with_seed(mut self, seed: u64) -> OwnedRequest {
+        self.seed = seed;
+        self
+    }
+
+    /// The borrowed view every [`Scheduler`] consumes.
+    pub fn as_request(&self) -> Request<'_> {
+        Request {
+            tree: &self.tree,
+            platform: self.platform,
+            seq: self.seq,
+            seed: self.seed,
+        }
+    }
+
+    /// Checks the request invariants shared by every scheduler.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        self.as_request().validate()
+    }
+}
+
 /// Side observations a scheduler reports alongside its schedule.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Diagnostics {
@@ -271,11 +332,37 @@ pub struct Scratch {
     wdepths: Vec<f64>,
     keys: Vec<Key3>,
     list: ListScratch,
+    stats: ScratchStats,
+}
+
+/// Cache-effectiveness counters of a [`Scratch`], for serving engines and
+/// benchmarks that report how much work batching avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Reference traversals actually computed (cache misses).
+    pub traversal_computes: u64,
+    /// Traversal requests answered from the per-tree cache (hits).
+    pub traversal_reuses: u64,
+}
+
+impl ScratchStats {
+    /// Field-wise sum, for aggregating over a pool of scratches.
+    pub fn merged(self, other: ScratchStats) -> ScratchStats {
+        ScratchStats {
+            traversal_computes: self.traversal_computes + other.traversal_computes,
+            traversal_reuses: self.traversal_reuses + other.traversal_reuses,
+        }
+    }
 }
 
 /// Structural hash of a tree: parents and weight bits through splitmix64
-/// mixing. Used only for scratch-cache invalidation.
-fn tree_fingerprint(tree: &TaskTree) -> u64 {
+/// mixing, never 0.
+///
+/// [`Scratch`] uses it to invalidate its per-tree caches; sharded serving
+/// engines use it to route same-tree requests to the worker whose caches
+/// are already warm. Equal trees (same shape and weights) hash equal even
+/// when they are distinct allocations.
+pub fn tree_fingerprint(tree: &TaskTree) -> u64 {
     #[inline]
     fn mix(h: u64, v: u64) -> u64 {
         let mut z = h ^ v.wrapping_add(0x9e3779b97f4a7c15);
@@ -318,7 +405,10 @@ impl Scratch {
 
     fn ensure_traversal(&mut self, tree: &TaskTree, algo: SeqAlgo) {
         self.sync(tree);
-        if self.traversal_algo != Some(algo) {
+        if self.traversal_algo == Some(algo) {
+            self.stats.traversal_reuses += 1;
+        } else {
+            self.stats.traversal_computes += 1;
             let tr = algo.traversal(tree);
             self.order = tr.order;
             self.seq_peak = tr.peak;
@@ -343,6 +433,12 @@ impl Scratch {
         if self.wdepths.len() != tree.len() {
             self.wdepths = tree.weighted_depths();
         }
+    }
+
+    /// Cache-effectiveness counters accumulated over the scratch's
+    /// lifetime (they survive tree changes; only the caches invalidate).
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
     }
 
     /// The cached reference traversal of `tree` under `algo`: the execution
@@ -959,6 +1055,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn owned_request_matches_borrowed_and_moves_across_threads() {
+        let tree = Arc::new(sample());
+        let r = SchedulerRegistry::standard();
+        let owned = OwnedRequest::new(Arc::clone(&tree), Platform::new(3)).with_seed(7);
+        let borrowed = Request::new(&tree, Platform::new(3)).with_seed(7);
+        let mut scratch = Scratch::new();
+        let a = r
+            .get("deepest")
+            .unwrap()
+            .schedule(&owned.as_request(), &mut scratch)
+            .unwrap();
+        let b = r
+            .get("deepest")
+            .unwrap()
+            .schedule(&borrowed, &mut scratch)
+            .unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        // the whole point of the owned variant: 'static, Send, cheap clone
+        let clone = owned.clone();
+        let handle = std::thread::spawn(move || {
+            let reg = SchedulerRegistry::standard();
+            reg.get("deepest")
+                .unwrap()
+                .schedule(&clone.as_request(), &mut Scratch::new())
+                .unwrap()
+                .eval
+        });
+        assert_eq!(handle.join().unwrap(), a.eval);
+        assert!(owned.validate().is_ok());
+        assert_eq!(
+            OwnedRequest::new(tree, Platform::new(0)).validate(),
+            Err(SchedError::NoProcessors)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_not_allocation() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(tree_fingerprint(&a), tree_fingerprint(&b));
+        assert_ne!(
+            tree_fingerprint(&a),
+            tree_fingerprint(&TaskTree::chain(5, 1.0, 1.0, 0.0))
+        );
+        assert_ne!(tree_fingerprint(&a), 0, "0 is the empty-scratch sentinel");
+    }
+
+    #[test]
+    fn scratch_counts_traversal_reuse() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let req = Request::new(&t, Platform::new(2));
+        for _ in 0..3 {
+            r.get("deepest")
+                .unwrap()
+                .schedule(&req, &mut scratch)
+                .unwrap();
+        }
+        let s = scratch.stats();
+        assert_eq!(s.traversal_computes, 1);
+        assert_eq!(s.traversal_reuses, 2);
+        // a different tree misses once, then hits again
+        let t2 = TaskTree::chain(6, 1.0, 1.0, 0.0);
+        let req2 = Request::new(&t2, Platform::new(2));
+        r.get("deepest")
+            .unwrap()
+            .schedule(&req2, &mut scratch)
+            .unwrap();
+        r.get("inner")
+            .unwrap()
+            .schedule(&req2, &mut scratch)
+            .unwrap();
+        let s2 = scratch.stats();
+        assert_eq!(s2.traversal_computes, 2);
+        assert_eq!(s2.traversal_reuses, 3);
+        assert_eq!(s.merged(s), s.merged(s));
     }
 
     #[test]

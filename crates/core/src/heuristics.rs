@@ -38,6 +38,26 @@ impl SeqAlgo {
             SeqAlgo::NaivePostorder => treesched_seq::naive_postorder(tree),
         }
     }
+
+    /// The stable wire name used by the CLI `--seq` flag and the serving
+    /// JSONL protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeqAlgo::BestPostorder => "best",
+            SeqAlgo::LiuExact => "liu",
+            SeqAlgo::NaivePostorder => "naive",
+        }
+    }
+
+    /// Inverse of [`SeqAlgo::name`]; `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<SeqAlgo> {
+        match name {
+            "best" => Some(SeqAlgo::BestPostorder),
+            "liu" => Some(SeqAlgo::LiuExact),
+            "naive" => Some(SeqAlgo::NaivePostorder),
+            _ => None,
+        }
+    }
 }
 
 /// Schedules the subtree rooted at `r` sequentially on `proc` from `start`,

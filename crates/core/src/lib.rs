@@ -76,7 +76,8 @@ pub mod schedule;
 pub mod split;
 
 pub use api::{
-    Diagnostics, Outcome, Platform, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
+    tree_fingerprint, Diagnostics, Outcome, OwnedRequest, Platform, Request, SchedError, Scheduler,
+    SchedulerRegistry, Scratch, ScratchStats,
 };
 pub use baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
 pub use bounds::{makespan_lower_bound, memory_lower_bound_exact, memory_reference};

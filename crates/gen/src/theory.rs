@@ -18,10 +18,7 @@ use treesched_model::{NodeId, TaskTree, TreeBuilder};
 /// Panics unless `a.len()` is a positive multiple of 3 and `Σ a_i` is
 /// divisible by `a.len()/3`.
 pub fn three_partition_tree(a: &[u64]) -> TaskTree {
-    assert!(
-        !a.is_empty() && a.len().is_multiple_of(3),
-        "need 3m integers"
-    );
+    assert!(!a.is_empty() && a.len() % 3 == 0, "need 3m integers");
     let m = a.len() / 3;
     let total: u64 = a.iter().sum();
     assert_eq!(total % m as u64, 0, "Σ a_i must equal m·B");

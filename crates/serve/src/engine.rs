@@ -1,0 +1,559 @@
+//! The serving engine: sharded worker threads with per-worker scratch
+//! caches and same-tree request batching.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use treesched_core::{
+    makespan_lower_bound, memory_reference, tree_fingerprint, Outcome, OwnedRequest, Platform,
+    SchedError, SchedulerRegistry, Scratch, SeqAlgo,
+};
+use treesched_model::TaskTree;
+
+/// One scheduling request in a serving stream: an owned problem plus the
+/// registry name of the scheduler to apply and an optional client tag.
+#[derive(Clone, Debug)]
+pub struct ServeRequest {
+    /// The owned problem (tree behind an [`Arc`], platform, seq, seed).
+    pub problem: OwnedRequest,
+    /// Registry name or alias of the scheduler to run.
+    pub scheduler: String,
+    /// Client-chosen tag echoed verbatim into the result.
+    pub id: Option<String>,
+}
+
+impl ServeRequest {
+    /// A request with the default sequential sub-algorithm, seed, and no
+    /// client tag.
+    pub fn new(
+        tree: Arc<TaskTree>,
+        scheduler: impl Into<String>,
+        platform: Platform,
+    ) -> ServeRequest {
+        ServeRequest {
+            problem: OwnedRequest::new(tree, platform),
+            scheduler: scheduler.into(),
+            id: None,
+        }
+    }
+
+    /// Returns the request with a different sequential sub-algorithm.
+    pub fn with_seq(mut self, seq: SeqAlgo) -> ServeRequest {
+        self.problem = self.problem.with_seq(seq);
+        self
+    }
+
+    /// Returns the request with a different randomization seed.
+    pub fn with_seed(mut self, seed: u64) -> ServeRequest {
+        self.problem = self.problem.with_seed(seed);
+        self
+    }
+
+    /// Returns the request with a client tag.
+    pub fn with_id(mut self, id: impl Into<String>) -> ServeRequest {
+        self.id = Some(id.into());
+        self
+    }
+}
+
+/// A successful serve: the full scheduling [`Outcome`] plus the bounds the
+/// stable JSON record reports alongside it.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Schedule, validated evaluation, and diagnostics.
+    pub outcome: Outcome,
+    /// Makespan lower bound `max(W/p, CP)` of the request's scenario.
+    pub ms_lb: f64,
+    /// Sequential memory reference (optimal postorder peak) of the tree.
+    pub mem_ref: f64,
+}
+
+/// The result of one request, tagged with enough context to render the
+/// response record without re-reading the request.
+#[derive(Clone, Debug)]
+pub struct ServeResult {
+    /// Submission index (engine-global, monotonically increasing).
+    /// [`ServeEngine::drain`] returns results sorted by it.
+    pub index: u64,
+    /// Client tag of the request, if any.
+    pub id: Option<String>,
+    /// Canonical scheduler name once resolved; the requested name verbatim
+    /// when resolution failed.
+    pub scheduler: String,
+    /// Processor count of the request's platform.
+    pub processors: u32,
+    /// Memory cap of the request's platform.
+    pub cap: Option<f64>,
+    /// Number of tasks of the request's tree.
+    pub tasks: usize,
+    /// The outcome, or the typed error the scheduler returned.
+    pub outcome: Result<ServeOutcome, SchedError>,
+}
+
+/// Aggregate engine counters since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests served (successes and typed failures).
+    pub requests: u64,
+    /// Same-tree batches dispatched to workers.
+    pub batches: u64,
+    /// Reference traversals computed across all worker scratches.
+    pub traversal_computes: u64,
+    /// Traversals answered from warm scratch caches — each one is a full
+    /// `O(n log n)` traversal (and its allocations) avoided.
+    pub traversal_reuses: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    traversal_computes: AtomicU64,
+    traversal_reuses: AtomicU64,
+}
+
+type Batch = Vec<(u64, ServeRequest)>;
+
+/// A long-lived serving engine over a [`SchedulerRegistry`].
+///
+/// [`ServeEngine::submit`] enqueues requests; [`ServeEngine::drain`] shards
+/// the queued window across the worker threads (grouped by tree, routed by
+/// tree fingerprint) and blocks until every result is back, returning them
+/// in submission order. The engine survives any number of submit/drain
+/// cycles; worker caches stay warm across drains because the fingerprint
+/// routing always sends a given tree to the same worker.
+pub struct ServeEngine {
+    txs: Vec<Sender<Batch>>,
+    results_rx: Receiver<Vec<ServeResult>>,
+    pending: Vec<ServeRequest>,
+    next_index: u64,
+    counters: Arc<Counters>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spawns `workers` worker threads (at least one) over `registry`.
+    pub fn new(registry: SchedulerRegistry, workers: usize) -> ServeEngine {
+        let registry = Arc::new(registry);
+        let workers = workers.max(1);
+        let counters = Arc::new(Counters::default());
+        let (results_tx, results_rx) = channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Batch>();
+            let registry = Arc::clone(&registry);
+            let results = results_tx.clone();
+            let counters = Arc::clone(&counters);
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(&rx, &registry, &results, &counters)
+            }));
+        }
+        ServeEngine {
+            txs,
+            results_rx,
+            pending: Vec::new(),
+            next_index: 0,
+            counters,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Enqueues a request and returns its submission index. Nothing runs
+    /// until [`ServeEngine::drain`].
+    pub fn submit(&mut self, request: ServeRequest) -> u64 {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.pending.push(request);
+        index
+    }
+
+    /// Number of requests queued for the next drain.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Dispatches every queued request and blocks until all results are
+    /// back. Results are sorted by submission index, so for deterministic
+    /// schedulers the returned stream does not depend on the worker count.
+    ///
+    /// Queued requests are grouped by the structural fingerprint of their
+    /// tree — one batch per distinct tree, in first-appearance order — and
+    /// each batch goes to the worker `fingerprint % workers`, keeping
+    /// same-tree traffic on one warm scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died (a scheduler panicked — the built-in
+    /// schedulers return typed errors instead).
+    pub fn drain(&mut self) -> Vec<ServeResult> {
+        let first_index = self.next_index - self.pending.len() as u64;
+        let n = self.pending.len();
+        let mut batches: Vec<(u64, Batch)> = Vec::new();
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        for (offset, request) in self.pending.drain(..).enumerate() {
+            let fp = tree_fingerprint(&request.problem.tree);
+            let job = (first_index + offset as u64, request);
+            match slot_of.get(&fp) {
+                Some(&slot) => batches[slot].1.push(job),
+                None => {
+                    slot_of.insert(fp, batches.len());
+                    batches.push((fp, vec![job]));
+                }
+            }
+        }
+        self.counters
+            .batches
+            .fetch_add(batches.len() as u64, Ordering::Relaxed);
+        for (fp, batch) in batches {
+            let worker = (fp % self.txs.len() as u64) as usize;
+            self.txs[worker].send(batch).expect("serve worker died");
+        }
+        let mut results: Vec<ServeResult> = Vec::with_capacity(n);
+        while results.len() < n {
+            // recv() alone would block forever if one of several workers
+            // died with results outstanding (the survivors keep the
+            // channel open); poll worker liveness to honor the panic
+            // contract instead of deadlocking
+            match self
+                .results_rx
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Ok(batch) => results.extend(batch),
+                Err(RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.handles.iter().any(|h| h.is_finished()),
+                        "serve worker died"
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("serve worker died"),
+            }
+        }
+        results.sort_by_key(|r| r.index);
+        results
+    }
+
+    /// Submits every request and drains, in one call.
+    pub fn run(&mut self, requests: Vec<ServeRequest>) -> Vec<ServeResult> {
+        for r in requests {
+            self.submit(r);
+        }
+        self.drain()
+    }
+
+    /// Aggregate counters since construction (all workers, all drains).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            traversal_computes: self.counters.traversal_computes.load(Ordering::Relaxed),
+            traversal_reuses: self.counters.traversal_reuses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.txs.clear(); // closing the channels stops the workers
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Batch>,
+    registry: &SchedulerRegistry,
+    results: &Sender<Vec<ServeResult>>,
+    counters: &Counters,
+) {
+    let mut scratch = Scratch::new();
+    let mut seen = scratch.stats();
+    while let Ok(batch) = rx.recv() {
+        // one result message per batch, not per request — same-tree
+        // batching amortizes the channel round-trip too
+        let mut out = Vec::with_capacity(batch.len());
+        for (index, request) in batch {
+            out.push(serve_one(registry, &request, &mut scratch, index));
+        }
+        let now = scratch.stats();
+        counters
+            .requests
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        counters.traversal_computes.fetch_add(
+            now.traversal_computes - seen.traversal_computes,
+            Ordering::Relaxed,
+        );
+        counters.traversal_reuses.fetch_add(
+            now.traversal_reuses - seen.traversal_reuses,
+            Ordering::Relaxed,
+        );
+        seen = now;
+        if results.send(out).is_err() {
+            return; // engine dropped mid-drain
+        }
+    }
+}
+
+fn serve_one(
+    registry: &SchedulerRegistry,
+    request: &ServeRequest,
+    scratch: &mut Scratch,
+    index: u64,
+) -> ServeResult {
+    let req = request.problem.as_request();
+    let tree = req.tree;
+    let (scheduler, outcome) = match registry.get(&request.scheduler) {
+        Ok(s) => (s.name().to_string(), s.schedule(&req, scratch)),
+        Err(e) => (request.scheduler.clone(), Err(e)),
+    };
+    let outcome = outcome.map(|outcome| {
+        // the diagnostics already carry the reference peak when the request
+        // used the default traversal; only off-default requests pay for a
+        // fresh reference computation
+        let mem_ref = match outcome.diagnostics.seq_peak {
+            Some(peak) if req.seq == SeqAlgo::default() => peak,
+            _ => memory_reference(tree),
+        };
+        ServeOutcome {
+            ms_lb: makespan_lower_bound(tree, req.platform.processors),
+            mem_ref,
+            outcome,
+        }
+    });
+    ServeResult {
+        index,
+        id: request.id.clone(),
+        scheduler,
+        processors: request.problem.platform.processors,
+        cap: request.problem.platform.memory_cap,
+        tasks: tree.len(),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trees() -> Vec<Arc<TaskTree>> {
+        vec![
+            Arc::new(TaskTree::fork(8, 1.0, 1.0, 0.0)),
+            Arc::new(TaskTree::complete(2, 4, 1.0, 2.0, 0.5)),
+            Arc::new(TaskTree::chain(12, 2.0, 1.0, 0.5)),
+        ]
+    }
+
+    fn mixed_stream() -> Vec<ServeRequest> {
+        let trees = trees();
+        let mut reqs = Vec::new();
+        // interleave trees and schedulers the way real traffic would
+        for round in 0..4u64 {
+            for (t, tree) in trees.iter().enumerate() {
+                for name in ["deepest", "inner", "subtrees", "fifo"] {
+                    let p = 2 + ((round as u32 + t as u32) % 3);
+                    reqs.push(
+                        ServeRequest::new(Arc::clone(tree), name, Platform::new(p))
+                            .with_id(format!("r{round}.{t}.{name}")),
+                    );
+                }
+            }
+        }
+        reqs
+    }
+
+    fn fingerprint_of(results: &[ServeResult]) -> Vec<(u64, String, String, f64, f64)> {
+        results
+            .iter()
+            .map(|r| {
+                let out = r.outcome.as_ref().expect("stream is error-free");
+                (
+                    r.index,
+                    r.id.clone().unwrap_or_default(),
+                    r.scheduler.clone(),
+                    out.outcome.eval.makespan,
+                    out.outcome.eval.peak_memory,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 3);
+        let results = engine.run(mixed_stream());
+        assert_eq!(results.len(), 48);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.index, k as u64);
+        }
+    }
+
+    #[test]
+    fn output_is_independent_of_worker_count() {
+        let reference = {
+            let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 1);
+            fingerprint_of(&engine.run(mixed_stream()))
+        };
+        for workers in [2, 4, 7] {
+            let mut engine = ServeEngine::new(SchedulerRegistry::standard(), workers);
+            let got = fingerprint_of(&engine.run(mixed_stream()));
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn same_tree_requests_form_one_batch_and_reuse_traversals() {
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 2);
+        let tree = Arc::new(TaskTree::fork(16, 1.0, 1.0, 0.0));
+        for p in [1u32, 2, 3, 4, 5, 6] {
+            engine.submit(ServeRequest::new(
+                Arc::clone(&tree),
+                "deepest",
+                Platform::new(p),
+            ));
+        }
+        let results = engine.drain();
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.batches, 1, "one tree, one batch");
+        assert_eq!(stats.traversal_computes, 1, "computed once per batch");
+        assert_eq!(stats.traversal_reuses, 5);
+    }
+
+    #[test]
+    fn sharding_keeps_tree_affinity_across_drains() {
+        // same tree drained twice: the second drain must still hit the
+        // first drain's warm cache (fingerprint routing is stable)
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 4);
+        let tree = Arc::new(TaskTree::complete(2, 5, 1.0, 1.0, 0.0));
+        for _ in 0..2 {
+            for p in [2u32, 4] {
+                engine.submit(ServeRequest::new(
+                    Arc::clone(&tree),
+                    "inner",
+                    Platform::new(p),
+                ));
+            }
+            let results = engine.drain();
+            assert!(results.iter().all(|r| r.outcome.is_ok()));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.batches, 2, "one batch per drain");
+        assert_eq!(
+            stats.traversal_computes, 1,
+            "second drain reuses the first drain's cache"
+        );
+    }
+
+    #[test]
+    fn equal_trees_in_different_arcs_share_a_batch() {
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 2);
+        let a = Arc::new(TaskTree::fork(8, 1.0, 1.0, 0.0));
+        let b = Arc::new(TaskTree::fork(8, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(a, "deepest", Platform::new(2)));
+        engine.submit(ServeRequest::new(b, "deepest", Platform::new(4)));
+        engine.drain();
+        assert_eq!(engine.stats().batches, 1, "structural identity batches");
+        assert_eq!(engine.stats().traversal_computes, 1);
+    }
+
+    #[test]
+    fn errors_are_data_not_panics() {
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 2);
+        let tree = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(
+            Arc::clone(&tree),
+            "nosuch",
+            Platform::new(2),
+        ));
+        engine.submit(ServeRequest::new(
+            Arc::clone(&tree),
+            "membound", // needs a cap it does not get
+            Platform::new(2),
+        ));
+        engine.submit(ServeRequest::new(tree, "deepest", Platform::new(0)));
+        let results = engine.drain();
+        assert!(matches!(
+            results[0].outcome,
+            Err(SchedError::UnknownScheduler { .. })
+        ));
+        assert_eq!(results[0].scheduler, "nosuch", "requested name echoed");
+        assert!(matches!(
+            results[1].outcome,
+            Err(SchedError::MissingMemoryCap { .. })
+        ));
+        assert!(matches!(results[2].outcome, Err(SchedError::NoProcessors)));
+    }
+
+    #[test]
+    fn result_bounds_match_the_one_shot_path() {
+        let tree = Arc::new(TaskTree::complete(3, 3, 1.0, 2.0, 0.5));
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 1);
+        engine.submit(
+            ServeRequest::new(Arc::clone(&tree), "subtrees", Platform::new(4)).with_seq(
+                SeqAlgo::LiuExact, // off-default: mem_ref still the reference
+            ),
+        );
+        engine.submit(ServeRequest::new(
+            Arc::clone(&tree),
+            "subtrees",
+            Platform::new(4),
+        ));
+        let results = engine.drain();
+        for r in &results {
+            let out = r.outcome.as_ref().unwrap();
+            assert_eq!(out.ms_lb, makespan_lower_bound(&tree, 4));
+            assert_eq!(out.mem_ref, memory_reference(&tree));
+            assert!(out.outcome.eval.makespan >= out.ms_lb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "serve worker died")]
+    fn a_panicking_scheduler_fails_the_drain_instead_of_hanging_it() {
+        // the built-in schedulers never panic, but the registry is open to
+        // user schedulers; a dead worker among live ones must surface as
+        // the documented panic, not a deadlock on the results channel
+        struct Panicky;
+        impl treesched_core::Scheduler for Panicky {
+            fn name(&self) -> &'static str {
+                "Panicky"
+            }
+            fn schedule(
+                &self,
+                _req: &treesched_core::Request<'_>,
+                _s: &mut Scratch,
+            ) -> Result<Outcome, SchedError> {
+                panic!("scheduler bug")
+            }
+        }
+        let mut registry = SchedulerRegistry::standard();
+        registry.register(Box::new(Panicky), &[], false).unwrap();
+        let mut engine = ServeEngine::new(registry, 4);
+        let tree = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(tree, "Panicky", Platform::new(2)));
+        engine.drain();
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 0);
+        assert_eq!(engine.workers(), 1);
+        assert!(engine.drain().is_empty(), "empty drain is fine");
+        let tree = Arc::new(TaskTree::chain(3, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(tree, "fifo", Platform::new(1)));
+        assert_eq!(engine.queued(), 1);
+        assert_eq!(engine.drain().len(), 1);
+        assert_eq!(engine.queued(), 0);
+    }
+}

@@ -1,0 +1,632 @@
+//! The serving wire protocol: one flat JSON object per line.
+//!
+//! **Requests** (in): `tree` (path to a `treesched tree v1` file) and
+//! `processors` are required; `id`, `scheduler`, `cap`, `seq`
+//! (`best|naive|liu`) and `seed` are optional:
+//!
+//! ```json
+//! {"id":"r1","tree":"fork.tree","scheduler":"deepest","processors":4}
+//! ```
+//!
+//! **Responses** (out) reuse the field conventions of the CLI's
+//! `schedule --json` record — same keys, same order, numbers in Rust
+//! `Display` form, absent values as `null` — prefixed with the echoed
+//! `id`:
+//!
+//! ```json
+//! {"id":"r1","scheduler":"ParDeepestFirst","processors":4,"tasks":7,...}
+//! ```
+//!
+//! Failed requests produce `{"id":...,"error":"..."}` instead, so a
+//! response line is a success record exactly when it has no `error` key.
+//!
+//! The parser accepts flat objects only (strings, numbers, booleans,
+//! `null`); nested containers are a protocol error. This keeps the crate
+//! dependency-free while staying a strict subset of JSON — any JSON
+//! tooling can produce and consume the stream.
+
+use treesched_core::SeqAlgo;
+
+/// One parsed scalar value of a flat JSON object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON string, unescaped.
+    Str(String),
+    /// A JSON number, kept as its raw token so integers survive exactly.
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parses one line as a flat JSON object, preserving key order.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            pairs.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(p.err("expected `,` or `}`")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the object"));
+    }
+    Ok(pairs)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.next() == Some(want) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected `{}`", want as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = self.hex4()?;
+                        let code = match hex {
+                            // high surrogate: JSON encodes astral-plane
+                            // characters as a \uXXXX\uXXXX pair
+                            0xd800..=0xdbff => {
+                                if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                    return Err(self.err("unpaired \\u surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err(self.err("unpaired \\u surrogate"));
+                                }
+                                0x10000 + ((hex - 0xd800) << 10) + (low - 0xdc00)
+                            }
+                            0xdc00..=0xdfff => return Err(self.err("unpaired \\u surrogate")),
+                            c => c,
+                        };
+                        out.push(char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?);
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // multi-byte UTF-8: copy the full sequence verbatim
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'{') | Some(b'[') => Err(self.err("nested values are not supported")),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                raw.parse::<f64>()
+                    .map_err(|_| self.err(&format!("bad number `{raw}`")))?;
+                Ok(Value::Num(raw.to_string()))
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+}
+
+/// Escapes `s` as the contents of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Request records
+// ---------------------------------------------------------------------------
+
+/// One parsed request line of the serving protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestRecord {
+    /// Client tag echoed into the response (`id`, optional).
+    pub id: Option<String>,
+    /// Path to the tree file (`tree`, required).
+    pub tree: String,
+    /// Scheduler registry name or alias (`scheduler`, optional — the
+    /// engine front-end supplies its default).
+    pub scheduler: Option<String>,
+    /// Processor count (`processors`, required, ≥ 0 checked downstream).
+    pub processors: u32,
+    /// Platform memory cap (`cap`, optional).
+    pub cap: Option<f64>,
+    /// Sequential sub-algorithm (`seq`: `best|naive|liu`, optional).
+    pub seq: Option<SeqAlgo>,
+    /// Seed for randomized schedulers (`seed`, optional).
+    pub seed: Option<u64>,
+}
+
+impl RequestRecord {
+    /// Parses one request line. Unknown keys are rejected — silently
+    /// ignoring a typo like `"processor"` would serve the wrong request.
+    pub fn parse(line: &str) -> Result<RequestRecord, String> {
+        let pairs = parse_object(line)?;
+        let mut rec = RequestRecord {
+            id: None,
+            tree: String::new(),
+            scheduler: None,
+            processors: 0,
+            cap: None,
+            seq: None,
+            seed: None,
+        };
+        let mut saw_tree = false;
+        let mut saw_procs = false;
+        for (key, value) in pairs {
+            match (key.as_str(), value) {
+                (_, Value::Null) => {} // explicit null == absent
+                ("id", Value::Str(s)) => rec.id = Some(s),
+                ("tree", Value::Str(s)) => {
+                    rec.tree = s;
+                    saw_tree = true;
+                }
+                ("scheduler", Value::Str(s)) => rec.scheduler = Some(s),
+                ("processors", Value::Num(raw)) => {
+                    rec.processors = raw.parse().map_err(|_| {
+                        format!("`processors` must be a non-negative integer, got `{raw}`")
+                    })?;
+                    saw_procs = true;
+                }
+                ("cap", Value::Num(raw)) => {
+                    let cap: f64 = raw.parse().expect("validated by the parser");
+                    if !cap.is_finite() {
+                        return Err(format!("`cap` must be finite, got `{raw}`"));
+                    }
+                    rec.cap = Some(cap);
+                }
+                ("seq", Value::Str(s)) => {
+                    rec.seq = Some(
+                        SeqAlgo::by_name(&s)
+                            .ok_or_else(|| format!("unknown `seq` algorithm `{s}`"))?,
+                    );
+                }
+                ("seed", Value::Num(raw)) => {
+                    rec.seed = Some(raw.parse().map_err(|_| {
+                        format!("`seed` must be a non-negative integer, got `{raw}`")
+                    })?);
+                }
+                (k @ ("id" | "tree" | "scheduler" | "seq"), v) => {
+                    return Err(format!("`{k}` must be a string, got {v:?}"))
+                }
+                (k @ ("processors" | "cap" | "seed"), v) => {
+                    return Err(format!("`{k}` must be a number, got {v:?}"))
+                }
+                (k, _) => return Err(format!("unknown request key `{k}`")),
+            }
+        }
+        if !saw_tree {
+            return Err("request needs a `tree` path".into());
+        }
+        if !saw_procs {
+            return Err("request needs `processors`".into());
+        }
+        Ok(rec)
+    }
+
+    /// Renders the record back to its canonical one-line JSON form
+    /// (optional absent fields omitted).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        if let Some(id) = &self.id {
+            s.push_str(&format!("\"id\":\"{}\",", escape(id)));
+        }
+        s.push_str(&format!("\"tree\":\"{}\"", escape(&self.tree)));
+        if let Some(name) = &self.scheduler {
+            s.push_str(&format!(",\"scheduler\":\"{}\"", escape(name)));
+        }
+        s.push_str(&format!(",\"processors\":{}", self.processors));
+        if let Some(cap) = self.cap {
+            s.push_str(&format!(",\"cap\":{cap}"));
+        }
+        if let Some(seq) = self.seq {
+            s.push_str(&format!(",\"seq\":\"{}\"", seq.name()));
+        }
+        if let Some(seed) = self.seed {
+            s.push_str(&format!(",\"seed\":{seed}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response records
+// ---------------------------------------------------------------------------
+
+/// The stable machine-readable record shared by `schedule --json` and the
+/// serving protocol: one flat JSON object, keys fixed, numbers in Rust
+/// `Display` form (finite by construction), absent values as `null`.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_json(
+    scheduler: &str,
+    processors: u32,
+    tasks: usize,
+    makespan: f64,
+    ms_lb: f64,
+    peak_memory: f64,
+    mem_ref: f64,
+    cap: Option<f64>,
+    cap_violations: Option<usize>,
+) -> String {
+    format!(
+        "{{{}}}\n",
+        schedule_fields(
+            scheduler,
+            processors,
+            tasks,
+            makespan,
+            ms_lb,
+            peak_memory,
+            mem_ref,
+            cap,
+            cap_violations
+        )
+    )
+}
+
+/// A serving response: the `schedule --json` record prefixed with the
+/// echoed request `id` (or `null`).
+#[allow(clippy::too_many_arguments)]
+pub fn response_json(
+    id: Option<&str>,
+    scheduler: &str,
+    processors: u32,
+    tasks: usize,
+    makespan: f64,
+    ms_lb: f64,
+    peak_memory: f64,
+    mem_ref: f64,
+    cap: Option<f64>,
+    cap_violations: Option<usize>,
+) -> String {
+    format!(
+        "{{{},{}}}\n",
+        id_field(id),
+        schedule_fields(
+            scheduler,
+            processors,
+            tasks,
+            makespan,
+            ms_lb,
+            peak_memory,
+            mem_ref,
+            cap,
+            cap_violations
+        )
+    )
+}
+
+/// A serving failure response: the echoed `id` plus the typed error's
+/// message.
+pub fn error_json(id: Option<&str>, error: &str) -> String {
+    format!("{{{},\"error\":\"{}\"}}\n", id_field(id), escape(error))
+}
+
+fn id_field(id: Option<&str>) -> String {
+    match id {
+        Some(id) => format!("\"id\":\"{}\"", escape(id)),
+        None => "\"id\":null".to_string(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_fields(
+    scheduler: &str,
+    processors: u32,
+    tasks: usize,
+    makespan: f64,
+    ms_lb: f64,
+    peak_memory: f64,
+    mem_ref: f64,
+    cap: Option<f64>,
+    cap_violations: Option<usize>,
+) -> String {
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "null".into());
+    format!(
+        concat!(
+            "\"scheduler\":\"{}\",\"processors\":{},\"tasks\":{},",
+            "\"makespan\":{},\"makespan_lower_bound\":{},",
+            "\"peak_memory\":{},\"memory_reference\":{},",
+            "\"cap\":{},\"cap_violations\":{}"
+        ),
+        escape(scheduler),
+        processors,
+        tasks,
+        makespan,
+        ms_lb,
+        peak_memory,
+        mem_ref,
+        opt(cap.map(|c| c.to_string())),
+        opt(cap_violations.map(|v| v.to_string())),
+    )
+}
+
+/// Renders one [`crate::ServeResult`] as its response line.
+pub fn result_json(result: &crate::ServeResult) -> String {
+    match &result.outcome {
+        Ok(out) => response_json(
+            result.id.as_deref(),
+            &result.scheduler,
+            result.processors,
+            result.tasks,
+            out.outcome.eval.makespan,
+            out.ms_lb,
+            out.outcome.eval.peak_memory,
+            out.mem_ref,
+            result.cap,
+            out.outcome.diagnostics.cap_violations,
+        ),
+        Err(e) => error_json(result.id.as_deref(), &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let pairs = parse_object(
+            r#" {"id":"a\"b", "processors": 4, "cap": 1.5e3, "ok": true, "none": null} "#,
+        )
+        .unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("id".into(), Value::Str("a\"b".into())),
+                ("processors".into(), Value::Num("4".into())),
+                ("cap".into(), Value::Num("1.5e3".into())),
+                ("ok".into(), Value::Bool(true)),
+                ("none".into(), Value::Null),
+            ]
+        );
+        assert_eq!(parse_object("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "[1]",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1} trailing",
+            "{\"a\":{\"nested\":1}}",
+            "{\"a\":[1]}",
+            "{\"a\":1e}",
+            "{\"a\":\"unterminated}",
+            "{'a':1}",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn strings_round_trip_escapes_and_utf8() {
+        let original = "tabs\t quotes\" backslash\\ newline\n héllo ∞";
+        let line = format!("{{\"id\":\"{}\"}}", escape(original));
+        let pairs = parse_object(&line).unwrap();
+        assert_eq!(pairs[0].1, Value::Str(original.to_string()));
+        // \u escapes decode too
+        let pairs = parse_object(r#"{"id":"éA"}"#).unwrap();
+        assert_eq!(pairs[0].1, Value::Str("éA".to_string()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_like_any_json_encoder_emits_them() {
+        // Python's json.dumps (default ensure_ascii=True) writes astral
+        // characters as surrogate pairs; the protocol must accept them
+        let pairs = parse_object(r#"{"id":"\ud83d\ude00 ok"}"#).unwrap();
+        assert_eq!(pairs[0].1, Value::Str("\u{1f600} ok".to_string()));
+        for bad in [
+            r#"{"id":"\ud83d"}"#,  // lone high surrogate
+            r#"{"id":"\ud83dx"}"#, // high surrogate, no escape next
+            r#"{"id":"\ud83dA"}"#, // high surrogate, non-low next
+            r#"{"id":"\ude00"}"#,  // lone low surrogate
+        ] {
+            let err = parse_object(bad).unwrap_err();
+            assert!(err.contains("surrogate"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn request_records_parse_and_round_trip() {
+        let rec = RequestRecord::parse(
+            r#"{"id":"r1","tree":"x.tree","scheduler":"deepest","processors":4,"cap":100,"seq":"liu","seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(rec.id.as_deref(), Some("r1"));
+        assert_eq!(rec.tree, "x.tree");
+        assert_eq!(rec.scheduler.as_deref(), Some("deepest"));
+        assert_eq!(rec.processors, 4);
+        assert_eq!(rec.cap, Some(100.0));
+        assert_eq!(rec.seq, Some(SeqAlgo::LiuExact));
+        assert_eq!(rec.seed, Some(7));
+        assert_eq!(RequestRecord::parse(&rec.to_json()).unwrap(), rec);
+
+        // minimal record: only tree + processors
+        let rec = RequestRecord::parse(r#"{"tree":"x.tree","processors":2}"#).unwrap();
+        assert_eq!(rec.scheduler, None);
+        assert_eq!(RequestRecord::parse(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn request_records_reject_bad_fields() {
+        for (line, needle) in [
+            (r#"{"processors":2}"#, "tree"),
+            (r#"{"tree":"x"}"#, "processors"),
+            (r#"{"tree":"x","processors":2.5}"#, "integer"),
+            (r#"{"tree":"x","processors":2,"seq":"fast"}"#, "seq"),
+            (r#"{"tree":"x","processors":2,"seed":-1}"#, "seed"),
+            (r#"{"tree":"x","processors":2,"bogus":1}"#, "bogus"),
+            (r#"{"tree":1,"processors":2}"#, "string"),
+            (r#"{"tree":"x","processors":"two"}"#, "number"),
+        ] {
+            let err = RequestRecord::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // explicit nulls are the same as absent fields
+        let rec =
+            RequestRecord::parse(r#"{"id":null,"tree":"x","processors":2,"cap":null}"#).unwrap();
+        assert_eq!(rec.id, None);
+        assert_eq!(rec.cap, None);
+    }
+
+    #[test]
+    fn response_records_share_the_schedule_json_shape() {
+        let base = schedule_json("ParSubtrees", 2, 7, 8.0, 7.5, 12.0, 9.0, None, None);
+        assert_eq!(
+            base,
+            "{\"scheduler\":\"ParSubtrees\",\"processors\":2,\"tasks\":7,\
+             \"makespan\":8,\"makespan_lower_bound\":7.5,\
+             \"peak_memory\":12,\"memory_reference\":9,\
+             \"cap\":null,\"cap_violations\":null}\n"
+        );
+        let tagged = response_json(
+            Some("r1"),
+            "ParSubtrees",
+            2,
+            7,
+            8.0,
+            7.5,
+            12.0,
+            9.0,
+            Some(20.0),
+            Some(0),
+        );
+        assert!(tagged.starts_with("{\"id\":\"r1\","));
+        assert!(tagged.contains("\"cap\":20,\"cap_violations\":0"));
+        // every response line is itself a valid flat JSON object
+        assert!(parse_object(tagged.trim_end()).is_ok());
+        assert_eq!(
+            error_json(None, "unknown scheduler `x`"),
+            "{\"id\":null,\"error\":\"unknown scheduler `x`\"}\n"
+        );
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`sparse`] — sparse-matrix substrate producing assembly trees (§6.2).
 //! * [`gen`] — instance generators, including the proof constructions (§4).
 //! * [`viz`] — text rendering: Gantt charts, memory profiles, tree sketches.
+//! * [`serve`] — batched serving: sharded multi-worker request streams
+//!   over the scheduler registry, with a JSONL wire protocol.
 //!
 //! The most common entry points are re-exported at the crate root.
 
@@ -20,6 +22,7 @@ pub use treesched_core as core;
 pub use treesched_gen as gen;
 pub use treesched_model as model;
 pub use treesched_seq as seq;
+pub use treesched_serve as serve;
 pub use treesched_sparse as sparse;
 pub use treesched_viz as viz;
 
