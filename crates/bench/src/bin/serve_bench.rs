@@ -101,7 +101,7 @@ fn main() {
                 Ok(out) => {
                     let ms_lb = treesched_core::makespan_lower_bound(
                         &req.problem.tree,
-                        req.problem.platform.processors,
+                        req.problem.platform.processors(),
                     );
                     rows.push((out.eval.makespan, out.eval.peak_memory, ms_lb));
                 }

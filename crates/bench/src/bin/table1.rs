@@ -3,11 +3,14 @@
 //! average deviations from the sequential memory and the best makespan.
 //!
 //! Schedulers are resolved through the registry (`--schedulers` compares a
-//! different set than the paper's four campaign heuristics).
+//! different set than the paper's four campaign heuristics). `--json`
+//! emits one machine-readable summary record through the shared record
+//! builder in `treesched_serve::jsonl`, like every other `--json` surface.
 
 use treesched_bench::{cli, harness};
 use treesched_core::SchedulerRegistry;
 use treesched_gen::assembly_corpus;
+use treesched_serve::JsonRecord;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +43,40 @@ fn main() {
                 std::process::exit(1);
             }
         };
+
+    if opts.json {
+        let table: Vec<String> = harness::table1(&rows)
+            .iter()
+            .map(|r| {
+                JsonRecord::new()
+                    .str("scheduler", &r.scheduler)
+                    .num("best_mem_pct", r.best_mem_pct)
+                    .num("within5_mem_pct", r.within5_mem_pct)
+                    .num("avg_dev_mem_pct", r.avg_dev_mem_pct)
+                    .num("best_ms_pct", r.best_ms_pct)
+                    .num("within5_ms_pct", r.within5_ms_pct)
+                    .num("avg_dev_ms_pct", r.avg_dev_ms_pct)
+                    .render()
+            })
+            .collect();
+        let procs: Vec<String> = opts.procs.iter().map(|p| p.to_string()).collect();
+        print!(
+            "{}",
+            JsonRecord::new()
+                .str("benchmark", "table1")
+                .int("trees", corpus.len() as u64)
+                .raw("processors", &format!("[{}]", procs.join(",")))
+                .int("schedulers", names.len() as u64)
+                .int("scenarios", (rows.len() / names.len().max(1)) as u64)
+                .raw("rows", &format!("[{}]", table.join(",")))
+                .line()
+        );
+        if let Some(path) = opts.csv {
+            std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
+            eprintln!("raw rows written to {path}");
+        }
+        return;
+    }
 
     println!(
         "Table 1 — {} scenarios ({} trees, p in {:?})",

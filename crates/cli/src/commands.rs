@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use treesched_core::{Platform, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo};
+use treesched_core::{
+    Platform, ProcClass, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo,
+};
 use treesched_model::{io as tree_io, TaskTree, TreeStats};
 use treesched_serve::{ServeEngine, ServeRequest};
 
@@ -23,17 +25,27 @@ commands:
   sketch FILE [--max N]             indented tree view
   seq FILE [--algo best|naive|liu]  sequential traversal peak + order head
   schedule FILE -p N [--scheduler S] [--seq A] [--cap X] [--seed N]
+           [--speeds L] [--domains D]
            [--json] [--gantt] [--profile] [--placements]
                                     parallel schedule + evaluation
   schedulers                        list registered schedulers + aliases
-  serve [FILE] [--workers N]        batched serving: JSONL requests from
+  serve [FILE] [--workers N] [--speeds L] [--domains D]
+                                    batched serving: JSONL requests from
                                     FILE (default stdin), one JSON record
                                     per result, in input order
-  pareto FILE -p N [--json]         exact (makespan, memory) frontier
+  pareto FILE -p N [--json] [--speeds L] [--domains D]
+                                    exact (makespan, memory) frontier
   dot FILE                          Graphviz DOT export
 
 Schedulers S: any name or alias from `treesched schedulers`
 (`--heuristic` is accepted as a synonym of `--scheduler`).
+
+Heterogeneous platforms: --speeds lists processor classes as COUNTxSPEED
+entries (`--speeds 2x2.0,2x1.0` = 2 fast + 2 slow; a bare SPEED means one
+processor), replacing -p. --domains lists memory domains as CAP@CLASSES
+entries with `+`-joined class indices (`--domains 64@0,32@1`; a bare CAP
+covers every class). On serve, the flags set the default platform for
+requests that carry neither `processors` nor a `platform` object.
 Tree files use the `treesched tree v1` text format (id parent w f n).";
 
 const GEN_USAGE: &str = "treesched gen — tree generators
@@ -121,6 +133,134 @@ fn load_tree(path: &str) -> Result<TaskTree, CliError> {
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::new(format!("cannot parse {what} from `{s}`")))
+}
+
+/// Parses a `--speeds` value: comma-separated `COUNTxSPEED` processor
+/// classes (`2x2.0,2x1.0`), a bare `SPEED` meaning one processor.
+fn parse_speed_classes(s: &str) -> Result<Vec<ProcClass>, CliError> {
+    let mut classes = Vec::new();
+    for entry in s.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(CliError::new(
+                "--speeds needs COUNTxSPEED entries (e.g. 2x2.0,2x1.0)",
+            ));
+        }
+        let class = match entry.split_once(['x', 'X']) {
+            Some((count, speed)) => ProcClass::new(
+                parse_num(count.trim(), "--speeds count")?,
+                parse_num(speed.trim(), "--speeds speed")?,
+            ),
+            None => ProcClass::new(1, parse_num(entry, "--speeds speed")?),
+        };
+        classes.push(class);
+    }
+    Ok(classes)
+}
+
+/// Parses a `--domains` value: comma-separated `CAP@CLASSES` memory
+/// domains with `+`-joined class indices (`64@0,32@1+2`); a bare `CAP`
+/// covers every class.
+fn parse_domain_specs(s: &str, n_classes: usize) -> Result<Vec<(f64, Vec<usize>)>, CliError> {
+    let mut domains = Vec::new();
+    for entry in s.split(',') {
+        let entry = entry.trim();
+        let (cap, classes) = match entry.split_once('@') {
+            Some((cap, list)) => {
+                let mut ids = Vec::new();
+                for id in list.split('+') {
+                    ids.push(parse_num(id.trim(), "--domains class index")?);
+                }
+                (cap.trim(), ids)
+            }
+            None => (entry, (0..n_classes).collect()),
+        };
+        domains.push((parse_num(cap, "--domains capacity")?, classes));
+    }
+    Ok(domains)
+}
+
+/// Builds the platform of a command from its `-p`/`--speeds`/`--domains`/
+/// `--cap` flags and validates it (typed platform errors map to exit 1).
+fn build_platform(
+    p: Option<u32>,
+    speeds: Option<&str>,
+    domains: Option<&str>,
+    cap: Option<f64>,
+) -> Result<Platform, CliError> {
+    if cap.is_some() && domains.is_some() {
+        return Err(CliError::new(
+            "--cap and --domains cannot be combined (--cap is the single shared domain)",
+        ));
+    }
+    let classes = match speeds {
+        Some(s) => {
+            let classes = parse_speed_classes(s)?;
+            let total: u32 = classes.iter().map(|c| c.count).sum();
+            if p.is_some_and(|p| p != total) {
+                return Err(CliError::new(format!(
+                    "-p {} contradicts --speeds ({total} processors)",
+                    p.expect("checked")
+                )));
+            }
+            classes
+        }
+        None => vec![ProcClass::new(
+            p.ok_or_else(|| CliError::new("need -p N (or --speeds)"))?,
+            1.0,
+        )],
+    };
+    let mut platform = Platform::heterogeneous(classes);
+    if let Some(cap) = cap {
+        platform = platform.with_memory_cap(cap);
+    }
+    if let Some(domains) = domains {
+        for (capacity, classes) in parse_domain_specs(domains, platform.classes().len())? {
+            platform = platform.with_domain(capacity, &classes);
+        }
+    }
+    platform.validate().map_err(CliError::sched)?;
+    Ok(platform)
+}
+
+/// Default scheduler when none is named, shared by `schedule` and the
+/// serve front-end: a platform with a shared cap gets the safe
+/// memory-capped scheduler, an uncapped equal-speed one the paper's
+/// `ParSubtrees`, and a mixed-speed one the speed-aware
+/// `ParDeepestFirst` (the other two defaults would refuse it with
+/// `UnsupportedPlatform`). A capped *mixed-speed* platform still resolves
+/// to `MemBoundedSeq` so the cap surfaces as a typed refusal instead of
+/// being silently ignored.
+fn default_scheduler(platform: &Platform) -> &'static str {
+    if platform.memory_cap().is_some() {
+        "MemBoundedSeq"
+    } else if platform.uniform_speed().is_some() {
+        "ParSubtrees"
+    } else {
+        "ParDeepestFirst"
+    }
+}
+
+/// One-line human rendering of a non-flat platform for the text output.
+fn platform_text(platform: &Platform) -> String {
+    let classes: Vec<String> = platform
+        .classes()
+        .iter()
+        .map(|c| format!("{}x{}", c.count, c.speed))
+        .collect();
+    let mut s = format!("speeds {}", classes.join(" + "));
+    if !platform.domains().is_empty() {
+        let domains: Vec<String> = platform
+            .domains()
+            .iter()
+            .map(|d| {
+                let ids: Vec<String> = d.classes.iter().map(|c| c.to_string()).collect();
+                format!("{}@{}", d.capacity, ids.join("+"))
+            })
+            .collect();
+        let _ = write!(s, "; domains {}", domains.join(", "));
+    }
+    s
 }
 
 fn cmd_gen(args: &[String]) -> Result<String, CliError> {
@@ -335,6 +475,8 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     let mut show_placements = false;
     let mut json = false;
     let mut cap: Option<f64> = None;
+    let mut speeds: Option<&String> = None;
+    let mut domains: Option<&String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -373,12 +515,26 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
                     "cap",
                 )?);
             }
+            "--speeds" => {
+                speeds = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--speeds needs COUNTxSPEED entries"))?,
+                );
+            }
+            "--domains" => {
+                domains = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--domains needs CAP@CLASSES entries"))?,
+                );
+            }
             other if path.is_none() && !other.starts_with('-') => path = Some(a),
             other => return Err(CliError::new(format!("unexpected argument `{other}`"))),
         }
     }
     let path = path.ok_or_else(|| CliError::new("schedule needs a tree file"))?;
-    let p = p.ok_or_else(|| CliError::new("schedule needs -p N"))?;
+    if p.is_none() && speeds.is_none() {
+        return Err(CliError::new("schedule needs -p N (or --speeds)"));
+    }
     if json && (show_gantt || show_profile || show_placements) {
         return Err(CliError::new(
             "--json cannot be combined with --gantt/--profile/--placements",
@@ -393,21 +549,20 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     }
     let tree = load_tree(path)?;
 
-    // scheduler selection: explicit name wins; `--cap` alone picks the safe
-    // memory-capped scheduler; default is the paper's ParSubtrees
+    let platform = build_platform(
+        p,
+        speeds.map(|s| s.as_str()),
+        domains.map(|s| s.as_str()),
+        cap,
+    )?;
+    // scheduler selection: explicit name wins, otherwise a default that
+    // can actually serve the platform (see `default_scheduler`)
     let registry = SchedulerRegistry::standard();
-    let name = name.map(|s| s.as_str()).unwrap_or(if cap.is_some() {
-        "MemBoundedSeq"
-    } else {
-        "ParSubtrees"
-    });
+    let name = name
+        .map(|s| s.as_str())
+        .unwrap_or_else(|| default_scheduler(&platform));
     let scheduler = registry.get(name).map_err(CliError::sched)?;
-
-    let mut platform = Platform::new(p);
-    if let Some(cap) = cap {
-        platform = platform.with_memory_cap(cap);
-    }
-    let mut request = Request::new(&tree, platform).with_seq(seq);
+    let mut request = Request::new(&tree, platform.clone()).with_seq(seq);
     if let Some(seed) = seed {
         request = request.with_seed(seed);
     }
@@ -425,24 +580,23 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
         )));
     }
 
-    let ms_lb = treesched_core::makespan_lower_bound(&tree, p);
+    let ms_lb = treesched_core::makespan_lower_bound_on(&tree, &platform);
     let mem_ref = treesched_core::memory_reference(&tree);
 
     if json {
         return Ok(schedule_json(
             scheduler.name(),
-            p,
+            &platform,
             &tree,
             &outcome,
             ms_lb,
             mem_ref,
-            cap,
         ));
     }
 
     let mut out = String::new();
     if let Some(violations) = outcome.diagnostics.cap_violations {
-        let cap = cap.expect("cap schedulers require a cap");
+        let cap = platform.memory_cap().expect("cap schedulers require a cap");
         let _ = writeln!(
             out,
             "memory-capped schedule (cap {cap}): {violations} violation(s)"
@@ -450,13 +604,31 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     }
     let _ = writeln!(
         out,
-        "scheduler: {}\nprocessors: {p}\nmakespan: {}  (lower bound {})\npeak memory: {}  (sequential reference {})",
+        "scheduler: {}\nprocessors: {}\nmakespan: {}  (lower bound {})\npeak memory: {}  (sequential reference {})",
         scheduler.name(),
+        platform.processors(),
         outcome.eval.makespan,
         ms_lb,
         outcome.eval.peak_memory,
         mem_ref,
     );
+    if !platform.is_flat() {
+        let _ = writeln!(out, "platform: {}", platform_text(&platform));
+    }
+    if !outcome.domain_peaks.is_empty() {
+        let peaks: Vec<String> = outcome
+            .domain_peaks
+            .iter()
+            .enumerate()
+            .map(|(k, peak)| {
+                format!(
+                    "domain {k}: {peak} / cap {}",
+                    platform.domains()[k].capacity
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "domain peaks: {}", peaks.join("; "));
+    }
     if show_gantt {
         let _ = write!(
             out,
@@ -489,30 +661,30 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// The stable machine-readable record of `schedule --json`: one flat JSON
+/// The stable machine-readable record of `schedule --json`: one JSON
 /// object per run, rendered by the shared record builder in
 /// [`treesched_serve::jsonl`] (the serving responses reuse the same field
 /// conventions, prefixed with the request id).
 fn schedule_json(
     name: &str,
-    p: u32,
+    platform: &Platform,
     tree: &TaskTree,
     outcome: &treesched_core::Outcome,
     ms_lb: f64,
     mem_ref: f64,
-    cap: Option<f64>,
 ) -> String {
-    treesched_serve::schedule_json(
-        name,
-        p,
-        tree.len(),
-        outcome.eval.makespan,
-        ms_lb,
-        outcome.eval.peak_memory,
-        mem_ref,
-        cap,
-        outcome.diagnostics.cap_violations,
-    )
+    treesched_serve::ScheduleRecord {
+        scheduler: name,
+        platform,
+        tasks: tree.len(),
+        makespan: outcome.eval.makespan,
+        makespan_lower_bound: ms_lb,
+        peak_memory: outcome.eval.peak_memory,
+        memory_reference: mem_ref,
+        cap_violations: outcome.diagnostics.cap_violations,
+        domain_peaks: &outcome.domain_peaks,
+    }
+    .to_json()
 }
 
 fn cmd_schedulers(args: &[String]) -> Result<String, CliError> {
@@ -542,9 +714,13 @@ fn cmd_schedulers(args: &[String]) -> Result<String, CliError> {
 /// batches inside the engine. Per-request failures (unreadable tree,
 /// protocol errors, typed scheduling errors) become `error` records in the
 /// output — one line per input request, in input order, always.
+/// `--speeds`/`--domains` set the default platform applied to requests
+/// that carry neither `processors` nor a `platform` object.
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut path: Option<&String> = None;
     let mut workers: usize = 1;
+    let mut speeds: Option<&String> = None;
+    let mut domains: Option<&String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -558,10 +734,34 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                     return Err(CliError::new("--workers needs at least 1"));
                 }
             }
+            "--speeds" => {
+                speeds = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--speeds needs COUNTxSPEED entries"))?,
+                );
+            }
+            "--domains" => {
+                domains = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--domains needs CAP@CLASSES entries"))?,
+                );
+            }
             other if path.is_none() && (other == "-" || !other.starts_with('-')) => path = Some(a),
             other => return Err(CliError::new(format!("unexpected argument `{other}`"))),
         }
     }
+    let default_platform = match (speeds, domains) {
+        (None, None) => None,
+        (None, Some(_)) => {
+            return Err(CliError::new("serve --domains needs --speeds"));
+        }
+        (Some(_), _) => Some(build_platform(
+            None,
+            speeds.map(|s| s.as_str()),
+            domains.map(|s| s.as_str()),
+            None,
+        )?),
+    };
     let input = match path.map(|s| s.as_str()) {
         Some("-") | None => {
             let mut buf = String::new();
@@ -572,13 +772,15 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         Some(p) => std::fs::read_to_string(p)
             .map_err(|e| CliError::new(format!("cannot read {p}: {e}")))?,
     };
-    Ok(serve_jsonl(&input, workers))
+    Ok(serve_jsonl(&input, workers, default_platform.as_ref()))
 }
 
 /// Runs one JSONL request stream through a fresh engine and renders the
-/// response stream. Split from the `serve` subcommand so tests and the
-/// drive the exact byte-level protocol without touching stdin.
-pub fn serve_jsonl(input: &str, workers: usize) -> String {
+/// response stream. Split from the `serve` subcommand so tests can drive
+/// the exact byte-level protocol without touching stdin.
+/// `default_platform` applies to requests that spell no platform of their
+/// own (neither `processors` nor a `platform` object).
+pub fn serve_jsonl(input: &str, workers: usize, default_platform: Option<&Platform>) -> String {
     let registry = SchedulerRegistry::standard();
     let mut engine = ServeEngine::new(registry, workers);
     let mut trees: HashMap<String, Arc<TaskTree>> = HashMap::new();
@@ -617,19 +819,22 @@ pub fn serve_jsonl(input: &str, workers: usize) -> String {
                 }
             },
         };
-        let mut platform = Platform::new(record.processors);
-        if let Some(cap) = record.cap {
-            platform = platform.with_memory_cap(cap);
-        }
-        // same default as `schedule`: a bare cap picks the safe capped
-        // scheduler, otherwise the paper's ParSubtrees
-        let scheduler = record.scheduler.clone().unwrap_or_else(|| {
-            if record.cap.is_some() {
-                "MemBoundedSeq".to_string()
-            } else {
-                "ParSubtrees".to_string()
+        let platform = match (&record.platform, default_platform) {
+            (Some(spec), _) => spec.to_platform(),
+            (None, Some(default)) => default.clone(),
+            (None, None) => {
+                slots[slot] = Some(treesched_serve::error_json(
+                    id.as_deref(),
+                    "request needs `processors` or a `platform` object",
+                ));
+                continue;
             }
-        });
+        };
+        // same platform-aware default as `schedule`
+        let scheduler = record
+            .scheduler
+            .clone()
+            .unwrap_or_else(|| default_scheduler(&platform).to_string());
         let mut request = ServeRequest::new(tree, scheduler, platform);
         if let Some(seq) = record.seq {
             request = request.with_seq(seq);
@@ -653,14 +858,62 @@ pub fn serve_jsonl(input: &str, workers: usize) -> String {
 }
 
 fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
-    let (path, p, json) = match args {
-        [path, flag, n] if flag == "-p" => (path, parse_num::<u32>(n, "N")?, false),
-        [path, flag, n, j] if flag == "-p" && j == "--json" => {
-            (path, parse_num::<u32>(n, "N")?, true)
+    const PARETO_USAGE: &str =
+        "usage: treesched pareto FILE -p N [--json] [--speeds L] [--domains D]";
+    let mut path: Option<&String> = None;
+    let mut p: Option<u32> = None;
+    let mut json = false;
+    let mut speeds: Option<&String> = None;
+    let mut domains: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-p" => {
+                p = Some(parse_num(
+                    it.next().ok_or_else(|| CliError::new("-p needs N"))?,
+                    "N",
+                )?)
+            }
+            "--json" => json = true,
+            "--speeds" => {
+                speeds = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--speeds needs COUNTxSPEED entries"))?,
+                );
+            }
+            "--domains" => {
+                domains = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--domains needs CAP@CLASSES entries"))?,
+                );
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(a),
+            _ => return Err(CliError::new(PARETO_USAGE)),
         }
-        _ => return Err(CliError::new("usage: treesched pareto FILE -p N [--json]")),
-    };
-    Platform::new(p).validate().map_err(CliError::sched)?;
+    }
+    let path = path.ok_or_else(|| CliError::new(PARETO_USAGE))?;
+    if p.is_none() && speeds.is_none() {
+        return Err(CliError::new(PARETO_USAGE));
+    }
+    let platform = build_platform(
+        p,
+        speeds.map(|s| s.as_str()),
+        domains.map(|s| s.as_str()),
+        None,
+    )?;
+    // the exact solver enumerates unit-time steps over one shared memory;
+    // it accepts any platform spelling of that machine and refuses the rest
+    if platform.uniform_speed() != Some(1.0) {
+        return Err(CliError::new(
+            "the exact frontier requires unit-speed processors (the solver counts unit time steps)",
+        ));
+    }
+    if !platform.has_shared_memory() {
+        return Err(CliError::new(
+            "the exact frontier requires one shared memory (got multiple domains)",
+        ));
+    }
+    let p = platform.processors();
     let tree = load_tree(path)?;
     if tree.len() > treesched_core::pareto::MAX_PARETO_NODES {
         return Err(CliError::new(format!(
@@ -994,6 +1247,216 @@ mod tests {
     }
 
     #[test]
+    fn schedule_uniform_speeds_match_the_flat_spelling_exactly() {
+        let f = tmpfile("hetflat.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        for extra in [&["--json"][..], &[]] {
+            let mut flat = vec!["schedule", &f, "-p", "4", "--scheduler", "deepest"];
+            flat.extend_from_slice(extra);
+            let mut het = vec![
+                "schedule",
+                &f,
+                "--speeds",
+                "4x1.0",
+                "--scheduler",
+                "deepest",
+            ];
+            het.extend_from_slice(extra);
+            assert_eq!(run(&flat).unwrap(), run(&het).unwrap(), "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_heterogeneous_speeds_and_domains() {
+        let f = tmpfile("het.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        let out = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "2x2.0,2x1.0",
+            "--domains",
+            "64@0,32@1",
+            "--scheduler",
+            "deepest",
+        ])
+        .unwrap();
+        assert!(out.contains("processors: 4"), "{out}");
+        assert!(
+            out.contains("platform: speeds 2x2 + 2x1; domains 64@0, 32@1"),
+            "{out}"
+        );
+        assert!(out.contains("domain peaks: domain 0:"), "{out}");
+        // fast processors shorten the fork below its unit-speed makespan
+        let flat = run(&["schedule", &f, "-p", "4", "--scheduler", "deepest"]).unwrap();
+        let ms = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("makespan:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
+        assert!(ms(&out) < ms(&flat), "het {out} vs flat {flat}");
+
+        // the JSON record carries the platform object and per-domain peaks
+        let json = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "2x2.0,2x1.0",
+            "--domains",
+            "64@0,32@1",
+            "--scheduler",
+            "deepest",
+            "--json",
+        ])
+        .unwrap();
+        assert!(
+            json.contains(
+                "\"platform\":{\"classes\":[{\"count\":2,\"speed\":2},{\"count\":2,\"speed\":1}]"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"domain_peaks\":["), "{json}");
+    }
+
+    #[test]
+    fn schedule_rejects_bad_platform_flags() {
+        let f = tmpfile("hetbad.tree");
+        run(&["gen", "fork", "2", "2", "-o", &f]).unwrap();
+        // -p contradicting --speeds
+        let e = run(&["schedule", &f, "-p", "3", "--speeds", "2x2.0,2x1.0"]).unwrap_err();
+        assert!(e.message.contains("contradicts"), "{}", e.message);
+        // --cap with --domains
+        let e = run(&["schedule", &f, "-p", "2", "--cap", "5", "--domains", "5"]).unwrap_err();
+        assert!(e.message.contains("cannot be combined"), "{}", e.message);
+        // typed platform validation errors exit 1
+        let e = run(&["schedule", &f, "--speeds", "2x0"]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("invalid speed"), "{}", e.message);
+        let e = run(&["schedule", &f, "--speeds", "2x1.0", "--domains", "5@7"]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(
+            e.message.contains("unknown processor class"),
+            "{}",
+            e.message
+        );
+        let e = run(&["schedule", &f, "--speeds", "2x1.0", "--domains", "5@0,6@0"]).unwrap_err();
+        assert!(
+            e.message.contains("more than one memory domain"),
+            "{}",
+            e.message
+        );
+        // unparsable specs are usage errors
+        assert!(run(&["schedule", &f, "--speeds", "fast"]).is_err());
+        assert!(run(&["schedule", &f, "--speeds", "2x1.0", "--domains", "5@a"]).is_err());
+    }
+
+    #[test]
+    fn schedule_subtrees_rejects_mixed_speeds_with_a_typed_error() {
+        let f = tmpfile("hetsub.tree");
+        run(&["gen", "fork", "2", "2", "-o", &f]).unwrap();
+        let e = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "1x2.0,1x1.0",
+            "--scheduler",
+            "subtrees",
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 1, "{}", e.message);
+        assert!(e.message.contains("does not support"), "{}", e.message);
+        // a scheduler-less mixed-speed run falls back to the speed-aware
+        // ParDeepestFirst instead of a refusing ParSubtrees
+        let out = run(&["schedule", &f, "--speeds", "1x2.0,1x1.0"]).unwrap();
+        assert!(out.contains("scheduler: ParDeepestFirst"), "{out}");
+        // equal non-unit speeds keep the ParSubtrees default: the whole
+        // schedule rescales (4 unit-time units on this fork; speed 2 halves it)
+        let out = run(&["schedule", &f, "--speeds", "2x2.0"]).unwrap();
+        assert!(out.contains("scheduler: ParSubtrees"), "{out}");
+        assert!(out.contains("makespan: 2  (lower bound 1.25)"), "{out}");
+    }
+
+    #[test]
+    fn serve_speeds_flag_sets_the_default_platform() {
+        let f = tmpfile("servehet.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        let input = format!(
+            "{{\"id\":\"default\",\"tree\":\"{f}\",\"scheduler\":\"deepest\"}}\n\
+             {{\"id\":\"own\",\"tree\":\"{f}\",\"scheduler\":\"deepest\",\"processors\":2}}\n\
+             {{\"id\":\"noname\",\"tree\":\"{f}\"}}\n"
+        );
+        let req_file = tmpfile("servehet.jsonl");
+        std::fs::write(&req_file, &input).unwrap();
+        let out = run(&[
+            "serve",
+            &req_file,
+            "--workers",
+            "2",
+            "--speeds",
+            "2x2.0,2x1.0",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines[0].contains("\"platform\":{\"classes\":[{\"count\":2,\"speed\":2}"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with(
+                "{\"id\":\"own\",\"scheduler\":\"ParDeepestFirst\",\"processors\":2,\"tasks\""
+            ),
+            "{}",
+            lines[1]
+        );
+        // scheduler-less requests on a mixed-speed platform default to the
+        // speed-aware ParDeepestFirst, not a refusing ParSubtrees
+        assert!(
+            lines[2].starts_with("{\"id\":\"noname\",\"scheduler\":\"ParDeepestFirst\""),
+            "{}",
+            lines[2]
+        );
+        // without a default platform, the platform-less request errors in place
+        let bare = serve_jsonl(&input, 1, None);
+        assert!(
+            bare.lines()
+                .next()
+                .unwrap()
+                .contains("needs `processors` or a `platform`"),
+            "{bare}"
+        );
+        // --domains alone is a usage error
+        assert!(run(&["serve", &req_file, "--domains", "5"]).is_err());
+    }
+
+    #[test]
+    fn pareto_accepts_unit_speed_platform_spellings_only() {
+        let f = tmpfile("parhet.tree");
+        run(&["gen", "spider", "4", "3", "-o", &f]).unwrap();
+        let flat = run(&["pareto", &f, "-p", "2"]).unwrap();
+        assert_eq!(run(&["pareto", &f, "--speeds", "2x1.0"]).unwrap(), flat);
+        let e = run(&["pareto", &f, "--speeds", "1x2.0,1x1.0"]).unwrap_err();
+        assert!(e.message.contains("unit-speed"), "{}", e.message);
+        // a single all-covering domain is still one shared memory: accepted
+        let capped = run(&["pareto", &f, "--speeds", "2x1.0", "--domains", "5@0"]).unwrap();
+        assert_eq!(capped, flat);
+        // genuinely split memory is not
+        let e = run(&[
+            "pareto",
+            &f,
+            "--speeds",
+            "1x1.0,1x1.0",
+            "--domains",
+            "5@0,5@1",
+        ])
+        .unwrap_err();
+        assert!(e.message.contains("shared memory"), "{}", e.message);
+    }
+
+    #[test]
     fn serve_runs_a_jsonl_stream_in_input_order() {
         let f = tmpfile("serve.tree");
         run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
@@ -1039,7 +1502,7 @@ mod tests {
              {{\"id\":\"zero\",\"tree\":\"{f}\",\"processors\":0}}\n\
              {{\"id\":\"ok\",\"tree\":\"{f}\",\"processors\":2}}\n"
         );
-        let out = serve_jsonl(&input, 2);
+        let out = serve_jsonl(&input, 2, None);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("{\"id\":null,\"error\":\"bad request:"));
@@ -1071,9 +1534,13 @@ mod tests {
                 }
             }
         }
-        let reference = serve_jsonl(&input, 1);
+        let reference = serve_jsonl(&input, 1, None);
         for workers in [2usize, 4] {
-            assert_eq!(serve_jsonl(&input, workers), reference, "workers={workers}");
+            assert_eq!(
+                serve_jsonl(&input, workers, None),
+                reference,
+                "workers={workers}"
+            );
         }
     }
 

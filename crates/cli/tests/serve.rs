@@ -2,15 +2,20 @@
 //!
 //! The golden files pin the request/response schema byte-for-byte: any
 //! change to field names, field order, number formatting, or error wording
-//! shows up as a diff against `tests/data/serve_responses.golden.jsonl`.
-//! Regenerate deliberately with `UPDATE_GOLDEN=1 cargo test -p
-//! treesched_cli --test serve` after an intentional protocol change.
+//! shows up as a diff against `tests/data/serve_responses.golden.jsonl`
+//! (flat legacy platforms — this file must never change) and
+//! `tests/data/serve_hetero_responses.golden.jsonl` (heterogeneous
+//! `platform` objects). Regenerate deliberately with `UPDATE_GOLDEN=1
+//! cargo test -p treesched_cli --test serve` after an intentional protocol
+//! change.
 
 use treesched_cli::{dispatch, serve_jsonl};
 
-/// Request stream template; `{DIR}` is replaced with the tree directory.
+/// Request stream templates; `{DIR}` is replaced with the tree directory.
 const REQUESTS_IN: &str = include_str!("data/serve_requests.jsonl.in");
 const RESPONSES_GOLDEN: &str = include_str!("data/serve_responses.golden.jsonl");
+const HETERO_REQUESTS_IN: &str = include_str!("data/serve_hetero_requests.jsonl.in");
+const HETERO_RESPONSES_GOLDEN: &str = include_str!("data/serve_hetero_responses.golden.jsonl");
 
 fn run(args: &[&str]) -> String {
     let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -18,7 +23,7 @@ fn run(args: &[&str]) -> String {
 }
 
 /// Generates the fixture trees and returns the instantiated request stream.
-fn requests() -> String {
+fn requests(template: &str) -> String {
     let dir = std::env::temp_dir().join("treesched-serve-golden");
     std::fs::create_dir_all(&dir).unwrap();
     let dir = dir.to_string_lossy().into_owned();
@@ -31,36 +36,91 @@ fn requests() -> String {
         "-o",
         &format!("{dir}/spider.tree"),
     ]);
-    REQUESTS_IN.replace("{DIR}", &dir)
+    template.replace("{DIR}", &dir)
 }
 
-#[test]
-fn serve_responses_match_the_golden_schema() {
-    let got = serve_jsonl(&requests(), 2);
+fn check_golden(got: &str, golden: &str, golden_file: &str) {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        let path = concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/tests/data/serve_responses.golden.jsonl"
-        );
-        std::fs::write(path, &got).unwrap();
+        let path = format!("{}/tests/data/{golden_file}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(path, got).unwrap();
         return;
     }
     assert_eq!(
-        got, RESPONSES_GOLDEN,
-        "JSONL response schema drifted from the golden file \
+        got, golden,
+        "JSONL response schema drifted from {golden_file} \
          (UPDATE_GOLDEN=1 regenerates after an intentional change)"
     );
 }
 
 #[test]
+fn serve_responses_match_the_golden_schema() {
+    let got = serve_jsonl(&requests(REQUESTS_IN), 2, None);
+    check_golden(&got, RESPONSES_GOLDEN, "serve_responses.golden.jsonl");
+}
+
+#[test]
+fn hetero_serve_responses_match_the_golden_schema() {
+    let got = serve_jsonl(&requests(HETERO_REQUESTS_IN), 2, None);
+    check_golden(
+        &got,
+        HETERO_RESPONSES_GOLDEN,
+        "serve_hetero_responses.golden.jsonl",
+    );
+}
+
+#[test]
 fn serve_output_is_byte_identical_across_worker_counts() {
-    let input = requests();
-    let reference = serve_jsonl(&input, 1);
-    for workers in [2usize, 4] {
-        assert_eq!(
-            serve_jsonl(&input, workers),
-            reference,
-            "serve output depends on the worker count (workers={workers})"
-        );
+    for template in [REQUESTS_IN, HETERO_REQUESTS_IN] {
+        let input = requests(template);
+        let reference = serve_jsonl(&input, 1, None);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                serve_jsonl(&input, workers, None),
+                reference,
+                "serve output depends on the worker count (workers={workers})"
+            );
+        }
+    }
+}
+
+#[test]
+fn hetero_responses_round_trip_through_the_request_parser() {
+    // every heterogeneous response line must itself be parseable JSON of
+    // the shared record shape, and the echoed platform object must parse
+    // back into the platform that was requested
+    let input = requests(HETERO_REQUESTS_IN);
+    for (req_line, resp_line) in input.lines().zip(serve_jsonl(&input, 2, None).lines()) {
+        let resp = treesched_serve::jsonl::parse_object(resp_line)
+            .unwrap_or_else(|e| panic!("unparseable response {resp_line}: {e}"));
+        if resp.iter().any(|(k, _)| k == "error") {
+            continue;
+        }
+        let req = treesched_serve::RequestRecord::parse(req_line).expect("fixture parses");
+        if let Some(spec) = req.platform {
+            let requested = spec.to_platform();
+            if !requested.is_flat() {
+                let echoed = resp
+                    .iter()
+                    .find(|(k, _)| k == "platform")
+                    .map(|(_, v)| treesched_serve::platform_from_value(v).unwrap())
+                    .expect("non-flat response carries its platform");
+                assert_eq!(echoed, requested, "{resp_line}");
+                // one domain peak per declared domain, each within the
+                // global peak
+                let n_domains = requested.domains().len();
+                if n_domains > 0 {
+                    let peaks = resp
+                        .iter()
+                        .find(|(k, _)| k == "domain_peaks")
+                        .expect("domain platforms report per-domain peaks");
+                    match &peaks.1 {
+                        treesched_serve::jsonl::Value::Arr(items) => {
+                            assert_eq!(items.len(), n_domains, "{resp_line}")
+                        }
+                        other => panic!("domain_peaks not an array: {other:?}"),
+                    }
+                }
+            }
+        }
     }
 }

@@ -8,8 +8,12 @@
 //!
 //! * [`Scheduler`] — the trait: `name()` plus
 //!   `schedule(&Request, &mut Scratch) -> Result<Outcome, SchedError>`;
-//! * [`Platform`] — the machine: `p` identical processors sharing one
-//!   memory, with an optional memory cap;
+//! * [`Platform`] — the machine: processor classes ([`ProcClass`]:
+//!   `count` processors at a relative `speed`) and memory domains
+//!   ([`MemDomain`]: a capacity shared by its classes). The paper's
+//!   machine — `p` identical processors, one memory — is the flat
+//!   special case built by [`Platform::new`]/[`Platform::with_memory_cap`]
+//!   and stays bit-compatible;
 //! * [`Request`] — a borrowed scheduling problem: tree + platform +
 //!   sequential sub-algorithm choice;
 //! * [`Outcome`] — the schedule, its validated evaluation, and diagnostics;
@@ -35,9 +39,11 @@
 
 use crate::baselines::splitmix_key;
 use crate::heuristics::{par_subtrees_optim_with_order, par_subtrees_with_order, SeqAlgo};
-use crate::listsched::{key_from_f64, list_schedule_reusing, Key3, ListScratch};
+use crate::listsched::{
+    key_from_f64, list_schedule_reusing, list_schedule_with_speeds, Key3, ListScratch, Speeds,
+};
 use crate::membound::{mem_bounded_schedule, Admission};
-use crate::schedule::{try_evaluate, EvalResult, Schedule, ScheduleError};
+use crate::schedule::{try_evaluate_on, EvalResult, Schedule, ScheduleError};
 use std::sync::Arc;
 use treesched_model::{NodeId, TaskTree};
 
@@ -54,16 +60,57 @@ pub enum SchedError {
     NoProcessors,
     /// The task tree holds no tasks.
     EmptyTree,
-    /// The memory cap is NaN or negative.
+    /// A memory cap or domain capacity is NaN or negative.
     InvalidMemoryCap {
         /// The offending cap value.
         cap: f64,
+    },
+    /// A processor class has a non-finite or non-positive speed.
+    InvalidSpeed {
+        /// Index of the offending class in [`Platform::classes`].
+        class: usize,
+        /// The offending speed value.
+        speed: f64,
+    },
+    /// A processor class has `count == 0`.
+    EmptyClass {
+        /// Index of the offending class in [`Platform::classes`].
+        class: usize,
+    },
+    /// A memory domain lists no processor classes.
+    EmptyDomain {
+        /// Index of the offending domain in [`Platform::domains`].
+        domain: usize,
+    },
+    /// A processor class is claimed by more than one memory domain (or
+    /// twice by the same domain).
+    OverlappingDomains {
+        /// Index of the doubly-claimed class.
+        class: usize,
+    },
+    /// A memory domain references a class index outside
+    /// [`Platform::classes`].
+    UnknownClass {
+        /// Index of the offending domain.
+        domain: usize,
+        /// The out-of-range class index it referenced.
+        class: usize,
     },
     /// A memory-capped scheduler was invoked without
     /// [`Platform::memory_cap`].
     MissingMemoryCap {
         /// Canonical name of the scheduler that needs the cap.
         scheduler: &'static str,
+    },
+    /// The scheduler cannot handle the requested platform shape (e.g.
+    /// mixed-speed processors for a scheduler that places whole subtrees,
+    /// or per-domain capacities for a scheduler that enforces one shared
+    /// cap). Returned instead of silently mis-scheduling.
+    UnsupportedPlatform {
+        /// Canonical name of the scheduler that rejected the platform.
+        scheduler: &'static str,
+        /// What the scheduler cannot handle.
+        reason: &'static str,
     },
     /// The scheduler produced a schedule that failed validation — an
     /// internal bug surfaced as data instead of a panic.
@@ -93,10 +140,43 @@ impl std::fmt::Display for SchedError {
             SchedError::NoProcessors => write!(f, "platform needs at least one processor"),
             SchedError::EmptyTree => write!(f, "cannot schedule an empty task tree"),
             SchedError::InvalidMemoryCap { cap } => {
-                write!(f, "invalid memory cap {cap} (must be non-negative)")
+                write!(
+                    f,
+                    "invalid memory cap {cap} (must be finite and non-negative)"
+                )
+            }
+            SchedError::InvalidSpeed { class, speed } => {
+                write!(
+                    f,
+                    "invalid speed {speed} for processor class {class} (must be finite and positive)"
+                )
+            }
+            SchedError::EmptyClass { class } => {
+                write!(f, "processor class {class} has no processors")
+            }
+            SchedError::EmptyDomain { domain } => {
+                write!(f, "memory domain {domain} covers no processor classes")
+            }
+            SchedError::OverlappingDomains { class } => {
+                write!(
+                    f,
+                    "processor class {class} belongs to more than one memory domain"
+                )
+            }
+            SchedError::UnknownClass { domain, class } => {
+                write!(
+                    f,
+                    "memory domain {domain} references unknown processor class {class}"
+                )
             }
             SchedError::MissingMemoryCap { scheduler } => {
                 write!(f, "scheduler `{scheduler}` needs a platform memory cap")
+            }
+            SchedError::UnsupportedPlatform { scheduler, reason } => {
+                write!(
+                    f,
+                    "scheduler `{scheduler}` does not support this platform: {reason}"
+                )
             }
             SchedError::InvalidSchedule { scheduler, error } => {
                 write!(
@@ -131,40 +211,250 @@ impl std::error::Error for SchedError {
 // Platform / Request / Outcome
 // ---------------------------------------------------------------------------
 
-/// The target machine of the paper's model (§3.2): `p` identical processors
-/// sharing one memory, optionally capped.
+/// One class of identical processors of a [`Platform`].
 #[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcClass {
+    /// Number of processors in this class.
+    pub count: u32,
+    /// Relative execution speed: a task of work `w` runs for `w / speed`
+    /// on a processor of this class. The paper's model is speed `1.0`.
+    pub speed: f64,
+}
+
+impl ProcClass {
+    /// A class of `count` processors at `speed`.
+    pub fn new(count: u32, speed: f64) -> ProcClass {
+        ProcClass { count, speed }
+    }
+}
+
+/// One memory domain of a [`Platform`]: a capacity shared by the
+/// processors of the listed classes (NUMA-style).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemDomain {
+    /// Memory capacity of the domain.
+    pub capacity: f64,
+    /// Indices into [`Platform::classes`] of the classes whose processors
+    /// allocate from this domain. A class may belong to at most one domain;
+    /// classes in no domain have unbounded memory.
+    pub classes: Vec<usize>,
+}
+
+/// The target machine: a set of processor *classes* (`count` processors at
+/// a relative `speed` each) and optional memory *domains* (a capacity
+/// shared by the classes that belong to it).
+///
+/// The paper's model (§3.2) — `p` identical processors sharing one memory —
+/// is the special case built by [`Platform::new`] /
+/// [`Platform::with_memory_cap`], and stays the wire- and bit-compatible
+/// default: one class at speed `1.0`, at most one domain covering it.
+/// Schedulers that cannot handle a richer shape return
+/// [`SchedError::UnsupportedPlatform`] instead of silently mis-scheduling.
+///
+/// ```
+/// use treesched_core::api::{Platform, ProcClass};
+///
+/// // 2 fast + 2 slow processors, each pair with its own 64-unit memory
+/// let platform = Platform::heterogeneous(vec![
+///     ProcClass::new(2, 2.0),
+///     ProcClass::new(2, 1.0),
+/// ])
+/// .with_domain(64.0, &[0])
+/// .with_domain(64.0, &[1]);
+/// assert_eq!(platform.processors(), 4);
+/// assert_eq!(platform.speed_of(1), 2.0);
+/// assert_eq!(platform.domain_of(3), Some(1));
+/// assert!(platform.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
 pub struct Platform {
-    /// Number of identical processors.
-    pub processors: u32,
-    /// Shared-memory cap, if the scheduler should respect one. `None`
-    /// means unbounded memory; memory-capped schedulers require `Some`.
-    pub memory_cap: Option<f64>,
+    /// Processor classes, in declaration order. Processor indices `0..p`
+    /// are assigned class by class: class 0's processors first.
+    classes: Vec<ProcClass>,
+    /// Memory domains; empty means unbounded shared memory.
+    domains: Vec<MemDomain>,
 }
 
 impl Platform {
-    /// An uncapped platform with `processors` processors.
+    /// An uncapped platform with `processors` identical unit-speed
+    /// processors — the paper's machine.
     pub fn new(processors: u32) -> Platform {
         Platform {
-            processors,
-            memory_cap: None,
+            classes: vec![ProcClass::new(processors, 1.0)],
+            domains: Vec::new(),
         }
     }
 
-    /// Returns the platform with a shared-memory cap.
+    /// A platform from explicit processor classes, with unbounded memory.
+    pub fn heterogeneous(classes: Vec<ProcClass>) -> Platform {
+        Platform {
+            classes,
+            domains: Vec::new(),
+        }
+    }
+
+    /// Returns the platform with a single shared-memory cap over **all**
+    /// classes, replacing any previously declared domains.
     pub fn with_memory_cap(mut self, cap: f64) -> Platform {
-        self.memory_cap = Some(cap);
+        self.domains = vec![MemDomain {
+            capacity: cap,
+            classes: (0..self.classes.len()).collect(),
+        }];
         self
     }
 
-    /// Checks the platform invariants (`p >= 1`, cap non-negative).
+    /// Returns the platform with an additional memory domain of `capacity`
+    /// over the given class indices.
+    pub fn with_domain(mut self, capacity: f64, classes: &[usize]) -> Platform {
+        self.domains.push(MemDomain {
+            capacity,
+            classes: classes.to_vec(),
+        });
+        self
+    }
+
+    /// Total processor count across all classes.
+    pub fn processors(&self) -> u32 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// The processor classes.
+    pub fn classes(&self) -> &[ProcClass] {
+        &self.classes
+    }
+
+    /// The memory domains (empty = unbounded shared memory).
+    pub fn domains(&self) -> &[MemDomain] {
+        &self.domains
+    }
+
+    /// The single shared-memory cap, when the platform has exactly one
+    /// domain covering every class (the shape [`Platform::with_memory_cap`]
+    /// builds). `None` for uncapped platforms **and** for genuinely
+    /// multi-domain ones — schedulers that need one shared cap must treat
+    /// the latter as [`SchedError::UnsupportedPlatform`], which
+    /// [`Platform::has_shared_memory`] distinguishes.
+    pub fn memory_cap(&self) -> Option<f64> {
+        match self.domains.as_slice() {
+            [d] if (0..self.classes.len()).all(|c| d.classes.contains(&c)) => Some(d.capacity),
+            _ => None,
+        }
+    }
+
+    /// Whether every processor allocates from one shared memory: no domains
+    /// at all, or a single domain covering every class.
+    pub fn has_shared_memory(&self) -> bool {
+        self.domains.is_empty() || self.memory_cap().is_some()
+    }
+
+    /// Whether every processor runs at speed `1.0` (the paper's model).
+    pub fn is_unit_speed(&self) -> bool {
+        self.classes.iter().all(|c| c.speed == 1.0)
+    }
+
+    /// The common speed when all classes run equally fast, `None` when the
+    /// platform mixes speeds.
+    pub fn uniform_speed(&self) -> Option<f64> {
+        let speed = self.classes.first().map_or(1.0, |c| c.speed);
+        self.classes
+            .iter()
+            .all(|c| c.speed == speed)
+            .then_some(speed)
+    }
+
+    /// Whether the platform is expressible in the flat legacy shape
+    /// `(processors, optional cap)`: one unit-speed class and at most one
+    /// all-covering domain. Flat platforms keep every record and schedule
+    /// byte-identical to the homogeneous API.
+    pub fn is_flat(&self) -> bool {
+        self.classes.len() == 1 && self.is_unit_speed() && self.has_shared_memory()
+    }
+
+    /// Class index of processor `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `proc >= self.processors()`.
+    pub fn class_of(&self, proc: u32) -> usize {
+        let mut first = 0;
+        for (k, c) in self.classes.iter().enumerate() {
+            first += c.count;
+            if proc < first {
+                return k;
+            }
+        }
+        panic!("processor {proc} out of range (platform has {first})");
+    }
+
+    /// Speed of processor `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `proc >= self.processors()`.
+    pub fn speed_of(&self, proc: u32) -> f64 {
+        self.classes[self.class_of(proc)].speed
+    }
+
+    /// Memory domain of processor `proc`, `None` when its class belongs to
+    /// no domain (unbounded memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `proc >= self.processors()`.
+    pub fn domain_of(&self, proc: u32) -> Option<usize> {
+        let class = self.class_of(proc);
+        self.domains.iter().position(|d| d.classes.contains(&class))
+    }
+
+    /// Clears `out` and fills it with one speed per processor, in processor
+    /// index order (`out.len() == self.processors()` afterwards).
+    pub fn fill_speeds(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for c in &self.classes {
+            out.extend(std::iter::repeat(c.speed).take(c.count as usize));
+        }
+    }
+
+    /// Checks the platform invariants: at least one processor, finite
+    /// positive speeds, non-empty classes, and well-formed domains
+    /// (finite non-negative capacity — "unbounded" is spelled by *absence*
+    /// of a domain, and a non-finite capacity would corrupt the JSON wire
+    /// records — at least one class each, no class in two domains, no
+    /// dangling class index).
     pub fn validate(&self) -> Result<(), SchedError> {
-        if self.processors == 0 {
+        if self.processors() == 0 {
             return Err(SchedError::NoProcessors);
         }
-        if let Some(cap) = self.memory_cap {
-            if cap.is_nan() || cap < 0.0 {
-                return Err(SchedError::InvalidMemoryCap { cap });
+        for (k, c) in self.classes.iter().enumerate() {
+            if c.count == 0 {
+                return Err(SchedError::EmptyClass { class: k });
+            }
+            if !c.speed.is_finite() || c.speed <= 0.0 {
+                return Err(SchedError::InvalidSpeed {
+                    class: k,
+                    speed: c.speed,
+                });
+            }
+        }
+        let mut claimed = vec![false; self.classes.len()];
+        for (k, d) in self.domains.iter().enumerate() {
+            if !d.capacity.is_finite() || d.capacity < 0.0 {
+                return Err(SchedError::InvalidMemoryCap { cap: d.capacity });
+            }
+            if d.classes.is_empty() {
+                return Err(SchedError::EmptyDomain { domain: k });
+            }
+            for &c in &d.classes {
+                if c >= self.classes.len() {
+                    return Err(SchedError::UnknownClass {
+                        domain: k,
+                        class: c,
+                    });
+                }
+                if claimed[c] {
+                    return Err(SchedError::OverlappingDomains { class: c });
+                }
+                claimed[c] = true;
             }
         }
         Ok(())
@@ -173,7 +463,7 @@ impl Platform {
 
 /// A borrowed scheduling problem: which tree, on which platform, with which
 /// sequential sub-algorithm.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Request<'a> {
     /// The task tree to schedule.
     pub tree: &'a TaskTree,
@@ -267,7 +557,7 @@ impl OwnedRequest {
     pub fn as_request(&self) -> Request<'_> {
         Request {
             tree: &self.tree,
-            platform: self.platform,
+            platform: self.platform.clone(),
             seq: self.seq,
             seed: self.seed,
         }
@@ -292,13 +582,19 @@ pub struct Diagnostics {
 
 /// A successful scheduling run: the schedule, its validated evaluation, and
 /// diagnostics. The evaluation is always present — every outcome returned
-/// through this API has passed [`Schedule::validate`].
+/// through this API has passed [`Schedule::validate_on`] for its request's
+/// platform.
 #[derive(Clone, Debug)]
 pub struct Outcome {
     /// The produced schedule.
     pub schedule: Schedule,
-    /// Joint makespan/peak-memory evaluation of the schedule.
+    /// Joint makespan/peak-memory evaluation of the schedule (the peak is
+    /// platform-global).
     pub eval: EvalResult,
+    /// Peak memory per platform memory domain, in [`Platform::domains`]
+    /// order. Empty for flat platforms (where the single-domain peak equals
+    /// [`EvalResult::peak_memory`]) and for platforms without domains.
+    pub domain_peaks: Vec<f64>,
     /// Scheduler-specific observations.
     pub diagnostics: Diagnostics,
 }
@@ -331,6 +627,7 @@ pub struct Scratch {
     depths: Vec<u32>,
     wdepths: Vec<f64>,
     keys: Vec<Key3>,
+    speeds: Vec<f64>,
     list: ListScratch,
     stats: ScratchStats,
 }
@@ -470,20 +767,51 @@ impl Scratch {
         }
         list_schedule_reusing(tree, p, &self.keys, &mut self.list)
     }
+
+    /// [`Scratch::run_list_schedule`] on an explicit [`Platform`]: on
+    /// unit-speed platforms it is exactly the uniform path; on mixed-speed
+    /// platforms each ready task goes to the free processor where it
+    /// finishes earliest. Custom [`Scheduler`] implementations built on
+    /// this helper handle heterogeneous requests for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the platform has no processors (checked upstream by
+    /// [`Request::validate`]).
+    pub fn run_list_schedule_on<F: FnMut(NodeId) -> Key3>(
+        &mut self,
+        tree: &TaskTree,
+        platform: &Platform,
+        mut key: F,
+    ) -> Schedule {
+        self.sync(tree);
+        self.keys.clear();
+        for i in tree.ids() {
+            self.keys.push(key(i));
+        }
+        if platform.is_unit_speed() {
+            list_schedule_reusing(tree, platform.processors(), &self.keys, &mut self.list)
+        } else {
+            platform.fill_speeds(&mut self.speeds);
+            list_schedule_with_speeds(tree, Speeds::Per(&self.speeds), &self.keys, &mut self.list)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // The Scheduler trait
 // ---------------------------------------------------------------------------
 
-/// A scheduling algorithm for tree-shaped task graphs on identical
-/// processors: anything that turns a [`Request`] into an [`Outcome`].
+/// A scheduling algorithm for tree-shaped task graphs on a [`Platform`]:
+/// anything that turns a [`Request`] into an [`Outcome`]. Schedulers that
+/// cannot handle a platform shape (mixed speeds, split memory) must return
+/// [`SchedError::UnsupportedPlatform`] rather than mis-schedule.
 ///
 /// Implementations must be deterministic for a given request (randomized
 /// schedulers draw from [`Request::seed`]) and must return schedules that
-/// pass [`Schedule::validate`] — the built-ins funnel their result through
-/// [`try_evaluate`], surfacing internal bugs as
-/// [`SchedError::InvalidSchedule`] instead of panicking.
+/// pass [`Schedule::validate_on`] for the request's platform — the
+/// built-ins funnel their result through [`try_evaluate_on`], surfacing
+/// internal bugs as [`SchedError::InvalidSchedule`] instead of panicking.
 pub trait Scheduler: Send + Sync {
     /// Canonical name (stable across releases; the registry key).
     fn name(&self) -> &'static str;
@@ -503,22 +831,45 @@ pub trait Scheduler: Send + Sync {
     }
 }
 
-/// Validates + evaluates `schedule` and bundles the outcome.
+/// Validates + evaluates `schedule` on the request's platform and bundles
+/// the outcome. Per-domain peaks are computed only for non-flat platforms —
+/// on a flat platform the single-domain peak is the global peak already.
 fn finish(
     name: &str,
-    tree: &TaskTree,
+    req: &Request<'_>,
     schedule: Schedule,
     diagnostics: Diagnostics,
 ) -> Result<Outcome, SchedError> {
-    let eval = try_evaluate(tree, &schedule).map_err(|error| SchedError::InvalidSchedule {
-        scheduler: name.to_string(),
-        error,
+    let (tree, platform) = (req.tree, &req.platform);
+    let eval = try_evaluate_on(tree, &schedule, platform).map_err(|error| {
+        SchedError::InvalidSchedule {
+            scheduler: name.to_string(),
+            error,
+        }
     })?;
+    let domain_peaks = if platform.is_flat() {
+        Vec::new()
+    } else {
+        schedule.domain_peaks(tree, platform)
+    };
     Ok(Outcome {
         schedule,
         eval,
+        domain_peaks,
         diagnostics,
     })
+}
+
+/// Divides every placement instant by `speed`, turning a unit-time schedule
+/// into its equal-speed counterpart (a no-op at speed `1.0`, so uniform
+/// platforms stay bit-identical).
+fn scale_times(schedule: &mut Schedule, speed: f64) {
+    if speed != 1.0 {
+        for pl in &mut schedule.placements {
+            pl.start /= speed;
+            pl.finish /= speed;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -549,18 +900,29 @@ impl Scheduler for ParSubtreesSched {
 
     fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
         req.validate()?;
-        let (tree, p) = (req.tree, req.platform.processors);
+        let (tree, p) = (req.tree, req.platform.processors());
+        // ParSubtrees reasons in whole-subtree work units: a mixed-speed
+        // platform would need speed-aware splitting, so refuse rather than
+        // place subtrees as if processors were interchangeable. Equal-speed
+        // platforms are the unit-time schedule with every instant rescaled.
+        let Some(speed) = req.platform.uniform_speed() else {
+            return Err(SchedError::UnsupportedPlatform {
+                scheduler: self.name(),
+                reason: "subtree placement requires equal-speed processors",
+            });
+        };
         scratch.ensure_traversal(tree, req.seq);
-        let schedule = if self.optim {
+        let mut schedule = if self.optim {
             par_subtrees_optim_with_order(tree, p, req.seq, &scratch.order)
         } else {
             par_subtrees_with_order(tree, p, req.seq, &scratch.order)
         };
+        scale_times(&mut schedule, speed);
         let diag = Diagnostics {
             seq_peak: Some(scratch.seq_peak),
             cap_violations: None,
         };
-        finish(self.name(), tree, schedule, diag)
+        finish(self.name(), req, schedule, diag)
     }
 }
 
@@ -608,7 +970,7 @@ impl Scheduler for ListSched {
 
     fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
         req.validate()?;
-        let (tree, p) = (req.tree, req.platform.processors);
+        let (tree, p) = (req.tree, req.platform.processors());
         scratch.ensure_traversal(tree, req.seq);
         match self.kind {
             ListKind::InnerFirst => scratch.ensure_depths(tree),
@@ -620,6 +982,7 @@ impl Scheduler for ListSched {
             depths,
             wdepths,
             keys,
+            speeds,
             list,
             seq_peak,
             ..
@@ -654,12 +1017,20 @@ impl Scheduler for ListSched {
                     .map(|i| (splitmix_key(req.seed, i.0), i.0 as u64, 0u64)),
             ),
         }
-        let schedule = list_schedule_reusing(tree, p, keys, list);
+        // list scheduling is natively heterogeneous: the priority queue is
+        // speed-independent and each ready task takes the free processor
+        // where it finishes earliest
+        let schedule = if req.platform.is_unit_speed() {
+            list_schedule_reusing(tree, p, keys, list)
+        } else {
+            req.platform.fill_speeds(speeds);
+            list_schedule_with_speeds(tree, Speeds::Per(speeds), keys, list)
+        };
         let diag = Diagnostics {
             seq_peak: Some(*seq_peak),
             cap_violations: None,
         };
-        finish(self.name(), tree, schedule, diag)
+        finish(self.name(), req, schedule, diag)
     }
 }
 
@@ -690,20 +1061,38 @@ impl Scheduler for MemBoundedSched {
 
     fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
         req.validate()?;
-        let (tree, p) = (req.tree, req.platform.processors);
+        let (tree, p) = (req.tree, req.platform.processors());
+        // the admission policies reason against ONE shared resident-memory
+        // counter in reference-traversal time; refuse shapes they would
+        // mis-model rather than silently ignore domains or speeds
+        let Some(speed) = req.platform.uniform_speed() else {
+            return Err(SchedError::UnsupportedPlatform {
+                scheduler: self.name(),
+                reason: "admission order is defined in equal-speed time",
+            });
+        };
+        if !req.platform.has_shared_memory() {
+            return Err(SchedError::UnsupportedPlatform {
+                scheduler: self.name(),
+                reason: "enforces one shared memory cap, not per-domain capacities",
+            });
+        }
         let cap = req
             .platform
-            .memory_cap
+            .memory_cap()
             .ok_or(SchedError::MissingMemoryCap {
                 scheduler: self.name(),
             })?;
         scratch.ensure_traversal(tree, req.seq);
-        let run = mem_bounded_schedule(tree, p, &scratch.order, cap, self.policy);
+        let mut run = mem_bounded_schedule(tree, p, &scratch.order, cap, self.policy);
+        // equal speeds rescale every instant uniformly, preserving the
+        // event order the admission decisions were made in
+        scale_times(&mut run.schedule, speed);
         let diag = Diagnostics {
             seq_peak: Some(scratch.seq_peak),
             cap_violations: Some(run.violations),
         };
-        finish(self.name(), tree, run.schedule, diag)
+        finish(self.name(), req, run.schedule, diag)
     }
 }
 
@@ -1209,6 +1598,248 @@ mod tests {
             out.diagnostics.seq_peak,
             Some(crate::bounds::memory_reference(&t))
         );
+    }
+
+    fn fast_slow() -> Platform {
+        Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+    }
+
+    #[test]
+    fn platform_accessors_describe_classes_and_domains() {
+        let flat = Platform::new(4);
+        assert_eq!(flat.processors(), 4);
+        assert!(flat.is_flat() && flat.is_unit_speed() && flat.has_shared_memory());
+        assert_eq!(flat.memory_cap(), None);
+        assert_eq!(flat.uniform_speed(), Some(1.0));
+
+        let capped = Platform::new(3).with_memory_cap(7.5);
+        assert_eq!(capped.memory_cap(), Some(7.5));
+        assert!(capped.is_flat());
+        // re-capping replaces, matching the old `memory_cap = Some(..)`
+        assert_eq!(capped.clone().with_memory_cap(9.0).memory_cap(), Some(9.0));
+
+        let het = fast_slow().with_domain(64.0, &[0]).with_domain(32.0, &[1]);
+        assert_eq!(het.processors(), 4);
+        assert!(!het.is_flat() && !het.is_unit_speed() && !het.has_shared_memory());
+        assert_eq!(het.memory_cap(), None, "two domains are not one cap");
+        assert_eq!(het.uniform_speed(), None);
+        assert_eq!(
+            (0..4).map(|p| het.speed_of(p)).collect::<Vec<_>>(),
+            [2.0, 2.0, 1.0, 1.0]
+        );
+        assert_eq!(
+            (0..4).map(|p| het.class_of(p)).collect::<Vec<_>>(),
+            [0, 0, 1, 1]
+        );
+        assert_eq!(
+            (0..4).map(|p| het.domain_of(p)).collect::<Vec<_>>(),
+            [Some(0), Some(0), Some(1), Some(1)]
+        );
+        let mut speeds = Vec::new();
+        het.fill_speeds(&mut speeds);
+        assert_eq!(speeds, [2.0, 2.0, 1.0, 1.0]);
+
+        // one domain covering every class IS one shared cap
+        let shared = fast_slow().with_domain(100.0, &[0, 1]);
+        assert_eq!(shared.memory_cap(), Some(100.0));
+        assert!(shared.has_shared_memory() && !shared.is_flat());
+        // a partial domain is neither shared nor a cap
+        let partial = fast_slow().with_domain(100.0, &[0]);
+        assert_eq!(partial.memory_cap(), None);
+        assert!(!partial.has_shared_memory());
+        assert_eq!(partial.domain_of(3), None, "class 1 is unconstrained");
+    }
+
+    #[test]
+    fn platform_validation_rejects_bad_speeds_and_domains() {
+        // the NaN-cap check generalizes to every shape error, typed
+        assert_eq!(
+            Platform::heterogeneous(vec![]).validate(),
+            Err(SchedError::NoProcessors)
+        );
+        assert_eq!(
+            Platform::heterogeneous(vec![ProcClass::new(2, 1.0), ProcClass::new(0, 1.0)])
+                .validate(),
+            Err(SchedError::EmptyClass { class: 1 })
+        );
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    Platform::heterogeneous(vec![ProcClass::new(2, bad)]).validate(),
+                    Err(SchedError::InvalidSpeed { class: 0, .. })
+                ),
+                "{bad}"
+            );
+        }
+        // non-finite capacities would corrupt the JSON wire records (the
+        // legacy flat `cap` wire field already rejects them)
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(
+                matches!(
+                    fast_slow().with_domain(bad, &[0]).validate(),
+                    Err(SchedError::InvalidMemoryCap { .. })
+                ),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            fast_slow().with_domain(5.0, &[]).validate(),
+            Err(SchedError::EmptyDomain { domain: 0 })
+        );
+        assert_eq!(
+            fast_slow()
+                .with_domain(5.0, &[0])
+                .with_domain(5.0, &[0])
+                .validate(),
+            Err(SchedError::OverlappingDomains { class: 0 })
+        );
+        assert_eq!(
+            fast_slow().with_domain(5.0, &[2]).validate(),
+            Err(SchedError::UnknownClass {
+                domain: 0,
+                class: 2
+            })
+        );
+        // schedulers surface the same typed errors through requests
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let req = Request::new(
+            &t,
+            fast_slow().with_domain(5.0, &[0]).with_domain(5.0, &[0]),
+        );
+        assert_eq!(
+            r.get("deepest")
+                .unwrap()
+                .schedule(&req, &mut Scratch::new())
+                .unwrap_err(),
+            SchedError::OverlappingDomains { class: 0 }
+        );
+    }
+
+    #[test]
+    fn list_schedulers_run_heterogeneous_platforms() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let platform = fast_slow().with_domain(1e9, &[0]).with_domain(1e9, &[1]);
+        let flat_req = Request::new(&t, Platform::new(4));
+        for name in ["inner", "deepest", "cp", "fifo", "random"] {
+            let req = Request::new(&t, platform.clone());
+            let out = r.get(name).unwrap().schedule(&req, &mut scratch).unwrap();
+            assert!(out.schedule.validate_on(&t, &platform).is_ok(), "{name}");
+            assert!(
+                out.eval.makespan >= crate::bounds::makespan_lower_bound_on(&t, &platform) - 1e-9,
+                "{name}"
+            );
+            assert_eq!(out.domain_peaks.len(), 2, "{name}");
+            // each domain holds at most the global peak, and together they
+            // cover it (every processor is in a domain here)
+            for &peak in &out.domain_peaks {
+                assert!(peak <= out.eval.peak_memory + 1e-9, "{name}");
+            }
+            assert!(
+                out.domain_peaks.iter().sum::<f64>() >= out.eval.peak_memory - 1e-9,
+                "{name}: domains at their peaks must cover the global peak"
+            );
+            // faster processors can only help the makespan
+            let flat = r
+                .get(name)
+                .unwrap()
+                .schedule(&flat_req, &mut scratch)
+                .unwrap();
+            assert!(out.eval.makespan <= flat.eval.makespan + 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn subtree_and_capped_schedulers_reject_mixed_speeds() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let req = Request::new(&t, fast_slow());
+        for name in ["subtrees", "optim", "membound", "mem-greedy"] {
+            assert!(
+                matches!(
+                    r.get(name).unwrap().schedule(&req, &mut scratch),
+                    Err(SchedError::UnsupportedPlatform { .. })
+                ),
+                "{name}"
+            );
+        }
+        // membound also refuses split memory even at uniform speed
+        let split = Platform::heterogeneous(vec![ProcClass::new(2, 1.0), ProcClass::new(2, 1.0)])
+            .with_domain(50.0, &[0])
+            .with_domain(50.0, &[1]);
+        assert!(matches!(
+            r.get("membound")
+                .unwrap()
+                .schedule(&Request::new(&t, split), &mut scratch),
+            Err(SchedError::UnsupportedPlatform { .. })
+        ));
+    }
+
+    #[test]
+    fn equal_speed_platforms_rescale_subtree_and_capped_schedules() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let double = Platform::heterogeneous(vec![ProcClass::new(4, 2.0)]).with_memory_cap(1e9);
+        let unit = Platform::new(4).with_memory_cap(1e9);
+        for name in ["subtrees", "optim", "membound", "mem-greedy", "deepest"] {
+            let fast = r
+                .get(name)
+                .unwrap()
+                .schedule(&Request::new(&t, double.clone()), &mut scratch)
+                .unwrap();
+            let slow = r
+                .get(name)
+                .unwrap()
+                .schedule(&Request::new(&t, unit.clone()), &mut scratch)
+                .unwrap();
+            assert!(
+                (fast.eval.makespan - slow.eval.makespan / 2.0).abs() < 1e-9,
+                "{name}: {} vs {}",
+                fast.eval.makespan,
+                slow.eval.makespan
+            );
+            assert_eq!(
+                fast.eval.peak_memory, slow.eval.peak_memory,
+                "{name}: time scaling must not change memory"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_heterogeneous_spelling_matches_homogeneous_bit_for_bit() {
+        // all speeds 1.0 split across two classes + one all-covering domain:
+        // every scheduler must produce the exact same Schedule as the flat
+        // spelling — the backward-compatibility contract of the redesign
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let cap = crate::bounds::memory_reference(&t);
+        let uniform = Platform::heterogeneous(vec![ProcClass::new(1, 1.0), ProcClass::new(3, 1.0)])
+            .with_domain(cap, &[0, 1]);
+        let flat = Platform::new(4).with_memory_cap(cap);
+        for e in r.iter() {
+            let a = e
+                .scheduler()
+                .schedule(
+                    &Request::new(&t, uniform.clone()).with_seed(9),
+                    &mut scratch,
+                )
+                .unwrap();
+            let b = e
+                .scheduler()
+                .schedule(&Request::new(&t, flat.clone()).with_seed(9), &mut scratch)
+                .unwrap();
+            assert_eq!(a.schedule, b.schedule, "{}", e.name());
+            assert_eq!(a.eval, b.eval, "{}", e.name());
+            // the het spelling additionally reports its single-domain peak,
+            // which must equal the global peak
+            assert_eq!(a.domain_peaks, vec![a.eval.peak_memory], "{}", e.name());
+            assert_eq!(b.domain_peaks, Vec::<f64>::new(), "{}", e.name());
+        }
     }
 
     #[test]

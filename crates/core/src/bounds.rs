@@ -1,5 +1,6 @@
 //! Lower bounds for both objectives (paper §6.3, Figure 6).
 
+use crate::api::Platform;
 use treesched_model::TaskTree;
 
 /// Makespan lower bound for `p` processors: the maximum of the average load
@@ -8,6 +9,30 @@ use treesched_model::TaskTree;
 pub fn makespan_lower_bound(tree: &TaskTree, p: u32) -> f64 {
     assert!(p > 0, "need at least one processor");
     (tree.total_work() / p as f64).max(tree.critical_path())
+}
+
+/// [`makespan_lower_bound`] generalized to a heterogeneous [`Platform`]:
+/// the maximum of the speed-weighted average load `W / Σ speed_i` (no
+/// schedule can process work faster than every processor running flat out)
+/// and the critical path on the fastest processor `CP / max_i speed_i`
+/// (dependent work cannot be split). On unit-speed platforms this is
+/// exactly [`makespan_lower_bound`], bit for bit.
+pub fn makespan_lower_bound_on(tree: &TaskTree, platform: &Platform) -> f64 {
+    if platform.is_unit_speed() {
+        return makespan_lower_bound(tree, platform.processors());
+    }
+    let total_speed: f64 = platform
+        .classes()
+        .iter()
+        .map(|c| c.count as f64 * c.speed)
+        .sum();
+    let max_speed = platform
+        .classes()
+        .iter()
+        .map(|c| c.speed)
+        .fold(0.0f64, f64::max);
+    assert!(total_speed > 0.0, "need at least one processor");
+    (tree.total_work() / total_speed).max(tree.critical_path() / max_speed)
 }
 
 /// Memory reference used by the paper (§6.1, §6.3): the peak of the

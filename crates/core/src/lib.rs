@@ -26,9 +26,12 @@
 //!
 //! * the [`api::Scheduler`] trait:
 //!   `schedule(&Request, &mut Scratch) -> Result<Outcome, SchedError>`;
-//! * [`api::Platform`] (processors + optional memory cap),
+//! * [`api::Platform`] (processor classes with per-class speeds + memory
+//!   domains; the paper's `p`-identical-processors machine is the flat
+//!   special case built by [`api::Platform::new`]),
 //!   [`api::Request`] (tree + platform + [`SeqAlgo`] choice), and
-//!   [`api::Outcome`] (schedule + validated [`EvalResult`] + diagnostics);
+//!   [`api::Outcome`] (schedule + validated [`EvalResult`] + per-domain
+//!   peaks + diagnostics);
 //! * [`api::SchedulerRegistry`] — name-based lookup with canonical names
 //!   and aliases, used by every front-end (CLI, experiment harness) so no
 //!   per-heuristic dispatch exists outside this crate;
@@ -76,16 +79,20 @@ pub mod schedule;
 pub mod split;
 
 pub use api::{
-    tree_fingerprint, Diagnostics, Outcome, OwnedRequest, Platform, Request, SchedError, Scheduler,
-    SchedulerRegistry, Scratch, ScratchStats,
+    tree_fingerprint, Diagnostics, MemDomain, Outcome, OwnedRequest, Platform, ProcClass, Request,
+    SchedError, Scheduler, SchedulerRegistry, Scratch, ScratchStats,
 };
 pub use baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
-pub use bounds::{makespan_lower_bound, memory_lower_bound_exact, memory_reference};
+pub use bounds::{
+    makespan_lower_bound, makespan_lower_bound_on, memory_lower_bound_exact, memory_reference,
+};
 pub use heuristics::{
     par_deepest_first, par_inner_first, par_subtrees, par_subtrees_optim, Heuristic, SeqAlgo,
 };
-pub use listsched::list_schedule;
+pub use listsched::{list_schedule, Speeds};
 pub use membound::{mem_bounded_schedule, Admission, MemBoundedRun};
 pub use pareto::{dominated_by_frontier, pareto_frontier, ParetoPoint};
-pub use schedule::{evaluate, try_evaluate, EvalResult, Placement, Schedule, ScheduleError};
+pub use schedule::{
+    evaluate, try_evaluate, try_evaluate_on, EvalResult, Placement, Schedule, ScheduleError,
+};
 pub use split::{split_subtrees, Split};

@@ -65,11 +65,48 @@ pub struct ListScratch {
     proc_of: Vec<u32>,
 }
 
+/// Per-processor execution speeds for the list scheduler.
+///
+/// A task of work `w` placed on processor `i` runs for `w / speed(i)`.
+/// [`Speeds::Unit`] is the paper's model of identical processors and is the
+/// fast path: no per-processor scan, and `w / 1.0 == w` bit-for-bit, so
+/// unit-speed schedules are byte-identical to the historical ones.
+#[derive(Clone, Copy, Debug)]
+pub enum Speeds<'a> {
+    /// `p` processors, all at speed `1.0`.
+    Unit(u32),
+    /// One finite, positive speed factor per processor (the slice length is
+    /// the processor count). Validated upstream by
+    /// [`crate::api::Platform::validate`].
+    Per(&'a [f64]),
+}
+
+impl Speeds<'_> {
+    /// Number of processors.
+    pub fn count(&self) -> u32 {
+        match self {
+            Speeds::Unit(p) => *p,
+            Speeds::Per(s) => s.len() as u32,
+        }
+    }
+
+    /// Speed of processor `proc`.
+    #[inline]
+    pub fn speed(&self, proc: u32) -> f64 {
+        match self {
+            Speeds::Unit(_) => 1.0,
+            Speeds::Per(s) => s[proc as usize],
+        }
+    }
+}
+
 /// The event loop shared by [`list_schedule`] and [`list_schedule_reusing`]:
 /// callers provide pre-seeded queues and tables; `placements` is returned
 /// because it becomes the produced [`Schedule`] and cannot be reused.
+#[allow(clippy::too_many_arguments)]
 fn run_list<K: Ord + Copy>(
     tree: &TaskTree,
+    speeds: Speeds<'_>,
     keys: &[K],
     ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
     events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
@@ -95,8 +132,23 @@ fn run_list<K: Ord + Copy>(
                   proc_of: &mut [u32]| {
         while !free_procs.is_empty() && !ready.is_empty() {
             let Reverse((_, node)) = ready.pop().expect("nonempty");
-            let proc = free_procs.pop().expect("nonempty");
-            let finish = t + tree.work(node);
+            // Every free processor can start the task at `t`, so the
+            // earliest-finishing one is the fastest. Ties keep the LIFO
+            // (last-freed) slot, which on unit speeds reproduces the
+            // historical single-speed assignment exactly.
+            let proc = match speeds {
+                Speeds::Unit(_) => free_procs.pop().expect("nonempty"),
+                Speeds::Per(s) => {
+                    let mut best = free_procs.len() - 1;
+                    for j in (0..best).rev() {
+                        if s[free_procs[j] as usize] > s[free_procs[best] as usize] {
+                            best = j;
+                        }
+                    }
+                    free_procs.remove(best)
+                }
+            };
+            let finish = t + tree.work(node) / speeds.speed(proc);
             placements[node.index()] = Placement {
                 proc,
                 start: t,
@@ -163,6 +215,7 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
 
     let placements = run_list(
         tree,
+        Speeds::Unit(p),
         keys,
         &mut ready,
         &mut events,
@@ -189,6 +242,26 @@ pub fn list_schedule_reusing(
     keys: &[Key3],
     scratch: &mut ListScratch,
 ) -> Schedule {
+    list_schedule_with_speeds(tree, Speeds::Unit(p), keys, scratch)
+}
+
+/// As [`list_schedule_reusing`], but over processors of explicit
+/// [`Speeds`]: ready tasks still leave the queue in priority order, and
+/// each is placed on the free processor where it would *finish* earliest
+/// (the fastest free one), not merely on any free processor.
+///
+/// With [`Speeds::Unit`] this is exactly [`list_schedule_reusing`].
+///
+/// # Panics
+///
+/// Panics when the processor count is 0 or `keys.len() != tree.len()`.
+pub fn list_schedule_with_speeds(
+    tree: &TaskTree,
+    speeds: Speeds<'_>,
+    keys: &[Key3],
+    scratch: &mut ListScratch,
+) -> Schedule {
+    let p = speeds.count();
     assert!(p > 0, "need at least one processor");
     assert_eq!(keys.len(), tree.len(), "one key per task");
     let n = tree.len();
@@ -211,6 +284,7 @@ pub fn list_schedule_reusing(
 
     let placements = run_list(
         tree,
+        speeds,
         keys,
         &mut scratch.ready,
         &mut scratch.events,
@@ -368,5 +442,68 @@ mod tests {
         let t = TaskTree::chain(2, 1.0, 1.0, 0.0);
         let keys = keys_from_order(&t, &t.postorder());
         let _ = list_schedule(&t, 0, &keys);
+    }
+
+    #[test]
+    fn all_unit_per_speeds_match_the_unit_fast_path_exactly() {
+        // Speeds::Per with all-1.0 entries must take the same decisions as
+        // Speeds::Unit, down to the processor indices — this is what makes
+        // "uniform heterogeneous" platforms bit-compatible with homogeneous
+        // ones.
+        let mut scratch = ListScratch::default();
+        for t in [
+            TaskTree::fork(9, 1.0, 1.0, 0.0),
+            TaskTree::complete(3, 4, 1.0, 1.0, 0.0),
+            TaskTree::chain(7, 2.0, 1.0, 0.0),
+        ] {
+            let keys: Vec<Key3> = keys_from_order(&t, &t.postorder())
+                .into_iter()
+                .map(|k| (k as u64, 0, 0))
+                .collect();
+            for p in [1usize, 3, 5] {
+                let unit =
+                    list_schedule_with_speeds(&t, Speeds::Unit(p as u32), &keys, &mut scratch);
+                let ones = vec![1.0f64; p];
+                let per = list_schedule_with_speeds(&t, Speeds::Per(&ones), &keys, &mut scratch);
+                assert_eq!(unit, per, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_go_to_the_fastest_free_processor() {
+        // fork with 2 leaves on a fast + slow pair: the higher-priority leaf
+        // takes the fast processor, and the root (ready when both finish)
+        // also lands on the fast one
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        let keys = keys_from_order(&t, &t.postorder());
+        let keys: Vec<Key3> = keys.into_iter().map(|k| (k as u64, 0, 0)).collect();
+        let speeds = [2.0f64, 1.0];
+        let mut scratch = ListScratch::default();
+        let s = list_schedule_with_speeds(&t, Speeds::Per(&speeds), &keys, &mut scratch);
+        // leaf 1 (first in postorder) on proc 0 at speed 2: finishes at 0.5
+        assert_eq!(s.placement(NodeId(1)).proc, 0);
+        assert_eq!(s.placement(NodeId(1)).finish, 0.5);
+        // leaf 2 runs concurrently on the slow processor
+        assert_eq!(s.placement(NodeId(2)).proc, 1);
+        assert_eq!(s.placement(NodeId(2)).finish, 1.0);
+        // root becomes ready at t = 1 and picks the fast (free) processor
+        assert_eq!(s.placement(NodeId(0)).proc, 0);
+        assert_eq!(s.placement(NodeId(0)).start, 1.0);
+        assert_eq!(s.placement(NodeId(0)).finish, 1.5);
+    }
+
+    #[test]
+    fn faster_processors_shorten_the_makespan() {
+        let t = TaskTree::complete(2, 5, 1.0, 1.0, 0.0);
+        let keys: Vec<Key3> = keys_from_order(&t, &t.postorder())
+            .into_iter()
+            .map(|k| (k as u64, 0, 0))
+            .collect();
+        let mut scratch = ListScratch::default();
+        let uniform = list_schedule_with_speeds(&t, Speeds::Unit(4), &keys, &mut scratch);
+        let boosted = [4.0f64, 1.0, 1.0, 1.0];
+        let het = list_schedule_with_speeds(&t, Speeds::Per(&boosted), &keys, &mut scratch);
+        assert!(het.makespan() < uniform.makespan());
     }
 }

@@ -1,5 +1,12 @@
 //! Parallel schedules and their evaluation (makespan + peak memory).
+//!
+//! Evaluation is platform-aware: [`Schedule::validate`] checks the paper's
+//! unit-speed model, while [`Schedule::validate_on`] and [`try_evaluate_on`]
+//! scale each task's expected execution time by the speed of its assigned
+//! processor and additionally expose per-memory-domain peaks
+//! ([`Schedule::domain_peaks`]) for NUMA-style platforms.
 
+use crate::api::Platform;
 use treesched_model::{NodeId, TaskTree};
 
 /// Placement of one task: processor and time interval.
@@ -76,11 +83,43 @@ impl Schedule {
         self.placements[i.index()]
     }
 
-    /// Checks that the schedule is feasible for `tree`:
+    /// Checks that the schedule is feasible for `tree` under the paper's
+    /// unit-speed model:
     /// every task placed exactly once with `finish = start + w`, processors
     /// in range, no overlap per processor, and every parent starting no
     /// earlier than the finish of each of its children.
     pub fn validate(&self, tree: &TaskTree) -> Result<(), ScheduleError> {
+        self.validate_with(tree, |_| 1.0)
+    }
+
+    /// [`Schedule::validate`] for a heterogeneous [`Platform`]: the expected
+    /// execution time of a task on processor `i` is `w / speed(i)`.
+    ///
+    /// The platform must describe the `processors` this schedule was built
+    /// for; placements on processors outside the platform are
+    /// [`ScheduleError::BadProcessor`].
+    pub fn validate_on(&self, tree: &TaskTree, platform: &Platform) -> Result<(), ScheduleError> {
+        if self.placements.len() != tree.len() {
+            return Err(ScheduleError::WrongLength {
+                expected: tree.len(),
+                got: self.placements.len(),
+            });
+        }
+        let p = platform.processors();
+        if let Some(i) = tree.ids().find(|&i| self.placement(i).proc >= p) {
+            return Err(ScheduleError::BadProcessor {
+                node: i,
+                proc: self.placement(i).proc,
+            });
+        }
+        self.validate_with(tree, |proc| platform.speed_of(proc))
+    }
+
+    fn validate_with(
+        &self,
+        tree: &TaskTree,
+        speed_of: impl Fn(u32) -> f64,
+    ) -> Result<(), ScheduleError> {
         let n = tree.len();
         if self.placements.len() != n {
             return Err(ScheduleError::WrongLength {
@@ -90,18 +129,18 @@ impl Schedule {
         }
         for i in tree.ids() {
             let pl = self.placement(i);
-            let w = tree.work(i);
-            if !(pl.start.is_finite() && pl.finish.is_finite())
-                || pl.start < 0.0
-                || (pl.finish - (pl.start + w)).abs() > TIME_EPS * (1.0 + pl.finish.abs())
-            {
-                return Err(ScheduleError::BadInterval { node: i });
-            }
             if pl.proc >= self.processors {
                 return Err(ScheduleError::BadProcessor {
                     node: i,
                     proc: pl.proc,
                 });
+            }
+            let w = tree.work(i) / speed_of(pl.proc);
+            if !(pl.start.is_finite() && pl.finish.is_finite())
+                || pl.start < 0.0
+                || (pl.finish - (pl.start + w)).abs() > TIME_EPS * (1.0 + pl.finish.abs())
+            {
+                return Err(ScheduleError::BadInterval { node: i });
             }
             for &c in tree.children(i) {
                 let cf = self.placement(c).finish;
@@ -173,6 +212,57 @@ impl Schedule {
             cur += e.delta;
             if cur > peak {
                 peak = cur;
+            }
+        }
+        peak
+    }
+
+    /// Peak memory per memory domain of `platform`, via the same event
+    /// sweep as [`Schedule::peak_memory`] split by domain.
+    ///
+    /// A task's footprint (`n_i + f_i`) lives in the domain of the
+    /// processor it runs on: allocated there at `start(i)`, the program
+    /// `n_i` freed there at `finish(i)`. An input file is freed from the
+    /// domain of the *child* that produced it when the parent finishes —
+    /// cross-domain parent/child edges release memory where the file was
+    /// allocated, not where it is consumed. Tasks on processors outside
+    /// every declared domain are unconstrained and count toward no domain.
+    ///
+    /// Returns one peak per domain, in [`Platform::domains`] order; empty
+    /// when the platform declares no domains.
+    pub fn domain_peaks(&self, tree: &TaskTree, platform: &Platform) -> Vec<f64> {
+        let n_domains = platform.domains().len();
+        if n_domains == 0 {
+            return Vec::new();
+        }
+        // (time, phase, domain, delta): frees (phase 0) before allocations
+        // (phase 1) at equal instants, exactly like the global sweep
+        let mut evs: Vec<(f64, u8, usize, f64)> = Vec::with_capacity(tree.len() * 2);
+        for i in tree.ids() {
+            let pl = self.placement(i);
+            let Some(d) = platform.domain_of(pl.proc) else {
+                continue;
+            };
+            evs.push((pl.start, 1, d, tree.exec(i) + tree.output(i)));
+            evs.push((pl.finish, 0, d, -tree.exec(i)));
+        }
+        // input files are freed from the producing child's domain when the
+        // parent finishes (the root's output stays resident to the end)
+        for i in tree.ids() {
+            let finish = self.placement(i).finish;
+            for &c in tree.children(i) {
+                if let Some(d) = platform.domain_of(self.placement(c).proc) {
+                    evs.push((finish, 0, d, -tree.output(c)));
+                }
+            }
+        }
+        evs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = vec![0.0f64; n_domains];
+        let mut peak = vec![0.0f64; n_domains];
+        for (_, _, d, delta) in evs {
+            cur[d] += delta;
+            if cur[d] > peak[d] {
+                peak[d] = cur[d];
             }
         }
         peak
@@ -264,6 +354,23 @@ pub struct EvalResult {
 /// comes back as the [`ScheduleError`] that [`Schedule::validate`] found.
 pub fn try_evaluate(tree: &TaskTree, schedule: &Schedule) -> Result<EvalResult, ScheduleError> {
     schedule.validate(tree)?;
+    Ok(EvalResult {
+        makespan: schedule.makespan(),
+        peak_memory: schedule.peak_memory(tree),
+    })
+}
+
+/// [`try_evaluate`] for a heterogeneous [`Platform`]: validation scales
+/// each task's expected duration by its processor's speed
+/// ([`Schedule::validate_on`]). The reported `peak_memory` stays the
+/// platform-global peak (the sum over all domains at the worst instant);
+/// per-domain peaks come from [`Schedule::domain_peaks`].
+pub fn try_evaluate_on(
+    tree: &TaskTree,
+    schedule: &Schedule,
+    platform: &Platform,
+) -> Result<EvalResult, ScheduleError> {
+    schedule.validate_on(tree, platform)?;
     Ok(EvalResult {
         makespan: schedule.makespan(),
         peak_memory: schedule.peak_memory(tree),

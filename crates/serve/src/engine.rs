@@ -7,7 +7,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use treesched_core::{
-    makespan_lower_bound, memory_reference, tree_fingerprint, Outcome, OwnedRequest, Platform,
+    makespan_lower_bound_on, memory_reference, tree_fingerprint, Outcome, OwnedRequest, Platform,
     SchedError, SchedulerRegistry, Scratch, SeqAlgo,
 };
 use treesched_model::TaskTree;
@@ -64,7 +64,8 @@ impl ServeRequest {
 pub struct ServeOutcome {
     /// Schedule, validated evaluation, and diagnostics.
     pub outcome: Outcome,
-    /// Makespan lower bound `max(W/p, CP)` of the request's scenario.
+    /// Makespan lower bound of the request's scenario (speed-aware on
+    /// heterogeneous platforms; `max(W/p, CP)` on uniform ones).
     pub ms_lb: f64,
     /// Sequential memory reference (optimal postorder peak) of the tree.
     pub mem_ref: f64,
@@ -82,10 +83,8 @@ pub struct ServeResult {
     /// Canonical scheduler name once resolved; the requested name verbatim
     /// when resolution failed.
     pub scheduler: String,
-    /// Processor count of the request's platform.
-    pub processors: u32,
-    /// Memory cap of the request's platform.
-    pub cap: Option<f64>,
+    /// The request's platform (processor classes + memory domains).
+    pub platform: Platform,
     /// Number of tasks of the request's tree.
     pub tasks: usize,
     /// The outcome, or the typed error the scheduler returned.
@@ -324,7 +323,7 @@ fn serve_one(
             _ => memory_reference(tree),
         };
         ServeOutcome {
-            ms_lb: makespan_lower_bound(tree, req.platform.processors),
+            ms_lb: makespan_lower_bound_on(tree, &req.platform),
             mem_ref,
             outcome,
         }
@@ -333,8 +332,7 @@ fn serve_one(
         index,
         id: request.id.clone(),
         scheduler,
-        processors: request.problem.platform.processors,
-        cap: request.problem.platform.memory_cap,
+        platform: request.problem.platform.clone(),
         tasks: tree.len(),
         outcome,
     }
@@ -512,7 +510,7 @@ mod tests {
         let results = engine.drain();
         for r in &results {
             let out = r.outcome.as_ref().unwrap();
-            assert_eq!(out.ms_lb, makespan_lower_bound(&tree, 4));
+            assert_eq!(out.ms_lb, treesched_core::makespan_lower_bound(&tree, 4));
             assert_eq!(out.mem_ref, memory_reference(&tree));
             assert!(out.outcome.eval.makespan >= out.ms_lb);
         }
@@ -543,6 +541,41 @@ mod tests {
         let tree = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0));
         engine.submit(ServeRequest::new(tree, "Panicky", Platform::new(2)));
         engine.drain();
+    }
+
+    #[test]
+    fn heterogeneous_platforms_stream_through_the_engine() {
+        use treesched_core::ProcClass;
+        let tree = Arc::new(TaskTree::complete(2, 5, 1.0, 2.0, 0.5));
+        let het = Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+            .with_domain(1e9, &[0])
+            .with_domain(1e9, &[1]);
+        let stream = |platform: &Platform| -> Vec<ServeRequest> {
+            ["deepest", "inner", "fifo", "subtrees"]
+                .iter()
+                .map(|name| ServeRequest::new(Arc::clone(&tree), *name, platform.clone()))
+                .collect()
+        };
+        let run = |workers: usize| {
+            let mut engine = ServeEngine::new(SchedulerRegistry::standard(), workers);
+            engine.run(stream(&het))
+        };
+        let results = run(1);
+        for r in &results[..3] {
+            let out = r.outcome.as_ref().expect("list schedulers serve het");
+            assert_eq!(out.ms_lb, makespan_lower_bound_on(&tree, &het));
+            assert_eq!(out.outcome.domain_peaks.len(), 2);
+            assert_eq!(r.platform, het);
+        }
+        // ParSubtrees refuses mixed speeds as data, not a panic
+        assert!(matches!(
+            results[3].outcome,
+            Err(SchedError::UnsupportedPlatform { .. })
+        ));
+        // worker-count independence holds for heterogeneous streams too
+        let again: Vec<String> = run(4).iter().map(crate::jsonl::result_json).collect();
+        let reference: Vec<String> = results.iter().map(crate::jsonl::result_json).collect();
+        assert_eq!(again, reference);
     }
 
     #[test]

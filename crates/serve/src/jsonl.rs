@@ -1,17 +1,24 @@
-//! The serving wire protocol: one flat JSON object per line.
+//! The serving wire protocol: one JSON object per line.
 //!
-//! **Requests** (in): `tree` (path to a `treesched tree v1` file) and
-//! `processors` are required; `id`, `scheduler`, `cap`, `seq`
-//! (`best|naive|liu`) and `seed` are optional:
+//! **Requests** (in): `tree` (path to a `treesched tree v1` file) is
+//! required, plus a platform — either the flat legacy fields `processors`
+//! (+ optional `cap`), or a nested `platform` object of processor classes
+//! and memory domains; `id`, `scheduler`, `seq` (`best|naive|liu`) and
+//! `seed` are optional:
 //!
 //! ```json
 //! {"id":"r1","tree":"fork.tree","scheduler":"deepest","processors":4}
+//! {"id":"r2","tree":"fork.tree","scheduler":"deepest","platform":
+//!   {"classes":[{"count":2,"speed":2},{"count":2,"speed":1}],
+//!    "domains":[{"capacity":64,"classes":[0]},{"capacity":64,"classes":[1]}]}}
 //! ```
 //!
 //! **Responses** (out) reuse the field conventions of the CLI's
 //! `schedule --json` record — same keys, same order, numbers in Rust
 //! `Display` form, absent values as `null` — prefixed with the echoed
-//! `id`:
+//! `id`. Flat-platform responses are byte-identical to the pre-platform
+//! protocol; heterogeneous responses additionally carry the `platform`
+//! object (after `processors`) and per-domain peaks (`domain_peaks`, last):
 //!
 //! ```json
 //! {"id":"r1","scheduler":"ParDeepestFirst","processors":4,"tasks":7,...}
@@ -20,14 +27,13 @@
 //! Failed requests produce `{"id":...,"error":"..."}` instead, so a
 //! response line is a success record exactly when it has no `error` key.
 //!
-//! The parser accepts flat objects only (strings, numbers, booleans,
-//! `null`); nested containers are a protocol error. This keeps the crate
-//! dependency-free while staying a strict subset of JSON — any JSON
-//! tooling can produce and consume the stream.
+//! The parser accepts full JSON values (objects and arrays included) but
+//! requests use nesting only for the `platform` object. The crate stays
+//! dependency-free — any JSON tooling can produce and consume the stream.
 
-use treesched_core::SeqAlgo;
+use treesched_core::{MemDomain, Platform, ProcClass, SeqAlgo};
 
-/// One parsed scalar value of a flat JSON object.
+/// One parsed value of a JSON object.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// A JSON string, unescaped.
@@ -38,37 +44,21 @@ pub enum Value {
     Bool(bool),
     /// `null`.
     Null,
+    /// A nested object, key order preserved.
+    Obj(Vec<(String, Value)>),
+    /// A nested array.
+    Arr(Vec<Value>),
 }
 
-/// Parses one line as a flat JSON object, preserving key order.
+/// Parses one line as a JSON object, preserving key order.
 pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     let mut p = Parser {
         bytes: line.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
-    p.expect(b'{')?;
-    let mut pairs = Vec::new();
-    p.skip_ws();
-    if p.peek() == Some(b'}') {
-        p.pos += 1;
-    } else {
-        loop {
-            p.skip_ws();
-            let key = p.string()?;
-            p.skip_ws();
-            p.expect(b':')?;
-            p.skip_ws();
-            let value = p.value()?;
-            pairs.push((key, value));
-            p.skip_ws();
-            match p.next() {
-                Some(b',') => continue,
-                Some(b'}') => break,
-                _ => return Err(p.err("expected `,` or `}`")),
-            }
-        }
-    }
+    let pairs = p.object()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing characters after the object"));
@@ -76,14 +66,64 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     Ok(pairs)
 }
 
+/// Nesting bound for untrusted request lines: a `platform` object needs
+/// depth 4; anything deeper is garbage, not a legal request.
+const MAX_DEPTH: usize = 16;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> String {
         format!("{msg} at byte {}", self.pos)
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(pairs);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(pairs),
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Vec<Value>, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(items);
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(items),
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -190,7 +230,18 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
             Some(b'n') => self.literal("null", Value::Null),
-            Some(b'{') | Some(b'[') => Err(self.err("nested values are not supported")),
+            Some(b'{') => {
+                self.descend()?;
+                let obj = self.object()?;
+                self.depth -= 1;
+                Ok(Value::Obj(obj))
+            }
+            Some(b'[') => {
+                self.descend()?;
+                let arr = self.array()?;
+                self.depth -= 1;
+                Ok(Value::Arr(arr))
+            }
             Some(c) if c == b'-' || c.is_ascii_digit() => {
                 let start = self.pos;
                 while matches!(
@@ -206,6 +257,14 @@ impl Parser<'_> {
             }
             _ => Err(self.err("expected a value")),
         }
+    }
+
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("value nested too deeply"));
+        }
+        Ok(())
     }
 
     fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
@@ -238,8 +297,163 @@ pub fn escape(s: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Platform wire format
+// ---------------------------------------------------------------------------
+
+/// Renders `platform` as its wire object:
+/// `{"classes":[{"count":..,"speed":..},..],"domains":[{"capacity":..,"classes":[..]},..]}`
+/// (`domains` omitted when empty). [`platform_from_value`] parses it back.
+pub fn platform_json(platform: &Platform) -> String {
+    let mut s = String::from("{\"classes\":[");
+    for (k, c) in platform.classes().iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{{\"count\":{},\"speed\":{}}}", c.count, c.speed));
+    }
+    s.push(']');
+    if !platform.domains().is_empty() {
+        s.push_str(",\"domains\":[");
+        for (k, d) in platform.domains().iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let classes: Vec<String> = d.classes.iter().map(|c| c.to_string()).collect();
+            s.push_str(&format!(
+                "{{\"capacity\":{},\"classes\":[{}]}}",
+                d.capacity,
+                classes.join(",")
+            ));
+        }
+        s.push(']');
+    }
+    s.push('}');
+    s
+}
+
+fn num_field<T: std::str::FromStr>(v: &Value, what: &str) -> Result<T, String> {
+    match v {
+        Value::Num(raw) => raw
+            .parse()
+            .map_err(|_| format!("`{what}` must be a number of the right kind, got `{raw}`")),
+        other => Err(format!("`{what}` must be a number, got {other:?}")),
+    }
+}
+
+/// Parses a `platform` wire object (see [`platform_json`]) into a
+/// [`Platform`]. Structural errors only — invariant checking (speeds,
+/// domain shapes) stays with [`Platform::validate`] downstream.
+pub fn platform_from_value(value: &Value) -> Result<Platform, String> {
+    let Value::Obj(pairs) = value else {
+        return Err(format!("`platform` must be an object, got {value:?}"));
+    };
+    let mut classes: Option<Vec<ProcClass>> = None;
+    let mut domains: Vec<MemDomain> = Vec::new();
+    for (key, v) in pairs {
+        match (key.as_str(), v) {
+            ("classes", Value::Arr(items)) => {
+                let mut parsed = Vec::with_capacity(items.len());
+                for item in items {
+                    let Value::Obj(fields) = item else {
+                        return Err(format!(
+                            "each platform class must be an object, got {item:?}"
+                        ));
+                    };
+                    let mut count: Option<u32> = None;
+                    let mut speed = 1.0f64;
+                    for (k, v) in fields {
+                        match k.as_str() {
+                            "count" => count = Some(num_field(v, "count")?),
+                            "speed" => speed = num_field(v, "speed")?,
+                            other => return Err(format!("unknown platform class key `{other}`")),
+                        }
+                    }
+                    let count = count.ok_or("platform class needs a `count`")?;
+                    parsed.push(ProcClass::new(count, speed));
+                }
+                classes = Some(parsed);
+            }
+            ("domains", Value::Arr(items)) => {
+                for item in items {
+                    let Value::Obj(fields) = item else {
+                        return Err(format!(
+                            "each platform domain must be an object, got {item:?}"
+                        ));
+                    };
+                    let mut capacity: Option<f64> = None;
+                    let mut members: Vec<usize> = Vec::new();
+                    for (k, v) in fields {
+                        match (k.as_str(), v) {
+                            ("capacity", v) => capacity = Some(num_field(v, "capacity")?),
+                            ("classes", Value::Arr(ids)) => {
+                                for id in ids {
+                                    members.push(num_field(id, "domain class index")?);
+                                }
+                            }
+                            ("classes", v) => {
+                                return Err(format!("domain `classes` must be an array, got {v:?}"))
+                            }
+                            (other, _) => {
+                                return Err(format!("unknown platform domain key `{other}`"))
+                            }
+                        }
+                    }
+                    domains.push(MemDomain {
+                        capacity: capacity.ok_or("platform domain needs a `capacity`")?,
+                        classes: members,
+                    });
+                }
+            }
+            ("classes", v) => {
+                return Err(format!("platform `classes` must be an array, got {v:?}"))
+            }
+            ("domains", v) => {
+                return Err(format!("platform `domains` must be an array, got {v:?}"))
+            }
+            (other, _) => return Err(format!("unknown platform key `{other}`")),
+        }
+    }
+    let classes = classes.ok_or("platform needs a `classes` array")?;
+    let mut platform = Platform::heterogeneous(classes);
+    for d in domains {
+        platform = platform.with_domain(d.capacity, &d.classes);
+    }
+    Ok(platform)
+}
+
+// ---------------------------------------------------------------------------
 // Request records
 // ---------------------------------------------------------------------------
+
+/// How a request line spelled its platform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlatformSpec {
+    /// The flat legacy fields: `processors` plus optional `cap`.
+    Flat {
+        /// Processor count (`processors`, ≥ 1 checked downstream).
+        processors: u32,
+        /// Shared memory cap (`cap`, optional).
+        cap: Option<f64>,
+    },
+    /// The nested `platform` object.
+    Explicit(Platform),
+}
+
+impl PlatformSpec {
+    /// The platform this spec describes.
+    pub fn to_platform(&self) -> Platform {
+        match self {
+            PlatformSpec::Flat { processors, cap } => {
+                let platform = Platform::new(*processors);
+                match cap {
+                    Some(cap) => platform.with_memory_cap(*cap),
+                    None => platform,
+                }
+            }
+            PlatformSpec::Explicit(platform) => platform.clone(),
+        }
+    }
+}
 
 /// One parsed request line of the serving protocol.
 #[derive(Clone, Debug, PartialEq)]
@@ -251,10 +465,11 @@ pub struct RequestRecord {
     /// Scheduler registry name or alias (`scheduler`, optional — the
     /// engine front-end supplies its default).
     pub scheduler: Option<String>,
-    /// Processor count (`processors`, required, ≥ 0 checked downstream).
-    pub processors: u32,
-    /// Platform memory cap (`cap`, optional).
-    pub cap: Option<f64>,
+    /// The requested platform: flat `processors`/`cap` fields or a nested
+    /// `platform` object. `None` when the line carried neither — the
+    /// front-end decides whether a default platform applies or the request
+    /// is an error.
+    pub platform: Option<PlatformSpec>,
     /// Sequential sub-algorithm (`seq`: `best|naive|liu`, optional).
     pub seq: Option<SeqAlgo>,
     /// Seed for randomized schedulers (`seed`, optional).
@@ -270,13 +485,14 @@ impl RequestRecord {
             id: None,
             tree: String::new(),
             scheduler: None,
-            processors: 0,
-            cap: None,
+            platform: None,
             seq: None,
             seed: None,
         };
         let mut saw_tree = false;
-        let mut saw_procs = false;
+        let mut processors: Option<u32> = None;
+        let mut cap: Option<f64> = None;
+        let mut explicit: Option<Platform> = None;
         for (key, value) in pairs {
             match (key.as_str(), value) {
                 (_, Value::Null) => {} // explicit null == absent
@@ -287,18 +503,18 @@ impl RequestRecord {
                 }
                 ("scheduler", Value::Str(s)) => rec.scheduler = Some(s),
                 ("processors", Value::Num(raw)) => {
-                    rec.processors = raw.parse().map_err(|_| {
+                    processors = Some(raw.parse().map_err(|_| {
                         format!("`processors` must be a non-negative integer, got `{raw}`")
-                    })?;
-                    saw_procs = true;
+                    })?);
                 }
                 ("cap", Value::Num(raw)) => {
-                    let cap: f64 = raw.parse().expect("validated by the parser");
-                    if !cap.is_finite() {
+                    let c: f64 = raw.parse().expect("validated by the parser");
+                    if !c.is_finite() {
                         return Err(format!("`cap` must be finite, got `{raw}`"));
                     }
-                    rec.cap = Some(cap);
+                    cap = Some(c);
                 }
+                ("platform", v @ Value::Obj(_)) => explicit = Some(platform_from_value(&v)?),
                 ("seq", Value::Str(s)) => {
                     rec.seq = Some(
                         SeqAlgo::by_name(&s)
@@ -316,20 +532,29 @@ impl RequestRecord {
                 (k @ ("processors" | "cap" | "seed"), v) => {
                     return Err(format!("`{k}` must be a number, got {v:?}"))
                 }
+                ("platform", v) => return Err(format!("`platform` must be an object, got {v:?}")),
                 (k, _) => return Err(format!("unknown request key `{k}`")),
             }
         }
         if !saw_tree {
             return Err("request needs a `tree` path".into());
         }
-        if !saw_procs {
-            return Err("request needs `processors`".into());
-        }
+        rec.platform = match (explicit, processors, cap) {
+            (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+                return Err("`platform` cannot be combined with `processors`/`cap`".into())
+            }
+            (Some(platform), None, None) => Some(PlatformSpec::Explicit(platform)),
+            (None, Some(processors), cap) => Some(PlatformSpec::Flat { processors, cap }),
+            (None, None, Some(_)) => return Err("`cap` needs `processors`".into()),
+            (None, None, None) => None,
+        };
         Ok(rec)
     }
 
     /// Renders the record back to its canonical one-line JSON form
-    /// (optional absent fields omitted).
+    /// (optional absent fields omitted). Flat platforms render as the
+    /// legacy `processors`/`cap` fields, byte-compatible with pre-platform
+    /// streams.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
         if let Some(id) = &self.id {
@@ -339,9 +564,17 @@ impl RequestRecord {
         if let Some(name) = &self.scheduler {
             s.push_str(&format!(",\"scheduler\":\"{}\"", escape(name)));
         }
-        s.push_str(&format!(",\"processors\":{}", self.processors));
-        if let Some(cap) = self.cap {
-            s.push_str(&format!(",\"cap\":{cap}"));
+        match &self.platform {
+            Some(PlatformSpec::Flat { processors, cap }) => {
+                s.push_str(&format!(",\"processors\":{processors}"));
+                if let Some(cap) = cap {
+                    s.push_str(&format!(",\"cap\":{cap}"));
+                }
+            }
+            Some(PlatformSpec::Explicit(platform)) => {
+                s.push_str(&format!(",\"platform\":{}", platform_json(platform)));
+            }
+            None => {}
         }
         if let Some(seq) = self.seq {
             s.push_str(&format!(",\"seq\":\"{}\"", seq.name()));
@@ -355,132 +588,201 @@ impl RequestRecord {
 }
 
 // ---------------------------------------------------------------------------
+// Record builder
+// ---------------------------------------------------------------------------
+
+/// Builder for the machine-readable one-line JSON records every `--json`
+/// surface shares: fixed key order (insertion order), numbers in Rust
+/// `Display` form, absent values as explicit `null`. The schedule record,
+/// the serving responses, and the bench summaries are all built through
+/// this, so their field conventions cannot drift apart.
+#[derive(Clone, Debug, Default)]
+pub struct JsonRecord {
+    buf: String,
+}
+
+impl JsonRecord {
+    /// An empty record (`{}` if finished immediately).
+    pub fn new() -> JsonRecord {
+        JsonRecord::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> JsonRecord {
+        self.push_key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends a number field in Rust `Display` form.
+    pub fn num(mut self, key: &str, value: f64) -> JsonRecord {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> JsonRecord {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends an optional number: the value, or `null`.
+    pub fn opt_num(self, key: &str, value: Option<f64>) -> JsonRecord {
+        match value {
+            Some(v) => self.num(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Appends an optional integer: the value, or `null`.
+    pub fn opt_int(self, key: &str, value: Option<u64>) -> JsonRecord {
+        match value {
+            Some(v) => self.int(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Appends an explicit `null` field.
+    pub fn null(mut self, key: &str) -> JsonRecord {
+        self.push_key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim (nested objects/arrays).
+    pub fn raw(mut self, key: &str, rendered: &str) -> JsonRecord {
+        self.push_key(key);
+        self.buf.push_str(rendered);
+        self
+    }
+
+    /// Appends an array of numbers in `Display` form.
+    pub fn num_array(self, key: &str, values: &[f64]) -> JsonRecord {
+        let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.raw(key, &format!("[{}]", items.join(",")))
+    }
+
+    /// Closes the record: `{...}` with no trailing newline (embeddable as a
+    /// nested value via [`JsonRecord::raw`]).
+    pub fn render(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+
+    /// Closes the record as one output line: `{...}\n`.
+    pub fn line(self) -> String {
+        format!("{{{}}}\n", self.buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Response records
 // ---------------------------------------------------------------------------
 
 /// The stable machine-readable record shared by `schedule --json` and the
-/// serving protocol: one flat JSON object, keys fixed, numbers in Rust
-/// `Display` form (finite by construction), absent values as `null`.
-#[allow(clippy::too_many_arguments)]
-pub fn schedule_json(
-    scheduler: &str,
-    processors: u32,
-    tasks: usize,
-    makespan: f64,
-    ms_lb: f64,
-    peak_memory: f64,
-    mem_ref: f64,
-    cap: Option<f64>,
-    cap_violations: Option<usize>,
-) -> String {
-    format!(
-        "{{{}}}\n",
-        schedule_fields(
-            scheduler,
-            processors,
-            tasks,
-            makespan,
-            ms_lb,
-            peak_memory,
-            mem_ref,
-            cap,
-            cap_violations
-        )
-    )
+/// serving protocol, rendered through [`JsonRecord`].
+///
+/// Flat platforms (the paper's `p`-identical-processors machine) render
+/// byte-identically to the pre-platform protocol. Non-flat platforms add a
+/// `platform` object right after `processors` and, when the platform
+/// declares memory domains, a trailing `domain_peaks` array.
+#[derive(Clone, Debug)]
+pub struct ScheduleRecord<'a> {
+    /// Canonical scheduler name.
+    pub scheduler: &'a str,
+    /// The platform the schedule was built for.
+    pub platform: &'a Platform,
+    /// Number of tasks of the tree.
+    pub tasks: usize,
+    /// Achieved makespan.
+    pub makespan: f64,
+    /// Makespan lower bound of the scenario.
+    pub makespan_lower_bound: f64,
+    /// Achieved platform-global peak memory.
+    pub peak_memory: f64,
+    /// Sequential memory reference of the tree.
+    pub memory_reference: f64,
+    /// Forced cap admissions (memory-capped schedulers only).
+    pub cap_violations: Option<usize>,
+    /// Peak memory per platform domain (empty for flat platforms).
+    pub domain_peaks: &'a [f64],
 }
 
-/// A serving response: the `schedule --json` record prefixed with the
-/// echoed request `id` (or `null`).
-#[allow(clippy::too_many_arguments)]
-pub fn response_json(
-    id: Option<&str>,
-    scheduler: &str,
-    processors: u32,
-    tasks: usize,
-    makespan: f64,
-    ms_lb: f64,
-    peak_memory: f64,
-    mem_ref: f64,
-    cap: Option<f64>,
-    cap_violations: Option<usize>,
-) -> String {
-    format!(
-        "{{{},{}}}\n",
-        id_field(id),
-        schedule_fields(
-            scheduler,
-            processors,
-            tasks,
-            makespan,
-            ms_lb,
-            peak_memory,
-            mem_ref,
-            cap,
-            cap_violations
-        )
-    )
+impl ScheduleRecord<'_> {
+    fn fields(&self, rec: JsonRecord) -> JsonRecord {
+        let mut rec = rec
+            .str("scheduler", self.scheduler)
+            .int("processors", u64::from(self.platform.processors()));
+        if !self.platform.is_flat() {
+            rec = rec.raw("platform", &platform_json(self.platform));
+        }
+        rec = rec
+            .int("tasks", self.tasks as u64)
+            .num("makespan", self.makespan)
+            .num("makespan_lower_bound", self.makespan_lower_bound)
+            .num("peak_memory", self.peak_memory)
+            .num("memory_reference", self.memory_reference)
+            .opt_num("cap", self.platform.memory_cap())
+            .opt_int("cap_violations", self.cap_violations.map(|v| v as u64));
+        if !self.domain_peaks.is_empty() {
+            rec = rec.num_array("domain_peaks", self.domain_peaks);
+        }
+        rec
+    }
+
+    /// The `schedule --json` output line.
+    pub fn to_json(&self) -> String {
+        self.fields(JsonRecord::new()).line()
+    }
+
+    /// The serving response line: the same record prefixed with the echoed
+    /// request `id` (or `null`).
+    pub fn response_json(&self, id: Option<&str>) -> String {
+        let rec = match id {
+            Some(id) => JsonRecord::new().str("id", id),
+            None => JsonRecord::new().null("id"),
+        };
+        self.fields(rec).line()
+    }
 }
 
 /// A serving failure response: the echoed `id` plus the typed error's
 /// message.
 pub fn error_json(id: Option<&str>, error: &str) -> String {
-    format!("{{{},\"error\":\"{}\"}}\n", id_field(id), escape(error))
-}
-
-fn id_field(id: Option<&str>) -> String {
-    match id {
-        Some(id) => format!("\"id\":\"{}\"", escape(id)),
-        None => "\"id\":null".to_string(),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn schedule_fields(
-    scheduler: &str,
-    processors: u32,
-    tasks: usize,
-    makespan: f64,
-    ms_lb: f64,
-    peak_memory: f64,
-    mem_ref: f64,
-    cap: Option<f64>,
-    cap_violations: Option<usize>,
-) -> String {
-    let opt = |v: Option<String>| v.unwrap_or_else(|| "null".into());
-    format!(
-        concat!(
-            "\"scheduler\":\"{}\",\"processors\":{},\"tasks\":{},",
-            "\"makespan\":{},\"makespan_lower_bound\":{},",
-            "\"peak_memory\":{},\"memory_reference\":{},",
-            "\"cap\":{},\"cap_violations\":{}"
-        ),
-        escape(scheduler),
-        processors,
-        tasks,
-        makespan,
-        ms_lb,
-        peak_memory,
-        mem_ref,
-        opt(cap.map(|c| c.to_string())),
-        opt(cap_violations.map(|v| v.to_string())),
-    )
+    let rec = match id {
+        Some(id) => JsonRecord::new().str("id", id),
+        None => JsonRecord::new().null("id"),
+    };
+    rec.str("error", error).line()
 }
 
 /// Renders one [`crate::ServeResult`] as its response line.
 pub fn result_json(result: &crate::ServeResult) -> String {
     match &result.outcome {
-        Ok(out) => response_json(
-            result.id.as_deref(),
-            &result.scheduler,
-            result.processors,
-            result.tasks,
-            out.outcome.eval.makespan,
-            out.ms_lb,
-            out.outcome.eval.peak_memory,
-            out.mem_ref,
-            result.cap,
-            out.outcome.diagnostics.cap_violations,
-        ),
+        Ok(out) => ScheduleRecord {
+            scheduler: &result.scheduler,
+            platform: &result.platform,
+            tasks: result.tasks,
+            makespan: out.outcome.eval.makespan,
+            makespan_lower_bound: out.ms_lb,
+            peak_memory: out.outcome.eval.peak_memory,
+            memory_reference: out.mem_ref,
+            cap_violations: out.outcome.diagnostics.cap_violations,
+            domain_peaks: &out.outcome.domain_peaks,
+        }
+        .response_json(result.id.as_deref()),
         Err(e) => error_json(result.id.as_deref(), &e.to_string()),
     }
 }
@@ -517,14 +819,45 @@ mod tests {
             "{\"a\":}",
             "{\"a\":1,}",
             "{\"a\":1} trailing",
-            "{\"a\":{\"nested\":1}}",
-            "{\"a\":[1]}",
+            "{\"a\":{\"nested\":}}",
+            "{\"a\":[1,]}",
+            "{\"a\":[1}",
+            "{\"a\":{\"b\":1]}",
             "{\"a\":1e}",
             "{\"a\":\"unterminated}",
             "{'a':1}",
         ] {
             assert!(parse_object(bad).is_err(), "accepted {bad:?}");
         }
+        // runaway nesting is bounded, not stack-overflowed
+        let deep = format!("{{\"a\":{}1{}}}", "[".repeat(100), "]".repeat(100));
+        let err = parse_object(&deep).unwrap_err();
+        assert!(err.contains("nested too deeply"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_nested_objects_and_arrays() {
+        let pairs = parse_object(r#"{"a":{"b":[1,2,{"c":"x"}],"d":{}},"e":[]}"#).unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                (
+                    "a".into(),
+                    Value::Obj(vec![
+                        (
+                            "b".into(),
+                            Value::Arr(vec![
+                                Value::Num("1".into()),
+                                Value::Num("2".into()),
+                                Value::Obj(vec![("c".into(), Value::Str("x".into()))]),
+                            ])
+                        ),
+                        ("d".into(), Value::Obj(vec![])),
+                    ])
+                ),
+                ("e".into(), Value::Arr(vec![])),
+            ]
+        );
     }
 
     #[test]
@@ -564,8 +897,17 @@ mod tests {
         assert_eq!(rec.id.as_deref(), Some("r1"));
         assert_eq!(rec.tree, "x.tree");
         assert_eq!(rec.scheduler.as_deref(), Some("deepest"));
-        assert_eq!(rec.processors, 4);
-        assert_eq!(rec.cap, Some(100.0));
+        assert_eq!(
+            rec.platform,
+            Some(PlatformSpec::Flat {
+                processors: 4,
+                cap: Some(100.0)
+            })
+        );
+        assert_eq!(
+            rec.platform.as_ref().unwrap().to_platform(),
+            Platform::new(4).with_memory_cap(100.0)
+        );
         assert_eq!(rec.seq, Some(SeqAlgo::LiuExact));
         assert_eq!(rec.seed, Some(7));
         assert_eq!(RequestRecord::parse(&rec.to_json()).unwrap(), rec);
@@ -574,19 +916,82 @@ mod tests {
         let rec = RequestRecord::parse(r#"{"tree":"x.tree","processors":2}"#).unwrap();
         assert_eq!(rec.scheduler, None);
         assert_eq!(RequestRecord::parse(&rec.to_json()).unwrap(), rec);
+
+        // platform-less record: the front-end decides
+        let rec = RequestRecord::parse(r#"{"tree":"x.tree"}"#).unwrap();
+        assert_eq!(rec.platform, None);
+        assert_eq!(RequestRecord::parse(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn request_records_parse_platform_objects() {
+        let line = r#"{"id":"h","tree":"x.tree","platform":{"classes":[{"count":2,"speed":2},{"count":2,"speed":1}],"domains":[{"capacity":64,"classes":[0]},{"capacity":32,"classes":[1]}]}}"#;
+        let rec = RequestRecord::parse(line).unwrap();
+        let expected =
+            Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+                .with_domain(64.0, &[0])
+                .with_domain(32.0, &[1]);
+        assert_eq!(rec.platform, Some(PlatformSpec::Explicit(expected.clone())));
+        assert_eq!(rec.platform.as_ref().unwrap().to_platform(), expected);
+        // canonical rendering round-trips through the parser
+        assert_eq!(RequestRecord::parse(&rec.to_json()).unwrap(), rec);
+        // speed defaults to 1.0; domains are optional
+        let rec = RequestRecord::parse(r#"{"tree":"x.tree","platform":{"classes":[{"count":3}]}}"#)
+            .unwrap();
+        assert_eq!(
+            rec.platform.as_ref().unwrap().to_platform(),
+            Platform::heterogeneous(vec![ProcClass::new(3, 1.0)])
+        );
+    }
+
+    #[test]
+    fn platform_json_round_trips() {
+        for platform in [
+            Platform::new(4),
+            Platform::new(2).with_memory_cap(12.5),
+            Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)]),
+            Platform::heterogeneous(vec![ProcClass::new(1, 1.5), ProcClass::new(3, 0.5)])
+                .with_domain(100.0, &[0, 1]),
+            Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+                .with_domain(64.0, &[0])
+                .with_domain(32.0, &[1]),
+        ] {
+            let rendered = platform_json(&platform);
+            let pairs = parse_object(&format!("{{\"platform\":{rendered}}}")).unwrap();
+            let parsed = platform_from_value(&pairs[0].1).unwrap();
+            assert_eq!(parsed, platform, "{rendered}");
+        }
     }
 
     #[test]
     fn request_records_reject_bad_fields() {
         for (line, needle) in [
             (r#"{"processors":2}"#, "tree"),
-            (r#"{"tree":"x"}"#, "processors"),
+            (r#"{"tree":"x","cap":5}"#, "needs `processors`"),
             (r#"{"tree":"x","processors":2.5}"#, "integer"),
             (r#"{"tree":"x","processors":2,"seq":"fast"}"#, "seq"),
             (r#"{"tree":"x","processors":2,"seed":-1}"#, "seed"),
             (r#"{"tree":"x","processors":2,"bogus":1}"#, "bogus"),
             (r#"{"tree":1,"processors":2}"#, "string"),
             (r#"{"tree":"x","processors":"two"}"#, "number"),
+            (r#"{"tree":"x","platform":3}"#, "object"),
+            (r#"{"tree":"x","platform":{"domains":[]}}"#, "classes"),
+            (
+                r#"{"tree":"x","platform":{"classes":[{"speed":2}]}}"#,
+                "count",
+            ),
+            (
+                r#"{"tree":"x","platform":{"classes":[{"count":2,"warp":9}]}}"#,
+                "warp",
+            ),
+            (
+                r#"{"tree":"x","platform":{"classes":[{"count":2}],"domains":[{"classes":[0]}]}}"#,
+                "capacity",
+            ),
+            (
+                r#"{"tree":"x","processors":2,"platform":{"classes":[{"count":2}]}}"#,
+                "cannot be combined",
+            ),
         ] {
             let err = RequestRecord::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
@@ -595,12 +1000,33 @@ mod tests {
         let rec =
             RequestRecord::parse(r#"{"id":null,"tree":"x","processors":2,"cap":null}"#).unwrap();
         assert_eq!(rec.id, None);
-        assert_eq!(rec.cap, None);
+        assert_eq!(
+            rec.platform,
+            Some(PlatformSpec::Flat {
+                processors: 2,
+                cap: None
+            })
+        );
+    }
+
+    fn sample_record<'a>(platform: &'a Platform, peaks: &'a [f64]) -> ScheduleRecord<'a> {
+        ScheduleRecord {
+            scheduler: "ParSubtrees",
+            platform,
+            tasks: 7,
+            makespan: 8.0,
+            makespan_lower_bound: 7.5,
+            peak_memory: 12.0,
+            memory_reference: 9.0,
+            cap_violations: None,
+            domain_peaks: peaks,
+        }
     }
 
     #[test]
     fn response_records_share_the_schedule_json_shape() {
-        let base = schedule_json("ParSubtrees", 2, 7, 8.0, 7.5, 12.0, 9.0, None, None);
+        let flat = Platform::new(2);
+        let base = sample_record(&flat, &[]).to_json();
         assert_eq!(
             base,
             "{\"scheduler\":\"ParSubtrees\",\"processors\":2,\"tasks\":7,\
@@ -608,25 +1034,57 @@ mod tests {
              \"peak_memory\":12,\"memory_reference\":9,\
              \"cap\":null,\"cap_violations\":null}\n"
         );
-        let tagged = response_json(
-            Some("r1"),
-            "ParSubtrees",
-            2,
-            7,
-            8.0,
-            7.5,
-            12.0,
-            9.0,
-            Some(20.0),
-            Some(0),
-        );
+        let capped = Platform::new(2).with_memory_cap(20.0);
+        let mut rec = sample_record(&capped, &[]);
+        rec.cap_violations = Some(0);
+        let tagged = rec.response_json(Some("r1"));
         assert!(tagged.starts_with("{\"id\":\"r1\","));
         assert!(tagged.contains("\"cap\":20,\"cap_violations\":0"));
-        // every response line is itself a valid flat JSON object
+        // every response line is itself a valid JSON object
         assert!(parse_object(tagged.trim_end()).is_ok());
         assert_eq!(
             error_json(None, "unknown scheduler `x`"),
             "{\"id\":null,\"error\":\"unknown scheduler `x`\"}\n"
         );
+    }
+
+    #[test]
+    fn heterogeneous_records_add_platform_and_domain_peaks() {
+        let het = Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+            .with_domain(64.0, &[0])
+            .with_domain(32.0, &[1]);
+        let peaks = [10.0, 6.5];
+        let line = sample_record(&het, &peaks).to_json();
+        assert!(
+            line.contains("\"processors\":4,\"platform\":{\"classes\":[{\"count\":2,\"speed\":2},{\"count\":2,\"speed\":1}],\"domains\":[{\"capacity\":64,\"classes\":[0]},{\"capacity\":32,\"classes\":[1]}]},\"tasks\":7"),
+            "{line}"
+        );
+        // two domains that do not jointly act as one shared cap: cap null
+        assert!(line.contains("\"cap\":null"), "{line}");
+        assert!(
+            line.trim_end().ends_with("\"domain_peaks\":[10,6.5]}"),
+            "{line}"
+        );
+        // the heterogeneous response still parses as one JSON object
+        assert!(parse_object(line.trim_end()).is_ok());
+    }
+
+    #[test]
+    fn json_record_builder_escapes_and_nests() {
+        let line = JsonRecord::new()
+            .str("name", "a\"b")
+            .int("n", 3)
+            .num("x", 1.5)
+            .opt_num("missing", None)
+            .num_array("xs", &[1.0, 2.5])
+            .raw("nested", "{\"k\":1}")
+            .line();
+        assert_eq!(
+            line,
+            "{\"name\":\"a\\\"b\",\"n\":3,\"x\":1.5,\"missing\":null,\
+             \"xs\":[1,2.5],\"nested\":{\"k\":1}}\n"
+        );
+        assert!(parse_object(line.trim_end()).is_ok());
+        assert_eq!(JsonRecord::new().render(), "{}");
     }
 }

@@ -21,9 +21,13 @@
 //!   every scheduler in the registry is deterministic per request, so the
 //!   output stream is byte-identical no matter how many workers serve it.
 //!
-//! The wire protocol lives in [`jsonl`]: one flat JSON object per line,
+//! The wire protocol lives in [`jsonl`]: one JSON object per line,
 //! requests in, responses out, with the response records sharing the field
-//! conventions of the CLI's `schedule --json`.
+//! conventions of the CLI's `schedule --json`. Platforms travel either as
+//! the flat legacy `processors`/`cap` fields or as a nested `platform`
+//! object (processor classes + memory domains); heterogeneous requests
+//! stream through the engine exactly like uniform ones — `OwnedRequest`
+//! moves the platform whole, so output stays worker-count independent.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -46,4 +50,7 @@ pub mod engine;
 pub mod jsonl;
 
 pub use engine::{ServeEngine, ServeOutcome, ServeRequest, ServeResult, ServeStats};
-pub use jsonl::{error_json, response_json, result_json, schedule_json, RequestRecord};
+pub use jsonl::{
+    error_json, platform_from_value, platform_json, result_json, JsonRecord, PlatformSpec,
+    RequestRecord, ScheduleRecord,
+};

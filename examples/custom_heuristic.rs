@@ -16,7 +16,7 @@ use treesched::core::api::{
     Outcome, Platform, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
 };
 use treesched::core::listsched::key_from_f64;
-use treesched::core::try_evaluate;
+use treesched::core::try_evaluate_on;
 use treesched::gen::{assembly_corpus, Scale};
 
 /// The custom policy: a list scheduler whose priority is the (negated)
@@ -35,16 +35,20 @@ impl Scheduler for LargestFileFirst {
     fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
         req.validate()?;
         let tree = req.tree;
-        // Scratch::run_list_schedule reuses the campaign's ready-queue
-        // buffers; any Key3-encodable priority works
-        let schedule = scratch.run_list_schedule(tree, req.platform.processors, |i| {
+        // Scratch::run_list_schedule_on reuses the campaign's ready-queue
+        // buffers and is platform-aware: any Key3-encodable priority works,
+        // on homogeneous and mixed-speed machines alike
+        let schedule = scratch.run_list_schedule_on(tree, &req.platform, |i| {
             (key_from_f64(-tree.output(i)), i.0 as u64, 0)
         });
-        let eval = try_evaluate(tree, &schedule).map_err(|error| SchedError::InvalidSchedule {
-            scheduler: self.name().to_string(),
-            error,
+        let eval = try_evaluate_on(tree, &schedule, &req.platform).map_err(|error| {
+            SchedError::InvalidSchedule {
+                scheduler: self.name().to_string(),
+                error,
+            }
         })?;
         Ok(Outcome {
+            domain_peaks: schedule.domain_peaks(tree, &req.platform),
             schedule,
             eval,
             diagnostics: Default::default(),

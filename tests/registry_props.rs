@@ -11,8 +11,10 @@
 //! the suite iterates the registry, a newly registered scheduler is
 //! covered automatically with zero test changes.
 
-use treesched::core::api::{Platform, Request, SchedulerRegistry, Scratch};
-use treesched::core::{makespan_lower_bound, memory_lower_bound_exact, memory_reference};
+use treesched::core::api::{Platform, ProcClass, Request, SchedError, SchedulerRegistry, Scratch};
+use treesched::core::{
+    makespan_lower_bound, makespan_lower_bound_on, memory_lower_bound_exact, memory_reference,
+};
 use treesched::gen::{assembly_corpus, caterpillar, random_attachment, spider, Scale, WeightRange};
 use treesched::model::TaskTree;
 
@@ -100,6 +102,103 @@ fn campaign_schedulers_work_without_a_memory_cap() {
             entry.name()
         );
     }
+}
+
+/// The backward-compatibility pin of the heterogeneous-platform redesign:
+/// a platform of all-1.0 speeds split across two classes with one
+/// all-covering memory domain must drive **every campaign scheduler** to
+/// the exact same [`treesched::core::Schedule`] as the homogeneous
+/// spelling, on the whole tree zoo.
+#[test]
+fn campaign_on_uniform_heterogeneous_platform_matches_homogeneous_exactly() {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
+    for (name, tree) in tree_zoo() {
+        let cap = memory_reference(&tree);
+        for p in [2u32, 4, 8] {
+            let uniform =
+                Platform::heterogeneous(vec![ProcClass::new(1, 1.0), ProcClass::new(p - 1, 1.0)])
+                    .with_domain(cap, &[0, 1]);
+            assert_eq!(
+                makespan_lower_bound_on(&tree, &uniform),
+                makespan_lower_bound(&tree, p),
+                "{name} p={p}: bounds must agree on uniform platforms"
+            );
+            let flat = Platform::new(p).with_memory_cap(cap);
+            for entry in registry.campaign() {
+                let het = entry
+                    .scheduler()
+                    .schedule(&Request::new(&tree, uniform.clone()), &mut scratch)
+                    .unwrap_or_else(|e| panic!("{}: {name} p={p}: {e}", entry.name()));
+                let hom = entry
+                    .scheduler()
+                    .schedule(&Request::new(&tree, flat.clone()), &mut scratch)
+                    .unwrap();
+                assert_eq!(het.schedule, hom.schedule, "{}: {name} p={p}", entry.name());
+                assert_eq!(het.eval, hom.eval, "{}: {name} p={p}", entry.name());
+            }
+        }
+    }
+}
+
+/// Every registered scheduler must handle a genuinely heterogeneous
+/// platform (2 fast + 2 slow processors, two memory domains) gracefully:
+/// either a schedule that validates speed-aware and respects the
+/// speed-aware makespan bound, or a typed
+/// [`SchedError::UnsupportedPlatform`] — never a panic, never a silently
+/// mis-scheduled result.
+#[test]
+fn every_registered_scheduler_handles_heterogeneous_platforms_or_refuses() {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
+    let mut supported = 0usize;
+    let mut refused = 0usize;
+    for (name, tree) in tree_zoo() {
+        let cap = memory_reference(&tree);
+        let platform =
+            Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+                .with_domain(2.0 * cap, &[0])
+                .with_domain(2.0 * cap, &[1]);
+        let ms_lb = makespan_lower_bound_on(&tree, &platform);
+        let mem_lb = memory_lower_bound_exact(&tree);
+        for entry in registry.iter() {
+            let req = Request::new(&tree, platform.clone());
+            match entry.scheduler().schedule(&req, &mut scratch) {
+                Ok(out) => {
+                    supported += 1;
+                    assert!(
+                        out.schedule.validate_on(&tree, &platform).is_ok(),
+                        "{}: {name}: invalid heterogeneous schedule",
+                        entry.name()
+                    );
+                    assert!(
+                        out.eval.makespan >= ms_lb - EPS,
+                        "{}: {name}: makespan {} < speed-aware bound {ms_lb}",
+                        entry.name(),
+                        out.eval.makespan
+                    );
+                    assert!(
+                        out.eval.peak_memory >= mem_lb - EPS,
+                        "{}: {name}: memory below the sequential optimum",
+                        entry.name()
+                    );
+                    assert_eq!(
+                        out.domain_peaks.len(),
+                        2,
+                        "{}: {name}: one peak per domain",
+                        entry.name()
+                    );
+                }
+                Err(SchedError::UnsupportedPlatform { .. }) => refused += 1,
+                Err(e) => panic!("{}: {name}: unexpected error {e}", entry.name()),
+            }
+        }
+    }
+    assert!(
+        supported > 0,
+        "the list schedulers must serve heterogeneous"
+    );
+    assert!(refused > 0, "subtree/capped schedulers must refuse, typed");
 }
 
 #[test]
