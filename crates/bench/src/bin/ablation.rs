@@ -10,52 +10,142 @@
 //! 4. **priority components** — what the paper's tie-breaks buy over the
 //!    textbook list-scheduling baselines.
 //!
-//! Every scheduler is resolved by name through the registry; this binary
-//! contains no per-heuristic dispatch.
+//! Every study is a declarative [`CampaignSpec`] executed through one
+//! shared engine-backed [`CampaignRunner`] — this binary contains no
+//! scheduling loop of its own. `--json` streams the scenario records of
+//! all studies as one JSONL stream through the shared `JsonRecord`
+//! builder.
 
-use treesched_core::{
-    memory_reference, Outcome, Platform, Request, SchedulerRegistry, Scratch, SeqAlgo,
+use treesched_bench::{
+    campaign::{Campaign, CampaignRunner, CampaignSpec, PlatformPoint},
+    cli, default_workers, stats,
 };
-use treesched_gen::{assembly_corpus, fork_tree, Scale};
-use treesched_model::TaskTree;
+use treesched_core::SeqAlgo;
+use treesched_gen::{assembly_corpus, fork_tree, CorpusEntry};
 
-/// Schedules `tree` by registry `name`, exiting cleanly on typed errors.
-fn run(
-    registry: &SchedulerRegistry,
-    scratch: &mut Scratch,
-    name: &str,
-    req: &Request<'_>,
-) -> Outcome {
-    let result = registry.get(name).and_then(|s| s.schedule(req, scratch));
-    match result {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+/// The fork sweep's `(p, k)` grid.
+const FIG3_PS: [u32; 4] = [2, 4, 8, 16];
+const FIG3_KS: [usize; 3] = [4, 16, 64];
+
+/// The cap sweep's factors; the last one is effectively uncapped.
+const CAP_FACTORS: [f64; 6] = [1.0, 1.5, 2.0, 4.0, 8.0, 1e6];
+
+/// One fork-sweep spec per processor count: `fork(p, k)` is only
+/// meaningful on `p` processors, so the grid cannot be one cross-product.
+fn fig3_specs() -> Vec<CampaignSpec> {
+    FIG3_PS
+        .iter()
+        .map(|&p| {
+            let mut spec = CampaignSpec::new("ablation-fig3")
+                .with_procs(&[p])
+                .with_schedulers(vec!["subtrees".into()]);
+            for &k in &FIG3_KS {
+                spec = spec.with_tree(format!("fork-k{k}"), fork_tree(p as usize, k));
+            }
+            spec
+        })
+        .collect()
+}
+
+fn seq_spec(corpus: &[CorpusEntry]) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablation-seq")
+        .with_procs(&[4])
+        .with_schedulers(vec!["subtrees".into()])
+        .with_seqs(vec![
+            SeqAlgo::NaivePostorder,
+            SeqAlgo::BestPostorder,
+            SeqAlgo::LiuExact,
+        ]);
+    spec.trees = corpus.iter().step_by(4).take(6).cloned().collect();
+    spec
+}
+
+fn cap_spec(corpus: &[CorpusEntry]) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("ablation-cap")
+        .with_tree(corpus[8].name.clone(), corpus[8].tree.clone())
+        .with_schedulers(vec!["membound".into()]);
+    for factor in CAP_FACTORS {
+        spec = spec.with_platform(PlatformPoint::flat(8).with_cap_factor(factor));
     }
+    spec
+}
+
+/// The compared priority schemes, by registry name.
+const SCHEMES: [&str; 5] = ["inner", "deepest", "cp", "fifo", "random"];
+
+fn priority_specs(corpus: &[CorpusEntry]) -> Vec<CampaignSpec> {
+    let schemes: Vec<String> = SCHEMES.iter().map(|s| s.to_string()).collect();
+    let mut assembly = CampaignSpec::new("ablation-priorities-assembly")
+        .with_procs(&[8])
+        .with_schedulers(schemes.clone());
+    assembly.trees = corpus.to_vec();
+    // the wide/irregular shapes where leaf ordering decides how many
+    // subtrees are opened concurrently
+    let irregular = CampaignSpec::new("ablation-priorities-irregular")
+        .with_procs(&[8])
+        .with_schedulers(schemes)
+        .with_tree("caterpillar", treesched_gen::caterpillar(40, 6))
+        .with_tree("longchain", treesched_gen::long_chain_tree(24, 8))
+        .with_tree("gadget", treesched_gen::inner_first_gadget(8, 12))
+        .with_tree("spider", treesched_gen::spider(24, 12))
+        .with_tree(
+            "bushy-random",
+            treesched_gen::random_attachment(2000, treesched_gen::WeightRange::PEBBLE, 5),
+        );
+    vec![assembly, irregular]
 }
 
 fn main() {
-    let registry = SchedulerRegistry::standard();
-    let mut scratch = Scratch::new();
-    fig3_sweep(&registry, &mut scratch);
-    seq_algo_ablation(&registry, &mut scratch);
-    memory_cap_ablation(&registry, &mut scratch);
-    priority_component_ablation(&registry, &mut scratch);
-}
+    let opts = cli::parse_or_exit("ablation");
+    let corpus = assembly_corpus(opts.scale);
+    let mut runner = CampaignRunner::new(default_workers());
+    let run = |runner: &mut CampaignRunner, spec: &CampaignSpec| -> Campaign {
+        match runner.run(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
 
-fn fig3_sweep(registry: &SchedulerRegistry, scratch: &mut Scratch) {
+    let fig3: Vec<Campaign> = fig3_specs().iter().map(|s| run(&mut runner, s)).collect();
+    let seq_study = seq_spec(&corpus);
+    let seq = run(&mut runner, &seq_study);
+    let cap = run(&mut runner, &cap_spec(&corpus));
+    let priorities: Vec<Campaign> = priority_specs(&corpus)
+        .iter()
+        .map(|s| run(&mut runner, s))
+        .collect();
+
+    for c in fig3.iter().chain([&seq, &cap]).chain(priorities.iter()) {
+        if let Some((r, e)) = c.errors().next() {
+            eprintln!("error: {} @ {} on {}: {e}", r.scheduler, r.point, r.tree);
+            std::process::exit(1);
+        }
+    }
+
+    if opts.json {
+        for c in fig3.iter().chain([&seq, &cap]).chain(priorities.iter()) {
+            print!("{}", c.to_jsonl());
+        }
+        return;
+    }
+
+    // --- study 1: Figure 3 fork sweep -----------------------------------
     println!("Ablation 1 — Figure 3 fork: ParSubtrees makespan ratio vs p");
     println!(
         "  {:>4} {:>6} {:>12} {:>10} {:>8}",
         "p", "k", "ParSubtrees", "optimal", "ratio"
     );
-    for p in [2u32, 4, 8, 16] {
-        for k in [4usize, 16, 64] {
-            let t = fork_tree(p as usize, k);
-            let req = Request::new(&t, Platform::new(p));
-            let ms = run(registry, scratch, "subtrees", &req).eval.makespan;
+    for (c, &p) in fig3.iter().zip(&FIG3_PS) {
+        for &k in &FIG3_KS {
+            let r = c
+                .records
+                .iter()
+                .find(|r| r.tree == format!("fork-k{k}"))
+                .expect("grid covers every k");
+            let ms = r.outcome.as_ref().expect("forks schedule").makespan;
             let opt = (k + 1) as f64;
             println!(
                 "  {:>4} {:>6} {:>12.0} {:>10.0} {:>8.3}",
@@ -68,118 +158,85 @@ fn fig3_sweep(registry: &SchedulerRegistry, scratch: &mut Scratch) {
         }
     }
     println!("  (ratio tends to p as k grows; paper §5.1)\n");
-}
 
-fn seq_algo_ablation(registry: &SchedulerRegistry, scratch: &mut Scratch) {
+    // --- study 2: sequential sub-algorithm ------------------------------
     println!("Ablation 2 — ParSubtrees memory under different sequential sub-algorithms");
-    let corpus = assembly_corpus(Scale::Small);
     println!(
         "  {:<24} {:>5} {:>14} {:>14} {:>14}",
         "tree", "p", "naive-po", "best-po", "liu-exact"
     );
-    let p = 4u32;
-    for e in corpus.iter().step_by(4).take(6) {
-        let mem = |scratch: &mut Scratch, algo: SeqAlgo| {
-            let req = Request::new(&e.tree, Platform::new(p)).with_seq(algo);
-            run(registry, scratch, "subtrees", &req).eval.peak_memory
+    for entry in &seq_study.trees {
+        let mem = |algo: SeqAlgo| {
+            seq.records
+                .iter()
+                .find(|r| r.tree == entry.name && r.seq == algo)
+                .and_then(|r| r.outcome.as_ref().ok())
+                .expect("grid covers every seq")
+                .peak_memory
         };
         println!(
             "  {:<24} {:>5} {:>14.3e} {:>14.3e} {:>14.3e}",
-            e.name,
-            p,
-            mem(scratch, SeqAlgo::NaivePostorder),
-            mem(scratch, SeqAlgo::BestPostorder),
-            mem(scratch, SeqAlgo::LiuExact)
+            entry.name,
+            4,
+            mem(SeqAlgo::NaivePostorder),
+            mem(SeqAlgo::BestPostorder),
+            mem(SeqAlgo::LiuExact)
         );
     }
     println!();
-}
 
-fn memory_cap_ablation(registry: &SchedulerRegistry, scratch: &mut Scratch) {
+    // --- study 3: memory-capped scheduling ------------------------------
     println!("Ablation 3 — memory-capped list scheduling (sequential-activation policy)");
-    let corpus = assembly_corpus(Scale::Small);
-    let e = &corpus[8]; // a mid-size entry
-    let t = &e.tree;
-    let mseq = memory_reference(t);
-    let p = 8;
+    let first = cap.records.first().expect("cap sweep is non-empty");
+    let mseq = first
+        .outcome
+        .as_ref()
+        .expect("capped runs schedule")
+        .mem_ref;
     println!(
-        "  tree {} ({} nodes), p = {p}, M_seq = {:.3e}",
-        e.name,
-        t.len(),
-        mseq
+        "  tree {} ({} nodes), p = 8, M_seq = {mseq:.3e}",
+        first.tree, first.nodes
     );
     println!(
         "  {:>10} {:>14} {:>14} {:>12}",
         "cap/M_seq", "peak", "makespan", "violations"
     );
-    for factor in [1.0, 1.5, 2.0, 4.0, 8.0, f64::INFINITY] {
-        let cap = if factor.is_infinite() {
-            f64::INFINITY
-        } else {
-            mseq * factor
-        };
-        let req = Request::new(t, Platform::new(p).with_memory_cap(cap));
-        let out = run(registry, scratch, "membound", &req);
+    for (r, &factor) in cap.records.iter().zip(&CAP_FACTORS) {
+        let out = r.outcome.as_ref().expect("capped runs schedule");
         println!(
             "  {:>10} {:>14.3e} {:>14.3e} {:>12}",
-            if factor.is_infinite() {
-                "inf".to_string()
+            if factor >= 1e6 {
+                "~inf".to_string()
             } else {
                 format!("{factor:.1}")
             },
-            out.eval.peak_memory,
-            out.eval.makespan,
-            out.diagnostics.cap_violations.unwrap_or(0)
+            out.peak_memory,
+            out.makespan,
+            out.cap_violations.unwrap_or(0)
         );
     }
     println!("  (tighter caps trade makespan for memory; 0 violations at cap >= M_seq)\n");
-}
 
-fn priority_component_ablation(registry: &SchedulerRegistry, scratch: &mut Scratch) {
+    // --- study 4: priority components -----------------------------------
     println!("Ablation 4 — what the paper-specific priorities buy over textbook list scheduling");
     println!("  (geometric-mean memory relative to the sequential reference, p = 8)");
-    let p = 8u32;
-    // the compared priority schemes, by registry name
-    let schemes = [
-        ("ParInnerFirst", "inner"),
-        ("ParDeepestFirst", "deepest"),
-        ("cp-list (no tie-breaks)", "cp"),
-        ("fifo-list", "fifo"),
-        ("random-list", "random"),
-    ];
-    // two families: realistic assembly trees, and the wide/irregular shapes
-    // where leaf ordering decides how many subtrees are opened concurrently
-    let assembly: Vec<(String, TaskTree)> = assembly_corpus(Scale::Small)
-        .into_iter()
-        .map(|e| (e.name, e.tree))
-        .collect();
-    let wide: Vec<(String, TaskTree)> = vec![
-        ("caterpillar".into(), treesched_gen::caterpillar(40, 6)),
-        ("longchain".into(), treesched_gen::long_chain_tree(24, 8)),
-        ("gadget".into(), treesched_gen::inner_first_gadget(8, 12)),
-        ("spider".into(), treesched_gen::spider(24, 12)),
-        (
-            "bushy-random".into(),
-            treesched_gen::random_attachment(2000, treesched_gen::WeightRange::PEBBLE, 5),
-        ),
-    ];
-    for (family, trees) in [("assembly corpus", &assembly), ("wide/irregular", &wide)] {
-        let mut ratios: Vec<(&str, Vec<f64>)> = schemes
-            .iter()
-            .map(|&(label, _)| (label, Vec::new()))
-            .collect();
-        for (_, t) in trees {
-            let mref = memory_reference(t);
-            let req = Request::new(t, Platform::new(p));
-            for (k, &(_, name)) in schemes.iter().enumerate() {
-                let out = run(registry, scratch, name, &req);
-                ratios[k].1.push(out.eval.peak_memory / mref);
+    for (c, family) in priorities.iter().zip(["assembly corpus", "wide/irregular"]) {
+        println!("  {family}:");
+        let mut order: Vec<&str> = Vec::new();
+        for r in &c.records {
+            if !order.contains(&r.scheduler.as_str()) {
+                order.push(&r.scheduler);
             }
         }
-        println!("  {family}:");
-        for (label, rs) in &ratios {
-            let g = treesched_bench::stats::geomean(rs);
-            println!("    {:<26} {:>8.3}", label, g);
+        for name in order {
+            let ratios: Vec<f64> = c
+                .records
+                .iter()
+                .filter(|r| r.scheduler == name)
+                .filter_map(|r| r.outcome.as_ref().ok())
+                .map(|out| out.peak_memory / out.mem_ref)
+                .collect();
+            println!("    {:<26} {:>8.3}", name, stats::geomean(&ratios));
         }
     }
     println!("  (on bounded-degree assembly trees the tie-breaks barely matter;");

@@ -1,35 +1,96 @@
 //! Describes the experiment corpus the way the paper's §6.2 describes its
 //! dataset: per-tree node counts, depths, maximum degrees and parallelism,
-//! plus the aggregate ranges.
+//! plus the aggregate ranges and the campaign the corpus feeds.
+//!
+//! The tree set is resolved exactly like every campaign resolves it (the
+//! same spec the table/figure binaries build from these flags); `--json`
+//! streams one JSONL record per tree plus one aggregate summary record,
+//! through the shared `JsonRecord` builder.
 
-use treesched_bench::cli;
-use treesched_gen::assembly_corpus;
+use treesched_bench::{campaign::presets, cli};
 use treesched_model::TreeStats;
+use treesched_serve::JsonRecord;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: corpus [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let opts = cli::parse_or_exit("corpus");
+    let spec = presets::grid_or_exit("corpus", &opts);
+    let trees = spec.resolve_trees();
+    let stats: Vec<(String, usize, TreeStats)> = trees
+        .iter()
+        .map(|e| (e.name.clone(), e.tree.len(), e.stats()))
+        .collect();
 
-    let corpus = assembly_corpus(opts.scale);
+    // canonical names, like the records of every campaign run — unknown
+    // selections fail here the way the runner would fail them
+    let registry = treesched_core::SchedulerRegistry::standard();
+    let campaign_names: Vec<String> = spec
+        .scheduler_names(&registry)
+        .iter()
+        .map(|n| registry.resolve(n).map(|e| e.name().to_string()))
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+
+    if opts.json {
+        for (name, _, s) in &stats {
+            print!(
+                "{}",
+                JsonRecord::new()
+                    .str("campaign", &spec.name)
+                    .str("tree", name)
+                    .int("nodes", s.nodes as u64)
+                    .int("leaves", s.leaves as u64)
+                    .int("height", s.height as u64)
+                    .int("max_degree", s.max_degree as u64)
+                    .num("parallelism", s.parallelism())
+                    .num("total_work", s.total_work)
+                    .num("critical_path", s.critical_path)
+                    .line()
+            );
+        }
+        let range = |f: &dyn Fn(&TreeStats) -> f64| {
+            let lo = stats
+                .iter()
+                .map(|(_, _, s)| f(s))
+                .fold(f64::INFINITY, f64::min);
+            let hi = stats.iter().map(|(_, _, s)| f(s)).fold(0.0f64, f64::max);
+            (lo, hi)
+        };
+        let (n_lo, n_hi) = range(&|s: &TreeStats| s.nodes as f64);
+        let (d_lo, d_hi) = range(&|s: &TreeStats| s.height as f64);
+        let (g_lo, g_hi) = range(&|s: &TreeStats| s.max_degree as f64);
+        let scheds: Vec<String> = campaign_names
+            .iter()
+            .map(|n| format!("\"{}\"", treesched_serve::jsonl::escape(n)))
+            .collect();
+        print!(
+            "{}",
+            JsonRecord::new()
+                .str("campaign", &spec.name)
+                .int("trees", stats.len() as u64)
+                .num("nodes_min", n_lo)
+                .num("nodes_max", n_hi)
+                .num("height_min", d_lo)
+                .num("height_max", d_hi)
+                .num("max_degree_min", g_lo)
+                .num("max_degree_max", g_hi)
+                .int("points", spec.platforms.len() as u64)
+                .raw("schedulers", &format!("[{}]", scheds.join(",")))
+                .line()
+        );
+        return;
+    }
+
     println!(
         "{:<26} {:>8} {:>7} {:>8} {:>8} {:>7} {:>11} {:>11}",
         "tree", "nodes", "leaves", "height", "maxdeg", "par", "total W", "CP"
     );
-    let mut stats: Vec<(String, TreeStats)> = Vec::new();
-    for e in &corpus {
-        let s = e.stats();
+    for (name, _, s) in &stats {
         println!(
             "{:<26} {:>8} {:>7} {:>8} {:>8} {:>7.2} {:>11.3e} {:>11.3e}",
-            e.name,
+            name,
             s.nodes,
             s.leaves,
             s.height,
@@ -38,15 +99,14 @@ fn main() {
             s.total_work,
             s.critical_path
         );
-        stats.push((e.name.clone(), s));
     }
 
     let range = |f: &dyn Fn(&TreeStats) -> f64| {
         let lo = stats
             .iter()
-            .map(|(_, s)| f(s))
+            .map(|(_, _, s)| f(s))
             .fold(f64::INFINITY, f64::min);
-        let hi = stats.iter().map(|(_, s)| f(s)).fold(0.0f64, f64::max);
+        let hi = stats.iter().map(|(_, _, s)| f(s)).fold(0.0f64, f64::max);
         (lo, hi)
     };
     let (n_lo, n_hi) = range(&|s: &TreeStats| s.nodes as f64);
@@ -54,7 +114,7 @@ fn main() {
     let (g_lo, g_hi) = range(&|s: &TreeStats| s.max_degree as f64);
     println!(
         "\n{} trees: {:.0}..{:.0} nodes, depth {:.0}..{:.0}, max degree {:.0}..{:.0}",
-        corpus.len(),
+        stats.len(),
         n_lo,
         n_hi,
         d_lo,
@@ -67,13 +127,11 @@ fn main() {
     );
 
     // the campaign this corpus feeds, straight from the scheduler registry
-    let registry = treesched_core::SchedulerRegistry::standard();
-    let campaign: Vec<&str> = registry.campaign().map(|e| e.name()).collect();
     println!(
-        "\ncampaign schedulers ({} x {} trees x {} processor counts): {}",
-        campaign.len(),
-        corpus.len(),
-        treesched_bench::PAPER_PROCS.len(),
-        campaign.join(", ")
+        "\ncampaign schedulers ({} x {} trees x {} platform points): {}",
+        campaign_names.len(),
+        stats.len(),
+        spec.platforms.len(),
+        campaign_names.join(", ")
     );
 }

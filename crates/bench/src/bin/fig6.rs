@@ -2,38 +2,29 @@
 //! to the lower bound `max(W/p, CP)` against its memory relative to the
 //! best sequential postorder, summarized per scheduler by the mean and the
 //! 10th–90th percentile "cross".
+//!
+//! A thin front-end over the Campaign API; `--json` streams one JSONL
+//! record per scenario plus one cross-summary record per scheduler series.
 
-use treesched_bench::{cli, harness};
-use treesched_core::SchedulerRegistry;
-use treesched_gen::assembly_corpus;
+use treesched_bench::{campaign::presets, cli, harness};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: fig6 [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
-
-    let registry = SchedulerRegistry::standard();
-    let names = opts.scheduler_names(&registry);
-    eprintln!("building corpus ({:?})...", opts.scale);
-    let corpus = assembly_corpus(opts.scale);
-    let rows =
-        match harness::run_corpus_with(&corpus, &opts.procs, &registry, &names, opts.cap_factor) {
-            Ok(rows) => rows,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
+    let opts = cli::parse_or_exit("fig6");
+    let spec = presets::grid_or_exit("fig6", &opts);
+    let campaign = presets::run_or_exit(&spec);
+    let rows = campaign.rows();
     let series = harness::fig6(&rows);
 
+    if opts.json {
+        print!("{}", campaign.to_jsonl());
+        for s in &series {
+            print!("{}", harness::cross_json(&campaign.name, s));
+        }
+        presets::maybe_csv(&opts, &rows);
+        return;
+    }
+
+    let names = harness::scheduler_names(&rows);
     print!(
         "{}",
         harness::render_crosses(
@@ -48,33 +39,22 @@ fn main() {
     );
     // the paper's qualitative checks: ParSubtrees best in memory,
     // ParDeepestFirst best in makespan
-    let mem_order: Vec<&str> = {
+    let ordering = |key: fn(&treesched_bench::stats::Cross) -> f64| -> Vec<&str> {
         let mut v: Vec<_> = series
             .iter()
-            .map(|(name, _, c)| (name.as_str(), c.y_mean))
+            .map(|(name, _, c)| (name.as_str(), key(c)))
             .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(n, _)| n).collect()
     };
     println!(
         "\nmemory-mean ordering (best first): {}",
-        mem_order.join(" < ")
+        ordering(|c| c.y_mean).join(" < ")
     );
-    let ms_order: Vec<&str> = {
-        let mut v: Vec<_> = series
-            .iter()
-            .map(|(name, _, c)| (name.as_str(), c.x_mean))
-            .collect();
-        v.sort_by(|a, b| a.1.total_cmp(&b.1));
-        v.into_iter().map(|(n, _)| n).collect()
-    };
     println!(
         "makespan-mean ordering (best first): {}",
-        ms_order.join(" < ")
+        ordering(|c| c.x_mean).join(" < ")
     );
 
-    if let Some(path) = opts.csv {
-        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
-        eprintln!("raw rows written to {path}");
-    }
+    presets::maybe_csv(&opts, &rows);
 }

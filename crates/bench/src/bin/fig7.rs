@@ -1,52 +1,41 @@
 //! Reproduces **Figure 7** of the paper: per-scenario makespan and memory of
 //! every scheduler normalized by `ParSubtrees`.
+//!
+//! A thin front-end over the Campaign API; `--json` streams one JSONL
+//! record per scenario plus one cross-summary record per scheduler series.
 
-use treesched_bench::{cli, harness};
+use treesched_bench::{campaign::presets, cli, harness};
 use treesched_core::SchedulerRegistry;
-use treesched_gen::assembly_corpus;
+
+const BASELINE: &str = "ParSubtrees";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: fig7 [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
-
-    const BASELINE: &str = "ParSubtrees";
-    let registry = SchedulerRegistry::standard();
-    let mut names = opts.scheduler_names(&registry);
+    let opts = cli::parse_or_exit("fig7");
+    let mut spec = presets::grid_or_exit("fig7", &opts);
     // every series is normalized by the baseline: a selection without it
     // would silently produce empty all-zero series
-    let has_baseline = names
-        .iter()
-        .any(|n| registry.resolve(n).map(|e| e.name()) == Ok(BASELINE));
-    if !has_baseline {
+    if spec.ensure_scheduler(&SchedulerRegistry::standard(), BASELINE) {
         eprintln!("note: adding normalization baseline {BASELINE} to the scheduler selection");
-        names.push(BASELINE.to_string());
     }
-    eprintln!("building corpus ({:?})...", opts.scale);
-    let corpus = assembly_corpus(opts.scale);
-    let rows =
-        match harness::run_corpus_with(&corpus, &opts.procs, &registry, &names, opts.cap_factor) {
-            Ok(rows) => rows,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
-    let series = harness::fig_normalized(&rows, "ParSubtrees");
+    let campaign = presets::run_or_exit(&spec);
+    let rows = campaign.rows();
+    let series = harness::fig_normalized(&rows, BASELINE);
 
+    if opts.json {
+        print!("{}", campaign.to_jsonl());
+        for s in &series {
+            print!("{}", harness::cross_json(&campaign.name, s));
+        }
+        presets::maybe_csv(&opts, &rows);
+        return;
+    }
+
+    let names = harness::scheduler_names(&rows);
     print!(
         "{}",
         harness::render_crosses(
             &format!(
-                "Figure 7 — comparison to ParSubtrees ({} scenarios)",
+                "Figure 7 — comparison to {BASELINE} ({} scenarios)",
                 rows.len() / names.len().max(1)
             ),
             "makespan / ParSubtrees makespan",
@@ -55,8 +44,5 @@ fn main() {
         )
     );
 
-    if let Some(path) = opts.csv {
-        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
-        eprintln!("raw rows written to {path}");
-    }
+    presets::maybe_csv(&opts, &rows);
 }

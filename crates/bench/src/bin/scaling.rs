@@ -1,84 +1,120 @@
 //! Strong-scaling sweep (companion to the paper's evaluation): fix each
-//! corpus tree and sweep the processor count, reporting speedup, processor
+//! corpus tree and sweep the platform grid, reporting speedup, processor
 //! utilization, and memory amplification per scheduler. Quantifies the
 //! tension of Theorem 2 end to end: speedup rises with `p` while memory
 //! amplification grows.
+//!
+//! A thin front-end over the Campaign API with the `speedup`/`utilization`
+//! metric selection; `--json` streams one JSONL record per scenario plus
+//! one geomean summary record per `(scheduler, point)`.
 
-use treesched_bench::{cli, stats};
-use treesched_core::{Platform, Request, SchedulerRegistry, Scratch};
-use treesched_gen::assembly_corpus;
+use treesched_bench::{campaign::presets, cli, stats};
+use treesched_core::Metric;
+use treesched_serve::JsonRecord;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: scaling [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let opts = cli::parse_or_exit("scaling");
+    let mut spec = presets::grid_or_exit("scaling", &opts);
+    spec.metrics = vec![Metric::Speedup, Metric::Utilization];
+    let campaign = presets::run_or_exit(&spec);
 
-    let registry = SchedulerRegistry::standard();
-    let names = opts.scheduler_names(&registry);
-    eprintln!("building corpus ({:?})...", opts.scale);
-    let corpus = assembly_corpus(opts.scale);
-    println!(
-        "Strong scaling over {} trees — geometric means per (scheduler, p)",
-        corpus.len()
-    );
-    println!(
-        "{:<18} {:>4} {:>10} {:>12} {:>14}",
-        "scheduler", "p", "speedup", "utilization", "mem/seq"
-    );
-    let mut scratch = Scratch::new();
-    for name in &names {
-        let scheduler = match registry.get(name) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+    // geometric means per (scheduler, platform point), in record order
+    struct Cell {
+        scheduler: String,
+        point: String,
+        speedups: Vec<f64>,
+        utils: Vec<f64>,
+        mems: Vec<f64>,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for r in &campaign.records {
+        let Ok(out) = &r.outcome else { continue };
+        let metric = |m: Metric| {
+            out.metrics
+                .iter()
+                .find(|(k, _)| *k == m)
+                .and_then(|(_, v)| *v)
+                .expect("spec selects the metric")
+        };
+        let cell = match cells
+            .iter_mut()
+            .find(|c| c.scheduler == r.scheduler && c.point == r.point)
+        {
+            Some(cell) => cell,
+            None => {
+                cells.push(Cell {
+                    scheduler: r.scheduler.clone(),
+                    point: r.point.clone(),
+                    speedups: Vec::new(),
+                    utils: Vec::new(),
+                    mems: Vec::new(),
+                });
+                cells.last_mut().expect("just pushed")
             }
         };
-        for &p in &opts.procs {
-            let mut speedups = Vec::with_capacity(corpus.len());
-            let mut utils = Vec::with_capacity(corpus.len());
-            let mut mems = Vec::with_capacity(corpus.len());
-            for e in &corpus {
-                let mut platform = Platform::new(p);
-                if let Some(factor) = opts.cap_factor {
-                    platform = platform
-                        .with_memory_cap(factor * treesched_core::memory_reference(&e.tree));
-                }
-                let req = Request::new(&e.tree, platform);
-                let out = match scheduler.schedule(&req, &mut scratch) {
-                    Ok(out) => out,
-                    Err(err) => {
-                        eprintln!("error: {err}");
-                        std::process::exit(1);
-                    }
-                };
-                let mem_ref = out
-                    .diagnostics
-                    .seq_peak
-                    .unwrap_or_else(|| treesched_core::memory_reference(&e.tree));
-                speedups.push(out.schedule.speedup());
-                utils.push(out.schedule.utilization());
-                mems.push(out.eval.peak_memory / mem_ref);
-            }
-            println!(
-                "{:<18} {:>4} {:>10.3} {:>12.3} {:>14.3}",
-                scheduler.name(),
-                p,
-                stats::geomean(&speedups),
-                stats::geomean(&utils),
-                stats::geomean(&mems)
+        cell.speedups.push(metric(Metric::Speedup));
+        cell.utils.push(metric(Metric::Utilization));
+        cell.mems.push(out.peak_memory / out.mem_ref);
+    }
+    // records are point-major within each tree; report scheduler-major
+    // (selection order), sweeping the platform grid within each scheduler
+    let rank = |c: &Cell| {
+        let sched = campaign
+            .records
+            .iter()
+            .position(|r| r.scheduler == c.scheduler)
+            .expect("cell came from a record");
+        let point = spec
+            .platforms
+            .iter()
+            .position(|pt| pt.label == c.point)
+            .expect("cell came from a grid point");
+        (sched, point)
+    };
+    cells.sort_by_key(rank);
+
+    if opts.json {
+        print!("{}", campaign.to_jsonl());
+        for c in &cells {
+            print!(
+                "{}",
+                JsonRecord::new()
+                    .str("campaign", &campaign.name)
+                    .str("scheduler", &c.scheduler)
+                    .str("point", &c.point)
+                    .int("trees", c.speedups.len() as u64)
+                    .num("speedup_geomean", stats::geomean(&c.speedups))
+                    .num("utilization_geomean", stats::geomean(&c.utils))
+                    .num("mem_ratio_geomean", stats::geomean(&c.mems))
+                    .line()
             );
         }
-        println!();
+        return;
     }
-    println!("Speedup saturates at each tree's inherent parallelism (W/CP);");
+
+    println!(
+        "Strong scaling over {} trees — geometric means per (scheduler, point)",
+        campaign.tree_count()
+    );
+    println!(
+        "{:<18} {:>12} {:>10} {:>12} {:>14}",
+        "scheduler", "point", "speedup", "utilization", "mem/seq"
+    );
+    let mut last_scheduler = String::new();
+    for c in &cells {
+        if !last_scheduler.is_empty() && last_scheduler != c.scheduler {
+            println!();
+        }
+        last_scheduler.clone_from(&c.scheduler);
+        println!(
+            "{:<18} {:>12} {:>10.3} {:>12.3} {:>14.3}",
+            c.scheduler,
+            c.point,
+            stats::geomean(&c.speedups),
+            stats::geomean(&c.utils),
+            stats::geomean(&c.mems)
+        );
+    }
+    println!("\nSpeedup saturates at each tree's inherent parallelism (W/CP);");
     println!("memory amplification keeps growing with p — the Theorem 2 tension.");
 }

@@ -8,19 +8,10 @@
 use treesched_bench::{cli, stats};
 use treesched_gen::assembly_corpus;
 use treesched_seq::{best_postorder_peak, liu_exact};
+use treesched_serve::JsonRecord;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: seqgap [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let opts = cli::parse_or_exit("seqgap");
 
     eprintln!("building corpus ({:?})...", opts.scale);
     let corpus = assembly_corpus(opts.scale);
@@ -48,20 +39,20 @@ fn main() {
     let worst_pct = stats::percentile(&gaps, 100.0);
 
     if opts.json {
-        println!(
-            concat!(
-                "{{\"benchmark\":\"seqgap\",\"trees\":{},\"optimal\":{},",
-                "\"optimal_pct\":{},\"avg_gap_pct\":{},\"median_gap_pct\":{},",
-                "\"p90_gap_pct\":{},\"worst_gap_pct\":{},\"worst_tree\":\"{}\"}}"
-            ),
-            corpus.len(),
-            optimal,
-            optimal_pct,
-            avg,
-            median,
-            p90,
-            worst_pct,
-            worst.1,
+        // the shared record builder, like every other --json surface
+        print!(
+            "{}",
+            JsonRecord::new()
+                .str("benchmark", "seqgap")
+                .int("trees", corpus.len() as u64)
+                .int("optimal", optimal as u64)
+                .num("optimal_pct", optimal_pct)
+                .num("avg_gap_pct", avg)
+                .num("median_gap_pct", median)
+                .num("p90_gap_pct", p90)
+                .num("worst_gap_pct", worst_pct)
+                .str("worst_tree", worst.1)
+                .line()
         );
         return;
     }

@@ -21,7 +21,7 @@ use treesched_bench::cli;
 use treesched_core::{Platform, SchedulerRegistry, Scratch};
 use treesched_gen::assembly_corpus;
 use treesched_model::TaskTree;
-use treesched_serve::{ServeEngine, ServeRequest, ServeStats};
+use treesched_serve::{JsonRecord, ServeEngine, ServeRequest, ServeStats};
 
 struct Sweep {
     workers: usize,
@@ -31,17 +31,7 @@ struct Sweep {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: serve_bench [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
+    let opts = cli::parse_or_exit("serve_bench");
 
     let registry = SchedulerRegistry::standard();
     let names = opts.scheduler_names(&registry);
@@ -168,43 +158,39 @@ fn main() {
     }
 
     if opts.json {
+        // the shared record builder, like every other --json surface
         let sweep_json: Vec<String> = sweeps
             .iter()
             .map(|s| {
-                format!(
-                    concat!(
-                        "{{\"workers\":{},\"secs\":{},\"rps\":{},\"speedup\":{},",
-                        "\"batches\":{},\"traversal_computes\":{},\"traversal_reuses\":{}}}"
-                    ),
-                    s.workers,
-                    s.secs,
-                    s.rps,
-                    s.rps / base_rps.max(1e-9),
-                    s.stats.batches,
-                    s.stats.traversal_computes,
-                    s.stats.traversal_reuses,
-                )
+                JsonRecord::new()
+                    .int("workers", s.workers as u64)
+                    .num("secs", s.secs)
+                    .num("rps", s.rps)
+                    .num("speedup", s.rps / base_rps.max(1e-9))
+                    .int("batches", s.stats.batches)
+                    .int("traversal_computes", s.stats.traversal_computes)
+                    .int("traversal_reuses", s.stats.traversal_reuses)
+                    .render()
             })
             .collect();
-        println!(
-            concat!(
-                "{{\"benchmark\":\"serve\",\"requests\":{},\"trees\":{},",
-                "\"processors\":[{}],\"schedulers\":{},",
-                "\"baseline\":{{\"secs\":{},\"rps\":{},\"traversal_computes\":{}}},",
-                "\"sweep\":[{}]}}"
-            ),
-            total,
-            trees.len(),
-            opts.procs
-                .iter()
-                .map(|p| p.to_string())
-                .collect::<Vec<_>>()
-                .join(","),
-            names.len(),
-            base_secs,
-            base_rps,
-            total, // a throwaway scratch computes one traversal per request
-            sweep_json.join(","),
+        let procs: Vec<String> = opts.procs.iter().map(|p| p.to_string()).collect();
+        let baseline = JsonRecord::new()
+            .num("secs", base_secs)
+            .num("rps", base_rps)
+            // a throwaway scratch computes one traversal per request
+            .int("traversal_computes", total as u64)
+            .render();
+        print!(
+            "{}",
+            JsonRecord::new()
+                .str("benchmark", "serve")
+                .int("requests", total as u64)
+                .int("trees", trees.len() as u64)
+                .raw("processors", &format!("[{}]", procs.join(",")))
+                .int("schedulers", names.len() as u64)
+                .raw("baseline", &baseline)
+                .raw("sweep", &format!("[{}]", sweep_json.join(",")))
+                .line()
         );
         return;
     }

@@ -2,97 +2,47 @@
 //! scheduler reaches (or comes within 5% of) the best memory/makespan, and
 //! average deviations from the sequential memory and the best makespan.
 //!
-//! Schedulers are resolved through the registry (`--schedulers` compares a
-//! different set than the paper's four campaign heuristics). `--json`
-//! emits one machine-readable summary record through the shared record
-//! builder in `treesched_serve::jsonl`, like every other `--json` surface.
+//! A thin front-end over the Campaign API: the flags build a
+//! [`treesched_bench::CampaignSpec`] (corpus × registry schedulers ×
+//! platform grid), the engine-backed runner executes it, and this binary
+//! only aggregates. `--json` streams one JSONL record per scenario plus
+//! one summary record per table line, all through the shared `JsonRecord`
+//! builder.
 
-use treesched_bench::{cli, harness};
-use treesched_core::SchedulerRegistry;
-use treesched_gen::assembly_corpus;
-use treesched_serve::JsonRecord;
+use treesched_bench::{campaign::presets, cli, harness};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse(&args) {
-        Ok(o) => o,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!("usage: table1 [options]\n{}", cli::USAGE);
-            std::process::exit(if msg.is_empty() { 0 } else { 2 });
-        }
-    };
-
-    let registry = SchedulerRegistry::standard();
-    let names = opts.scheduler_names(&registry);
-    eprintln!("building corpus ({:?})...", opts.scale);
-    let corpus = assembly_corpus(opts.scale);
-    eprintln!(
-        "running {} trees x {:?} processors x {} schedulers...",
-        corpus.len(),
-        opts.procs,
-        names.len()
-    );
-    let rows =
-        match harness::run_corpus_with(&corpus, &opts.procs, &registry, &names, opts.cap_factor) {
-            Ok(rows) => rows,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
+    let opts = cli::parse_or_exit("table1");
+    let spec = presets::grid_or_exit("table1", &opts);
+    let campaign = presets::run_or_exit(&spec);
+    let rows = campaign.rows();
+    let table = harness::table1(&rows);
 
     if opts.json {
-        let table: Vec<String> = harness::table1(&rows)
-            .iter()
-            .map(|r| {
-                JsonRecord::new()
-                    .str("scheduler", &r.scheduler)
-                    .num("best_mem_pct", r.best_mem_pct)
-                    .num("within5_mem_pct", r.within5_mem_pct)
-                    .num("avg_dev_mem_pct", r.avg_dev_mem_pct)
-                    .num("best_ms_pct", r.best_ms_pct)
-                    .num("within5_ms_pct", r.within5_ms_pct)
-                    .num("avg_dev_ms_pct", r.avg_dev_ms_pct)
-                    .render()
-            })
-            .collect();
-        let procs: Vec<String> = opts.procs.iter().map(|p| p.to_string()).collect();
-        print!(
-            "{}",
-            JsonRecord::new()
-                .str("benchmark", "table1")
-                .int("trees", corpus.len() as u64)
-                .raw("processors", &format!("[{}]", procs.join(",")))
-                .int("schedulers", names.len() as u64)
-                .int("scenarios", (rows.len() / names.len().max(1)) as u64)
-                .raw("rows", &format!("[{}]", table.join(",")))
-                .line()
-        );
-        if let Some(path) = opts.csv {
-            std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
-            eprintln!("raw rows written to {path}");
+        print!("{}", campaign.to_jsonl());
+        for row in &table {
+            print!("{}", harness::table1_json(&campaign.name, row));
         }
+        presets::maybe_csv(&opts, &rows);
         return;
     }
 
+    let names = harness::scheduler_names(&rows);
     println!(
-        "Table 1 — {} scenarios ({} trees, p in {:?})",
+        "Table 1 — {} scenarios ({} trees, points {:?})",
         rows.len() / names.len().max(1),
-        corpus.len(),
-        opts.procs
+        campaign.tree_count(),
+        spec.platforms
+            .iter()
+            .map(|pt| pt.label.as_str())
+            .collect::<Vec<_>>()
     );
-    println!("{}", harness::render_table1(&harness::table1(&rows)));
+    println!("{}", harness::render_table1(&table));
     println!("Paper reference (608 UF trees):");
     println!("  ParSubtrees        81.1%  85.2%  133.0%  |  0.2%  14.2%  34.7%");
     println!("  ParSubtreesOptim   49.9%  65.6%  144.8%  |  1.1%  19.1%  28.5%");
     println!("  ParInnerFirst      19.1%  26.2%  276.5%  | 37.2%  82.4%   2.6%");
     println!("  ParDeepestFirst     3.0%   9.6%  325.8%  | 95.7%  99.9%   0.0%");
 
-    if let Some(path) = opts.csv {
-        std::fs::write(&path, harness::to_csv(&rows)).expect("write CSV");
-        eprintln!("raw rows written to {path}");
-    }
+    presets::maybe_csv(&opts, &rows);
 }

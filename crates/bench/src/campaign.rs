@@ -1,0 +1,1172 @@
+//! The Campaign API: declarative experiment specs executed over the
+//! batched serving engine.
+//!
+//! A [`CampaignSpec`] names a cross-product of scenarios — a tree set
+//! (assembly corpus and/or explicit trees) × a scheduler selection
+//! (resolved through the [`SchedulerRegistry`], defaulting to its
+//! `campaign` set) × a grid of [`PlatformPoint`]s (flat processor counts,
+//! heterogeneous `--speeds`/`--domains` shapes, per-tree memory-cap
+//! factors) × sequential sub-algorithms × an optional seed, plus an extra
+//! [`Metric`] selection. The [`CampaignRunner`] executes the whole product
+//! through [`treesched_serve::ServeEngine`], so campaign traffic
+//! parallelizes across workers and reuses warm per-worker
+//! [`treesched_core::Scratch`] caches exactly like serving traffic — and,
+//! because the engine orders results by submission index, the output is
+//! byte-identical for any worker count.
+//!
+//! Every scenario becomes one [`CampaignRecord`]: either measurements
+//! (rendered as a one-line JSON record through the shared
+//! [`treesched_serve::JsonRecord`] builder, field-compatible with
+//! `schedule --json` and the serving responses) or a typed
+//! [`SchedError`] — errors are data in the stream, never panics. The
+//! experiment binaries (`table1`, `fig6`–`fig8`, `scaling`, `ablation`,
+//! `corpus`) are thin front-ends that build a spec, run it, and aggregate
+//! the records; `treesched campaign` exposes the same engine-backed runner
+//! on the command line, from flags or a JSON spec file.
+
+use crate::harness::Row;
+use std::sync::Arc;
+use treesched_core::{
+    memory_reference, Metric, Platform, PlatformSpec, SchedError, SchedulerRegistry, SeqAlgo,
+};
+use treesched_gen::{assembly_corpus, CorpusEntry, Scale};
+use treesched_model::TaskTree;
+use treesched_serve::{
+    platform_json, JsonRecord, ScheduleRecord, ServeEngine, ServeRequest, ServeStats,
+};
+
+// ---------------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------------
+
+/// One platform of a campaign grid: a declarative shape plus an optional
+/// per-tree memory-cap factor, under a stable label that tags every record
+/// produced at this point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformPoint {
+    /// Label tagging the point's records (`point` field), e.g. `p4` or
+    /// `2x2.0,2x1.0;1e9@0,1e9@1`.
+    pub label: String,
+    /// The platform shape (classes + domains with absolute capacities).
+    pub spec: PlatformSpec,
+    /// Per-tree memory cap as a multiple of the tree's sequential
+    /// reference peak: a point without domains gains one shared cap of
+    /// `factor × M_seq(tree)`; a point with domains has each domain's
+    /// capacity replaced by `factor × M_seq(tree)` (absolute capacities
+    /// are meaningless across a corpus of differently sized trees).
+    pub cap_factor: Option<f64>,
+}
+
+impl PlatformPoint {
+    /// The paper's flat machine point: `p` unit-speed processors, label
+    /// `p{p}`.
+    pub fn flat(p: u32) -> PlatformPoint {
+        PlatformPoint {
+            label: format!("p{p}"),
+            spec: PlatformSpec::flat(p),
+            cap_factor: None,
+        }
+    }
+
+    /// A point from a parsed [`PlatformSpec`], labeled with its flag
+    /// spelling (`SPEEDS[;DOMAINS]`).
+    pub fn from_spec(spec: PlatformSpec) -> PlatformPoint {
+        let (speeds, domains) = spec.flag_strings();
+        let label = match domains {
+            Some(domains) => format!("{speeds};{domains}"),
+            None => speeds,
+        };
+        PlatformPoint {
+            label,
+            spec,
+            cap_factor: None,
+        }
+    }
+
+    /// Returns the point with a per-tree memory-cap factor; the label
+    /// gains a `/cap{factor}` suffix.
+    pub fn with_cap_factor(mut self, factor: f64) -> PlatformPoint {
+        self.label = format!("{}/cap{factor}", self.label);
+        self.cap_factor = Some(factor);
+        self
+    }
+
+    /// The concrete platform this point means for a tree whose sequential
+    /// reference peak is `mem_ref` (see [`PlatformPoint::cap_factor`]).
+    pub fn resolve(&self, mem_ref: f64) -> Platform {
+        let platform = self.spec.to_platform();
+        match self.cap_factor {
+            None => platform,
+            Some(factor) if platform.domains().is_empty() => {
+                platform.with_memory_cap(factor * mem_ref)
+            }
+            Some(factor) => {
+                let mut scaled = Platform::heterogeneous(platform.classes().to_vec());
+                for d in platform.domains() {
+                    scaled = scaled.with_domain(factor * mem_ref, &d.classes);
+                }
+                scaled
+            }
+        }
+    }
+}
+
+/// A declarative experiment campaign: the full cross-product of scenarios
+/// to run, plus an extra metric selection. See the [module docs](self) for
+/// the execution model and [`presets`] for the specs behind the paper's
+/// tables and figures.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name, echoed as the `campaign` field of every record.
+    pub name: String,
+    /// Assembly corpus to include in the tree set, if any.
+    pub corpus: Option<Scale>,
+    /// Explicit trees to include (before the corpus, in order).
+    pub trees: Vec<CorpusEntry>,
+    /// Scheduler registry names or aliases; `None` means the registry's
+    /// `campaign` set. Unknown names fail the whole run, typed.
+    pub schedulers: Option<Vec<String>>,
+    /// The platform grid.
+    pub platforms: Vec<PlatformPoint>,
+    /// Sequential sub-algorithm grid (never empty; default
+    /// `[SeqAlgo::default()]`).
+    pub seqs: Vec<SeqAlgo>,
+    /// Seed for randomized schedulers.
+    pub seed: Option<u64>,
+    /// Extra metrics appended to each record (beyond the always-present
+    /// schedule fields; `makespan`, `peak_memory` and `cap_violations`
+    /// are already in the base record and are skipped here).
+    pub metrics: Vec<Metric>,
+    /// Worker-count hint for front-ends building a runner from the spec
+    /// (`None` = pick automatically). The output never depends on it.
+    pub workers: Option<usize>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign named `name`: no trees, the registry's campaign
+    /// scheduler set, no platform points, the default sequential
+    /// sub-algorithm.
+    pub fn new(name: impl Into<String>) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            corpus: None,
+            trees: Vec::new(),
+            schedulers: None,
+            platforms: Vec::new(),
+            seqs: vec![SeqAlgo::default()],
+            seed: None,
+            metrics: Vec::new(),
+            workers: None,
+        }
+    }
+
+    /// Includes the assembly corpus at `scale` in the tree set.
+    pub fn with_corpus(mut self, scale: Scale) -> CampaignSpec {
+        self.corpus = Some(scale);
+        self
+    }
+
+    /// Adds one explicit named tree.
+    pub fn with_tree(mut self, name: impl Into<String>, tree: TaskTree) -> CampaignSpec {
+        self.trees.push(CorpusEntry {
+            name: name.into(),
+            tree,
+        });
+        self
+    }
+
+    /// Sets the scheduler selection (registry names or aliases).
+    pub fn with_schedulers(mut self, names: Vec<String>) -> CampaignSpec {
+        self.schedulers = Some(names);
+        self
+    }
+
+    /// Adds a flat platform point per processor count.
+    pub fn with_procs(mut self, ps: &[u32]) -> CampaignSpec {
+        self.platforms
+            .extend(ps.iter().map(|&p| PlatformPoint::flat(p)));
+        self
+    }
+
+    /// Adds one platform point.
+    pub fn with_platform(mut self, point: PlatformPoint) -> CampaignSpec {
+        self.platforms.push(point);
+        self
+    }
+
+    /// Sets the sequential sub-algorithm grid.
+    pub fn with_seqs(mut self, seqs: Vec<SeqAlgo>) -> CampaignSpec {
+        self.seqs = seqs;
+        self
+    }
+
+    /// Sets the seed for randomized schedulers.
+    pub fn with_seed(mut self, seed: u64) -> CampaignSpec {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the extra metric selection.
+    pub fn with_metrics(mut self, metrics: Vec<Metric>) -> CampaignSpec {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Ensures `name` (canonically) is part of the scheduler selection —
+    /// the figure binaries use this to force their normalization baseline
+    /// in. Returns whether the selection had to be extended. An explicit
+    /// selection with an unknown name is left alone (the runner will
+    /// surface the typed error).
+    pub fn ensure_scheduler(&mut self, registry: &SchedulerRegistry, name: &str) -> bool {
+        let Some(names) = &mut self.schedulers else {
+            // the default campaign set: membership is the registry's call
+            return false;
+        };
+        let canonical = registry.resolve(name).map(|e| e.name());
+        let present = names
+            .iter()
+            .any(|n| registry.resolve(n).map(|e| e.name()) == canonical);
+        if !present {
+            names.push(name.to_string());
+        }
+        !present
+    }
+
+    /// The scheduler names the campaign will run: the explicit selection,
+    /// or the registry's campaign set.
+    pub fn scheduler_names(&self, registry: &SchedulerRegistry) -> Vec<String> {
+        match &self.schedulers {
+            Some(names) => names.clone(),
+            None => registry.campaign().map(|e| e.name().to_string()).collect(),
+        }
+    }
+
+    /// Materializes the tree set: explicit trees first, then the corpus.
+    pub fn resolve_trees(&self) -> Vec<CorpusEntry> {
+        let mut trees = self.trees.clone();
+        if let Some(scale) = self.corpus {
+            trees.extend(assembly_corpus(scale));
+        }
+        trees
+    }
+
+    /// Number of scenarios the spec describes (records a run will produce).
+    pub fn scenarios(&self, registry: &SchedulerRegistry) -> usize {
+        self.resolve_trees().len()
+            * self.platforms.len()
+            * self.seqs.len()
+            * self.scheduler_names(registry).len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// The measurements of one successful scenario.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Achieved makespan.
+    pub makespan: f64,
+    /// Achieved platform-global peak memory.
+    pub peak_memory: f64,
+    /// Makespan lower bound of the scenario (speed-aware).
+    pub ms_lb: f64,
+    /// Sequential memory reference of the tree.
+    pub mem_ref: f64,
+    /// Forced cap admissions (memory-capped schedulers only).
+    pub cap_violations: Option<usize>,
+    /// Peak memory per platform domain (empty for flat platforms).
+    pub domain_peaks: Vec<f64>,
+    /// The spec's extra metric selection, in selection order; `None` when
+    /// the outcome does not carry the metric.
+    pub metrics: Vec<(Metric, Option<f64>)>,
+}
+
+/// One scenario of a campaign run: its coordinates plus either the
+/// measurements or the typed error the scheduler returned.
+#[derive(Clone, Debug)]
+pub struct CampaignRecord {
+    /// Tree name (corpus entry name or explicit tree name).
+    pub tree: String,
+    /// Number of tasks of the tree.
+    pub nodes: usize,
+    /// Label of the platform point ([`PlatformPoint::label`]).
+    pub point: String,
+    /// The concrete platform of the scenario (per-tree cap applied).
+    pub platform: Platform,
+    /// Canonical scheduler name.
+    pub scheduler: String,
+    /// Sequential sub-algorithm of the scenario.
+    pub seq: SeqAlgo,
+    /// Seed of the scenario, if the spec set one.
+    pub seed: Option<u64>,
+    /// Measurements, or the typed scheduling error.
+    pub outcome: Result<CampaignOutcome, SchedError>,
+}
+
+impl CampaignRecord {
+    /// Renders the record as its one-line JSON form: the scenario
+    /// coordinates (`campaign`, `tree`, `point`, `seq`, `seed`) followed —
+    /// for successes — by the exact field set of `schedule --json` (via
+    /// the shared [`ScheduleRecord`] builder) and the extra metrics, or —
+    /// for failures — by `scheduler`/`processors`/`platform` and the typed
+    /// `error` message.
+    pub fn to_json(&self, campaign: &str) -> String {
+        let rec = JsonRecord::new()
+            .str("campaign", campaign)
+            .str("tree", &self.tree)
+            .str("point", &self.point)
+            .str("seq", self.seq.name())
+            .opt_int("seed", self.seed);
+        match &self.outcome {
+            Ok(out) => {
+                let mut rec = ScheduleRecord {
+                    scheduler: &self.scheduler,
+                    platform: &self.platform,
+                    tasks: self.nodes,
+                    makespan: out.makespan,
+                    makespan_lower_bound: out.ms_lb,
+                    peak_memory: out.peak_memory,
+                    memory_reference: out.mem_ref,
+                    cap_violations: out.cap_violations,
+                    domain_peaks: &out.domain_peaks,
+                }
+                .embed(rec);
+                for (metric, value) in &out.metrics {
+                    rec = rec.opt_num(metric.name(), *value);
+                }
+                rec.line()
+            }
+            Err(e) => {
+                let mut rec = rec
+                    .str("scheduler", &self.scheduler)
+                    .int("processors", u64::from(self.platform.processors()));
+                if !self.platform.is_flat() {
+                    rec = rec.raw("platform", &platform_json(&self.platform));
+                }
+                rec.str("error", &e.to_string()).line()
+            }
+        }
+    }
+}
+
+/// The result of one campaign run: every scenario record, in the spec's
+/// deterministic cross-product order (worker-count independent).
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// One record per scenario.
+    pub records: Vec<CampaignRecord>,
+    /// Engine counters accumulated over this run.
+    pub stats: ServeStats,
+}
+
+impl Campaign {
+    /// The whole run as JSONL, one record per line.
+    pub fn to_jsonl(&self) -> String {
+        self.records.iter().map(|r| r.to_json(&self.name)).collect()
+    }
+
+    /// The error records of the run.
+    pub fn errors(&self) -> impl Iterator<Item = (&CampaignRecord, &SchedError)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().err().map(|e| (r, e)))
+    }
+
+    /// Successful records as harness [`Row`]s for the table/figure
+    /// aggregations; error records are skipped.
+    pub fn rows(&self) -> Vec<Row> {
+        self.records
+            .iter()
+            .filter_map(|r| {
+                let out = r.outcome.as_ref().ok()?;
+                Some(Row {
+                    tree: r.tree.clone(),
+                    nodes: r.nodes,
+                    p: r.platform.processors(),
+                    point: r.point.clone(),
+                    seq: r.seq.name().to_string(),
+                    scheduler: r.scheduler.clone(),
+                    makespan: out.makespan,
+                    memory: out.peak_memory,
+                    ms_lb: out.ms_lb,
+                    mem_ref: out.mem_ref,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of distinct trees the run covered.
+    pub fn tree_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.records
+            .iter()
+            .filter(|r| seen.insert(r.tree.as_str()))
+            .count()
+    }
+
+    /// As [`Campaign::rows`], but failing on the first error record — the
+    /// contract of the old all-or-nothing harness loop.
+    pub fn strict_rows(&self) -> Result<Vec<Row>, SchedError> {
+        if let Some((_, e)) = self.errors().next() {
+            return Err(e.clone());
+        }
+        Ok(self.rows())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// A sensible engine worker count for campaign runs on this machine. The
+/// output never depends on it.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+/// Executes [`CampaignSpec`]s over a [`ServeEngine`]. The runner is
+/// long-lived: consecutive runs (the ablation studies, a figure series)
+/// share the engine's warm per-worker caches.
+pub struct CampaignRunner {
+    registry: Arc<SchedulerRegistry>,
+    engine: ServeEngine,
+}
+
+impl CampaignRunner {
+    /// A runner over the standard registry with `workers` engine workers.
+    pub fn new(workers: usize) -> CampaignRunner {
+        CampaignRunner::over(Arc::new(SchedulerRegistry::standard()), workers)
+    }
+
+    /// A runner over a shared registry — custom schedulers registered with
+    /// `campaign = true` join every default-selection campaign.
+    pub fn over(registry: Arc<SchedulerRegistry>, workers: usize) -> CampaignRunner {
+        let engine = ServeEngine::with_registry(Arc::clone(&registry), workers);
+        CampaignRunner { registry, engine }
+    }
+
+    /// The registry the runner resolves schedulers from.
+    pub fn registry(&self) -> &SchedulerRegistry {
+        &self.registry
+    }
+
+    /// Runs the spec's full cross-product and returns one record per
+    /// scenario, in cross-product order (trees × platform points ×
+    /// sequential algorithms × schedulers). Unknown scheduler names fail
+    /// the whole run; every per-scenario failure (unsupported platform,
+    /// missing cap, invalid platform) is an error *record*.
+    pub fn run(&mut self, spec: &CampaignSpec) -> Result<Campaign, SchedError> {
+        let names: Vec<&'static str> = spec
+            .scheduler_names(&self.registry)
+            .iter()
+            .map(|n| self.registry.resolve(n).map(|e| e.name()))
+            .collect::<Result<_, _>>()?;
+        let extra: Vec<Metric> = spec
+            .metrics
+            .iter()
+            .copied()
+            .filter(|m| {
+                // already in the base record: selecting them again would
+                // duplicate JSON keys
+                !matches!(
+                    m,
+                    Metric::Makespan | Metric::PeakMemory | Metric::CapViolations
+                )
+            })
+            .collect();
+        let trees = spec.resolve_trees();
+        let before = self.engine.stats();
+        struct Coord {
+            tree: String,
+            nodes: usize,
+            point: String,
+            platform: Platform,
+            seq: SeqAlgo,
+        }
+        let mut coords: Vec<Coord> = Vec::new();
+        for entry in trees {
+            let nodes = entry.tree.len();
+            let tree = Arc::new(entry.tree);
+            // only points with a cap factor need the reference peak ahead
+            // of serving (the engine reports it per result anyway)
+            let mem_ref = spec
+                .platforms
+                .iter()
+                .any(|pt| pt.cap_factor.is_some())
+                .then(|| memory_reference(&tree));
+            for point in &spec.platforms {
+                let platform = point.resolve(mem_ref.unwrap_or(0.0));
+                for &seq in &spec.seqs {
+                    for name in &names {
+                        let mut request =
+                            ServeRequest::new(Arc::clone(&tree), *name, platform.clone())
+                                .with_seq(seq);
+                        if let Some(seed) = spec.seed {
+                            request = request.with_seed(seed);
+                        }
+                        self.engine.submit(request);
+                        coords.push(Coord {
+                            tree: entry.name.clone(),
+                            nodes,
+                            point: point.label.clone(),
+                            platform: platform.clone(),
+                            seq,
+                        });
+                    }
+                }
+            }
+        }
+        let results = self.engine.drain();
+        let records = results
+            .into_iter()
+            .zip(coords)
+            .map(|(result, coord)| {
+                let outcome = result.outcome.map(|out| CampaignOutcome {
+                    makespan: out.outcome.eval.makespan,
+                    peak_memory: out.outcome.eval.peak_memory,
+                    ms_lb: out.ms_lb,
+                    mem_ref: out.mem_ref,
+                    cap_violations: out.outcome.diagnostics.cap_violations,
+                    domain_peaks: out.outcome.domain_peaks.clone(),
+                    metrics: extra.iter().map(|&m| (m, out.outcome.metric(m))).collect(),
+                });
+                CampaignRecord {
+                    tree: coord.tree,
+                    nodes: coord.nodes,
+                    point: coord.point,
+                    platform: coord.platform,
+                    scheduler: result.scheduler,
+                    seq: coord.seq,
+                    seed: spec.seed,
+                    outcome,
+                }
+            })
+            .collect();
+        let after = self.engine.stats();
+        Ok(Campaign {
+            name: spec.name.clone(),
+            records,
+            stats: ServeStats {
+                requests: after.requests - before.requests,
+                batches: after.batches - before.batches,
+                traversal_computes: after.traversal_computes - before.traversal_computes,
+                traversal_reuses: after.traversal_reuses - before.traversal_reuses,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON spec files
+// ---------------------------------------------------------------------------
+
+/// Parses a campaign spec from its JSON file form (`treesched campaign
+/// --spec FILE`). All fields optional except `platforms`:
+///
+/// ```json
+/// {"name": "mixed", "corpus": "small", "trees": ["fork.tree"],
+///  "schedulers": ["deepest", "inner", "cp"],
+///  "platforms": [{"processors": 4},
+///                {"processors": 8, "cap_factor": 1.5},
+///                {"speeds": "2x2.0,2x1.0", "domains": "1e9@0,1e9@1"}],
+///  "seq": ["best", "liu"], "seed": 7,
+///  "metrics": ["speedup", "utilization"], "workers": 4}
+/// ```
+///
+/// `trees` entries are paths to `treesched tree v1` files, loaded here;
+/// platform entries use either the flat `processors` field or the
+/// `--speeds`/`--domains` flag syntax, plus an optional `cap_factor`.
+pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
+    use treesched_serve::jsonl::{parse_object, Value};
+
+    fn str_of(v: &Value, what: &str) -> Result<String, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("`{what}` must be a string, got {other:?}")),
+        }
+    }
+    fn num_of<T: std::str::FromStr>(v: &Value, what: &str) -> Result<T, String> {
+        match v {
+            Value::Num(raw) => raw
+                .parse()
+                .map_err(|_| format!("`{what}` must be a number of the right kind, got `{raw}`")),
+            other => Err(format!("`{what}` must be a number, got {other:?}")),
+        }
+    }
+    fn list_of(v: &Value, what: &str) -> Result<Vec<String>, String> {
+        match v {
+            Value::Arr(items) => items.iter().map(|i| str_of(i, what)).collect(),
+            other => Err(format!(
+                "`{what}` must be an array of strings, got {other:?}"
+            )),
+        }
+    }
+
+    let pairs = parse_object(text.trim())?;
+    let mut spec = CampaignSpec::new("campaign");
+    for (key, value) in &pairs {
+        match key.as_str() {
+            "name" => spec.name = str_of(value, "name")?,
+            "corpus" => {
+                spec.corpus = Some(match str_of(value, "corpus")?.as_str() {
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    other => return Err(format!("unknown corpus scale `{other}`")),
+                });
+            }
+            "trees" => {
+                for path in list_of(value, "trees")? {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    let tree = treesched_model::io::from_text(&text)
+                        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                    spec.trees.push(CorpusEntry { name: path, tree });
+                }
+            }
+            "schedulers" => spec.schedulers = Some(list_of(value, "schedulers")?),
+            "platforms" => {
+                let Value::Arr(items) = value else {
+                    return Err(format!("`platforms` must be an array, got {value:?}"));
+                };
+                for item in items {
+                    spec.platforms.push(platform_point_from_value(item)?);
+                }
+            }
+            "seq" => {
+                let names = match value {
+                    Value::Str(s) => vec![s.clone()],
+                    other => list_of(other, "seq")?,
+                };
+                spec.seqs = names
+                    .iter()
+                    .map(|n| {
+                        SeqAlgo::by_name(n).ok_or_else(|| format!("unknown `seq` algorithm `{n}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if spec.seqs.is_empty() {
+                    return Err("`seq` needs at least one algorithm".into());
+                }
+            }
+            "seed" => spec.seed = Some(num_of(value, "seed")?),
+            "metrics" => {
+                spec.metrics = list_of(value, "metrics")?
+                    .iter()
+                    .map(|n| Metric::by_name(n).ok_or_else(|| format!("unknown metric `{n}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "workers" => {
+                let workers: usize = num_of(value, "workers")?;
+                if workers == 0 {
+                    return Err("`workers` needs at least 1".into());
+                }
+                spec.workers = Some(workers);
+            }
+            other => return Err(format!("unknown spec key `{other}`")),
+        }
+    }
+    if spec.platforms.is_empty() {
+        return Err("spec needs a non-empty `platforms` array".into());
+    }
+    Ok(spec)
+}
+
+fn platform_point_from_value(
+    value: &treesched_serve::jsonl::Value,
+) -> Result<PlatformPoint, String> {
+    use treesched_serve::jsonl::Value;
+    let Value::Obj(fields) = value else {
+        return Err(format!(
+            "each platform point must be an object, got {value:?}"
+        ));
+    };
+    let mut processors: Option<u32> = None;
+    let mut speeds: Option<String> = None;
+    let mut domains: Option<String> = None;
+    let mut cap_factor: Option<f64> = None;
+    for (key, v) in fields {
+        match (key.as_str(), v) {
+            ("processors", Value::Num(raw)) => {
+                processors = Some(raw.parse().map_err(|_| {
+                    format!("`processors` must be a non-negative integer, got `{raw}`")
+                })?);
+            }
+            ("speeds", Value::Str(s)) => speeds = Some(s.clone()),
+            ("domains", Value::Str(s)) => domains = Some(s.clone()),
+            ("cap_factor", Value::Num(raw)) => {
+                let f: f64 = raw.parse().expect("validated by the parser");
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(format!(
+                        "`cap_factor` must be positive and finite, got `{raw}`"
+                    ));
+                }
+                cap_factor = Some(f);
+            }
+            (k @ ("speeds" | "domains"), v) => {
+                return Err(format!("`{k}` must be a string, got {v:?}"))
+            }
+            (k @ ("processors" | "cap_factor"), v) => {
+                return Err(format!("`{k}` must be a number, got {v:?}"))
+            }
+            (k, _) => return Err(format!("unknown platform point key `{k}`")),
+        }
+    }
+    let mut point = match (processors, speeds) {
+        (Some(_), Some(_)) => {
+            return Err("a platform point spells `processors` or `speeds`, not both".into())
+        }
+        (Some(p), None) => {
+            if domains.is_some() {
+                return Err("`domains` needs `speeds` (flat points have one shared memory)".into());
+            }
+            PlatformPoint::flat(p)
+        }
+        (None, Some(speeds)) => {
+            PlatformPoint::from_spec(PlatformSpec::parse_flags(&speeds, domains.as_deref())?)
+        }
+        (None, None) => return Err("a platform point needs `processors` or `speeds`".into()),
+    };
+    if let Some(factor) = cap_factor {
+        point = point.with_cap_factor(factor);
+    }
+    Ok(point)
+}
+
+// ---------------------------------------------------------------------------
+// Presets
+// ---------------------------------------------------------------------------
+
+/// The campaign specs behind the experiment binaries.
+pub mod presets {
+    use super::*;
+    use crate::cli::Options;
+
+    /// The shared grid of the table/figure binaries, from the binary
+    /// flags: corpus at `--scale`, flat points for `--procs` (each with
+    /// `--cap-factor` when given), one extra heterogeneous point for
+    /// `--speeds`/`--domains`, the `--schedulers` selection, `--seq` and
+    /// `--seed`.
+    pub fn grid(name: &str, opts: &Options) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec::new(name).with_corpus(opts.scale);
+        for &p in &opts.procs {
+            let mut point = PlatformPoint::flat(p);
+            if let Some(factor) = opts.cap_factor {
+                point = point.with_cap_factor(factor);
+            }
+            spec.platforms.push(point);
+        }
+        if let Some(speeds) = &opts.speeds {
+            let parsed = PlatformSpec::parse_flags(speeds, opts.domains.as_deref())?;
+            let mut point = PlatformPoint::from_spec(parsed);
+            if let Some(factor) = opts.cap_factor {
+                point = point.with_cap_factor(factor);
+            }
+            spec.platforms.push(point);
+        } else if opts.domains.is_some() {
+            return Err("--domains needs --speeds".into());
+        }
+        spec.schedulers = opts.schedulers.clone();
+        spec.seqs = opts.seqs.clone();
+        spec.seed = opts.seed;
+        Ok(spec)
+    }
+
+    /// As [`grid`], exiting with a usage error (code 2) on bad flags — the
+    /// shared `main` preamble of the table/figure binaries.
+    pub fn grid_or_exit(name: &str, opts: &Options) -> CampaignSpec {
+        match grid(name, opts) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Runs `spec` on a fresh runner (`spec.workers` or the machine
+    /// default). Unknown scheduler names exit 1; error *records* are
+    /// summarized on stderr (first few spelled out) and only an all-error
+    /// campaign exits 1 — partial heterogeneous refusals are data.
+    pub fn run_or_exit(spec: &CampaignSpec) -> Campaign {
+        let workers = spec.workers.unwrap_or_else(default_workers);
+        let campaign = match CampaignRunner::new(workers).run(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let errors = campaign.errors().count();
+        if errors > 0 {
+            eprintln!(
+                "note: {errors} of {} scenarios returned typed errors:",
+                campaign.records.len()
+            );
+            for (r, e) in campaign.errors().take(3) {
+                eprintln!("  {} @ {} on {}: {e}", r.scheduler, r.point, r.tree);
+            }
+            if errors == campaign.records.len() {
+                eprintln!("error: every scenario failed");
+                std::process::exit(1);
+            }
+        }
+        campaign
+    }
+
+    /// Dumps the raw scenario rows as CSV when `--csv` was given.
+    pub fn maybe_csv(opts: &Options, rows: &[Row]) {
+        if let Some(path) = &opts.csv {
+            std::fs::write(path, crate::harness::to_csv(rows)).expect("write CSV");
+            eprintln!("raw rows written to {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_core::ProcClass;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("tiny")
+            .with_tree("fork", TaskTree::fork(8, 1.0, 1.0, 0.0))
+            .with_tree("chain", TaskTree::chain(12, 2.0, 1.0, 0.5))
+            .with_procs(&[2, 4])
+    }
+
+    #[test]
+    fn runner_produces_every_scenario_in_cross_product_order() {
+        let mut runner = CampaignRunner::new(2);
+        let spec = tiny_spec();
+        assert_eq!(spec.scenarios(runner.registry()), 2 * 2 * 4);
+        let campaign = runner.run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 16);
+        // tree-major, then platform point, then scheduler
+        assert_eq!(campaign.records[0].tree, "fork");
+        assert_eq!(campaign.records[0].point, "p2");
+        assert_eq!(campaign.records[0].scheduler, "ParSubtrees");
+        assert_eq!(campaign.records[4].point, "p4");
+        assert_eq!(campaign.records[8].tree, "chain");
+        for r in &campaign.records {
+            let out = r.outcome.as_ref().expect("flat campaign set is total");
+            assert!(
+                out.makespan >= out.ms_lb - 1e-9,
+                "{} {}",
+                r.tree,
+                r.scheduler
+            );
+            assert!(out.peak_memory > 0.0);
+        }
+        // rows match for the aggregations
+        let rows = campaign.rows();
+        assert_eq!(rows.len(), 16);
+        assert_eq!(rows[0].p, 2);
+        assert_eq!(campaign.strict_rows().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_worker_counts() {
+        let spec = tiny_spec();
+        let reference = CampaignRunner::new(1).run(&spec).unwrap().to_jsonl();
+        for workers in [2usize, 4] {
+            let got = CampaignRunner::new(workers).run(&spec).unwrap().to_jsonl();
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn selection_resolves_aliases_and_rejects_unknown_names() {
+        let mut runner = CampaignRunner::new(1);
+        let spec = tiny_spec().with_schedulers(vec!["deepest".into(), "fifo".into()]);
+        let campaign = runner.run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 8);
+        assert_eq!(campaign.records[0].scheduler, "ParDeepestFirst");
+        assert_eq!(campaign.records[1].scheduler, "FifoList");
+        let bad = tiny_spec().with_schedulers(vec!["nosuch".into()]);
+        assert!(matches!(
+            runner.run(&bad),
+            Err(SchedError::UnknownScheduler { .. })
+        ));
+    }
+
+    #[test]
+    fn cap_factor_scales_with_each_tree_and_errors_stay_records() {
+        let mut runner = CampaignRunner::new(2);
+        // without a cap the capped scheduler errors — as a record
+        let spec = tiny_spec().with_schedulers(vec!["membound".into()]);
+        let campaign = runner.run(&spec).unwrap();
+        assert_eq!(campaign.errors().count(), 4);
+        assert!(matches!(
+            campaign.records[0].outcome,
+            Err(SchedError::MissingMemoryCap { .. })
+        ));
+        assert!(matches!(
+            campaign.strict_rows(),
+            Err(SchedError::MissingMemoryCap { .. })
+        ));
+        // with a factor, each tree is capped at factor x its own M_seq
+        let spec = CampaignSpec::new("capped")
+            .with_tree("fork", TaskTree::fork(8, 1.0, 1.0, 0.0))
+            .with_tree("complete", TaskTree::complete(2, 4, 1.0, 2.0, 0.5))
+            .with_platform(PlatformPoint::flat(4).with_cap_factor(1.0))
+            .with_schedulers(vec!["membound".into()]);
+        let campaign = runner.run(&spec).unwrap();
+        for r in &campaign.records {
+            let out = r.outcome.as_ref().unwrap();
+            assert_eq!(
+                r.platform.memory_cap(),
+                Some(out.mem_ref),
+                "{}: cap is 1.0 x this tree's reference",
+                r.tree
+            );
+            assert!(out.peak_memory <= out.mem_ref * 1.0 + 1e-9, "{}", r.tree);
+        }
+        assert_eq!(campaign.records[0].point, "p4/cap1");
+    }
+
+    #[test]
+    fn heterogeneous_points_serve_or_surface_typed_error_records() {
+        let mut runner = CampaignRunner::new(2);
+        let spec = CampaignSpec::new("het")
+            .with_tree("complete", TaskTree::complete(2, 5, 1.0, 2.0, 0.5))
+            .with_platform(PlatformPoint::from_spec(
+                PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1")).unwrap(),
+            ));
+        let campaign = runner.run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 4);
+        let mut served = 0;
+        let mut refused = 0;
+        for r in &campaign.records {
+            assert_eq!(r.point, "2x2,2x1;1000000000@0,1000000000@1");
+            match &r.outcome {
+                Ok(out) => {
+                    served += 1;
+                    assert_eq!(out.domain_peaks.len(), 2, "{}", r.scheduler);
+                }
+                Err(SchedError::UnsupportedPlatform { .. }) => refused += 1,
+                Err(e) => panic!("{}: unexpected error {e}", r.scheduler),
+            }
+        }
+        assert!(served > 0 && refused > 0);
+        // error records carry the platform object and the typed message
+        let jsonl = campaign.to_jsonl();
+        let error_line = jsonl
+            .lines()
+            .find(|l| l.contains("\"error\""))
+            .expect("subtree schedulers refuse mixed speeds");
+        assert!(
+            error_line.contains("\"platform\":{\"classes\""),
+            "{error_line}"
+        );
+        assert!(error_line.contains("does not support"), "{error_line}");
+    }
+
+    #[test]
+    fn records_render_the_shared_schedule_json_schema() {
+        let mut runner = CampaignRunner::new(1);
+        let spec = tiny_spec()
+            .with_schedulers(vec!["deepest".into()])
+            .with_metrics(vec![Metric::Speedup, Metric::Utilization, Metric::Makespan]);
+        let campaign = runner.run(&spec).unwrap();
+        let jsonl = campaign.to_jsonl();
+        for line in jsonl.lines() {
+            let pairs = treesched_serve::jsonl::parse_object(line).expect("valid JSON");
+            let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                [
+                    "campaign",
+                    "tree",
+                    "point",
+                    "seq",
+                    "seed",
+                    "scheduler",
+                    "processors",
+                    "tasks",
+                    "makespan",
+                    "makespan_lower_bound",
+                    "peak_memory",
+                    "memory_reference",
+                    "cap",
+                    "cap_violations",
+                    "speedup",
+                    "utilization",
+                ],
+                "duplicate base metrics must be skipped: {line}"
+            );
+            assert!(line.starts_with("{\"campaign\":\"tiny\","), "{line}");
+        }
+    }
+
+    #[test]
+    fn seq_and_seed_grids_fan_out() {
+        let mut runner = CampaignRunner::new(2);
+        let spec = CampaignSpec::new("seqs")
+            .with_tree("complete", TaskTree::complete(2, 4, 1.0, 2.0, 0.5))
+            .with_procs(&[4])
+            .with_schedulers(vec!["subtrees".into(), "random".into()])
+            .with_seqs(vec![SeqAlgo::NaivePostorder, SeqAlgo::BestPostorder])
+            .with_seed(9);
+        let campaign = runner.run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 4);
+        assert_eq!(campaign.records[0].seq, SeqAlgo::NaivePostorder);
+        assert_eq!(campaign.records[2].seq, SeqAlgo::BestPostorder);
+        assert!(campaign.records.iter().all(|r| r.seed == Some(9)));
+        assert!(campaign.to_jsonl().contains("\"seq\":\"naive\""));
+        assert!(campaign.to_jsonl().contains("\"seed\":9"));
+    }
+
+    #[test]
+    fn custom_registry_schedulers_join_the_default_selection() {
+        struct Constant;
+        impl treesched_core::Scheduler for Constant {
+            fn name(&self) -> &'static str {
+                "TestCampaigner"
+            }
+            fn schedule(
+                &self,
+                req: &treesched_core::Request<'_>,
+                scratch: &mut treesched_core::Scratch,
+            ) -> Result<treesched_core::Outcome, SchedError> {
+                SchedulerRegistry::standard()
+                    .get("fifo")
+                    .unwrap()
+                    .schedule(req, scratch)
+            }
+        }
+        let mut registry = SchedulerRegistry::standard();
+        registry.register(Box::new(Constant), &[], true).unwrap();
+        let mut runner = CampaignRunner::over(Arc::new(registry), 2);
+        let spec = CampaignSpec::new("custom")
+            .with_tree("fork", TaskTree::fork(6, 1.0, 1.0, 0.0))
+            .with_procs(&[2]);
+        let campaign = runner.run(&spec).unwrap();
+        assert!(
+            campaign
+                .records
+                .iter()
+                .any(|r| r.scheduler == "TestCampaigner"),
+            "campaign-flagged registration joins the default selection"
+        );
+    }
+
+    #[test]
+    fn ensure_scheduler_adds_missing_baselines_only() {
+        let registry = SchedulerRegistry::standard();
+        let mut spec = tiny_spec(); // default selection: registry decides
+        assert!(!spec.ensure_scheduler(&registry, "ParSubtrees"));
+        let mut spec = tiny_spec().with_schedulers(vec!["deepest".into()]);
+        assert!(spec.ensure_scheduler(&registry, "ParSubtrees"));
+        assert_eq!(
+            spec.schedulers.as_ref().unwrap(),
+            &vec!["deepest".to_string(), "ParSubtrees".to_string()]
+        );
+        // an alias of a present scheduler is recognized as present
+        let mut spec = tiny_spec().with_schedulers(vec!["subtrees".into()]);
+        assert!(!spec.ensure_scheduler(&registry, "ParSubtrees"));
+    }
+
+    #[test]
+    fn spec_files_parse_and_reject_bad_fields() {
+        let dir = std::env::temp_dir().join("treesched-campaign-spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tree_path = dir.join("spec-fork.tree");
+        std::fs::write(
+            &tree_path,
+            treesched_model::io::to_text(&TaskTree::fork(4, 1.0, 1.0, 0.0)),
+        )
+        .unwrap();
+        let text = format!(
+            concat!(
+                "{{\"name\":\"mixed\",\"trees\":[\"{}\"],",
+                "\"schedulers\":[\"deepest\",\"cp\"],",
+                "\"platforms\":[{{\"processors\":4}},",
+                "{{\"processors\":8,\"cap_factor\":1.5}},",
+                "{{\"speeds\":\"2x2.0,2x1.0\",\"domains\":\"1e9@0,1e9@1\"}}],",
+                "\"seq\":[\"best\",\"liu\"],\"seed\":7,",
+                "\"metrics\":[\"speedup\"],\"workers\":2}}"
+            ),
+            tree_path.display()
+        );
+        let spec = spec_from_json(&text).unwrap();
+        assert_eq!(spec.name, "mixed");
+        assert_eq!(spec.trees.len(), 1);
+        assert_eq!(spec.platforms.len(), 3);
+        assert_eq!(spec.platforms[0].label, "p4");
+        assert_eq!(spec.platforms[1].label, "p8/cap1.5");
+        assert_eq!(spec.platforms[1].cap_factor, Some(1.5));
+        assert_eq!(
+            spec.platforms[2].spec.classes,
+            vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)]
+        );
+        assert_eq!(spec.seqs, vec![SeqAlgo::BestPostorder, SeqAlgo::LiuExact]);
+        assert_eq!(spec.seed, Some(7));
+        assert_eq!(spec.metrics, vec![Metric::Speedup]);
+        assert_eq!(spec.workers, Some(2));
+        // the parsed spec actually runs
+        let campaign = CampaignRunner::new(2).run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 3 * 2 * 2); // 1 tree x 3 points x 2 seqs x 2 scheds
+
+        for (bad, needle) in [
+            ("{}", "platforms"),
+            ("{\"platforms\":[]}", "platforms"),
+            ("{\"platforms\":[{}]}", "needs `processors` or `speeds`"),
+            (
+                "{\"platforms\":[{\"processors\":2,\"speeds\":\"2x1\"}]}",
+                "not both",
+            ),
+            (
+                "{\"platforms\":[{\"processors\":2,\"domains\":\"5\"}]}",
+                "needs `speeds`",
+            ),
+            (
+                "{\"platforms\":[{\"processors\":2,\"cap_factor\":0}]}",
+                "positive",
+            ),
+            ("{\"platforms\":[{\"speeds\":\"junk\"}]}", "--speeds"),
+            ("{\"platforms\":[{\"bogus\":1}]}", "bogus"),
+            (
+                "{\"corpus\":\"giant\",\"platforms\":[{\"processors\":2}]}",
+                "scale",
+            ),
+            (
+                "{\"seq\":[\"fast\"],\"platforms\":[{\"processors\":2}]}",
+                "seq",
+            ),
+            (
+                "{\"metrics\":[\"magic\"],\"platforms\":[{\"processors\":2}]}",
+                "metric",
+            ),
+            (
+                "{\"workers\":0,\"platforms\":[{\"processors\":2}]}",
+                "workers",
+            ),
+            (
+                "{\"trees\":[\"/nonexistent/x.tree\"],\"platforms\":[{\"processors\":2}]}",
+                "cannot read",
+            ),
+            ("{\"bogus\":1,\"platforms\":[{\"processors\":2}]}", "bogus"),
+            ("not json", "expected"),
+        ] {
+            let err = spec_from_json(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn corpus_and_explicit_trees_combine() {
+        let spec = CampaignSpec::new("both")
+            .with_tree("fork", TaskTree::fork(4, 1.0, 1.0, 0.0))
+            .with_corpus(Scale::Small);
+        let trees = spec.resolve_trees();
+        assert!(trees.len() > 1);
+        assert_eq!(trees[0].name, "fork");
+    }
+}

@@ -1,6 +1,7 @@
 //! Minimal argument parsing shared by the experiment binaries (no external
 //! dependency needed for `--scale`, `--procs`, `--csv`).
 
+use treesched_core::SeqAlgo;
 use treesched_gen::Scale;
 
 /// Options common to every experiment binary.
@@ -19,11 +20,23 @@ pub struct Options {
     pub cap_factor: Option<f64>,
     /// Optional CSV dump path (`--csv out.csv`).
     pub csv: Option<String>,
-    /// Machine-readable summary on stdout instead of the text report
-    /// (`--json`): one flat JSON object, stable keys.
+    /// Machine-readable campaign JSONL on stdout instead of the text
+    /// report (`--json`): one record per scenario plus summary records,
+    /// all through the shared `JsonRecord` builder.
     pub json: bool,
     /// Worker-count sweep for the serving benchmark (`--workers 1,2,4`).
     pub workers: Vec<usize>,
+    /// Extra heterogeneous platform point: processor classes as
+    /// `COUNTxSPEED,..` (`--speeds 2x2.0,2x1.0`).
+    pub speeds: Option<String>,
+    /// Memory domains of the heterogeneous point as `CAP@CLASSES,..`
+    /// (`--domains 1e9@0,1e9@1`); needs `--speeds`.
+    pub domains: Option<String>,
+    /// Sequential sub-algorithm grid (`--seq best,liu`; default the
+    /// paper's best postorder).
+    pub seqs: Vec<SeqAlgo>,
+    /// Seed for randomized schedulers (`--seed N`).
+    pub seed: Option<u64>,
 }
 
 impl Default for Options {
@@ -36,6 +49,10 @@ impl Default for Options {
             csv: None,
             json: false,
             workers: vec![1, 2, 4],
+            speeds: None,
+            domains: None,
+            seqs: vec![SeqAlgo::default()],
+            seed: None,
         }
     }
 }
@@ -100,6 +117,35 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone());
             }
             "--json" => opts.json = true,
+            "--speeds" => {
+                opts.speeds = Some(
+                    it.next()
+                        .ok_or("--speeds needs COUNTxSPEED entries")?
+                        .clone(),
+                );
+            }
+            "--domains" => {
+                opts.domains = Some(
+                    it.next()
+                        .ok_or("--domains needs CAP@CLASSES entries")?
+                        .clone(),
+                );
+            }
+            "--seq" => {
+                let v = it.next().ok_or("--seq needs best|naive|liu names")?;
+                let parsed: Option<Vec<SeqAlgo>> = v
+                    .split(',')
+                    .map(|s| treesched_core::SeqAlgo::by_name(s.trim()))
+                    .collect();
+                opts.seqs = parsed.ok_or_else(|| format!("bad --seq `{v}`"))?;
+                if opts.seqs.is_empty() {
+                    return Err("--seq needs at least one algorithm".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|_| format!("bad --seed `{v}`"))?);
+            }
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 let parsed: Result<Vec<usize>, _> =
@@ -123,9 +169,29 @@ pub const USAGE: &str = "options:
   --schedulers N1,N2,...       registry names/aliases (default: campaign set;
                                memory-capped ones also need --cap-factor)
   --cap-factor F               memory cap = F x each tree's sequential peak
+  --speeds C1xS1,...           extra heterogeneous platform point
+  --domains CAP@CLASSES,...    memory domains of that point (needs --speeds)
+  --seq A1,A2,...              sequential sub-algorithm grid (default: best)
+  --seed N                     seed for randomized schedulers
   --csv PATH                   dump raw scenario rows as CSV
-  --json                       machine-readable summary record on stdout
+  --json                       campaign JSONL records on stdout
   --workers W1,W2,...          worker sweep for serve_bench (default: 1,2,4)";
+
+/// Parses the process arguments or exits with the binary's usage text —
+/// the shared `main` preamble of every experiment binary.
+pub fn parse_or_exit(binary: &str) -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: {binary} [options]\n{USAGE}");
+            std::process::exit(if msg.is_empty() { 0 } else { 2 });
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -201,6 +267,31 @@ mod tests {
         let o = parse(&s(&["--json", "--workers", "2, 8"])).unwrap();
         assert!(o.json);
         assert_eq!(o.workers, vec![2, 8]);
+    }
+
+    #[test]
+    fn campaign_grid_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.seqs, vec![SeqAlgo::default()]);
+        assert_eq!(o.seed, None);
+        assert_eq!(o.speeds, None);
+        let o = parse(&s(&[
+            "--speeds",
+            "2x2.0,2x1.0",
+            "--domains",
+            "1e9@0,1e9@1",
+            "--seq",
+            "naive,liu",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(o.speeds.as_deref(), Some("2x2.0,2x1.0"));
+        assert_eq!(o.domains.as_deref(), Some("1e9@0,1e9@1"));
+        assert_eq!(o.seqs, vec![SeqAlgo::NaivePostorder, SeqAlgo::LiuExact]);
+        assert_eq!(o.seed, Some(7));
+        assert!(parse(&s(&["--seq", "fast"])).is_err());
+        assert!(parse(&s(&["--seed", "x"])).is_err());
     }
 
     #[test]

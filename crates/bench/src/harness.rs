@@ -1,32 +1,40 @@
-//! Experiment driver: runs schedulers from the
-//! [`treesched_core::SchedulerRegistry`] over the corpus for every
-//! processor count and aggregates the paper's Table 1 and Figures 6–8.
+//! Aggregations of the paper's Table 1 and Figures 6–8 over campaign
+//! rows, plus their text renderings.
 //!
-//! The campaign set is whatever the registry marks as campaign members
-//! (the paper's four heuristics in [`SchedulerRegistry::standard`]) — a
-//! newly registered campaign scheduler automatically joins every table and
-//! figure. Rows carry the scheduler's canonical registry name.
+//! Scenario *execution* lives in [`crate::campaign`]: the experiment
+//! binaries build a [`crate::CampaignSpec`] and run it through the
+//! engine-backed [`crate::CampaignRunner`]; this module turns the
+//! resulting [`Row`]s into the paper's tables and scatter crosses. The
+//! campaign set is whatever the registry marks as campaign members (the
+//! paper's four heuristics in
+//! [`treesched_core::SchedulerRegistry::standard`]) — a newly registered
+//! campaign scheduler automatically joins every table and figure. Rows
+//! carry the scheduler's canonical registry name.
 
+use crate::campaign::{CampaignRunner, CampaignSpec};
 use crate::stats::{cross, mean, Cross};
 use std::fmt::Write as _;
-use treesched_core::{
-    makespan_lower_bound, Platform, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
-    SeqAlgo,
-};
+use treesched_core::SchedError;
 use treesched_gen::CorpusEntry;
 
 /// The processor counts of the paper's campaign (§6.2).
 pub const PAPER_PROCS: [u32; 5] = [2, 4, 8, 16, 32];
 
-/// One measured scenario: a scheduler on a tree with `p` processors.
+/// One measured scenario: a scheduler on a tree at one platform point.
 #[derive(Clone, Debug)]
 pub struct Row {
     /// Corpus entry name.
     pub tree: String,
     /// Number of tasks of the tree.
     pub nodes: usize,
-    /// Processor count.
+    /// Processor count of the point (total across classes).
     pub p: u32,
+    /// Platform point label (`p4`, `2x2,2x1;…`, `p8/cap1.5`) — with `p`,
+    /// part of the scenario key, so a heterogeneous point never merges
+    /// with a flat point of the same processor count.
+    pub point: String,
+    /// Sequential sub-algorithm name of the scenario (`best|naive|liu`).
+    pub seq: String,
     /// Canonical registry name of the scheduler measured.
     pub scheduler: String,
     /// Achieved makespan.
@@ -39,92 +47,16 @@ pub struct Row {
     pub mem_ref: f64,
 }
 
-/// Runs the registry's campaign schedulers on every `(tree, p)` scenario,
-/// in parallel across corpus entries.
+/// Runs the registry's campaign schedulers on every `(tree, p)` scenario
+/// through the engine-backed [`CampaignRunner`], failing on the first
+/// error record. Rows come back in corpus order, one consecutive group per
+/// `(tree, p)` scenario.
 pub fn run_corpus(corpus: &[CorpusEntry], ps: &[u32]) -> Result<Vec<Row>, SchedError> {
-    let registry = SchedulerRegistry::standard();
-    let names: Vec<String> = registry.campaign().map(|e| e.name().to_string()).collect();
-    run_corpus_with(corpus, ps, &registry, &names, None)
-}
-
-/// As [`run_corpus`], but over an explicit registry and scheduler-name
-/// selection (canonical names or aliases). Rows always record canonical
-/// names, in the order the names were given.
-///
-/// `cap_factor` sets each request's platform memory cap to
-/// `factor × M_seq(tree)` (the sequential reference peak) — required for
-/// memory-capped schedulers to participate; uncapped schedulers ignore it.
-pub fn run_corpus_with(
-    corpus: &[CorpusEntry],
-    ps: &[u32],
-    registry: &SchedulerRegistry,
-    names: &[String],
-    cap_factor: Option<f64>,
-) -> Result<Vec<Row>, SchedError> {
-    let scheds: Vec<&dyn Scheduler> = names
-        .iter()
-        .map(|n| registry.get(n))
-        .collect::<Result<_, _>>()?;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(corpus.len().max(1));
-    let chunk = corpus.len().div_ceil(threads.max(1));
-    let mut all: Vec<Row> = std::thread::scope(|scope| {
-        let handles: Vec<_> = corpus
-            .chunks(chunk.max(1))
-            .map(|entries| {
-                let scheds = &scheds;
-                scope.spawn(move || run_entries(entries, ps, scheds, cap_factor))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Result<Vec<_>, SchedError>>()
-            .map(|vecs| vecs.into_iter().flatten().collect())
-    })?;
-    // deterministic output order regardless of thread interleaving; the
-    // stable sort keeps the scheduler selection order within each group
-    all.sort_by(|a, b| a.tree.cmp(&b.tree).then(a.p.cmp(&b.p)));
-    Ok(all)
-}
-
-fn run_entries(
-    entries: &[CorpusEntry],
-    ps: &[u32],
-    scheds: &[&dyn Scheduler],
-    cap_factor: Option<f64>,
-) -> Result<Vec<Row>, SchedError> {
-    let mut rows = Vec::with_capacity(entries.len() * ps.len() * scheds.len());
-    let mut scratch = Scratch::new();
-    for e in entries {
-        let tree = &e.tree;
-        // cached inside the scratch: every scheduler and p reuses it
-        let (_, mem_ref) = scratch.traversal(tree, SeqAlgo::default());
-        for &p in ps {
-            let ms_lb = makespan_lower_bound(tree, p);
-            let mut platform = Platform::new(p);
-            if let Some(factor) = cap_factor {
-                platform = platform.with_memory_cap(factor * mem_ref);
-            }
-            let req = Request::new(tree, platform);
-            for s in scheds {
-                let out = s.schedule(&req, &mut scratch)?;
-                rows.push(Row {
-                    tree: e.name.clone(),
-                    nodes: tree.len(),
-                    p,
-                    scheduler: s.name().to_string(),
-                    makespan: out.eval.makespan,
-                    memory: out.eval.peak_memory,
-                    ms_lb,
-                    mem_ref,
-                });
-            }
-        }
-    }
-    Ok(rows)
+    let mut spec = CampaignSpec::new("corpus").with_procs(ps);
+    spec.trees = corpus.to_vec();
+    CampaignRunner::new(crate::campaign::default_workers())
+        .run(&spec)?
+        .strict_rows()
 }
 
 /// Distinct scheduler names in first-appearance order — the selection
@@ -160,15 +92,20 @@ pub struct Table1Row {
     pub avg_dev_ms_pct: f64,
 }
 
-/// Scenario key: rows are grouped by `(tree, p)` before computing
-/// best-of-set statistics.
+/// Scenario key: rows are grouped by `(tree, point, seq)` before computing
+/// best-of-set statistics, so heterogeneous platform points and `--seq`
+/// grid entries form their own scenarios instead of merging with the flat
+/// point of the same processor count.
 fn scenario_groups(rows: &[Row]) -> Vec<&[Row]> {
-    // rows are sorted by (tree, p): each group is one consecutive run
+    // rows come in cross-product order: each group is one consecutive run
     let mut groups = Vec::new();
     let mut start = 0;
     while start < rows.len() {
         let mut end = start + 1;
-        while end < rows.len() && rows[end].tree == rows[start].tree && rows[end].p == rows[start].p
+        while end < rows.len()
+            && rows[end].tree == rows[start].tree
+            && rows[end].point == rows[start].point
+            && rows[end].seq == rows[start].seq
         {
             end += 1;
         }
@@ -342,14 +279,56 @@ pub fn render_crosses(title: &str, xlabel: &str, ylabel: &str, series: &[FigSeri
     s
 }
 
+/// One summary record per Table 1 line, through the shared builder —
+/// appended after the scenario records in `table1 --json`.
+pub fn table1_json(campaign: &str, row: &Table1Row) -> String {
+    treesched_serve::JsonRecord::new()
+        .str("campaign", campaign)
+        .str("scheduler", &row.scheduler)
+        .num("best_mem_pct", row.best_mem_pct)
+        .num("within5_mem_pct", row.within5_mem_pct)
+        .num("avg_dev_mem_pct", row.avg_dev_mem_pct)
+        .num("best_ms_pct", row.best_ms_pct)
+        .num("within5_ms_pct", row.within5_ms_pct)
+        .num("avg_dev_ms_pct", row.avg_dev_ms_pct)
+        .line()
+}
+
+/// One summary record per figure series (the scatter cross), through the
+/// shared builder — appended after the scenario records in the figure
+/// binaries' `--json` streams.
+pub fn cross_json(campaign: &str, series: &FigSeries) -> String {
+    let (name, pts, c) = series;
+    treesched_serve::JsonRecord::new()
+        .str("campaign", campaign)
+        .str("series", name)
+        .int("points", pts.len() as u64)
+        .num("x_mean", c.x_mean)
+        .num("x_p10", c.x_p10)
+        .num("x_p90", c.x_p90)
+        .num("y_mean", c.y_mean)
+        .num("y_p10", c.y_p10)
+        .num("y_p90", c.y_p90)
+        .line()
+}
+
 /// CSV dump of the raw scenario rows (for external plotting).
 pub fn to_csv(rows: &[Row]) -> String {
-    let mut s = String::from("tree,nodes,p,scheduler,makespan,memory,ms_lb,mem_ref\n");
+    let mut s = String::from("tree,nodes,p,point,seq,scheduler,makespan,memory,ms_lb,mem_ref\n");
     for r in rows {
         let _ = writeln!(
             s,
-            "{},{},{},{},{},{},{},{}",
-            r.tree, r.nodes, r.p, r.scheduler, r.makespan, r.memory, r.ms_lb, r.mem_ref
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.tree,
+            r.nodes,
+            r.p,
+            r.point,
+            r.seq,
+            r.scheduler,
+            r.makespan,
+            r.memory,
+            r.ms_lb,
+            r.mem_ref
         );
     }
     s
@@ -379,7 +358,7 @@ mod tests {
     #[test]
     fn rows_record_campaign_names_in_registry_order() {
         let rows = tiny_rows();
-        let registry = SchedulerRegistry::standard();
+        let registry = treesched_core::SchedulerRegistry::standard();
         let campaign: Vec<String> = registry.campaign().map(|e| e.name().to_string()).collect();
         assert_eq!(scheduler_names(&rows), campaign);
         // the name→scheduler→name round trip shared with the CLI suite
@@ -397,47 +376,6 @@ mod tests {
             assert_eq!(x.scheduler, y.scheduler);
             assert_eq!(x.makespan, y.makespan);
             assert_eq!(x.memory, y.memory);
-        }
-    }
-
-    #[test]
-    fn run_corpus_with_selects_schedulers_by_alias() {
-        let corpus = assembly_corpus(Scale::Small);
-        let registry = SchedulerRegistry::standard();
-        let names = vec!["deepest".to_string(), "fifo".to_string()];
-        let rows = run_corpus_with(&corpus[..2], &[2], &registry, &names, None).unwrap();
-        assert_eq!(rows.len(), 4); // 2 trees x 1 p x 2 schedulers
-        assert_eq!(
-            scheduler_names(&rows),
-            vec!["ParDeepestFirst".to_string(), "FifoList".to_string()]
-        );
-        // unknown names surface as typed errors
-        let bad = vec!["nosuch".to_string()];
-        assert!(matches!(
-            run_corpus_with(&corpus[..2], &[2], &registry, &bad, None),
-            Err(treesched_core::SchedError::UnknownScheduler { .. })
-        ));
-    }
-
-    #[test]
-    fn cap_factor_lets_capped_schedulers_join_the_campaign() {
-        let corpus = assembly_corpus(Scale::Small);
-        let registry = SchedulerRegistry::standard();
-        let names = vec!["membound".to_string(), "subtrees".to_string()];
-        // without a cap the capped scheduler is a typed error…
-        assert!(matches!(
-            run_corpus_with(&corpus[..2], &[2], &registry, &names, None),
-            Err(treesched_core::SchedError::MissingMemoryCap { .. })
-        ));
-        // …with a cap factor it runs, capped at factor × M_seq
-        let rows = run_corpus_with(&corpus[..2], &[2, 4], &registry, &names, Some(1.0)).unwrap();
-        assert_eq!(rows.len(), 2 * 2 * 2);
-        for r in rows.iter().filter(|r| r.scheduler == "MemBoundedSeq") {
-            assert!(
-                r.memory <= r.mem_ref * 1.0 + 1e-9,
-                "{}: capped run exceeded the cap",
-                r.tree
-            );
         }
     }
 
@@ -490,7 +428,48 @@ mod tests {
     fn csv_has_header_and_rows() {
         let rows = tiny_rows();
         let csv = to_csv(&rows);
-        assert!(csv.starts_with("tree,nodes,p,"));
+        assert!(csv.starts_with("tree,nodes,p,point,seq,"));
         assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+
+    /// The scenario key is `(tree, point, seq)`, not `(tree, p)`: a
+    /// heterogeneous point with the same total processor count (or a
+    /// second `--seq` grid entry) must form its own best-of-set group
+    /// instead of merging with the flat point and corrupting the
+    /// percentages.
+    #[test]
+    fn scenario_groups_split_points_and_seqs_of_equal_p() {
+        let row = |point: &str, seq: &str, scheduler: &str, makespan: f64| Row {
+            tree: "t".into(),
+            nodes: 10,
+            p: 4,
+            point: point.into(),
+            seq: seq.into(),
+            scheduler: scheduler.into(),
+            makespan,
+            memory: 10.0,
+            ms_lb: 1.0,
+            mem_ref: 10.0,
+        };
+        // the hetero point is strictly faster (more total speed); under
+        // (tree, p) grouping A's flat row would never be "best"
+        let rows = vec![
+            row("p4", "best", "A", 10.0),
+            row("p4", "best", "B", 12.0),
+            row("2x2,2x1", "best", "A", 5.0),
+            row("2x2,2x1", "best", "B", 6.0),
+            row("p4", "liu", "A", 9.0),
+            row("p4", "liu", "B", 11.0),
+        ];
+        let t1 = table1(&rows);
+        let a = t1.iter().find(|r| r.scheduler == "A").unwrap();
+        let b = t1.iter().find(|r| r.scheduler == "B").unwrap();
+        assert_eq!(a.best_ms_pct, 100.0, "A wins each of its 3 scenarios");
+        assert_eq!(b.best_ms_pct, 0.0);
+        // fig7-style normalization pairs rows within each scenario too
+        let f = fig_normalized(&rows, "A");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1.len(), 3, "one pair per (point, seq) scenario");
+        assert!(f[0].1.iter().all(|(ms, _)| *ms > 1.0));
     }
 }

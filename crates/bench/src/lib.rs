@@ -1,14 +1,28 @@
-//! Experiment harness reproducing the paper's evaluation (§6).
+//! Experiment harness reproducing the paper's evaluation (§6), built
+//! around the Campaign API.
 //!
-//! Binaries (one per table/figure — see DESIGN.md §4):
+//! The [`campaign`] module is the experiment layer's core: a declarative
+//! [`CampaignSpec`] (tree set × scheduler selection × platform grid ×
+//! sequential algorithms × metrics) executed over the batched serving
+//! engine by [`CampaignRunner`], streaming one JSON record per scenario.
+//! [`harness`] aggregates the resulting rows into the paper's Table 1 and
+//! the Figure 6–8 scatter crosses.
+//!
+//! Binaries (one per table/figure — see DESIGN.md §4), all thin
+//! spec-building front-ends with `--json` JSONL output:
 //!
 //! * `table1` — the heuristic comparison of Table 1;
 //! * `fig6` — ratios to the lower bounds (Figure 6);
 //! * `fig7` — ratios to `ParSubtrees` (Figure 7);
 //! * `fig8` — ratios to `ParInnerFirst` (Figure 8);
+//! * `scaling` — strong-scaling sweep with speedup/utilization metrics;
 //! * `ablation` — design-choice ablations beyond the paper: sequential
 //!   sub-algorithm choice, the Figure 3 makespan-ratio sweep, and the
-//!   memory-capped scheduler's cap/makespan trade-off.
+//!   memory-capped scheduler's cap/makespan trade-off;
+//! * `corpus` — the dataset description of §6.2;
+//! * `seqgap` — the sequential postorder/optimal gap of §6.1;
+//! * `serve_bench` — serving-engine throughput against the per-request
+//!   path.
 //!
 //! Criterion micro-benchmarks live in `benches/` and validate the
 //! complexity claims of §5 (heuristic and traversal runtimes).
@@ -18,11 +32,16 @@
 //! the default sweep is the registry's campaign set, so a newly registered
 //! campaign scheduler joins every table and figure automatically.
 
+pub mod campaign;
 pub mod cli;
 pub mod harness;
 pub mod stats;
 
+pub use campaign::{
+    default_workers, spec_from_json, Campaign, CampaignOutcome, CampaignRecord, CampaignRunner,
+    CampaignSpec, PlatformPoint,
+};
 pub use harness::{
-    fig6, fig_normalized, render_crosses, render_table1, run_corpus, run_corpus_with,
-    scheduler_names, table1, Row, Table1Row, PAPER_PROCS,
+    fig6, fig_normalized, render_crosses, render_table1, run_corpus, scheduler_names, table1, Row,
+    Table1Row, PAPER_PROCS,
 };

@@ -1,0 +1,216 @@
+//! Golden-file and determinism tests for the campaign JSONL schema.
+//!
+//! Each migrated experiment binary's `--json` stream is pinned
+//! byte-for-byte against `tests/data/<binary>.golden.jsonl` on the small
+//! corpus: any change to field names, field order, number formatting, or
+//! record composition shows up as a diff. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p treesched_bench --test campaign_golden`
+//! after an intentional schema change (same workflow as the serve
+//! protocol goldens).
+//!
+//! The worker-count determinism pin lives at the runner level — the
+//! binaries pick their worker count automatically precisely because the
+//! JSONL is byte-identical at 1, 2, and 4 workers.
+
+use std::process::Command;
+use treesched_bench::{CampaignRunner, CampaignSpec, PlatformPoint};
+use treesched_core::{Metric, PlatformSpec, SeqAlgo};
+use treesched_model::TaskTree;
+
+/// Runs one experiment binary and returns its stdout; the run must exit 0.
+fn run_bin(exe: &str, args: &[&str]) -> String {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("binaries emit UTF-8")
+}
+
+fn check_golden(got: &str, golden_file: &str) {
+    let path = format!("{}/tests/data/{golden_file}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/data", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(path, got).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path} (UPDATE_GOLDEN=1 generates): {e}"));
+    assert_eq!(
+        got, golden,
+        "campaign JSONL schema drifted from {golden_file} \
+         (UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+    // every line of every golden stream is one valid JSON object
+    for line in got.lines() {
+        treesched_serve::jsonl::parse_object(line)
+            .unwrap_or_else(|e| panic!("{golden_file}: invalid record {line}: {e}"));
+    }
+}
+
+/// The flags of the pinned runs: a small deterministic slice of the grid.
+const GRID: &[&str] = &[
+    "--scale",
+    "small",
+    "--procs",
+    "2",
+    "--schedulers",
+    "subtrees,deepest",
+    "--json",
+];
+
+#[test]
+fn table1_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(env!("CARGO_BIN_EXE_table1"), GRID),
+        "table1.golden.jsonl",
+    );
+}
+
+#[test]
+fn fig6_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(env!("CARGO_BIN_EXE_fig6"), GRID),
+        "fig6.golden.jsonl",
+    );
+}
+
+#[test]
+fn fig7_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(env!("CARGO_BIN_EXE_fig7"), GRID),
+        "fig7.golden.jsonl",
+    );
+}
+
+#[test]
+fn fig8_json_matches_the_golden_schema() {
+    // fig8 force-adds its ParInnerFirst baseline to the selection
+    check_golden(
+        &run_bin(env!("CARGO_BIN_EXE_fig8"), GRID),
+        "fig8.golden.jsonl",
+    );
+}
+
+#[test]
+fn scaling_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(env!("CARGO_BIN_EXE_scaling"), GRID),
+        "scaling.golden.jsonl",
+    );
+}
+
+#[test]
+fn ablation_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(
+            env!("CARGO_BIN_EXE_ablation"),
+            &["--scale", "small", "--json"],
+        ),
+        "ablation.golden.jsonl",
+    );
+}
+
+#[test]
+fn corpus_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(env!("CARGO_BIN_EXE_corpus"), GRID),
+        "corpus.golden.jsonl",
+    );
+}
+
+#[test]
+fn seqgap_json_matches_the_golden_schema() {
+    check_golden(
+        &run_bin(
+            env!("CARGO_BIN_EXE_seqgap"),
+            &["--scale", "small", "--json"],
+        ),
+        "seqgap.golden.jsonl",
+    );
+}
+
+#[test]
+fn serve_bench_json_has_the_shared_record_shape() {
+    // timings make this record un-goldenable; pin its structure instead
+    let out = run_bin(
+        env!("CARGO_BIN_EXE_serve_bench"),
+        &[
+            "--scale",
+            "small",
+            "--procs",
+            "2",
+            "--schedulers",
+            "deepest",
+            "--workers",
+            "1,2",
+            "--json",
+        ],
+    );
+    let pairs = treesched_serve::jsonl::parse_object(out.trim_end()).expect("one JSON record");
+    let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "benchmark",
+            "requests",
+            "trees",
+            "processors",
+            "schedulers",
+            "baseline",
+            "sweep"
+        ]
+    );
+    let sweep = pairs.iter().find(|(k, _)| k == "sweep").unwrap();
+    let treesched_serve::jsonl::Value::Arr(sweep) = &sweep.1 else {
+        panic!("sweep must be an array");
+    };
+    assert_eq!(sweep.len(), 2);
+}
+
+/// The grid of the worker-count pin: the table/figure grid plus a
+/// heterogeneous point and a cap point, over a couple of explicit trees —
+/// everything that can influence record bytes.
+fn pinned_spec() -> CampaignSpec {
+    CampaignSpec::new("pin")
+        .with_tree("fork", TaskTree::fork(8, 1.0, 1.0, 0.0))
+        .with_tree("complete", TaskTree::complete(2, 5, 1.0, 2.0, 0.5))
+        .with_tree("chain", TaskTree::chain(15, 2.0, 1.0, 0.5))
+        .with_procs(&[2, 4])
+        .with_platform(PlatformPoint::flat(4).with_cap_factor(1.5))
+        .with_platform(PlatformPoint::from_spec(
+            PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1")).unwrap(),
+        ))
+        .with_schedulers(vec![
+            "subtrees".into(),
+            "deepest".into(),
+            "membound".into(),
+            "random".into(),
+        ])
+        .with_seqs(vec![SeqAlgo::BestPostorder, SeqAlgo::LiuExact])
+        .with_seed(42)
+        .with_metrics(vec![
+            Metric::Speedup,
+            Metric::Utilization,
+            Metric::MaxDomainPeak,
+        ])
+}
+
+#[test]
+fn campaign_jsonl_is_byte_identical_at_1_2_and_4_workers() {
+    let spec = pinned_spec();
+    let reference = CampaignRunner::new(1).run(&spec).unwrap().to_jsonl();
+    // the pinned grid exercises successes, cap records, hetero records,
+    // and typed error records
+    assert!(reference.contains("\"error\""), "pin covers error records");
+    assert!(reference.contains("\"domain_peaks\""), "pin covers hetero");
+    assert!(reference.contains("\"cap\":"), "pin covers caps");
+    for workers in [2usize, 4] {
+        let got = CampaignRunner::new(workers).run(&spec).unwrap().to_jsonl();
+        assert_eq!(got, reference, "workers = {workers}");
+    }
+}

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use treesched_core::{
-    Platform, ProcClass, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo,
+    Platform, PlatformSpec, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo,
 };
 use treesched_model::{io as tree_io, TaskTree, TreeStats};
 use treesched_serve::{ServeEngine, ServeRequest};
@@ -35,6 +35,9 @@ commands:
                                     per result, in input order
   pareto FILE -p N [--json] [--speeds L] [--domains D]
                                     exact (makespan, memory) frontier
+  campaign [--spec FILE | flags]    declarative experiment campaign over the
+                                    serving engine, JSONL records on stdout
+                                    (see `treesched campaign --help`)
   dot FILE                          Graphviz DOT export
 
 Schedulers S: any name or alias from `treesched schedulers`
@@ -116,6 +119,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "schedulers" => cmd_schedulers(rest),
         "serve" => cmd_serve(rest),
         "pareto" => cmd_pareto(rest),
+        "campaign" => cmd_campaign(rest),
         "dot" => cmd_dot(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::new(format!(
@@ -135,53 +139,11 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
         .map_err(|_| CliError::new(format!("cannot parse {what} from `{s}`")))
 }
 
-/// Parses a `--speeds` value: comma-separated `COUNTxSPEED` processor
-/// classes (`2x2.0,2x1.0`), a bare `SPEED` meaning one processor.
-fn parse_speed_classes(s: &str) -> Result<Vec<ProcClass>, CliError> {
-    let mut classes = Vec::new();
-    for entry in s.split(',') {
-        let entry = entry.trim();
-        if entry.is_empty() {
-            return Err(CliError::new(
-                "--speeds needs COUNTxSPEED entries (e.g. 2x2.0,2x1.0)",
-            ));
-        }
-        let class = match entry.split_once(['x', 'X']) {
-            Some((count, speed)) => ProcClass::new(
-                parse_num(count.trim(), "--speeds count")?,
-                parse_num(speed.trim(), "--speeds speed")?,
-            ),
-            None => ProcClass::new(1, parse_num(entry, "--speeds speed")?),
-        };
-        classes.push(class);
-    }
-    Ok(classes)
-}
-
-/// Parses a `--domains` value: comma-separated `CAP@CLASSES` memory
-/// domains with `+`-joined class indices (`64@0,32@1+2`); a bare `CAP`
-/// covers every class.
-fn parse_domain_specs(s: &str, n_classes: usize) -> Result<Vec<(f64, Vec<usize>)>, CliError> {
-    let mut domains = Vec::new();
-    for entry in s.split(',') {
-        let entry = entry.trim();
-        let (cap, classes) = match entry.split_once('@') {
-            Some((cap, list)) => {
-                let mut ids = Vec::new();
-                for id in list.split('+') {
-                    ids.push(parse_num(id.trim(), "--domains class index")?);
-                }
-                (cap.trim(), ids)
-            }
-            None => (entry, (0..n_classes).collect()),
-        };
-        domains.push((parse_num(cap, "--domains capacity")?, classes));
-    }
-    Ok(domains)
-}
-
 /// Builds the platform of a command from its `-p`/`--speeds`/`--domains`/
 /// `--cap` flags and validates it (typed platform errors map to exit 1).
+/// The flag syntax itself is parsed by the shared
+/// [`treesched_core::PlatformSpec::parse_flags`], which campaign specs use
+/// for the same spellings.
 fn build_platform(
     p: Option<u32>,
     speeds: Option<&str>,
@@ -193,31 +155,32 @@ fn build_platform(
             "--cap and --domains cannot be combined (--cap is the single shared domain)",
         ));
     }
-    let classes = match speeds {
+    let spec = match speeds {
         Some(s) => {
-            let classes = parse_speed_classes(s)?;
-            let total: u32 = classes.iter().map(|c| c.count).sum();
+            let spec = PlatformSpec::parse_flags(s, domains).map_err(CliError::new)?;
+            let total = spec.processors();
             if p.is_some_and(|p| p != total) {
                 return Err(CliError::new(format!(
                     "-p {} contradicts --speeds ({total} processors)",
                     p.expect("checked")
                 )));
             }
-            classes
+            spec
         }
-        None => vec![ProcClass::new(
-            p.ok_or_else(|| CliError::new("need -p N (or --speeds)"))?,
-            1.0,
-        )],
+        None => {
+            let p = p.ok_or_else(|| CliError::new("need -p N (or --speeds)"))?;
+            match domains {
+                // flat processors with explicit domains: same parser, one
+                // implicit unit-speed class
+                Some(domains) => PlatformSpec::parse_flags(&format!("{p}x1"), Some(domains))
+                    .map_err(CliError::new)?,
+                None => PlatformSpec::flat(p),
+            }
+        }
     };
-    let mut platform = Platform::heterogeneous(classes);
+    let mut platform = spec.to_platform();
     if let Some(cap) = cap {
         platform = platform.with_memory_cap(cap);
-    }
-    if let Some(domains) = domains {
-        for (capacity, classes) in parse_domain_specs(domains, platform.classes().len())? {
-            platform = platform.with_domain(capacity, &classes);
-        }
     }
     platform.validate().map_err(CliError::sched)?;
     Ok(platform)
@@ -929,23 +892,19 @@ fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
     }
     let frontier = treesched_core::pareto_frontier(&tree, p);
     if json {
-        // same record conventions as `schedule --json`: flat keys, Display
-        // numbers, one line — with the frontier as (makespan, peak_memory)
-        // pairs flattened into parallel arrays
-        let col = |f: &dyn Fn(&treesched_core::ParetoPoint) -> String| {
-            frontier.iter().map(f).collect::<Vec<_>>().join(",")
-        };
-        return Ok(format!(
-            concat!(
-                "{{\"command\":\"pareto\",\"processors\":{},\"tasks\":{},",
-                "\"points\":{},\"makespans\":[{}],\"peak_memories\":[{}]}}\n"
-            ),
-            p,
-            tree.len(),
-            frontier.len(),
-            col(&|pt| pt.makespan.to_string()),
-            col(&|pt| pt.memory.to_string()),
-        ));
+        // same record conventions as `schedule --json`, via the shared
+        // builder — the frontier as (makespan, peak_memory) pairs
+        // flattened into parallel arrays
+        let makespans: Vec<f64> = frontier.iter().map(|pt| f64::from(pt.makespan)).collect();
+        let memories: Vec<f64> = frontier.iter().map(|pt| pt.memory).collect();
+        return Ok(treesched_serve::JsonRecord::new()
+            .str("command", "pareto")
+            .int("processors", u64::from(p))
+            .int("tasks", tree.len() as u64)
+            .int("points", frontier.len() as u64)
+            .num_array("makespans", &makespans)
+            .num_array("peak_memories", &memories)
+            .line());
     }
     let mut out = format!("exact Pareto frontier, p = {p}:\n");
     let _ = writeln!(out, "  {:>9} {:>12}", "makespan", "peak memory");
@@ -953,6 +912,237 @@ fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "  {:>9} {:>12}", pt.makespan, pt.memory);
     }
     Ok(out)
+}
+
+const CAMPAIGN_USAGE: &str = "treesched campaign — declarative experiment campaigns
+
+Runs the cross-product of a tree set x schedulers x platform points x
+sequential algorithms through the batched serving engine and streams one
+JSON record per scenario (typed errors are records too, never aborts).
+Output is byte-identical for any --workers count.
+
+  campaign --spec FILE [--workers N]   run a JSON spec file
+  campaign [flags]                     build the spec from flags:
+    --name N                  campaign name (default: campaign)
+    --scale small|medium|large  include the assembly corpus
+    --trees F1,F2,...         include explicit tree files
+    --procs P1,P2,...         flat platform points
+    --speeds C1xS1,...        one extra heterogeneous point
+    --domains CAP@CLASSES,... memory domains of that point
+    --cap-factor F            per-tree cap = F x sequential peak (all points)
+    --schedulers N1,N2,...    registry names/aliases (default: campaign set)
+    --seq A1,A2,...           sequential sub-algorithm grid (default: best)
+    --seed N                  seed for randomized schedulers
+    --metrics M1,M2,...       extra record fields (speedup, utilization,
+                              max_domain_peak)
+    --workers N               engine workers (default: auto; output identical)
+
+The spec file form of the same campaign:
+  {\"name\":\"mixed\",\"corpus\":\"small\",\"trees\":[\"fork.tree\"],
+   \"schedulers\":[\"deepest\",\"cp\"],
+   \"platforms\":[{\"processors\":4},
+                {\"speeds\":\"2x2.0,2x1.0\",\"domains\":\"1e9@0,1e9@1\"}],
+   \"seq\":[\"best\"],\"seed\":7,\"metrics\":[\"speedup\"],\"workers\":4}";
+
+/// The Campaign API front-end: builds a [`treesched_bench::CampaignSpec`]
+/// from a JSON spec file or from flags, runs it over the engine-backed
+/// [`treesched_bench::CampaignRunner`], and returns the JSONL stream.
+/// Scenario failures are typed error *records* in the stream (exit 0),
+/// matching the serve protocol; only spec-level problems (unknown
+/// scheduler names, unreadable files, bad flags) fail the command.
+fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+    use treesched_bench::{CampaignRunner, CampaignSpec, PlatformPoint};
+
+    let mut spec_file: Option<&String> = None;
+    let mut name: Option<&String> = None;
+    let mut scale: Option<treesched_gen::Scale> = None;
+    let mut trees: Vec<&str> = Vec::new();
+    let mut procs: Vec<u32> = Vec::new();
+    let mut schedulers: Option<Vec<String>> = None;
+    let mut cap_factor: Option<f64> = None;
+    let mut speeds: Option<&String> = None;
+    let mut domains: Option<&String> = None;
+    let mut seqs: Option<Vec<SeqAlgo>> = None;
+    let mut seed: Option<u64> = None;
+    let mut metrics: Vec<treesched_core::Metric> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut grid_flags = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::new(format!("{a} needs {what}")))
+        };
+        match a.as_str() {
+            "--help" | "-h" => return Ok(CAMPAIGN_USAGE.to_string()),
+            "--spec" => spec_file = Some(value("a path")?),
+            "--workers" => {
+                let w: usize = parse_num(value("N")?, "workers")?;
+                if w == 0 {
+                    return Err(CliError::new("--workers needs at least 1"));
+                }
+                workers = Some(w);
+            }
+            "--name" => {
+                name = Some(value("a name")?);
+                grid_flags = true;
+            }
+            "--scale" => {
+                scale = Some(match value("small|medium|large")?.as_str() {
+                    "small" => treesched_gen::Scale::Small,
+                    "medium" => treesched_gen::Scale::Medium,
+                    "large" => treesched_gen::Scale::Large,
+                    other => return Err(CliError::new(format!("unknown scale `{other}`"))),
+                });
+                grid_flags = true;
+            }
+            "--trees" => {
+                trees.extend(value("tree files")?.split(',').map(str::trim));
+                grid_flags = true;
+            }
+            "--procs" => {
+                for p in value("processor counts")?.split(',') {
+                    let p: u32 = parse_num(p.trim(), "--procs entry")?;
+                    if p == 0 {
+                        return Err(CliError::new("--procs needs positive processor counts"));
+                    }
+                    procs.push(p);
+                }
+                grid_flags = true;
+            }
+            "--schedulers" => {
+                let names: Vec<String> = value("registry names")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    return Err(CliError::new("--schedulers needs at least one name"));
+                }
+                schedulers = Some(names);
+                grid_flags = true;
+            }
+            "--cap-factor" => {
+                let f: f64 = parse_num(value("a factor")?, "--cap-factor")?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(CliError::new(
+                        "--cap-factor must be a positive finite number",
+                    ));
+                }
+                cap_factor = Some(f);
+                grid_flags = true;
+            }
+            "--speeds" => {
+                speeds = Some(value("COUNTxSPEED entries")?);
+                grid_flags = true;
+            }
+            "--domains" => {
+                domains = Some(value("CAP@CLASSES entries")?);
+                grid_flags = true;
+            }
+            "--seq" => {
+                let parsed: Option<Vec<SeqAlgo>> = value("algorithm names")?
+                    .split(',')
+                    .map(|s| SeqAlgo::by_name(s.trim()))
+                    .collect();
+                let parsed =
+                    parsed.ok_or_else(|| CliError::new("--seq needs best|naive|liu names"))?;
+                if parsed.is_empty() {
+                    return Err(CliError::new("--seq needs at least one algorithm"));
+                }
+                seqs = Some(parsed);
+                grid_flags = true;
+            }
+            "--seed" => {
+                seed = Some(parse_num(value("N")?, "seed")?);
+                grid_flags = true;
+            }
+            "--metrics" => {
+                for m in value("metric names")?.split(',') {
+                    let m = m.trim();
+                    metrics.push(
+                        treesched_core::Metric::by_name(m)
+                            .ok_or_else(|| CliError::new(format!("unknown metric `{m}`")))?,
+                    );
+                }
+                grid_flags = true;
+            }
+            other => {
+                return Err(CliError::new(format!(
+                    "unexpected argument `{other}`\n\n{CAMPAIGN_USAGE}"
+                )))
+            }
+        }
+    }
+
+    let spec = match spec_file {
+        Some(path) => {
+            if grid_flags {
+                return Err(CliError::new(
+                    "--spec cannot be combined with spec-building flags (only --workers)",
+                ));
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+            treesched_bench::spec_from_json(&text)
+                .map_err(|e| CliError::new(format!("bad spec {path}: {e}")))?
+        }
+        None => {
+            let mut spec = CampaignSpec::new(name.map(|s| s.as_str()).unwrap_or("campaign"));
+            spec.corpus = scale;
+            for path in trees {
+                spec.trees.push(treesched_gen::CorpusEntry {
+                    name: path.to_string(),
+                    tree: load_tree(path)?,
+                });
+            }
+            for &p in &procs {
+                let mut point = PlatformPoint::flat(p);
+                if let Some(factor) = cap_factor {
+                    point = point.with_cap_factor(factor);
+                }
+                spec.platforms.push(point);
+            }
+            match (speeds, domains) {
+                (Some(speeds), domains) => {
+                    let parsed = PlatformSpec::parse_flags(speeds, domains.map(|s| s.as_str()))
+                        .map_err(CliError::new)?;
+                    let mut point = PlatformPoint::from_spec(parsed);
+                    if let Some(factor) = cap_factor {
+                        point = point.with_cap_factor(factor);
+                    }
+                    spec.platforms.push(point);
+                }
+                (None, Some(_)) => return Err(CliError::new("--domains needs --speeds")),
+                (None, None) => {}
+            }
+            if spec.platforms.is_empty() {
+                return Err(CliError::new(
+                    "campaign needs at least one platform point (--procs or --speeds)",
+                ));
+            }
+            if spec.trees.is_empty() && spec.corpus.is_none() {
+                return Err(CliError::new(
+                    "campaign needs a tree set (--scale and/or --trees)",
+                ));
+            }
+            spec.schedulers = schedulers;
+            if let Some(seqs) = seqs {
+                spec.seqs = seqs;
+            }
+            spec.seed = seed;
+            spec.metrics = metrics;
+            spec
+        }
+    };
+    let workers = workers
+        .or(spec.workers)
+        .unwrap_or_else(treesched_bench::default_workers);
+    let campaign = CampaignRunner::new(workers)
+        .run(&spec)
+        .map_err(CliError::sched)?;
+    Ok(campaign.to_jsonl())
 }
 
 fn cmd_dot(args: &[String]) -> Result<String, CliError> {
@@ -1582,5 +1772,126 @@ mod tests {
     fn missing_file_reports_cleanly() {
         let e = run(&["stats", "/nonexistent/x.tree"]).unwrap_err();
         assert!(e.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn campaign_runs_from_flags_with_errors_as_records() {
+        let f = tmpfile("campaign.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        let out = run(&[
+            "campaign",
+            "--trees",
+            &f,
+            "--procs",
+            "2,4",
+            "--schedulers",
+            "deepest,subtrees",
+            "--speeds",
+            "1x2.0,1x1.0",
+            "--metrics",
+            "speedup",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2 * 3, "{out}");
+        assert!(
+            lines[0].starts_with(&format!(
+                "{{\"campaign\":\"campaign\",\"tree\":\"{f}\",\"point\":\"p2\",\
+                 \"seq\":\"best\",\"seed\":null,\"scheduler\":\"ParDeepestFirst\""
+            )),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"speedup\":"), "{}", lines[0]);
+        // the mixed-speed point: ParSubtrees refuses as a typed record,
+        // the run still exits 0 with the other records intact
+        let het_err = lines
+            .iter()
+            .find(|l| l.contains("\"error\""))
+            .expect("subtrees refuses mixed speeds");
+        assert!(het_err.contains("does not support"), "{het_err}");
+        assert!(het_err.contains("\"point\":\"1x2,1x1\""), "{het_err}");
+    }
+
+    #[test]
+    fn campaign_runs_from_a_spec_file_worker_count_independently() {
+        let f = tmpfile("campspec.tree");
+        run(&["gen", "complete", "2", "4", "-o", &f]).unwrap();
+        let spec = tmpfile("campspec.json");
+        std::fs::write(
+            &spec,
+            format!(
+                "{{\"name\":\"filed\",\"trees\":[\"{f}\"],\
+                 \"schedulers\":[\"deepest\",\"cp\"],\
+                 \"platforms\":[{{\"processors\":2}},{{\"processors\":4,\"cap_factor\":2.0}}],\
+                 \"seed\":3}}"
+            ),
+        )
+        .unwrap();
+        let reference = run(&["campaign", "--spec", &spec, "--workers", "1"]).unwrap();
+        assert_eq!(reference.lines().count(), 4);
+        assert!(
+            reference.starts_with("{\"campaign\":\"filed\""),
+            "{reference}"
+        );
+        assert!(reference.contains("\"point\":\"p4/cap2\""), "{reference}");
+        assert!(reference.contains("\"seed\":3"), "{reference}");
+        for workers in ["2", "4"] {
+            assert_eq!(
+                run(&["campaign", "--spec", &spec, "--workers", workers]).unwrap(),
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_rejects_bad_flags_and_specs() {
+        let f = tmpfile("campbad.tree");
+        run(&["gen", "chain", "3", "-o", &f]).unwrap();
+        // no platform points / no tree set
+        let e = run(&["campaign", "--trees", &f]).unwrap_err();
+        assert!(e.message.contains("platform point"), "{}", e.message);
+        let e = run(&["campaign", "--procs", "2"]).unwrap_err();
+        assert!(e.message.contains("tree set"), "{}", e.message);
+        // bad values
+        assert!(run(&["campaign", "--procs", "0", "--trees", &f]).is_err());
+        assert!(run(&[
+            "campaign",
+            "--trees",
+            &f,
+            "--procs",
+            "2",
+            "--metrics",
+            "magic"
+        ])
+        .is_err());
+        assert!(run(&["campaign", "--trees", &f, "--domains", "5"]).is_err());
+        assert!(run(&["campaign", "--workers", "0"]).is_err());
+        assert!(run(&["campaign", "--bogus"]).is_err());
+        // unknown scheduler names fail the run (exit 2, like schedule)
+        let e = run(&[
+            "campaign",
+            "--trees",
+            &f,
+            "--procs",
+            "2",
+            "--schedulers",
+            "nosuch",
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        // --spec excludes grid flags; unreadable/bad specs report cleanly
+        let spec = tmpfile("campbad.json");
+        std::fs::write(&spec, "{\"platforms\":[]}").unwrap();
+        let e = run(&["campaign", "--spec", &spec, "--procs", "2"]).unwrap_err();
+        assert!(e.message.contains("cannot be combined"), "{}", e.message);
+        let e = run(&["campaign", "--spec", &spec]).unwrap_err();
+        assert!(e.message.contains("bad spec"), "{}", e.message);
+        assert!(run(&["campaign", "--spec", "/nonexistent/spec.json"]).is_err());
+        // --help prints usage
+        assert!(run(&["campaign", "--help"]).unwrap().contains("campaign"));
     }
 }

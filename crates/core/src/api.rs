@@ -461,6 +461,137 @@ impl Platform {
     }
 }
 
+/// A declarative, not-yet-validated platform description — the parsed form
+/// of the CLI's `--speeds COUNTxSPEED,..` / `--domains CAP@CLASSES,..`
+/// flags, shared by every front-end that spells platforms as text (the
+/// `treesched` CLI, campaign specs, JSON spec files).
+///
+/// Unlike [`Platform`] itself, a spec is cheap to build from user input and
+/// keeps parse errors (`String`, pointing at the offending token) separate
+/// from the typed invariant errors of [`Platform::validate`]:
+///
+/// ```
+/// use treesched_core::api::PlatformSpec;
+///
+/// let spec = PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1")).unwrap();
+/// let platform = spec.to_platform();
+/// assert_eq!(platform.processors(), 4);
+/// assert_eq!(platform.domains().len(), 2);
+/// assert!(platform.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformSpec {
+    /// Processor classes, in declaration order.
+    pub classes: Vec<ProcClass>,
+    /// Memory domains as `(capacity, class indices)` pairs.
+    pub domains: Vec<(f64, Vec<usize>)>,
+}
+
+impl PlatformSpec {
+    /// The paper's flat machine: `processors` unit-speed processors,
+    /// unbounded shared memory.
+    pub fn flat(processors: u32) -> PlatformSpec {
+        PlatformSpec {
+            classes: vec![ProcClass::new(processors, 1.0)],
+            domains: Vec::new(),
+        }
+    }
+
+    /// Parses the CLI flag syntax: `speeds` is a comma-separated list of
+    /// `COUNTxSPEED` processor classes (`2x2.0,2x1.0`; a bare `SPEED` means
+    /// one processor), `domains` an optional comma-separated list of
+    /// `CAP@CLASSES` memory domains with `+`-joined class indices
+    /// (`64@0,32@1+2`; a bare `CAP` covers every class). Parse errors only —
+    /// invariant checking (positive speeds, domain shapes) stays with
+    /// [`Platform::validate`] on the built platform.
+    pub fn parse_flags(speeds: &str, domains: Option<&str>) -> Result<PlatformSpec, String> {
+        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+            s.parse()
+                .map_err(|_| format!("cannot parse {what} from `{s}`"))
+        }
+        let mut classes = Vec::new();
+        for entry in speeds.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err("--speeds needs COUNTxSPEED entries (e.g. 2x2.0,2x1.0)".into());
+            }
+            let class = match entry.split_once(['x', 'X']) {
+                Some((count, speed)) => ProcClass::new(
+                    num(count.trim(), "--speeds count")?,
+                    num(speed.trim(), "--speeds speed")?,
+                ),
+                None => ProcClass::new(1, num(entry, "--speeds speed")?),
+            };
+            classes.push(class);
+        }
+        let mut parsed_domains = Vec::new();
+        if let Some(domains) = domains {
+            for entry in domains.split(',') {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    return Err("--domains needs CAP@CLASSES entries (e.g. 64@0,32@1+2)".into());
+                }
+                let (cap, ids) = match entry.split_once('@') {
+                    Some((cap, list)) => {
+                        let mut ids = Vec::new();
+                        for id in list.split('+') {
+                            ids.push(num(id.trim(), "--domains class index")?);
+                        }
+                        (cap.trim(), ids)
+                    }
+                    None => (entry, (0..classes.len()).collect()),
+                };
+                parsed_domains.push((num(cap, "--domains capacity")?, ids));
+            }
+        }
+        Ok(PlatformSpec {
+            classes,
+            domains: parsed_domains,
+        })
+    }
+
+    /// Total processor count across all classes.
+    pub fn processors(&self) -> u32 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Builds the described [`Platform`] (not yet validated).
+    pub fn to_platform(&self) -> Platform {
+        let mut platform = Platform::heterogeneous(self.classes.clone());
+        for (capacity, classes) in &self.domains {
+            platform = platform.with_domain(*capacity, classes);
+        }
+        platform
+    }
+
+    /// Renders the spec back in the flag syntax (`speeds`, `domains`)
+    /// suitable for labels and `--speeds`/`--domains` round trips. The
+    /// domains string is `None` when the spec declares no domain.
+    pub fn flag_strings(&self) -> (String, Option<String>) {
+        let speeds = self
+            .classes
+            .iter()
+            .map(|c| format!("{}x{}", c.count, c.speed))
+            .collect::<Vec<_>>()
+            .join(",");
+        let domains = if self.domains.is_empty() {
+            None
+        } else {
+            Some(
+                self.domains
+                    .iter()
+                    .map(|(cap, ids)| {
+                        let ids: Vec<String> = ids.iter().map(|c| c.to_string()).collect();
+                        format!("{cap}@{}", ids.join("+"))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+        };
+        (speeds, domains)
+    }
+}
+
 /// A borrowed scheduling problem: which tree, on which platform, with which
 /// sequential sub-algorithm.
 #[derive(Clone, Debug)]
@@ -597,6 +728,68 @@ pub struct Outcome {
     pub domain_peaks: Vec<f64>,
     /// Scheduler-specific observations.
     pub diagnostics: Diagnostics,
+}
+
+/// A named scalar measurement extractable from an [`Outcome`] — the metric
+/// vocabulary of campaign specs (`--metrics`) and JSON records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Finish time of the schedule.
+    Makespan,
+    /// Platform-global peak memory.
+    PeakMemory,
+    /// Sequential work over makespan ([`crate::Schedule::speedup`]).
+    Speedup,
+    /// Average processor utilization ([`crate::Schedule::utilization`]).
+    Utilization,
+    /// Forced cap admissions (memory-capped schedulers only).
+    CapViolations,
+    /// Largest per-domain peak (platforms with memory domains only).
+    MaxDomainPeak,
+}
+
+impl Metric {
+    /// Every metric, in canonical order.
+    pub const ALL: [Metric; 6] = [
+        Metric::Makespan,
+        Metric::PeakMemory,
+        Metric::Speedup,
+        Metric::Utilization,
+        Metric::CapViolations,
+        Metric::MaxDomainPeak,
+    ];
+
+    /// The stable snake_case name used in flags and JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Makespan => "makespan",
+            Metric::PeakMemory => "peak_memory",
+            Metric::Speedup => "speedup",
+            Metric::Utilization => "utilization",
+            Metric::CapViolations => "cap_violations",
+            Metric::MaxDomainPeak => "max_domain_peak",
+        }
+    }
+
+    /// Parses a metric by its [`Metric::name`].
+    pub fn by_name(name: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl Outcome {
+    /// Extracts `metric` from this outcome; `None` when the outcome does
+    /// not carry it (no cap in force, no memory domains declared).
+    pub fn metric(&self, metric: Metric) -> Option<f64> {
+        match metric {
+            Metric::Makespan => Some(self.eval.makespan),
+            Metric::PeakMemory => Some(self.eval.peak_memory),
+            Metric::Speedup => Some(self.schedule.speedup()),
+            Metric::Utilization => Some(self.schedule.utilization()),
+            Metric::CapViolations => self.diagnostics.cap_violations.map(|v| v as f64),
+            Metric::MaxDomainPeak => self.domain_peaks.iter().copied().max_by(f64::total_cmp),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1286,6 +1479,124 @@ mod tests {
 
     fn sample() -> TaskTree {
         TaskTree::complete(3, 4, 1.0, 2.0, 0.5)
+    }
+
+    #[test]
+    fn platform_spec_parses_the_flag_syntax() {
+        let spec = PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1")).unwrap();
+        assert_eq!(
+            spec.classes,
+            vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)]
+        );
+        assert_eq!(spec.domains, vec![(64.0, vec![0]), (32.0, vec![1])]);
+        assert_eq!(spec.processors(), 4);
+        let platform = spec.to_platform();
+        assert!(platform.validate().is_ok());
+        assert_eq!(platform.domains().len(), 2);
+        // a bare SPEED is one processor; a bare CAP covers every class
+        let spec = PlatformSpec::parse_flags("2.0, 1x1.0", Some("100")).unwrap();
+        assert_eq!(
+            spec.classes,
+            vec![ProcClass::new(1, 2.0), ProcClass::new(1, 1.0)]
+        );
+        assert_eq!(spec.domains, vec![(100.0, vec![0, 1])]);
+        assert_eq!(spec.to_platform().memory_cap(), Some(100.0));
+        // `+`-joined class lists
+        let spec = PlatformSpec::parse_flags("1x2.0,1x1.0,1x1.0", Some("8@1+2")).unwrap();
+        assert_eq!(spec.domains, vec![(8.0, vec![1, 2])]);
+        // flat spelling matches Platform::new bit for bit
+        assert_eq!(PlatformSpec::flat(4).to_platform(), Platform::new(4));
+    }
+
+    #[test]
+    fn platform_spec_flag_strings_round_trip() {
+        for (speeds, domains) in [
+            ("4x1", None),
+            ("2x2,2x1", None),
+            ("2x2,2x1", Some("64@0,32@1")),
+            ("1x1.5,3x0.5", Some("100@0+1")),
+        ] {
+            let spec = PlatformSpec::parse_flags(speeds, domains).unwrap();
+            let (s, d) = spec.flag_strings();
+            assert_eq!(s, speeds);
+            assert_eq!(d.as_deref(), domains);
+            assert_eq!(
+                PlatformSpec::parse_flags(&s, d.as_deref()).unwrap(),
+                spec,
+                "{speeds} {domains:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn platform_spec_rejects_malformed_flags() {
+        for (speeds, domains, needle) in [
+            ("", None, "--speeds"),
+            ("2x", None, "--speeds speed"),
+            ("x2", None, "--speeds count"),
+            ("fast", None, "--speeds speed"),
+            ("2x1.0,", None, "--speeds"),
+            ("2.5x1.0", None, "--speeds count"),
+            ("2x1.0", Some(""), "--domains"),
+            ("2x1.0", Some("abc"), "--domains capacity"),
+            ("2x1.0", Some("5@"), "--domains class index"),
+            ("2x1.0", Some("5@a"), "--domains class index"),
+            ("2x1.0", Some("5@0+"), "--domains class index"),
+            ("2x1.0", Some("5@-1"), "--domains class index"),
+            ("2x1.0", Some("5@0,"), "--domains"),
+        ] {
+            let err = PlatformSpec::parse_flags(speeds, domains).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{speeds} {domains:?}: expected `{needle}` in `{err}`"
+            );
+        }
+        // structural junk parses but fails Platform::validate, typed
+        let spec = PlatformSpec::parse_flags("2x0", None).unwrap();
+        assert!(matches!(
+            spec.to_platform().validate(),
+            Err(SchedError::InvalidSpeed { .. })
+        ));
+        let spec = PlatformSpec::parse_flags("2x1.0", Some("5@7")).unwrap();
+        assert!(matches!(
+            spec.to_platform().validate(),
+            Err(SchedError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_extract_from_outcomes_and_round_trip_names() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::by_name(m.name()), Some(m));
+        }
+        assert_eq!(Metric::by_name("nosuch"), None);
+        let tree = sample();
+        let registry = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let req = Request::new(&tree, Platform::new(4));
+        let out = registry
+            .get("deepest")
+            .unwrap()
+            .schedule(&req, &mut scratch)
+            .unwrap();
+        assert_eq!(out.metric(Metric::Makespan), Some(out.eval.makespan));
+        assert_eq!(out.metric(Metric::PeakMemory), Some(out.eval.peak_memory));
+        assert_eq!(out.metric(Metric::Speedup), Some(out.schedule.speedup()));
+        assert_eq!(
+            out.metric(Metric::Utilization),
+            Some(out.schedule.utilization())
+        );
+        // uncapped, domain-less run: the conditional metrics are absent
+        assert_eq!(out.metric(Metric::CapViolations), None);
+        assert_eq!(out.metric(Metric::MaxDomainPeak), None);
+        // capped run fills them in
+        let req = Request::new(&tree, Platform::new(4).with_memory_cap(1e9));
+        let out = registry
+            .get("membound")
+            .unwrap()
+            .schedule(&req, &mut scratch)
+            .unwrap();
+        assert_eq!(out.metric(Metric::CapViolations), Some(0.0));
     }
 
     #[test]

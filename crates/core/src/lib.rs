@@ -79,8 +79,9 @@ pub mod schedule;
 pub mod split;
 
 pub use api::{
-    tree_fingerprint, Diagnostics, MemDomain, Outcome, OwnedRequest, Platform, ProcClass, Request,
-    SchedError, Scheduler, SchedulerRegistry, Scratch, ScratchStats,
+    tree_fingerprint, Diagnostics, MemDomain, Metric, Outcome, OwnedRequest, Platform,
+    PlatformSpec, ProcClass, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
+    ScratchStats,
 };
 pub use baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
 pub use bounds::{

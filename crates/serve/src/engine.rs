@@ -135,7 +135,13 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// Spawns `workers` worker threads (at least one) over `registry`.
     pub fn new(registry: SchedulerRegistry, workers: usize) -> ServeEngine {
-        let registry = Arc::new(registry);
+        ServeEngine::with_registry(Arc::new(registry), workers)
+    }
+
+    /// As [`ServeEngine::new`], over a shared registry — front-ends that
+    /// resolve scheduler names themselves (the campaign runner) keep their
+    /// own handle to the same registry the workers serve from.
+    pub fn with_registry(registry: Arc<SchedulerRegistry>, workers: usize) -> ServeEngine {
         let workers = workers.max(1);
         let counters = Arc::new(Counters::default());
         let (results_tx, results_rx) = channel();

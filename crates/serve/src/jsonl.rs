@@ -721,6 +721,14 @@ pub struct ScheduleRecord<'a> {
 }
 
 impl ScheduleRecord<'_> {
+    /// Appends the record's fields to a partially built [`JsonRecord`] —
+    /// the hook campaign records use to prefix scenario coordinates
+    /// (campaign name, tree, platform point) while keeping the schedule
+    /// fields byte-identical to `schedule --json` and the serve responses.
+    pub fn embed(&self, rec: JsonRecord) -> JsonRecord {
+        self.fields(rec)
+    }
+
     fn fields(&self, rec: JsonRecord) -> JsonRecord {
         let mut rec = rec
             .str("scheduler", self.scheduler)

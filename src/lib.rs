@@ -15,9 +15,13 @@
 //! * [`viz`] — text rendering: Gantt charts, memory profiles, tree sketches.
 //! * [`serve`] — batched serving: sharded multi-worker request streams
 //!   over the scheduler registry, with a JSONL wire protocol.
+//! * [`mod@bench`] — the experiment layer: declarative campaign specs
+//!   ([`bench::CampaignSpec`]) executed over the serving engine, plus the
+//!   paper's table/figure aggregations.
 //!
 //! The most common entry points are re-exported at the crate root.
 
+pub use treesched_bench as bench;
 pub use treesched_core as core;
 pub use treesched_gen as gen;
 pub use treesched_model as model;

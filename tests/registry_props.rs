@@ -211,3 +211,68 @@ fn registry_names_round_trip() {
         }
     }
 }
+
+/// Every scheduler registered with `campaign = true` must appear in a
+/// minimal default-selection [`treesched::bench::CampaignRunner`] run —
+/// the registry flag *is* the membership mechanism of Table 1 / Figs. 6–8,
+/// so a campaign scheduler that the runner skips would silently drop out
+/// of every table and figure. Heterogeneous platform points must either
+/// serve (with one peak per domain) or surface
+/// [`SchedError::UnsupportedPlatform`] as typed error *records* — never
+/// panic, never abort the run.
+#[test]
+fn every_campaign_scheduler_appears_in_a_minimal_campaign_run() {
+    use treesched::bench::{CampaignRunner, CampaignSpec, PlatformPoint};
+    use treesched::core::api::PlatformSpec;
+
+    let spec = CampaignSpec::new("minimal")
+        .with_tree("complete", TaskTree::complete(2, 4, 1.0, 2.0, 0.5))
+        .with_procs(&[2])
+        .with_platform(PlatformPoint::from_spec(
+            PlatformSpec::parse_flags("1x2.0,1x1.0", Some("1e9@0,1e9@1")).unwrap(),
+        ));
+    let mut runner = CampaignRunner::new(2);
+    let campaign = runner.run(&spec).expect("default selection resolves");
+
+    let registry = SchedulerRegistry::standard();
+    let members: Vec<&str> = registry.campaign().map(|e| e.name()).collect();
+    assert!(!members.is_empty());
+    for name in &members {
+        // flat point: every campaign member serves and succeeds
+        let flat = campaign
+            .records
+            .iter()
+            .find(|r| r.scheduler == *name && r.point == "p2")
+            .unwrap_or_else(|| panic!("{name}: campaign member missing from the run"));
+        assert!(flat.outcome.is_ok(), "{name}: flat scenario must serve");
+        // hetero point: present, and either serves or refuses typed
+        let het = campaign
+            .records
+            .iter()
+            .find(|r| r.scheduler == *name && r.point != "p2")
+            .unwrap_or_else(|| panic!("{name}: member missing from the hetero point"));
+        match &het.outcome {
+            Ok(out) => {
+                assert_eq!(
+                    out.domain_peaks.len(),
+                    2,
+                    "{name}: one peak per declared domain"
+                );
+                assert!(out.makespan >= out.ms_lb - EPS, "{name}");
+            }
+            Err(SchedError::UnsupportedPlatform { .. }) => {}
+            Err(e) => panic!("{name}: hetero point must serve or refuse typed, got {e}"),
+        }
+    }
+    // exactly the campaign set, nothing else, in registry order per point
+    let first_point: Vec<&str> = campaign
+        .records
+        .iter()
+        .filter(|r| r.point == "p2")
+        .map(|r| r.scheduler.as_str())
+        .collect();
+    assert_eq!(first_point, members);
+    // the JSONL stream renders both shapes without panicking
+    let jsonl = campaign.to_jsonl();
+    assert_eq!(jsonl.lines().count(), campaign.records.len());
+}
