@@ -140,6 +140,9 @@ pub struct CampaignSpec {
     /// Worker-count hint for front-ends building a runner from the spec
     /// (`None` = pick automatically). The output never depends on it.
     pub workers: Option<usize>,
+    /// Timing repetitions per scenario when [`Metric::TimeUs`] is selected
+    /// (median-of-reps on a warm scratch); ignored otherwise. Never 0.
+    pub time_reps: u32,
 }
 
 impl CampaignSpec {
@@ -157,6 +160,7 @@ impl CampaignSpec {
             seed: None,
             metrics: Vec::new(),
             workers: None,
+            time_reps: 1,
         }
     }
 
@@ -209,6 +213,13 @@ impl CampaignSpec {
     /// Sets the extra metric selection.
     pub fn with_metrics(mut self, metrics: Vec<Metric>) -> CampaignSpec {
         self.metrics = metrics;
+        self
+    }
+
+    /// Sets the timing repetitions per scenario (clamped to at least 1);
+    /// only consulted when [`Metric::TimeUs`] is part of the selection.
+    pub fn with_time_reps(mut self, reps: u32) -> CampaignSpec {
+        self.time_reps = reps.max(1);
         self
     }
 
@@ -481,6 +492,7 @@ impl CampaignRunner {
                 )
             })
             .collect();
+        let timed = extra.contains(&Metric::TimeUs);
         let trees = spec.resolve_trees();
         let before = self.engine.stats();
         struct Coord {
@@ -511,6 +523,9 @@ impl CampaignRunner {
                         if let Some(seed) = spec.seed {
                             request = request.with_seed(seed);
                         }
+                        if timed {
+                            request = request.with_time_reps(spec.time_reps);
+                        }
                         self.engine.submit(request);
                         coords.push(Coord {
                             tree: entry.name.clone(),
@@ -528,6 +543,8 @@ impl CampaignRunner {
             .into_iter()
             .zip(coords)
             .map(|(result, coord)| {
+                // timing is measured by the serving layer, not the outcome
+                let time_us = result.time_us;
                 let outcome = result.outcome.map(|out| CampaignOutcome {
                     makespan: out.outcome.eval.makespan,
                     peak_memory: out.outcome.eval.peak_memory,
@@ -535,7 +552,13 @@ impl CampaignRunner {
                     mem_ref: out.mem_ref,
                     cap_violations: out.outcome.diagnostics.cap_violations,
                     domain_peaks: out.outcome.domain_peaks.clone(),
-                    metrics: extra.iter().map(|&m| (m, out.outcome.metric(m))).collect(),
+                    metrics: extra
+                        .iter()
+                        .map(|&m| match m {
+                            Metric::TimeUs => (m, Some(time_us as f64)),
+                            m => (m, out.outcome.metric(m)),
+                        })
+                        .collect(),
                 });
                 CampaignRecord {
                     tree: coord.tree,
@@ -558,6 +581,8 @@ impl CampaignRunner {
                 batches: after.batches - before.batches,
                 traversal_computes: after.traversal_computes - before.traversal_computes,
                 traversal_reuses: after.traversal_reuses - before.traversal_reuses,
+                subtree_views: after.subtree_views - before.subtree_views,
+                subtree_clones: after.subtree_clones - before.subtree_clones,
             },
         })
     }
@@ -577,7 +602,8 @@ impl CampaignRunner {
 ///                {"processors": 8, "cap_factor": 1.5},
 ///                {"speeds": "2x2.0,2x1.0", "domains": "1e9@0,1e9@1"}],
 ///  "seq": ["best", "liu"], "seed": 7,
-///  "metrics": ["speedup", "utilization"], "workers": 4}
+///  "metrics": ["speedup", "utilization"], "workers": 4,
+///  "time_reps": 5}
 /// ```
 ///
 /// `trees` entries are paths to `treesched tree v1` files, loaded here;
@@ -669,6 +695,13 @@ pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
                 }
                 spec.workers = Some(workers);
             }
+            "time_reps" => {
+                let reps: u32 = num_of(value, "time_reps")?;
+                if reps == 0 {
+                    return Err("`time_reps` needs at least 1".into());
+                }
+                spec.time_reps = reps;
+            }
             other => return Err(format!("unknown spec key `{other}`")),
         }
     }
@@ -701,7 +734,9 @@ fn platform_point_from_value(
             ("speeds", Value::Str(s)) => speeds = Some(s.clone()),
             ("domains", Value::Str(s)) => domains = Some(s.clone()),
             ("cap_factor", Value::Num(raw)) => {
-                let f: f64 = raw.parse().expect("validated by the parser");
+                let f: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("`cap_factor` must be a number, got `{raw}`"))?;
                 if !f.is_finite() || f <= 0.0 {
                     return Err(format!(
                         "`cap_factor` must be positive and finite, got `{raw}`"
@@ -737,6 +772,123 @@ fn platform_point_from_value(
         point = point.with_cap_factor(factor);
     }
     Ok(point)
+}
+
+// ---------------------------------------------------------------------------
+// Campaign comparison (`campaign --compare`)
+// ---------------------------------------------------------------------------
+
+/// The verdict of [`compare_campaigns`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignComparison {
+    /// Every stable field matches and the new summed `time_us` is within
+    /// tolerance of the old (or neither run carries timing).
+    Ok {
+        /// Summed `time_us` of the old run; 0 when the metric is absent.
+        old_us: f64,
+        /// Summed `time_us` of the new run.
+        new_us: f64,
+    },
+    /// Every stable field matches, but the new run is slower than the old
+    /// beyond the tolerance — the perf-regression verdict.
+    TimingRegression {
+        /// Summed `time_us` of the old run.
+        old_us: f64,
+        /// Summed `time_us` of the new run.
+        new_us: f64,
+        /// The allowed slowdown, in percent of the old total.
+        tolerance_pct: f64,
+    },
+    /// The runs disagree on a non-timing field, so they are different
+    /// experiments and their timings are not comparable (a stale
+    /// baseline, changed schedules, or a changed spec).
+    StableMismatch {
+        /// 1-based JSONL line of the first disagreement.
+        line: usize,
+        /// What disagreed, for the error message.
+        detail: String,
+    },
+}
+
+/// Compares two campaign JSONL dumps as a performance-regression gate.
+///
+/// Every field except `time_us` must match exactly — schedules are
+/// deterministic, so any drift means the runs answer different questions
+/// and timing is not comparable ([`CampaignComparison::StableMismatch`]).
+/// On matching stable fields, the summed `time_us` of `new` may exceed
+/// the summed `time_us` of `old` by at most `tolerance_pct` percent.
+/// Runs without the `time_us` metric compare stable-fields-only.
+pub fn compare_campaigns(
+    old: &str,
+    new: &str,
+    tolerance_pct: f64,
+) -> Result<CampaignComparison, String> {
+    use treesched_serve::jsonl::{parse_object, Value};
+
+    // one record, split into (stable fields, summed timing)
+    fn split(which: &str, line: usize, text: &str) -> Result<(Vec<(String, Value)>, f64), String> {
+        let pairs = parse_object(text).map_err(|e| format!("{which} line {line}: {e}"))?;
+        let mut time = 0.0;
+        let mut stable = Vec::with_capacity(pairs.len());
+        for (key, value) in pairs {
+            match (key.as_str(), &value) {
+                ("time_us", Value::Num(raw)) => time += raw.parse::<f64>().unwrap_or(0.0),
+                ("time_us", _) => {}
+                _ => stable.push((key, value)),
+            }
+        }
+        Ok((stable, time))
+    }
+
+    let old_lines: Vec<&str> = old.lines().filter(|l| !l.trim().is_empty()).collect();
+    let new_lines: Vec<&str> = new.lines().filter(|l| !l.trim().is_empty()).collect();
+    if old_lines.len() != new_lines.len() {
+        return Ok(CampaignComparison::StableMismatch {
+            line: old_lines.len().min(new_lines.len()) + 1,
+            detail: format!(
+                "record counts differ: {} vs {}",
+                old_lines.len(),
+                new_lines.len()
+            ),
+        });
+    }
+    let (mut old_us, mut new_us) = (0.0, 0.0);
+    for (k, (a, b)) in old_lines.iter().zip(&new_lines).enumerate() {
+        let line = k + 1;
+        let (stable_a, time_a) = split("old", line, a)?;
+        let (stable_b, time_b) = split("new", line, b)?;
+        old_us += time_a;
+        new_us += time_b;
+        if stable_a != stable_b {
+            let detail = stable_a
+                .iter()
+                .zip(&stable_b)
+                .find(|(x, y)| x != y)
+                .map(|((ka, va), (kb, vb))| {
+                    if ka == kb {
+                        format!("`{ka}` is {va:?} vs {vb:?}")
+                    } else {
+                        format!("key `{ka}` vs key `{kb}`")
+                    }
+                })
+                .unwrap_or_else(|| {
+                    format!(
+                        "field counts differ: {} vs {}",
+                        stable_a.len(),
+                        stable_b.len()
+                    )
+                });
+            return Ok(CampaignComparison::StableMismatch { line, detail });
+        }
+    }
+    if old_us > 0.0 && new_us > old_us * (1.0 + tolerance_pct / 100.0) {
+        return Ok(CampaignComparison::TimingRegression {
+            old_us,
+            new_us,
+            tolerance_pct,
+        });
+    }
+    Ok(CampaignComparison::Ok { old_us, new_us })
 }
 
 // ---------------------------------------------------------------------------
@@ -820,12 +972,24 @@ pub mod presets {
         campaign
     }
 
-    /// Dumps the raw scenario rows as CSV when `--csv` was given.
+    /// Dumps the raw scenario rows as CSV when `--csv` was given. An
+    /// unwritable path is reported with its I/O cause and exits 1 — after
+    /// the table/figure output, so the computed results are not lost.
     pub fn maybe_csv(opts: &Options, rows: &[Row]) {
+        if let Err(e) = try_csv(opts, rows) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    /// As [`maybe_csv`], surfacing the I/O failure instead of exiting.
+    pub fn try_csv(opts: &Options, rows: &[Row]) -> Result<(), String> {
         if let Some(path) = &opts.csv {
-            std::fs::write(path, crate::harness::to_csv(rows)).expect("write CSV");
+            std::fs::write(path, crate::harness::to_csv(rows))
+                .map_err(|e| format!("cannot write CSV to {path}: {e}"))?;
             eprintln!("raw rows written to {path}");
         }
+        Ok(())
     }
 }
 
@@ -1002,6 +1166,110 @@ mod tests {
                 "duplicate base metrics must be skipped: {line}"
             );
             assert!(line.starts_with("{\"campaign\":\"tiny\","), "{line}");
+        }
+    }
+
+    #[test]
+    fn warm_campaign_passes_schedule_subtrees_without_cloning() {
+        let mut runner = CampaignRunner::new(1);
+        let spec = tiny_spec(); // default set includes the subtree heuristics
+        runner.run(&spec).unwrap();
+        let warm = runner.run(&spec).unwrap();
+        assert!(warm.stats.subtree_views > 0, "{:?}", warm.stats);
+        assert_eq!(
+            warm.stats.subtree_clones, 0,
+            "the warm hot path must not clone subtrees: {:?}",
+            warm.stats
+        );
+        // the clone fallback stays reachable — and counted — for LiuExact
+        let liu = runner
+            .run(&tiny_spec().with_seqs(vec![SeqAlgo::LiuExact]))
+            .unwrap();
+        assert!(liu.stats.subtree_clones > 0, "{:?}", liu.stats);
+    }
+
+    #[test]
+    fn time_us_is_selected_explicitly_and_absent_by_default() {
+        let mut runner = CampaignRunner::new(1);
+        let spec = tiny_spec()
+            .with_schedulers(vec!["deepest".into()])
+            .with_metrics(vec![Metric::TimeUs, Metric::Speedup])
+            .with_time_reps(3);
+        let campaign = runner.run(&spec).unwrap();
+        for r in &campaign.records {
+            let out = r.outcome.as_ref().unwrap();
+            assert_eq!(out.metrics[0].0, Metric::TimeUs);
+            assert!(out.metrics[0].1.is_some(), "timing comes from serving");
+            assert!(out.metrics[1].1.is_some());
+        }
+        let jsonl = campaign.to_jsonl();
+        for line in jsonl.lines() {
+            assert!(line.contains("\"time_us\":"), "{line}");
+        }
+        // not selected -> not in the records (default goldens stay stable)
+        let plain = runner
+            .run(&tiny_spec().with_schedulers(vec!["deepest".into()]))
+            .unwrap();
+        assert!(!plain.to_jsonl().contains("time_us"));
+    }
+
+    #[test]
+    fn compare_separates_timing_regressions_from_stable_drift() {
+        // fabricated dumps keep the verdicts deterministic
+        let old = "{\"campaign\":\"c\",\"makespan\":3,\"time_us\":100}\n\
+                   {\"campaign\":\"c\",\"makespan\":5,\"time_us\":100}\n";
+        let same_but_slower = "{\"campaign\":\"c\",\"makespan\":3,\"time_us\":150}\n\
+                   {\"campaign\":\"c\",\"makespan\":5,\"time_us\":130}\n";
+        match compare_campaigns(old, same_but_slower, 20.0).unwrap() {
+            CampaignComparison::TimingRegression {
+                old_us,
+                new_us,
+                tolerance_pct,
+            } => {
+                assert_eq!((old_us, new_us, tolerance_pct), (200.0, 280.0, 20.0));
+            }
+            other => panic!("expected a timing regression, got {other:?}"),
+        }
+        assert_eq!(
+            compare_campaigns(old, same_but_slower, 40.1).unwrap(),
+            CampaignComparison::Ok {
+                old_us: 200.0,
+                new_us: 280.0
+            }
+        );
+        // a changed schedule is a mismatch, never a timing verdict
+        let drifted = "{\"campaign\":\"c\",\"makespan\":3,\"time_us\":1}\n\
+                   {\"campaign\":\"c\",\"makespan\":6,\"time_us\":1}\n";
+        match compare_campaigns(old, drifted, 1e9).unwrap() {
+            CampaignComparison::StableMismatch { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("makespan"), "{detail}");
+            }
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
+        // record counts are stable fields too
+        match compare_campaigns(old, "{\"campaign\":\"c\"}\n", 1e9).unwrap() {
+            CampaignComparison::StableMismatch { line: 2, .. } => {}
+            other => panic!("expected a count mismatch, got {other:?}"),
+        }
+        // timing-free baselines compare stable-only
+        let bare = "{\"campaign\":\"c\",\"makespan\":3}\n\
+                   {\"campaign\":\"c\",\"makespan\":5}\n";
+        assert_eq!(
+            compare_campaigns(bare, bare, 0.0).unwrap(),
+            CampaignComparison::Ok {
+                old_us: 0.0,
+                new_us: 0.0
+            }
+        );
+        // and real runs with identical specs always pass the stable gate
+        let mut runner = CampaignRunner::new(2);
+        let spec = tiny_spec().with_metrics(vec![Metric::TimeUs]);
+        let a = runner.run(&spec).unwrap().to_jsonl();
+        let b = runner.run(&spec).unwrap().to_jsonl();
+        match compare_campaigns(&a, &b, 1e9).unwrap() {
+            CampaignComparison::Ok { old_us, .. } => assert!(old_us >= 0.0),
+            other => panic!("identical specs must compare stable: {other:?}"),
         }
     }
 

@@ -38,8 +38,8 @@ pub mod harness;
 pub mod stats;
 
 pub use campaign::{
-    default_workers, spec_from_json, Campaign, CampaignOutcome, CampaignRecord, CampaignRunner,
-    CampaignSpec, PlatformPoint,
+    compare_campaigns, default_workers, spec_from_json, Campaign, CampaignComparison,
+    CampaignOutcome, CampaignRecord, CampaignRunner, CampaignSpec, PlatformPoint,
 };
 pub use harness::{
     fig6, fig_normalized, render_crosses, render_table1, run_corpus, scheduler_names, table1, Row,

@@ -922,6 +922,12 @@ JSON record per scenario (typed errors are records too, never aborts).
 Output is byte-identical for any --workers count.
 
   campaign --spec FILE [--workers N]   run a JSON spec file
+  campaign --compare OLD.jsonl NEW.jsonl [--tolerance PCT]
+                                       compare two campaign dumps as a perf
+                                       gate: every field but time_us must be
+                                       identical (exit 3 on drift), and the
+                                       summed time_us may regress by at most
+                                       PCT percent (default 25; exit 1)
   campaign [flags]                     build the spec from flags:
     --name N                  campaign name (default: campaign)
     --scale small|medium|large  include the assembly corpus
@@ -934,7 +940,9 @@ Output is byte-identical for any --workers count.
     --seq A1,A2,...           sequential sub-algorithm grid (default: best)
     --seed N                  seed for randomized schedulers
     --metrics M1,M2,...       extra record fields (speedup, utilization,
-                              max_domain_peak)
+                              max_domain_peak, time_us)
+    --time-reps N             timing repetitions per scenario when time_us
+                              is selected (median; default 1)
     --workers N               engine workers (default: auto; output identical)
 
 The spec file form of the same campaign:
@@ -942,7 +950,8 @@ The spec file form of the same campaign:
    \"schedulers\":[\"deepest\",\"cp\"],
    \"platforms\":[{\"processors\":4},
                 {\"speeds\":\"2x2.0,2x1.0\",\"domains\":\"1e9@0,1e9@1\"}],
-   \"seq\":[\"best\"],\"seed\":7,\"metrics\":[\"speedup\"],\"workers\":4}";
+   \"seq\":[\"best\"],\"seed\":7,\"metrics\":[\"speedup\"],\"workers\":4,
+   \"time_reps\":5}";
 
 /// The Campaign API front-end: builds a [`treesched_bench::CampaignSpec`]
 /// from a JSON spec file or from flags, runs it over the engine-backed
@@ -966,6 +975,9 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let mut seed: Option<u64> = None;
     let mut metrics: Vec<treesched_core::Metric> = Vec::new();
     let mut workers: Option<usize> = None;
+    let mut time_reps: Option<u32> = None;
+    let mut compare: Option<(String, String)> = None;
+    let mut tolerance: Option<f64> = None;
     let mut grid_flags = false;
 
     let mut it = args.iter();
@@ -1068,12 +1080,77 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
                 }
                 grid_flags = true;
             }
+            "--time-reps" => {
+                let reps: u32 = parse_num(value("N")?, "--time-reps")?;
+                if reps == 0 {
+                    return Err(CliError::new("--time-reps needs at least 1"));
+                }
+                time_reps = Some(reps);
+                grid_flags = true;
+            }
+            "--compare" => {
+                let old = value("OLD.jsonl and NEW.jsonl")?.clone();
+                let new = value("NEW.jsonl")?.clone();
+                compare = Some((old, new));
+            }
+            "--tolerance" => {
+                let pct: f64 = parse_num(value("a percentage")?, "--tolerance")?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(CliError::new(
+                        "--tolerance must be a non-negative percentage",
+                    ));
+                }
+                tolerance = Some(pct);
+            }
             other => {
                 return Err(CliError::new(format!(
                     "unexpected argument `{other}`\n\n{CAMPAIGN_USAGE}"
                 )))
             }
         }
+    }
+
+    if let Some((old_path, new_path)) = compare {
+        if spec_file.is_some() || grid_flags || workers.is_some() {
+            return Err(CliError::new(
+                "--compare runs no campaign; only --tolerance combines with it",
+            ));
+        }
+        let read = |path: &str| {
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))
+        };
+        let (old, new) = (read(&old_path)?, read(&new_path)?);
+        let pct = tolerance.unwrap_or(25.0);
+        use treesched_bench::CampaignComparison;
+        return match treesched_bench::compare_campaigns(&old, &new, pct).map_err(CliError::new)? {
+            CampaignComparison::Ok { old_us, new_us } => Ok(format!(
+                "campaign compare: ok — stable fields identical, \
+                 time {old_us:.0}us -> {new_us:.0}us (tolerance {pct}%)\n"
+            )),
+            CampaignComparison::TimingRegression {
+                old_us,
+                new_us,
+                tolerance_pct,
+            } => Err(CliError {
+                message: format!(
+                    "timing regression: {old_us:.0}us -> {new_us:.0}us \
+                     (+{:.1}%, tolerance {tolerance_pct}%)",
+                    (new_us / old_us - 1.0) * 100.0
+                ),
+                code: 1,
+            }),
+            CampaignComparison::StableMismatch { line, detail } => Err(CliError {
+                message: format!(
+                    "campaigns are not comparable: line {line}: {detail} \
+                     (different specs or schedules — refresh the baseline)"
+                ),
+                code: 3,
+            }),
+        };
+    }
+    if tolerance.is_some() {
+        return Err(CliError::new("--tolerance needs --compare"));
     }
 
     let spec = match spec_file {
@@ -1133,6 +1210,9 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             }
             spec.seed = seed;
             spec.metrics = metrics;
+            if let Some(reps) = time_reps {
+                spec = spec.with_time_reps(reps);
+            }
             spec
         }
     };
@@ -1893,5 +1973,66 @@ mod tests {
         assert!(run(&["campaign", "--spec", "/nonexistent/spec.json"]).is_err());
         // --help prints usage
         assert!(run(&["campaign", "--help"]).unwrap().contains("campaign"));
+    }
+
+    #[test]
+    fn campaign_emits_time_us_only_when_selected() {
+        let f = tmpfile("camptime.tree");
+        run(&["gen", "fork", "2", "3", "-o", &f]).unwrap();
+        let base = [
+            "campaign",
+            "--trees",
+            &f,
+            "--procs",
+            "2",
+            "--schedulers",
+            "deepest",
+        ];
+        let plain = run(&base).unwrap();
+        assert!(!plain.contains("time_us"), "{plain}");
+        let mut timed = base.to_vec();
+        timed.extend_from_slice(&["--metrics", "time_us", "--time-reps", "3"]);
+        let timed = run(&timed).unwrap();
+        assert!(timed.contains("\"time_us\":"), "{timed}");
+        assert!(run(&["campaign", "--time-reps", "0"]).is_err());
+    }
+
+    #[test]
+    fn campaign_compare_gates_timing_and_flags_stable_drift() {
+        let old = tmpfile("cmp_old.jsonl");
+        let fast = tmpfile("cmp_fast.jsonl");
+        let slow = tmpfile("cmp_slow.jsonl");
+        let drift = tmpfile("cmp_drift.jsonl");
+        std::fs::write(&old, "{\"makespan\":3,\"time_us\":100}\n").unwrap();
+        std::fs::write(&fast, "{\"makespan\":3,\"time_us\":110}\n").unwrap();
+        std::fs::write(&slow, "{\"makespan\":3,\"time_us\":200}\n").unwrap();
+        std::fs::write(&drift, "{\"makespan\":4,\"time_us\":100}\n").unwrap();
+        // within the default 25% tolerance
+        let out = run(&["campaign", "--compare", &old, &fast]).unwrap();
+        assert!(out.contains("ok"), "{out}");
+        // beyond tolerance -> exit 1 with the percentages spelled out
+        let e = run(&["campaign", "--compare", &old, &slow]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("timing regression"), "{}", e.message);
+        // a generous tolerance admits it
+        let out = run(&["campaign", "--compare", &old, &slow, "--tolerance", "150"]).unwrap();
+        assert!(out.contains("ok"), "{out}");
+        // drift in a stable field is exit 3 however large the tolerance
+        let e = run(&[
+            "campaign",
+            "--compare",
+            &old,
+            &drift,
+            "--tolerance",
+            "1000000",
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 3);
+        assert!(e.message.contains("makespan"), "{}", e.message);
+        // flag validation
+        assert!(run(&["campaign", "--compare", &old]).is_err());
+        assert!(run(&["campaign", "--compare", &old, &fast, "--procs", "2"]).is_err());
+        assert!(run(&["campaign", "--tolerance", "10"]).is_err());
+        assert!(run(&["campaign", "--compare", &old, "/nonexistent.jsonl"]).is_err());
     }
 }

@@ -38,7 +38,9 @@
 //! ```
 
 use crate::baselines::splitmix_key;
-use crate::heuristics::{par_subtrees_optim_with_order, par_subtrees_with_order, SeqAlgo};
+use crate::heuristics::{
+    par_subtrees_optim_with_order_scratch, par_subtrees_with_order_scratch, SeqAlgo, SubtreeScratch,
+};
 use crate::listsched::{
     key_from_f64, list_schedule_reusing, list_schedule_with_speeds, Key3, ListScratch, Speeds,
 };
@@ -132,6 +134,13 @@ pub enum SchedError {
         /// The already-taken name.
         name: String,
     },
+    /// The worker thread serving the request died (a user scheduler
+    /// panicked) before producing a result. The request was not served;
+    /// the rest of the stream is unaffected.
+    WorkerLost {
+        /// Index of the dead worker thread.
+        worker: usize,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -193,6 +202,9 @@ impl std::fmt::Display for SchedError {
             }
             SchedError::DuplicateName { name } => {
                 write!(f, "scheduler name or alias `{name}` is already registered")
+            }
+            SchedError::WorkerLost { worker } => {
+                write!(f, "serve worker {worker} died before the request completed")
             }
         }
     }
@@ -746,17 +758,23 @@ pub enum Metric {
     CapViolations,
     /// Largest per-domain peak (platforms with memory domains only).
     MaxDomainPeak,
+    /// Wall-clock duration of the scheduler call in microseconds. Carried
+    /// by the serving layer (median over its timing repetitions), not
+    /// extractable from an [`Outcome`] — [`Outcome::metric`] returns
+    /// `None` for it.
+    TimeUs,
 }
 
 impl Metric {
     /// Every metric, in canonical order.
-    pub const ALL: [Metric; 6] = [
+    pub const ALL: [Metric; 7] = [
         Metric::Makespan,
         Metric::PeakMemory,
         Metric::Speedup,
         Metric::Utilization,
         Metric::CapViolations,
         Metric::MaxDomainPeak,
+        Metric::TimeUs,
     ];
 
     /// The stable snake_case name used in flags and JSON records.
@@ -768,6 +786,7 @@ impl Metric {
             Metric::Utilization => "utilization",
             Metric::CapViolations => "cap_violations",
             Metric::MaxDomainPeak => "max_domain_peak",
+            Metric::TimeUs => "time_us",
         }
     }
 
@@ -788,6 +807,7 @@ impl Outcome {
             Metric::Utilization => Some(self.schedule.utilization()),
             Metric::CapViolations => self.diagnostics.cap_violations.map(|v| v as f64),
             Metric::MaxDomainPeak => self.domain_peaks.iter().copied().max_by(f64::total_cmp),
+            Metric::TimeUs => None, // timing lives in the serving layer
         }
     }
 }
@@ -819,9 +839,11 @@ pub struct Scratch {
     seq_peak: f64,
     depths: Vec<u32>,
     wdepths: Vec<f64>,
+    subtree_w: Vec<f64>,
     keys: Vec<Key3>,
     speeds: Vec<f64>,
     list: ListScratch,
+    sub: SubtreeScratch,
     stats: ScratchStats,
 }
 
@@ -833,6 +855,11 @@ pub struct ScratchStats {
     pub traversal_computes: u64,
     /// Traversal requests answered from the per-tree cache (hits).
     pub traversal_reuses: u64,
+    /// Subtrees scheduled through a borrowed view (no clone allocated).
+    pub subtree_views: u64,
+    /// Subtrees scheduled through a cloned `TaskTree` (the `LiuExact`
+    /// fallback — the only remaining clone path).
+    pub subtree_clones: u64,
 }
 
 impl ScratchStats {
@@ -841,6 +868,8 @@ impl ScratchStats {
         ScratchStats {
             traversal_computes: self.traversal_computes + other.traversal_computes,
             traversal_reuses: self.traversal_reuses + other.traversal_reuses,
+            subtree_views: self.subtree_views + other.subtree_views,
+            subtree_clones: self.subtree_clones + other.subtree_clones,
         }
     }
 }
@@ -890,6 +919,7 @@ impl Scratch {
             self.seq_peak = 0.0;
             self.depths.clear();
             self.wdepths.clear();
+            self.subtree_w.clear();
         }
     }
 
@@ -925,10 +955,21 @@ impl Scratch {
         }
     }
 
+    fn ensure_subtree_work(&mut self, tree: &TaskTree) {
+        self.sync(tree);
+        if self.subtree_w.len() != tree.len() {
+            self.subtree_w = tree.subtree_work();
+        }
+    }
+
     /// Cache-effectiveness counters accumulated over the scratch's
     /// lifetime (they survive tree changes; only the caches invalidate).
     pub fn stats(&self) -> ScratchStats {
-        self.stats
+        ScratchStats {
+            subtree_views: self.sub.subtree_views(),
+            subtree_clones: self.sub.subtree_clones(),
+            ..self.stats
+        }
     }
 
     /// The cached reference traversal of `tree` under `algo`: the execution
@@ -1105,10 +1146,25 @@ impl Scheduler for ParSubtreesSched {
             });
         };
         scratch.ensure_traversal(tree, req.seq);
+        scratch.ensure_subtree_work(tree);
         let mut schedule = if self.optim {
-            par_subtrees_optim_with_order(tree, p, req.seq, &scratch.order)
+            par_subtrees_optim_with_order_scratch(
+                tree,
+                p,
+                req.seq,
+                &scratch.order,
+                &scratch.subtree_w,
+                &mut scratch.sub,
+            )
         } else {
-            par_subtrees_with_order(tree, p, req.seq, &scratch.order)
+            par_subtrees_with_order_scratch(
+                tree,
+                p,
+                req.seq,
+                &scratch.order,
+                &scratch.subtree_w,
+                &mut scratch.sub,
+            )
         };
         scale_times(&mut schedule, speed);
         let diag = Diagnostics {

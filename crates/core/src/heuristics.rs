@@ -9,9 +9,9 @@
 
 use crate::listsched::{list_schedule, TotalF64};
 use crate::schedule::{Placement, Schedule};
-use crate::split::split_subtrees;
-use treesched_model::{NodeId, TaskTree};
-use treesched_seq::TraversalResult;
+use crate::split::split_subtrees_with_work;
+use treesched_model::{NodeId, SubtreeView, TaskTree};
+use treesched_seq::{best_postorder_view, naive_postorder_view, TraversalResult, ViewScratch};
 
 /// Which sequential memory-minimizing algorithm the subtree phases use.
 ///
@@ -60,9 +60,49 @@ impl SeqAlgo {
     }
 }
 
+/// Reusable buffers for the per-subtree scheduling phases.
+///
+/// The postorder sub-algorithms run on a borrowed [`SubtreeView`] over these
+/// buffers instead of cloning each subtree into a fresh `TaskTree`, so a
+/// warm scratch makes [`par_subtrees_with_order_scratch`] allocation-free.
+/// [`SeqAlgo::LiuExact`] is not a postorder and still clones; the two
+/// counters record which path ran.
+#[derive(Clone, Debug, Default)]
+pub struct SubtreeScratch {
+    /// DFS work stack for [`TaskTree::subtree_nodes_into`].
+    dfs: Vec<NodeId>,
+    /// Subtree membership in clone-DFS order (the view's node list).
+    nodes: Vec<NodeId>,
+    /// Traversal order of the current subtree, in original ids.
+    order: Vec<NodeId>,
+    /// Buffers of the view-based postorder algorithms.
+    view: ViewScratch,
+    views: u64,
+    clones: u64,
+}
+
+impl SubtreeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> SubtreeScratch {
+        SubtreeScratch::default()
+    }
+
+    /// Number of subtrees scheduled through a borrowed view (no clone).
+    pub fn subtree_views(&self) -> u64 {
+        self.views
+    }
+
+    /// Number of subtrees scheduled through a cloned `TaskTree`
+    /// (the [`SeqAlgo::LiuExact`] fallback).
+    pub fn subtree_clones(&self) -> u64 {
+        self.clones
+    }
+}
+
 /// Schedules the subtree rooted at `r` sequentially on `proc` from `start`,
 /// in the order chosen by `seq`, writing placements. Returns the finish
 /// time.
+#[allow(clippy::too_many_arguments)]
 fn schedule_subtree(
     tree: &TaskTree,
     r: NodeId,
@@ -71,12 +111,44 @@ fn schedule_subtree(
     seq: SeqAlgo,
     placements: &mut [Placement],
     member: &mut [bool],
+    sub: &mut SubtreeScratch,
 ) -> f64 {
-    let (sub, map) = tree.subtree(r);
-    let order = seq.traversal(&sub).order;
+    if seq == SeqAlgo::LiuExact {
+        // Liu's exact algorithm is not a postorder; it keeps the clone path.
+        sub.clones += 1;
+        let (subtree, map) = tree.subtree(r);
+        let order = treesched_seq::liu_exact(&subtree).order;
+        let mut t = start;
+        for nid in order {
+            let orig = map[nid.index()];
+            member[orig.index()] = true;
+            let w = tree.work(orig);
+            placements[orig.index()] = Placement {
+                proc,
+                start: t,
+                finish: t + w,
+            };
+            t += w;
+        }
+        return t;
+    }
+    sub.views += 1;
+    let SubtreeScratch {
+        dfs,
+        nodes,
+        order,
+        view,
+        ..
+    } = sub;
+    tree.subtree_nodes_into(r, dfs, nodes);
+    let v = SubtreeView::new(tree, nodes);
+    match seq {
+        SeqAlgo::BestPostorder => best_postorder_view(&v, view, order),
+        SeqAlgo::NaivePostorder => naive_postorder_view(&v, view, order),
+        SeqAlgo::LiuExact => unreachable!("handled above"),
+    }
     let mut t = start;
-    for nid in order {
-        let orig = map[nid.index()];
+    for &orig in order.iter() {
         member[orig.index()] = true;
         let w = tree.work(orig);
         placements[orig.index()] = Placement {
@@ -126,7 +198,8 @@ fn blank_placements(n: usize) -> Vec<Placement> {
 }
 
 /// **ParSubtrees** (paper Algorithm 1): split the tree with
-/// [`split_subtrees`], process the `q ≤ p` chosen subtrees concurrently
+/// [`split_subtrees`](crate::split::split_subtrees), process the `q ≤ p`
+/// chosen subtrees concurrently
 /// (each with the sequential memory-optimal algorithm), then process the
 /// remaining nodes sequentially.
 ///
@@ -147,8 +220,24 @@ pub fn par_subtrees_with_order(
     seq: SeqAlgo,
     global: &[NodeId],
 ) -> Schedule {
+    let subtree_w = tree.subtree_work();
+    let mut sub = SubtreeScratch::new();
+    par_subtrees_with_order_scratch(tree, p, seq, global, &subtree_w, &mut sub)
+}
+
+/// [`par_subtrees_with_order`] with caller-supplied subtree weights
+/// (`tree.subtree_work()`) and reusable buffers — the allocation-free entry
+/// point used by the engine's warm path.
+pub fn par_subtrees_with_order_scratch(
+    tree: &TaskTree,
+    p: u32,
+    seq: SeqAlgo,
+    global: &[NodeId],
+    subtree_w: &[f64],
+    sub: &mut SubtreeScratch,
+) -> Schedule {
     assert!(p > 0, "need at least one processor");
-    let split = split_subtrees(tree, p as usize);
+    let split = split_subtrees_with_work(tree, p as usize, subtree_w);
     let n = tree.len();
     let mut placements = blank_placements(n);
     let mut in_parallel = vec![false; n];
@@ -162,6 +251,7 @@ pub fn par_subtrees_with_order(
             seq,
             &mut placements,
             &mut in_parallel,
+            sub,
         );
         t0 = t0.max(fin);
     }
@@ -195,9 +285,24 @@ pub fn par_subtrees_optim_with_order(
     seq: SeqAlgo,
     global: &[NodeId],
 ) -> Schedule {
-    assert!(p > 0, "need at least one processor");
-    let split = split_subtrees(tree, p as usize);
     let subtree_w = tree.subtree_work();
+    let mut sub = SubtreeScratch::new();
+    par_subtrees_optim_with_order_scratch(tree, p, seq, global, &subtree_w, &mut sub)
+}
+
+/// [`par_subtrees_optim_with_order`] with caller-supplied subtree weights
+/// and reusable buffers — the allocation-free entry point used by the
+/// engine's warm path.
+pub fn par_subtrees_optim_with_order_scratch(
+    tree: &TaskTree,
+    p: u32,
+    seq: SeqAlgo,
+    global: &[NodeId],
+    subtree_w: &[f64],
+    sub: &mut SubtreeScratch,
+) -> Schedule {
+    assert!(p > 0, "need at least one processor");
+    let split = split_subtrees_with_work(tree, p as usize, subtree_w);
     let mut roots: Vec<NodeId> = split
         .parallel_roots
         .iter()
@@ -228,6 +333,7 @@ pub fn par_subtrees_optim_with_order(
             seq,
             &mut placements,
             &mut in_parallel,
+            sub,
         );
     }
     let t0 = loads.iter().fold(0.0f64, |a, &b| a.max(b));
@@ -505,6 +611,108 @@ mod tests {
     fn heuristic_names() {
         assert_eq!(Heuristic::ParSubtrees.to_string(), "ParSubtrees");
         assert_eq!(Heuristic::ALL.len(), 4);
+    }
+
+    /// The borrowed-view subtree path must place every task exactly where
+    /// the historical clone-based path did, for every subtree of a zoo of
+    /// shapes and both postorder sub-algorithms.
+    #[test]
+    fn view_scheduling_matches_the_clone_path_on_every_subtree() {
+        let mut mixed = TreeBuilder::new();
+        let r = mixed.node(2.0, 3.0, 1.0);
+        let x = mixed.child(r, 1.0, 4.0, 0.0);
+        let y = mixed.child(r, 5.0, 2.0, 2.0);
+        for i in 0..4 {
+            mixed.child(x, 1.0 + i as f64, 3.0, 1.0);
+            let z = mixed.child(y, 2.0, 1.0 + i as f64, 0.0);
+            mixed.child(z, 1.0, 1.0, 0.0);
+        }
+        let zoo = [
+            TaskTree::fork(7, 1.0, 1.0, 0.0),
+            TaskTree::chain(12, 1.0, 1.0, 0.0),
+            TaskTree::complete(2, 4, 1.0, 2.0, 0.5),
+            TaskTree::complete(3, 3, 2.0, 1.0, 1.0),
+            mixed.build().unwrap(),
+        ];
+        let mut sub = SubtreeScratch::new();
+        for tree in &zoo {
+            for seq in [SeqAlgo::BestPostorder, SeqAlgo::NaivePostorder] {
+                for r in tree.ids() {
+                    let n = tree.len();
+                    let mut got = blank_placements(n);
+                    let mut got_member = vec![false; n];
+                    let fin =
+                        schedule_subtree(tree, r, 3, 1.5, seq, &mut got, &mut got_member, &mut sub);
+
+                    // historical clone-based reference
+                    let (clone, map) = tree.subtree(r);
+                    let order = seq.traversal(&clone).order;
+                    let mut want = blank_placements(n);
+                    let mut want_member = vec![false; n];
+                    let mut t = 1.5;
+                    for nid in order {
+                        let orig = map[nid.index()];
+                        want_member[orig.index()] = true;
+                        let w = tree.work(orig);
+                        want[orig.index()] = Placement {
+                            proc: 3,
+                            start: t,
+                            finish: t + w,
+                        };
+                        t += w;
+                    }
+                    assert_eq!(fin, t, "finish time, root {r:?}");
+                    assert_eq!(got_member, want_member, "membership, root {r:?}");
+                    for v in tree.ids() {
+                        if !want_member[v.index()] {
+                            continue;
+                        }
+                        assert_eq!(got[v.index()], want[v.index()], "node {v:?} of root {r:?}");
+                    }
+                }
+            }
+        }
+        assert!(sub.subtree_views() > 0);
+        assert_eq!(sub.subtree_clones(), 0);
+    }
+
+    /// The `_scratch` entry points are bit-identical to the plain ones and
+    /// never clone a subtree for the postorder sub-algorithms.
+    #[test]
+    fn scratch_entry_points_match_and_count() {
+        let t = TaskTree::complete(3, 4, 1.0, 2.0, 0.5);
+        let subtree_w = t.subtree_work();
+        let mut sub = SubtreeScratch::new();
+        for p in [1u32, 2, 5] {
+            let global = SeqAlgo::default().traversal(&t).order;
+            let plain = par_subtrees_with_order(&t, p, SeqAlgo::default(), &global);
+            let fast = par_subtrees_with_order_scratch(
+                &t,
+                p,
+                SeqAlgo::default(),
+                &global,
+                &subtree_w,
+                &mut sub,
+            );
+            assert_eq!(plain, fast, "ParSubtrees p={p}");
+            let plain = par_subtrees_optim_with_order(&t, p, SeqAlgo::default(), &global);
+            let fast = par_subtrees_optim_with_order_scratch(
+                &t,
+                p,
+                SeqAlgo::default(),
+                &global,
+                &subtree_w,
+                &mut sub,
+            );
+            assert_eq!(plain, fast, "ParSubtreesOptim p={p}");
+        }
+        assert!(sub.subtree_views() > 0);
+        assert_eq!(sub.subtree_clones(), 0);
+
+        // LiuExact takes the counted clone fallback
+        let global = SeqAlgo::LiuExact.traversal(&t).order;
+        par_subtrees_with_order_scratch(&t, 3, SeqAlgo::LiuExact, &global, &subtree_w, &mut sub);
+        assert!(sub.subtree_clones() > 0);
     }
 
     #[test]

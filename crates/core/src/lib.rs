@@ -89,6 +89,7 @@ pub use bounds::{
 };
 pub use heuristics::{
     par_deepest_first, par_inner_first, par_subtrees, par_subtrees_optim, Heuristic, SeqAlgo,
+    SubtreeScratch,
 };
 pub use listsched::{list_schedule, Speeds};
 pub use membound::{mem_bounded_schedule, Admission, MemBoundedRun};
@@ -96,4 +97,4 @@ pub use pareto::{dominated_by_frontier, pareto_frontier, ParetoPoint};
 pub use schedule::{
     evaluate, try_evaluate, try_evaluate_on, EvalResult, Placement, Schedule, ScheduleError,
 };
-pub use split::{split_subtrees, Split};
+pub use split::{split_subtrees, split_subtrees_with_work, Split};

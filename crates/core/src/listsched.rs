@@ -61,8 +61,109 @@ pub struct ListScratch {
     ready: BinaryHeap<Reverse<(Key3, NodeId)>>,
     events: BinaryHeap<Reverse<(TotalF64, NodeId)>>,
     remaining_children: Vec<usize>,
-    free_procs: Vec<u32>,
+    free: ClassPool,
     proc_of: Vec<u32>,
+}
+
+/// Pool of idle processors grouped by speed class, replacing the historical
+/// free-stack with its O(p) fastest-free scan and `Vec::remove` shift.
+///
+/// The classes are the distinct speeds in non-increasing order; each class
+/// owns a fixed contiguous LIFO segment of `slots`. `pop_best`
+/// takes the newest entry of the fastest non-empty class — exactly the
+/// processor the historical scan picked (ties keep the last-freed slot) —
+/// in `O(#classes)` without touching the heap. With a single class
+/// (uniform speeds) the pool *is* the historical LIFO stack.
+#[derive(Clone, Debug, Default)]
+pub struct ClassPool {
+    /// Speed-class index of each processor.
+    class_of: Vec<u32>,
+    /// Start offset of each class's segment in `slots`.
+    base: Vec<u32>,
+    /// Current fill of each class's segment.
+    len: Vec<u32>,
+    /// Backing storage, one slot per processor.
+    slots: Vec<u32>,
+    /// Distinct speeds, non-increasing (parallel to `base`/`len`).
+    class_speed: Vec<f64>,
+    /// Total idle processors, for an O(1) emptiness check.
+    avail: u32,
+}
+
+impl ClassPool {
+    /// Rebuilds the pool for `speeds` with every processor idle, reusing
+    /// the existing buffers (no allocation when capacities suffice).
+    fn rebuild(&mut self, speeds: Speeds<'_>) {
+        let p = speeds.count() as usize;
+        self.class_of.clear();
+        self.class_speed.clear();
+        match speeds {
+            Speeds::Unit(_) => {
+                self.class_speed.push(1.0);
+                self.class_of.resize(p, 0);
+            }
+            Speeds::Per(s) => {
+                self.class_speed.extend_from_slice(s);
+                self.class_speed.sort_unstable_by(|a, b| b.total_cmp(a));
+                self.class_speed.dedup_by(|a, b| a.total_cmp(b).is_eq());
+                self.class_of.extend(s.iter().map(|v| {
+                    self.class_speed
+                        .iter()
+                        .position(|c| c.total_cmp(v).is_eq())
+                        .expect("speed is one of the classes") as u32
+                }));
+            }
+        }
+        let classes = self.class_speed.len();
+        self.base.clear();
+        self.base.resize(classes, 0);
+        self.len.clear();
+        self.len.resize(classes, 0);
+        for &c in &self.class_of {
+            self.base[c as usize] += 1; // class sizes, then prefix sums
+        }
+        let mut offset = 0u32;
+        for b in &mut self.base {
+            let size = *b;
+            *b = offset;
+            offset += size;
+        }
+        self.slots.clear();
+        self.slots.resize(p, 0);
+        self.avail = 0;
+        // proc 0 pushed last = popped first, like the historical
+        // `(0..p).rev()` stack fill
+        for proc in (0..p as u32).rev() {
+            self.push(proc);
+        }
+    }
+
+    /// Returns `proc` to the idle pool.
+    #[inline]
+    fn push(&mut self, proc: u32) {
+        let c = self.class_of[proc as usize] as usize;
+        self.slots[(self.base[c] + self.len[c]) as usize] = proc;
+        self.len[c] += 1;
+        self.avail += 1;
+    }
+
+    /// Takes the newest idle processor of the fastest non-empty class.
+    #[inline]
+    fn pop_best(&mut self) -> Option<u32> {
+        for c in 0..self.len.len() {
+            if self.len[c] > 0 {
+                self.len[c] -= 1;
+                self.avail -= 1;
+                return Some(self.slots[(self.base[c] + self.len[c]) as usize]);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.avail == 0
+    }
 }
 
 /// Per-processor execution speeds for the list scheduler.
@@ -111,7 +212,7 @@ fn run_list<K: Ord + Copy>(
     ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
     events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
     remaining_children: &mut [usize],
-    free_procs: &mut Vec<u32>,
+    free: &mut ClassPool,
     proc_of: &mut [u32],
 ) -> Vec<Placement> {
     let n = tree.len();
@@ -127,27 +228,16 @@ fn run_list<K: Ord + Copy>(
     let assign = |t: f64,
                   ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
                   events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
-                  free_procs: &mut Vec<u32>,
+                  free: &mut ClassPool,
                   placements: &mut Vec<Placement>,
                   proc_of: &mut [u32]| {
-        while !free_procs.is_empty() && !ready.is_empty() {
+        while !free.is_empty() && !ready.is_empty() {
             let Reverse((_, node)) = ready.pop().expect("nonempty");
             // Every free processor can start the task at `t`, so the
             // earliest-finishing one is the fastest. Ties keep the LIFO
             // (last-freed) slot, which on unit speeds reproduces the
             // historical single-speed assignment exactly.
-            let proc = match speeds {
-                Speeds::Unit(_) => free_procs.pop().expect("nonempty"),
-                Speeds::Per(s) => {
-                    let mut best = free_procs.len() - 1;
-                    for j in (0..best).rev() {
-                        if s[free_procs[j] as usize] > s[free_procs[best] as usize] {
-                            best = j;
-                        }
-                    }
-                    free_procs.remove(best)
-                }
-            };
+            let proc = free.pop_best().expect("nonempty");
             let finish = t + tree.work(node) / speeds.speed(proc);
             placements[node.index()] = Placement {
                 proc,
@@ -160,7 +250,7 @@ fn run_list<K: Ord + Copy>(
     };
 
     // initial assignment at t = 0
-    assign(0.0, ready, events, free_procs, &mut placements, proc_of);
+    assign(0.0, ready, events, free, &mut placements, proc_of);
 
     while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
         // pop every task finishing exactly at t, release its processor, and
@@ -170,7 +260,7 @@ fn run_list<K: Ord + Copy>(
                 break;
             }
             events.pop();
-            free_procs.push(proc_of[node.index()]);
+            free.push(proc_of[node.index()]);
             if let Some(parent) = tree.parent(node) {
                 let r = &mut remaining_children[parent.index()];
                 *r -= 1;
@@ -179,7 +269,7 @@ fn run_list<K: Ord + Copy>(
                 }
             }
         }
-        assign(t, ready, events, free_procs, &mut placements, proc_of);
+        assign(t, ready, events, free, &mut placements, proc_of);
     }
 
     placements
@@ -210,7 +300,8 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
             ready.push(Reverse((keys[i.index()], i)));
         }
     }
-    let mut free_procs: Vec<u32> = (0..p).rev().collect(); // pop() yields proc 0 first
+    let mut free = ClassPool::default(); // pop_best() yields proc 0 first
+    free.rebuild(Speeds::Unit(p));
     let mut proc_of: Vec<u32> = vec![0; n];
 
     let placements = run_list(
@@ -220,7 +311,7 @@ pub fn list_schedule<K: Ord + Copy>(tree: &TaskTree, p: u32, keys: &[K]) -> Sche
         &mut ready,
         &mut events,
         &mut remaining_children,
-        &mut free_procs,
+        &mut free,
         &mut proc_of,
     );
     Schedule {
@@ -277,8 +368,7 @@ pub fn list_schedule_with_speeds(
             scratch.ready.push(Reverse((keys[i.index()], i)));
         }
     }
-    scratch.free_procs.clear();
-    scratch.free_procs.extend((0..p).rev());
+    scratch.free.rebuild(speeds);
     scratch.proc_of.clear();
     scratch.proc_of.resize(n, 0);
 
@@ -289,7 +379,7 @@ pub fn list_schedule_with_speeds(
         &mut scratch.ready,
         &mut scratch.events,
         &mut scratch.remaining_children,
-        &mut scratch.free_procs,
+        &mut scratch.free,
         &mut scratch.proc_of,
     );
     Schedule {
@@ -420,6 +510,44 @@ mod tests {
                 assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn class_pool_matches_the_historical_free_stack_scan() {
+        // drive the pool and the historical Vec-based free stack (top scan
+        // with strict `>`, ties keep the newest slot) through the same
+        // pop/push sequence and compare every pick
+        let speeds = [2.0f64, 1.0, 2.0, 3.0, 1.0, 3.0, 2.0];
+        let mut pool = ClassPool::default();
+        pool.rebuild(Speeds::Per(&speeds));
+        let mut stack: Vec<u32> = (0..speeds.len() as u32).rev().collect();
+        let reference_pop = |stack: &mut Vec<u32>| {
+            let mut best = stack.len() - 1;
+            for j in (0..best).rev() {
+                if speeds[stack[j] as usize] > speeds[stack[best] as usize] {
+                    best = j;
+                }
+            }
+            stack.remove(best)
+        };
+        let mut held: Vec<u32> = Vec::new();
+        for step in 0..200u32 {
+            let pop_turn = step % 5 < 3;
+            if pop_turn && !stack.is_empty() {
+                let want = reference_pop(&mut stack);
+                let got = pool.pop_best().expect("pool agrees stack is nonempty");
+                assert_eq!(got, want, "step {step}");
+                held.push(got);
+            } else if let Some(proc) = held.pop() {
+                stack.push(proc);
+                pool.push(proc);
+            }
+        }
+        while !stack.is_empty() {
+            assert_eq!(pool.pop_best(), Some(reference_pop(&mut stack)));
+        }
+        assert!(pool.pop_best().is_none());
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -130,13 +130,24 @@ fn node_of(k: Key) -> NodeId {
 ///
 /// Panics when `p == 0`.
 pub fn split_subtrees(tree: &TaskTree, p: usize) -> Split {
-    assert!(p > 0, "need at least one processor");
     let subtree_w = tree.subtree_work();
+    split_subtrees_with_work(tree, p, &subtree_w)
+}
+
+/// [`split_subtrees`] with caller-supplied subtree weights
+/// (`tree.subtree_work()`), so hot callers can reuse one computation across
+/// processor counts and splitting passes.
+///
+/// # Panics
+///
+/// Panics when `p == 0`.
+pub fn split_subtrees_with_work(tree: &TaskTree, p: usize, subtree_w: &[f64]) -> Split {
+    assert!(p > 0, "need at least one processor");
 
     // Pass 1: find the number of pops minimizing the cost.
     let (best_steps, best_cost) = {
         let mut pq = TopP::new(p);
-        pq.insert(key_of(tree, &subtree_w, tree.root()));
+        pq.insert(key_of(tree, subtree_w, tree.root()));
         let mut seq_w = 0.0f64;
         let mut best = (0usize, subtree_w[tree.root().index()]);
         let mut s = 0usize;
@@ -149,7 +160,7 @@ pub fn split_subtrees(tree: &TaskTree, p: usize) -> Split {
             let popped = node_of(pq.pop_head());
             seq_w += tree.work(popped);
             for &c in tree.children(popped) {
-                pq.insert(key_of(tree, &subtree_w, c));
+                pq.insert(key_of(tree, subtree_w, c));
             }
             s += 1;
             let head_w = pq.head().map_or(0.0, |k| k.0 .0);
@@ -163,13 +174,13 @@ pub fn split_subtrees(tree: &TaskTree, p: usize) -> Split {
 
     // Pass 2: replay to the chosen step and extract the sets.
     let mut pq = TopP::new(p);
-    pq.insert(key_of(tree, &subtree_w, tree.root()));
+    pq.insert(key_of(tree, subtree_w, tree.root()));
     let mut seq_nodes = Vec::with_capacity(best_steps);
     for _ in 0..best_steps {
         let popped = node_of(pq.pop_head());
         seq_nodes.push(popped);
         for &c in tree.children(popped) {
-            pq.insert(key_of(tree, &subtree_w, c));
+            pq.insert(key_of(tree, subtree_w, c));
         }
     }
     let parallel_roots: Vec<NodeId> = pq.top.iter().rev().map(|&k| node_of(k)).collect();

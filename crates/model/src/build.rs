@@ -98,10 +98,7 @@ impl TreeBuilder {
             }
         }
         let root = root.ok_or(TreeError::NoRoot)?;
-        let tree = TaskTree {
-            nodes: self.nodes,
-            root,
-        };
+        let tree = TaskTree::from_nodes(self.nodes, root);
         tree.check_connected()?;
         Ok(tree)
     }

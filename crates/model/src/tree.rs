@@ -36,7 +36,9 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// One task of the tree: weights plus the adjacency links.
+/// One task during construction: weights plus the adjacency links. The
+/// builders accumulate `Node`s; [`TaskTree::from_nodes`] packs them into
+/// the tree's struct-of-arrays layout.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct Node {
     pub parent: Option<NodeId>,
@@ -51,9 +53,13 @@ pub(crate) struct Node {
 
 /// A rooted in-tree of weighted tasks (paper §3.1).
 ///
-/// The tree owns an arena of nodes; the root is the unique node without a
-/// parent. Children keep their insertion order, which matters for
-/// order-sensitive traversals such as the *naive* postorder.
+/// The tree stores its nodes in a struct-of-arrays layout: one parallel
+/// array per field (parent links, weights) plus a packed CSR child table
+/// (`child_start`/`child_list`). Traversal-heavy code — the sequential
+/// traversals, the schedulers' subtree walks — touches only the arrays it
+/// needs, instead of striding over a full node struct per visit. Children
+/// keep their insertion order, which matters for order-sensitive
+/// traversals such as the *naive* postorder.
 ///
 /// # Example
 ///
@@ -73,21 +79,66 @@ pub(crate) struct Node {
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct TaskTree {
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) parent: Vec<Option<NodeId>>,
+    /// Processing times `w_i`.
+    pub(crate) work: Vec<f64>,
+    /// Output-file sizes `f_i`.
+    pub(crate) output: Vec<f64>,
+    /// Execution-file sizes `n_i`.
+    pub(crate) exec: Vec<f64>,
+    /// CSR offsets: children of `i` live at
+    /// `child_list[child_start[i]..child_start[i + 1]]`.
+    pub(crate) child_start: Vec<u32>,
+    /// Packed child lists, insertion order preserved per node.
+    pub(crate) child_list: Vec<NodeId>,
     pub(crate) root: NodeId,
 }
 
 impl TaskTree {
+    /// Packs builder nodes into the struct-of-arrays layout. Child lists
+    /// keep their per-node order.
+    pub(crate) fn from_nodes(nodes: Vec<Node>, root: NodeId) -> TaskTree {
+        let n = nodes.len();
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut children = 0u32;
+        child_start.push(0);
+        for node in &nodes {
+            children += node.children.len() as u32;
+            child_start.push(children);
+        }
+        let mut child_list = Vec::with_capacity(children as usize);
+        let mut parent = Vec::with_capacity(n);
+        let mut work = Vec::with_capacity(n);
+        let mut output = Vec::with_capacity(n);
+        let mut exec = Vec::with_capacity(n);
+        for node in nodes {
+            child_list.extend_from_slice(&node.children);
+            parent.push(node.parent);
+            work.push(node.work);
+            output.push(node.output);
+            exec.push(node.exec);
+        }
+        TaskTree {
+            parent,
+            work,
+            output,
+            exec,
+            child_start,
+            child_list,
+            root,
+        }
+    }
+
     /// Number of tasks in the tree.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.parent.len()
     }
 
     /// `true` when the tree holds no tasks (never the case for built trees).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.parent.is_empty()
     }
 
     /// The root task (the only task without a parent).
@@ -99,52 +150,53 @@ impl TaskTree {
     /// Parent of `i`, or `None` for the root.
     #[inline]
     pub fn parent(&self, i: NodeId) -> Option<NodeId> {
-        self.nodes[i.index()].parent
+        self.parent[i.index()]
     }
 
     /// Children of `i` in insertion order.
     #[inline]
     pub fn children(&self, i: NodeId) -> &[NodeId] {
-        &self.nodes[i.index()].children
+        &self.child_list
+            [self.child_start[i.index()] as usize..self.child_start[i.index() + 1] as usize]
     }
 
     /// `true` when `i` has no children.
     #[inline]
     pub fn is_leaf(&self, i: NodeId) -> bool {
-        self.nodes[i.index()].children.is_empty()
+        self.child_start[i.index()] == self.child_start[i.index() + 1]
     }
 
     /// Processing time `w_i`.
     #[inline]
     pub fn work(&self, i: NodeId) -> f64 {
-        self.nodes[i.index()].work
+        self.work[i.index()]
     }
 
     /// Output-file size `f_i`.
     #[inline]
     pub fn output(&self, i: NodeId) -> f64 {
-        self.nodes[i.index()].output
+        self.output[i.index()]
     }
 
     /// Execution-file (program) size `n_i`.
     #[inline]
     pub fn exec(&self, i: NodeId) -> f64 {
-        self.nodes[i.index()].exec
+        self.exec[i.index()]
     }
 
     /// Overwrites the processing time of `i`.
     pub fn set_work(&mut self, i: NodeId, w: f64) {
-        self.nodes[i.index()].work = w;
+        self.work[i.index()] = w;
     }
 
     /// Overwrites the output-file size of `i`.
     pub fn set_output(&mut self, i: NodeId, f: f64) {
-        self.nodes[i.index()].output = f;
+        self.output[i.index()] = f;
     }
 
     /// Overwrites the execution-file size of `i`.
     pub fn set_exec(&mut self, i: NodeId, n: f64) {
-        self.nodes[i.index()].exec = n;
+        self.exec[i.index()] = n;
     }
 
     /// Memory needed *while* task `i` runs:
@@ -161,7 +213,7 @@ impl TaskTree {
 
     /// Iterator over all node ids in arena order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.len() as u32).map(NodeId)
     }
 
     /// All leaves, in arena order.
@@ -176,17 +228,17 @@ impl TaskTree {
 
     /// Sum of `w_i` over all tasks.
     pub fn total_work(&self) -> f64 {
-        self.nodes.iter().map(|n| n.work).sum()
+        self.work.iter().sum()
     }
 
     /// Largest single task weight, `max_i w_i`.
     pub fn max_work(&self) -> f64 {
-        self.nodes.iter().map(|n| n.work).fold(0.0, f64::max)
+        self.work.iter().copied().fold(0.0, f64::max)
     }
 
     /// Largest output-file size, `max_i f_i`.
     pub fn max_output(&self) -> f64 {
-        self.nodes.iter().map(|n| n.output).fold(0.0, f64::max)
+        self.output.iter().copied().fold(0.0, f64::max)
     }
 
     /// Builds a tree from a parent vector with uniform *pebble-game* weights
@@ -220,15 +272,8 @@ impl TaskTree {
         if n == 0 {
             return Err(TreeError::Empty);
         }
-        let mut nodes: Vec<Node> = (0..n)
-            .map(|i| Node {
-                parent: None,
-                children: Vec::new(),
-                work: work[i],
-                output: output[i],
-                exec: exec[i],
-            })
-            .collect();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut counts = vec![0u32; n];
         let mut root = None;
         for (i, &p) in parents.iter().enumerate() {
             match p {
@@ -244,14 +289,38 @@ impl TaskTree {
                     if p == i {
                         return Err(TreeError::SelfLoop { node: i });
                     }
-                    nodes[i].parent = Some(NodeId::from_index(p));
-                    let child = NodeId::from_index(i);
-                    nodes[p].children.push(child);
+                    parent[i] = Some(NodeId::from_index(p));
+                    counts[p] += 1;
                 }
             }
         }
         let root = root.ok_or(TreeError::NoRoot)?;
-        let tree = TaskTree { nodes, root };
+        // CSR fill: offsets from the per-parent counts, then a second pass
+        // in ascending child id (= the AoS insertion order).
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        child_start.push(0);
+        for &c in &counts {
+            acc += c;
+            child_start.push(acc);
+        }
+        let mut cursor: Vec<u32> = child_start[..n].to_vec();
+        let mut child_list = vec![NodeId(0); acc as usize];
+        for (i, &p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                child_list[cursor[p] as usize] = NodeId::from_index(i);
+                cursor[p] += 1;
+            }
+        }
+        let tree = TaskTree {
+            parent,
+            work: work.to_vec(),
+            output: output.to_vec(),
+            exec: exec.to_vec(),
+            child_start,
+            child_list,
+            root,
+        };
         tree.check_connected()?;
         Ok(tree)
     }
@@ -282,42 +351,106 @@ impl TaskTree {
     /// Extracts the subtree rooted at `r` as a standalone tree.
     ///
     /// Returns the new tree and the mapping `new id -> old id` (dense, the
-    /// new root is entry 0).
+    /// new root is entry 0). The mapping order is the DFS order of
+    /// [`TaskTree::subtree_nodes_into`]; borrowed [`SubtreeView`]s over that
+    /// order avoid this copy entirely on the scheduling hot path.
+    ///
+    /// [`SubtreeView`]: crate::SubtreeView
     pub fn subtree(&self, r: NodeId) -> (TaskTree, Vec<NodeId>) {
         let mut map: Vec<NodeId> = Vec::new();
-        let mut stack = vec![r];
-        while let Some(v) = stack.pop() {
-            map.push(v);
-            stack.extend_from_slice(self.children(v));
-        }
+        let mut stack = Vec::new();
+        self.subtree_nodes_into(r, &mut stack, &mut map);
         let mut old_to_new = std::collections::HashMap::with_capacity(map.len());
         for (new, &old) in map.iter().enumerate() {
             old_to_new.insert(old, NodeId::from_index(new));
         }
         let nodes: Vec<Node> = map
             .iter()
-            .map(|&old| {
-                let n = &self.nodes[old.index()];
-                Node {
-                    parent: if old == r {
-                        None
-                    } else {
-                        n.parent.map(|p| old_to_new[&p])
-                    },
-                    children: n.children.iter().map(|c| old_to_new[c]).collect(),
-                    work: n.work,
-                    output: n.output,
-                    exec: n.exec,
-                }
+            .map(|&old| Node {
+                parent: if old == r {
+                    None
+                } else {
+                    self.parent(old).map(|p| old_to_new[&p])
+                },
+                children: self.children(old).iter().map(|c| old_to_new[c]).collect(),
+                work: self.work(old),
+                output: self.output(old),
+                exec: self.exec(old),
             })
             .collect();
-        (
-            TaskTree {
-                nodes,
-                root: NodeId(0),
-            },
-            map,
-        )
+        (TaskTree::from_nodes(nodes, NodeId(0)), map)
+    }
+
+    /// Collects the member nodes of the subtree rooted at `r` into `out`,
+    /// in the exact DFS order [`TaskTree::subtree`] uses for its id map
+    /// (entry 0 is `r`; a node's position is its id in the extracted
+    /// clone). `stack` is caller-provided scratch; both buffers are
+    /// cleared first, so warm callers pay no allocation.
+    pub fn subtree_nodes_into(&self, r: NodeId, stack: &mut Vec<NodeId>, out: &mut Vec<NodeId>) {
+        out.clear();
+        stack.clear();
+        stack.push(r);
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            stack.extend_from_slice(self.children(v));
+        }
+    }
+}
+
+/// A borrowed view of the subtree rooted at `nodes[0]`: the parent tree's
+/// arrays plus the member list in [`TaskTree::subtree`]'s DFS order. All
+/// accessors speak **original** node ids, so consumers emit results
+/// directly against the parent tree without an id remap — and without the
+/// `O(subtree)` clone the owning [`TaskTree::subtree`] pays.
+#[derive(Clone, Copy, Debug)]
+pub struct SubtreeView<'a> {
+    tree: &'a TaskTree,
+    nodes: &'a [NodeId],
+}
+
+impl<'a> SubtreeView<'a> {
+    /// Wraps a member list produced by [`TaskTree::subtree_nodes_into`].
+    pub fn new(tree: &'a TaskTree, nodes: &'a [NodeId]) -> SubtreeView<'a> {
+        debug_assert!(!nodes.is_empty(), "a subtree view has at least its root");
+        SubtreeView { tree, nodes }
+    }
+
+    /// The parent tree the view borrows from.
+    #[inline]
+    pub fn tree(&self) -> &'a TaskTree {
+        self.tree
+    }
+
+    /// Member nodes in DFS order; a node's position is the id it would
+    /// have in the extracted clone (the view's *local* id).
+    #[inline]
+    pub fn nodes(&self) -> &'a [NodeId] {
+        self.nodes
+    }
+
+    /// Root of the subtree (original id).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of member nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the view holds no nodes (never for views built over a
+    /// valid root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children of `i` (original ids; `i` must be a member).
+    #[inline]
+    pub fn children(&self, i: NodeId) -> &'a [NodeId] {
+        self.tree.children(i)
     }
 }
 
@@ -410,6 +543,16 @@ mod tests {
     }
 
     #[test]
+    fn from_parents_keeps_child_insertion_order() {
+        // children of the root in ascending id order, multiple parents
+        let t = TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(0)])
+            .unwrap();
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(5)]);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert!(t.children(NodeId(4)).is_empty());
+    }
+
+    #[test]
     fn subtree_extraction_preserves_weights() {
         let t = chain3();
         let (sub, map) = t.subtree(NodeId(1));
@@ -419,6 +562,34 @@ mod tests {
         assert_eq!(sub.work(NodeId(0)), 2.0);
         assert_eq!(sub.output(NodeId(1)), 30.0);
         assert_eq!(sub.parent(NodeId(1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn subtree_nodes_into_matches_the_clone_map() {
+        let t = TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)])
+            .unwrap();
+        let mut stack = Vec::new();
+        let mut nodes = Vec::new();
+        for r in t.ids() {
+            let (_, map) = t.subtree(r);
+            t.subtree_nodes_into(r, &mut stack, &mut nodes);
+            assert_eq!(nodes, map, "root {r:?}");
+        }
+    }
+
+    #[test]
+    fn subtree_view_accessors() {
+        let t = TaskTree::pebble_from_parents(&[None, Some(0), Some(0), Some(1), Some(1)]).unwrap();
+        let mut stack = Vec::new();
+        let mut nodes = Vec::new();
+        t.subtree_nodes_into(NodeId(1), &mut stack, &mut nodes);
+        let view = SubtreeView::new(&t, &nodes);
+        assert_eq!(view.root(), NodeId(1));
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert!(std::ptr::eq(view.tree(), &t));
+        assert_eq!(view.nodes()[0], NodeId(1));
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod postorder;
 pub mod sim;
 
 pub use liu::liu_exact;
-pub use postorder::{best_postorder, best_postorder_peak, naive_postorder};
+pub use postorder::{
+    best_postorder, best_postorder_peak, best_postorder_view, naive_postorder,
+    naive_postorder_view, ViewScratch,
+};
 pub use sim::{peak_of_order, OrderError};
 
 use treesched_model::NodeId;

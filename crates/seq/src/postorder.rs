@@ -15,7 +15,7 @@
 //! their instances and within 1% on average.
 
 use crate::TraversalResult;
-use treesched_model::{NodeId, TaskTree};
+use treesched_model::{NodeId, SubtreeView, TaskTree};
 
 /// Peak memory of the postorder induced by the stored child order.
 ///
@@ -88,6 +88,139 @@ fn postorder_peaks(tree: &TaskTree) -> (Vec<f64>, Vec<Vec<NodeId>>) {
         sorted_children[vi] = kids;
     }
     (peaks, sorted_children)
+}
+
+/// Reusable buffers for the allocation-free subtree traversals
+/// ([`best_postorder_view`], [`naive_postorder_view`]).
+///
+/// The per-node buffers are sized to the **parent** tree and indexed by
+/// original node id; they are *not* cleared between calls — every member
+/// node of a view is written before it is read within one call, so stale
+/// entries from other subtrees (or other trees of the same size) are
+/// never observed. A warm scratch makes repeated subtree traversals
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct ViewScratch {
+    /// Local id of each original node: its position in the view's node
+    /// list, i.e. the id it would get in the [`TaskTree::subtree`] clone.
+    vid: Vec<u32>,
+    /// Liu peak `P_i` of the subtree below each member node.
+    peaks: Vec<f64>,
+    /// Flattened sorted-children segments of the current view.
+    child_buf: Vec<NodeId>,
+    /// Per member node: its segment of `child_buf` as `(start, end)`.
+    ranges: Vec<(u32, u32)>,
+    /// DFS stack for the emission pass.
+    stack: Vec<NodeId>,
+}
+
+impl ViewScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> ViewScratch {
+        ViewScratch::default()
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.vid.len() < n {
+            self.vid.resize(n, 0);
+            self.peaks.resize(n, 0.0);
+            self.ranges.resize(n, (0, 0));
+        }
+    }
+}
+
+/// Liu's memory-optimal postorder of a subtree view, emitted into `out`
+/// as **original** node ids.
+///
+/// The traversal is exactly [`best_postorder`] of the
+/// [`TaskTree::subtree`] clone mapped back through the clone's id map:
+/// ties in the `P_j − f_j` child order break on the clone-local id (the
+/// node's position in the view), not the original id, so the emitted
+/// sequence is bit-for-bit the one the clone-based path produces.
+pub fn best_postorder_view(
+    view: &SubtreeView<'_>,
+    scratch: &mut ViewScratch,
+    out: &mut Vec<NodeId>,
+) {
+    let tree = view.tree();
+    let nodes = view.nodes();
+    scratch.grow(tree.len());
+    let ViewScratch {
+        vid,
+        peaks,
+        child_buf,
+        ranges,
+        stack,
+    } = scratch;
+    for (k, &v) in nodes.iter().enumerate() {
+        vid[v.index()] = k as u32;
+    }
+    child_buf.clear();
+    // The view lists parents before children (DFS preorder), so the
+    // reverse is a valid bottom-up order for the Liu recurrence.
+    for &v in nodes.iter().rev() {
+        let vi = v.index();
+        let kids = tree.children(v);
+        if kids.is_empty() {
+            let end = child_buf.len() as u32;
+            ranges[vi] = (end, end);
+            peaks[vi] = tree.exec(v) + tree.output(v);
+            continue;
+        }
+        let start = child_buf.len();
+        child_buf.extend_from_slice(kids);
+        child_buf[start..].sort_by(|&a, &b| {
+            let ka = peaks[a.index()] - tree.output(a);
+            let kb = peaks[b.index()] - tree.output(b);
+            kb.partial_cmp(&ka)
+                .expect("weights are finite")
+                .then(vid[a.index()].cmp(&vid[b.index()]))
+        });
+        let mut acc = 0.0f64; // Σ of already-produced children files
+        let mut peak = 0.0f64;
+        for &c in &child_buf[start..] {
+            let during_child = acc + peaks[c.index()];
+            if during_child > peak {
+                peak = during_child;
+            }
+            acc += tree.output(c);
+        }
+        let during_self = acc + tree.exec(v) + tree.output(v);
+        if during_self > peak {
+            peak = during_self;
+        }
+        ranges[vi] = (start as u32, child_buf.len() as u32);
+        peaks[vi] = peak;
+    }
+    // Two-stack postorder over the sorted child segments.
+    out.clear();
+    stack.clear();
+    stack.push(view.root());
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        let (s, e) = ranges[v.index()];
+        stack.extend_from_slice(&child_buf[s as usize..e as usize]);
+    }
+    out.reverse();
+}
+
+/// Postorder of a subtree view induced by the stored child order, emitted
+/// into `out` as **original** node ids — the allocation-free equivalent
+/// of [`naive_postorder`] on the [`TaskTree::subtree`] clone.
+pub fn naive_postorder_view(
+    view: &SubtreeView<'_>,
+    scratch: &mut ViewScratch,
+    out: &mut Vec<NodeId>,
+) {
+    let tree = view.tree();
+    out.clear();
+    scratch.stack.clear();
+    scratch.stack.push(view.root());
+    while let Some(v) = scratch.stack.pop() {
+        out.push(v);
+        scratch.stack.extend_from_slice(tree.children(v));
+    }
+    out.reverse();
 }
 
 #[cfg(test)]
@@ -186,5 +319,98 @@ mod tests {
         let res = best_postorder(&t);
         assert_eq!(res.peak, 2.0);
         assert_eq!(res.order.len(), 150_000);
+    }
+
+    /// The view traversal of every subtree must be the clone traversal
+    /// mapped back through the clone's id map — including on pebble
+    /// weights, where every sibling ties in `P_j − f_j` and the clone
+    /// tie-break (clone-local ids, which reverse sibling order) differs
+    /// from an original-id tie-break.
+    #[test]
+    fn view_traversals_match_the_clone_path_on_every_subtree() {
+        let mut zoo = vec![
+            TaskTree::fork(7, 1.0, 1.0, 0.0),
+            TaskTree::chain(12, 2.0, 1.0, 0.5),
+            TaskTree::complete(2, 4, 1.0, 1.0, 0.0),
+            TaskTree::complete(3, 3, 1.0, 2.0, 0.5),
+        ];
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 2.0, 1.0);
+        let a = b.child(r, 1.0, 5.0, 0.0);
+        b.child(a, 1.0, 7.0, 2.0);
+        b.child(a, 1.0, 1.0, 0.0);
+        let c = b.child(r, 1.0, 3.0, 1.0);
+        b.child(c, 1.0, 4.0, 0.0);
+        b.pebble_leaves(c, 3);
+        zoo.push(b.build().unwrap());
+
+        let mut scratch = ViewScratch::new();
+        let mut stack = Vec::new();
+        let mut members = Vec::new();
+        let mut got = Vec::new();
+        for tree in &zoo {
+            for r in tree.ids() {
+                let (sub, map) = tree.subtree(r);
+                tree.subtree_nodes_into(r, &mut stack, &mut members);
+                let view = treesched_model::SubtreeView::new(tree, &members);
+
+                let want: Vec<_> = best_postorder(&sub)
+                    .order
+                    .iter()
+                    .map(|v| map[v.index()])
+                    .collect();
+                best_postorder_view(&view, &mut scratch, &mut got);
+                assert_eq!(got, want, "best, root {r:?}");
+
+                let want: Vec<_> = naive_postorder(&sub)
+                    .order
+                    .iter()
+                    .map(|v| map[v.index()])
+                    .collect();
+                naive_postorder_view(&view, &mut scratch, &mut got);
+                assert_eq!(got, want, "naive, root {r:?}");
+            }
+        }
+    }
+
+    /// A warm scratch carries no state between subtrees (or trees): the
+    /// same call on the same view yields the same order after the scratch
+    /// was dragged through unrelated trees.
+    #[test]
+    fn view_scratch_is_reusable_across_trees() {
+        let a = TaskTree::fork(5, 1.0, 1.0, 0.0);
+        let b = TaskTree::complete(2, 3, 1.0, 2.0, 0.5);
+        let mut scratch = ViewScratch::new();
+        let mut stack = Vec::new();
+        let mut members = Vec::new();
+        let mut first = Vec::new();
+        let mut again = Vec::new();
+        a.subtree_nodes_into(a.root(), &mut stack, &mut members);
+        best_postorder_view(
+            &treesched_model::SubtreeView::new(&a, &members),
+            &mut scratch,
+            &mut first,
+        );
+        b.subtree_nodes_into(b.root(), &mut stack, &mut members);
+        best_postorder_view(
+            &treesched_model::SubtreeView::new(&b, &members),
+            &mut scratch,
+            &mut again,
+        );
+        a.subtree_nodes_into(a.root(), &mut stack, &mut members);
+        best_postorder_view(
+            &treesched_model::SubtreeView::new(&a, &members),
+            &mut scratch,
+            &mut again,
+        );
+        assert_eq!(first, again);
+        // and the order is still the clone path's (mapped through its map)
+        let (sub, map) = a.subtree(a.root());
+        let want: Vec<_> = best_postorder(&sub)
+            .order
+            .iter()
+            .map(|v| map[v.index()])
+            .collect();
+        assert_eq!(first, want);
     }
 }

@@ -22,6 +22,11 @@ pub struct ServeRequest {
     pub scheduler: String,
     /// Client-chosen tag echoed verbatim into the result.
     pub id: Option<String>,
+    /// Timing repetitions: the scheduler runs this many times (at least
+    /// once) and [`ServeResult::time_us`] reports the **median** wall-clock
+    /// duration. The default `1` adds no repeat work, so cache-counter
+    /// expectations are unchanged unless a client opts into timing.
+    pub time_reps: u32,
 }
 
 impl ServeRequest {
@@ -36,7 +41,15 @@ impl ServeRequest {
             problem: OwnedRequest::new(tree, platform),
             scheduler: scheduler.into(),
             id: None,
+            time_reps: 1,
         }
+    }
+
+    /// Returns the request with a timing repetition count (clamped to at
+    /// least one run).
+    pub fn with_time_reps(mut self, reps: u32) -> ServeRequest {
+        self.time_reps = reps.max(1);
+        self
     }
 
     /// Returns the request with a different sequential sub-algorithm.
@@ -87,6 +100,9 @@ pub struct ServeResult {
     pub platform: Platform,
     /// Number of tasks of the request's tree.
     pub tasks: usize,
+    /// Median wall-clock duration of the scheduler call in microseconds,
+    /// over [`ServeRequest::time_reps`] runs (`0` for failed requests).
+    pub time_us: u64,
     /// The outcome, or the typed error the scheduler returned.
     pub outcome: Result<ServeOutcome, SchedError>,
 }
@@ -103,6 +119,12 @@ pub struct ServeStats {
     /// Traversals answered from warm scratch caches — each one is a full
     /// `O(n log n)` traversal (and its allocations) avoided.
     pub traversal_reuses: u64,
+    /// Subtrees scheduled through a borrowed view — each one is a subtree
+    /// `TaskTree` clone (and its allocations) avoided.
+    pub subtree_views: u64,
+    /// Subtrees scheduled through a cloned `TaskTree` (the `LiuExact`
+    /// fallback, the only remaining clone path).
+    pub subtree_clones: u64,
 }
 
 #[derive(Default)]
@@ -111,6 +133,8 @@ struct Counters {
     batches: AtomicU64,
     traversal_computes: AtomicU64,
     traversal_reuses: AtomicU64,
+    subtree_views: AtomicU64,
+    subtree_clones: AtomicU64,
 }
 
 type Batch = Vec<(u64, ServeRequest)>;
@@ -195,10 +219,11 @@ impl ServeEngine {
     /// each batch goes to the worker `fingerprint % workers`, keeping
     /// same-tree traffic on one warm scratch.
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread died (a scheduler panicked — the built-in
-    /// schedulers return typed errors instead).
+    /// A dead worker (a user scheduler panicked — the built-in schedulers
+    /// return typed errors instead) never hangs or fails the drain: batches
+    /// routed to it are rerouted to the next live worker, and any batch
+    /// that was in flight on it comes back as
+    /// [`SchedError::WorkerLost`] records, one per lost request.
     pub fn drain(&mut self) -> Vec<ServeResult> {
         let first_index = self.next_index - self.pending.len() as u64;
         let n = self.pending.len();
@@ -218,28 +243,87 @@ impl ServeEngine {
         self.counters
             .batches
             .fetch_add(batches.len() as u64, Ordering::Relaxed);
-        for (fp, batch) in batches {
-            let worker = (fp % self.txs.len() as u64) as usize;
-            self.txs[worker].send(batch).expect("serve worker died");
-        }
+
         let mut results: Vec<ServeResult> = Vec::with_capacity(n);
-        while results.len() < n {
+        // every in-flight request, by index: the worker it went to plus the
+        // context needed to synthesize a typed record if that worker dies
+        let mut in_flight: HashMap<u64, (usize, LostContext)> = HashMap::new();
+        let workers = self.txs.len();
+        for (fp, batch) in batches {
+            let preferred = (fp % workers as u64) as usize;
+            // context is captured before sending: once sent, the requests
+            // belong to the worker
+            let contexts: Vec<(u64, LostContext)> = batch
+                .iter()
+                .map(|(index, request)| (*index, LostContext::of(request)))
+                .collect();
+            let mut batch = batch;
+            let mut sent_to = None;
+            // reroute to the next live worker when the preferred one died;
+            // the cold scratch costs a recompute, not a failure
+            for k in 0..workers {
+                let w = (preferred + k) % workers;
+                if self.handles[w].is_finished() {
+                    continue;
+                }
+                match self.txs[w].send(batch) {
+                    Ok(()) => {
+                        sent_to = Some(w);
+                        break;
+                    }
+                    Err(back) => batch = back.0,
+                }
+            }
+            match sent_to {
+                Some(w) => {
+                    for (index, ctx) in contexts {
+                        in_flight.insert(index, (w, ctx));
+                    }
+                }
+                None => {
+                    // no live worker at all: the whole batch is lost
+                    self.counters
+                        .requests
+                        .fetch_add(contexts.len() as u64, Ordering::Relaxed);
+                    results.extend(
+                        contexts
+                            .into_iter()
+                            .map(|(index, ctx)| ctx.into_result(index, preferred)),
+                    );
+                }
+            }
+        }
+        while !in_flight.is_empty() {
             // recv() alone would block forever if one of several workers
             // died with results outstanding (the survivors keep the
-            // channel open); poll worker liveness to honor the panic
-            // contract instead of deadlocking
+            // channel open); poll worker liveness and convert a dead
+            // worker's in-flight requests into typed records
             match self
                 .results_rx
                 .recv_timeout(std::time::Duration::from_millis(50))
             {
-                Ok(batch) => results.extend(batch),
-                Err(RecvTimeoutError::Timeout) => {
-                    assert!(
-                        !self.handles.iter().any(|h| h.is_finished()),
-                        "serve worker died"
-                    );
+                Ok(batch) => {
+                    for r in batch {
+                        in_flight.remove(&r.index);
+                        results.push(r);
+                    }
                 }
-                Err(RecvTimeoutError::Disconnected) => panic!("serve worker died"),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    let lost: Vec<u64> = in_flight
+                        .iter()
+                        .filter(|(_, (w, _))| self.handles[*w].is_finished())
+                        .map(|(&index, _)| index)
+                        .collect();
+                    self.counters
+                        .requests
+                        .fetch_add(lost.len() as u64, Ordering::Relaxed);
+                    for index in lost {
+                        let (worker, ctx) = in_flight.remove(&index).expect("just listed");
+                        results.push(ctx.into_result(index, worker));
+                    }
+                    // a disconnect means every worker is gone; the filter
+                    // above drains in_flight as their handles finish
+                }
             }
         }
         results.sort_by_key(|r| r.index);
@@ -261,6 +345,40 @@ impl ServeEngine {
             batches: self.counters.batches.load(Ordering::Relaxed),
             traversal_computes: self.counters.traversal_computes.load(Ordering::Relaxed),
             traversal_reuses: self.counters.traversal_reuses.load(Ordering::Relaxed),
+            subtree_views: self.counters.subtree_views.load(Ordering::Relaxed),
+            subtree_clones: self.counters.subtree_clones.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What [`ServeEngine::drain`] needs to synthesize a typed record for a
+/// request whose worker died: the result envelope minus the outcome.
+struct LostContext {
+    id: Option<String>,
+    scheduler: String,
+    platform: Platform,
+    tasks: usize,
+}
+
+impl LostContext {
+    fn of(request: &ServeRequest) -> LostContext {
+        LostContext {
+            id: request.id.clone(),
+            scheduler: request.scheduler.clone(),
+            platform: request.problem.platform.clone(),
+            tasks: request.problem.tree.len(),
+        }
+    }
+
+    fn into_result(self, index: u64, worker: usize) -> ServeResult {
+        ServeResult {
+            index,
+            id: self.id,
+            scheduler: self.scheduler,
+            platform: self.platform,
+            tasks: self.tasks,
+            time_us: 0,
+            outcome: Err(SchedError::WorkerLost { worker }),
         }
     }
 }
@@ -301,6 +419,12 @@ fn worker_loop(
             now.traversal_reuses - seen.traversal_reuses,
             Ordering::Relaxed,
         );
+        counters
+            .subtree_views
+            .fetch_add(now.subtree_views - seen.subtree_views, Ordering::Relaxed);
+        counters
+            .subtree_clones
+            .fetch_add(now.subtree_clones - seen.subtree_clones, Ordering::Relaxed);
         seen = now;
         if results.send(out).is_err() {
             return; // engine dropped mid-drain
@@ -316,8 +440,31 @@ fn serve_one(
 ) -> ServeResult {
     let req = request.problem.as_request();
     let tree = req.tree;
+    let mut time_us = 0u64;
     let (scheduler, outcome) = match registry.get(&request.scheduler) {
-        Ok(s) => (s.name().to_string(), s.schedule(&req, scratch)),
+        Ok(s) => {
+            let start = std::time::Instant::now();
+            let mut outcome = s.schedule(&req, scratch);
+            let mut elapsed = start.elapsed().as_micros() as u64;
+            if request.time_reps > 1 {
+                // median-of-k: rerun on the now-warm scratch and keep the
+                // middle sample, so one descheduling blip cannot fail a
+                // timing gate
+                let mut samples = Vec::with_capacity(request.time_reps as usize);
+                samples.push(elapsed);
+                for _ in 1..request.time_reps {
+                    let start = std::time::Instant::now();
+                    outcome = s.schedule(&req, scratch);
+                    samples.push(start.elapsed().as_micros() as u64);
+                }
+                samples.sort_unstable();
+                elapsed = samples[samples.len() / 2];
+            }
+            if outcome.is_ok() {
+                time_us = elapsed;
+            }
+            (s.name().to_string(), outcome)
+        }
         Err(e) => (request.scheduler.clone(), Err(e)),
     };
     let outcome = outcome.map(|outcome| {
@@ -340,6 +487,7 @@ fn serve_one(
         scheduler,
         platform: request.problem.platform.clone(),
         tasks: tree.len(),
+        time_us,
         outcome,
     }
 }
@@ -522,31 +670,157 @@ mod tests {
         }
     }
 
-    #[test]
-    #[should_panic(expected = "serve worker died")]
-    fn a_panicking_scheduler_fails_the_drain_instead_of_hanging_it() {
-        // the built-in schedulers never panic, but the registry is open to
-        // user schedulers; a dead worker among live ones must surface as
-        // the documented panic, not a deadlock on the results channel
-        struct Panicky;
-        impl treesched_core::Scheduler for Panicky {
-            fn name(&self) -> &'static str {
-                "Panicky"
-            }
-            fn schedule(
-                &self,
-                _req: &treesched_core::Request<'_>,
-                _s: &mut Scratch,
-            ) -> Result<Outcome, SchedError> {
+    /// A scheduler that panics when the tree has exactly `trigger` tasks
+    /// and otherwise delegates to `deepest` — for killing workers on cue.
+    struct Panicky {
+        trigger: usize,
+    }
+    impl treesched_core::Scheduler for Panicky {
+        fn name(&self) -> &'static str {
+            "Panicky"
+        }
+        fn schedule(
+            &self,
+            req: &treesched_core::Request<'_>,
+            s: &mut Scratch,
+        ) -> Result<Outcome, SchedError> {
+            if req.tree.len() == self.trigger {
                 panic!("scheduler bug")
             }
+            SchedulerRegistry::standard()
+                .get("deepest")
+                .expect("built-in")
+                .schedule(req, s)
         }
+    }
+
+    fn panicky_registry(trigger: usize) -> SchedulerRegistry {
         let mut registry = SchedulerRegistry::standard();
-        registry.register(Box::new(Panicky), &[], false).unwrap();
-        let mut engine = ServeEngine::new(registry, 4);
+        registry
+            .register(Box::new(Panicky { trigger }), &[], false)
+            .unwrap();
+        registry
+    }
+
+    #[test]
+    fn a_panicking_scheduler_becomes_a_typed_record_not_a_hang() {
+        // the built-in schedulers never panic, but the registry is open to
+        // user schedulers; a dead worker among live ones must surface as a
+        // WorkerLost record for the lost batch, not a deadlock on the
+        // results channel and not a drain-wide panic
+        let mut engine = ServeEngine::new(panicky_registry(5), 4);
+        let bad = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0)); // 5 tasks: boom
+                                                              // pick a good tree routed to a different worker than the doomed one,
+                                                              // so its batch cannot be queued behind the panic
+        let good = [
+            TaskTree::fork(7, 1.0, 1.0, 0.0),
+            TaskTree::fork(8, 1.0, 1.0, 0.0),
+            TaskTree::chain(9, 1.0, 1.0, 0.0),
+        ]
+        .into_iter()
+        .map(Arc::new)
+        .find(|t| tree_fingerprint(t) % 4 != tree_fingerprint(&bad) % 4)
+        .expect("some tree routes elsewhere");
+        engine.submit(ServeRequest::new(bad, "Panicky", Platform::new(2)).with_id("doomed"));
+        engine.submit(ServeRequest::new(
+            Arc::clone(&good),
+            "deepest",
+            Platform::new(2),
+        ));
+        let results = engine.drain();
+        assert_eq!(results.len(), 2);
+        assert!(matches!(
+            results[0].outcome,
+            Err(SchedError::WorkerLost { .. })
+        ));
+        assert_eq!(results[0].id.as_deref(), Some("doomed"));
+        assert_eq!(results[0].scheduler, "Panicky");
+        assert_eq!(results[0].tasks, 5);
+        assert!(results[1].outcome.is_ok(), "the rest of the stream serves");
+        assert_eq!(engine.stats().requests, 2);
+    }
+
+    #[test]
+    fn batches_reroute_around_a_dead_worker_on_later_drains() {
+        // first drain kills one worker; later drains must keep serving
+        // every tree — including trees whose fingerprint routes to the dead
+        // worker — by rerouting to a live one
+        let mut engine = ServeEngine::new(panicky_registry(5), 2);
+        let bad = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(bad, "Panicky", Platform::new(2)));
+        let first = engine.drain();
+        assert!(matches!(
+            first[0].outcome,
+            Err(SchedError::WorkerLost { .. })
+        ));
+        // both these trees can only route to worker 0 or 1; one of those is
+        // dead now, so at least one batch exercises the reroute path
+        let trees = [
+            Arc::new(TaskTree::fork(7, 1.0, 1.0, 0.0)),
+            Arc::new(TaskTree::chain(9, 1.0, 1.0, 0.0)),
+        ];
+        for round in 0..2 {
+            for tree in &trees {
+                engine.submit(
+                    ServeRequest::new(Arc::clone(tree), "deepest", Platform::new(2))
+                        .with_id(format!("r{round}")),
+                );
+            }
+            let results = engine.drain();
+            assert_eq!(results.len(), 2);
+            for r in &results {
+                assert!(r.outcome.is_ok(), "round {round}: {:?}", r.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn all_workers_dead_fails_every_request_as_data() {
+        let mut engine = ServeEngine::new(panicky_registry(5), 1);
+        let bad = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(bad, "Panicky", Platform::new(2)));
+        let first = engine.drain();
+        assert!(matches!(
+            first[0].outcome,
+            Err(SchedError::WorkerLost { worker: 0 })
+        ));
+        // the only worker is gone: requests still come back, as data
+        let tree = Arc::new(TaskTree::fork(7, 1.0, 1.0, 0.0));
+        engine.submit(ServeRequest::new(tree, "deepest", Platform::new(2)));
+        let second = engine.drain();
+        assert_eq!(second.len(), 1);
+        assert!(matches!(
+            second[0].outcome,
+            Err(SchedError::WorkerLost { .. })
+        ));
+    }
+
+    #[test]
+    fn time_us_is_measured_and_repetitions_keep_results_stable() {
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 1);
+        let tree = Arc::new(TaskTree::complete(2, 6, 1.0, 2.0, 0.5));
+        engine.submit(ServeRequest::new(
+            Arc::clone(&tree),
+            "deepest",
+            Platform::new(4),
+        ));
+        engine.submit(
+            ServeRequest::new(Arc::clone(&tree), "deepest", Platform::new(4)).with_time_reps(5),
+        );
+        let results = engine.drain();
+        let once = results[0].outcome.as_ref().unwrap();
+        let timed = results[1].outcome.as_ref().unwrap();
+        assert_eq!(
+            once.outcome.eval.makespan, timed.outcome.eval.makespan,
+            "timing repetitions must not change the schedule"
+        );
+        // failed requests report no duration
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 1);
         let tree = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0));
-        engine.submit(ServeRequest::new(tree, "Panicky", Platform::new(2)));
-        engine.drain();
+        engine.submit(ServeRequest::new(tree, "nosuch", Platform::new(2)).with_time_reps(3));
+        let results = engine.drain();
+        assert!(results[0].outcome.is_err());
+        assert_eq!(results[0].time_us, 0);
     }
 
     #[test]
