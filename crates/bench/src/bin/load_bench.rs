@@ -1,0 +1,299 @@
+//! Sustained-load latency benchmark of the streaming serve daemon.
+//!
+//! An **open-loop** Poisson arrival process drives the
+//! [`treesched_transport::Daemon`]: request arrival times are drawn up
+//! front from exponential inter-arrival gaps (deterministic per `--seed`)
+//! and submissions happen at those instants regardless of completions —
+//! the load a daemon actually faces, where clients do not politely wait
+//! for the previous answer. A closed loop would hide queueing delay;
+//! this one measures it.
+//!
+//! Reported per run: achieved request rate and the p50/p95/p99/max
+//! response latency (submit-to-response, milliseconds), plus error and
+//! overload counts. The JSON record goes through the shared
+//! [`JsonRecord`] builder like every other `--json` surface. **Timing
+//! numbers are advisory** — CI gates on error records, never on
+//! latency — so the benchmark exits 1 only on lost/duplicated responses
+//! or scheduling errors.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use treesched_bench::stats::percentile;
+use treesched_core::SchedulerRegistry;
+use treesched_model::{io as tree_io, TaskTree};
+use treesched_serve::JsonRecord;
+use treesched_transport::{unframe, Daemon, DaemonConfig};
+
+use rand::{RngCore, SeedableRng};
+
+const USAGE: &str = "load_bench — open-loop sustained-load latency of the serve daemon
+
+usage: load_bench [--rate RPS] [--requests N] [--workers N]
+                  [--inflight N] [--seed S] [--json]
+
+  --rate RPS     mean Poisson arrival rate (default 400)
+  --requests N   total requests to submit (default 400)
+  --workers N    daemon worker threads (default 2)
+  --inflight N   client in-flight budget (default 4096; excess lines
+                 come back as typed `Overloaded` records)
+  --seed S       arrival-process seed (default 42)
+  --json         one JSON record on stdout instead of text";
+
+struct Options {
+    rate: f64,
+    requests: usize,
+    workers: usize,
+    inflight: usize,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        rate: 400.0,
+        requests: 400,
+        workers: 2,
+        inflight: 4096,
+        seed: 42,
+        json: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |what: &str| {
+            it.next()
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{a} needs {what}"))
+        };
+        match a.as_str() {
+            "--rate" => {
+                opts.rate = need("RPS")?.parse().map_err(|_| "bad --rate".to_string())?;
+                if !opts.rate.is_finite() || opts.rate <= 0.0 {
+                    return Err("--rate must be positive".into());
+                }
+            }
+            "--requests" => {
+                opts.requests = need("N")?
+                    .parse()
+                    .map_err(|_| "bad --requests".to_string())?;
+            }
+            "--workers" => {
+                opts.workers = need("N")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_string())?;
+            }
+            "--inflight" => {
+                opts.inflight = need("N")?
+                    .parse()
+                    .map_err(|_| "bad --inflight".to_string())?;
+            }
+            "--seed" => {
+                opts.seed = need("S")?.parse().map_err(|_| "bad --seed".to_string())?;
+            }
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Writes the benchmark's fixture trees and returns their paths.
+fn fixture_trees() -> Vec<String> {
+    let dir = std::env::temp_dir().join(format!("treesched-load-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    [
+        ("fork.tree", TaskTree::fork(8, 1.0, 1.0, 0.0)),
+        ("chain.tree", TaskTree::chain(24, 2.0, 1.0, 0.5)),
+        ("complete.tree", TaskTree::complete(2, 5, 1.0, 2.0, 0.5)),
+    ]
+    .into_iter()
+    .map(|(name, tree)| {
+        let path = dir.join(name);
+        std::fs::write(&path, tree_io::to_text(&tree)).expect("fixture write");
+        path.to_string_lossy().into_owned()
+    })
+    .collect()
+}
+
+/// One exponential inter-arrival gap in seconds: `-ln(U)/rate` with `U`
+/// uniform on `(0, 1]` from the top 53 bits of the generator.
+fn exp_gap(rng: &mut impl RngCore, rate: f64) -> f64 {
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    -u.ln() / rate
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let trees = fixture_trees();
+    let schedulers = ["deepest", "subtrees", "inner"];
+    let lines: Vec<String> = (0..opts.requests)
+        .map(|k| {
+            format!(
+                "{{\"id\":\"q{k}\",\"tree\":\"{}\",\"processors\":{},\"scheduler\":\"{}\"}}",
+                trees[k % trees.len()],
+                2 + (k % 3) as u32,
+                schedulers[(k / trees.len()) % schedulers.len()],
+            )
+        })
+        .collect();
+
+    // arrival schedule, drawn up front so submission-time work is a sleep
+    // plus a channel send
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut at = 0.0f64;
+    let arrivals: Vec<Duration> = (0..opts.requests)
+        .map(|_| {
+            at += exp_gap(&mut rng, opts.rate);
+            Duration::from_secs_f64(at)
+        })
+        .collect();
+
+    let daemon = Daemon::new(
+        SchedulerRegistry::standard(),
+        DaemonConfig {
+            workers: opts.workers,
+            inflight_cap: opts.inflight,
+            default_platform: None,
+        },
+    );
+    let (mut submitter, responses) = daemon.client().split();
+
+    eprintln!(
+        "open-loop load: {} requests at ~{:.0} req/s, {} workers, in-flight cap {}...",
+        opts.requests, opts.rate, opts.workers, opts.inflight
+    );
+
+    // submit times indexed by submission index; written before each
+    // submit so the receiver can never observe a response first
+    let sent: Arc<Vec<std::sync::OnceLock<Instant>>> = Arc::new(
+        (0..opts.requests)
+            .map(|_| std::sync::OnceLock::new())
+            .collect(),
+    );
+    let receiver_sent = Arc::clone(&sent);
+    let expect = opts.requests;
+    let receiver = std::thread::spawn(move || {
+        let mut latencies_ms = vec![f64::NAN; expect];
+        let mut seen = vec![false; expect];
+        let mut errors = 0u64;
+        let mut overloaded = 0u64;
+        let mut duplicates = 0u64;
+        for _ in 0..expect {
+            let Ok(line) = responses.recv() else { break };
+            let done = Instant::now();
+            let (n, record) = match unframe(&line) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    errors += 1;
+                    continue;
+                }
+            };
+            let n = n as usize;
+            if n >= expect || seen[n] {
+                duplicates += 1;
+                continue;
+            }
+            seen[n] = true;
+            if record.contains("\"error\":\"client queue overloaded") {
+                overloaded += 1;
+            } else if record.contains("\"error\":") {
+                errors += 1;
+                eprint!("error record: {record}");
+            }
+            let submit = receiver_sent[n].get().expect("stamped before submit");
+            latencies_ms[n] = done.duration_since(*submit).as_secs_f64() * 1e3;
+        }
+        let missing = seen.iter().filter(|&&s| !s).count() as u64;
+        (latencies_ms, errors, overloaded, duplicates, missing)
+    });
+
+    let clock = Instant::now();
+    for (k, line) in lines.iter().enumerate() {
+        if let Some(wait) = arrivals[k].checked_sub(clock.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        // open loop: never block on the budget — a saturated daemon sheds
+        // typed Overloaded records instead of distorting arrivals
+        sent[k].set(Instant::now()).expect("one submit per index");
+        submitter.submit_or_overload(k + 1, line);
+    }
+    let submitted = submitter.submitted();
+    let (latencies_ms, errors, overloaded, duplicates, missing) =
+        receiver.join().expect("receiver thread");
+    let elapsed = clock.elapsed().as_secs_f64();
+    drop(submitter);
+
+    let answered: Vec<f64> = latencies_ms
+        .iter()
+        .copied()
+        .filter(|l| l.is_finite())
+        .collect();
+    let achieved_rps = submitted as f64 / elapsed.max(1e-9);
+    let (p50, p95, p99) = (
+        percentile(&answered, 50.0),
+        percentile(&answered, 95.0),
+        percentile(&answered, 99.0),
+    );
+    let max_ms = answered.iter().copied().fold(0.0f64, f64::max);
+
+    if opts.json {
+        print!(
+            "{}",
+            JsonRecord::new()
+                .str("benchmark", "load")
+                .int("requests", submitted)
+                .num("rate", opts.rate)
+                .int("workers", opts.workers as u64)
+                .int("inflight_cap", opts.inflight as u64)
+                .int("seed", opts.seed)
+                .num("elapsed_secs", elapsed)
+                .num("achieved_rps", achieved_rps)
+                .num("p50_ms", p50)
+                .num("p95_ms", p95)
+                .num("p99_ms", p99)
+                .num("max_ms", max_ms)
+                .int("overloaded", overloaded)
+                .int("errors", errors)
+                .int("duplicates", duplicates)
+                .int("missing", missing)
+                .line()
+        );
+    } else {
+        println!("Sustained load — {submitted} requests over {elapsed:.2}s");
+        println!(
+            "  offered rate   ~{:.0} req/s (Poisson, seed {})",
+            opts.rate, opts.seed
+        );
+        println!("  achieved rate   {achieved_rps:.0} req/s");
+        println!("  latency p50     {p50:.3} ms");
+        println!("  latency p95     {p95:.3} ms");
+        println!("  latency p99     {p99:.3} ms");
+        println!("  latency max     {max_ms:.3} ms");
+        println!("  overloaded      {overloaded}");
+        println!("  errors          {errors}");
+    }
+    let _ = std::io::stdout().flush();
+
+    // conservation gate: every submission answered exactly once, no
+    // scheduling errors — timing never fails the run
+    if errors > 0 || duplicates > 0 || missing > 0 {
+        eprintln!(
+            "error: response conservation violated \
+             (errors {errors}, duplicates {duplicates}, missing {missing})"
+        );
+        std::process::exit(1);
+    }
+}

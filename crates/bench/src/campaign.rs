@@ -1181,11 +1181,23 @@ mod tests {
             "the warm hot path must not clone subtrees: {:?}",
             warm.stats
         );
-        // the clone fallback stays reachable — and counted — for LiuExact
-        let liu = runner
-            .run(&tiny_spec().with_seqs(vec![SeqAlgo::LiuExact]))
-            .unwrap();
-        assert!(liu.stats.subtree_clones > 0, "{:?}", liu.stats);
+        // LiuExact rides the view path too — zero clones on warm campaigns
+        // for all three seq algos
+        for seq in [
+            SeqAlgo::LiuExact,
+            SeqAlgo::BestPostorder,
+            SeqAlgo::NaivePostorder,
+        ] {
+            let spec = tiny_spec().with_seqs(vec![seq]);
+            runner.run(&spec).unwrap();
+            let warm = runner.run(&spec).unwrap();
+            assert!(warm.stats.subtree_views > 0, "{seq:?}: {:?}", warm.stats);
+            assert_eq!(
+                warm.stats.subtree_clones, 0,
+                "{seq:?} must not clone subtrees: {:?}",
+                warm.stats
+            );
+        }
     }
 
     #[test]

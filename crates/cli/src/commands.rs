@@ -5,14 +5,13 @@
 //! dispatch of its own. Scheduling failures ([`treesched_core::SchedError`])
 //! exit with code 1; usage errors exit with code 2.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
 use treesched_core::{
     Platform, PlatformSpec, Request, SchedError, SchedulerRegistry, Scratch, SeqAlgo,
 };
 use treesched_model::{io as tree_io, TaskTree, TreeStats};
-use treesched_serve::{ServeEngine, ServeRequest};
+use treesched_serve::ServeEngine;
+use treesched_transport::{default_scheduler, Daemon, DaemonConfig, ListenOptions, RequestParser};
 
 /// Top-level usage text.
 pub const USAGE: &str = "treesched — memory/makespan-aware tree scheduling (IPDPS 2013)
@@ -33,6 +32,14 @@ commands:
                                     batched serving: JSONL requests from
                                     FILE (default stdin), one JSON record
                                     per result, in input order
+  serve --stdio | --listen PATH [--accept N] [--inflight N] [--overload]
+                                    daemon mode: responses stream out in
+                                    completion order, framed with their
+                                    submission index (`\"n\"`), over stdio
+                                    or a Unix socket shared by clients
+  connect PATH [--raw]              client for `serve --listen`: stdin to
+                                    the daemon, batch-identical output
+                                    (or the raw framed stream) on stdout
   pareto FILE -p N [--json] [--speeds L] [--domains D]
                                     exact (makespan, memory) frontier
   campaign [--spec FILE | flags]    declarative experiment campaign over the
@@ -118,6 +125,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "schedule" => cmd_schedule(rest),
         "schedulers" => cmd_schedulers(rest),
         "serve" => cmd_serve(rest),
+        "connect" => cmd_connect(rest),
         "pareto" => cmd_pareto(rest),
         "campaign" => cmd_campaign(rest),
         "dot" => cmd_dot(rest),
@@ -184,24 +192,6 @@ fn build_platform(
     }
     platform.validate().map_err(CliError::sched)?;
     Ok(platform)
-}
-
-/// Default scheduler when none is named, shared by `schedule` and the
-/// serve front-end: a platform with a shared cap gets the safe
-/// memory-capped scheduler, an uncapped equal-speed one the paper's
-/// `ParSubtrees`, and a mixed-speed one the speed-aware
-/// `ParDeepestFirst` (the other two defaults would refuse it with
-/// `UnsupportedPlatform`). A capped *mixed-speed* platform still resolves
-/// to `MemBoundedSeq` so the cap surfaces as a typed refusal instead of
-/// being silently ignored.
-fn default_scheduler(platform: &Platform) -> &'static str {
-    if platform.memory_cap().is_some() {
-        "MemBoundedSeq"
-    } else if platform.uniform_speed().is_some() {
-        "ParSubtrees"
-    } else {
-        "ParDeepestFirst"
-    }
 }
 
 /// One-line human rendering of a non-flat platform for the text output.
@@ -684,6 +674,11 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut workers: usize = 1;
     let mut speeds: Option<&String> = None;
     let mut domains: Option<&String> = None;
+    let mut listen: Option<&String> = None;
+    let mut stdio = false;
+    let mut accept: u64 = 0;
+    let mut inflight: usize = 64;
+    let mut overload = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -697,6 +692,30 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                     return Err(CliError::new("--workers needs at least 1"));
                 }
             }
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--listen needs a socket PATH"))?,
+                );
+            }
+            "--stdio" => stdio = true,
+            "--accept" => {
+                accept = parse_num(
+                    it.next().ok_or_else(|| CliError::new("--accept needs N"))?,
+                    "N",
+                )?;
+            }
+            "--inflight" => {
+                inflight = parse_num(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--inflight needs N"))?,
+                    "N",
+                )?;
+                if inflight == 0 {
+                    return Err(CliError::new("--inflight needs at least 1"));
+                }
+            }
+            "--overload" => overload = true,
             "--speeds" => {
                 speeds = Some(
                     it.next()
@@ -725,6 +744,48 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             None,
         )?),
     };
+    if listen.is_some() || stdio {
+        if listen.is_some() && stdio {
+            return Err(CliError::new("--listen and --stdio are exclusive"));
+        }
+        if path.is_some() {
+            return Err(CliError::new(
+                "daemon modes stream their transport; they take no FILE",
+            ));
+        }
+        let daemon = Daemon::new(
+            SchedulerRegistry::standard(),
+            DaemonConfig {
+                workers,
+                inflight_cap: inflight,
+                default_platform,
+            },
+        );
+        // blocking backpressure by default; --overload sheds excess lines
+        // as typed records instead
+        let block = !overload;
+        if let Some(socket) = listen {
+            let options = ListenOptions {
+                accept: (accept > 0).then_some(accept),
+                block,
+            };
+            let served =
+                treesched_transport::listen_unix(&daemon, std::path::Path::new(socket), options)
+                    .map_err(|e| CliError::new(format!("cannot serve on {socket}: {e}")))?;
+            return Ok(format!("served {served} connections\n"));
+        }
+        // --stdio: framed responses stream straight to stdout in
+        // completion order; nothing is left to print afterwards
+        let stdin = std::io::stdin().lock();
+        treesched_transport::serve_stdio(&daemon, stdin, std::io::stdout(), block)
+            .map_err(|e| CliError::new(format!("stdio serve failed: {e}")))?;
+        return Ok(String::new());
+    }
+    if accept != 0 || overload || inflight != 64 {
+        return Err(CliError::new(
+            "--accept/--inflight/--overload need a daemon mode (--listen or --stdio)",
+        ));
+    }
     let input = match path.map(|s| s.as_str()) {
         Some("-") | None => {
             let mut buf = String::new();
@@ -743,73 +804,33 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 /// the exact byte-level protocol without touching stdin.
 /// `default_platform` applies to requests that spell no platform of their
 /// own (neither `processors` nor a `platform` object).
+///
+/// Each line is resolved by the same [`RequestParser`] the serve daemon
+/// uses, so a daemon client that stable-sorts its framed responses gets
+/// this function's output byte-for-byte (the transport crate pins that).
 pub fn serve_jsonl(input: &str, workers: usize, default_platform: Option<&Platform>) -> String {
     let registry = SchedulerRegistry::standard();
     let mut engine = ServeEngine::new(registry, workers);
-    let mut trees: HashMap<String, Arc<TaskTree>> = HashMap::new();
+    let mut parser = RequestParser::new(default_platform.cloned());
     // one output slot per request line; protocol/file errors fill their
     // slot immediately, scheduled requests fill theirs after the drain
     let mut slots: Vec<Option<String>> = Vec::new();
     let mut submitted: Vec<usize> = Vec::new(); // engine order -> slot
-    for line in input.lines() {
+    for (lineno, line) in input.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let slot = slots.len();
         slots.push(None);
-        let record = match treesched_serve::RequestRecord::parse(line) {
-            Ok(r) => r,
-            Err(e) => {
-                slots[slot] = Some(treesched_serve::error_json(
-                    None,
-                    &format!("bad request: {e}"),
-                ));
-                continue;
+        // the parser renders protocol/file errors (with their 1-based
+        // line numbers) as finished records
+        match parser.build(lineno + 1, line) {
+            Ok(request) => {
+                engine.submit(request);
+                submitted.push(slot);
             }
-        };
-        let id = record.id.clone();
-        let tree = match trees.get(&record.tree) {
-            Some(t) => Arc::clone(t),
-            None => match load_tree(&record.tree) {
-                Ok(t) => {
-                    let t = Arc::new(t);
-                    trees.insert(record.tree.clone(), Arc::clone(&t));
-                    t
-                }
-                Err(e) => {
-                    slots[slot] = Some(treesched_serve::error_json(id.as_deref(), &e.message));
-                    continue;
-                }
-            },
-        };
-        let platform = match (&record.platform, default_platform) {
-            (Some(spec), _) => spec.to_platform(),
-            (None, Some(default)) => default.clone(),
-            (None, None) => {
-                slots[slot] = Some(treesched_serve::error_json(
-                    id.as_deref(),
-                    "request needs `processors` or a `platform` object",
-                ));
-                continue;
-            }
-        };
-        // same platform-aware default as `schedule`
-        let scheduler = record
-            .scheduler
-            .clone()
-            .unwrap_or_else(|| default_scheduler(&platform).to_string());
-        let mut request = ServeRequest::new(tree, scheduler, platform);
-        if let Some(seq) = record.seq {
-            request = request.with_seq(seq);
+            Err(record) => slots[slot] = Some(record),
         }
-        if let Some(seed) = record.seed {
-            request = request.with_seed(seed);
-        }
-        if let Some(id) = id {
-            request = request.with_id(id);
-        }
-        engine.submit(request);
-        submitted.push(slot);
     }
     for (k, result) in engine.drain().iter().enumerate() {
         slots[submitted[k]] = Some(treesched_serve::result_json(result));
@@ -818,6 +839,32 @@ pub fn serve_jsonl(input: &str, workers: usize, default_platform: Option<&Platfo
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()
+}
+
+/// Client for a `serve --listen` daemon: JSONL request lines from stdin
+/// to the socket, responses to stdout — reconstructed into the exact
+/// batch-mode byte stream by default (stable sort on the frame index),
+/// or the raw framed completion-order stream with `--raw`.
+fn cmd_connect(args: &[String]) -> Result<String, CliError> {
+    const CONNECT_USAGE: &str = "usage: treesched connect PATH [--raw]";
+    let mut path: Option<&String> = None;
+    let mut raw = false;
+    for a in args {
+        match a.as_str() {
+            "--raw" => raw = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(a),
+            other => {
+                return Err(CliError::new(format!(
+                    "unexpected argument `{other}`\n\n{CONNECT_USAGE}"
+                )))
+            }
+        }
+    }
+    let path = path.ok_or_else(|| CliError::new(CONNECT_USAGE))?;
+    let input = std::io::BufReader::new(std::io::stdin());
+    treesched_transport::connect_unix(std::path::Path::new(path), input, std::io::stdout(), raw)
+        .map_err(|e| CliError::new(format!("cannot connect to {path}: {e}")))?;
+    Ok(String::new())
 }
 
 fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
@@ -1775,7 +1822,12 @@ mod tests {
         let out = serve_jsonl(&input, 2, None);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 5);
-        assert!(lines[0].starts_with("{\"id\":null,\"error\":\"bad request:"));
+        assert!(
+            lines[0].starts_with("{\"id\":null,\"error\":\"bad request on line 1:"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].ends_with("\"line\":1}"), "{}", lines[0]);
         assert!(lines[1].starts_with("{\"id\":\"gone\",\"error\":\"cannot read"));
         assert!(
             lines[2].contains("\"error\":\"unknown scheduler `nosuch`"),

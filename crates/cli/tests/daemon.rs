@@ -1,0 +1,155 @@
+//! End-to-end daemon test over real processes: one `serve --listen`
+//! daemon, two concurrent `connect` client processes, every response
+//! byte-identical to the one-shot batch `serve` output.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use treesched_cli::{dispatch, serve_jsonl};
+
+const BIN: &str = env!("CARGO_BIN_EXE_treesched");
+
+/// Generates the fixture trees and returns the directory.
+fn fixture_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("treesched-daemon-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gen = |args: &[&str]| {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v).expect("gen succeeds");
+    };
+    let d = dir.to_string_lossy();
+    gen(&["gen", "fork", "3", "2", "-o", &format!("{d}/fork.tree")]);
+    gen(&["gen", "chain", "7", "-o", &format!("{d}/chain.tree")]);
+    dir
+}
+
+/// A small mixed request stream, including one malformed line so the
+/// typed line-numbered record crosses the socket too.
+fn request_stream(dir: &Path, tag: &str) -> String {
+    let d = dir.to_string_lossy();
+    let mut input = String::new();
+    for (k, (tree, scheduler, p)) in [
+        ("fork.tree", "deepest", 2),
+        ("chain.tree", "subtrees", 2),
+        ("fork.tree", "inner", 3),
+        ("chain.tree", "deepest", 4),
+    ]
+    .iter()
+    .enumerate()
+    {
+        input.push_str(&format!(
+            "{{\"id\":\"{tag}{k}\",\"tree\":\"{d}/{tree}\",\
+             \"processors\":{p},\"scheduler\":\"{scheduler}\"}}\n"
+        ));
+    }
+    input.push_str("oops not json\n");
+    input
+}
+
+/// Spawns a `connect` client with `input` piped to its stdin.
+fn spawn_client(socket: &Path, input: &str) -> Child {
+    let mut child = Command::new(BIN)
+        .arg("connect")
+        .arg(socket)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("connect client spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("request stream fits the pipe");
+    // dropping the handle closes the pipe: the daemon sees EOF
+    child
+}
+
+#[test]
+fn socket_daemon_serves_two_client_processes_batch_identically() {
+    let dir = fixture_dir();
+    let socket = dir.join(format!("daemon-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let input_a = request_stream(&dir, "a");
+    let input_b = request_stream(&dir, "b");
+    // the acceptance reference: the one-shot batch front-end
+    let expected_a = serve_jsonl(&input_a, 2, None);
+    let expected_b = serve_jsonl(&input_b, 2, None);
+
+    let daemon = Command::new(BIN)
+        .args(["serve", "--listen"])
+        .arg(&socket)
+        .args(["--accept", "2", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    // the socket file appears when the listener has bound
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "daemon never bound {}", socket.display());
+
+    let client_a = spawn_client(&socket, &input_a);
+    let client_b = spawn_client(&socket, &input_b);
+    for (client, expected, tag) in [(client_a, &expected_a, "a"), (client_b, &expected_b, "b")] {
+        let out = client.wait_with_output().expect("client exits");
+        assert!(
+            out.status.success(),
+            "client {tag} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            *expected,
+            "client {tag}: socket stream is not batch-identical"
+        );
+    }
+
+    // --accept 2 bounds the daemon's lifetime: it exits by itself
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "daemon failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        "served 2 connections\n"
+    );
+    assert!(!socket.exists(), "daemon removes its socket file");
+}
+
+#[test]
+fn stdio_daemon_round_trips_through_the_real_binary() {
+    let dir = fixture_dir();
+    let input = request_stream(&dir, "s");
+    let expected = serve_jsonl(&input, 2, None);
+    let mut child = Command::new(BIN)
+        .args(["serve", "--stdio", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("stdio daemon spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("daemon exits at EOF");
+    assert!(
+        out.status.success(),
+        "stdio daemon failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let framed = String::from_utf8(out.stdout).unwrap();
+    let got = treesched_transport::reorder(framed.lines()).expect("framed stream");
+    assert_eq!(got, expected, "sorted stdio stream is the batch stream");
+}

@@ -3,7 +3,9 @@
 //! The golden files pin the request/response schema byte-for-byte: any
 //! change to field names, field order, number formatting, or error wording
 //! shows up as a diff against `tests/data/serve_responses.golden.jsonl`
-//! (flat legacy platforms — this file must never change) and
+//! (flat legacy platforms — success records must never change; the
+//! malformed-line error record last changed deliberately when it became a
+//! typed line-numbered record) and
 //! `tests/data/serve_hetero_responses.golden.jsonl` (heterogeneous
 //! `platform` objects). Regenerate deliberately with `UPDATE_GOLDEN=1
 //! cargo test -p treesched_cli --test serve` after an intentional protocol
@@ -66,6 +68,36 @@ fn hetero_serve_responses_match_the_golden_schema() {
         HETERO_RESPONSES_GOLDEN,
         "serve_hetero_responses.golden.jsonl",
     );
+}
+
+/// The daemon acceptance pin: a streamed stdio session, stable-sorted by
+/// its frame index client-side, must reproduce the batch golden files
+/// byte-for-byte — for both the flat and the heterogeneous protocol.
+#[test]
+fn daemon_stdio_stream_reordered_matches_the_batch_goldens() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // goldens regenerate through the batch tests above
+    }
+    use treesched_transport::{reorder, serve_stdio, Daemon, DaemonConfig};
+    for (template, golden) in [
+        (REQUESTS_IN, RESPONSES_GOLDEN),
+        (HETERO_REQUESTS_IN, HETERO_RESPONSES_GOLDEN),
+    ] {
+        let input = requests(template);
+        let daemon = Daemon::new(
+            treesched_core::SchedulerRegistry::standard(),
+            DaemonConfig::default(),
+        );
+        let (delivered, framed) =
+            serve_stdio(&daemon, input.as_bytes(), Vec::new(), true).expect("pipe serves");
+        let framed = String::from_utf8(framed).unwrap();
+        assert_eq!(delivered as usize, framed.lines().count());
+        let got = reorder(framed.lines()).expect("every streamed line is framed");
+        assert_eq!(
+            got, golden,
+            "sorted daemon stream drifted from the batch golden"
+        );
+    }
 }
 
 #[test]

@@ -141,6 +141,21 @@ pub enum SchedError {
         /// Index of the dead worker thread.
         worker: usize,
     },
+    /// A serving front-end refused the request because the client's
+    /// bounded in-flight queue was full. The request was not served; the
+    /// client may resubmit once earlier responses drain.
+    Overloaded {
+        /// The in-flight cap that was hit.
+        limit: usize,
+    },
+    /// A serving front-end could not parse the request line. Carries the
+    /// 1-based line number within the client's input stream.
+    MalformedRequest {
+        /// 1-based input line number.
+        line: usize,
+        /// What the JSONL parser rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -205,6 +220,15 @@ impl std::fmt::Display for SchedError {
             }
             SchedError::WorkerLost { worker } => {
                 write!(f, "serve worker {worker} died before the request completed")
+            }
+            SchedError::Overloaded { limit } => {
+                write!(
+                    f,
+                    "client queue overloaded: {limit} requests already in flight"
+                )
+            }
+            SchedError::MalformedRequest { line, reason } => {
+                write!(f, "bad request on line {line}: {reason}")
             }
         }
     }

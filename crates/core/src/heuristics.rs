@@ -11,7 +11,10 @@ use crate::listsched::{list_schedule, TotalF64};
 use crate::schedule::{Placement, Schedule};
 use crate::split::split_subtrees_with_work;
 use treesched_model::{NodeId, SubtreeView, TaskTree};
-use treesched_seq::{best_postorder_view, naive_postorder_view, TraversalResult, ViewScratch};
+use treesched_seq::{
+    best_postorder_view, liu_exact_view, naive_postorder_view, LiuScratch, TraversalResult,
+    ViewScratch,
+};
 
 /// Which sequential memory-minimizing algorithm the subtree phases use.
 ///
@@ -62,11 +65,11 @@ impl SeqAlgo {
 
 /// Reusable buffers for the per-subtree scheduling phases.
 ///
-/// The postorder sub-algorithms run on a borrowed [`SubtreeView`] over these
+/// Every sequential sub-algorithm — the two postorders *and*
+/// [`SeqAlgo::LiuExact`] — runs on a borrowed [`SubtreeView`] over these
 /// buffers instead of cloning each subtree into a fresh `TaskTree`, so a
-/// warm scratch makes [`par_subtrees_with_order_scratch`] allocation-free.
-/// [`SeqAlgo::LiuExact`] is not a postorder and still clones; the two
-/// counters record which path ran.
+/// warm scratch never clones. The two counters record which path ran;
+/// `clones` stays 0 unless a caller bypasses the view entry points.
 #[derive(Clone, Debug, Default)]
 pub struct SubtreeScratch {
     /// DFS work stack for [`TaskTree::subtree_nodes_into`].
@@ -77,6 +80,8 @@ pub struct SubtreeScratch {
     order: Vec<NodeId>,
     /// Buffers of the view-based postorder algorithms.
     view: ViewScratch,
+    /// Chain storage of the view-based exact algorithm.
+    liu: LiuScratch,
     views: u64,
     clones: u64,
 }
@@ -113,31 +118,13 @@ fn schedule_subtree(
     member: &mut [bool],
     sub: &mut SubtreeScratch,
 ) -> f64 {
-    if seq == SeqAlgo::LiuExact {
-        // Liu's exact algorithm is not a postorder; it keeps the clone path.
-        sub.clones += 1;
-        let (subtree, map) = tree.subtree(r);
-        let order = treesched_seq::liu_exact(&subtree).order;
-        let mut t = start;
-        for nid in order {
-            let orig = map[nid.index()];
-            member[orig.index()] = true;
-            let w = tree.work(orig);
-            placements[orig.index()] = Placement {
-                proc,
-                start: t,
-                finish: t + w,
-            };
-            t += w;
-        }
-        return t;
-    }
     sub.views += 1;
     let SubtreeScratch {
         dfs,
         nodes,
         order,
         view,
+        liu,
         ..
     } = sub;
     tree.subtree_nodes_into(r, dfs, nodes);
@@ -145,7 +132,9 @@ fn schedule_subtree(
     match seq {
         SeqAlgo::BestPostorder => best_postorder_view(&v, view, order),
         SeqAlgo::NaivePostorder => naive_postorder_view(&v, view, order),
-        SeqAlgo::LiuExact => unreachable!("handled above"),
+        SeqAlgo::LiuExact => {
+            liu_exact_view(&v, liu, order);
+        }
     }
     let mut t = start;
     for &orig in order.iter() {
@@ -636,7 +625,11 @@ mod tests {
         ];
         let mut sub = SubtreeScratch::new();
         for tree in &zoo {
-            for seq in [SeqAlgo::BestPostorder, SeqAlgo::NaivePostorder] {
+            for seq in [
+                SeqAlgo::BestPostorder,
+                SeqAlgo::NaivePostorder,
+                SeqAlgo::LiuExact,
+            ] {
                 for r in tree.ids() {
                     let n = tree.len();
                     let mut got = blank_placements(n);
@@ -709,10 +702,11 @@ mod tests {
         assert!(sub.subtree_views() > 0);
         assert_eq!(sub.subtree_clones(), 0);
 
-        // LiuExact takes the counted clone fallback
+        // LiuExact rides the view path too — no clone fallback left
         let global = SeqAlgo::LiuExact.traversal(&t).order;
         par_subtrees_with_order_scratch(&t, 3, SeqAlgo::LiuExact, &global, &subtree_w, &mut sub);
-        assert!(sub.subtree_clones() > 0);
+        assert_eq!(sub.subtree_clones(), 0);
+        assert!(sub.subtree_views() > 0);
     }
 
     #[test]

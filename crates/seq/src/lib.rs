@@ -38,7 +38,7 @@ pub mod oracle;
 pub mod postorder;
 pub mod sim;
 
-pub use liu::liu_exact;
+pub use liu::{liu_exact, liu_exact_view, LiuScratch};
 pub use postorder::{
     best_postorder, best_postorder_peak, best_postorder_view, naive_postorder,
     naive_postorder_view, ViewScratch,

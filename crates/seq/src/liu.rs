@@ -33,7 +33,7 @@
 use crate::TraversalResult;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use treesched_model::{NodeId, TaskTree};
+use treesched_model::{NodeId, SubtreeView, TaskTree};
 
 /// One hill–valley segment with the tasks it executes.
 #[derive(Clone, Debug)]
@@ -192,6 +192,82 @@ pub fn liu_exact(tree: &TaskTree) -> TraversalResult {
     TraversalResult { order, peak }
 }
 
+/// Reusable chain storage for [`liu_exact_view`].
+///
+/// One chain slot per **original** node id of the parent tree. The slots
+/// are not cleared between calls: within one call every member's chain is
+/// taken by its parent's merge (or by the final emission, for the root),
+/// so the scratch drains back to all-empty and stale state is never
+/// observed. Segment `nodes` buffers still allocate as chains grow — the
+/// view path eliminates the `TaskTree` *clone*, which is the counted
+/// quantity, not every interior `Vec`.
+#[derive(Clone, Debug, Default)]
+pub struct LiuScratch {
+    chains: Vec<Vec<Seg>>,
+}
+
+impl LiuScratch {
+    /// An empty scratch; chain slots grow on first use.
+    pub fn new() -> LiuScratch {
+        LiuScratch::default()
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.chains.len() < n {
+            self.chains.resize_with(n, Vec::new);
+        }
+    }
+}
+
+/// Liu's exact traversal of a subtree view, emitted into `out` as
+/// **original** node ids. Returns the optimal peak.
+///
+/// Bit-for-bit the order [`liu_exact`] produces on the
+/// [`TaskTree::subtree`] clone, mapped back through the clone's id map:
+/// a node's chain depends only on its children's chains (so the view's
+/// reverse-preorder sweep and the clone's postorder agree), every merge
+/// key is a weight-derived `f64` identical in both paths, and the k-way
+/// merge tie-break is *positional* (chain index = position in the child
+/// list), which the clone preserves.
+pub fn liu_exact_view(
+    view: &SubtreeView<'_>,
+    scratch: &mut LiuScratch,
+    out: &mut Vec<NodeId>,
+) -> f64 {
+    let tree = view.tree();
+    scratch.grow(tree.len());
+    let chains = &mut scratch.chains;
+    // The view lists parents before children (DFS preorder); the reverse
+    // is a valid bottom-up order for the chain recurrence.
+    for &v in view.nodes().iter().rev() {
+        let kid_chains: Vec<Vec<Seg>> = tree
+            .children(v)
+            .iter()
+            .map(|c| std::mem::take(&mut chains[c.index()]))
+            .collect();
+        let mut chain = if kid_chains.is_empty() {
+            Vec::new()
+        } else {
+            merge_children(kid_chains)
+        };
+        push_normalized(&mut chain, Seg::step(tree, v));
+        chains[v.index()] = chain;
+    }
+    let chain = std::mem::take(&mut chains[view.root().index()]);
+    out.clear();
+    let mut level = 0.0f64;
+    let mut peak = 0.0f64;
+    for seg in chain {
+        let hill = level + seg.h;
+        if hill > peak {
+            peak = hill;
+        }
+        level += seg.v;
+        out.extend(seg.nodes);
+    }
+    peak
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +401,74 @@ mod tests {
         // Pebble-game chain: 2 pebbles.
         let t = TaskTree::chain(9, 1.0, 1.0, 0.0);
         assert_eq!(liu_exact(&t).peak, 2.0);
+    }
+
+    /// The view traversal of every subtree must be the clone traversal
+    /// mapped back through the clone's id map, with the same peak —
+    /// including on pebble weights where every merge key ties and only
+    /// the positional tie-break decides the interleaving.
+    #[test]
+    fn view_traversal_matches_the_clone_path_on_every_subtree() {
+        let mut zoo = vec![
+            TaskTree::fork(7, 1.0, 1.0, 0.0),
+            TaskTree::chain(12, 2.0, 1.0, 0.5),
+            TaskTree::complete(2, 4, 1.0, 1.0, 0.0),
+            TaskTree::complete(3, 3, 1.0, 2.0, 0.5),
+        ];
+        let mut b = TreeBuilder::new();
+        let r = b.node(1.0, 2.0, 1.0);
+        let a = b.child(r, 1.0, 5.0, 0.0);
+        b.child(a, 1.0, 7.0, 2.0);
+        b.child(a, 1.0, 1.0, 0.0);
+        let c = b.child(r, 1.0, 3.0, 1.0);
+        b.child(c, 1.0, 4.0, 0.0);
+        b.pebble_leaves(c, 3);
+        zoo.push(b.build().unwrap());
+
+        let mut scratch = LiuScratch::new();
+        let mut stack = Vec::new();
+        let mut members = Vec::new();
+        let mut got = Vec::new();
+        for tree in &zoo {
+            for r in tree.ids() {
+                let (sub, map) = tree.subtree(r);
+                tree.subtree_nodes_into(r, &mut stack, &mut members);
+                let view = SubtreeView::new(tree, &members);
+
+                let clone_res = liu_exact(&sub);
+                let want: Vec<_> = clone_res.order.iter().map(|v| map[v.index()]).collect();
+                let peak = liu_exact_view(&view, &mut scratch, &mut got);
+                assert_eq!(got, want, "root {r:?}");
+                assert_eq!(peak, clone_res.peak, "root {r:?}");
+            }
+        }
+    }
+
+    /// A warm scratch drains back to empty after each call, so dragging it
+    /// through unrelated trees never perturbs a later traversal.
+    #[test]
+    fn liu_scratch_is_reusable_across_trees() {
+        let a = TaskTree::fork(5, 1.0, 1.0, 0.0);
+        let b = TaskTree::complete(2, 3, 1.0, 2.0, 0.5);
+        let mut scratch = LiuScratch::new();
+        let mut stack = Vec::new();
+        let mut members = Vec::new();
+        let mut first = Vec::new();
+        let mut again = Vec::new();
+        a.subtree_nodes_into(a.root(), &mut stack, &mut members);
+        liu_exact_view(&SubtreeView::new(&a, &members), &mut scratch, &mut first);
+        b.subtree_nodes_into(b.root(), &mut stack, &mut members);
+        liu_exact_view(&SubtreeView::new(&b, &members), &mut scratch, &mut again);
+        a.subtree_nodes_into(a.root(), &mut stack, &mut members);
+        liu_exact_view(&SubtreeView::new(&a, &members), &mut scratch, &mut again);
+        assert_eq!(first, again);
+        let (sub, map) = a.subtree(a.root());
+        let want: Vec<_> = liu_exact(&sub)
+            .order
+            .iter()
+            .map(|v| map[v.index()])
+            .collect();
+        assert_eq!(first, want);
     }
 
     #[test]

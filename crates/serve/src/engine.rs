@@ -149,7 +149,7 @@ type Batch = Vec<(u64, ServeRequest)>;
 /// routing always sends a given tree to the same worker.
 pub struct ServeEngine {
     txs: Vec<Sender<Batch>>,
-    results_rx: Receiver<Vec<ServeResult>>,
+    results_rx: Receiver<ServeResult>,
     pending: Vec<ServeRequest>,
     next_index: u64,
     counters: Arc<Counters>,
@@ -225,8 +225,24 @@ impl ServeEngine {
     /// that was in flight on it comes back as
     /// [`SchedError::WorkerLost`] records, one per lost request.
     pub fn drain(&mut self) -> Vec<ServeResult> {
+        let mut results = Vec::with_capacity(self.pending.len());
+        self.drain_with(|r| results.push(r));
+        results.sort_by_key(|r| r.index);
+        results
+    }
+
+    /// Streaming drain: dispatches every queued request and invokes `sink`
+    /// once per result **as each completes**, in completion order — not
+    /// submission order. [`ServeEngine::drain`] is exactly this plus a
+    /// stable sort by [`ServeResult::index`], so a consumer that re-sorts
+    /// the streamed results reproduces the batch output bit-for-bit.
+    ///
+    /// Every submitted request reaches the sink exactly once: a real
+    /// result, or a typed [`SchedError::WorkerLost`] record when the
+    /// serving worker died first (never both, even when a worker dies
+    /// with its last result still queued on the channel).
+    pub fn drain_with(&mut self, mut sink: impl FnMut(ServeResult)) {
         let first_index = self.next_index - self.pending.len() as u64;
-        let n = self.pending.len();
         let mut batches: Vec<(u64, Batch)> = Vec::new();
         let mut slot_of: HashMap<u64, usize> = HashMap::new();
         for (offset, request) in self.pending.drain(..).enumerate() {
@@ -244,7 +260,6 @@ impl ServeEngine {
             .batches
             .fetch_add(batches.len() as u64, Ordering::Relaxed);
 
-        let mut results: Vec<ServeResult> = Vec::with_capacity(n);
         // every in-flight request, by index: the worker it went to plus the
         // context needed to synthesize a typed record if that worker dies
         let mut in_flight: HashMap<u64, (usize, LostContext)> = HashMap::new();
@@ -285,11 +300,9 @@ impl ServeEngine {
                     self.counters
                         .requests
                         .fetch_add(contexts.len() as u64, Ordering::Relaxed);
-                    results.extend(
-                        contexts
-                            .into_iter()
-                            .map(|(index, ctx)| ctx.into_result(index, preferred)),
-                    );
+                    for (index, ctx) in contexts {
+                        sink(ctx.into_result(index, preferred));
+                    }
                 }
             }
         }
@@ -302,10 +315,13 @@ impl ServeEngine {
                 .results_rx
                 .recv_timeout(std::time::Duration::from_millis(50))
             {
-                Ok(batch) => {
-                    for r in batch {
-                        in_flight.remove(&r.index);
-                        results.push(r);
+                Ok(r) => {
+                    // only results still tracked pass through: a result
+                    // already synthesized as WorkerLost (its worker died
+                    // with the real result racing down the channel) must
+                    // not reach the sink a second time
+                    if in_flight.remove(&r.index).is_some() {
+                        sink(r);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
@@ -319,15 +335,13 @@ impl ServeEngine {
                         .fetch_add(lost.len() as u64, Ordering::Relaxed);
                     for index in lost {
                         let (worker, ctx) = in_flight.remove(&index).expect("just listed");
-                        results.push(ctx.into_result(index, worker));
+                        sink(ctx.into_result(index, worker));
                     }
                     // a disconnect means every worker is gone; the filter
                     // above drains in_flight as their handles finish
                 }
             }
         }
-        results.sort_by_key(|r| r.index);
-        results
     }
 
     /// Submits every request and drains, in one call.
@@ -395,39 +409,38 @@ impl Drop for ServeEngine {
 fn worker_loop(
     rx: &Receiver<Batch>,
     registry: &SchedulerRegistry,
-    results: &Sender<Vec<ServeResult>>,
+    results: &Sender<ServeResult>,
     counters: &Counters,
 ) {
     let mut scratch = Scratch::new();
     let mut seen = scratch.stats();
     while let Ok(batch) = rx.recv() {
-        // one result message per batch, not per request — same-tree
-        // batching amortizes the channel round-trip too
-        let mut out = Vec::with_capacity(batch.len());
+        // one result message per request, pushed the moment it completes,
+        // so a streaming drain observes results mid-batch; the counters
+        // are flushed *before* each send, keeping `stats()` exact the
+        // instant the final result of a drain is received
         for (index, request) in batch {
-            out.push(serve_one(registry, &request, &mut scratch, index));
-        }
-        let now = scratch.stats();
-        counters
-            .requests
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        counters.traversal_computes.fetch_add(
-            now.traversal_computes - seen.traversal_computes,
-            Ordering::Relaxed,
-        );
-        counters.traversal_reuses.fetch_add(
-            now.traversal_reuses - seen.traversal_reuses,
-            Ordering::Relaxed,
-        );
-        counters
-            .subtree_views
-            .fetch_add(now.subtree_views - seen.subtree_views, Ordering::Relaxed);
-        counters
-            .subtree_clones
-            .fetch_add(now.subtree_clones - seen.subtree_clones, Ordering::Relaxed);
-        seen = now;
-        if results.send(out).is_err() {
-            return; // engine dropped mid-drain
+            let result = serve_one(registry, &request, &mut scratch, index);
+            let now = scratch.stats();
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            counters.traversal_computes.fetch_add(
+                now.traversal_computes - seen.traversal_computes,
+                Ordering::Relaxed,
+            );
+            counters.traversal_reuses.fetch_add(
+                now.traversal_reuses - seen.traversal_reuses,
+                Ordering::Relaxed,
+            );
+            counters
+                .subtree_views
+                .fetch_add(now.subtree_views - seen.subtree_views, Ordering::Relaxed);
+            counters
+                .subtree_clones
+                .fetch_add(now.subtree_clones - seen.subtree_clones, Ordering::Relaxed);
+            seen = now;
+            if results.send(result).is_err() {
+                return; // engine dropped mid-drain
+            }
         }
     }
 }
@@ -793,6 +806,72 @@ mod tests {
             second[0].outcome,
             Err(SchedError::WorkerLost { .. })
         ));
+    }
+
+    #[test]
+    fn streaming_drain_resorted_matches_batch_drain() {
+        let reference: Vec<String> = {
+            let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 3);
+            engine
+                .run(mixed_stream())
+                .iter()
+                .map(crate::jsonl::result_json)
+                .collect()
+        };
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 3);
+        for r in mixed_stream() {
+            engine.submit(r);
+        }
+        let mut streamed: Vec<ServeResult> = Vec::new();
+        engine.drain_with(|r| streamed.push(r));
+        streamed.sort_by_key(|r| r.index);
+        let got: Vec<String> = streamed.iter().map(crate::jsonl::result_json).collect();
+        assert_eq!(got, reference);
+    }
+
+    /// Kill a worker mid-stream: the streaming drain still delivers every
+    /// submitted index exactly once — the doomed request as a typed
+    /// `WorkerLost` record, everything else as a real result.
+    #[test]
+    fn streaming_drain_delivers_every_index_exactly_once_past_a_dead_worker() {
+        let mut engine = ServeEngine::new(panicky_registry(5), 3);
+        let bad = Arc::new(TaskTree::fork(4, 1.0, 1.0, 0.0)); // 5 tasks: boom
+        let good = trees();
+        let mut submitted = Vec::new();
+        for round in 0..3u64 {
+            for (t, tree) in good.iter().enumerate() {
+                submitted.push(
+                    engine.submit(
+                        ServeRequest::new(Arc::clone(tree), "deepest", Platform::new(2))
+                            .with_id(format!("ok{round}.{t}")),
+                    ),
+                );
+            }
+            if round == 1 {
+                submitted.push(
+                    engine.submit(
+                        ServeRequest::new(Arc::clone(&bad), "Panicky", Platform::new(2))
+                            .with_id("doomed"),
+                    ),
+                );
+            }
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut lost = 0usize;
+        engine.drain_with(|r| {
+            *counts.entry(r.index).or_default() += 1;
+            if matches!(r.outcome, Err(SchedError::WorkerLost { .. })) {
+                lost += 1;
+                assert_eq!(r.id.as_deref(), Some("doomed"));
+            } else {
+                assert!(r.outcome.is_ok(), "{:?}", r.outcome);
+            }
+        });
+        assert_eq!(counts.len(), submitted.len(), "every index delivered");
+        for index in &submitted {
+            assert_eq!(counts.get(index), Some(&1), "index {index} exactly once");
+        }
+        assert_eq!(lost, 1, "exactly the doomed request is lost");
     }
 
     #[test]

@@ -776,6 +776,25 @@ pub fn error_json(id: Option<&str>, error: &str) -> String {
     rec.str("error", error).line()
 }
 
+/// The failure response for a request line the JSONL parser rejected.
+///
+/// There is no `id` to echo (the line did not parse), so the record
+/// carries the typed [`treesched_core::SchedError::MalformedRequest`]
+/// message plus the 1-based input line number as a machine-readable
+/// `line` field — a client can map the record back to the offending
+/// line without counting responses.
+pub fn malformed_json(line: usize, reason: &str) -> String {
+    let err = treesched_core::SchedError::MalformedRequest {
+        line,
+        reason: reason.to_string(),
+    };
+    JsonRecord::new()
+        .null("id")
+        .str("error", &err.to_string())
+        .int("line", line as u64)
+        .line()
+}
+
 /// Renders one [`crate::ServeResult`] as its response line.
 pub fn result_json(result: &crate::ServeResult) -> String {
     match &result.outcome {

@@ -51,6 +51,6 @@ pub mod jsonl;
 
 pub use engine::{ServeEngine, ServeOutcome, ServeRequest, ServeResult, ServeStats};
 pub use jsonl::{
-    error_json, platform_from_value, platform_json, result_json, JsonRecord, PlatformSpec,
-    RequestRecord, ScheduleRecord,
+    error_json, malformed_json, platform_from_value, platform_json, result_json, JsonRecord,
+    PlatformSpec, RequestRecord, ScheduleRecord,
 };

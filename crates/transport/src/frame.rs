@@ -1,0 +1,122 @@
+//! Submission-index framing of streamed response records.
+//!
+//! Daemon transports deliver responses in **completion order**, not
+//! submission order. So that a client can reconstruct the exact byte
+//! stream the batch `serve` front-end would have produced, every streamed
+//! record is prefixed — inside the JSON object itself — with the
+//! client-local submission index under the reserved key `"n"`:
+//!
+//! ```text
+//! batch record:    {"id":"a","scheduler":...}
+//! framed record:   {"n":3,"id":"a","scheduler":...}
+//! ```
+//!
+//! The frame is pure transport metadata: [`unframe`] strips it and returns
+//! the original record byte-for-byte, and [`reorder`] applies the full
+//! client-side recipe (stable sort by `n`, strip frames, concatenate) that
+//! reproduces the batch output.
+//!
+//! `"n"` can never collide with a payload key: every response record the
+//! serving protocol emits starts with its `"id"` field, and request records
+//! reject unknown keys, so `"n"` is free for the wire.
+
+/// Wraps one response record (one JSON object line, trailing newline
+/// included) with the client-local submission index `n`.
+///
+/// # Panics
+///
+/// Panics if `record` is not a JSON object line (does not start with `{`) —
+/// every record the serving protocol produces is.
+pub fn frame(n: u64, record: &str) -> String {
+    let rest = record
+        .strip_prefix('{')
+        .expect("response records are JSON object lines");
+    format!("{{\"n\":{n},{rest}")
+}
+
+/// Splits one framed line into the submission index and the original
+/// record (trailing newline restored if the input carried one).
+///
+/// Fails with a description when the line does not carry a leading
+/// `{"n":<digits>,` frame — a client talking to a non-daemon endpoint
+/// should surface that, not guess.
+pub fn unframe(line: &str) -> Result<(u64, String), String> {
+    let rest = line
+        .strip_prefix("{\"n\":")
+        .ok_or_else(|| format!("response line carries no `n` frame: {line}"))?;
+    let digits_end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .ok_or_else(|| format!("truncated `n` frame: {line}"))?;
+    let n: u64 = rest[..digits_end]
+        .parse()
+        .map_err(|_| format!("bad `n` frame: {line}"))?;
+    let body = rest[digits_end..]
+        .strip_prefix(',')
+        .ok_or_else(|| format!("malformed `n` frame: {line}"))?;
+    Ok((n, format!("{{{body}")))
+}
+
+/// Client-side reconstruction of the batch byte stream: unframes every
+/// line, stable-sorts by submission index, and concatenates the records.
+///
+/// Each input line is one framed record; lines missing a trailing newline
+/// get one, so the result is a well-formed JSONL document.
+pub fn reorder<'a>(lines: impl IntoIterator<Item = &'a str>) -> Result<String, String> {
+    let mut framed: Vec<(u64, String)> = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (n, mut record) = unframe(line)?;
+        if !record.ends_with('\n') {
+            record.push('\n');
+        }
+        framed.push((n, record));
+    }
+    framed.sort_by_key(|&(n, _)| n);
+    Ok(framed.into_iter().map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_unframe_round_trip() {
+        let record = "{\"id\":\"a\",\"makespan\":4.5}\n";
+        let framed = frame(7, record);
+        assert_eq!(framed, "{\"n\":7,\"id\":\"a\",\"makespan\":4.5}\n");
+        assert_eq!(unframe(&framed), Ok((7, record.to_string())));
+    }
+
+    #[test]
+    fn unframe_rejects_unframed_and_mangled_lines() {
+        for bad in [
+            "{\"id\":\"a\"}",      // no frame at all
+            "{\"n\":}",            // no digits
+            "{\"n\":12",           // truncated
+            "{\"n\":12\"id\":1}",  // missing comma
+            "{\"n\":9e9,\"x\":1}", // non-integer index
+        ] {
+            assert!(unframe(bad).is_err(), "{bad} must not unframe");
+        }
+    }
+
+    #[test]
+    fn reorder_restores_submission_order_and_strips_frames() {
+        let records = [
+            "{\"id\":\"r0\"}\n",
+            "{\"id\":\"r1\"}\n",
+            "{\"id\":\"r2\"}\n",
+        ];
+        // completion order 2, 0, 1; the middle line arrives without its
+        // newline, as a socket read would deliver it
+        let framed = [
+            frame(2, records[2]),
+            frame(0, records[0]).trim_end().to_string(),
+            frame(1, records[1]),
+        ];
+        let got = reorder(framed.iter().map(|s| s.as_str())).unwrap();
+        assert_eq!(got, records.concat());
+    }
+}

@@ -1,0 +1,199 @@
+//! The shared per-line request front-end: one JSONL request line in, one
+//! [`ServeRequest`] (or one finished error record) out.
+//!
+//! Both front-ends of the serving protocol — the one-shot batch `serve`
+//! command and the long-lived daemon transports — build their engine
+//! requests through this one type. That is what makes the acceptance
+//! guarantee *structural* rather than aspirational: a streamed response
+//! stream, stable-sorted by submission index, is byte-identical to the
+//! batch output because both paths parse, resolve, default, and render
+//! through exactly the same code.
+//!
+//! Resolution per line, in order:
+//!
+//! 1. [`RequestRecord::parse`] — a malformed line becomes a typed
+//!    [`malformed_json`] record carrying the 1-based line number;
+//! 2. tree lookup through the parser's cache (one load per distinct path
+//!    for the parser's lifetime — the daemon keeps one parser, so every
+//!    client shares the warm cache);
+//! 3. platform: the request's own spec, else the front-end default, else
+//!    an error record;
+//! 4. scheduler: the request's own name, else the platform-aware
+//!    [`default_scheduler`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use treesched_core::Platform;
+use treesched_model::{io as tree_io, TaskTree};
+use treesched_serve::{error_json, malformed_json, RequestRecord, ServeRequest};
+
+/// Default scheduler when a request names none, shared by `schedule`,
+/// batch `serve`, and the daemon: a platform with a shared cap gets the
+/// safe memory-capped scheduler, an uncapped equal-speed one the paper's
+/// `ParSubtrees`, and a mixed-speed one the speed-aware `ParDeepestFirst`
+/// (the other two defaults would refuse it with `UnsupportedPlatform`). A
+/// capped *mixed-speed* platform still resolves to `MemBoundedSeq` so the
+/// cap surfaces as a typed refusal instead of being silently ignored.
+pub fn default_scheduler(platform: &Platform) -> &'static str {
+    if platform.memory_cap().is_some() {
+        "MemBoundedSeq"
+    } else if platform.uniform_speed().is_some() {
+        "ParSubtrees"
+    } else {
+        "ParDeepestFirst"
+    }
+}
+
+/// Stateful request front-end: tree cache plus the front-end's default
+/// platform for requests that spell none of their own.
+pub struct RequestParser {
+    trees: HashMap<String, Arc<TaskTree>>,
+    default_platform: Option<Platform>,
+}
+
+impl RequestParser {
+    /// A parser with an empty tree cache.
+    pub fn new(default_platform: Option<Platform>) -> RequestParser {
+        RequestParser {
+            trees: HashMap::new(),
+            default_platform,
+        }
+    }
+
+    /// Builds the engine request for one non-empty request line.
+    ///
+    /// `lineno` is the 1-based input line number of the client's stream —
+    /// it only surfaces in the typed malformed-line record. The `Err`
+    /// variant is a **finished response record** (newline included), ready
+    /// to take the line's slot in the output stream.
+    pub fn build(&mut self, lineno: usize, line: &str) -> Result<ServeRequest, String> {
+        let record = match RequestRecord::parse(line) {
+            Ok(r) => r,
+            Err(e) => return Err(malformed_json(lineno, &e)),
+        };
+        let id = record.id.clone();
+        let tree = match self.trees.get(&record.tree) {
+            Some(t) => Arc::clone(t),
+            None => match load_tree(&record.tree) {
+                Ok(t) => {
+                    let t = Arc::new(t);
+                    self.trees.insert(record.tree.clone(), Arc::clone(&t));
+                    t
+                }
+                Err(e) => return Err(error_json(id.as_deref(), &e)),
+            },
+        };
+        let platform = match (&record.platform, &self.default_platform) {
+            (Some(spec), _) => spec.to_platform(),
+            (None, Some(default)) => default.clone(),
+            (None, None) => {
+                return Err(error_json(
+                    id.as_deref(),
+                    "request needs `processors` or a `platform` object",
+                ))
+            }
+        };
+        let scheduler = record
+            .scheduler
+            .clone()
+            .unwrap_or_else(|| default_scheduler(&platform).to_string());
+        let mut request = ServeRequest::new(tree, scheduler, platform);
+        if let Some(seq) = record.seq {
+            request = request.with_seq(seq);
+        }
+        if let Some(seed) = record.seed {
+            request = request.with_seed(seed);
+        }
+        if let Some(id) = id {
+            request = request.with_id(id);
+        }
+        Ok(request)
+    }
+
+    /// Number of distinct tree paths loaded so far.
+    pub fn cached_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Loads a tree file with the CLI's exact error wording — these strings
+/// are part of the response protocol (they travel in `error` fields and
+/// are pinned by the golden files).
+fn load_tree(path: &str) -> Result<TaskTree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    tree_io::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_file(name: &str, tree: &TaskTree) -> String {
+        let dir = std::env::temp_dir().join("treesched-transport-proto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, tree_io::to_text(tree)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn well_formed_lines_build_requests_and_cache_trees() {
+        let path = tree_file("fork.tree", &TaskTree::fork(4, 1.0, 1.0, 0.0));
+        let mut parser = RequestParser::new(None);
+        let line = format!("{{\"id\":\"a\",\"tree\":\"{path}\",\"processors\":2}}");
+        let req = parser.build(1, &line).expect("builds");
+        assert_eq!(req.id.as_deref(), Some("a"));
+        assert_eq!(req.scheduler, "ParSubtrees", "platform-aware default");
+        let req2 = parser.build(2, &line).expect("builds again");
+        assert!(
+            Arc::ptr_eq(&req.problem.tree, &req2.problem.tree),
+            "second hit shares the cached Arc"
+        );
+        assert_eq!(parser.cached_trees(), 1);
+    }
+
+    #[test]
+    fn error_lines_render_the_batch_records_byte_for_byte() {
+        let mut parser = RequestParser::new(None);
+        // malformed JSON: typed record with the 1-based line number
+        let err = parser.build(9, "not json").unwrap_err();
+        assert_eq!(err, malformed_json(9, "expected `{` at byte 0"));
+        // unreadable tree: the CLI's exact `cannot read` wording
+        let err = parser
+            .build(
+                1,
+                "{\"id\":\"x\",\"tree\":\"/nope/missing.tree\",\"processors\":2}",
+            )
+            .unwrap_err();
+        assert!(err.starts_with("{\"id\":\"x\",\"error\":\"cannot read /nope/missing.tree:"));
+        // platform-less request without a front-end default
+        let path = tree_file("chain.tree", &TaskTree::chain(3, 1.0, 1.0, 0.0));
+        let err = parser
+            .build(2, &format!("{{\"tree\":\"{path}\"}}"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            error_json(None, "request needs `processors` or a `platform` object")
+        );
+        // ...and with one, the default platform applies
+        let mut parser = RequestParser::new(Some(Platform::new(3)));
+        let req = parser
+            .build(2, &format!("{{\"tree\":\"{path}\"}}"))
+            .expect("defaulted");
+        assert_eq!(req.problem.platform, Platform::new(3));
+    }
+
+    #[test]
+    fn default_scheduler_is_platform_aware() {
+        assert_eq!(default_scheduler(&Platform::new(2)), "ParSubtrees");
+        assert_eq!(
+            default_scheduler(&Platform::new(2).with_memory_cap(8.0)),
+            "MemBoundedSeq"
+        );
+        let mixed = Platform::heterogeneous(vec![
+            treesched_core::ProcClass::new(1, 2.0),
+            treesched_core::ProcClass::new(1, 1.0),
+        ]);
+        assert_eq!(default_scheduler(&mixed), "ParDeepestFirst");
+    }
+}

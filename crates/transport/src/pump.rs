@@ -1,0 +1,75 @@
+//! The per-connection pump shared by every byte-stream transport: a
+//! reader loop (the calling thread) feeding the [`Submitter`], and a
+//! writer thread forwarding framed responses as they complete.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::ClientHandle;
+
+/// Streams one connection: reads JSONL request lines from `input` until
+/// EOF, submits each (blocking on the in-flight budget when `block`,
+/// shedding typed `Overloaded` records otherwise), and concurrently
+/// writes every framed response to `output` the moment it completes.
+///
+/// Returns once EOF has been read **and** every submitted line has been
+/// answered (or the peer hung up): the delivered-response count plus the
+/// output handle, so callers can close or inspect it.
+pub(crate) fn pump<W: Write + Send + 'static>(
+    client: ClientHandle,
+    input: impl BufRead,
+    output: W,
+    block: bool,
+) -> std::io::Result<(u64, W)> {
+    let (mut submitter, responses) = client.split();
+    // total submissions, unknown (u64::MAX) until the reader hits EOF;
+    // the writer exits when it has delivered exactly that many
+    let total = Arc::new(AtomicU64::new(u64::MAX));
+    let writer_total = Arc::clone(&total);
+    let writer = std::thread::spawn(move || {
+        let mut output = output;
+        let mut delivered = 0u64;
+        loop {
+            match responses.recv_timeout(Duration::from_millis(25)) {
+                Ok(line) => {
+                    let sent = output
+                        .write_all(line.as_bytes())
+                        .and_then(|()| output.flush());
+                    if sent.is_err() {
+                        break; // peer hung up; responses stop here
+                    }
+                    delivered += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if writer_total.load(Ordering::Acquire) == delivered {
+                break;
+            }
+        }
+        (delivered, output)
+    });
+    let mut lineno = 0usize;
+    for line in input.lines() {
+        lineno += 1; // physical line number, blank lines included
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // treat a broken read side as EOF
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if block {
+            submitter.submit_blocking(lineno, &line);
+        } else {
+            submitter.submit_or_overload(lineno, &line);
+        }
+    }
+    total.store(submitter.submitted(), Ordering::Release);
+    writer
+        .join()
+        .map_err(|_| std::io::Error::other("response writer panicked"))
+}

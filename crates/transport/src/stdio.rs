@@ -1,0 +1,56 @@
+//! The stdio transport: the daemon's JSONL protocol framed over a pipe.
+//!
+//! `treesched serve --stdio` runs this loop over stdin/stdout: request
+//! lines in, framed response records out in completion order. A parent
+//! process holding both pipe ends gets a warm-cache scheduling service
+//! for the cost of spawning one child.
+
+use std::io::{BufRead, Write};
+
+use crate::daemon::Daemon;
+use crate::pump::pump;
+
+/// Serves one request stream over a byte pipe: reads JSONL lines from
+/// `input` until EOF and writes each framed response to `output` as it
+/// completes. With `block`, a full in-flight budget blocks the read loop
+/// (backpressure through the pipe); without it, excess lines are answered
+/// immediately with typed `Overloaded` records.
+///
+/// Returns the number of responses delivered and the output handle.
+pub fn serve_stdio<W: Write + Send + 'static>(
+    daemon: &Daemon,
+    input: impl BufRead,
+    output: W,
+    block: bool,
+) -> std::io::Result<(u64, W)> {
+    pump(daemon.client(), input, output, block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::DaemonConfig;
+    use crate::testutil::{batch_reference, stream};
+    use treesched_core::SchedulerRegistry;
+
+    #[test]
+    fn stdio_stream_reordered_matches_the_batch_output() {
+        let input = stream("stdio");
+        let daemon = Daemon::new(SchedulerRegistry::standard(), DaemonConfig::default());
+        let (delivered, out) =
+            serve_stdio(&daemon, input.as_bytes(), Vec::new(), true).expect("pipe serves");
+        assert_eq!(delivered, input.lines().count() as u64);
+        let framed = String::from_utf8(out).unwrap();
+        let got = crate::frame::reorder(framed.lines()).expect("every line framed");
+        assert_eq!(got, batch_reference(&input));
+    }
+
+    #[test]
+    fn stdio_blank_lines_and_eof_terminate_cleanly() {
+        let daemon = Daemon::new(SchedulerRegistry::standard(), DaemonConfig::default());
+        let (delivered, out) =
+            serve_stdio(&daemon, "\n  \n".as_bytes(), Vec::new(), true).expect("serves");
+        assert_eq!(delivered, 0);
+        assert!(out.is_empty());
+    }
+}

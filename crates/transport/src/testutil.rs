@@ -1,0 +1,79 @@
+//! Shared fixtures for the transport tests: on-disk trees, a mixed
+//! request stream, and the batch reference every streamed transport must
+//! reproduce byte-for-byte.
+
+use treesched_core::SchedulerRegistry;
+use treesched_model::{io as tree_io, TaskTree};
+use treesched_serve::{result_json, ServeEngine};
+
+use crate::proto::RequestParser;
+
+/// Writes the fixture trees once per process and returns their paths.
+/// Writes go through a rename so a concurrent test process never reads a
+/// half-written file.
+pub(crate) fn fixtures() -> (String, String) {
+    static PATHS: std::sync::OnceLock<(String, String)> = std::sync::OnceLock::new();
+    PATHS
+        .get_or_init(|| {
+            let dir = std::env::temp_dir().join("treesched-transport-fixtures");
+            std::fs::create_dir_all(&dir).unwrap();
+            let place = |name: &str, tree: &TaskTree| {
+                let tmp = dir.join(format!("{name}.{}.tmp", std::process::id()));
+                let path = dir.join(name);
+                std::fs::write(&tmp, tree_io::to_text(tree)).unwrap();
+                std::fs::rename(&tmp, &path).unwrap();
+                path.to_string_lossy().into_owned()
+            };
+            (
+                place("fork.tree", &TaskTree::fork(6, 1.0, 1.0, 0.0)),
+                place("chain.tree", &TaskTree::chain(9, 2.0, 1.0, 0.5)),
+            )
+        })
+        .clone()
+}
+
+/// A 12-line mixed request stream over both fixture trees.
+pub(crate) fn stream(tag: &str) -> String {
+    let (fork, chain) = fixtures();
+    let mut input = String::new();
+    for round in 0..3 {
+        for (t, tree) in [&fork, &chain].iter().enumerate() {
+            for (s, scheduler) in ["deepest", "subtrees"].iter().enumerate() {
+                input.push_str(&format!(
+                    "{{\"id\":\"{tag}.{round}.{t}.{s}\",\"tree\":\"{tree}\",\
+                     \"processors\":{},\"scheduler\":\"{scheduler}\"}}\n",
+                    2 + round
+                ));
+            }
+        }
+    }
+    input
+}
+
+/// The batch reference: the same lines through one parser + engine
+/// directly, results rendered in submission order — exactly what the
+/// one-shot `serve` front-end produces.
+pub(crate) fn batch_reference(input: &str) -> String {
+    let mut parser = RequestParser::new(None);
+    let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 2);
+    let mut slots: Vec<Option<String>> = Vec::new();
+    let mut submitted = Vec::new();
+    for (k, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let slot = slots.len();
+        slots.push(None);
+        match parser.build(k + 1, line) {
+            Ok(request) => {
+                engine.submit(request);
+                submitted.push(slot);
+            }
+            Err(record) => slots[slot] = Some(record),
+        }
+    }
+    for (k, result) in engine.drain().iter().enumerate() {
+        slots[submitted[k]] = Some(result_json(result));
+    }
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}

@@ -15,6 +15,9 @@
 //! * [`viz`] — text rendering: Gantt charts, memory profiles, tree sketches.
 //! * [`serve`] — batched serving: sharded multi-worker request streams
 //!   over the scheduler registry, with a JSONL wire protocol.
+//! * [`transport`] — the long-lived serving daemon: streaming drains
+//!   with per-client ordered response channels, bounded in-flight
+//!   backpressure, and stdio-pipe / Unix-socket transports.
 //! * [`mod@bench`] — the experiment layer: declarative campaign specs
 //!   ([`bench::CampaignSpec`]) executed over the serving engine, plus the
 //!   paper's table/figure aggregations.
@@ -28,6 +31,7 @@ pub use treesched_model as model;
 pub use treesched_seq as seq;
 pub use treesched_serve as serve;
 pub use treesched_sparse as sparse;
+pub use treesched_transport as transport;
 pub use treesched_viz as viz;
 
 pub use treesched_model::{NodeId, TaskTree, TreeBuilder, TreeStats};
