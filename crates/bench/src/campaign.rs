@@ -69,13 +69,13 @@ impl PlatformPoint {
     }
 
     /// A point from a parsed [`PlatformSpec`], labeled with its flag
-    /// spelling (`SPEEDS[;DOMAINS]`).
+    /// spelling (`SPEEDS[;DOMAINS[;COMM]]`).
     pub fn from_spec(spec: PlatformSpec) -> PlatformPoint {
-        let (speeds, domains) = spec.flag_strings();
-        let label = match domains {
-            Some(domains) => format!("{speeds};{domains}"),
-            None => speeds,
-        };
+        let (speeds, domains, comm) = spec.flag_strings();
+        let mut label = speeds;
+        for part in [domains, comm].into_iter().flatten() {
+            label = format!("{label};{part}");
+        }
         PlatformPoint {
             label,
             spec,
@@ -101,11 +101,13 @@ impl PlatformPoint {
                 platform.with_memory_cap(factor * mem_ref)
             }
             Some(factor) => {
+                // rebuild with each domain's capacity rescaled; the comm
+                // matrix indexes the same domains, so it carries over
                 let mut scaled = Platform::heterogeneous(platform.classes().to_vec());
                 for d in platform.domains() {
                     scaled = scaled.with_domain(factor * mem_ref, &d.classes);
                 }
-                scaled
+                scaled.with_comm(platform.comm().to_vec())
             }
         }
     }
@@ -600,7 +602,8 @@ impl CampaignRunner {
 ///  "schedulers": ["deepest", "inner", "cp"],
 ///  "platforms": [{"processors": 4},
 ///                {"processors": 8, "cap_factor": 1.5},
-///                {"speeds": "2x2.0,2x1.0", "domains": "1e9@0,1e9@1"}],
+///                {"speeds": "2x2.0,2x1.0", "domains": "1e9@0,1e9@1",
+///                 "comm": "0-1:2"}],
 ///  "seq": ["best", "liu"], "seed": 7,
 ///  "metrics": ["speedup", "utilization"], "workers": 4,
 ///  "time_reps": 5}
@@ -608,7 +611,8 @@ impl CampaignRunner {
 ///
 /// `trees` entries are paths to `treesched tree v1` files, loaded here;
 /// platform entries use either the flat `processors` field or the
-/// `--speeds`/`--domains` flag syntax, plus an optional `cap_factor`.
+/// `--speeds`/`--domains`/`--comm` flag syntax, plus an optional
+/// `cap_factor`.
 pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
     use treesched_serve::jsonl::{parse_object, Value};
 
@@ -723,6 +727,7 @@ fn platform_point_from_value(
     let mut processors: Option<u32> = None;
     let mut speeds: Option<String> = None;
     let mut domains: Option<String> = None;
+    let mut comm: Option<String> = None;
     let mut cap_factor: Option<f64> = None;
     for (key, v) in fields {
         match (key.as_str(), v) {
@@ -733,6 +738,7 @@ fn platform_point_from_value(
             }
             ("speeds", Value::Str(s)) => speeds = Some(s.clone()),
             ("domains", Value::Str(s)) => domains = Some(s.clone()),
+            ("comm", Value::Str(s)) => comm = Some(s.clone()),
             ("cap_factor", Value::Num(raw)) => {
                 let f: f64 = raw
                     .parse()
@@ -744,7 +750,7 @@ fn platform_point_from_value(
                 }
                 cap_factor = Some(f);
             }
-            (k @ ("speeds" | "domains"), v) => {
+            (k @ ("speeds" | "domains" | "comm"), v) => {
                 return Err(format!("`{k}` must be a string, got {v:?}"))
             }
             (k @ ("processors" | "cap_factor"), v) => {
@@ -761,11 +767,15 @@ fn platform_point_from_value(
             if domains.is_some() {
                 return Err("`domains` needs `speeds` (flat points have one shared memory)".into());
             }
+            if comm.is_some() {
+                return Err("`comm` needs `speeds` and `domains` to index".into());
+            }
             PlatformPoint::flat(p)
         }
-        (None, Some(speeds)) => {
-            PlatformPoint::from_spec(PlatformSpec::parse_flags(&speeds, domains.as_deref())?)
-        }
+        (None, Some(speeds)) => PlatformPoint::from_spec(
+            PlatformSpec::parse_flags(&speeds, domains.as_deref(), comm.as_deref())
+                .map_err(|e| e.to_string())?,
+        ),
         (None, None) => return Err("a platform point needs `processors` or `speeds`".into()),
     };
     if let Some(factor) = cap_factor {
@@ -915,7 +925,9 @@ pub mod presets {
             spec.platforms.push(point);
         }
         if let Some(speeds) = &opts.speeds {
-            let parsed = PlatformSpec::parse_flags(speeds, opts.domains.as_deref())?;
+            let parsed =
+                PlatformSpec::parse_flags(speeds, opts.domains.as_deref(), opts.comm.as_deref())
+                    .map_err(|e| e.to_string())?;
             let mut point = PlatformPoint::from_spec(parsed);
             if let Some(factor) = opts.cap_factor {
                 point = point.with_cap_factor(factor);
@@ -923,6 +935,8 @@ pub mod presets {
             spec.platforms.push(point);
         } else if opts.domains.is_some() {
             return Err("--domains needs --speeds".into());
+        } else if opts.comm.is_some() {
+            return Err("--comm needs --speeds and --domains".into());
         }
         spec.schedulers = opts.schedulers.clone();
         spec.seqs = opts.seqs.clone();
@@ -1096,19 +1110,38 @@ mod tests {
     }
 
     #[test]
-    fn heterogeneous_points_serve_or_surface_typed_error_records() {
+    fn heterogeneous_points_serve_every_campaign_scheduler() {
         let mut runner = CampaignRunner::new(2);
         let spec = CampaignSpec::new("het")
             .with_tree("complete", TaskTree::complete(2, 5, 1.0, 2.0, 0.5))
             .with_platform(PlatformPoint::from_spec(
-                PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1")).unwrap(),
+                PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1"), None).unwrap(),
+            ));
+        let campaign = runner.run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 4);
+        for r in &campaign.records {
+            assert_eq!(r.point, "2x2,2x1;1000000000@0,1000000000@1");
+            let out = r.outcome.as_ref().expect("mixed speeds are served");
+            assert_eq!(out.domain_peaks.len(), 2, "{}", r.scheduler);
+        }
+        assert!(!campaign.to_jsonl().contains("\"error\""));
+    }
+
+    #[test]
+    fn comm_points_serve_list_schedulers_and_surface_typed_refusals() {
+        let mut runner = CampaignRunner::new(2);
+        let spec = CampaignSpec::new("comm")
+            .with_tree("complete", TaskTree::complete(2, 5, 1.0, 2.0, 0.5))
+            .with_platform(PlatformPoint::from_spec(
+                PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1"), Some("0-1:2"))
+                    .unwrap(),
             ));
         let campaign = runner.run(&spec).unwrap();
         assert_eq!(campaign.records.len(), 4);
         let mut served = 0;
         let mut refused = 0;
         for r in &campaign.records {
-            assert_eq!(r.point, "2x2,2x1;1000000000@0,1000000000@1");
+            assert_eq!(r.point, "2x2,2x1;1000000000@0,1000000000@1;0-1:2");
             match &r.outcome {
                 Ok(out) => {
                     served += 1;
@@ -1118,17 +1151,20 @@ mod tests {
                 Err(e) => panic!("{}: unexpected error {e}", r.scheduler),
             }
         }
-        assert!(served > 0 && refused > 0);
-        // error records carry the platform object and the typed message
+        // the list heuristics serve comm, the subtree pair refuses typed
+        assert_eq!((served, refused), (2, 2));
+        // error records carry the platform object (with its comm matrix)
+        // and the typed message
         let jsonl = campaign.to_jsonl();
         let error_line = jsonl
             .lines()
             .find(|l| l.contains("\"error\""))
-            .expect("subtree schedulers refuse mixed speeds");
+            .expect("subtree schedulers refuse comm costs");
         assert!(
             error_line.contains("\"platform\":{\"classes\""),
             "{error_line}"
         );
+        assert!(error_line.contains("\"comm\":[0,2,2,0]"), "{error_line}");
         assert!(error_line.contains("does not support"), "{error_line}");
     }
 

@@ -32,6 +32,9 @@ pub struct Options {
     /// Memory domains of the heterogeneous point as `CAP@CLASSES,..`
     /// (`--domains 1e9@0,1e9@1`); needs `--speeds`.
     pub domains: Option<String>,
+    /// Cross-domain transfer costs of the heterogeneous point as
+    /// `SRC-DST:COST,..` (`--comm 0-1:2`); needs `--domains`.
+    pub comm: Option<String>,
     /// Sequential sub-algorithm grid (`--seq best,liu`; default the
     /// paper's best postorder).
     pub seqs: Vec<SeqAlgo>,
@@ -51,6 +54,7 @@ impl Default for Options {
             workers: vec![1, 2, 4],
             speeds: None,
             domains: None,
+            comm: None,
             seqs: vec![SeqAlgo::default()],
             seed: None,
         }
@@ -131,6 +135,13 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                         .clone(),
                 );
             }
+            "--comm" => {
+                opts.comm = Some(
+                    it.next()
+                        .ok_or("--comm needs SRC-DST:COST entries")?
+                        .clone(),
+                );
+            }
             "--seq" => {
                 let v = it.next().ok_or("--seq needs best|naive|liu names")?;
                 let parsed: Option<Vec<SeqAlgo>> = v
@@ -171,6 +182,7 @@ pub const USAGE: &str = "options:
   --cap-factor F               memory cap = F x each tree's sequential peak
   --speeds C1xS1,...           extra heterogeneous platform point
   --domains CAP@CLASSES,...    memory domains of that point (needs --speeds)
+  --comm SRC-DST:COST,...      cross-domain transfer costs (needs --domains)
   --seq A1,A2,...              sequential sub-algorithm grid (default: best)
   --seed N                     seed for randomized schedulers
   --csv PATH                   dump raw scenario rows as CSV

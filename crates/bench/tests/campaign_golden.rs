@@ -183,7 +183,10 @@ fn pinned_spec() -> CampaignSpec {
         .with_procs(&[2, 4])
         .with_platform(PlatformPoint::flat(4).with_cap_factor(1.5))
         .with_platform(PlatformPoint::from_spec(
-            PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1")).unwrap(),
+            PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1"), None).unwrap(),
+        ))
+        .with_platform(PlatformPoint::from_spec(
+            PlatformSpec::parse_flags("2x2.0,2x1.0", Some("1e9@0,1e9@1"), Some("0-1:2")).unwrap(),
         ))
         .with_schedulers(vec![
             "subtrees".into(),

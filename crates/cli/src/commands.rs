@@ -24,11 +24,11 @@ commands:
   sketch FILE [--max N]             indented tree view
   seq FILE [--algo best|naive|liu]  sequential traversal peak + order head
   schedule FILE -p N [--scheduler S] [--seq A] [--cap X] [--seed N]
-           [--speeds L] [--domains D]
+           [--speeds L] [--domains D] [--comm C]
            [--json] [--gantt] [--profile] [--placements]
                                     parallel schedule + evaluation
   schedulers                        list registered schedulers + aliases
-  serve [FILE] [--workers N] [--speeds L] [--domains D]
+  serve [FILE] [--workers N] [--speeds L] [--domains D] [--comm C]
                                     batched serving: JSONL requests from
                                     FILE (default stdin), one JSON record
                                     per result, in input order
@@ -54,8 +54,12 @@ Heterogeneous platforms: --speeds lists processor classes as COUNTxSPEED
 entries (`--speeds 2x2.0,2x1.0` = 2 fast + 2 slow; a bare SPEED means one
 processor), replacing -p. --domains lists memory domains as CAP@CLASSES
 entries with `+`-joined class indices (`--domains 64@0,32@1`; a bare CAP
-covers every class). On serve, the flags set the default platform for
-requests that carry neither `processors` nor a `platform` object.
+covers every class). --comm lists symmetric cross-domain transfer costs
+as SRC-DST:COST entries (`--comm 0-1:2`; unlisted pairs cost 0), charged
+per unit of a task's output when parent and child run in different
+domains — only the list schedulers serve comm-bearing platforms. On
+serve, the flags set the default platform for requests that carry
+neither `processors` nor a `platform` object.
 Tree files use the `treesched tree v1` text format (id parent w f n).";
 
 const GEN_USAGE: &str = "treesched gen — tree generators
@@ -148,14 +152,16 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
 }
 
 /// Builds the platform of a command from its `-p`/`--speeds`/`--domains`/
-/// `--cap` flags and validates it (typed platform errors map to exit 1).
-/// The flag syntax itself is parsed by the shared
+/// `--comm`/`--cap` flags and validates it (typed platform errors map to
+/// exit 1). The flag syntax itself is parsed by the shared
 /// [`treesched_core::PlatformSpec::parse_flags`], which campaign specs use
-/// for the same spellings.
+/// for the same spellings; its typed [`treesched_core::PlatformParseError`]
+/// renders here as the usage message.
 fn build_platform(
     p: Option<u32>,
     speeds: Option<&str>,
     domains: Option<&str>,
+    comm: Option<&str>,
     cap: Option<f64>,
 ) -> Result<Platform, CliError> {
     if cap.is_some() && domains.is_some() {
@@ -163,9 +169,12 @@ fn build_platform(
             "--cap and --domains cannot be combined (--cap is the single shared domain)",
         ));
     }
+    let parse = |speeds: &str| {
+        PlatformSpec::parse_flags(speeds, domains, comm).map_err(|e| CliError::new(e.to_string()))
+    };
     let spec = match speeds {
         Some(s) => {
-            let spec = PlatformSpec::parse_flags(s, domains).map_err(CliError::new)?;
+            let spec = parse(s)?;
             let total = spec.processors();
             if p.is_some_and(|p| p != total) {
                 return Err(CliError::new(format!(
@@ -177,12 +186,13 @@ fn build_platform(
         }
         None => {
             let p = p.ok_or_else(|| CliError::new("need -p N (or --speeds)"))?;
-            match domains {
+            if domains.is_some() || comm.is_some() {
                 // flat processors with explicit domains: same parser, one
-                // implicit unit-speed class
-                Some(domains) => PlatformSpec::parse_flags(&format!("{p}x1"), Some(domains))
-                    .map_err(CliError::new)?,
-                None => PlatformSpec::flat(p),
+                // implicit unit-speed class (a comm matrix without domains
+                // is its typed out-of-range error)
+                parse(&format!("{p}x1"))?
+            } else {
+                PlatformSpec::flat(p)
             }
         }
     };
@@ -212,6 +222,19 @@ fn platform_text(platform: &Platform) -> String {
             })
             .collect();
         let _ = write!(s, "; domains {}", domains.join(", "));
+    }
+    if platform.has_comm() {
+        let d = platform.domains().len();
+        let mut costs: Vec<String> = Vec::new();
+        for src in 0..d {
+            for dst in src + 1..d {
+                let c = platform.comm_cost(src, dst);
+                if c != 0.0 {
+                    costs.push(format!("{src}-{dst}:{c}"));
+                }
+            }
+        }
+        let _ = write!(s, "; comm {}", costs.join(", "));
     }
     s
 }
@@ -430,6 +453,7 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     let mut cap: Option<f64> = None;
     let mut speeds: Option<&String> = None;
     let mut domains: Option<&String> = None;
+    let mut comm: Option<&String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -480,6 +504,12 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
                         .ok_or_else(|| CliError::new("--domains needs CAP@CLASSES entries"))?,
                 );
             }
+            "--comm" => {
+                comm = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--comm needs SRC-DST:COST entries"))?,
+                );
+            }
             other if path.is_none() && !other.starts_with('-') => path = Some(a),
             other => return Err(CliError::new(format!("unexpected argument `{other}`"))),
         }
@@ -506,6 +536,7 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
         p,
         speeds.map(|s| s.as_str()),
         domains.map(|s| s.as_str()),
+        comm.map(|s| s.as_str()),
         cap,
     )?;
     // scheduler selection: explicit name wins, otherwise a default that
@@ -667,13 +698,14 @@ fn cmd_schedulers(args: &[String]) -> Result<String, CliError> {
 /// batches inside the engine. Per-request failures (unreadable tree,
 /// protocol errors, typed scheduling errors) become `error` records in the
 /// output — one line per input request, in input order, always.
-/// `--speeds`/`--domains` set the default platform applied to requests
-/// that carry neither `processors` nor a `platform` object.
+/// `--speeds`/`--domains`/`--comm` set the default platform applied to
+/// requests that carry neither `processors` nor a `platform` object.
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut path: Option<&String> = None;
     let mut workers: usize = 1;
     let mut speeds: Option<&String> = None;
     let mut domains: Option<&String> = None;
+    let mut comm: Option<&String> = None;
     let mut listen: Option<&String> = None;
     let mut stdio = false;
     let mut accept: u64 = 0;
@@ -728,19 +760,29 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                         .ok_or_else(|| CliError::new("--domains needs CAP@CLASSES entries"))?,
                 );
             }
+            "--comm" => {
+                comm = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--comm needs SRC-DST:COST entries"))?,
+                );
+            }
             other if path.is_none() && (other == "-" || !other.starts_with('-')) => path = Some(a),
             other => return Err(CliError::new(format!("unexpected argument `{other}`"))),
         }
     }
-    let default_platform = match (speeds, domains) {
-        (None, None) => None,
-        (None, Some(_)) => {
+    let default_platform = match (speeds, domains, comm) {
+        (None, None, None) => None,
+        (None, Some(_), _) => {
             return Err(CliError::new("serve --domains needs --speeds"));
         }
-        (Some(_), _) => Some(build_platform(
+        (None, None, Some(_)) => {
+            return Err(CliError::new("serve --comm needs --speeds and --domains"));
+        }
+        (Some(_), _, _) => Some(build_platform(
             None,
             speeds.map(|s| s.as_str()),
             domains.map(|s| s.as_str()),
+            comm.map(|s| s.as_str()),
             None,
         )?),
     };
@@ -910,6 +952,7 @@ fn cmd_pareto(args: &[String]) -> Result<String, CliError> {
         speeds.map(|s| s.as_str()),
         domains.map(|s| s.as_str()),
         None,
+        None,
     )?;
     // the exact solver enumerates unit-time steps over one shared memory;
     // it accepts any platform spelling of that machine and refuses the rest
@@ -982,6 +1025,7 @@ Output is byte-identical for any --workers count.
     --procs P1,P2,...         flat platform points
     --speeds C1xS1,...        one extra heterogeneous point
     --domains CAP@CLASSES,... memory domains of that point
+    --comm SRC-DST:COST,...   cross-domain transfer costs of that point
     --cap-factor F            per-tree cap = F x sequential peak (all points)
     --schedulers N1,N2,...    registry names/aliases (default: campaign set)
     --seq A1,A2,...           sequential sub-algorithm grid (default: best)
@@ -996,7 +1040,8 @@ The spec file form of the same campaign:
   {\"name\":\"mixed\",\"corpus\":\"small\",\"trees\":[\"fork.tree\"],
    \"schedulers\":[\"deepest\",\"cp\"],
    \"platforms\":[{\"processors\":4},
-                {\"speeds\":\"2x2.0,2x1.0\",\"domains\":\"1e9@0,1e9@1\"}],
+                {\"speeds\":\"2x2.0,2x1.0\",\"domains\":\"1e9@0,1e9@1\",
+                 \"comm\":\"0-1:2\"}],
    \"seq\":[\"best\"],\"seed\":7,\"metrics\":[\"speedup\"],\"workers\":4,
    \"time_reps\":5}";
 
@@ -1018,6 +1063,7 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let mut cap_factor: Option<f64> = None;
     let mut speeds: Option<&String> = None;
     let mut domains: Option<&String> = None;
+    let mut comm: Option<&String> = None;
     let mut seqs: Option<Vec<SeqAlgo>> = None;
     let mut seed: Option<u64> = None;
     let mut metrics: Vec<treesched_core::Metric> = Vec::new();
@@ -1098,6 +1144,10 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             }
             "--domains" => {
                 domains = Some(value("CAP@CLASSES entries")?);
+                grid_flags = true;
+            }
+            "--comm" => {
+                comm = Some(value("SRC-DST:COST entries")?);
                 grid_flags = true;
             }
             "--seq" => {
@@ -1230,8 +1280,12 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             }
             match (speeds, domains) {
                 (Some(speeds), domains) => {
-                    let parsed = PlatformSpec::parse_flags(speeds, domains.map(|s| s.as_str()))
-                        .map_err(CliError::new)?;
+                    let parsed = PlatformSpec::parse_flags(
+                        speeds,
+                        domains.map(|s| s.as_str()),
+                        comm.map(|s| s.as_str()),
+                    )
+                    .map_err(|e| CliError::new(e.to_string()))?;
                     let mut point = PlatformPoint::from_spec(parsed);
                     if let Some(factor) = cap_factor {
                         point = point.with_cap_factor(factor);
@@ -1239,7 +1293,11 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
                     spec.platforms.push(point);
                 }
                 (None, Some(_)) => return Err(CliError::new("--domains needs --speeds")),
-                (None, None) => {}
+                (None, None) => {
+                    if comm.is_some() {
+                        return Err(CliError::new("--comm needs --speeds and --domains"));
+                    }
+                }
             }
             if spec.platforms.is_empty() {
                 return Err(CliError::new(
@@ -1671,10 +1729,11 @@ mod tests {
     }
 
     #[test]
-    fn schedule_subtrees_rejects_mixed_speeds_with_a_typed_error() {
+    fn schedule_subtrees_serves_mixed_speeds_and_refuses_comm() {
         let f = tmpfile("hetsub.tree");
         run(&["gen", "fork", "2", "2", "-o", &f]).unwrap();
-        let e = run(&[
+        // the subtree schedulers place whole subtrees speed-aware now
+        let out = run(&[
             "schedule",
             &f,
             "--speeds",
@@ -1682,11 +1741,10 @@ mod tests {
             "--scheduler",
             "subtrees",
         ])
-        .unwrap_err();
-        assert_eq!(e.code, 1, "{}", e.message);
-        assert!(e.message.contains("does not support"), "{}", e.message);
+        .unwrap();
+        assert!(out.contains("scheduler: ParSubtrees"), "{out}");
         // a scheduler-less mixed-speed run falls back to the speed-aware
-        // ParDeepestFirst instead of a refusing ParSubtrees
+        // ParDeepestFirst
         let out = run(&["schedule", &f, "--speeds", "1x2.0,1x1.0"]).unwrap();
         assert!(out.contains("scheduler: ParDeepestFirst"), "{out}");
         // equal non-unit speeds keep the ParSubtrees default: the whole
@@ -1694,6 +1752,87 @@ mod tests {
         let out = run(&["schedule", &f, "--speeds", "2x2.0"]).unwrap();
         assert!(out.contains("scheduler: ParSubtrees"), "{out}");
         assert!(out.contains("makespan: 2  (lower bound 1.25)"), "{out}");
+        // transfer costs are where the subtree schedulers still refuse
+        let e = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "1x1.0,1x1.0",
+            "--domains",
+            "1e9@0,1e9@1",
+            "--comm",
+            "0-1:2",
+            "--scheduler",
+            "subtrees",
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 1, "{}", e.message);
+        assert!(e.message.contains("does not support"), "{}", e.message);
+    }
+
+    #[test]
+    fn schedule_comm_flag_charges_cross_domain_transfers() {
+        let f = tmpfile("commflag.tree");
+        run(&["gen", "fork", "2", "1", "-o", &f]).unwrap();
+        let base = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "1x1.0,1x1.0",
+            "--domains",
+            "1e9@0,1e9@1",
+            "--scheduler",
+            "deepest",
+        ])
+        .unwrap();
+        let costly = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "1x1.0,1x1.0",
+            "--domains",
+            "1e9@0,1e9@1",
+            "--comm",
+            "0-1:3",
+            "--scheduler",
+            "deepest",
+        ])
+        .unwrap();
+        assert!(
+            costly.contains(
+                "platform: speeds 1x1 + 1x1; domains 1000000000@0, 1000000000@1; comm 0-1:3"
+            ),
+            "{costly}"
+        );
+        let ms = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("makespan:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
+        // one fork leaf must cross domains and pays output x cost = 1 x 3
+        assert_eq!(ms(&costly), ms(&base) + 3.0, "{base} vs {costly}");
+        // scheduler-less comm platforms default to the comm-aware list
+        // scheduler, and the JSON record round-trips the matrix
+        let json = run(&[
+            "schedule",
+            &f,
+            "--speeds",
+            "1x1.0,1x1.0",
+            "--domains",
+            "1e9@0,1e9@1",
+            "--comm",
+            "0-1:3",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"scheduler\":\"ParDeepestFirst\""), "{json}");
+        assert!(json.contains("\"comm\":[0,3,3,0]"), "{json}");
+        // --comm without domains is the parser's typed out-of-range error
+        let e = run(&["schedule", &f, "-p", "2", "--comm", "0-1:3"]).unwrap_err();
+        assert!(e.message.contains("only 0 domains"), "{}", e.message);
     }
 
     #[test]
@@ -1920,6 +2059,10 @@ mod tests {
             "deepest,subtrees",
             "--speeds",
             "1x2.0,1x1.0",
+            "--domains",
+            "1e9@0,1e9@1",
+            "--comm",
+            "0-1:2",
             "--metrics",
             "speedup",
             "--workers",
@@ -1937,14 +2080,30 @@ mod tests {
             lines[0]
         );
         assert!(lines[0].contains("\"speedup\":"), "{}", lines[0]);
-        // the mixed-speed point: ParSubtrees refuses as a typed record,
-        // the run still exits 0 with the other records intact
-        let het_err = lines
+        // the comm-bearing point: ParSubtrees refuses as a typed record,
+        // the run still exits 0 with the other records intact (deepest
+        // serves the same point)
+        let comm_err = lines
             .iter()
             .find(|l| l.contains("\"error\""))
-            .expect("subtrees refuses mixed speeds");
-        assert!(het_err.contains("does not support"), "{het_err}");
-        assert!(het_err.contains("\"point\":\"1x2,1x1\""), "{het_err}");
+            .expect("subtrees refuses transfer costs");
+        assert!(comm_err.contains("does not support"), "{comm_err}");
+        assert!(
+            comm_err.contains("\"point\":\"1x2,1x1;1000000000@0,1000000000@1;0-1:2\""),
+            "{comm_err}"
+        );
+        let comm_ok = lines
+            .iter()
+            .find(|l| l.contains("\"scheduler\":\"ParDeepestFirst\"") && l.contains(";0-1:2\""))
+            .expect("deepest serves the comm point");
+        assert!(!comm_ok.contains("\"error\""), "{comm_ok}");
+        // --comm without the rest of the heterogeneous point is a usage error
+        let e = run(&["campaign", "--trees", &f, "--procs", "2", "--comm", "0-1:2"]).unwrap_err();
+        assert!(
+            e.message.contains("--comm needs --speeds and --domains"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

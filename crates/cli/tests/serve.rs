@@ -7,7 +7,11 @@
 //! malformed-line error record last changed deliberately when it became a
 //! typed line-numbered record) and
 //! `tests/data/serve_hetero_responses.golden.jsonl` (heterogeneous
-//! `platform` objects). Regenerate deliberately with `UPDATE_GOLDEN=1
+//! `platform` objects) and
+//! `tests/data/serve_comm_responses.golden.jsonl` (communication-cost
+//! matrices: comm-aware list scheduling, the `comm` echo — present only
+//! when some cost is non-zero — and the typed refusals and matrix
+//! validation errors). Regenerate deliberately with `UPDATE_GOLDEN=1
 //! cargo test -p treesched_cli --test serve` after an intentional protocol
 //! change.
 
@@ -18,6 +22,8 @@ const REQUESTS_IN: &str = include_str!("data/serve_requests.jsonl.in");
 const RESPONSES_GOLDEN: &str = include_str!("data/serve_responses.golden.jsonl");
 const HETERO_REQUESTS_IN: &str = include_str!("data/serve_hetero_requests.jsonl.in");
 const HETERO_RESPONSES_GOLDEN: &str = include_str!("data/serve_hetero_responses.golden.jsonl");
+const COMM_REQUESTS_IN: &str = include_str!("data/serve_comm_requests.jsonl.in");
+const COMM_RESPONSES_GOLDEN: &str = include_str!("data/serve_comm_responses.golden.jsonl");
 
 fn run(args: &[&str]) -> String {
     let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -70,6 +76,16 @@ fn hetero_serve_responses_match_the_golden_schema() {
     );
 }
 
+#[test]
+fn comm_serve_responses_match_the_golden_schema() {
+    let got = serve_jsonl(&requests(COMM_REQUESTS_IN), 2, None);
+    check_golden(
+        &got,
+        COMM_RESPONSES_GOLDEN,
+        "serve_comm_responses.golden.jsonl",
+    );
+}
+
 /// The daemon acceptance pin: a streamed stdio session, stable-sorted by
 /// its frame index client-side, must reproduce the batch golden files
 /// byte-for-byte — for both the flat and the heterogeneous protocol.
@@ -82,6 +98,7 @@ fn daemon_stdio_stream_reordered_matches_the_batch_goldens() {
     for (template, golden) in [
         (REQUESTS_IN, RESPONSES_GOLDEN),
         (HETERO_REQUESTS_IN, HETERO_RESPONSES_GOLDEN),
+        (COMM_REQUESTS_IN, COMM_RESPONSES_GOLDEN),
     ] {
         let input = requests(template);
         let daemon = Daemon::new(
@@ -102,7 +119,7 @@ fn daemon_stdio_stream_reordered_matches_the_batch_goldens() {
 
 #[test]
 fn serve_output_is_byte_identical_across_worker_counts() {
-    for template in [REQUESTS_IN, HETERO_REQUESTS_IN] {
+    for template in [REQUESTS_IN, HETERO_REQUESTS_IN, COMM_REQUESTS_IN] {
         let input = requests(template);
         let reference = serve_jsonl(&input, 1, None);
         for workers in [2usize, 4] {
@@ -119,9 +136,15 @@ fn serve_output_is_byte_identical_across_worker_counts() {
 fn hetero_responses_round_trip_through_the_request_parser() {
     // every heterogeneous response line must itself be parseable JSON of
     // the shared record shape, and the echoed platform object must parse
-    // back into the platform that was requested
-    let input = requests(HETERO_REQUESTS_IN);
-    for (req_line, resp_line) in input.lines().zip(serve_jsonl(&input, 2, None).lines()) {
+    // back into the platform that was requested (comm matrices included —
+    // an all-zero matrix round-trips as the matrix-free platform it is)
+    for template in [HETERO_REQUESTS_IN, COMM_REQUESTS_IN] {
+        check_round_trip(&requests(template));
+    }
+}
+
+fn check_round_trip(input: &str) {
+    for (req_line, resp_line) in input.lines().zip(serve_jsonl(input, 2, None).lines()) {
         let resp = treesched_serve::jsonl::parse_object(resp_line)
             .unwrap_or_else(|e| panic!("unparseable response {resp_line}: {e}"));
         if resp.iter().any(|(k, _)| k == "error") {
@@ -136,7 +159,13 @@ fn hetero_responses_round_trip_through_the_request_parser() {
                     .find(|(k, _)| k == "platform")
                     .map(|(_, v)| treesched_serve::platform_from_value(v).unwrap())
                     .expect("non-flat response carries its platform");
-                assert_eq!(echoed, requested, "{resp_line}");
+                // canonical-form equality: an all-zero requested matrix
+                // echoes (and parses back) as the matrix-free platform
+                assert_eq!(
+                    treesched_serve::platform_json(&echoed),
+                    treesched_serve::platform_json(&requested),
+                    "{resp_line}"
+                );
                 // one domain peak per declared domain, each within the
                 // global peak
                 let n_domains = requested.domains().len();

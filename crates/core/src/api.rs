@@ -39,12 +39,15 @@
 
 use crate::baselines::splitmix_key;
 use crate::heuristics::{
-    par_subtrees_optim_with_order_scratch, par_subtrees_with_order_scratch, SeqAlgo, SubtreeScratch,
+    par_subtrees_hetero_with_order_scratch, par_subtrees_optim_hetero_with_order_scratch,
+    par_subtrees_optim_with_order_scratch, par_subtrees_with_order_scratch, SeqAlgo,
+    SubtreeScratch,
 };
 use crate::listsched::{
-    key_from_f64, list_schedule_reusing, list_schedule_with_speeds, Key3, ListScratch, Speeds,
+    key_from_f64, list_schedule_reusing, list_schedule_with_comm, list_schedule_with_speeds,
+    CommCosts, Key3, ListScratch, Speeds,
 };
-use crate::membound::{mem_bounded_schedule, Admission};
+use crate::membound::{mem_bounded_schedule, mem_bounded_schedule_domains, Admission, DomainCtx};
 use crate::schedule::{try_evaluate_on, EvalResult, Schedule, ScheduleError};
 use std::sync::Arc;
 use treesched_model::{NodeId, TaskTree};
@@ -97,6 +100,13 @@ pub enum SchedError {
         domain: usize,
         /// The out-of-range class index it referenced.
         class: usize,
+    },
+    /// The communication-cost matrix is malformed: wrong dimension,
+    /// asymmetric, a non-zero diagonal, non-finite or negative entries, or
+    /// declared without memory domains to index it.
+    InvalidCommMatrix {
+        /// What the validation rejected.
+        reason: &'static str,
     },
     /// A memory-capped scheduler was invoked without
     /// [`Platform::memory_cap`].
@@ -192,6 +202,9 @@ impl std::fmt::Display for SchedError {
                     f,
                     "memory domain {domain} references unknown processor class {class}"
                 )
+            }
+            SchedError::InvalidCommMatrix { reason } => {
+                write!(f, "invalid communication-cost matrix: {reason}")
             }
             SchedError::MissingMemoryCap { scheduler } => {
                 write!(f, "scheduler `{scheduler}` needs a platform memory cap")
@@ -309,44 +322,75 @@ pub struct Platform {
     classes: Vec<ProcClass>,
     /// Memory domains; empty means unbounded shared memory.
     domains: Vec<MemDomain>,
+    /// Flattened `domains × domains` cross-domain transfer-cost matrix,
+    /// row-major; empty means free communication everywhere. Entry
+    /// `[src * D + dst]` is the cost per unit of output data a child's
+    /// result pays to cross from `src`'s memory into `dst`'s.
+    comm: Vec<f64>,
 }
 
 impl Platform {
-    /// An uncapped platform with `processors` identical unit-speed
-    /// processors — the paper's machine.
-    pub fn new(processors: u32) -> Platform {
-        Platform {
-            classes: vec![ProcClass::new(processors, 1.0)],
-            domains: Vec::new(),
+    /// The fluent way to describe a platform: start empty, add
+    /// [`classes`](PlatformBuilder::classes) /
+    /// [`domain`](PlatformBuilder::domain) /
+    /// [`memory_cap`](PlatformBuilder::memory_cap) /
+    /// [`comm`](PlatformBuilder::comm), then
+    /// [`build`](PlatformBuilder::build) — which runs
+    /// [`Platform::validate`] so an ill-formed description is a typed
+    /// [`SchedError`] at construction time, not a surprise mid-campaign.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::default()
+    }
+
+    /// Decomposes the platform back into a builder, e.g. to attach domains
+    /// or communication costs to an existing machine description.
+    pub fn into_builder(self) -> PlatformBuilder {
+        PlatformBuilder {
+            classes: self.classes,
+            domains: self.domains,
+            shared_cap: None,
+            comm: self.comm,
+            comm_entries: Vec::new(),
         }
+    }
+
+    /// An uncapped platform with `processors` identical unit-speed
+    /// processors — the paper's machine. Thin wrapper over
+    /// [`Platform::builder`]; prefer `builder()` for anything richer.
+    pub fn new(processors: u32) -> Platform {
+        Platform::builder()
+            .classes([ProcClass::new(processors, 1.0)])
+            .assemble()
     }
 
     /// A platform from explicit processor classes, with unbounded memory.
+    /// Thin wrapper over [`Platform::builder`]; prefer `builder()` for
+    /// anything richer.
     pub fn heterogeneous(classes: Vec<ProcClass>) -> Platform {
-        Platform {
-            classes,
-            domains: Vec::new(),
-        }
+        Platform::builder().classes(classes).assemble()
     }
 
     /// Returns the platform with a single shared-memory cap over **all**
-    /// classes, replacing any previously declared domains.
-    pub fn with_memory_cap(mut self, cap: f64) -> Platform {
-        self.domains = vec![MemDomain {
-            capacity: cap,
-            classes: (0..self.classes.len()).collect(),
-        }];
-        self
+    /// classes, replacing any previously declared domains (and dropping any
+    /// communication-cost matrix, which was indexed by them). Thin wrapper
+    /// over [`Platform::builder`]; prefer `builder()` for anything richer.
+    pub fn with_memory_cap(self, cap: f64) -> Platform {
+        self.into_builder().memory_cap(cap).assemble()
     }
 
     /// Returns the platform with an additional memory domain of `capacity`
-    /// over the given class indices.
-    pub fn with_domain(mut self, capacity: f64, classes: &[usize]) -> Platform {
-        self.domains.push(MemDomain {
-            capacity,
-            classes: classes.to_vec(),
-        });
-        self
+    /// over the given class indices. Thin wrapper over
+    /// [`Platform::builder`]; prefer `builder()` for anything richer.
+    pub fn with_domain(self, capacity: f64, classes: &[usize]) -> Platform {
+        self.into_builder().domain(capacity, classes).assemble()
+    }
+
+    /// Returns the platform with the given flattened `domains × domains`
+    /// row-major transfer-cost matrix (see [`Platform::comm_cost`]). Thin
+    /// wrapper over [`Platform::builder`]; prefer `builder()` for anything
+    /// richer.
+    pub fn with_comm(self, comm: Vec<f64>) -> Platform {
+        self.into_builder().comm(comm).assemble()
     }
 
     /// Total processor count across all classes.
@@ -362,6 +406,31 @@ impl Platform {
     /// The memory domains (empty = unbounded shared memory).
     pub fn domains(&self) -> &[MemDomain] {
         &self.domains
+    }
+
+    /// The flattened `domains × domains` row-major transfer-cost matrix
+    /// (empty = free communication).
+    pub fn comm(&self) -> &[f64] {
+        &self.comm
+    }
+
+    /// Transfer cost per unit of output data crossing from memory domain
+    /// `src` into `dst`. Zero on the diagonal, zero when the platform
+    /// declares no matrix, and symmetric by construction
+    /// ([`Platform::validate`] enforces it).
+    pub fn comm_cost(&self, src: usize, dst: usize) -> f64 {
+        if src == dst || self.comm.is_empty() {
+            return 0.0;
+        }
+        self.comm[src * self.domains.len() + dst]
+    }
+
+    /// Whether any cross-domain transfer actually costs something. An
+    /// all-zero matrix is equivalent to no matrix at all, and every
+    /// scheduler treats the two spellings identically (pinned by the
+    /// registry property tests).
+    pub fn has_comm(&self) -> bool {
+        self.comm.iter().any(|&c| c != 0.0)
     }
 
     /// The single shared-memory cap, when the platform has exactly one
@@ -451,6 +520,21 @@ impl Platform {
         }
     }
 
+    /// Clears `out` and fills it with one memory-domain index per processor,
+    /// in processor index order; `u32::MAX` marks a processor whose class
+    /// belongs to no domain (unbounded memory, free communication).
+    pub fn fill_domains(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for (k, c) in self.classes.iter().enumerate() {
+            let domain = self
+                .domains
+                .iter()
+                .position(|d| d.classes.contains(&k))
+                .map_or(u32::MAX, |d| d as u32);
+            out.extend(std::iter::repeat(domain).take(c.count as usize));
+        }
+    }
+
     /// Checks the platform invariants: at least one processor, finite
     /// positive speeds, non-empty classes, and well-formed domains
     /// (finite non-negative capacity — "unbounded" is spelled by *absence*
@@ -493,26 +577,309 @@ impl Platform {
                 claimed[c] = true;
             }
         }
+        if !self.comm.is_empty() {
+            let d = self.domains.len();
+            if d == 0 {
+                return Err(SchedError::InvalidCommMatrix {
+                    reason: "a comm matrix needs memory domains to index it",
+                });
+            }
+            if self.comm.len() != d * d {
+                return Err(SchedError::InvalidCommMatrix {
+                    reason: "matrix length must be domains x domains",
+                });
+            }
+            for (i, &c) in self.comm.iter().enumerate() {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(SchedError::InvalidCommMatrix {
+                        reason: "costs must be finite and non-negative",
+                    });
+                }
+                if i / d == i % d && c != 0.0 {
+                    return Err(SchedError::InvalidCommMatrix {
+                        reason: "the diagonal (intra-domain cost) must be zero",
+                    });
+                }
+                if self.comm[(i % d) * d + i / d] != c {
+                    return Err(SchedError::InvalidCommMatrix {
+                        reason: "the matrix must be symmetric",
+                    });
+                }
+            }
+        }
         Ok(())
     }
 }
 
+/// Fluent, validating constructor for [`Platform`] — the one front door for
+/// every platform shape (flat, mixed-speed, NUMA domains, communication
+/// costs). [`PlatformBuilder::build`] runs [`Platform::validate`], so the
+/// result is either a well-formed machine or a typed [`SchedError`]:
+///
+/// ```
+/// use treesched_core::api::{Platform, ProcClass};
+///
+/// let platform = Platform::builder()
+///     .classes([ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+///     .domain(64.0, &[0])
+///     .domain(64.0, &[1])
+///     .comm_cost(0, 1, 0.5)
+///     .build()
+///     .unwrap();
+/// assert_eq!(platform.processors(), 4);
+/// assert_eq!(platform.comm_cost(1, 0), 0.5); // symmetric
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PlatformBuilder {
+    classes: Vec<ProcClass>,
+    domains: Vec<MemDomain>,
+    shared_cap: Option<f64>,
+    comm: Vec<f64>,
+    comm_entries: Vec<(usize, usize, f64)>,
+}
+
+impl PlatformBuilder {
+    /// Sets the processor classes, replacing any set before.
+    pub fn classes(mut self, classes: impl IntoIterator<Item = ProcClass>) -> PlatformBuilder {
+        self.classes = classes.into_iter().collect();
+        self
+    }
+
+    /// Appends one class of `count` processors at `speed`.
+    pub fn class(mut self, count: u32, speed: f64) -> PlatformBuilder {
+        self.classes.push(ProcClass::new(count, speed));
+        self
+    }
+
+    /// Appends a memory domain of `capacity` over the given class indices.
+    pub fn domain(mut self, capacity: f64, classes: &[usize]) -> PlatformBuilder {
+        self.domains.push(MemDomain {
+            capacity,
+            classes: classes.to_vec(),
+        });
+        self
+    }
+
+    /// One shared-memory cap over **all** classes — the paper's single
+    /// memory. Replaces any domains declared before or after (applied at
+    /// build time) and drops any comm matrix, which was indexed by them.
+    pub fn memory_cap(mut self, cap: f64) -> PlatformBuilder {
+        self.shared_cap = Some(cap);
+        self.comm = Vec::new();
+        self.comm_entries = Vec::new();
+        self
+    }
+
+    /// Sets the full flattened `domains × domains` row-major transfer-cost
+    /// matrix, replacing any matrix or per-pair entries set before.
+    pub fn comm(mut self, matrix: Vec<f64>) -> PlatformBuilder {
+        self.comm = matrix;
+        self.comm_entries = Vec::new();
+        self
+    }
+
+    /// Sets one symmetric transfer cost between domains `src` and `dst`
+    /// (applied at build time over a zero matrix, or over a matrix given to
+    /// [`PlatformBuilder::comm`]). Unset pairs stay at zero.
+    pub fn comm_cost(mut self, src: usize, dst: usize, cost: f64) -> PlatformBuilder {
+        self.comm_entries.push((src, dst, cost));
+        self
+    }
+
+    /// Assembles the platform without validating — the escape hatch behind
+    /// the legacy infallible constructors, which historically deferred
+    /// invariant checking to [`Request::validate`]. Per-pair
+    /// [`PlatformBuilder::comm_cost`] entries that reference a domain the
+    /// builder never declared are dropped here (build() reports them).
+    fn assemble(self) -> Platform {
+        let domains = match self.shared_cap {
+            Some(cap) => vec![MemDomain {
+                capacity: cap,
+                classes: (0..self.classes.len()).collect(),
+            }],
+            None => self.domains,
+        };
+        let d = domains.len();
+        let mut comm = self.comm;
+        if !self.comm_entries.is_empty() {
+            if comm.is_empty() {
+                comm = vec![0.0; d * d];
+            }
+            for &(src, dst, cost) in &self.comm_entries {
+                if src < d && dst < d && comm.len() == d * d {
+                    comm[src * d + dst] = cost;
+                    comm[dst * d + src] = cost;
+                }
+            }
+        }
+        Platform {
+            classes: self.classes,
+            domains,
+            comm,
+        }
+    }
+
+    /// Builds and validates the platform. A per-pair
+    /// [`PlatformBuilder::comm_cost`] referencing a domain index the builder
+    /// never declared is reported as [`SchedError::InvalidCommMatrix`].
+    pub fn build(self) -> Result<Platform, SchedError> {
+        let d = match self.shared_cap {
+            Some(_) => 1,
+            None => self.domains.len(),
+        };
+        if self.comm_entries.iter().any(|&(s, t, _)| s >= d || t >= d) {
+            return Err(SchedError::InvalidCommMatrix {
+                reason: "a comm entry references a domain that was never declared",
+            });
+        }
+        let platform = self.assemble();
+        platform.validate()?;
+        Ok(platform)
+    }
+}
+
+/// Which platform flag a [`PlatformParseError`] came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlatformFlag {
+    /// `--speeds COUNTxSPEED,..` (spec key `speeds`).
+    Speeds,
+    /// `--domains CAP@CLASSES,..` (spec key `domains`).
+    Domains,
+    /// `--comm SRC-DST:COST,..` (spec key `comm`).
+    Comm,
+}
+
+impl PlatformFlag {
+    /// The flag spelling used in error messages and usage strings.
+    pub fn flag(self) -> &'static str {
+        match self {
+            PlatformFlag::Speeds => "--speeds",
+            PlatformFlag::Domains => "--domains",
+            PlatformFlag::Comm => "--comm",
+        }
+    }
+}
+
+/// Typed parse error of [`PlatformSpec::parse_flags`]: which flag, which
+/// comma-separated entry (0-based), and what went wrong. `Display` renders
+/// the exact messages the CLI has always printed, so front-ends keep their
+/// wording by mapping through `to_string()`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlatformParseError {
+    /// A token inside one entry failed to parse as a number. `what` names
+    /// the token as the usage strings spell it (e.g. `--speeds count`).
+    BadToken {
+        /// The flag the token came from.
+        flag: PlatformFlag,
+        /// Human name of the token (`--speeds count`, `--domains capacity`, …).
+        what: &'static str,
+        /// The offending token text.
+        token: String,
+        /// 0-based index of the comma-separated entry holding the token.
+        entry: usize,
+    },
+    /// An entry was empty (a bare `,,` or an empty flag value).
+    EmptyEntry {
+        /// The flag with the empty entry.
+        flag: PlatformFlag,
+        /// 0-based index of the empty entry.
+        entry: usize,
+    },
+    /// A `--comm` entry was not in `SRC-DST:COST` shape.
+    MalformedCommEntry {
+        /// The offending entry text.
+        token: String,
+        /// 0-based index of the offending entry.
+        entry: usize,
+    },
+    /// A `--comm` entry referenced a domain index the `--domains` flag
+    /// never declared.
+    CommDomainOutOfRange {
+        /// The out-of-range domain index.
+        index: usize,
+        /// Number of domains the spec declares.
+        domains: usize,
+        /// 0-based index of the offending entry.
+        entry: usize,
+    },
+}
+
+impl std::fmt::Display for PlatformParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformParseError::BadToken { what, token, .. } => {
+                write!(f, "cannot parse {what} from `{token}`")
+            }
+            PlatformParseError::EmptyEntry { flag, .. } => match flag {
+                PlatformFlag::Speeds => {
+                    write!(f, "--speeds needs COUNTxSPEED entries (e.g. 2x2.0,2x1.0)")
+                }
+                PlatformFlag::Domains => {
+                    write!(f, "--domains needs CAP@CLASSES entries (e.g. 64@0,32@1+2)")
+                }
+                PlatformFlag::Comm => {
+                    write!(f, "--comm needs SRC-DST:COST entries (e.g. 0-1:2,0-2:0.5)")
+                }
+            },
+            PlatformParseError::MalformedCommEntry { token, .. } => {
+                write!(
+                    f,
+                    "cannot parse --comm entry from `{token}` (want SRC-DST:COST)"
+                )
+            }
+            PlatformParseError::CommDomainOutOfRange { index, domains, .. } => {
+                write!(
+                    f,
+                    "--comm references domain {index}, but only {domains} domains are declared"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformParseError {}
+
+impl PlatformParseError {
+    /// The flag the error came from.
+    pub fn flag(&self) -> PlatformFlag {
+        match self {
+            PlatformParseError::BadToken { flag, .. } => *flag,
+            PlatformParseError::EmptyEntry { flag, .. } => *flag,
+            PlatformParseError::MalformedCommEntry { .. } => PlatformFlag::Comm,
+            PlatformParseError::CommDomainOutOfRange { .. } => PlatformFlag::Comm,
+        }
+    }
+
+    /// 0-based index of the comma-separated entry the error points at.
+    pub fn entry(&self) -> usize {
+        match self {
+            PlatformParseError::BadToken { entry, .. } => *entry,
+            PlatformParseError::EmptyEntry { entry, .. } => *entry,
+            PlatformParseError::MalformedCommEntry { entry, .. } => *entry,
+            PlatformParseError::CommDomainOutOfRange { entry, .. } => *entry,
+        }
+    }
+}
+
 /// A declarative, not-yet-validated platform description — the parsed form
-/// of the CLI's `--speeds COUNTxSPEED,..` / `--domains CAP@CLASSES,..`
-/// flags, shared by every front-end that spells platforms as text (the
-/// `treesched` CLI, campaign specs, JSON spec files).
+/// of the CLI's `--speeds COUNTxSPEED,..` / `--domains CAP@CLASSES,..` /
+/// `--comm SRC-DST:COST,..` flags, shared by every front-end that spells
+/// platforms as text (the `treesched` CLI, campaign specs, JSON spec files).
 ///
 /// Unlike [`Platform`] itself, a spec is cheap to build from user input and
-/// keeps parse errors (`String`, pointing at the offending token) separate
-/// from the typed invariant errors of [`Platform::validate`]:
+/// keeps parse errors (typed [`PlatformParseError`], pointing at the
+/// offending flag, entry, and token) separate from the typed invariant
+/// errors of [`Platform::validate`]:
 ///
 /// ```
 /// use treesched_core::api::PlatformSpec;
 ///
-/// let spec = PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1")).unwrap();
+/// let spec =
+///     PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1"), Some("0-1:0.5")).unwrap();
 /// let platform = spec.to_platform();
 /// assert_eq!(platform.processors(), 4);
 /// assert_eq!(platform.domains().len(), 2);
+/// assert_eq!(platform.comm_cost(0, 1), 0.5);
 /// assert!(platform.validate().is_ok());
 /// ```
 #[derive(Clone, Debug, PartialEq)]
@@ -521,6 +888,9 @@ pub struct PlatformSpec {
     pub classes: Vec<ProcClass>,
     /// Memory domains as `(capacity, class indices)` pairs.
     pub domains: Vec<(f64, Vec<usize>)>,
+    /// Symmetric cross-domain transfer costs as `(src, dst, cost)` entries
+    /// (empty = free communication).
+    pub comm: Vec<(usize, usize, f64)>,
 }
 
 impl PlatformSpec {
@@ -530,6 +900,7 @@ impl PlatformSpec {
         PlatformSpec {
             classes: vec![ProcClass::new(processors, 1.0)],
             domains: Vec::new(),
+            comm: Vec::new(),
         }
     }
 
@@ -537,52 +908,122 @@ impl PlatformSpec {
     /// `COUNTxSPEED` processor classes (`2x2.0,2x1.0`; a bare `SPEED` means
     /// one processor), `domains` an optional comma-separated list of
     /// `CAP@CLASSES` memory domains with `+`-joined class indices
-    /// (`64@0,32@1+2`; a bare `CAP` covers every class). Parse errors only —
-    /// invariant checking (positive speeds, domain shapes) stays with
-    /// [`Platform::validate`] on the built platform.
-    pub fn parse_flags(speeds: &str, domains: Option<&str>) -> Result<PlatformSpec, String> {
-        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-            s.parse()
-                .map_err(|_| format!("cannot parse {what} from `{s}`"))
+    /// (`64@0,32@1+2`; a bare `CAP` covers every class), and `comm` an
+    /// optional comma-separated list of `SRC-DST:COST` symmetric
+    /// cross-domain transfer costs (`0-1:2,0-2:0.5`). Parse errors only —
+    /// invariant checking (positive speeds, domain shapes, matrix
+    /// well-formedness) stays with [`Platform::validate`] on the built
+    /// platform; the one semantic check done here is that `comm` entries
+    /// reference declared domains, because only the spec still knows the
+    /// flag that declared them.
+    pub fn parse_flags(
+        speeds: &str,
+        domains: Option<&str>,
+        comm: Option<&str>,
+    ) -> Result<PlatformSpec, PlatformParseError> {
+        fn num<T: std::str::FromStr>(
+            s: &str,
+            flag: PlatformFlag,
+            what: &'static str,
+            entry: usize,
+        ) -> Result<T, PlatformParseError> {
+            s.parse().map_err(|_| PlatformParseError::BadToken {
+                flag,
+                what,
+                token: s.to_string(),
+                entry,
+            })
         }
         let mut classes = Vec::new();
-        for entry in speeds.split(',') {
+        for (k, entry) in speeds.split(',').enumerate() {
             let entry = entry.trim();
             if entry.is_empty() {
-                return Err("--speeds needs COUNTxSPEED entries (e.g. 2x2.0,2x1.0)".into());
+                return Err(PlatformParseError::EmptyEntry {
+                    flag: PlatformFlag::Speeds,
+                    entry: k,
+                });
             }
             let class = match entry.split_once(['x', 'X']) {
                 Some((count, speed)) => ProcClass::new(
-                    num(count.trim(), "--speeds count")?,
-                    num(speed.trim(), "--speeds speed")?,
+                    num(count.trim(), PlatformFlag::Speeds, "--speeds count", k)?,
+                    num(speed.trim(), PlatformFlag::Speeds, "--speeds speed", k)?,
                 ),
-                None => ProcClass::new(1, num(entry, "--speeds speed")?),
+                None => ProcClass::new(1, num(entry, PlatformFlag::Speeds, "--speeds speed", k)?),
             };
             classes.push(class);
         }
         let mut parsed_domains = Vec::new();
         if let Some(domains) = domains {
-            for entry in domains.split(',') {
+            for (k, entry) in domains.split(',').enumerate() {
                 let entry = entry.trim();
                 if entry.is_empty() {
-                    return Err("--domains needs CAP@CLASSES entries (e.g. 64@0,32@1+2)".into());
+                    return Err(PlatformParseError::EmptyEntry {
+                        flag: PlatformFlag::Domains,
+                        entry: k,
+                    });
                 }
                 let (cap, ids) = match entry.split_once('@') {
                     Some((cap, list)) => {
                         let mut ids = Vec::new();
                         for id in list.split('+') {
-                            ids.push(num(id.trim(), "--domains class index")?);
+                            ids.push(num(
+                                id.trim(),
+                                PlatformFlag::Domains,
+                                "--domains class index",
+                                k,
+                            )?);
                         }
                         (cap.trim(), ids)
                     }
                     None => (entry, (0..classes.len()).collect()),
                 };
-                parsed_domains.push((num(cap, "--domains capacity")?, ids));
+                parsed_domains.push((
+                    num(cap, PlatformFlag::Domains, "--domains capacity", k)?,
+                    ids,
+                ));
+            }
+        }
+        let mut parsed_comm = Vec::new();
+        if let Some(comm) = comm {
+            for (k, entry) in comm.split(',').enumerate() {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    return Err(PlatformParseError::EmptyEntry {
+                        flag: PlatformFlag::Comm,
+                        entry: k,
+                    });
+                }
+                let (pair, cost) = entry.split_once(':').ok_or_else(|| {
+                    PlatformParseError::MalformedCommEntry {
+                        token: entry.to_string(),
+                        entry: k,
+                    }
+                })?;
+                let (src, dst) =
+                    pair.split_once('-')
+                        .ok_or_else(|| PlatformParseError::MalformedCommEntry {
+                            token: entry.to_string(),
+                            entry: k,
+                        })?;
+                let src: usize = num(src.trim(), PlatformFlag::Comm, "--comm domain index", k)?;
+                let dst: usize = num(dst.trim(), PlatformFlag::Comm, "--comm domain index", k)?;
+                let cost: f64 = num(cost.trim(), PlatformFlag::Comm, "--comm cost", k)?;
+                for index in [src, dst] {
+                    if index >= parsed_domains.len() {
+                        return Err(PlatformParseError::CommDomainOutOfRange {
+                            index,
+                            domains: parsed_domains.len(),
+                            entry: k,
+                        });
+                    }
+                }
+                parsed_comm.push((src, dst, cost));
             }
         }
         Ok(PlatformSpec {
             classes,
             domains: parsed_domains,
+            comm: parsed_comm,
         })
     }
 
@@ -593,17 +1034,20 @@ impl PlatformSpec {
 
     /// Builds the described [`Platform`] (not yet validated).
     pub fn to_platform(&self) -> Platform {
-        let mut platform = Platform::heterogeneous(self.classes.clone());
+        let mut builder = Platform::builder().classes(self.classes.iter().copied());
         for (capacity, classes) in &self.domains {
-            platform = platform.with_domain(*capacity, classes);
+            builder = builder.domain(*capacity, classes);
         }
-        platform
+        for &(src, dst, cost) in &self.comm {
+            builder = builder.comm_cost(src, dst, cost);
+        }
+        builder.assemble()
     }
 
-    /// Renders the spec back in the flag syntax (`speeds`, `domains`)
-    /// suitable for labels and `--speeds`/`--domains` round trips. The
-    /// domains string is `None` when the spec declares no domain.
-    pub fn flag_strings(&self) -> (String, Option<String>) {
+    /// Renders the spec back in the flag syntax (`speeds`, `domains`,
+    /// `comm`) suitable for labels and flag round trips. The domains and
+    /// comm strings are `None` when the spec declares none.
+    pub fn flag_strings(&self) -> (String, Option<String>, Option<String>) {
         let speeds = self
             .classes
             .iter()
@@ -624,7 +1068,18 @@ impl PlatformSpec {
                     .join(","),
             )
         };
-        (speeds, domains)
+        let comm = if self.comm.is_empty() {
+            None
+        } else {
+            Some(
+                self.comm
+                    .iter()
+                    .map(|(src, dst, cost)| format!("{src}-{dst}:{cost}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+        };
+        (speeds, domains, comm)
     }
 }
 
@@ -866,6 +1321,8 @@ pub struct Scratch {
     subtree_w: Vec<f64>,
     keys: Vec<Key3>,
     speeds: Vec<f64>,
+    proc_domains: Vec<u32>,
+    domain_caps: Vec<f64>,
     list: ListScratch,
     sub: SubtreeScratch,
     stats: ScratchStats,
@@ -1029,8 +1486,11 @@ impl Scratch {
     /// [`Scratch::run_list_schedule`] on an explicit [`Platform`]: on
     /// unit-speed platforms it is exactly the uniform path; on mixed-speed
     /// platforms each ready task goes to the free processor where it
-    /// finishes earliest. Custom [`Scheduler`] implementations built on
-    /// this helper handle heterogeneous requests for free.
+    /// finishes earliest; on platforms with cross-domain communication
+    /// costs each task's start is additionally delayed until its children's
+    /// outputs have crossed into its processor's domain. Custom
+    /// [`Scheduler`] implementations built on this helper handle
+    /// heterogeneous and comm-bearing requests for free.
     ///
     /// # Panics
     ///
@@ -1047,7 +1507,27 @@ impl Scratch {
         for i in tree.ids() {
             self.keys.push(key(i));
         }
-        if platform.is_unit_speed() {
+        if platform.has_comm() {
+            platform.fill_domains(&mut self.proc_domains);
+            let comm = CommCosts {
+                domain_of: &self.proc_domains,
+                cost: platform.comm(),
+                domains: platform.domains().len(),
+            };
+            if platform.is_unit_speed() {
+                let speeds = Speeds::Unit(platform.processors());
+                list_schedule_with_comm(tree, speeds, &self.keys, &comm, &mut self.list)
+            } else {
+                platform.fill_speeds(&mut self.speeds);
+                list_schedule_with_comm(
+                    tree,
+                    Speeds::Per(&self.speeds),
+                    &self.keys,
+                    &comm,
+                    &mut self.list,
+                )
+            }
+        } else if platform.is_unit_speed() {
             list_schedule_reusing(tree, platform.processors(), &self.keys, &mut self.list)
         } else {
             platform.fill_speeds(&mut self.speeds);
@@ -1159,38 +1639,68 @@ impl Scheduler for ParSubtreesSched {
     fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
         req.validate()?;
         let (tree, p) = (req.tree, req.platform.processors());
-        // ParSubtrees reasons in whole-subtree work units: a mixed-speed
-        // platform would need speed-aware splitting, so refuse rather than
-        // place subtrees as if processors were interchangeable. Equal-speed
-        // platforms are the unit-time schedule with every instant rescaled.
-        let Some(speed) = req.platform.uniform_speed() else {
+        // Subtree placement pins every cross-subtree edge at a fixed
+        // processor pairing chosen before any comm cost is known; only the
+        // list schedulers model transfer delays.
+        if req.platform.has_comm() {
             return Err(SchedError::UnsupportedPlatform {
                 scheduler: self.name(),
-                reason: "subtree placement requires equal-speed processors",
+                reason: "communication costs need a comm-aware list scheduler",
             });
-        };
+        }
         scratch.ensure_traversal(tree, req.seq);
         scratch.ensure_subtree_work(tree);
-        let mut schedule = if self.optim {
-            par_subtrees_optim_with_order_scratch(
-                tree,
-                p,
-                req.seq,
-                &scratch.order,
-                &scratch.subtree_w,
-                &mut scratch.sub,
-            )
-        } else {
-            par_subtrees_with_order_scratch(
-                tree,
-                p,
-                req.seq,
-                &scratch.order,
-                &scratch.subtree_w,
-                &mut scratch.sub,
-            )
+        // Equal-speed platforms stay on the historical unit-time route with
+        // every instant rescaled (bit-identical at speed 1.0); mixed speeds
+        // take the speed-aware placement (split still in work units,
+        // heaviest subtree to the fastest processor / finish-time LPT).
+        let schedule = match req.platform.uniform_speed() {
+            Some(speed) => {
+                let mut schedule = if self.optim {
+                    par_subtrees_optim_with_order_scratch(
+                        tree,
+                        p,
+                        req.seq,
+                        &scratch.order,
+                        &scratch.subtree_w,
+                        &mut scratch.sub,
+                    )
+                } else {
+                    par_subtrees_with_order_scratch(
+                        tree,
+                        p,
+                        req.seq,
+                        &scratch.order,
+                        &scratch.subtree_w,
+                        &mut scratch.sub,
+                    )
+                };
+                scale_times(&mut schedule, speed);
+                schedule
+            }
+            None => {
+                req.platform.fill_speeds(&mut scratch.speeds);
+                if self.optim {
+                    par_subtrees_optim_hetero_with_order_scratch(
+                        tree,
+                        &scratch.speeds,
+                        req.seq,
+                        &scratch.order,
+                        &scratch.subtree_w,
+                        &mut scratch.sub,
+                    )
+                } else {
+                    par_subtrees_hetero_with_order_scratch(
+                        tree,
+                        &scratch.speeds,
+                        req.seq,
+                        &scratch.order,
+                        &scratch.subtree_w,
+                        &mut scratch.sub,
+                    )
+                }
+            }
         };
-        scale_times(&mut schedule, speed);
         let diag = Diagnostics {
             seq_peak: Some(scratch.seq_peak),
             cap_violations: None,
@@ -1256,6 +1766,7 @@ impl Scheduler for ListSched {
             wdepths,
             keys,
             speeds,
+            proc_domains,
             list,
             seq_peak,
             ..
@@ -1292,8 +1803,23 @@ impl Scheduler for ListSched {
         }
         // list scheduling is natively heterogeneous: the priority queue is
         // speed-independent and each ready task takes the free processor
-        // where it finishes earliest
-        let schedule = if req.platform.is_unit_speed() {
+        // where it finishes earliest. With cross-domain communication costs
+        // the pick additionally delays the task's start until every child's
+        // output has crossed into the chosen processor's domain.
+        let schedule = if req.platform.has_comm() {
+            req.platform.fill_domains(proc_domains);
+            let comm = CommCosts {
+                domain_of: proc_domains,
+                cost: req.platform.comm(),
+                domains: req.platform.domains().len(),
+            };
+            if req.platform.is_unit_speed() {
+                list_schedule_with_comm(tree, Speeds::Unit(p), keys, &comm, list)
+            } else {
+                req.platform.fill_speeds(speeds);
+                list_schedule_with_comm(tree, Speeds::Per(speeds), keys, &comm, list)
+            }
+        } else if req.platform.is_unit_speed() {
             list_schedule_reusing(tree, p, keys, list)
         } else {
             req.platform.fill_speeds(speeds);
@@ -1335,32 +1861,50 @@ impl Scheduler for MemBoundedSched {
     fn schedule(&self, req: &Request<'_>, scratch: &mut Scratch) -> Result<Outcome, SchedError> {
         req.validate()?;
         let (tree, p) = (req.tree, req.platform.processors());
-        // the admission policies reason against ONE shared resident-memory
-        // counter in reference-traversal time; refuse shapes they would
-        // mis-model rather than silently ignore domains or speeds
-        let Some(speed) = req.platform.uniform_speed() else {
+        // admission reasons about where memory lives, not about when
+        // transfers complete; only the list schedulers model comm delays
+        if req.platform.has_comm() {
             return Err(SchedError::UnsupportedPlatform {
                 scheduler: self.name(),
-                reason: "admission order is defined in equal-speed time",
-            });
-        };
-        if !req.platform.has_shared_memory() {
-            return Err(SchedError::UnsupportedPlatform {
-                scheduler: self.name(),
-                reason: "enforces one shared memory cap, not per-domain capacities",
+                reason: "communication costs need a comm-aware list scheduler",
             });
         }
-        let cap = req
-            .platform
-            .memory_cap()
-            .ok_or(SchedError::MissingMemoryCap {
+        // a cap (shared or per-domain) is what this scheduler exists to
+        // enforce — a platform without any domain has nothing to enforce
+        if req.platform.domains().is_empty() {
+            return Err(SchedError::MissingMemoryCap {
                 scheduler: self.name(),
-            })?;
+            });
+        }
         scratch.ensure_traversal(tree, req.seq);
-        let mut run = mem_bounded_schedule(tree, p, &scratch.order, cap, self.policy);
-        // equal speeds rescale every instant uniformly, preserving the
-        // event order the admission decisions were made in
-        scale_times(&mut run.schedule, speed);
+        let uniform = req.platform.uniform_speed();
+        let run = match (uniform, req.platform.memory_cap()) {
+            // the paper's shape — one shared cap, equal speeds — stays on
+            // the historical shared-counter path, rescaled uniformly so the
+            // admission event order is preserved (bit-identical at 1.0)
+            (Some(speed), Some(cap)) => {
+                let mut run = mem_bounded_schedule(tree, p, &scratch.order, cap, self.policy);
+                scale_times(&mut run.schedule, speed);
+                run
+            }
+            // mixed speeds and/or genuinely split memory: per-domain
+            // resident counters enforce each domain's capacity during
+            // admission, per-processor speeds set the durations
+            _ => {
+                req.platform.fill_speeds(&mut scratch.speeds);
+                req.platform.fill_domains(&mut scratch.proc_domains);
+                scratch.domain_caps.clear();
+                scratch
+                    .domain_caps
+                    .extend(req.platform.domains().iter().map(|d| d.capacity));
+                let ctx = DomainCtx {
+                    speeds: &scratch.speeds,
+                    domain_of: &scratch.proc_domains,
+                    caps: &scratch.domain_caps,
+                };
+                mem_bounded_schedule_domains(tree, &ctx, &scratch.order, self.policy)
+            }
+        };
         let diag = Diagnostics {
             seq_peak: Some(scratch.seq_peak),
             cap_violations: Some(run.violations),
@@ -1563,7 +2107,7 @@ mod tests {
 
     #[test]
     fn platform_spec_parses_the_flag_syntax() {
-        let spec = PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1")).unwrap();
+        let spec = PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1"), None).unwrap();
         assert_eq!(
             spec.classes,
             vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)]
@@ -1574,7 +2118,7 @@ mod tests {
         assert!(platform.validate().is_ok());
         assert_eq!(platform.domains().len(), 2);
         // a bare SPEED is one processor; a bare CAP covers every class
-        let spec = PlatformSpec::parse_flags("2.0, 1x1.0", Some("100")).unwrap();
+        let spec = PlatformSpec::parse_flags("2.0, 1x1.0", Some("100"), None).unwrap();
         assert_eq!(
             spec.classes,
             vec![ProcClass::new(1, 2.0), ProcClass::new(1, 1.0)]
@@ -1582,62 +2126,86 @@ mod tests {
         assert_eq!(spec.domains, vec![(100.0, vec![0, 1])]);
         assert_eq!(spec.to_platform().memory_cap(), Some(100.0));
         // `+`-joined class lists
-        let spec = PlatformSpec::parse_flags("1x2.0,1x1.0,1x1.0", Some("8@1+2")).unwrap();
+        let spec = PlatformSpec::parse_flags("1x2.0,1x1.0,1x1.0", Some("8@1+2"), None).unwrap();
         assert_eq!(spec.domains, vec![(8.0, vec![1, 2])]);
+        // comm entries are symmetric in the built matrix
+        let spec =
+            PlatformSpec::parse_flags("2x2.0,2x1.0", Some("64@0,32@1"), Some("0-1:0.5")).unwrap();
+        assert_eq!(spec.comm, vec![(0, 1, 0.5)]);
+        let platform = spec.to_platform();
+        assert!(platform.validate().is_ok());
+        assert_eq!(platform.comm(), &[0.0, 0.5, 0.5, 0.0]);
+        assert_eq!(platform.comm_cost(1, 0), 0.5);
+        assert_eq!(platform.comm_cost(0, 0), 0.0);
         // flat spelling matches Platform::new bit for bit
         assert_eq!(PlatformSpec::flat(4).to_platform(), Platform::new(4));
     }
 
     #[test]
     fn platform_spec_flag_strings_round_trip() {
-        for (speeds, domains) in [
-            ("4x1", None),
-            ("2x2,2x1", None),
-            ("2x2,2x1", Some("64@0,32@1")),
-            ("1x1.5,3x0.5", Some("100@0+1")),
+        for (speeds, domains, comm) in [
+            ("4x1", None, None),
+            ("2x2,2x1", None, None),
+            ("2x2,2x1", Some("64@0,32@1"), None),
+            ("1x1.5,3x0.5", Some("100@0+1"), None),
+            ("2x2,2x1", Some("64@0,32@1"), Some("0-1:2")),
+            ("1x2,1x1,1x1", Some("8@0,8@1,8@2"), Some("0-1:0.5,1-2:2")),
         ] {
-            let spec = PlatformSpec::parse_flags(speeds, domains).unwrap();
-            let (s, d) = spec.flag_strings();
+            let spec = PlatformSpec::parse_flags(speeds, domains, comm).unwrap();
+            let (s, d, c) = spec.flag_strings();
             assert_eq!(s, speeds);
             assert_eq!(d.as_deref(), domains);
+            assert_eq!(c.as_deref(), comm);
             assert_eq!(
-                PlatformSpec::parse_flags(&s, d.as_deref()).unwrap(),
+                PlatformSpec::parse_flags(&s, d.as_deref(), c.as_deref()).unwrap(),
                 spec,
-                "{speeds} {domains:?}"
+                "{speeds} {domains:?} {comm:?}"
             );
         }
     }
 
     #[test]
     fn platform_spec_rejects_malformed_flags() {
-        for (speeds, domains, needle) in [
-            ("", None, "--speeds"),
-            ("2x", None, "--speeds speed"),
-            ("x2", None, "--speeds count"),
-            ("fast", None, "--speeds speed"),
-            ("2x1.0,", None, "--speeds"),
-            ("2.5x1.0", None, "--speeds count"),
-            ("2x1.0", Some(""), "--domains"),
-            ("2x1.0", Some("abc"), "--domains capacity"),
-            ("2x1.0", Some("5@"), "--domains class index"),
-            ("2x1.0", Some("5@a"), "--domains class index"),
-            ("2x1.0", Some("5@0+"), "--domains class index"),
-            ("2x1.0", Some("5@-1"), "--domains class index"),
-            ("2x1.0", Some("5@0,"), "--domains"),
+        for (speeds, domains, comm, needle) in [
+            ("", None, None, "--speeds"),
+            ("2x", None, None, "--speeds speed"),
+            ("x2", None, None, "--speeds count"),
+            ("fast", None, None, "--speeds speed"),
+            ("2x1.0,", None, None, "--speeds"),
+            ("2.5x1.0", None, None, "--speeds count"),
+            ("2x1.0", Some(""), None, "--domains"),
+            ("2x1.0", Some("abc"), None, "--domains capacity"),
+            ("2x1.0", Some("5@"), None, "--domains class index"),
+            ("2x1.0", Some("5@a"), None, "--domains class index"),
+            ("2x1.0", Some("5@0+"), None, "--domains class index"),
+            ("2x1.0", Some("5@-1"), None, "--domains class index"),
+            ("2x1.0", Some("5@0,"), None, "--domains"),
+            ("2x1,2x1", Some("8@0,8@1"), Some(""), "--comm"),
+            ("2x1,2x1", Some("8@0,8@1"), Some("0-1"), "want SRC-DST:COST"),
+            ("2x1,2x1", Some("8@0,8@1"), Some("0:1"), "want SRC-DST:COST"),
+            (
+                "2x1,2x1",
+                Some("8@0,8@1"),
+                Some("a-1:2"),
+                "--comm domain index",
+            ),
+            ("2x1,2x1", Some("8@0,8@1"), Some("0-1:x"), "--comm cost"),
+            ("2x1,2x1", Some("8@0,8@1"), Some("0-2:1"), "only 2 domains"),
+            ("2x1", None, Some("0-1:1"), "only 0 domains"),
         ] {
-            let err = PlatformSpec::parse_flags(speeds, domains).unwrap_err();
+            let err = PlatformSpec::parse_flags(speeds, domains, comm).unwrap_err();
             assert!(
-                err.contains(needle),
-                "{speeds} {domains:?}: expected `{needle}` in `{err}`"
+                err.to_string().contains(needle),
+                "{speeds} {domains:?} {comm:?}: expected `{needle}` in `{err}`"
             );
         }
         // structural junk parses but fails Platform::validate, typed
-        let spec = PlatformSpec::parse_flags("2x0", None).unwrap();
+        let spec = PlatformSpec::parse_flags("2x0", None, None).unwrap();
         assert!(matches!(
             spec.to_platform().validate(),
             Err(SchedError::InvalidSpeed { .. })
         ));
-        let spec = PlatformSpec::parse_flags("2x1.0", Some("5@7")).unwrap();
+        let spec = PlatformSpec::parse_flags("2x1.0", Some("5@7"), None).unwrap();
         assert!(matches!(
             spec.to_platform().validate(),
             Err(SchedError::UnknownClass { .. })
@@ -2143,30 +2711,85 @@ mod tests {
     }
 
     #[test]
-    fn subtree_and_capped_schedulers_reject_mixed_speeds() {
+    fn subtree_and_capped_schedulers_serve_mixed_speeds_and_domains() {
         let t = sample();
         let r = SchedulerRegistry::standard();
         let mut scratch = Scratch::new();
-        let req = Request::new(&t, fast_slow());
+        // subtree schedulers serve mixed speeds natively: the split stays in
+        // work units, placement is speed-aware
+        let mixed = fast_slow();
+        let flat_req = Request::new(&t, Platform::new(4));
+        for name in ["subtrees", "optim"] {
+            let out = r
+                .get(name)
+                .unwrap()
+                .schedule(&Request::new(&t, mixed.clone()), &mut scratch)
+                .unwrap();
+            assert!(out.schedule.validate_on(&t, &mixed).is_ok(), "{name}");
+            assert!(
+                out.eval.makespan >= crate::bounds::makespan_lower_bound_on(&t, &mixed) - 1e-9,
+                "{name}"
+            );
+            // faster processors can only help the makespan
+            let flat = r
+                .get(name)
+                .unwrap()
+                .schedule(&flat_req, &mut scratch)
+                .unwrap();
+            assert!(out.eval.makespan <= flat.eval.makespan + 1e-9, "{name}");
+        }
+        // capped schedulers on a domain-less platform still have nothing to
+        // enforce — typed, whatever the speeds
+        for name in ["membound", "mem-greedy"] {
+            assert!(
+                matches!(
+                    r.get(name)
+                        .unwrap()
+                        .schedule(&Request::new(&t, mixed.clone()), &mut scratch),
+                    Err(SchedError::MissingMemoryCap { .. })
+                ),
+                "{name}"
+            );
+        }
+        // split memory is now enforced per domain during admission: a
+        // generous per-domain cap completes with zero violations
+        let split = fast_slow().with_domain(1e9, &[0]).with_domain(1e9, &[1]);
+        for name in ["membound", "mem-greedy"] {
+            let out = r
+                .get(name)
+                .unwrap()
+                .schedule(&Request::new(&t, split.clone()), &mut scratch)
+                .unwrap();
+            assert!(out.schedule.validate_on(&t, &split).is_ok(), "{name}");
+            assert_eq!(out.diagnostics.cap_violations, Some(0), "{name}");
+            assert_eq!(out.metric(Metric::CapViolations), Some(0.0), "{name}");
+            assert_eq!(out.domain_peaks.len(), 2, "{name}");
+        }
+        // an infeasibly tight domain force-admits and counts violations
+        // instead of deadlocking
+        let tight = fast_slow().with_domain(0.5, &[0]).with_domain(0.5, &[1]);
+        let out = r
+            .get("membound")
+            .unwrap()
+            .schedule(&Request::new(&t, tight), &mut scratch)
+            .unwrap();
+        assert!(out.diagnostics.cap_violations.unwrap() > 0);
+        // comm-bearing platforms stay with the comm-aware list schedulers
+        let comm = fast_slow()
+            .with_domain(1e9, &[0])
+            .with_domain(1e9, &[1])
+            .with_comm(vec![0.0, 1.0, 1.0, 0.0]);
         for name in ["subtrees", "optim", "membound", "mem-greedy"] {
             assert!(
                 matches!(
-                    r.get(name).unwrap().schedule(&req, &mut scratch),
+                    r.get(name)
+                        .unwrap()
+                        .schedule(&Request::new(&t, comm.clone()), &mut scratch),
                     Err(SchedError::UnsupportedPlatform { .. })
                 ),
                 "{name}"
             );
         }
-        // membound also refuses split memory even at uniform speed
-        let split = Platform::heterogeneous(vec![ProcClass::new(2, 1.0), ProcClass::new(2, 1.0)])
-            .with_domain(50.0, &[0])
-            .with_domain(50.0, &[1]);
-        assert!(matches!(
-            r.get("membound")
-                .unwrap()
-                .schedule(&Request::new(&t, split), &mut scratch),
-            Err(SchedError::UnsupportedPlatform { .. })
-        ));
     }
 
     #[test]
@@ -2230,6 +2853,196 @@ mod tests {
             // which must equal the global peak
             assert_eq!(a.domain_peaks, vec![a.eval.peak_memory], "{}", e.name());
             assert_eq!(b.domain_peaks, Vec::<f64>::new(), "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn platform_builder_builds_what_the_wrappers_build() {
+        // the fluent spelling and the legacy constructors are the same values
+        assert_eq!(
+            Platform::builder().class(4, 1.0).build().unwrap(),
+            Platform::new(4)
+        );
+        assert_eq!(
+            Platform::builder()
+                .class(2, 2.0)
+                .class(2, 1.0)
+                .build()
+                .unwrap(),
+            fast_slow()
+        );
+        assert_eq!(
+            Platform::builder()
+                .class(3, 1.0)
+                .memory_cap(7.5)
+                .build()
+                .unwrap(),
+            Platform::new(3).with_memory_cap(7.5)
+        );
+        assert_eq!(
+            Platform::builder()
+                .classes([ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+                .domain(64.0, &[0])
+                .domain(32.0, &[1])
+                .build()
+                .unwrap(),
+            fast_slow().with_domain(64.0, &[0]).with_domain(32.0, &[1])
+        );
+        // comm_cost entries assemble a symmetric matrix over a zero default
+        let p = Platform::builder()
+            .class(1, 2.0)
+            .class(1, 1.0)
+            .class(1, 1.0)
+            .domain(8.0, &[0])
+            .domain(8.0, &[1])
+            .domain(8.0, &[2])
+            .comm_cost(0, 1, 0.5)
+            .comm_cost(1, 2, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.comm_cost(1, 0), 0.5);
+        assert_eq!(p.comm_cost(2, 1), 2.0);
+        assert_eq!(p.comm_cost(0, 2), 0.0);
+        assert!(p.has_comm());
+        // build() surfaces validation errors, typed
+        assert!(matches!(
+            Platform::builder().build(),
+            Err(SchedError::NoProcessors)
+        ));
+        assert!(matches!(
+            Platform::builder().class(2, -1.0).build(),
+            Err(SchedError::InvalidSpeed { .. })
+        ));
+        // a comm entry against an undeclared domain is caught before assembly
+        assert!(matches!(
+            Platform::builder()
+                .class(2, 1.0)
+                .domain(8.0, &[0])
+                .comm_cost(0, 1, 1.0)
+                .build(),
+            Err(SchedError::InvalidCommMatrix { .. })
+        ));
+        // memory_cap collapses domains to one shared cap and drops comm
+        let p = Platform::builder()
+            .class(1, 1.0)
+            .class(1, 1.0)
+            .domain(4.0, &[0])
+            .domain(4.0, &[1])
+            .comm_cost(0, 1, 1.0)
+            .memory_cap(100.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.memory_cap(), Some(100.0));
+        assert!(!p.has_comm());
+    }
+
+    #[test]
+    fn comm_matrix_validation_is_typed() {
+        let two = || {
+            Platform::heterogeneous(vec![ProcClass::new(1, 1.0), ProcClass::new(1, 1.0)])
+                .with_domain(8.0, &[0])
+                .with_domain(8.0, &[1])
+        };
+        for (comm, needle) in [
+            (vec![0.0, 1.0], "domains x domains"),
+            (vec![0.0, 1.0, 2.0, 0.0], "symmetric"),
+            (vec![1.0, 0.5, 0.5, 0.0], "diagonal"),
+            (vec![0.0, -1.0, -1.0, 0.0], "finite and non-negative"),
+            (
+                vec![0.0, f64::NAN, f64::NAN, 0.0],
+                "finite and non-negative",
+            ),
+        ] {
+            let err = two().with_comm(comm.clone()).validate().unwrap_err();
+            assert!(
+                matches!(err, SchedError::InvalidCommMatrix { .. })
+                    && err.to_string().contains(needle),
+                "{comm:?}: {err}"
+            );
+        }
+        // a matrix with no domains to index it
+        let err = Platform::new(2)
+            .with_comm(vec![0.0])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("memory domains"));
+        // well-formed matrices pass, and the all-zero matrix means "none"
+        assert!(two().with_comm(vec![0.0, 2.0, 2.0, 0.0]).validate().is_ok());
+        let zero = two().with_comm(vec![0.0; 4]);
+        assert!(zero.validate().is_ok());
+        assert!(!zero.has_comm());
+    }
+
+    #[test]
+    fn comm_costs_delay_cross_domain_dependencies() {
+        // two leaves feeding a root, one processor per domain: whichever
+        // processor runs the root, one leaf's output must cross domains
+        let t = TaskTree::fork(2, 1.0, 1.0, 0.0);
+        let free = Platform::heterogeneous(vec![ProcClass::new(1, 1.0), ProcClass::new(1, 1.0)])
+            .with_domain(1e9, &[0])
+            .with_domain(1e9, &[1]);
+        let costly = free.clone().with_comm(vec![0.0, 3.0, 3.0, 0.0]);
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        for name in ["inner", "deepest", "cp", "fifo"] {
+            let base = r
+                .get(name)
+                .unwrap()
+                .schedule(&Request::new(&t, free.clone()), &mut scratch)
+                .unwrap();
+            let out = r
+                .get(name)
+                .unwrap()
+                .schedule(&Request::new(&t, costly.clone()), &mut scratch)
+                .unwrap();
+            assert!(
+                out.schedule.validate_on(&t, &costly).is_ok(),
+                "{name}: comm-aware validation"
+            );
+            assert!(
+                (out.eval.makespan - (base.eval.makespan + 3.0)).abs() < 1e-9,
+                "{name}: root waits exactly output x cost ({} vs {})",
+                out.eval.makespan,
+                base.eval.makespan
+            );
+            // a schedule that ignores the transfer is rejected by the
+            // comm-aware validator even though plain precedence holds
+            let mut cheat = out.schedule.clone();
+            let root = cheat
+                .placements
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.finish.total_cmp(&b.1.finish))
+                .map(|(i, _)| i)
+                .unwrap();
+            cheat.placements[root].start -= 3.0;
+            cheat.placements[root].finish -= 3.0;
+            assert!(cheat.validate_on(&t, &free).is_ok(), "{name}");
+            assert!(cheat.validate_on(&t, &costly).is_err(), "{name}");
+        }
+    }
+
+    #[test]
+    fn zero_comm_matrix_schedules_byte_identically_to_no_matrix() {
+        let t = sample();
+        let r = SchedulerRegistry::standard();
+        let mut scratch = Scratch::new();
+        let bare = fast_slow().with_domain(64.0, &[0]).with_domain(32.0, &[1]);
+        let zeroed = bare.clone().with_comm(vec![0.0; 4]);
+        for e in r.iter() {
+            let a = e
+                .scheduler()
+                .schedule(&Request::new(&t, bare.clone()).with_seed(3), &mut scratch);
+            let b = e
+                .scheduler()
+                .schedule(&Request::new(&t, zeroed.clone()).with_seed(3), &mut scratch);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.schedule, b.schedule, "{}", e.name());
+                    assert_eq!(a.eval, b.eval, "{}", e.name());
+                }
+                (a, b) => assert_eq!(a.is_err(), b.is_err(), "{}", e.name()),
+            }
         }
     }
 

@@ -17,6 +17,13 @@ pub fn makespan_lower_bound(tree: &TaskTree, p: u32) -> f64 {
 /// and the critical path on the fastest processor `CP / max_i speed_i`
 /// (dependent work cannot be split). On unit-speed platforms this is
 /// exactly [`makespan_lower_bound`], bit for bit.
+///
+/// The bound already accounts for cross-domain communication costs
+/// ([`Platform::comm_cost`]) — by proving no transfer is *unavoidable*: a
+/// schedule may colocate the whole tree inside one memory domain (every
+/// domain holds at least one processor), paying zero transfer time, so no
+/// universal lower bound can charge for communication and the comm-free
+/// value remains the tightest simple bound on comm-bearing platforms.
 pub fn makespan_lower_bound_on(tree: &TaskTree, platform: &Platform) -> f64 {
     if platform.is_unit_speed() {
         return makespan_lower_bound(tree, platform.processors());

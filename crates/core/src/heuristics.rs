@@ -104,14 +104,16 @@ impl SubtreeScratch {
     }
 }
 
-/// Schedules the subtree rooted at `r` sequentially on `proc` from `start`,
-/// in the order chosen by `seq`, writing placements. Returns the finish
-/// time.
+/// Schedules the subtree rooted at `r` sequentially on `proc` (of the given
+/// `speed`) from `start`, in the order chosen by `seq`, writing placements.
+/// Returns the finish time. Unit-speed callers pass `speed = 1.0`, which is
+/// bit-identical to the historical unscaled arithmetic (`w / 1.0 == w`).
 #[allow(clippy::too_many_arguments)]
 fn schedule_subtree(
     tree: &TaskTree,
     r: NodeId,
     proc: u32,
+    speed: f64,
     start: f64,
     seq: SeqAlgo,
     placements: &mut [Placement],
@@ -139,7 +141,7 @@ fn schedule_subtree(
     let mut t = start;
     for &orig in order.iter() {
         member[orig.index()] = true;
-        let w = tree.work(orig);
+        let w = tree.work(orig) / speed;
         placements[orig.index()] = Placement {
             proc,
             start: t,
@@ -151,19 +153,22 @@ fn schedule_subtree(
 }
 
 /// Schedules `nodes` (an id-set filter over the tree, in the order induced
-/// by `global_order`) sequentially on `proc` from `start`.
+/// by `global_order`) sequentially on `proc` (of the given `speed`) from
+/// `start`.
+#[allow(clippy::too_many_arguments)]
 fn schedule_filtered(
     tree: &TaskTree,
     global_order: &[NodeId],
     exclude: &[bool],
     proc: u32,
+    speed: f64,
     start: f64,
     placements: &mut [Placement],
 ) -> f64 {
     let mut t = start;
     for &v in global_order {
         if !exclude[v.index()] {
-            let w = tree.work(v);
+            let w = tree.work(v) / speed;
             placements[v.index()] = Placement {
                 proc,
                 start: t,
@@ -236,6 +241,7 @@ pub fn par_subtrees_with_order_scratch(
             tree,
             r,
             k as u32,
+            1.0,
             0.0,
             seq,
             &mut placements,
@@ -246,7 +252,80 @@ pub fn par_subtrees_with_order_scratch(
     }
     // Sequential remainder (popped nodes + surplus subtrees), in the
     // memory-minimizing global order restricted to the remaining nodes.
-    schedule_filtered(tree, global, &in_parallel, 0, t0, &mut placements);
+    schedule_filtered(tree, global, &in_parallel, 0, 1.0, t0, &mut placements);
+    Schedule {
+        processors: p,
+        placements,
+    }
+}
+
+/// Processor indices of `speeds` in placement priority order:
+/// non-increasing speed, ties by index (stable). The fastest processor
+/// comes first — it receives the heaviest subtree and the sequential
+/// remainder.
+fn procs_by_speed(speeds: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..speeds.len() as u32).collect();
+    order.sort_by(|&a, &b| speeds[b as usize].total_cmp(&speeds[a as usize]));
+    order
+}
+
+/// [`par_subtrees_with_order_scratch`] for mixed-speed processors: the
+/// split (which reasons in platform-independent *work* units) is unchanged,
+/// but placement is speed-aware — parallel subtrees are matched
+/// heaviest-to-fastest (k-th heaviest subtree onto the k-th fastest
+/// processor, each task running for `w / speed`), and the sequential
+/// remainder runs on the fastest processor. On equal speeds this would
+/// reproduce the uniform path up to rounding; the [`crate::api`] layer
+/// keeps equal-speed platforms on the historical unit-time + rescale route
+/// for bit-identity and routes only genuinely mixed speeds here.
+pub fn par_subtrees_hetero_with_order_scratch(
+    tree: &TaskTree,
+    speeds: &[f64],
+    seq: SeqAlgo,
+    global: &[NodeId],
+    subtree_w: &[f64],
+    sub: &mut SubtreeScratch,
+) -> Schedule {
+    let p = speeds.len() as u32;
+    assert!(p > 0, "need at least one processor");
+    let split = split_subtrees_with_work(tree, p as usize, subtree_w);
+    let mut roots = split.parallel_roots.clone();
+    // heaviest subtree first, ties by id for determinism
+    roots.sort_by(|&a, &b| {
+        subtree_w[b.index()]
+            .total_cmp(&subtree_w[a.index()])
+            .then(a.cmp(&b))
+    });
+    let procs = procs_by_speed(speeds);
+    let n = tree.len();
+    let mut placements = blank_placements(n);
+    let mut in_parallel = vec![false; n];
+    let mut t0 = 0.0f64;
+    for (k, &r) in roots.iter().enumerate() {
+        let proc = procs[k];
+        let fin = schedule_subtree(
+            tree,
+            r,
+            proc,
+            speeds[proc as usize],
+            0.0,
+            seq,
+            &mut placements,
+            &mut in_parallel,
+            sub,
+        );
+        t0 = t0.max(fin);
+    }
+    let fastest = procs[0];
+    schedule_filtered(
+        tree,
+        global,
+        &in_parallel,
+        fastest,
+        speeds[fastest as usize],
+        t0,
+        &mut placements,
+    );
     Schedule {
         processors: p,
         placements,
@@ -318,6 +397,7 @@ pub fn par_subtrees_optim_with_order_scratch(
             tree,
             r,
             k as u32,
+            1.0,
             loads[k],
             seq,
             &mut placements,
@@ -326,7 +406,83 @@ pub fn par_subtrees_optim_with_order_scratch(
         );
     }
     let t0 = loads.iter().fold(0.0f64, |a, &b| a.max(b));
-    schedule_filtered(tree, global, &in_parallel, 0, t0, &mut placements);
+    schedule_filtered(tree, global, &in_parallel, 0, 1.0, t0, &mut placements);
+    Schedule {
+        processors: p,
+        placements,
+    }
+}
+
+/// [`par_subtrees_optim_with_order_scratch`] for mixed-speed processors:
+/// the LPT allocation becomes finish-time-aware — each subtree (heaviest
+/// first) goes to the processor where it would *finish* earliest
+/// (`load + W / speed`, ties to the faster then lower-indexed processor),
+/// which is exactly LPT on speed-scaled work. The popped nodes run on the
+/// fastest processor after every subtree is done. Equal-speed platforms
+/// stay on the historical unit-time + rescale route (see
+/// [`par_subtrees_hetero_with_order_scratch`]).
+pub fn par_subtrees_optim_hetero_with_order_scratch(
+    tree: &TaskTree,
+    speeds: &[f64],
+    seq: SeqAlgo,
+    global: &[NodeId],
+    subtree_w: &[f64],
+    sub: &mut SubtreeScratch,
+) -> Schedule {
+    let p = speeds.len() as u32;
+    assert!(p > 0, "need at least one processor");
+    let split = split_subtrees_with_work(tree, p as usize, subtree_w);
+    let mut roots: Vec<NodeId> = split
+        .parallel_roots
+        .iter()
+        .chain(&split.surplus_roots)
+        .copied()
+        .collect();
+    roots.sort_by(|&a, &b| {
+        subtree_w[b.index()]
+            .total_cmp(&subtree_w[a.index()])
+            .then(a.cmp(&b))
+    });
+    let procs = procs_by_speed(speeds);
+    let n = tree.len();
+    let mut placements = blank_placements(n);
+    let mut in_parallel = vec![false; n];
+    let mut loads = vec![0.0f64; p as usize];
+    for &r in &roots {
+        // earliest-finish pick over procs in fastest-first order, so ties
+        // go to the faster (then lower-indexed) processor
+        let proc = procs
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let fa = loads[a as usize] + subtree_w[r.index()] / speeds[a as usize];
+                let fb = loads[b as usize] + subtree_w[r.index()] / speeds[b as usize];
+                fa.total_cmp(&fb)
+            })
+            .expect("p > 0");
+        loads[proc as usize] = schedule_subtree(
+            tree,
+            r,
+            proc,
+            speeds[proc as usize],
+            loads[proc as usize],
+            seq,
+            &mut placements,
+            &mut in_parallel,
+            sub,
+        );
+    }
+    let t0 = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+    let fastest = procs[0];
+    schedule_filtered(
+        tree,
+        global,
+        &in_parallel,
+        fastest,
+        speeds[fastest as usize],
+        t0,
+        &mut placements,
+    );
     Schedule {
         processors: p,
         placements,
@@ -634,8 +790,17 @@ mod tests {
                     let n = tree.len();
                     let mut got = blank_placements(n);
                     let mut got_member = vec![false; n];
-                    let fin =
-                        schedule_subtree(tree, r, 3, 1.5, seq, &mut got, &mut got_member, &mut sub);
+                    let fin = schedule_subtree(
+                        tree,
+                        r,
+                        3,
+                        1.0,
+                        1.5,
+                        seq,
+                        &mut got,
+                        &mut got_member,
+                        &mut sub,
+                    );
 
                     // historical clone-based reference
                     let (clone, map) = tree.subtree(r);

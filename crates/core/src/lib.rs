@@ -80,8 +80,8 @@ pub mod split;
 
 pub use api::{
     tree_fingerprint, Diagnostics, MemDomain, Metric, Outcome, OwnedRequest, Platform,
-    PlatformSpec, ProcClass, Request, SchedError, Scheduler, SchedulerRegistry, Scratch,
-    ScratchStats,
+    PlatformBuilder, PlatformFlag, PlatformParseError, PlatformSpec, ProcClass, Request,
+    SchedError, Scheduler, SchedulerRegistry, Scratch, ScratchStats,
 };
 pub use baselines::{cp_list_schedule, fifo_list_schedule, random_list_schedule};
 pub use bounds::{
@@ -91,8 +91,10 @@ pub use heuristics::{
     par_deepest_first, par_inner_first, par_subtrees, par_subtrees_optim, Heuristic, SeqAlgo,
     SubtreeScratch,
 };
-pub use listsched::{list_schedule, Speeds};
-pub use membound::{mem_bounded_schedule, Admission, MemBoundedRun};
+pub use listsched::{list_schedule, list_schedule_with_comm, CommCosts, Speeds};
+pub use membound::{
+    mem_bounded_schedule, mem_bounded_schedule_domains, Admission, DomainCtx, MemBoundedRun,
+};
 pub use pareto::{dominated_by_frontier, pareto_frontier, ParetoPoint};
 pub use schedule::{
     evaluate, try_evaluate, try_evaluate_on, EvalResult, Placement, Schedule, ScheduleError,

@@ -388,6 +388,176 @@ pub fn list_schedule_with_speeds(
     }
 }
 
+/// Cross-domain communication context for [`list_schedule_with_comm`]:
+/// which memory domain each processor lives in, and what one unit of output
+/// data costs to move between two domains.
+#[derive(Clone, Copy, Debug)]
+pub struct CommCosts<'a> {
+    /// Memory-domain index of each processor, in processor index order
+    /// (`u32::MAX` = no domain: unbounded memory, free communication). See
+    /// [`crate::api::Platform::fill_domains`].
+    pub domain_of: &'a [u32],
+    /// Flattened `domains × domains` row-major transfer-cost matrix. See
+    /// [`crate::api::Platform::comm`].
+    pub cost: &'a [f64],
+    /// Number of domains (the matrix dimension).
+    pub domains: usize,
+}
+
+impl CommCosts<'_> {
+    /// Transfer cost per unit of data between the domains of two
+    /// processors; zero within a domain and for domain-less processors.
+    #[inline]
+    fn between(&self, src: u32, dst: u32) -> f64 {
+        if src == dst || src == u32::MAX || dst == u32::MAX {
+            0.0
+        } else {
+            self.cost[src as usize * self.domains + dst as usize]
+        }
+    }
+}
+
+/// The comm-aware twin of the [`run_list`] event loop, kept separate so the
+/// comm-free hot path stays byte-for-byte untouched. Same queue pairing —
+/// highest-priority ready task onto the fastest free processor — but the
+/// pick *reserves* the processor at event time `t` and the task then waits
+/// until every child's output has crossed into the processor's domain:
+/// `start = max(t, max_c finish_c + output_c × cost(dom_c, dom))`.
+#[allow(clippy::too_many_arguments)]
+fn run_list_comm<K: Ord + Copy>(
+    tree: &TaskTree,
+    speeds: Speeds<'_>,
+    keys: &[K],
+    comm: &CommCosts<'_>,
+    ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
+    events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+    remaining_children: &mut [usize],
+    free: &mut ClassPool,
+    proc_of: &mut [u32],
+) -> Vec<Placement> {
+    let n = tree.len();
+    let mut placements: Vec<Placement> = vec![
+        Placement {
+            proc: 0,
+            start: f64::NAN,
+            finish: f64::NAN
+        };
+        n
+    ];
+
+    let assign = |t: f64,
+                  ready: &mut BinaryHeap<Reverse<(K, NodeId)>>,
+                  events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>,
+                  free: &mut ClassPool,
+                  placements: &mut Vec<Placement>,
+                  proc_of: &mut [u32]| {
+        while !free.is_empty() && !ready.is_empty() {
+            let Reverse((_, node)) = ready.pop().expect("nonempty");
+            let proc = free.pop_best().expect("nonempty");
+            let dst = comm.domain_of[proc as usize];
+            let mut start = t;
+            for &c in tree.children(node) {
+                let delay =
+                    tree.output(c) * comm.between(comm.domain_of[proc_of[c.index()] as usize], dst);
+                if delay > 0.0 {
+                    let earliest = placements[c.index()].finish + delay;
+                    if earliest > start {
+                        start = earliest;
+                    }
+                }
+            }
+            let finish = start + tree.work(node) / speeds.speed(proc);
+            placements[node.index()] = Placement {
+                proc,
+                start,
+                finish,
+            };
+            proc_of[node.index()] = proc;
+            events.push(Reverse((TotalF64(finish), node)));
+        }
+    };
+
+    assign(0.0, ready, events, free, &mut placements, proc_of);
+
+    while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
+        while let Some(&Reverse((TotalF64(tf), node))) = events.peek() {
+            if tf > t {
+                break;
+            }
+            events.pop();
+            free.push(proc_of[node.index()]);
+            if let Some(parent) = tree.parent(node) {
+                let r = &mut remaining_children[parent.index()];
+                *r -= 1;
+                if *r == 0 {
+                    ready.push(Reverse((keys[parent.index()], parent)));
+                }
+            }
+        }
+        assign(t, ready, events, free, &mut placements, proc_of);
+    }
+
+    placements
+}
+
+/// As [`list_schedule_with_speeds`], but paying cross-domain transfer
+/// costs: a task whose children ran in other memory domains cannot start
+/// until each child's output has crossed over, so its start is delayed to
+/// `max(t, max_c finish_c + output_c × comm_cost)` while the processor it
+/// was assigned stays reserved. With an all-zero cost matrix every delay is
+/// zero and the result equals the comm-free path (the [`crate::api`] layer
+/// routes such platforms to the comm-free path outright, keeping it
+/// byte-identical by construction).
+///
+/// # Panics
+///
+/// Panics when the processor count is 0, `keys.len() != tree.len()`, or
+/// `comm.domain_of` does not have one entry per processor.
+pub fn list_schedule_with_comm(
+    tree: &TaskTree,
+    speeds: Speeds<'_>,
+    keys: &[Key3],
+    comm: &CommCosts<'_>,
+    scratch: &mut ListScratch,
+) -> Schedule {
+    let p = speeds.count();
+    assert!(p > 0, "need at least one processor");
+    assert_eq!(keys.len(), tree.len(), "one key per task");
+    assert_eq!(comm.domain_of.len(), p as usize, "one domain per processor");
+    let n = tree.len();
+
+    scratch.ready.clear();
+    scratch.events.clear();
+    scratch.remaining_children.clear();
+    scratch
+        .remaining_children
+        .extend((0..n).map(|i| tree.children(NodeId::from_index(i)).len()));
+    for i in tree.ids() {
+        if tree.is_leaf(i) {
+            scratch.ready.push(Reverse((keys[i.index()], i)));
+        }
+    }
+    scratch.free.rebuild(speeds);
+    scratch.proc_of.clear();
+    scratch.proc_of.resize(n, 0);
+
+    let placements = run_list_comm(
+        tree,
+        speeds,
+        keys,
+        comm,
+        &mut scratch.ready,
+        &mut scratch.events,
+        &mut scratch.remaining_children,
+        &mut scratch.free,
+        &mut scratch.proc_of,
+    );
+    Schedule {
+        processors: p,
+        placements,
+    }
+}
+
 /// Priority keys replaying a fixed sequential order: ready tasks are served
 /// in the order they appear in `order`. With `p = 1` this reproduces the
 /// sequential traversal exactly.

@@ -254,6 +254,284 @@ pub fn mem_bounded_schedule(
     }
 }
 
+/// Per-processor platform context for [`mem_bounded_schedule_domains`]: one
+/// speed and one memory-domain index per processor (`u32::MAX` = no domain:
+/// unbounded memory), plus one capacity per domain. Built from a
+/// [`crate::api::Platform`] via `fill_speeds` / `fill_domains`.
+#[derive(Clone, Copy, Debug)]
+pub struct DomainCtx<'a> {
+    /// Speed of each processor, in processor index order.
+    pub speeds: &'a [f64],
+    /// Memory-domain index of each processor (`u32::MAX` = none).
+    pub domain_of: &'a [u32],
+    /// Capacity of each domain, in domain index order.
+    pub caps: &'a [f64],
+}
+
+/// Domain- and speed-aware memory-capped scheduling: the generalization of
+/// [`mem_bounded_schedule`] that *enforces* each memory domain's capacity
+/// during admission (where [`crate::schedule::Schedule::domain_peaks`] only
+/// reports the peaks after the fact) and runs each task for `w / speed` on
+/// its processor.
+///
+/// Memory accounting mirrors `domain_peaks` exactly: a task's footprint
+/// (`exec + output`) is charged to the domain of the processor it starts
+/// on; at finish its `exec` is released there and each input file is
+/// released from the domain of the *child* that produced it. A task is
+/// admitted on the first idle processor — fastest first, ties by index —
+/// whose domain has room for the footprint (processors outside every
+/// domain are never memory-blocked). When nothing runs and no processor's
+/// domain has room, a task is force-admitted and counted in
+/// [`MemBoundedRun::violations`], exactly like the shared-cap policies.
+/// [`MemBoundedRun::peak_memory`] stays the *global* resident peak, equal
+/// to `schedule.peak_memory(tree)`.
+///
+/// The flat shared-memory equal-speed case stays on
+/// [`mem_bounded_schedule`] (bit-identical, pinned by goldens); this entry
+/// point serves mixed speeds and genuinely split memory.
+///
+/// # Panics
+///
+/// Panics when there are no processors, `order` is not a permutation of
+/// the nodes, or the context slices disagree on the processor count.
+pub fn mem_bounded_schedule_domains(
+    tree: &TaskTree,
+    ctx: &DomainCtx<'_>,
+    order: &[NodeId],
+    policy: Admission,
+) -> MemBoundedRun {
+    let p = ctx.speeds.len();
+    assert!(p > 0, "need at least one processor");
+    assert_eq!(ctx.domain_of.len(), p, "one domain per processor");
+    let n = tree.len();
+    assert_eq!(order.len(), n, "order must cover every task");
+    let eps: Vec<f64> = ctx.caps.iter().map(|c| 1e-9 * (1.0 + c.abs())).collect();
+    let pos = treesched_model::io::positions(n, order);
+
+    // admission scan order: fastest processor first, ties by index
+    let mut prio: Vec<u32> = (0..p as u32).collect();
+    prio.sort_by(|&a, &b| ctx.speeds[b as usize].total_cmp(&ctx.speeds[a as usize]));
+
+    let mut events: BinaryHeap<Reverse<(TotalF64, NodeId)>> = BinaryHeap::new();
+    let mut done = vec![false; n];
+    let mut remaining_children: Vec<usize> = (0..n)
+        .map(|i| tree.children(NodeId::from_index(i)).len())
+        .collect();
+    let mut ready: BinaryHeap<Reverse<(usize, NodeId)>> = BinaryHeap::new();
+    if policy == Admission::Greedy {
+        for i in tree.ids() {
+            if tree.is_leaf(i) {
+                ready.push(Reverse((pos[i.index()], i)));
+            }
+        }
+    }
+    let mut cursor = 0usize;
+
+    struct DomState {
+        resident: Vec<f64>,
+        total: f64,
+        peak: f64,
+        running: usize,
+        violations: usize,
+        idle: usize,
+        free: Vec<bool>,
+        proc_of: Vec<u32>,
+        placements: Vec<Placement>,
+    }
+
+    let mut st = DomState {
+        resident: vec![0.0; ctx.caps.len()],
+        total: 0.0,
+        peak: 0.0,
+        running: 0,
+        violations: 0,
+        idle: p,
+        free: vec![true; p],
+        proc_of: vec![0; n],
+        placements: vec![
+            Placement {
+                proc: 0,
+                start: f64::NAN,
+                finish: f64::NAN
+            };
+            n
+        ],
+    };
+
+    // first idle processor (fastest-first) whose domain fits `footprint`,
+    // or — with `force` — simply the first idle one
+    let pick = |st: &DomState, footprint: f64, force: bool| -> Option<u32> {
+        let mut fallback = None;
+        for &proc in &prio {
+            if !st.free[proc as usize] {
+                continue;
+            }
+            if fallback.is_none() {
+                fallback = Some(proc);
+            }
+            let d = ctx.domain_of[proc as usize];
+            if d == u32::MAX
+                || st.resident[d as usize] + footprint <= ctx.caps[d as usize] + eps[d as usize]
+            {
+                return Some(proc);
+            }
+        }
+        if force {
+            fallback
+        } else {
+            None
+        }
+    };
+
+    let start = |st: &mut DomState,
+                 node: NodeId,
+                 proc: u32,
+                 t: f64,
+                 events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+        let finish = t + tree.work(node) / ctx.speeds[proc as usize];
+        st.placements[node.index()] = Placement {
+            proc,
+            start: t,
+            finish,
+        };
+        st.proc_of[node.index()] = proc;
+        st.free[proc as usize] = false;
+        st.idle -= 1;
+        events.push(Reverse((TotalF64(finish), node)));
+        let footprint = tree.exec(node) + tree.output(node);
+        let d = ctx.domain_of[proc as usize];
+        if d != u32::MAX {
+            st.resident[d as usize] += footprint;
+        }
+        st.total += footprint;
+        st.peak = st.peak.max(st.total);
+        st.running += 1;
+    };
+
+    let admit_sequential =
+        |st: &mut DomState,
+         cursor: &mut usize,
+         t: f64,
+         done: &[bool],
+         events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+            while *cursor < n && st.idle > 0 {
+                let node = order[*cursor];
+                if !tree.children(node).iter().all(|c| done[c.index()]) {
+                    break;
+                }
+                let footprint = tree.exec(node) + tree.output(node);
+                if let Some(proc) = pick(st, footprint, false) {
+                    start(st, node, proc, t, events);
+                    *cursor += 1;
+                } else if st.running == 0 {
+                    // no domain has room and nothing runs: force through
+                    let proc = pick(st, footprint, true).expect("a processor is idle");
+                    start(st, node, proc, t, events);
+                    st.violations += 1;
+                    *cursor += 1;
+                } else {
+                    break;
+                }
+            }
+        };
+
+    let admit_greedy =
+        |st: &mut DomState,
+         ready: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
+         t: f64,
+         events: &mut BinaryHeap<Reverse<(TotalF64, NodeId)>>| {
+            let mut skipped: Vec<(usize, NodeId)> = Vec::new();
+            while st.idle > 0 {
+                let Some(Reverse((k, node))) = ready.pop() else {
+                    break;
+                };
+                let footprint = tree.exec(node) + tree.output(node);
+                if let Some(proc) = pick(st, footprint, false) {
+                    start(st, node, proc, t, events);
+                } else {
+                    skipped.push((k, node));
+                }
+            }
+            if st.running == 0 && st.idle > 0 && !skipped.is_empty() {
+                let (j, _) = skipped
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (_, a)), (_, (_, b))| {
+                        (tree.exec(*a) + tree.output(*a))
+                            .total_cmp(&(tree.exec(*b) + tree.output(*b)))
+                    })
+                    .expect("nonempty");
+                let (_, node) = skipped.swap_remove(j);
+                let footprint = tree.exec(node) + tree.output(node);
+                let proc = pick(&*st, footprint, true).expect("a processor is idle");
+                start(st, node, proc, t, events);
+                st.violations += 1;
+            }
+            for e in skipped {
+                ready.push(Reverse(e));
+            }
+        };
+
+    match policy {
+        Admission::SequentialOrder => {
+            admit_sequential(&mut st, &mut cursor, 0.0, &done, &mut events)
+        }
+        Admission::Greedy => admit_greedy(&mut st, &mut ready, 0.0, &mut events),
+    }
+
+    while let Some(&Reverse((TotalF64(t), _))) = events.peek() {
+        while let Some(&Reverse((TotalF64(tf), node))) = events.peek() {
+            if tf > t {
+                break;
+            }
+            events.pop();
+            let proc = st.proc_of[node.index()];
+            st.free[proc as usize] = true;
+            st.idle += 1;
+            st.running -= 1;
+            // release the program from this task's domain and each input
+            // file from the domain of the child that produced it
+            let d = ctx.domain_of[proc as usize];
+            if d != u32::MAX {
+                st.resident[d as usize] -= tree.exec(node);
+            }
+            for &c in tree.children(node) {
+                let cd = ctx.domain_of[st.proc_of[c.index()] as usize];
+                if cd != u32::MAX {
+                    st.resident[cd as usize] -= tree.output(c);
+                }
+            }
+            st.total -= tree.exec(node) + tree.input_size(node);
+            done[node.index()] = true;
+            if policy == Admission::Greedy {
+                if let Some(parent) = tree.parent(node) {
+                    let r = &mut remaining_children[parent.index()];
+                    *r -= 1;
+                    if *r == 0 {
+                        ready.push(Reverse((pos[parent.index()], parent)));
+                    }
+                }
+            }
+        }
+        match policy {
+            Admission::SequentialOrder => {
+                admit_sequential(&mut st, &mut cursor, t, &done, &mut events)
+            }
+            Admission::Greedy => admit_greedy(&mut st, &mut ready, t, &mut events),
+        }
+    }
+
+    debug_assert!(policy == Admission::Greedy || cursor == n);
+    MemBoundedRun {
+        schedule: Schedule {
+            processors: p as u32,
+            placements: st.placements,
+        },
+        violations: st.violations,
+        peak_memory: st.peak,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

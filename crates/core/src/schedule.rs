@@ -98,6 +98,12 @@ impl Schedule {
     /// The platform must describe the `processors` this schedule was built
     /// for; placements on processors outside the platform are
     /// [`ScheduleError::BadProcessor`].
+    ///
+    /// On a platform with cross-domain communication costs
+    /// ([`Platform::has_comm`]) the dependency check tightens: a parent may
+    /// not start before `child.finish + output × comm_cost` for each child
+    /// placed in a different memory domain — the time the child's output
+    /// needs to cross into the parent's domain.
     pub fn validate_on(&self, tree: &TaskTree, platform: &Platform) -> Result<(), ScheduleError> {
         if self.placements.len() != tree.len() {
             return Err(ScheduleError::WrongLength {
@@ -112,7 +118,30 @@ impl Schedule {
                 proc: self.placement(i).proc,
             });
         }
-        self.validate_with(tree, |proc| platform.speed_of(proc))
+        self.validate_with(tree, |proc| platform.speed_of(proc))?;
+        if platform.has_comm() {
+            // domain of each processor, resolved once
+            let domain = |proc: u32| platform.domain_of(proc);
+            for i in tree.ids() {
+                let pl = self.placement(i);
+                let dst = domain(pl.proc);
+                for &c in tree.children(i) {
+                    let cp = self.placement(c);
+                    let cost = match (domain(cp.proc), dst) {
+                        (Some(src), Some(dst)) => platform.comm_cost(src, dst),
+                        _ => 0.0,
+                    };
+                    let earliest = cp.finish + tree.output(c) * cost;
+                    if pl.start + TIME_EPS * (1.0 + earliest.abs()) < earliest {
+                        return Err(ScheduleError::DependencyViolated {
+                            parent: i,
+                            child: c,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn validate_with(

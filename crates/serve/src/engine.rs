@@ -920,15 +920,23 @@ mod tests {
             engine.run(stream(&het))
         };
         let results = run(1);
-        for r in &results[..3] {
-            let out = r.outcome.as_ref().expect("list schedulers serve het");
+        for r in &results {
+            let out = r.outcome.as_ref().expect("every scheduler serves het");
             assert_eq!(out.ms_lb, makespan_lower_bound_on(&tree, &het));
             assert_eq!(out.outcome.domain_peaks.len(), 2);
             assert_eq!(r.platform, het);
         }
-        // ParSubtrees refuses mixed speeds as data, not a panic
+        // comm-bearing platforms stream too: list schedulers serve them,
+        // subtree placement refuses as data, not a panic
+        let comm = het.clone().with_comm(vec![0.0, 2.0, 2.0, 0.0]);
+        let mut engine = ServeEngine::new(SchedulerRegistry::standard(), 1);
+        let comm_results = engine.run(stream(&comm));
+        for r in &comm_results[..3] {
+            let out = r.outcome.as_ref().expect("list schedulers serve comm");
+            assert_eq!(out.ms_lb, makespan_lower_bound_on(&tree, &comm));
+        }
         assert!(matches!(
-            results[3].outcome,
+            comm_results[3].outcome,
             Err(SchedError::UnsupportedPlatform { .. })
         ));
         // worker-count independence holds for heterogeneous streams too

@@ -301,8 +301,11 @@ pub fn escape(s: &str) -> String {
 // ---------------------------------------------------------------------------
 
 /// Renders `platform` as its wire object:
-/// `{"classes":[{"count":..,"speed":..},..],"domains":[{"capacity":..,"classes":[..]},..]}`
-/// (`domains` omitted when empty). [`platform_from_value`] parses it back.
+/// `{"classes":[{"count":..,"speed":..},..],"domains":[{"capacity":..,"classes":[..]},..],"comm":[..]}`
+/// (`domains` omitted when empty; `comm` — the flattened domains×domains
+/// transfer-cost matrix — omitted when absent or all-zero, so comm-free
+/// platforms keep their historical byte-exact rendering).
+/// [`platform_from_value`] parses it back.
 pub fn platform_json(platform: &Platform) -> String {
     let mut s = String::from("{\"classes\":[");
     for (k, c) in platform.classes().iter().enumerate() {
@@ -327,6 +330,10 @@ pub fn platform_json(platform: &Platform) -> String {
         }
         s.push(']');
     }
+    if platform.has_comm() {
+        let costs: Vec<String> = platform.comm().iter().map(|c| c.to_string()).collect();
+        s.push_str(&format!(",\"comm\":[{}]", costs.join(",")));
+    }
     s.push('}');
     s
 }
@@ -349,6 +356,7 @@ pub fn platform_from_value(value: &Value) -> Result<Platform, String> {
     };
     let mut classes: Option<Vec<ProcClass>> = None;
     let mut domains: Vec<MemDomain> = Vec::new();
+    let mut comm: Vec<f64> = Vec::new();
     for (key, v) in pairs {
         match (key.as_str(), v) {
             ("classes", Value::Arr(items)) => {
@@ -404,12 +412,18 @@ pub fn platform_from_value(value: &Value) -> Result<Platform, String> {
                     });
                 }
             }
+            ("comm", Value::Arr(items)) => {
+                for item in items {
+                    comm.push(num_field(item, "comm cost")?);
+                }
+            }
             ("classes", v) => {
                 return Err(format!("platform `classes` must be an array, got {v:?}"))
             }
             ("domains", v) => {
                 return Err(format!("platform `domains` must be an array, got {v:?}"))
             }
+            ("comm", v) => return Err(format!("platform `comm` must be an array, got {v:?}")),
             (other, _) => return Err(format!("unknown platform key `{other}`")),
         }
     }
@@ -417,6 +431,9 @@ pub fn platform_from_value(value: &Value) -> Result<Platform, String> {
     let mut platform = Platform::heterogeneous(classes);
     for d in domains {
         platform = platform.with_domain(d.capacity, &d.classes);
+    }
+    if !comm.is_empty() {
+        platform = platform.with_comm(comm);
     }
     Ok(platform)
 }
@@ -982,12 +999,29 @@ mod tests {
             Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
                 .with_domain(64.0, &[0])
                 .with_domain(32.0, &[1]),
+            Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+                .with_domain(64.0, &[0])
+                .with_domain(32.0, &[1])
+                .with_comm(vec![0.0, 2.0, 2.0, 0.0]),
         ] {
             let rendered = platform_json(&platform);
             let pairs = parse_object(&format!("{{\"platform\":{rendered}}}")).unwrap();
             let parsed = platform_from_value(&pairs[0].1).unwrap();
             assert_eq!(parsed, platform, "{rendered}");
         }
+        // the comm matrix is echoed only when it carries a non-zero cost, so
+        // comm-free platforms keep their historical byte rendering
+        let bare = Platform::heterogeneous(vec![ProcClass::new(1, 1.0), ProcClass::new(1, 1.0)])
+            .with_domain(8.0, &[0])
+            .with_domain(8.0, &[1]);
+        assert_eq!(
+            platform_json(&bare.clone().with_comm(vec![0.0; 4])),
+            platform_json(&bare)
+        );
+        assert!(
+            platform_json(&bare.clone().with_comm(vec![0.0, 0.5, 0.5, 0.0]))
+                .ends_with(",\"comm\":[0,0.5,0.5,0]}")
+        );
     }
 
     #[test]
@@ -1014,6 +1048,14 @@ mod tests {
             (
                 r#"{"tree":"x","platform":{"classes":[{"count":2}],"domains":[{"classes":[0]}]}}"#,
                 "capacity",
+            ),
+            (
+                r#"{"tree":"x","platform":{"classes":[{"count":2}],"comm":5}}"#,
+                "array",
+            ),
+            (
+                r#"{"tree":"x","platform":{"classes":[{"count":2}],"comm":["a"]}}"#,
+                "comm cost",
             ),
             (
                 r#"{"tree":"x","processors":2,"platform":{"classes":[{"count":2}]}}"#,

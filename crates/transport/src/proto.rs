@@ -28,14 +28,17 @@ use treesched_model::{io as tree_io, TaskTree};
 use treesched_serve::{error_json, malformed_json, RequestRecord, ServeRequest};
 
 /// Default scheduler when a request names none, shared by `schedule`,
-/// batch `serve`, and the daemon: a platform with a shared cap gets the
-/// safe memory-capped scheduler, an uncapped equal-speed one the paper's
-/// `ParSubtrees`, and a mixed-speed one the speed-aware `ParDeepestFirst`
-/// (the other two defaults would refuse it with `UnsupportedPlatform`). A
-/// capped *mixed-speed* platform still resolves to `MemBoundedSeq` so the
-/// cap surfaces as a typed refusal instead of being silently ignored.
+/// batch `serve`, and the daemon: a comm-bearing platform gets the
+/// comm-aware `ParDeepestFirst` (subtree and capped schedulers refuse
+/// transfer costs), a platform with a shared cap gets the safe
+/// memory-capped scheduler, an uncapped equal-speed one the paper's
+/// `ParSubtrees`, and a mixed-speed one the speed-aware `ParDeepestFirst`.
+/// A capped *mixed-speed* platform still resolves to `MemBoundedSeq` so
+/// per-domain caps are enforced rather than silently ignored.
 pub fn default_scheduler(platform: &Platform) -> &'static str {
-    if platform.memory_cap().is_some() {
+    if platform.has_comm() {
+        "ParDeepestFirst"
+    } else if platform.memory_cap().is_some() || !platform.domains().is_empty() {
         "MemBoundedSeq"
     } else if platform.uniform_speed().is_some() {
         "ParSubtrees"
@@ -195,5 +198,12 @@ mod tests {
             treesched_core::ProcClass::new(1, 1.0),
         ]);
         assert_eq!(default_scheduler(&mixed), "ParDeepestFirst");
+        // split memory defaults to the domain-enforcing capped scheduler
+        let split = mixed.clone().with_domain(8.0, &[0]).with_domain(8.0, &[1]);
+        assert_eq!(default_scheduler(&split), "MemBoundedSeq");
+        // ...unless transfers cost something — then only the comm-aware
+        // list schedulers apply
+        let comm = split.with_comm(vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(default_scheduler(&comm), "ParDeepestFirst");
     }
 }

@@ -1,13 +1,14 @@
-//! Heterogeneous platforms end to end: mixed-speed processor classes and
-//! NUMA-style memory domains flowing through the same `Scheduler` API,
-//! serving engine, and JSONL records as the paper's uniform machine.
+//! Heterogeneous platforms end to end: mixed-speed processor classes,
+//! NUMA-style memory domains, and cross-domain communication costs flowing
+//! through the same `Scheduler` API, serving engine, and JSONL records as
+//! the paper's uniform machine.
 //!
 //! ```sh
 //! cargo run --release --example heterogeneous
 //! ```
 
 use std::sync::Arc;
-use treesched::core::api::{Platform, ProcClass, Request, SchedError, Scratch};
+use treesched::core::api::{Platform, Request, SchedError, Scratch};
 use treesched::core::{makespan_lower_bound_on, SchedulerRegistry};
 use treesched::serve::{ServeEngine, ServeRequest};
 use treesched::TaskTree;
@@ -18,14 +19,20 @@ fn main() {
     let mut scratch = Scratch::new();
 
     // 2 fast + 2 slow processors; each pair owns its own memory domain.
-    let platform = Platform::heterogeneous(vec![
-        ProcClass::new(2, 2.0), // procs 0-1, double speed
-        ProcClass::new(2, 1.0), // procs 2-3, baseline
-    ])
-    .with_domain(400.0, &[0])
-    .with_domain(200.0, &[1]);
+    // The fluent builder validates at `build()`, so malformed platforms
+    // are typed errors instead of panics deep inside a scheduler.
+    let platform = Platform::builder()
+        .class(2, 2.0) // procs 0-1, double speed
+        .class(2, 1.0) // procs 2-3, baseline
+        .domain(400.0, &[0])
+        .domain(200.0, &[1])
+        .build()
+        .expect("a well-formed platform");
     let flat = Platform::new(4);
 
+    // Every registered scheduler serves mixed speeds and split memory now:
+    // subtree schedulers place whole subtrees speed-aware, the capped
+    // family enforces each domain's capacity (cap_violations stays 0).
     println!(
         "{:<18} {:>12} {:>12} {:>10}  domain peaks",
         "scheduler", "het ms", "uniform ms", "vs bound"
@@ -34,7 +41,8 @@ fn main() {
     for entry in registry.iter() {
         let het = entry
             .scheduler()
-            .schedule(&Request::new(&tree, platform.clone()), &mut scratch);
+            .schedule(&Request::new(&tree, platform.clone()), &mut scratch)
+            .expect("comm-free platforms are universal now");
         let hom = entry
             .scheduler()
             .schedule(
@@ -42,19 +50,39 @@ fn main() {
                 &mut scratch,
             )
             .expect("uniform platforms are universal");
-        match het {
-            Ok(out) => {
-                let peaks: Vec<String> =
-                    out.domain_peaks.iter().map(|p| format!("{p:.0}")).collect();
-                println!(
-                    "{:<18} {:>12.2} {:>12.2} {:>9.2}x  [{}]",
-                    entry.name(),
-                    out.eval.makespan,
-                    hom.eval.makespan,
-                    out.eval.makespan / lb,
-                    peaks.join(", ")
-                );
-            }
+        let peaks: Vec<String> = het.domain_peaks.iter().map(|p| format!("{p:.0}")).collect();
+        println!(
+            "{:<18} {:>12.2} {:>12.2} {:>9.2}x  [{}]",
+            entry.name(),
+            het.eval.makespan,
+            hom.eval.makespan,
+            het.eval.makespan / lb,
+            peaks.join(", ")
+        );
+    }
+
+    // Charge half a time unit per unit of output crossing between the two
+    // domains: the list schedulers delay cross-domain children by
+    // `output x cost`; the subtree/capped families refuse, typed.
+    let costly = platform
+        .clone()
+        .into_builder()
+        .comm_cost(0, 1, 0.5)
+        .build()
+        .expect("a symmetric cost matrix");
+    println!("\nwith transfer costs (0-1:0.5):");
+    let comm_lb = makespan_lower_bound_on(&tree, &costly);
+    for entry in registry.iter() {
+        match entry
+            .scheduler()
+            .schedule(&Request::new(&tree, costly.clone()), &mut scratch)
+        {
+            Ok(out) => println!(
+                "{:<18} {:>12.2} {:>9.2}x",
+                entry.name(),
+                out.eval.makespan,
+                out.eval.makespan / comm_lb
+            ),
             Err(SchedError::UnsupportedPlatform { reason, .. }) => {
                 println!("{:<18} {:>12}  — refused: {reason}", entry.name(), "n/a");
             }
@@ -63,7 +91,8 @@ fn main() {
     }
 
     // The serving engine moves heterogeneous platforms whole: submit the
-    // same stream twice on different worker counts and get identical bytes.
+    // same stream twice on different worker counts and get identical bytes
+    // (the `comm` matrix rides along in each echoed platform object).
     let tree = Arc::new(tree);
     let stream = |platform: &Platform| -> Vec<ServeRequest> {
         ["deepest", "inner", "cp", "fifo"]
@@ -77,7 +106,7 @@ fn main() {
     let serve = |workers: usize| -> Vec<String> {
         let mut engine = ServeEngine::new(SchedulerRegistry::standard(), workers);
         engine
-            .run(stream(&platform))
+            .run(stream(&costly))
             .iter()
             .map(treesched::serve::result_json)
             .collect()

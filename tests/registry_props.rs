@@ -142,17 +142,19 @@ fn campaign_on_uniform_heterogeneous_platform_matches_homogeneous_exactly() {
 }
 
 /// Every registered scheduler must handle a genuinely heterogeneous
-/// platform (2 fast + 2 slow processors, two memory domains) gracefully:
-/// either a schedule that validates speed-aware and respects the
-/// speed-aware makespan bound, or a typed
+/// platform (2 fast + 2 slow processors, two memory domains): a schedule
+/// that validates speed-aware, respects the speed-aware makespan bound,
+/// and reports one peak per domain — no scheduler refuses comm-free
+/// heterogeneous platforms anymore. With transfer costs on top, each
+/// scheduler either serves comm-aware or surfaces a typed
 /// [`SchedError::UnsupportedPlatform`] — never a panic, never a silently
 /// mis-scheduled result.
 #[test]
 fn every_registered_scheduler_handles_heterogeneous_platforms_or_refuses() {
     let registry = SchedulerRegistry::standard();
     let mut scratch = Scratch::new();
-    let mut supported = 0usize;
-    let mut refused = 0usize;
+    let mut comm_supported = 0usize;
+    let mut comm_refused = 0usize;
     for (name, tree) in tree_zoo() {
         let cap = memory_reference(&tree);
         let platform =
@@ -163,42 +165,101 @@ fn every_registered_scheduler_handles_heterogeneous_platforms_or_refuses() {
         let mem_lb = memory_lower_bound_exact(&tree);
         for entry in registry.iter() {
             let req = Request::new(&tree, platform.clone());
+            let out = entry
+                .scheduler()
+                .schedule(&req, &mut scratch)
+                .unwrap_or_else(|e| panic!("{}: {name}: {e}", entry.name()));
+            assert!(
+                out.schedule.validate_on(&tree, &platform).is_ok(),
+                "{}: {name}: invalid heterogeneous schedule",
+                entry.name()
+            );
+            assert!(
+                out.eval.makespan >= ms_lb - EPS,
+                "{}: {name}: makespan {} < speed-aware bound {ms_lb}",
+                entry.name(),
+                out.eval.makespan
+            );
+            assert!(
+                out.eval.peak_memory >= mem_lb - EPS,
+                "{}: {name}: memory below the sequential optimum",
+                entry.name()
+            );
+            assert_eq!(
+                out.domain_peaks.len(),
+                2,
+                "{}: {name}: one peak per domain",
+                entry.name()
+            );
+        }
+        // transfer costs split the registry: list schedulers delay
+        // cross-domain dependencies, the subtree/capped families refuse
+        let costly = platform.clone().with_comm(vec![0.0, 1.5, 1.5, 0.0]);
+        let comm_lb = makespan_lower_bound_on(&tree, &costly);
+        for entry in registry.iter() {
+            let req = Request::new(&tree, costly.clone());
             match entry.scheduler().schedule(&req, &mut scratch) {
                 Ok(out) => {
-                    supported += 1;
+                    comm_supported += 1;
                     assert!(
-                        out.schedule.validate_on(&tree, &platform).is_ok(),
-                        "{}: {name}: invalid heterogeneous schedule",
+                        out.schedule.validate_on(&tree, &costly).is_ok(),
+                        "{}: {name}: schedule ignores transfer costs",
                         entry.name()
                     );
                     assert!(
-                        out.eval.makespan >= ms_lb - EPS,
-                        "{}: {name}: makespan {} < speed-aware bound {ms_lb}",
-                        entry.name(),
-                        out.eval.makespan
-                    );
-                    assert!(
-                        out.eval.peak_memory >= mem_lb - EPS,
-                        "{}: {name}: memory below the sequential optimum",
-                        entry.name()
-                    );
-                    assert_eq!(
-                        out.domain_peaks.len(),
-                        2,
-                        "{}: {name}: one peak per domain",
+                        out.eval.makespan >= comm_lb - EPS,
+                        "{}: {name}: comm makespan below the bound",
                         entry.name()
                     );
                 }
-                Err(SchedError::UnsupportedPlatform { .. }) => refused += 1,
+                Err(SchedError::UnsupportedPlatform { .. }) => comm_refused += 1,
                 Err(e) => panic!("{}: {name}: unexpected error {e}", entry.name()),
             }
         }
     }
     assert!(
-        supported > 0,
-        "the list schedulers must serve heterogeneous"
+        comm_supported > 0,
+        "the list schedulers must serve transfer costs"
     );
-    assert!(refused > 0, "subtree/capped schedulers must refuse, typed");
+    assert!(
+        comm_refused > 0,
+        "subtree/capped schedulers must refuse transfer costs, typed"
+    );
+}
+
+/// The compatibility pin of the communication-cost redesign: an all-zero
+/// comm matrix is the same machine as no matrix at all, so **every**
+/// registered scheduler must produce the byte-identical schedule and
+/// evaluation for both spellings, across the whole tree zoo.
+#[test]
+fn zero_comm_matrix_is_byte_identical_across_the_registry() {
+    let registry = SchedulerRegistry::standard();
+    let mut scratch = Scratch::new();
+    for (name, tree) in tree_zoo() {
+        let cap = memory_reference(&tree);
+        let bare = Platform::heterogeneous(vec![ProcClass::new(2, 2.0), ProcClass::new(2, 1.0)])
+            .with_domain(2.0 * cap, &[0])
+            .with_domain(2.0 * cap, &[1]);
+        let zeroed = bare.clone().with_comm(vec![0.0; 4]);
+        assert!(!zeroed.has_comm(), "all-zero matrix means free transfers");
+        for entry in registry.iter() {
+            let with = entry
+                .scheduler()
+                .schedule(&Request::new(&tree, zeroed.clone()), &mut scratch)
+                .unwrap_or_else(|e| panic!("{}: {name}: {e}", entry.name()));
+            let without = entry
+                .scheduler()
+                .schedule(&Request::new(&tree, bare.clone()), &mut scratch)
+                .unwrap();
+            assert_eq!(
+                with.schedule,
+                without.schedule,
+                "{}: {name}: zero comm matrix changed the schedule",
+                entry.name()
+            );
+            assert_eq!(with.eval, without.eval, "{}: {name}", entry.name());
+        }
+    }
 }
 
 #[test]
@@ -229,7 +290,7 @@ fn every_campaign_scheduler_appears_in_a_minimal_campaign_run() {
         .with_tree("complete", TaskTree::complete(2, 4, 1.0, 2.0, 0.5))
         .with_procs(&[2])
         .with_platform(PlatformPoint::from_spec(
-            PlatformSpec::parse_flags("1x2.0,1x1.0", Some("1e9@0,1e9@1")).unwrap(),
+            PlatformSpec::parse_flags("1x2.0,1x1.0", Some("1e9@0,1e9@1"), None).unwrap(),
         ));
     let mut runner = CampaignRunner::new(2);
     let campaign = runner.run(&spec).expect("default selection resolves");
