@@ -594,6 +594,60 @@ impl CampaignRunner {
 // JSON spec files
 // ---------------------------------------------------------------------------
 
+/// A typed failure parsing a campaign spec file.
+///
+/// `Display` keeps the pre-typed wording, so `campaign --spec` error
+/// output is unchanged; the variants exist so tooling can react to the
+/// *kind* of failure — above all [`SpecError::UnknownKey`], the typo
+/// guard that keeps a misspelled `trees_file` from shipping a campaign
+/// with silently missing workloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Malformed JSON, or a field with an invalid type or value.
+    Invalid(String),
+    /// An unknown top-level spec key.
+    UnknownKey(String),
+    /// A workload file named by the spec could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error text.
+        cause: String,
+    },
+    /// A workload file named by the spec failed to parse.
+    Parse {
+        /// The offending path.
+        path: String,
+        /// The parse failure, rendered.
+        cause: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Invalid(msg) => f.write_str(msg),
+            SpecError::UnknownKey(key) => write!(f, "unknown spec key `{key}`"),
+            SpecError::Io { path, cause } => write!(f, "cannot read {path}: {cause}"),
+            SpecError::Parse { path, cause } => write!(f, "cannot parse {path}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<String> for SpecError {
+    fn from(msg: String) -> Self {
+        SpecError::Invalid(msg)
+    }
+}
+
+impl From<&str> for SpecError {
+    fn from(msg: &str) -> Self {
+        SpecError::Invalid(msg.to_string())
+    }
+}
+
 /// Parses a campaign spec from its JSON file form (`treesched campaign
 /// --spec FILE`). All fields optional except `platforms`:
 ///
@@ -610,10 +664,14 @@ impl CampaignRunner {
 /// ```
 ///
 /// `trees` entries are paths to `treesched tree v1` files, loaded here;
-/// platform entries use either the flat `processors` field or the
-/// `--speeds`/`--domains`/`--comm` flag syntax, plus an optional
-/// `cap_factor`.
-pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
+/// `trees_file` entries go through the `treesched_trees` toolbox instead
+/// (format detection: v1, attributed Newick, or MatrixMarket patterns via
+/// the elimination/assembly-tree pipeline) and may be bare path strings
+/// or `{"path": ..., "ordering": "natural|amd|rcm", "amalg": N,
+/// "name": ...}` objects. Platform entries use either the flat
+/// `processors` field or the `--speeds`/`--domains`/`--comm` flag syntax,
+/// plus an optional `cap_factor`.
+pub fn spec_from_json(text: &str) -> Result<CampaignSpec, SpecError> {
     use treesched_serve::jsonl::{parse_object, Value};
 
     fn str_of(v: &Value, what: &str) -> Result<String, String> {
@@ -649,22 +707,35 @@ pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
                     "small" => Scale::Small,
                     "medium" => Scale::Medium,
                     "large" => Scale::Large,
-                    other => return Err(format!("unknown corpus scale `{other}`")),
+                    other => return Err(format!("unknown corpus scale `{other}`").into()),
                 });
             }
             "trees" => {
                 for path in list_of(value, "trees")? {
-                    let text = std::fs::read_to_string(&path)
-                        .map_err(|e| format!("cannot read {path}: {e}"))?;
-                    let tree = treesched_model::io::from_text(&text)
-                        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                    let text = std::fs::read_to_string(&path).map_err(|e| SpecError::Io {
+                        path: path.clone(),
+                        cause: e.to_string(),
+                    })?;
+                    let tree =
+                        treesched_model::io::from_text(&text).map_err(|e| SpecError::Parse {
+                            path: path.clone(),
+                            cause: e.to_string(),
+                        })?;
                     spec.trees.push(CorpusEntry { name: path, tree });
+                }
+            }
+            "trees_file" => {
+                let Value::Arr(items) = value else {
+                    return Err(format!("`trees_file` must be an array, got {value:?}").into());
+                };
+                for item in items {
+                    spec.trees.push(trees_file_entry(item)?);
                 }
             }
             "schedulers" => spec.schedulers = Some(list_of(value, "schedulers")?),
             "platforms" => {
                 let Value::Arr(items) = value else {
-                    return Err(format!("`platforms` must be an array, got {value:?}"));
+                    return Err(format!("`platforms` must be an array, got {value:?}").into());
                 };
                 for item in items {
                     spec.platforms.push(platform_point_from_value(item)?);
@@ -706,13 +777,72 @@ pub fn spec_from_json(text: &str) -> Result<CampaignSpec, String> {
                 }
                 spec.time_reps = reps;
             }
-            other => return Err(format!("unknown spec key `{other}`")),
+            other => return Err(SpecError::UnknownKey(other.to_string())),
         }
     }
     if spec.platforms.is_empty() {
         return Err("spec needs a non-empty `platforms` array".into());
     }
     Ok(spec)
+}
+
+/// Loads one `trees_file` spec entry through the `treesched_trees`
+/// toolbox: a bare path string, or an object with `path` plus optional
+/// `ordering` / `amalg` (MatrixMarket ingest knobs) and `name` (the label
+/// scenario records carry; defaults to the path).
+fn trees_file_entry(value: &treesched_serve::jsonl::Value) -> Result<CorpusEntry, SpecError> {
+    use treesched_serve::jsonl::Value;
+    use treesched_trees::{IngestOptions, OrderingKind};
+
+    let mut path: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut opts = IngestOptions::default();
+    match value {
+        Value::Str(s) => path = Some(s.clone()),
+        Value::Obj(fields) => {
+            for (key, v) in fields {
+                match (key.as_str(), v) {
+                    ("path", Value::Str(s)) => path = Some(s.clone()),
+                    ("name", Value::Str(s)) => name = Some(s.clone()),
+                    ("ordering", Value::Str(s)) => {
+                        opts.ordering = OrderingKind::parse(s).ok_or_else(|| {
+                            SpecError::Invalid(format!(
+                                "unknown `trees_file` ordering `{s}` (natural, amd, rcm)"
+                            ))
+                        })?;
+                    }
+                    ("amalg", Value::Num(raw)) => {
+                        opts.amalg = raw.parse().map_err(|_| {
+                            format!("`trees_file` amalg must be a positive integer, got `{raw}`")
+                        })?;
+                        if opts.amalg == 0 {
+                            return Err("`trees_file` amalg must be at least 1".into());
+                        }
+                    }
+                    (other, _) => {
+                        return Err(SpecError::Invalid(format!(
+                            "unknown `trees_file` field `{other}` (path, ordering, amalg, name)"
+                        )));
+                    }
+                }
+            }
+        }
+        other => {
+            return Err(SpecError::Invalid(format!(
+                "each `trees_file` entry must be a path string or object, got {other:?}"
+            )));
+        }
+    }
+    let path =
+        path.ok_or_else(|| SpecError::Invalid("`trees_file` entry needs a `path`".into()))?;
+    let (tree, _) = treesched_trees::load(&path, opts).map_err(|e| match e {
+        treesched_trees::LoadError::Io { path, cause } => SpecError::Io { path, cause },
+        treesched_trees::LoadError::Parse { path, cause } => SpecError::Parse { path, cause },
+    })?;
+    Ok(CorpusEntry {
+        name: name.unwrap_or(path),
+        tree,
+    })
 }
 
 fn platform_point_from_value(
@@ -1471,9 +1601,89 @@ mod tests {
             ("{\"bogus\":1,\"platforms\":[{\"processors\":2}]}", "bogus"),
             ("not json", "expected"),
         ] {
-            let err = spec_from_json(bad).unwrap_err();
+            let err = spec_from_json(bad).unwrap_err().to_string();
             assert!(err.contains(needle), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn spec_errors_are_typed() {
+        // misspelled top-level keys are the UnknownKey variant, not prose
+        let err = spec_from_json("{\"scheduler\":[\"cp\"],\"platforms\":[{\"processors\":2}]}")
+            .unwrap_err();
+        assert!(
+            matches!(&err, SpecError::UnknownKey(k) if k == "scheduler"),
+            "{err:?}"
+        );
+        assert_eq!(err.to_string(), "unknown spec key `scheduler`");
+        let err = spec_from_json(
+            "{\"trees\":[\"/nonexistent/x.tree\"],\"platforms\":[{\"processors\":2}]}",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SpecError::Io { path, .. } if path == "/nonexistent/x.tree"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn trees_file_entries_load_through_the_toolbox() {
+        let fixture = |name: &str| {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../trees/tests/data")
+                .join(name)
+                .to_string_lossy()
+                .into_owned()
+        };
+        let text = format!(
+            concat!(
+                "{{\"trees_file\":[\"{}\",",
+                "{{\"path\":\"{}\",\"ordering\":\"natural\",\"name\":\"band8\"}}],",
+                "\"platforms\":[{{\"processors\":2}}]}}"
+            ),
+            fixture("fork.nwk"),
+            fixture("band8.mtx")
+        );
+        let spec = spec_from_json(&text).unwrap();
+        assert_eq!(spec.trees.len(), 2);
+        assert_eq!(spec.trees[0].tree.len(), 6); // attributed Newick fixture
+        assert_eq!(spec.trees[1].name, "band8");
+        assert_eq!(spec.trees[1].tree.len(), 8); // natural-order elimination tree
+
+        // and the loaded corpus actually runs as a campaign
+        let spec = CampaignSpec {
+            schedulers: Some(vec!["deepest".into()]),
+            ..spec
+        };
+        let campaign = CampaignRunner::new(1).run(&spec).unwrap();
+        assert_eq!(campaign.records.len(), 2);
+        assert!(campaign
+            .records
+            .iter()
+            .all(|r| r.outcome.as_ref().unwrap().makespan > 0.0));
+
+        // typed failures for the new key
+        let err = spec_from_json(
+            "{\"trees_file\":[{\"path\":\"x\",\"ordering\":\"best\"}],\
+             \"platforms\":[{\"processors\":2}]}",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown `trees_file` ordering `best` (natural, amd, rcm)"
+        );
+        let err = spec_from_json(
+            "{\"trees_file\":[{\"ordering\":\"amd\"}],\"platforms\":[{\"processors\":2}]}",
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "`trees_file` entry needs a `path`");
+        let bad = fixture("band8.mtx");
+        let err = spec_from_json(&format!(
+            "{{\"trees_file\":[{{\"path\":\"{bad}\",\"amalg\":0}}],\
+             \"platforms\":[{{\"processors\":2}}]}}"
+        ))
+        .unwrap_err();
+        assert_eq!(err.to_string(), "`trees_file` amalg must be at least 1");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod stats;
 
 pub use campaign::{
     compare_campaigns, default_workers, spec_from_json, Campaign, CampaignComparison,
-    CampaignOutcome, CampaignRecord, CampaignRunner, CampaignSpec, PlatformPoint,
+    CampaignOutcome, CampaignRecord, CampaignRunner, CampaignSpec, PlatformPoint, SpecError,
 };
 pub use harness::{
     fig6, fig_normalized, render_crosses, render_table1, run_corpus, scheduler_names, table1, Row,

@@ -45,6 +45,10 @@ commands:
   campaign [--spec FILE | flags]    declarative experiment campaign over the
                                     serving engine, JSONL records on stdout
                                     (see `treesched campaign --help`)
+  tree <subcommand> [args]          workload toolbox: ingest Newick /
+                                    MatrixMarket / v1 trees, stat, prune,
+                                    subtree, DOT export, serve requests
+                                    (see `treesched tree --help`)
   dot FILE                          Graphviz DOT export
 
 Schedulers S: any name or alias from `treesched schedulers`
@@ -88,7 +92,7 @@ pub struct CliError {
 }
 
 impl CliError {
-    fn new(message: impl Into<String>) -> CliError {
+    pub(crate) fn new(message: impl Into<String>) -> CliError {
         CliError {
             message: message.into(),
             code: 2,
@@ -132,6 +136,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "connect" => cmd_connect(rest),
         "pareto" => cmd_pareto(rest),
         "campaign" => cmd_campaign(rest),
+        "tree" => crate::tree::execute(rest),
         "dot" => cmd_dot(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::new(format!(
@@ -140,13 +145,13 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn load_tree(path: &str) -> Result<TaskTree, CliError> {
+pub(crate) fn load_tree(path: &str) -> Result<TaskTree, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
     tree_io::from_text(&text).map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+pub(crate) fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::new(format!("cannot parse {what} from `{s}`")))
 }
@@ -1021,7 +1026,12 @@ Output is byte-identical for any --workers count.
   campaign [flags]                     build the spec from flags:
     --name N                  campaign name (default: campaign)
     --scale small|medium|large  include the assembly corpus
-    --trees F1,F2,...         include explicit tree files
+    --trees F1,F2,...         include explicit v1 tree files
+    --trees-file F1,F2,...    include workload files through the tree
+                              toolbox (v1, Newick, or MatrixMarket with
+                              the default amd ordering; spec files take
+                              {\"path\",\"ordering\",\"amalg\",\"name\"} objects
+                              under the `trees_file` key for the knobs)
     --procs P1,P2,...         flat platform points
     --speeds C1xS1,...        one extra heterogeneous point
     --domains CAP@CLASSES,... memory domains of that point
@@ -1058,6 +1068,7 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let mut name: Option<&String> = None;
     let mut scale: Option<treesched_gen::Scale> = None;
     let mut trees: Vec<&str> = Vec::new();
+    let mut trees_file: Vec<String> = Vec::new();
     let mut procs: Vec<u32> = Vec::new();
     let mut schedulers: Option<Vec<String>> = None;
     let mut cap_factor: Option<f64> = None;
@@ -1104,6 +1115,14 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             }
             "--trees" => {
                 trees.extend(value("tree files")?.split(',').map(str::trim));
+                grid_flags = true;
+            }
+            "--trees-file" => {
+                trees_file.extend(
+                    value("workload files")?
+                        .split(',')
+                        .map(|s| s.trim().to_string()),
+                );
                 grid_flags = true;
             }
             "--procs" => {
@@ -1270,6 +1289,12 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
                     name: path.to_string(),
                     tree: load_tree(path)?,
                 });
+            }
+            for path in trees_file {
+                let (tree, _) = treesched_trees::load(&path, Default::default())
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                spec.trees
+                    .push(treesched_gen::CorpusEntry { name: path, tree });
             }
             for &p in &procs {
                 let mut point = PlatformPoint::flat(p);
@@ -2136,6 +2161,72 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn campaign_accepts_toolbox_workloads_worker_count_independently() {
+        let mtx = concat!(env!("CARGO_MANIFEST_DIR"), "/../trees/tests/data/band8.mtx");
+        let nwk = concat!(env!("CARGO_MANIFEST_DIR"), "/../trees/tests/data/fork.nwk");
+        // the --trees-file flag ingests non-v1 formats straight into the grid
+        let reference = run(&[
+            "campaign",
+            "--trees-file",
+            &format!("{mtx},{nwk}"),
+            "--procs",
+            "2",
+            "--schedulers",
+            "deepest",
+            "--workers",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(reference.lines().count(), 2);
+        assert!(reference.contains("\"tasks\":8"), "{reference}");
+        for workers in ["2", "4"] {
+            assert_eq!(
+                run(&[
+                    "campaign",
+                    "--trees-file",
+                    &format!("{mtx},{nwk}"),
+                    "--procs",
+                    "2",
+                    "--schedulers",
+                    "deepest",
+                    "--workers",
+                    workers,
+                ])
+                .unwrap(),
+                reference,
+                "workers={workers}"
+            );
+        }
+        // spec files reach the same loader through the `trees_file` key
+        let spec = tmpfile("camptoolbox.json");
+        std::fs::write(
+            &spec,
+            format!(
+                "{{\"trees_file\":[{{\"path\":\"{mtx}\",\"ordering\":\"amd\",\
+                 \"name\":\"band8\"}},\"{nwk}\"],\
+                 \"schedulers\":[\"deepest\"],\
+                 \"platforms\":[{{\"processors\":2}}]}}"
+            ),
+        )
+        .unwrap();
+        let from_spec = run(&["campaign", "--spec", &spec]).unwrap();
+        assert_eq!(from_spec.lines().count(), 2);
+        assert!(from_spec.contains("\"tree\":\"band8\""), "{from_spec}");
+        // unknown keys surface as the typed wording through the CLI wrapper
+        std::fs::write(
+            &spec,
+            "{\"trees_files\":[],\"platforms\":[{\"processors\":2}]}",
+        )
+        .unwrap();
+        let e = run(&["campaign", "--spec", &spec]).unwrap_err();
+        assert!(
+            e.message.ends_with("unknown spec key `trees_files`"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

@@ -21,5 +21,6 @@
 //! ```
 
 pub mod commands;
+mod tree;
 
 pub use commands::{dispatch, serve_jsonl, CliError, USAGE};

@@ -1,0 +1,187 @@
+//! Typed parse errors with 1-based source positions.
+//!
+//! Every ingest failure in this crate — Newick syntax, attribute problems,
+//! MatrixMarket structure — is one of these variants, carrying the exact
+//! 1-based line (and, where a column makes sense, column) of the offending
+//! input. The `Display` wording is part of the toolbox's user contract:
+//! the malformed-input tests pin it the same way the transport crate pins
+//! its malformed-record wording.
+
+use treesched_model::TreeError;
+
+/// A failure while parsing an external tree format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeParseError {
+    /// The scanner met something other than what the grammar allows.
+    Syntax {
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        col: usize,
+        /// What the grammar allowed here.
+        expected: &'static str,
+        /// What was found instead (a short excerpt, or `end of input`).
+        found: String,
+    },
+    /// A numeric token failed to parse.
+    Number {
+        /// 1-based line of the token.
+        line: usize,
+        /// 1-based column of the token.
+        col: usize,
+        /// What the number was for (`work`, `branch length`, ...).
+        what: String,
+    },
+    /// An attribute key other than `work`/`output`/`exec`.
+    UnknownAttribute {
+        /// 1-based line of the key.
+        line: usize,
+        /// 1-based column of the key.
+        col: usize,
+        /// The offending key.
+        name: String,
+    },
+    /// The same attribute given twice on one node (a branch length counts
+    /// as `output`).
+    DuplicateAttribute {
+        /// 1-based line of the second occurrence.
+        line: usize,
+        /// 1-based column of the second occurrence.
+        col: usize,
+        /// The attribute name.
+        name: &'static str,
+    },
+    /// All node labels are numeric (so they are taken as explicit node
+    /// ids) but they do not form a dense, duplicate-free `0..n`.
+    LabelId {
+        /// 1-based line of the offending label.
+        line: usize,
+        /// 1-based column of the offending label.
+        col: usize,
+        /// What is wrong with the id.
+        detail: String,
+    },
+    /// A malformed MatrixMarket header or size line.
+    Header {
+        /// 1-based line of the header.
+        line: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A malformed MatrixMarket coordinate entry.
+    Entry {
+        /// 1-based line of the entry.
+        line: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A malformed `treesched tree v1` line, re-typed from the model
+    /// crate's own parser with its wording intact.
+    V1 {
+        /// 1-based line of the bad entry.
+        line: usize,
+        /// What is wrong with it, in the v1 parser's words.
+        detail: String,
+    },
+    /// Input with no tree in it.
+    Empty,
+    /// Text after the closing `;` of a Newick tree.
+    Trailing {
+        /// 1-based line of the first trailing character.
+        line: usize,
+        /// 1-based column of the first trailing character.
+        col: usize,
+    },
+    /// The parsed structure is not a tree (cycle, several roots, ...).
+    Tree(TreeError),
+}
+
+impl std::fmt::Display for TreeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeParseError::Syntax {
+                line,
+                col,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "line {line}, col {col}: expected {expected}, found {found}"
+                )
+            }
+            TreeParseError::Number { line, col, what } => {
+                write!(f, "line {line}, col {col}: cannot parse {what} as a number")
+            }
+            TreeParseError::UnknownAttribute { line, col, name } => {
+                write!(
+                    f,
+                    "line {line}, col {col}: unknown attribute `{name}` \
+                     (expected work, output or exec)"
+                )
+            }
+            TreeParseError::DuplicateAttribute { line, col, name } => {
+                write!(
+                    f,
+                    "line {line}, col {col}: duplicate `{name}` for this node"
+                )
+            }
+            TreeParseError::LabelId { line, col, detail } => {
+                write!(f, "line {line}, col {col}: bad node id label: {detail}")
+            }
+            TreeParseError::Header { line, detail } => {
+                write!(f, "line {line}: bad MatrixMarket header: {detail}")
+            }
+            TreeParseError::Entry { line, detail } => {
+                write!(f, "line {line}: bad MatrixMarket entry: {detail}")
+            }
+            TreeParseError::V1 { line, detail } => write!(f, "line {line}: {detail}"),
+            TreeParseError::Empty => write!(f, "input holds no tree"),
+            TreeParseError::Trailing { line, col } => {
+                write!(f, "line {line}, col {col}: trailing text after the tree")
+            }
+            TreeParseError::Tree(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeParseError {}
+
+impl From<TreeError> for TreeParseError {
+    fn from(e: TreeError) -> Self {
+        TreeParseError::Tree(e)
+    }
+}
+
+/// A failure while loading a tree file: I/O or parse, with the path
+/// attached. `Display` reuses the CLI's `cannot read`/`cannot parse`
+/// wording so error records look the same whichever layer raised them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error text.
+        cause: String,
+    },
+    /// The file content failed to parse.
+    Parse {
+        /// The offending path.
+        path: String,
+        /// The typed parse failure. `treesched tree v1` files keep their
+        /// own error type and are re-rendered here.
+        cause: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io { path, cause } => write!(f, "cannot read {path}: {cause}"),
+            LoadError::Parse { path, cause } => write!(f, "cannot parse {path}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}

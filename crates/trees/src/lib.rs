@@ -1,0 +1,199 @@
+//! Tree workload toolbox: external formats in, schedulable trees out.
+//!
+//! Every tree the workspace scheduled before this crate existed was
+//! synthetic. This crate is the ingest/transform/export layer that turns
+//! user-supplied workload files into [`TaskTree`]s — and back:
+//!
+//! * **In** — an attributed Newick dialect ([`newick`]: `work`/`output`/
+//!   `exec` as `[&...]` node attributes, branch lengths as output sizes),
+//!   MatrixMarket coordinate patterns routed through the sparse
+//!   elimination/assembly-tree pipeline ([`mm`]), and the native
+//!   `treesched tree v1` text format.
+//! * **Transform** — prune subtrees, extract a subtree ([`ops`]).
+//! * **Out** — Newick ([`newick::to_newick`]), v1 text, and serve-wire
+//!   request JSONL ([`requests`]) that the serving engine accepts
+//!   verbatim.
+//!
+//! All parse failures are typed [`TreeParseError`]s carrying 1-based
+//! line/column positions with pinned `Display` wording, mirroring how the
+//! transport layer pins its malformed-record handling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod mm;
+pub mod newick;
+pub mod ops;
+pub mod requests;
+
+pub use error::{LoadError, TreeParseError};
+pub use mm::{from_matrix_market, parse_pattern, IngestOptions, OrderingKind};
+pub use newick::{from_newick, to_newick};
+pub use ops::{prune, subtree, OpError};
+pub use requests::{to_requests, RequestOptions};
+
+use treesched_model::TaskTree;
+
+/// An on-disk tree format the toolbox can read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// The native `treesched tree v1` text format.
+    V1,
+    /// The attributed Newick dialect (see [`newick`]).
+    Newick,
+    /// A MatrixMarket coordinate pattern (see [`mm`]).
+    MatrixMarket,
+}
+
+impl Format {
+    /// Parses a CLI spelling: `v1`, `newick`/`nwk`, `mm`/`mtx`.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "v1" | "tree" => Some(Format::V1),
+            "newick" | "nwk" => Some(Format::Newick),
+            "mm" | "mtx" | "matrixmarket" => Some(Format::MatrixMarket),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, inverse of [`Format::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::V1 => "v1",
+            Format::Newick => "newick",
+            Format::MatrixMarket => "mm",
+        }
+    }
+
+    /// Guesses the format of `path` from its extension alone.
+    pub fn from_extension(path: &str) -> Option<Format> {
+        let ext = std::path::Path::new(path).extension()?.to_str()?;
+        match ext.to_ascii_lowercase().as_str() {
+            "tree" | "v1" => Some(Format::V1),
+            "nwk" | "newick" | "nh" => Some(Format::Newick),
+            "mtx" | "mm" => Some(Format::MatrixMarket),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format from file content: `%%MatrixMarket` ⇒
+    /// MatrixMarket, a leading `(` ⇒ Newick, else v1 (whose own parser
+    /// rejects anything without the v1 header).
+    pub fn sniff(text: &str) -> Format {
+        if text.starts_with("%%MatrixMarket") {
+            Format::MatrixMarket
+        } else if matches!(text.trim_start().chars().next(), Some('(')) {
+            Format::Newick
+        } else {
+            Format::V1
+        }
+    }
+
+    /// Extension first, content sniff as the fallback.
+    pub fn detect(path: &str, text: &str) -> Format {
+        Format::from_extension(path).unwrap_or_else(|| Format::sniff(text))
+    }
+}
+
+/// Parses `text` as `format`. MatrixMarket input goes through the default
+/// [`IngestOptions`] — use [`parse_as_with`] to choose an ordering or
+/// amalgamation limit.
+pub fn parse_as(text: &str, format: Format) -> Result<TaskTree, TreeParseError> {
+    parse_as_with(text, format, IngestOptions::default())
+}
+
+/// As [`parse_as`], with explicit MatrixMarket ingest options (ignored by
+/// the other formats).
+pub fn parse_as_with(
+    text: &str,
+    format: Format,
+    opts: IngestOptions,
+) -> Result<TaskTree, TreeParseError> {
+    match format {
+        Format::V1 => treesched_model::io::from_text(text).map_err(|e| {
+            use treesched_model::io::ParseError as P;
+            match e {
+                P::Tree(t) => TreeParseError::Tree(t),
+                P::BadLine { line } => TreeParseError::V1 {
+                    line,
+                    detail: "expected 5 fields".into(),
+                },
+                P::BadNumber { line, field } => TreeParseError::V1 {
+                    line,
+                    detail: format!("cannot parse {field}"),
+                },
+                P::NonDenseIds {
+                    line,
+                    expected,
+                    got,
+                } => TreeParseError::V1 {
+                    line,
+                    detail: format!("expected id {expected}, got {got}"),
+                },
+            }
+        }),
+        Format::Newick => from_newick(text),
+        Format::MatrixMarket => from_matrix_market(text, opts),
+    }
+}
+
+/// Reads and parses a tree file, detecting the format from the path and
+/// content ([`Format::detect`]). Failures carry the path, CLI-style.
+pub fn load(path: &str, opts: IngestOptions) -> Result<(TaskTree, Format), LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| LoadError::Io {
+        path: path.to_string(),
+        cause: e.to_string(),
+    })?;
+    let format = Format::detect(path, &text);
+    let tree = parse_as_with(&text, format, opts).map_err(|e| LoadError::Parse {
+        path: path.to_string(),
+        cause: e.to_string(),
+    })?;
+    Ok((tree, format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_prefers_extension() {
+        assert_eq!(Format::from_extension("a/b.nwk"), Some(Format::Newick));
+        assert_eq!(
+            Format::from_extension("a/b.MTX"),
+            Some(Format::MatrixMarket)
+        );
+        assert_eq!(Format::from_extension("a/b.tree"), Some(Format::V1));
+        assert_eq!(Format::from_extension("a/b.txt"), None);
+        assert_eq!(Format::sniff("%%MatrixMarket matrix"), Format::MatrixMarket);
+        assert_eq!(Format::sniff("  (a,b);"), Format::Newick);
+        assert_eq!(Format::sniff("# treesched tree v1"), Format::V1);
+        assert_eq!(Format::detect("x.txt", "(a);"), Format::Newick);
+        assert_eq!(Format::detect("x.nwk", "# nope"), Format::Newick);
+    }
+
+    #[test]
+    fn v1_errors_keep_their_line() {
+        let e = parse_as("# treesched tree v1\n0 -1 1 1\n", Format::V1).unwrap_err();
+        assert_eq!(
+            e,
+            TreeParseError::V1 {
+                line: 2,
+                detail: "expected 5 fields".into()
+            }
+        );
+        assert_eq!(e.to_string(), "line 2: expected 5 fields");
+    }
+
+    #[test]
+    fn round_trip_across_formats() {
+        let t = treesched_model::TaskTree::fork(3, 2.0, 1.5, 0.5);
+        let nwk = to_newick(&t);
+        let back = parse_as(&nwk, Format::Newick).unwrap();
+        assert_eq!(t, back);
+        let v1 = treesched_model::io::to_text(&t);
+        let back = parse_as(&v1, Format::V1).unwrap();
+        assert_eq!(t, back);
+    }
+}

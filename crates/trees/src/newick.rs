@@ -1,0 +1,580 @@
+//! An attributed Newick dialect for task trees.
+//!
+//! Standard Newick spells the topology — `(child,child)node;` — and this
+//! dialect carries the paper's three per-task weights as node attributes
+//! in a bracket block after the (optional) label:
+//!
+//! ```text
+//! (leaf[&work=1,output=2,exec=0],(a,b)inner[&work=3])root[&work=1];
+//! ```
+//!
+//! * `work` — processing time `w_i` (default 1);
+//! * `output` — output-file size `f_i` (default 1);
+//! * `exec` — execution-file size `n_i` (default 0).
+//!
+//! A classic branch length `:x` is accepted as a synonym for `output=x`
+//! (the edge to the parent carries the output file), so plain phylogenetic
+//! Newick ingests directly with pebble-ish weights. Spelling both a branch
+//! length and an `output` attribute on one node is a typed
+//! [`TreeParseError::DuplicateAttribute`].
+//!
+//! **Node ids.** When *every* node carries a purely numeric label, the
+//! labels are taken as explicit node ids and must form a duplicate-free
+//! `0..n` (a typed [`TreeParseError::LabelId`] otherwise) — this is what
+//! makes [`to_newick`] → [`from_newick`] restore a tree bit-for-bit, ids
+//! included. Otherwise labels are decorative and ids are assigned in
+//! preorder (a node is numbered when its text begins, so a parent precedes
+//! its children and siblings number left to right).
+//!
+//! As everywhere in the workspace, children end up ordered by ascending
+//! node id (the `from_parents` convention shared with the v1 text format);
+//! Newick document order does not survive an id-relabeling round trip.
+
+use crate::error::TreeParseError;
+use treesched_model::TaskTree;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes a tree into the attributed Newick dialect.
+///
+/// Every node is written as `id[&work=W,output=F,exec=N]` with the arena
+/// id as its label and all three weights spelled explicitly (Rust `f64`
+/// `Display` round-trips exactly), so [`from_newick`] restores the tree
+/// bit-for-bit — ids, weights, and (by the ascending-id convention) child
+/// order.
+pub fn to_newick(tree: &TaskTree) -> String {
+    enum Step {
+        Visit(treesched_model::NodeId),
+        Close(treesched_model::NodeId),
+        Comma,
+    }
+    let mut out = String::with_capacity(tree.len() * 32 + 8);
+    let suffix = |out: &mut String, i: treesched_model::NodeId| {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{}[&work={},output={},exec={}]",
+            i.index(),
+            tree.work(i),
+            tree.output(i),
+            tree.exec(i)
+        );
+    };
+    let mut stack = vec![Step::Visit(tree.root())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Comma => out.push(','),
+            Step::Close(i) => {
+                out.push(')');
+                suffix(&mut out, i);
+            }
+            Step::Visit(i) => {
+                let children = tree.children(i);
+                if children.is_empty() {
+                    suffix(&mut out, i);
+                } else {
+                    out.push('(');
+                    stack.push(Step::Close(i));
+                    // children in tree order, comma-separated: push in
+                    // reverse so the leftmost pops first
+                    for (k, &c) in children.iter().enumerate().rev() {
+                        if k + 1 < children.len() {
+                            stack.push(Step::Comma);
+                        }
+                        stack.push(Step::Visit(c));
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(";\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// One node under construction.
+struct PNode {
+    parent: Option<usize>,
+    label: Option<String>,
+    /// Position of the label, for id-relabeling errors.
+    label_pos: (usize, usize),
+    work: Option<f64>,
+    output: Option<f64>,
+    exec: Option<f64>,
+}
+
+impl PNode {
+    fn new() -> PNode {
+        PNode {
+            parent: None,
+            label: None,
+            label_pos: (0, 0),
+            work: None,
+            output: None,
+            exec: None,
+        }
+    }
+}
+
+/// Character scanner with 1-based line/column tracking.
+struct Scanner<'a> {
+    rest: std::str::Chars<'a>,
+    peeked: Option<char>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Scanner<'a> {
+        Scanner {
+            rest: text.chars(),
+            peeked: None,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.rest.next();
+        }
+        self.peeked
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.peeked = None;
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Position of the *next* character (the one `peek` returns).
+    fn pos(&self) -> (usize, usize) {
+        (self.line, self.col)
+    }
+
+    fn found(&mut self) -> String {
+        match self.peek() {
+            Some(c) if c.is_control() => format!("`{}`", c.escape_default()),
+            Some(c) => format!("`{c}`"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn syntax(&mut self, expected: &'static str) -> TreeParseError {
+        let (line, col) = self.pos();
+        TreeParseError::Syntax {
+            line,
+            col,
+            expected,
+            found: self.found(),
+        }
+    }
+
+    /// Reads a numeric token (sign, digits, `.`, exponent) and parses it.
+    fn number(&mut self, what: &str) -> Result<f64, TreeParseError> {
+        let (line, col) = self.pos();
+        let mut tok = String::new();
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E')
+        ) {
+            tok.push(self.bump().expect("peeked"));
+        }
+        tok.parse().map_err(|_| TreeParseError::Number {
+            line,
+            col,
+            what: what.to_string(),
+        })
+    }
+}
+
+/// `true` for characters that may appear in an unquoted label.
+fn is_label_char(c: char) -> bool {
+    !c.is_whitespace() && !matches!(c, '(' | ')' | ',' | ';' | ':' | '[' | ']' | '\'')
+}
+
+/// Parses one attributed Newick tree (see the [module docs](self) for the
+/// dialect). Exactly one tree per input; anything but whitespace after the
+/// closing `;` is a typed [`TreeParseError::Trailing`].
+pub fn from_newick(text: &str) -> Result<TaskTree, TreeParseError> {
+    let mut s = Scanner::new(text);
+    let mut nodes: Vec<PNode> = Vec::new();
+    // open internal nodes (their `(` seen, their `)` not yet)
+    let mut open: Vec<usize> = Vec::new();
+    s.skip_ws();
+    if s.peek().is_none() {
+        return Err(TreeParseError::Empty);
+    }
+    loop {
+        // parse one subtree start: either an internal node opens, or a
+        // leaf's suffix begins right here
+        s.skip_ws();
+        let id = nodes.len();
+        nodes.push(PNode::new());
+        if let Some(&parent) = open.last() {
+            nodes[id].parent = Some(parent);
+        }
+        if s.peek() == Some('(') {
+            s.bump();
+            open.push(id);
+            continue; // descend into the first child
+        }
+        node_suffix(&mut s, &mut nodes[id])?;
+        // `id` is now a finished node; close as many parents as the input
+        // does, then either continue with a sibling or finish
+        let mut done = id;
+        loop {
+            s.skip_ws();
+            match s.peek() {
+                Some(',') => {
+                    if open.is_empty() {
+                        return Err(s.syntax("`;` (a comma outside any `(`)"));
+                    }
+                    s.bump();
+                    break; // next sibling subtree
+                }
+                Some(')') => {
+                    let Some(closing) = open.pop() else {
+                        return Err(s.syntax("`;` (a `)` without a matching `(`)"));
+                    };
+                    s.bump();
+                    node_suffix(&mut s, &mut nodes[closing])?;
+                    done = closing;
+                }
+                Some(';') => {
+                    if !open.is_empty() {
+                        return Err(s.syntax("`)` (unclosed `(`)"));
+                    }
+                    s.bump();
+                    s.skip_ws();
+                    if s.peek().is_some() {
+                        let (line, col) = s.pos();
+                        return Err(TreeParseError::Trailing { line, col });
+                    }
+                    return build(nodes, done);
+                }
+                _ => return Err(s.syntax("`,`, `)` or `;`")),
+            }
+        }
+    }
+}
+
+/// Parses the suffix of a node: optional label, optional `[&k=v,...]`
+/// attribute block, optional `:length` branch length.
+fn node_suffix(s: &mut Scanner<'_>, node: &mut PNode) -> Result<(), TreeParseError> {
+    // whitespace is insignificant outside quoted labels
+    s.skip_ws();
+    // label — unquoted, or quoted with '' escaping
+    let pos = s.pos();
+    if s.peek() == Some('\'') {
+        s.bump();
+        let mut label = String::new();
+        loop {
+            match s.bump() {
+                Some('\'') => {
+                    if s.peek() == Some('\'') {
+                        s.bump();
+                        label.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                Some(c) => label.push(c),
+                None => return Err(s.syntax("closing `'`")),
+            }
+        }
+        node.label = Some(label);
+        node.label_pos = pos;
+    } else if matches!(s.peek(), Some(c) if is_label_char(c)) {
+        let mut label = String::new();
+        while matches!(s.peek(), Some(c) if is_label_char(c)) {
+            label.push(s.bump().expect("peeked"));
+        }
+        node.label = Some(label);
+        node.label_pos = pos;
+    }
+    // attribute block
+    s.skip_ws();
+    if s.peek() == Some('[') {
+        s.bump();
+        if s.peek() == Some('&') {
+            s.bump();
+        } else {
+            return Err(s.syntax("`&` (attribute blocks are `[&key=value,...]`)"));
+        }
+        loop {
+            let key_pos = s.pos();
+            let mut key = String::new();
+            while matches!(s.peek(), Some(c) if c.is_ascii_alphabetic() || c == '_') {
+                key.push(s.bump().expect("peeked"));
+            }
+            if s.peek() != Some('=') {
+                return Err(s.syntax("`=` after the attribute key"));
+            }
+            s.bump();
+            let value = s.number(&key)?;
+            let slot = match key.as_str() {
+                "work" => &mut node.work,
+                "output" => &mut node.output,
+                "exec" => &mut node.exec,
+                _ => {
+                    return Err(TreeParseError::UnknownAttribute {
+                        line: key_pos.0,
+                        col: key_pos.1,
+                        name: key,
+                    })
+                }
+            };
+            if slot.is_some() {
+                return Err(TreeParseError::DuplicateAttribute {
+                    line: key_pos.0,
+                    col: key_pos.1,
+                    name: match key.as_str() {
+                        "work" => "work",
+                        "output" => "output",
+                        _ => "exec",
+                    },
+                });
+            }
+            *slot = Some(value);
+            match s.peek() {
+                Some(',') => {
+                    s.bump();
+                }
+                Some(']') => {
+                    s.bump();
+                    break;
+                }
+                _ => return Err(s.syntax("`,` or `]` in the attribute block")),
+            }
+        }
+    }
+    // branch length = output
+    s.skip_ws();
+    if s.peek() == Some(':') {
+        let pos = s.pos();
+        s.bump();
+        let value = s.number("branch length")?;
+        if node.output.is_some() {
+            return Err(TreeParseError::DuplicateAttribute {
+                line: pos.0,
+                col: pos.1,
+                name: "output",
+            });
+        }
+        node.output = Some(value);
+    }
+    Ok(())
+}
+
+/// Resolves ids (numeric dense labels, else preorder) and packs the nodes
+/// into a [`TaskTree`].
+fn build(nodes: Vec<PNode>, root: usize) -> Result<TaskTree, TreeParseError> {
+    debug_assert_eq!(nodes[root].parent, None);
+    let n = nodes.len();
+    let all_numeric = nodes.iter().all(
+        |p| matches!(&p.label, Some(l) if !l.is_empty() && l.bytes().all(|b| b.is_ascii_digit())),
+    );
+    // id_of[k] = final id of parse-order node k
+    let id_of: Vec<usize> = if all_numeric {
+        let mut seen = vec![false; n];
+        let mut ids = Vec::with_capacity(n);
+        for p in &nodes {
+            let label = p.label.as_deref().expect("all labeled");
+            let (line, col) = p.label_pos;
+            let id: usize = label.parse().map_err(|_| TreeParseError::LabelId {
+                line,
+                col,
+                detail: format!("`{label}` is out of range"),
+            })?;
+            if id >= n {
+                return Err(TreeParseError::LabelId {
+                    line,
+                    col,
+                    detail: format!("id {id} out of range for {n} node(s)"),
+                });
+            }
+            if seen[id] {
+                return Err(TreeParseError::LabelId {
+                    line,
+                    col,
+                    detail: format!("duplicate id {id}"),
+                });
+            }
+            seen[id] = true;
+            ids.push(id);
+        }
+        ids
+    } else {
+        (0..n).collect()
+    };
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    let mut work = vec![0.0; n];
+    let mut output = vec![0.0; n];
+    let mut exec = vec![0.0; n];
+    for (k, p) in nodes.iter().enumerate() {
+        let id = id_of[k];
+        parents[id] = p.parent.map(|pk| id_of[pk]);
+        work[id] = p.work.unwrap_or(1.0);
+        output[id] = p.output.unwrap_or(1.0);
+        exec[id] = p.exec.unwrap_or(0.0);
+    }
+    Ok(TaskTree::from_parents(&parents, &work, &output, &exec)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesched_model::NodeId;
+
+    #[test]
+    fn plain_newick_with_branch_lengths() {
+        let t = from_newick("((a:1,b:2)c:0.5,d:3)root;").unwrap();
+        assert_eq!(t.len(), 5);
+        // preorder ids: root=0, c=1, a=2, b=3, d=4
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.output(NodeId(1)), 0.5);
+        assert_eq!(t.output(NodeId(4)), 3.0);
+        assert_eq!(t.work(NodeId(0)), 1.0, "default work");
+        assert_eq!(t.output(NodeId(0)), 1.0, "default output");
+        assert_eq!(t.exec(NodeId(0)), 0.0, "default exec");
+    }
+
+    #[test]
+    fn attributes_and_numeric_ids() {
+        let t = from_newick("(2[&work=5,output=6,exec=7],1[&work=8])0[&exec=0.5];").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.work(NodeId(2)), 5.0);
+        assert_eq!(t.output(NodeId(2)), 6.0);
+        assert_eq!(t.exec(NodeId(2)), 7.0);
+        assert_eq!(t.work(NodeId(1)), 8.0);
+        assert_eq!(t.exec(NodeId(0)), 0.5);
+        // children sorted by ascending id, the from_parents convention
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn quoted_labels_and_whitespace() {
+        let t = from_newick("( 'a b' :2 ,\n  c )\n'the root' ;").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.output(NodeId(1)), 2.0);
+    }
+
+    #[test]
+    fn anonymous_nodes() {
+        let t = from_newick("((,),);").unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.children(NodeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0), Some(0), Some(1)],
+            &[1.5, 2.0, 0.25, 3.0],
+            &[0.5, 1.0, 2.0, 4.0],
+            &[0.0, 0.125, 0.0, 7.0],
+        )
+        .unwrap();
+        let back = from_newick(&to_newick(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // the second line opens a paren that never closes
+        let e = from_newick("(a,\n(b,c;").unwrap_err();
+        assert_eq!(
+            e,
+            TreeParseError::Syntax {
+                line: 2,
+                col: 5,
+                expected: "`)` (unclosed `(`)",
+                found: "`;`".into()
+            }
+        );
+        assert_eq!(
+            e.to_string(),
+            "line 2, col 5: expected `)` (unclosed `(`), found `;`"
+        );
+
+        let e = from_newick("(a[&speed=3]);").unwrap_err();
+        assert_eq!(
+            e,
+            TreeParseError::UnknownAttribute {
+                line: 1,
+                col: 5,
+                name: "speed".into()
+            }
+        );
+
+        let e = from_newick("(a[&work=1,work=2]);").unwrap_err();
+        assert!(matches!(
+            e,
+            TreeParseError::DuplicateAttribute {
+                name: "work",
+                col: 12,
+                ..
+            }
+        ));
+
+        // branch length + output attribute clash, reported at the `:`
+        let e = from_newick("(a[&output=1]:2);").unwrap_err();
+        assert!(matches!(
+            e,
+            TreeParseError::DuplicateAttribute {
+                name: "output",
+                col: 14,
+                ..
+            }
+        ));
+
+        let e = from_newick("(a:x);").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "line 1, col 4: cannot parse branch length as a number"
+        );
+
+        let e = from_newick("(a,b); junk").unwrap_err();
+        assert!(matches!(e, TreeParseError::Trailing { line: 1, col: 8 }));
+
+        assert_eq!(from_newick("   \n "), Err(TreeParseError::Empty));
+
+        // numeric labels must be dense and unique
+        let e = from_newick("(1,1)0;").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "line 1, col 4: bad node id label: duplicate id 1"
+        );
+        let e = from_newick("(1,7)0;").unwrap_err();
+        assert!(e.to_string().contains("id 7 out of range for 3 node(s)"));
+    }
+
+    #[test]
+    fn comma_at_top_level_is_rejected() {
+        let e = from_newick("a,b;").unwrap_err();
+        assert!(matches!(e, TreeParseError::Syntax { .. }));
+    }
+}

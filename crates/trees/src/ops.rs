@@ -1,0 +1,195 @@
+//! Structural transforms: prune subtrees, extract a subtree.
+//!
+//! Both transforms renumber the surviving nodes densely (keeping their
+//! relative id order) and rebuild through `TaskTree::from_parents`, so the
+//! result obeys the same ascending-child-id convention as every other tree
+//! in the workspace and round-trips through the writers unchanged.
+
+use treesched_model::{NodeId, TaskTree};
+
+/// A failure applying a structural transform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// A node id outside the tree.
+    UnknownNode {
+        /// The offending id.
+        id: usize,
+        /// The tree size it was checked against.
+        len: usize,
+    },
+    /// Pruning the root would leave no tree.
+    PruneRoot,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::UnknownNode { id, len } => {
+                write!(f, "node {id} out of range (tree has {len} node(s))")
+            }
+            OpError::PruneRoot => write!(f, "cannot prune the root"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// Removes the subtrees rooted at `roots` (the named nodes and all their
+/// descendants) and renumbers the survivors densely in ascending old-id
+/// order. Pruning the root — directly or by listing every child path — is
+/// an [`OpError::PruneRoot`].
+pub fn prune(tree: &TaskTree, roots: &[usize]) -> Result<TaskTree, OpError> {
+    let n = tree.len();
+    let mut dead = vec![false; n];
+    for &id in roots {
+        if id >= n {
+            return Err(OpError::UnknownNode { id, len: n });
+        }
+        if NodeId::from_index(id) == tree.root() {
+            return Err(OpError::PruneRoot);
+        }
+        dead[id] = true;
+    }
+    // propagate: a node is dead if any ancestor is a prune root; ids are
+    // arbitrary, so walk from each live node to its nearest decided
+    // ancestor (path-compressed by memoizing along the way)
+    let mut state = vec![0u8; n]; // 0 unknown, 1 live, 2 dead
+    state[tree.root().index()] = 1;
+    let mut path = Vec::new();
+    for start in 0..n {
+        if state[start] != 0 || dead[start] {
+            if dead[start] {
+                state[start] = 2;
+            }
+            continue;
+        }
+        path.clear();
+        let mut cur = start;
+        let verdict = loop {
+            if state[cur] != 0 {
+                break state[cur];
+            }
+            if dead[cur] {
+                break 2;
+            }
+            path.push(cur);
+            cur = tree
+                .parent(NodeId::from_index(cur))
+                .expect("non-root has a parent")
+                .index();
+        };
+        for &i in &path {
+            state[i] = verdict;
+        }
+    }
+    let mut new_id = vec![usize::MAX; n];
+    let mut kept = 0usize;
+    for i in 0..n {
+        if state[i] == 1 {
+            new_id[i] = kept;
+            kept += 1;
+        }
+    }
+    let mut parents = Vec::with_capacity(kept);
+    let mut work = Vec::with_capacity(kept);
+    let mut output = Vec::with_capacity(kept);
+    let mut exec = Vec::with_capacity(kept);
+    for (i, &keep) in state.iter().enumerate() {
+        if keep != 1 {
+            continue;
+        }
+        let id = NodeId::from_index(i);
+        parents.push(tree.parent(id).map(|p| new_id[p.index()]));
+        work.push(tree.work(id));
+        output.push(tree.output(id));
+        exec.push(tree.exec(id));
+    }
+    Ok(TaskTree::from_parents(&parents, &work, &output, &exec)
+        .expect("pruning a valid tree keeps it valid"))
+}
+
+/// Extracts the subtree rooted at `root` as a standalone tree, nodes
+/// renumbered densely in ascending old-id order (the new root is id 0
+/// only when `root` had the smallest id in its subtree).
+pub fn subtree(tree: &TaskTree, root: usize) -> Result<TaskTree, OpError> {
+    let n = tree.len();
+    if root >= n {
+        return Err(OpError::UnknownNode { id: root, len: n });
+    }
+    let r = NodeId::from_index(root);
+    let (_, nodes) = tree.subtree(r);
+    let mut member: Vec<usize> = nodes.iter().map(|i| i.index()).collect();
+    member.sort_unstable();
+    let mut new_id = vec![usize::MAX; n];
+    for (k, &i) in member.iter().enumerate() {
+        new_id[i] = k;
+    }
+    let mut parents = Vec::with_capacity(member.len());
+    let mut work = Vec::with_capacity(member.len());
+    let mut output = Vec::with_capacity(member.len());
+    let mut exec = Vec::with_capacity(member.len());
+    for &i in &member {
+        let id = NodeId::from_index(i);
+        parents.push(if id == r {
+            None
+        } else {
+            tree.parent(id).map(|p| new_id[p.index()])
+        });
+        work.push(tree.work(id));
+        output.push(tree.output(id));
+        exec.push(tree.exec(id));
+    }
+    Ok(TaskTree::from_parents(&parents, &work, &output, &exec)
+        .expect("a subtree of a valid tree is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskTree {
+        // 0 ← {1, 2}; 1 ← {3, 4}; 2 ← {5}
+        TaskTree::from_parents(
+            &[None, Some(0), Some(0), Some(1), Some(1), Some(2)],
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[0.5, 1.5, 2.5, 3.5, 4.5, 5.5],
+            &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prune_removes_whole_subtree() {
+        let t = prune(&sample(), &[1]).unwrap();
+        // survivors: old 0, 2, 5 → new 0, 1, 2
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.work(NodeId(1)), 3.0);
+        assert_eq!(t.work(NodeId(2)), 6.0);
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn prune_root_is_refused() {
+        assert_eq!(prune(&sample(), &[0]), Err(OpError::PruneRoot));
+        let e = prune(&sample(), &[9]).unwrap_err();
+        assert_eq!(e.to_string(), "node 9 out of range (tree has 6 node(s))");
+    }
+
+    #[test]
+    fn subtree_renumbers_densely() {
+        let t = subtree(&sample(), 1).unwrap();
+        // members old {1, 3, 4} → new {0, 1, 2}
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.work(NodeId(0)), 2.0);
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.exec(NodeId(2)), 0.4);
+    }
+
+    #[test]
+    fn subtree_of_leaf_is_single_node() {
+        let t = subtree(&sample(), 5).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.work(NodeId(0)), 6.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Newick round-trip over the generator zoo plus malformed-input pins.
+//!
+//! The writer labels every node with its arena id and spells all three
+//! weights, so `from_newick(to_newick(t))` must reproduce `t` exactly —
+//! ids, work, output, exec, and child order (ascending id, the
+//! `from_parents` convention every generator obeys).
+
+use proptest::prelude::*;
+use treesched_model::TaskTree;
+use treesched_trees::{from_newick, to_newick};
+
+fn assert_roundtrip(t: &TaskTree) {
+    let nwk = to_newick(t);
+    let back = from_newick(&nwk).expect("writer output parses");
+    assert_eq!(t, &back, "round trip changed the tree for {nwk}");
+}
+
+#[test]
+fn zoo_roundtrips() {
+    use treesched_gen::{caterpillar, random_attachment, random_deep, spider, WeightRange};
+    let mut zoo: Vec<TaskTree> = vec![
+        TaskTree::chain(1, 3.0, 2.0, 1.0),
+        TaskTree::chain(17, 1.5, 0.25, 0.0),
+        TaskTree::fork(9, 2.0, 1.0, 0.5),
+        TaskTree::complete(2, 5, 1.0, 2.0, 0.5),
+        TaskTree::complete(3, 4, 2.5, 0.0, 1.0),
+        caterpillar(10, 3),
+        spider(6, 4),
+    ];
+    for seed in 0..8 {
+        zoo.push(random_attachment(40, WeightRange::MIXED, seed));
+        zoo.push(random_deep(40, 4, WeightRange::PEBBLE, seed));
+    }
+    for t in &zoo {
+        assert_roundtrip(t);
+    }
+}
+
+#[test]
+fn assembly_trees_roundtrip() {
+    use treesched_sparse::{assembly_tree, generate, generate::Stencil};
+    for limit in [1, 4] {
+        let t = assembly_tree(&generate::grid2d(7, 5, Stencil::Star), limit).unwrap();
+        assert_roundtrip(&t);
+        let t = assembly_tree(&generate::band(30, 3), limit).unwrap();
+        assert_roundtrip(&t);
+    }
+}
+
+fn arb_tree(max_nodes: usize) -> impl Strategy<Value = TaskTree> {
+    (1..=max_nodes)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
+            let weights = proptest::collection::vec((0u32..100, 0u32..100, 0u32..100), n);
+            (parents, weights)
+        })
+        .prop_map(|(parents, weights)| {
+            let n = parents.len() + 1;
+            let pvec: Vec<Option<usize>> = std::iter::once(None)
+                .chain(parents.into_iter().map(Some))
+                .collect();
+            // quarter-integer weights exercise non-integer f64 Display
+            let w: Vec<f64> = (0..n).map(|i| weights[i].0 as f64 / 4.0).collect();
+            let f: Vec<f64> = (0..n).map(|i| weights[i].1 as f64 / 4.0).collect();
+            let x: Vec<f64> = (0..n).map(|i| weights[i].2 as f64 / 4.0).collect();
+            TaskTree::from_parents(&pvec, &w, &f, &x).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_trees_roundtrip(t in arb_tree(60)) {
+        let nwk = to_newick(&t);
+        let back = from_newick(&nwk).expect("writer output parses");
+        prop_assert_eq!(t, back);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: exact wording and positions are a contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_newick_wording_is_pinned() {
+    let cases: &[(&str, &str)] = &[
+        ("", "input holds no tree"),
+        (
+            "(a,b)",
+            "line 1, col 6: expected `,`, `)` or `;`, found end of input",
+        ),
+        (
+            "(a,b));",
+            "line 1, col 6: expected `;` (a `)` without a matching `(`), found `)`",
+        ),
+        (
+            "(a,(b,c);",
+            "line 1, col 9: expected `)` (unclosed `(`), found `;`",
+        ),
+        (
+            "(a,\n(b",
+            "line 2, col 3: expected `,`, `)` or `;`, found end of input",
+        ),
+        ("(a,b); x", "line 1, col 8: trailing text after the tree"),
+        (
+            "(a[&speed=1],b);",
+            "line 1, col 5: unknown attribute `speed` (expected work, output or exec)",
+        ),
+        (
+            "(a[&work=1,\n b[&work=2,work=3]);",
+            "line 1, col 12: expected `=` after the attribute key, found `\\n`",
+        ),
+        (
+            "(a[&work=1][&work=2],b);",
+            "line 1, col 12: expected `,`, `)` or `;`, found `[`",
+        ),
+        (
+            "(a[&work=1,work=2],b);",
+            "line 1, col 12: duplicate `work` for this node",
+        ),
+        (
+            "(a[&output=1]:2,b);",
+            "line 1, col 14: duplicate `output` for this node",
+        ),
+        (
+            "(a:zzz,b);",
+            "line 1, col 4: cannot parse branch length as a number",
+        ),
+        (
+            "(a[&work=],b);",
+            "line 1, col 10: cannot parse work as a number",
+        ),
+        (
+            "(1,1)2;",
+            "line 1, col 4: bad node id label: duplicate id 1",
+        ),
+        (
+            "(1,5)0;",
+            "line 1, col 4: bad node id label: id 5 out of range for 3 node(s)",
+        ),
+        (
+            "('x,b);",
+            "line 1, col 8: expected closing `'`, found end of input",
+        ),
+    ];
+    for (input, want) in cases {
+        let got = from_newick(input).expect_err(input).to_string();
+        assert_eq!(&got, want, "for input {input:?}");
+    }
+}
+
+#[test]
+fn malformed_mm_wording_is_pinned() {
+    use treesched_trees::{parse_pattern, IngestOptions};
+    let cases: &[(&str, &str)] = &[
+        (
+            "%MatrixMarket matrix coordinate pattern symmetric\n1 1 1\n1 1\n",
+            "line 1: bad MatrixMarket header: first line must start with `%%MatrixMarket`",
+        ),
+        (
+            "%%MatrixMarket matrix coordinate pattern skew-symmetric\n1 1 1\n1 1\n",
+            "line 1: bad MatrixMarket header: unsupported symmetry `skew-symmetric` \
+             (expected symmetric or general)",
+        ),
+        (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% c\n2 x 3\n",
+            "line 3: bad MatrixMarket header: size line must read `rows cols nnz`, bad cols",
+        ),
+        (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1\n",
+            "line 3: bad MatrixMarket entry: bad column index",
+        ),
+        (
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1\n",
+            "line 3: bad MatrixMarket entry: missing value field",
+        ),
+    ];
+    for (input, want) in cases {
+        let got = parse_pattern(input).expect_err(input).to_string();
+        assert_eq!(&got, want, "for input {input:?}");
+    }
+    // parse failures surface through load() with the path attached
+    let e = treesched_trees::load("/nonexistent/x.nwk", IngestOptions::default()).unwrap_err();
+    assert!(e
+        .to_string()
+        .starts_with("cannot read /nonexistent/x.nwk: "));
+}
+
+// ---------------------------------------------------------------------------
+// Fixture corpus
+// ---------------------------------------------------------------------------
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn fixtures_parse_and_validate() {
+    use treesched_model::ValidateExt;
+    use treesched_trees::{load, Format, IngestOptions};
+    for (name, format, nodes) in [
+        ("fork.nwk", Format::Newick, 6),
+        ("weighted.nwk", Format::Newick, 5),
+        ("plain.nwk", Format::Newick, 9),
+        ("band8.mtx", Format::MatrixMarket, 8),
+        ("star9.mtx", Format::MatrixMarket, 9),
+    ] {
+        let (tree, detected) = load(&fixture(name), IngestOptions::default()).expect(name);
+        assert_eq!(detected, format, "{name}");
+        assert_eq!(tree.len(), nodes, "{name}");
+        tree.validate().expect(name);
+        assert_roundtrip(&tree);
+    }
+}
+
+#[test]
+fn fork_fixture_has_explicit_ids() {
+    use treesched_model::NodeId;
+    let (tree, _) = treesched_trees::load(
+        &fixture("fork.nwk"),
+        treesched_trees::IngestOptions::default(),
+    )
+    .unwrap();
+    // ids in the file are authoritative, not document order
+    assert_eq!(tree.root(), NodeId(0));
+    assert_eq!(tree.work(NodeId(0)), 5.0);
+    assert_eq!(tree.work(NodeId(3)), 4.0);
+    assert_eq!(tree.children(NodeId(3)), &[NodeId(4), NodeId(5)]);
+}

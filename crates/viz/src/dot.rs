@@ -1,0 +1,125 @@
+//! Styled Graphviz DOT export.
+//!
+//! The model crate's `io::to_dot` is the bare structural dump; this
+//! renderer encodes the weights visually so big workloads stay readable
+//! at a glance: node fill shades with `work` (white → dark grey, work
+//! renders in white past mid-scale) and edge penwidth scales with the
+//! child's `output` — the communication volume the edge carries.
+
+use std::fmt::Write as _;
+use treesched_model::TaskTree;
+
+/// Options for [`styled_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name (shown by viewers, quoted/escaped here).
+    pub name: String,
+    /// Also print `w/f/n` numbers inside each node label.
+    pub weights_in_labels: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> DotOptions {
+        DotOptions {
+            name: "tree".into(),
+            weights_in_labels: true,
+        }
+    }
+}
+
+/// Renders `tree` as a Graphviz digraph with work-shaded node fills and
+/// output-scaled edge widths. Edges point child → parent (`rankdir=BT`),
+/// matching the data-flow direction of the model.
+pub fn styled_dot(tree: &TaskTree, opts: &DotOptions) -> String {
+    let max_work = tree.max_work().max(f64::MIN_POSITIVE);
+    let max_output = tree.max_output().max(f64::MIN_POSITIVE);
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", opts.name.replace('"', "\\\""));
+    let _ = writeln!(s, "  rankdir=BT;");
+    let _ = writeln!(
+        s,
+        "  node [shape=box, style=filled, fontsize=10, fontname=\"monospace\"];"
+    );
+    for i in tree.ids() {
+        // work shade: 0 → white, max → dark grey (25% lightness floor)
+        let frac = (tree.work(i) / max_work).clamp(0.0, 1.0);
+        let lightness = 100.0 - 75.0 * frac;
+        let grey = (lightness * 255.0 / 100.0).round() as u8;
+        let font = if lightness < 55.0 { "white" } else { "black" };
+        let label = if opts.weights_in_labels {
+            format!(
+                "{}\\nw={} f={} n={}",
+                i.index(),
+                tree.work(i),
+                tree.output(i),
+                tree.exec(i)
+            )
+        } else {
+            format!("{}", i.index())
+        };
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{label}\", fillcolor=\"#{grey:02x}{grey:02x}{grey:02x}\", \
+             fontcolor={font}];",
+            i.index()
+        );
+    }
+    for i in tree.ids() {
+        if let Some(p) = tree.parent(i) {
+            // output width: 0.5pt floor to 4pt for the largest transfer
+            let frac = (tree.output(i) / max_output).clamp(0.0, 1.0);
+            let width = 0.5 + 3.5 * frac;
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [penwidth={width:.2}];",
+                i.index(),
+                p.index()
+            );
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shades_and_widths_scale_with_weights() {
+        let t = TaskTree::from_parents(
+            &[None, Some(0), Some(0)],
+            &[4.0, 2.0, 0.0],
+            &[0.0, 3.0, 1.0],
+            &[0.0; 3],
+        )
+        .unwrap();
+        let dot = styled_dot(&t, &DotOptions::default());
+        // max work → darkest fill, white text
+        assert!(
+            dot.contains("n0 [label=\"0\\nw=4 f=0 n=0\", fillcolor=\"#404040\", fontcolor=white];")
+        );
+        // zero work → white fill, black text
+        assert!(
+            dot.contains("n2 [label=\"2\\nw=0 f=1 n=0\", fillcolor=\"#ffffff\", fontcolor=black];")
+        );
+        // max output → 4pt, smaller one thinner
+        assert!(dot.contains("n1 -> n0 [penwidth=4.00];"));
+        assert!(dot.contains("n2 -> n0 [penwidth=1.67];"));
+        assert!(dot.starts_with("digraph \"tree\" {"));
+    }
+
+    #[test]
+    fn bare_labels_and_quoted_name() {
+        let t = TaskTree::chain(2, 1.0, 1.0, 0.0);
+        let dot = styled_dot(
+            &t,
+            &DotOptions {
+                name: "a \"b\"".into(),
+                weights_in_labels: false,
+            },
+        );
+        assert!(dot.starts_with("digraph \"a \\\"b\\\"\" {"));
+        assert!(dot.contains("n1 [label=\"1\","));
+    }
+}

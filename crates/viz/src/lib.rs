@@ -2,10 +2,12 @@
 //! profiles, and tree sketches — the visual half of the experiment
 //! tooling, with no graphics dependency.
 
+pub mod dot;
 pub mod gantt;
 pub mod profile;
 pub mod treeview;
 
+pub use dot::{styled_dot, DotOptions};
 pub use gantt::{gantt, GanttOptions};
 pub use profile::{memory_profile_plot, ProfileOptions};
 pub use treeview::tree_sketch;

@@ -18,6 +18,8 @@
 //! * [`transport`] — the long-lived serving daemon: streaming drains
 //!   with per-client ordered response channels, bounded in-flight
 //!   backpressure, and stdio-pipe / Unix-socket transports.
+//! * [`trees`] — the workload toolbox: attributed-Newick and MatrixMarket
+//!   ingest, prune/subtree transforms, and serve-wire request export.
 //! * [`mod@bench`] — the experiment layer: declarative campaign specs
 //!   ([`bench::CampaignSpec`]) executed over the serving engine, plus the
 //!   paper's table/figure aggregations.
@@ -32,6 +34,7 @@ pub use treesched_seq as seq;
 pub use treesched_serve as serve;
 pub use treesched_sparse as sparse;
 pub use treesched_transport as transport;
+pub use treesched_trees as trees;
 pub use treesched_viz as viz;
 
 pub use treesched_model::{NodeId, TaskTree, TreeBuilder, TreeStats};
