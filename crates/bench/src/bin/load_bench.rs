@@ -10,18 +10,20 @@
 //!
 //! Reported per run: achieved request rate and the p50/p95/p99/max
 //! response latency (submit-to-response, milliseconds), plus error and
-//! overload counts. The JSON record goes through the shared
-//! [`JsonRecord`] builder like every other `--json` surface. **Timing
-//! numbers are advisory** — CI gates on error records, never on
-//! latency — so the benchmark exits 1 only on lost/duplicated responses
-//! or scheduling errors.
+//! overload counts. Latencies accumulate in the shared
+//! [`treesched_obs::Histogram`] (microsecond samples, log2 buckets) —
+//! the same type the serve daemon snapshots — and the JSON record goes
+//! through the shared [`JsonRecord`] builder like every other `--json`
+//! surface. **Timing numbers are advisory** — CI gates on error
+//! records, never on latency — so the benchmark exits 1 only on
+//! lost/duplicated responses or scheduling errors.
 
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use treesched_bench::stats::percentile;
 use treesched_core::SchedulerRegistry;
 use treesched_model::{io as tree_io, TaskTree};
+use treesched_obs::Histogram;
 use treesched_serve::JsonRecord;
 use treesched_transport::{unframe, Daemon, DaemonConfig};
 
@@ -185,7 +187,7 @@ fn main() {
     let receiver_sent = Arc::clone(&sent);
     let expect = opts.requests;
     let receiver = std::thread::spawn(move || {
-        let mut latencies_ms = vec![f64::NAN; expect];
+        let latency_us = Histogram::new();
         let mut seen = vec![false; expect];
         let mut errors = 0u64;
         let mut overloaded = 0u64;
@@ -214,10 +216,16 @@ fn main() {
                 eprint!("error record: {record}");
             }
             let submit = receiver_sent[n].get().expect("stamped before submit");
-            latencies_ms[n] = done.duration_since(*submit).as_secs_f64() * 1e3;
+            latency_us.record(done.duration_since(*submit).as_micros() as u64);
         }
         let missing = seen.iter().filter(|&&s| !s).count() as u64;
-        (latencies_ms, errors, overloaded, duplicates, missing)
+        (
+            latency_us.snapshot(),
+            errors,
+            overloaded,
+            duplicates,
+            missing,
+        )
     });
 
     let clock = Instant::now();
@@ -231,23 +239,21 @@ fn main() {
         submitter.submit_or_overload(k + 1, line);
     }
     let submitted = submitter.submitted();
-    let (latencies_ms, errors, overloaded, duplicates, missing) =
+    let (latency, errors, overloaded, duplicates, missing) =
         receiver.join().expect("receiver thread");
     let elapsed = clock.elapsed().as_secs_f64();
     drop(submitter);
 
-    let answered: Vec<f64> = latencies_ms
-        .iter()
-        .copied()
-        .filter(|l| l.is_finite())
-        .collect();
     let achieved_rps = submitted as f64 / elapsed.max(1e-9);
+    // quantiles from the merged log2 buckets: each is the inclusive upper
+    // bound of its rank's bucket, capped by the exact tracked max
+    let to_ms = |us: u64| us as f64 / 1e3;
     let (p50, p95, p99) = (
-        percentile(&answered, 50.0),
-        percentile(&answered, 95.0),
-        percentile(&answered, 99.0),
+        to_ms(latency.p50()),
+        to_ms(latency.p95()),
+        to_ms(latency.p99()),
     );
-    let max_ms = answered.iter().copied().fold(0.0f64, f64::max);
+    let max_ms = to_ms(latency.max);
 
     if opts.json {
         print!(

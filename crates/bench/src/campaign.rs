@@ -585,6 +585,8 @@ impl CampaignRunner {
                 traversal_reuses: after.traversal_reuses - before.traversal_reuses,
                 subtree_views: after.subtree_views - before.subtree_views,
                 subtree_clones: after.subtree_clones - before.subtree_clones,
+                worker_lost: after.worker_lost - before.worker_lost,
+                reroutes: after.reroutes - before.reroutes,
             },
         })
     }

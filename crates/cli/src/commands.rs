@@ -25,8 +25,11 @@ commands:
   seq FILE [--algo best|naive|liu]  sequential traversal peak + order head
   schedule FILE -p N [--scheduler S] [--seq A] [--cap X] [--seed N]
            [--speeds L] [--domains D] [--comm C]
+           [--ordering K] [--amalg N]
            [--json] [--gantt] [--profile] [--placements]
-                                    parallel schedule + evaluation
+                                    parallel schedule + evaluation; FILE
+                                    may be v1, Newick, or MatrixMarket
+                                    (--ordering natural|amd|rcm, --amalg)
   schedulers                        list registered schedulers + aliases
   serve [FILE] [--workers N] [--speeds L] [--domains D] [--comm C]
                                     batched serving: JSONL requests from
@@ -36,10 +39,17 @@ commands:
                                     daemon mode: responses stream out in
                                     completion order, framed with their
                                     submission index (`\"n\"`), over stdio
-                                    or a Unix socket shared by clients
+                                    or a Unix socket shared by clients;
+                                    SIGTERM drains gracefully (no new
+                                    work, in-flight lines answered)
+  serve ... --metrics-out FILE      write a final metrics snapshot (the
+                                    `{\"op\":\"metrics\"}` record) to FILE
+                                    when the serve ends
   connect PATH [--raw]              client for `serve --listen`: stdin to
                                     the daemon, batch-identical output
                                     (or the raw framed stream) on stdout
+  metrics PATH                      fetch a live metrics snapshot from a
+                                    `serve --listen` daemon at PATH
   pareto FILE -p N [--json] [--speeds L] [--domains D]
                                     exact (makespan, memory) frontier
   campaign [--spec FILE | flags]    declarative experiment campaign over the
@@ -134,6 +144,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "schedulers" => cmd_schedulers(rest),
         "serve" => cmd_serve(rest),
         "connect" => cmd_connect(rest),
+        "metrics" => cmd_metrics(rest),
         "pareto" => cmd_pareto(rest),
         "campaign" => cmd_campaign(rest),
         "tree" => crate::tree::execute(rest),
@@ -459,6 +470,7 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
     let mut speeds: Option<&String> = None;
     let mut domains: Option<&String> = None;
     let mut comm: Option<&String> = None;
+    let mut ingest = treesched_trees::IngestOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -467,6 +479,25 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
                     it.next().ok_or_else(|| CliError::new("-p needs N"))?,
                     "N",
                 )?)
+            }
+            "--ordering" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::new("--ordering needs natural|amd|rcm"))?;
+                ingest.ordering = treesched_trees::OrderingKind::parse(v).ok_or_else(|| {
+                    CliError::new(format!(
+                        "unknown ordering `{v}` (expected natural, amd or rcm)"
+                    ))
+                })?;
+            }
+            "--amalg" => {
+                ingest.amalg = parse_num(
+                    it.next().ok_or_else(|| CliError::new("--amalg needs N"))?,
+                    "--amalg",
+                )?;
+                if ingest.amalg == 0 {
+                    return Err(CliError::new("--amalg must be at least 1"));
+                }
             }
             "--scheduler" | "--heuristic" => {
                 name = Some(
@@ -535,7 +566,11 @@ fn cmd_schedule(args: &[String]) -> Result<String, CliError> {
             return Err(CliError::new("--cap must be a finite number"));
         }
     }
-    let tree = load_tree(path)?;
+    // any toolbox format schedules directly: v1, Newick, or MatrixMarket
+    // (routed through the elimination/assembly-tree pipeline with the
+    // --ordering/--amalg knobs), detected by extension then content
+    let (tree, _format) =
+        treesched_trees::load(path, ingest).map_err(|e| CliError::new(e.to_string()))?;
 
     let platform = build_platform(
         p,
@@ -716,9 +751,16 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut accept: u64 = 0;
     let mut inflight: usize = 64;
     let mut overload = false;
+    let mut metrics_out: Option<&String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::new("--metrics-out needs a PATH"))?,
+                );
+            }
             "--workers" => {
                 workers = parse_num(
                     it.next()
@@ -811,21 +853,40 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         // blocking backpressure by default; --overload sheds excess lines
         // as typed records instead
         let block = !overload;
+        // SIGTERM drains gracefully: the stoppable transports stop taking
+        // new work, answer every in-flight line, and return so the final
+        // snapshot (if requested) flushes and the process exits 0
+        let stop = treesched_transport::signal::term_flag();
+        let flush_metrics = |daemon: &Daemon| -> Result<(), CliError> {
+            if let Some(path) = metrics_out {
+                std::fs::write(path, daemon.metrics_json())
+                    .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            }
+            Ok(())
+        };
         if let Some(socket) = listen {
             let options = ListenOptions {
                 accept: (accept > 0).then_some(accept),
                 block,
             };
-            let served =
-                treesched_transport::listen_unix(&daemon, std::path::Path::new(socket), options)
-                    .map_err(|e| CliError::new(format!("cannot serve on {socket}: {e}")))?;
+            let served = treesched_transport::listen_unix_stoppable(
+                &daemon,
+                std::path::Path::new(socket),
+                options,
+                stop,
+            )
+            .map_err(|e| CliError::new(format!("cannot serve on {socket}: {e}")))?;
+            flush_metrics(&daemon)?;
             return Ok(format!("served {served} connections\n"));
         }
         // --stdio: framed responses stream straight to stdout in
-        // completion order; nothing is left to print afterwards
-        let stdin = std::io::stdin().lock();
-        treesched_transport::serve_stdio(&daemon, stdin, std::io::stdout(), block)
+        // completion order; nothing is left to print afterwards (the
+        // un-lockable Stdin handle is what the drain's detached reader
+        // thread needs)
+        let stdin = std::io::BufReader::new(std::io::stdin());
+        treesched_transport::serve_stdio_stoppable(&daemon, stdin, std::io::stdout(), block, stop)
             .map_err(|e| CliError::new(format!("stdio serve failed: {e}")))?;
+        flush_metrics(&daemon)?;
         return Ok(String::new());
     }
     if accept != 0 || overload || inflight != 64 {
@@ -843,7 +904,12 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         Some(p) => std::fs::read_to_string(p)
             .map_err(|e| CliError::new(format!("cannot read {p}: {e}")))?,
     };
-    Ok(serve_jsonl(&input, workers, default_platform.as_ref()))
+    let (output, snapshot) = serve_jsonl_with_metrics(&input, workers, default_platform.as_ref());
+    if let Some(path) = metrics_out {
+        std::fs::write(path, snapshot)
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(output)
 }
 
 /// Runs one JSONL request stream through a fresh engine and renders the
@@ -856,9 +922,48 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 /// uses, so a daemon client that stable-sorts its framed responses gets
 /// this function's output byte-for-byte (the transport crate pins that).
 pub fn serve_jsonl(input: &str, workers: usize, default_platform: Option<&Platform>) -> String {
+    serve_jsonl_with_metrics(input, workers, default_platform).0
+}
+
+/// Metric names mirrored from [`treesched_serve::ServeStats`] into the
+/// batch snapshot — the same spellings the serve daemon registers, so
+/// scrapes of either surface read identically.
+const ENGINE_MIRRORS: [&str; 8] = [
+    "engine_requests_total",
+    "engine_batches_total",
+    "traversal_computes_total",
+    "traversal_reuses_total",
+    "subtree_views_total",
+    "subtree_clones_total",
+    "worker_lost_total",
+    "reroutes_total",
+];
+
+/// As [`serve_jsonl`], additionally returning the final metrics snapshot
+/// as one `{"op":"metrics",...}` JSONL record (the `--metrics-out` body):
+/// stage spans for the parse and drain phases, a log2 histogram of
+/// per-request schedule times, and the engine counters under the same
+/// names the serve daemon registers. The response stream is byte-for-byte
+/// the [`serve_jsonl`] stream — metrics live entirely outside the
+/// response identity (a property test pins this).
+pub fn serve_jsonl_with_metrics(
+    input: &str,
+    workers: usize,
+    default_platform: Option<&Platform>,
+) -> (String, String) {
     let registry = SchedulerRegistry::standard();
     let mut engine = ServeEngine::new(registry, workers);
     let mut parser = RequestParser::new(default_platform.cloned());
+    // registration order is snapshot field order: engine mirrors, the
+    // schedule-time histogram, then the stage spans
+    let metrics = treesched_obs::MetricsRegistry::new();
+    let mirrors: Vec<_> = ENGINE_MIRRORS
+        .iter()
+        .map(|name| metrics.counter(name))
+        .collect();
+    let schedule_us = metrics.histogram("schedule_time_us");
+    let parse_span = metrics.span("span_parse");
+    let drain_span = metrics.span("span_drain");
     // one output slot per request line; protocol/file errors fill their
     // slot immediately, scheduled requests fill theirs after the drain
     let mut slots: Vec<Option<String>> = Vec::new();
@@ -871,7 +976,7 @@ pub fn serve_jsonl(input: &str, workers: usize, default_platform: Option<&Platfo
         slots.push(None);
         // the parser renders protocol/file errors (with their 1-based
         // line numbers) as finished records
-        match parser.build(lineno + 1, line) {
+        match parse_span.time(|| parser.build(lineno + 1, line)) {
             Ok(request) => {
                 engine.submit(request);
                 submitted.push(slot);
@@ -879,13 +984,47 @@ pub fn serve_jsonl(input: &str, workers: usize, default_platform: Option<&Platfo
             Err(record) => slots[slot] = Some(record),
         }
     }
-    for (k, result) in engine.drain().iter().enumerate() {
+    for (k, result) in drain_span.time(|| engine.drain()).iter().enumerate() {
+        schedule_us.record(result.time_us);
         slots[submitted[k]] = Some(treesched_serve::result_json(result));
     }
-    slots
+    let stats = engine.stats();
+    for (mirror, value) in mirrors.iter().zip([
+        stats.requests,
+        stats.batches,
+        stats.traversal_computes,
+        stats.traversal_reuses,
+        stats.subtree_views,
+        stats.subtree_clones,
+        stats.worker_lost,
+        stats.reroutes,
+    ]) {
+        mirror.store(value);
+    }
+    let snapshot = metrics
+        .snapshot()
+        .append(treesched_serve::JsonRecord::new().str("op", "metrics"))
+        .line();
+    let output = slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
-        .collect()
+        .collect();
+    (output, snapshot)
+}
+
+/// Client for the daemon's `{"op":"metrics"}` control request: fetches
+/// one live snapshot from a `serve --listen` daemon and prints the bare
+/// record (frame stripped), newline-terminated.
+fn cmd_metrics(args: &[String]) -> Result<String, CliError> {
+    const METRICS_USAGE: &str = "usage: treesched metrics PATH";
+    let [path] = args else {
+        return Err(CliError::new(METRICS_USAGE));
+    };
+    let input = std::io::Cursor::new("{\"op\":\"metrics\"}\n");
+    let mut out = Vec::new();
+    treesched_transport::connect_unix(std::path::Path::new(path), input, &mut out, false)
+        .map_err(|e| CliError::new(format!("cannot connect to {path}: {e}")))?;
+    String::from_utf8(out).map_err(|_| CliError::new("daemon answered with non-UTF8 bytes"))
 }
 
 /// Client for a `serve --listen` daemon: JSONL request lines from stdin

@@ -23,4 +23,4 @@
 pub mod commands;
 mod tree;
 
-pub use commands::{dispatch, serve_jsonl, CliError, USAGE};
+pub use commands::{dispatch, serve_jsonl, serve_jsonl_with_metrics, CliError, USAGE};

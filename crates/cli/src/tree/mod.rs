@@ -9,6 +9,7 @@
 
 mod convert;
 mod prune;
+mod reroot;
 mod stat;
 mod subtree;
 mod to_dot;
@@ -27,6 +28,9 @@ subcommands:
   convert FILE [-o OUT] [--to F]    re-emit as F = v1|newick|dot
   prune FILE ID.. [-o OUT] [--to F] drop the subtrees rooted at ID..
   subtree FILE ID [-o OUT] [--to F] extract the subtree rooted at ID
+  reroot FILE ID [-o OUT] [--to F]  re-hang the tree with ID as root
+                                    (path edges reverse, weights travel
+                                    with their edges)
   to-dot FILE [-o OUT] [--bare]     styled Graphviz (work shades nodes,
                                     output scales edge widths; --bare
                                     drops the weight numbers)
@@ -207,6 +211,7 @@ pub(crate) fn execute(args: &[String]) -> Result<String, CliError> {
         "stat" => stat::execute(rest),
         "convert" => convert::execute(rest),
         "prune" => prune::execute(rest),
+        "reroot" => reroot::execute(rest),
         "subtree" => subtree::execute(rest),
         "to-dot" => to_dot::execute(rest),
         "to-requests" => to_requests::execute(rest),

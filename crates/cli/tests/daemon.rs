@@ -153,3 +153,146 @@ fn stdio_daemon_round_trips_through_the_real_binary() {
     let got = treesched_transport::reorder(framed.lines()).expect("framed stream");
     assert_eq!(got, expected, "sorted stdio stream is the batch stream");
 }
+
+/// A second client asking `{"op":"metrics"}` mid-session gets a live
+/// snapshot whose counters conserve: everything submitted was answered
+/// and no worker died. The `metrics` subcommand is the transport.
+#[test]
+fn metrics_subcommand_reads_a_conserving_live_snapshot() {
+    let dir = fixture_dir();
+    let socket = dir.join(format!("metrics-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let input = request_stream(&dir, "m");
+
+    let daemon = Command::new(BIN)
+        .args(["serve", "--listen"])
+        .arg(&socket)
+        .args(["--accept", "2", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "daemon never bound {}", socket.display());
+
+    // connection 1: real traffic, run to completion so the engine
+    // counters have settled before the snapshot
+    let out = spawn_client(&socket, &input)
+        .wait_with_output()
+        .expect("client exits");
+    assert!(out.status.success());
+
+    // connection 2: the metrics subcommand
+    let snap = Command::new(BIN)
+        .arg("metrics")
+        .arg(&socket)
+        .output()
+        .expect("metrics subcommand runs");
+    assert!(
+        snap.status.success(),
+        "metrics failed: {}",
+        String::from_utf8_lossy(&snap.stderr)
+    );
+    let record = String::from_utf8(snap.stdout).unwrap();
+    assert!(record.starts_with("{\"op\":\"metrics\","), "{record}");
+
+    let count = |key: &str| -> u64 {
+        let tail = &record[record
+            .find(key)
+            .unwrap_or_else(|| panic!("{key} in {record}"))
+            + key.len()..];
+        tail.trim_start_matches(':')
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("counter value")
+    };
+    // conservation: 5 lines submitted (4 requests + 1 malformed), every
+    // one answered, plus this very metrics request counted in-band
+    assert_eq!(count("\"requests_total\""), 6, "{record}");
+    assert_eq!(count("\"responses_total\""), 6, "{record}");
+    assert_eq!(count("\"worker_lost_total\""), 0, "{record}");
+    assert_eq!(count("\"engine_requests_total\""), 4, "{record}");
+    assert!(record.contains("\"malformed_total\":1"), "{record}");
+    // one latency sample per answered traffic line (4 requests + 1
+    // malformed); the in-band metrics answer is not yet sent when sampled
+    assert!(
+        record.contains("\"response_latency_us\":{\"count\":5"),
+        "{record}"
+    );
+
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(out.status.success());
+}
+
+/// SIGTERM is a graceful drain: the daemon stops accepting, answers the
+/// in-flight connection, flushes `--metrics-out`, and exits 0.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_listening_daemon_and_flushes_metrics() {
+    let dir = fixture_dir();
+    let socket = dir.join(format!("sigterm-{}.sock", std::process::id()));
+    let metrics_file = dir.join(format!("sigterm-{}.metrics.json", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&metrics_file);
+    let input = request_stream(&dir, "t");
+    let expected = serve_jsonl(&input, 2, None);
+
+    // no --accept: without the signal this daemon would serve forever
+    let daemon = Command::new(BIN)
+        .args(["serve", "--listen"])
+        .arg(&socket)
+        .args(["--workers", "2", "--metrics-out"])
+        .arg(&metrics_file)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "daemon never bound {}", socket.display());
+
+    // one client runs to completion first — its work must survive the drain
+    let out = spawn_client(&socket, &input)
+        .wait_with_output()
+        .expect("client exits");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), expected);
+
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+
+    let out = daemon.wait_with_output().expect("daemon drains and exits");
+    assert!(
+        out.status.success(),
+        "daemon exit after SIGTERM: {:?}, stderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        "served 1 connections\n"
+    );
+    assert!(!socket.exists(), "drained daemon removes its socket file");
+
+    // the final snapshot reached the file and conserves: the connection
+    // submitted 5 lines (4 requests + 1 malformed), all were answered
+    let record = std::fs::read_to_string(&metrics_file).expect("metrics flushed");
+    assert!(record.starts_with("{\"op\":\"metrics\","), "{record}");
+    assert!(record.contains("\"requests_total\":5"), "{record}");
+    assert!(record.contains("\"responses_total\":5"), "{record}");
+    assert!(record.contains("\"worker_lost_total\":0"), "{record}");
+}

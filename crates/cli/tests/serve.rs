@@ -185,3 +185,113 @@ fn check_round_trip(input: &str) {
         }
     }
 }
+
+/// The observability contract: metering a serve run must never perturb
+/// the response stream. `serve_jsonl` and the snapshot-returning variant
+/// are exercised over generated request mixes (valid lines across both
+/// fixture trees, malformed lines, unknown schedulers, blanks) at several
+/// worker counts, and the streams must match byte-for-byte.
+mod metrics_identity {
+    use super::*;
+    use proptest::prelude::*;
+    use treesched_cli::serve_jsonl_with_metrics;
+
+    /// Renders one request line from its generated code.
+    fn line(dir: &str, code: usize, k: usize) -> String {
+        match code {
+            0 => format!(
+                "{{\"id\":\"g{k}\",\"tree\":\"{dir}/fork.tree\",\
+                 \"processors\":2,\"scheduler\":\"deepest\"}}"
+            ),
+            1 => format!(
+                "{{\"id\":\"g{k}\",\"tree\":\"{dir}/spider.tree\",\
+                 \"processors\":3,\"scheduler\":\"subtrees\"}}"
+            ),
+            2 => format!(
+                "{{\"id\":\"g{k}\",\"tree\":\"{dir}/fork.tree\",\
+                 \"processors\":4,\"scheduler\":\"inner\"}}"
+            ),
+            3 => "oops not json".to_string(),
+            4 => format!(
+                "{{\"id\":\"g{k}\",\"tree\":\"{dir}/fork.tree\",\
+                 \"processors\":2,\"scheduler\":\"nosuch\"}}"
+            ),
+            _ => String::new(), // blank line
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn metrics_never_perturb_the_response_stream(
+            codes in proptest::collection::vec(0usize..6, 1..20),
+            workers in 1usize..4,
+        ) {
+            // `requests("{DIR}")` generates the fixture trees and hands
+            // back the directory itself
+            let dir = requests("{DIR}");
+            let input: String = codes
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| format!("{}\n", line(&dir, c, k)))
+                .collect();
+            let plain = serve_jsonl(&input, workers, None);
+            let (metered, snapshot) = serve_jsonl_with_metrics(&input, workers, None);
+            prop_assert_eq!(&plain, &metered, "metrics perturbed the stream");
+            // the snapshot is a well-formed metrics record, outside the
+            // response stream
+            prop_assert!(snapshot.starts_with("{\"op\":\"metrics\","), "{}", snapshot);
+            prop_assert!(snapshot.ends_with("}\n"), "{}", snapshot);
+            // everything that parses reaches the engine — unknown
+            // schedulers error *there* and still count; only malformed
+            // JSON (3) and blank lines (5) stay outside
+            let scheduled = codes.iter().filter(|&&c| c != 3 && c != 5).count() as u64;
+            prop_assert!(
+                snapshot.contains(&format!("\"engine_requests_total\":{scheduled}")),
+                "want {} scheduled in {}", scheduled, snapshot
+            );
+            prop_assert!(snapshot.contains("\"schedule_time_us\":{\"count\":"), "{}", snapshot);
+            prop_assert!(snapshot.contains("\"span_parse\":"), "{}", snapshot);
+            prop_assert!(snapshot.contains("\"span_drain\":"), "{}", snapshot);
+        }
+    }
+}
+
+/// `serve --metrics-out` in batch mode: the response stream is untouched
+/// and the snapshot lands in the file with the engine counters filled.
+#[test]
+fn serve_metrics_out_writes_the_snapshot_beside_identical_output() {
+    let input = requests(REQUESTS_IN);
+    let dir = std::env::temp_dir().join("treesched-serve-golden");
+    let req_file = dir.join("metrics_requests.jsonl");
+    std::fs::write(&req_file, &input).unwrap();
+    let metrics_file = dir.join("metrics_snapshot.json");
+    let _ = std::fs::remove_file(&metrics_file);
+    let out = run(&[
+        "serve",
+        req_file.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--metrics-out",
+        metrics_file.to_str().unwrap(),
+    ]);
+    assert_eq!(out, serve_jsonl(&input, 2, None), "responses drifted");
+    let snapshot = std::fs::read_to_string(&metrics_file).expect("snapshot written");
+    assert!(snapshot.starts_with("{\"op\":\"metrics\","), "{snapshot}");
+    // every line that parses is an engine request (unknown schedulers
+    // error inside the engine and still count); only the malformed line
+    // is answered by the parser itself
+    let scheduled = out
+        .lines()
+        .filter(|l| !l.contains("\"error\":\"bad request on line"))
+        .count();
+    assert!(
+        snapshot.contains(&format!("\"engine_requests_total\":{scheduled}")),
+        "{snapshot}"
+    );
+    // every scheduled request left exactly one latency sample
+    assert!(
+        snapshot.contains(&format!("\"schedule_time_us\":{{\"count\":{scheduled}")),
+        "{snapshot}"
+    );
+}

@@ -208,3 +208,80 @@ fn to_requests_through_real_serve_binary_matches_golden() {
     assert_eq!(two, four);
     assert_eq!(one, got, "binary and library serve outputs diverged");
 }
+
+#[test]
+fn reroot_rehangs_the_tree_with_typed_errors() {
+    // hang the fork fixture from node 3: the old root becomes a child,
+    // the path edge reverses and its weight travels with it
+    let out = ok(&[
+        "tree",
+        "reroot",
+        &fixture("fork.nwk"),
+        "3",
+        "--to",
+        "newick",
+    ]);
+    assert_eq!(
+        out,
+        "((1[&work=2,output=1,exec=0],2[&work=3,output=2,exec=1])\
+         0[&work=5,output=2,exec=3],4[&work=1,output=0.5,exec=0],\
+         5[&work=1,output=0.5,exec=0])3[&work=4,output=0,exec=2];\n"
+    );
+    // rerooting at the current root is the identity
+    let same = ok(&[
+        "tree",
+        "reroot",
+        &fixture("fork.nwk"),
+        "0",
+        "--to",
+        "newick",
+    ]);
+    let original = std::fs::read_to_string(fixture("fork.nwk")).unwrap();
+    assert_eq!(same, original);
+    // typed op errors surface with their wording
+    let e = run(&["tree", "reroot", &fixture("fork.nwk"), "11"]).unwrap_err();
+    assert_eq!(e.message, "node 11 out of range (tree has 6 node(s))");
+}
+
+/// `schedule` ingests any toolbox format directly — no `tree convert`
+/// round-trip needed — and `--ordering` steers MatrixMarket elimination.
+#[test]
+fn schedule_ingests_toolbox_formats_directly() {
+    // the one-step path matches the two-step convert-then-schedule path
+    let direct = ok(&[
+        "schedule",
+        &fixture("band8.mtx"),
+        "--ordering",
+        "natural",
+        "-p",
+        "2",
+        "--scheduler",
+        "deepest",
+    ]);
+    assert!(direct.contains("makespan: 19.333333333333332"), "{direct}");
+
+    // amd ordering is accepted and schedules the same fixture
+    let amd = ok(&[
+        "schedule",
+        &fixture("band8.mtx"),
+        "--ordering",
+        "amd",
+        "-p",
+        "2",
+        "--scheduler",
+        "deepest",
+    ]);
+    assert!(amd.contains("scheduler: ParDeepestFirst"), "{amd}");
+    assert!(amd.contains("peak memory:"), "{amd}");
+
+    // newick input schedules without conversion too
+    let nwk = ok(&["schedule", &fixture("fork.nwk"), "-p", "2"]);
+    assert!(nwk.contains("makespan:"), "{nwk}");
+
+    // a bad ordering name is a usage error with the accepted set
+    let e = run(&["schedule", &fixture("band8.mtx"), "--ordering", "bogus"]).unwrap_err();
+    assert_eq!(
+        e.message,
+        "unknown ordering `bogus` (expected natural, amd or rcm)"
+    );
+}

@@ -1,0 +1,258 @@
+//! Fixed-bucket log2 latency histograms with exact merge.
+//!
+//! A [`Histogram`] has 65 power-of-two buckets: bucket 0 holds the value
+//! `0`, bucket `i` (1 ≤ i ≤ 64) holds values `v` with
+//! `2^(i-1) <= v < 2^i`. Recording is a single relaxed atomic increment,
+//! so per-worker locals cost nothing on the hot path; merging two
+//! snapshots is bucket-wise addition, which is *exact*: merging
+//! per-worker histograms yields bit-for-bit the histogram a single
+//! thread would have accumulated over the same samples, in any order and
+//! under any partition. Quantiles are derived from the merged buckets
+//! and report the inclusive upper bound of the bucket holding the rank,
+//! i.e. they over-estimate by at most 2x — the usual log2-histogram
+//! contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Returns the bucket index holding `value`.
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free log2 histogram of `u64` samples (typically microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample. Lock-free; safe from any number of threads.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: mergeable, queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see the module docs for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples; always equals the sum over `buckets` — every
+    /// sample lands in exactly one bucket.
+    pub count: u64,
+    /// Exact sum of all samples (wrapping only past `u64::MAX`).
+    pub sum: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition — exact).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (in percent, `0 < q <= 100`): the
+    /// inclusive upper bound of the bucket containing the sample of rank
+    /// `ceil(q/100 * count)`. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 100.0, "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // never over-report: the true maximum caps the bound
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for the median ([`quantile`](Self::quantile) at 50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(50.0)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(95.0)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99.0)
+    }
+
+    /// `buckets` with trailing zero buckets dropped (compact rendering).
+    pub fn trimmed(&self) -> &[u64] {
+        let last = self.buckets.iter().rposition(|&n| n != 0);
+        match last {
+            Some(i) => &self.buckets[..=i],
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..=64usize {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(bucket_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn every_sample_lands_in_exactly_one_bucket() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 3, 900, 901, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let s = HistogramSnapshot::new();
+        assert_eq!(s.quantile(50.0), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.trimmed(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn quantile_of_one_sample_is_that_sample_capped() {
+        let h = Histogram::new();
+        h.record(5); // bucket 3, bound 7, capped by max = 5
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 5);
+        assert_eq!(s.p95(), 5);
+        assert_eq!(s.p99(), 5);
+        assert_eq!(s.quantile(100.0), 5);
+    }
+
+    #[test]
+    fn quantile_all_one_bucket() {
+        let h = Histogram::new();
+        for v in 8..16 {
+            h.record(v); // all bucket 4, bound 15
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 15);
+        assert_eq!(s.p99(), 15);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.trimmed(), &[0, 0, 0, 0, 8]);
+    }
+
+    #[test]
+    fn quantiles_split_two_buckets() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1); // bucket 1, bound 1
+        }
+        h.record(1 << 30);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1);
+        assert_eq!(s.p95(), 1);
+        assert_eq!(s.quantile(100.0), 1 << 30);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for (i, v) in [3u64, 0, 17, 17, 1000, 65_536].iter().enumerate() {
+            if i % 2 == 0 { &a } else { &b }.record(*v);
+            all.record(*v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

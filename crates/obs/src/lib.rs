@@ -1,0 +1,34 @@
+//! Observability for the treesched serving stack.
+//!
+//! One small, dependency-light layer that every runtime component
+//! reports through:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic event totals and levels.
+//! * [`Histogram`] — fixed-bucket log2 latency histograms whose
+//!   snapshots merge *exactly* (bucket-wise addition), so per-worker
+//!   locals fold into one process-level view with p50/p95/p99 derived
+//!   from the merged buckets.
+//! * [`Span`] — lightweight stage timers for the serve pipeline
+//!   (parse → shard → schedule → drain).
+//! * [`MetricsRegistry`] — a named table of all of the above whose
+//!   [`MetricsSnapshot`] renders as one JSONL record through the shared
+//!   [`JsonRecord`](treesched_serve::JsonRecord) builder, or as
+//!   Prometheus-style text exposition.
+//!
+//! Metrics live **outside byte-identity**: instrumented serve paths
+//! produce response streams byte-identical to uninstrumented ones
+//! (pinned by property tests in the CLI crate), mirroring how `time_us`
+//! stays out of campaign goldens.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{bucket_bound, bucket_of, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricsRegistry, MetricsSnapshot, SnapshotValue};
+pub use span::{Span, SpanGuard, SpanSnapshot};

@@ -1,0 +1,306 @@
+//! Named metric registration and point-in-time snapshots.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{bucket_bound, Histogram, HistogramSnapshot};
+use crate::span::{Span, SpanSnapshot};
+use std::sync::{Arc, Mutex};
+use treesched_serve::JsonRecord;
+
+/// One registered metric handle.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Span(Arc<Span>),
+}
+
+/// A process-level table of named metrics.
+///
+/// Registration (`counter`/`gauge`/`histogram`/`span`) takes a short
+/// lock and returns a shared handle; the handles themselves are
+/// lock-free, so the hot path never contends. Registering the same name
+/// twice returns the existing handle, which lets independent components
+/// share one metric. Snapshot field order is registration order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl FnOnce(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some((_, m)) = entries.iter().find(|(n, _)| n == name) {
+            return pick(m)
+                .unwrap_or_else(|| panic!("metric `{name}` already registered with another kind"));
+        }
+        let metric = make();
+        let handle = pick(&metric).expect("freshly made metric has the requested kind");
+        entries.push((name.to_string(), metric));
+        handle
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.register(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.register(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.register(
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the stage span `name`.
+    pub fn span(&self, name: &str) -> Arc<Span> {
+        self.register(
+            name,
+            || Metric::Span(Arc::new(Span::new())),
+            |m| match m {
+                Metric::Span(s) => Some(Arc::clone(s)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time copy of every registered metric, in registration
+    /// order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().unwrap();
+        MetricsSnapshot {
+            entries: entries
+                .iter()
+                .map(|(name, m)| {
+                    let value = match m {
+                        Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                        Metric::Histogram(h) => SnapshotValue::Histogram(Box::new(h.snapshot())),
+                        Metric::Span(s) => SnapshotValue::Span(s.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(i64),
+    /// A histogram copy (boxed: 65 buckets dwarf the other variants).
+    Histogram(Box<HistogramSnapshot>),
+    /// A span copy.
+    Span(SpanSnapshot),
+}
+
+/// A consistent copy of a [`MetricsRegistry`], renderable as one JSONL
+/// record (through the workspace's shared [`JsonRecord`] builder) or as
+/// Prometheus-style text exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in registration order.
+    pub entries: Vec<(String, SnapshotValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter total by name (test and assertion helper).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            SnapshotValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            SnapshotValue::Histogram(h) if n == name => Some(h.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// Appends every metric as a field of `rec`, in registration order.
+    /// Counters and gauges become bare integers; a histogram becomes
+    /// `{"count":..,"sum":..,"max":..,"p50":..,"p95":..,"p99":..,
+    /// "buckets":[..]}` with trailing zero buckets trimmed; a span
+    /// becomes `{"count":..,"total_us":..}`.
+    pub fn append(&self, mut rec: JsonRecord) -> JsonRecord {
+        for (name, value) in &self.entries {
+            rec = match value {
+                SnapshotValue::Counter(c) => rec.int(name, *c),
+                SnapshotValue::Gauge(g) => rec.raw(name, &g.to_string()),
+                SnapshotValue::Histogram(h) => rec.raw(name, &render_histogram(h)),
+                SnapshotValue::Span(s) => rec.raw(
+                    name,
+                    &format!("{{\"count\":{},\"total_us\":{}}}", s.count, s.total_us),
+                ),
+            };
+        }
+        rec
+    }
+
+    /// The snapshot as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        self.append(JsonRecord::new()).render()
+    }
+
+    /// The snapshot as Prometheus-style text exposition: `# TYPE` lines,
+    /// cumulative `_bucket{le="..."}` series for histograms, and
+    /// `_runs_total`/`_us_total` pairs for spans.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                SnapshotValue::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+                }
+                SnapshotValue::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {g}\n"));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (i, &n) in h.trimmed().iter().enumerate() {
+                        cum += n;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_bound(i)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+                }
+                SnapshotValue::Span(s) => {
+                    out.push_str(&format!(
+                        "# TYPE {name}_runs_total counter\n{name}_runs_total {}\n",
+                        s.count
+                    ));
+                    out.push_str(&format!(
+                        "# TYPE {name}_us_total counter\n{name}_us_total {}\n",
+                        s.total_us
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h.trimmed().iter().map(|n| n.to_string()).collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        buckets.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_order_is_snapshot_order() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total").add(2);
+        reg.gauge("a_level").set(-3);
+        reg.counter("b_total").inc(); // same handle back
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["b_total", "a_level"]);
+        assert_eq!(snap.counter("b_total"), Some(3));
+        assert_eq!(snap.to_json(), "{\"b_total\":3,\"a_level\":-3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered with another kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn json_rendering_nests_histograms_and_spans() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("lat_us").record(3);
+        reg.histogram("lat_us").record(0);
+        reg.span("span_parse").add_us(7);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"lat_us\":{\"count\":2,\"sum\":3,\"max\":3,\"p50\":0,\"p95\":3,\
+             \"p99\":3,\"buckets\":[1,0,1]},\
+             \"span_parse\":{\"count\":1,\"total_us\":7}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total").add(4);
+        reg.gauge("inflight").set(2);
+        let h = reg.histogram("lat_us");
+        h.record(1);
+        h.record(2);
+        reg.span("span_drain").add_us(5);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE req_total counter\nreq_total 4\n\
+             # TYPE inflight gauge\ninflight 2\n\
+             # TYPE lat_us histogram\n\
+             lat_us_bucket{le=\"0\"} 0\n\
+             lat_us_bucket{le=\"1\"} 1\n\
+             lat_us_bucket{le=\"3\"} 2\n\
+             lat_us_bucket{le=\"+Inf\"} 2\n\
+             lat_us_sum 3\nlat_us_count 2\n\
+             # TYPE span_drain_runs_total counter\nspan_drain_runs_total 1\n\
+             # TYPE span_drain_us_total counter\nspan_drain_us_total 5\n"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Lightweight stage-span timers.
+//!
+//! A [`Span`] names one pipeline stage (`parse`, `shard`, `schedule`,
+//! `drain`, …) and accumulates how often it ran and how long it took in
+//! total. Entering a span hands back a [`SpanGuard`] that records the
+//! elapsed wall time on drop — two atomic adds per span, no allocation,
+//! no locks:
+//!
+//! ```
+//! use treesched_obs::Span;
+//! let parse = Span::new();
+//! {
+//!     let _t = parse.enter();
+//!     // ... stage body ...
+//! }
+//! assert_eq!(parse.snapshot().count, 1);
+//! ```
+
+use crate::counter::Counter;
+use std::time::Instant;
+
+/// Accumulated time spent in one named pipeline stage.
+#[derive(Debug, Default)]
+pub struct Span {
+    count: Counter,
+    total_us: Counter,
+}
+
+/// A point-in-time copy of a [`Span`]'s accumulators.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// How many times the stage ran.
+    pub count: u64,
+    /// Total wall time across all runs, in microseconds.
+    pub total_us: u64,
+}
+
+impl Span {
+    /// A span with zeroed accumulators.
+    pub fn new() -> Span {
+        Span::default()
+    }
+
+    /// Starts timing one run of the stage; the guard records on drop.
+    pub fn enter(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            span: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f` as one run of the stage.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _t = self.enter();
+        f()
+    }
+
+    /// Records one run that took `us` microseconds (for pre-measured
+    /// durations).
+    pub fn add_us(&self, us: u64) {
+        self.count.inc();
+        self.total_us.add(us);
+    }
+
+    /// The current accumulators.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            count: self.count.get(),
+            total_us: self.total_us.get(),
+        }
+    }
+}
+
+/// Live timer for one stage run; records into its [`Span`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    span: &'a Span,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.span.add_us(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let s = Span::new();
+        assert_eq!(s.snapshot(), SpanSnapshot::default());
+        s.time(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.total_us >= 1000, "2ms sleep under 1ms? {snap:?}");
+    }
+
+    #[test]
+    fn add_us_accumulates() {
+        let s = Span::new();
+        s.add_us(10);
+        s.add_us(32);
+        assert_eq!(
+            s.snapshot(),
+            SpanSnapshot {
+                count: 2,
+                total_us: 42
+            }
+        );
+    }
+}

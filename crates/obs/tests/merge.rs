@@ -1,0 +1,49 @@
+//! The exact-merge contract: folding per-shard histograms together
+//! must reproduce, bit for bit, the histogram a single thread would
+//! have accumulated over the same samples — for every partition and
+//! every order.
+
+use proptest::prelude::*;
+use treesched_obs::{Histogram, HistogramSnapshot};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn sharded_merge_equals_single_threaded_accumulation(
+        samples in proptest::collection::vec(0u64..u64::MAX, 0..200),
+        shards in 1usize..8,
+        salt in 0u64..u64::MAX,
+    ) {
+        // one reference histogram over the samples in order
+        let single = Histogram::new();
+        for &v in &samples {
+            single.record(v);
+        }
+
+        // the same samples scattered over `shards` locals in a
+        // salt-shuffled order
+        let locals: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        order.sort_by_key(|&i| (samples[i].wrapping_mul(salt | 1).rotate_left(i as u32), i));
+        for (k, &i) in order.iter().enumerate() {
+            locals[(i.wrapping_add(k) * 31 + k) % shards].record(samples[i]);
+        }
+
+        let mut merged = HistogramSnapshot::new();
+        for local in &locals {
+            merged.merge(&local.snapshot());
+        }
+        prop_assert_eq!(&merged, &single.snapshot());
+
+        // conservation: every sample in exactly one bucket
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), samples.len() as u64);
+        if !samples.is_empty() {
+            prop_assert_eq!(merged.max, *samples.iter().max().unwrap());
+            for q in [50.0, 95.0, 99.0, 100.0] {
+                let at = merged.quantile(q);
+                prop_assert!(at <= merged.max);
+            }
+        }
+    }
+}

@@ -125,6 +125,12 @@ pub struct ServeStats {
     /// Subtrees scheduled through a cloned `TaskTree` (the `LiuExact`
     /// fallback, the only remaining clone path).
     pub subtree_clones: u64,
+    /// Requests synthesized as [`SchedError::WorkerLost`] records because
+    /// their serving worker died first.
+    pub worker_lost: u64,
+    /// Batches delivered to a worker other than their fingerprint-preferred
+    /// one because the preferred worker was dead.
+    pub reroutes: u64,
 }
 
 #[derive(Default)]
@@ -135,6 +141,8 @@ struct Counters {
     traversal_reuses: AtomicU64,
     subtree_views: AtomicU64,
     subtree_clones: AtomicU64,
+    worker_lost: AtomicU64,
+    reroutes: AtomicU64,
 }
 
 type Batch = Vec<(u64, ServeRequest)>;
@@ -283,6 +291,9 @@ impl ServeEngine {
                 }
                 match self.txs[w].send(batch) {
                     Ok(()) => {
+                        if w != preferred {
+                            self.counters.reroutes.fetch_add(1, Ordering::Relaxed);
+                        }
                         sent_to = Some(w);
                         break;
                     }
@@ -299,6 +310,9 @@ impl ServeEngine {
                     // no live worker at all: the whole batch is lost
                     self.counters
                         .requests
+                        .fetch_add(contexts.len() as u64, Ordering::Relaxed);
+                    self.counters
+                        .worker_lost
                         .fetch_add(contexts.len() as u64, Ordering::Relaxed);
                     for (index, ctx) in contexts {
                         sink(ctx.into_result(index, preferred));
@@ -333,6 +347,9 @@ impl ServeEngine {
                     self.counters
                         .requests
                         .fetch_add(lost.len() as u64, Ordering::Relaxed);
+                    self.counters
+                        .worker_lost
+                        .fetch_add(lost.len() as u64, Ordering::Relaxed);
                     for index in lost {
                         let (worker, ctx) = in_flight.remove(&index).expect("just listed");
                         sink(ctx.into_result(index, worker));
@@ -361,6 +378,8 @@ impl ServeEngine {
             traversal_reuses: self.counters.traversal_reuses.load(Ordering::Relaxed),
             subtree_views: self.counters.subtree_views.load(Ordering::Relaxed),
             subtree_clones: self.counters.subtree_clones.load(Ordering::Relaxed),
+            worker_lost: self.counters.worker_lost.load(Ordering::Relaxed),
+            reroutes: self.counters.reroutes.load(Ordering::Relaxed),
         }
     }
 }

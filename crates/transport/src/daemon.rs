@@ -27,14 +27,31 @@
 //! [`SchedError::Overloaded`] record. Either way, **every submitted line
 //! gets exactly one response** — the daemon never drops a line and never
 //! panics on overload.
+//!
+//! # Observability
+//!
+//! Every daemon carries a [`MetricsRegistry`]: request/response/shed/
+//! malformed counters, an aggregate in-flight gauge, a log2 histogram of
+//! framed-response latency, and parse/drain stage spans. A client line
+//! of exactly `{"op":"metrics"}` is answered — in its response slot,
+//! like any other line — with one snapshot record
+//! (`{"op":"metrics","requests_total":...,...}`); any other `"op"` line
+//! is a typed malformed-request record. [`Daemon::metrics_json`] fetches
+//! the same snapshot out-of-band. Metrics stay outside byte-identity:
+//! data-line responses are byte-identical to the batch front-end's.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use treesched_core::{Platform, SchedError, SchedulerRegistry};
-use treesched_serve::{error_json, result_json, ServeEngine, ServeStats};
+use treesched_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
+use treesched_serve::jsonl::{parse_object, Value};
+use treesched_serve::{
+    error_json, malformed_json, result_json, JsonRecord, ServeEngine, ServeStats,
+};
 
 use crate::frame::frame;
 use crate::proto::RequestParser;
@@ -103,6 +120,100 @@ impl Inflight {
     }
 }
 
+/// The daemon's metric handles, resolved once against its registry.
+/// Registration order here is field order in every snapshot record.
+struct Meters {
+    registry: Arc<MetricsRegistry>,
+    requests: Arc<Counter>,
+    responses: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    malformed: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    engine_mirrors: Vec<Arc<Counter>>,
+    latency: Arc<Histogram>,
+    parse_span: Arc<Span>,
+    drain_span: Arc<Span>,
+}
+
+/// Snapshot names of the engine counters, mirrored in [`ServeStats`]
+/// field order (see [`Meters::mirror_engine`]).
+const ENGINE_MIRRORS: [&str; 8] = [
+    "engine_requests_total",
+    "engine_batches_total",
+    "traversal_computes_total",
+    "traversal_reuses_total",
+    "subtree_views_total",
+    "subtree_clones_total",
+    "worker_lost_total",
+    "reroutes_total",
+];
+
+impl Meters {
+    fn new() -> Meters {
+        let registry = Arc::new(MetricsRegistry::new());
+        Meters {
+            requests: registry.counter("requests_total"),
+            responses: registry.counter("responses_total"),
+            overloaded: registry.counter("overloaded_total"),
+            malformed: registry.counter("malformed_total"),
+            inflight: registry.gauge("inflight"),
+            engine_mirrors: ENGINE_MIRRORS.iter().map(|n| registry.counter(n)).collect(),
+            latency: registry.histogram("response_latency_us"),
+            parse_span: registry.span("span_parse"),
+            drain_span: registry.span("span_drain"),
+            registry,
+        }
+    }
+
+    /// Copies the engine's counters into their snapshot mirrors.
+    fn mirror_engine(&self, stats: ServeStats) {
+        let values = [
+            stats.requests,
+            stats.batches,
+            stats.traversal_computes,
+            stats.traversal_reuses,
+            stats.subtree_views,
+            stats.subtree_clones,
+            stats.worker_lost,
+            stats.reroutes,
+        ];
+        for (mirror, value) in self.engine_mirrors.iter().zip(values) {
+            mirror.store(value);
+        }
+    }
+
+    /// Renders one snapshot record. `count_self` books the record itself
+    /// as a response *before* rendering, so an otherwise idle daemon
+    /// shows `requests_total == responses_total` — the conservation
+    /// invariant CI greps for.
+    fn snapshot_record(&self, stats: ServeStats, count_self: bool) -> String {
+        if count_self {
+            self.responses.inc();
+        }
+        self.mirror_engine(stats);
+        self.registry
+            .snapshot()
+            .append(JsonRecord::new().str("op", "metrics"))
+            .line()
+    }
+}
+
+/// Classifies `line` as a control request: `None` for data lines,
+/// `Some(Ok(()))` for a well-formed `{"op":"metrics"}`, `Some(Err(_))`
+/// for any other line carrying an `"op"` key.
+fn classify_control(line: &str) -> Option<Result<(), String>> {
+    let pairs = parse_object(line).ok()?;
+    pairs
+        .iter()
+        .any(|(k, _)| k == "op")
+        .then(|| match pairs.as_slice() {
+            [(_, Value::Str(op))] if op == "metrics" => Ok(()),
+            [(_, Value::Str(op))] => Err(format!("unknown control op `{op}` (expected `metrics`)")),
+            [(_, _)] => Err("control `op` must be a string".to_string()),
+            _ => Err("a control request holds exactly one key, `op`".to_string()),
+        })
+}
+
 enum Op {
     Register {
         client: u64,
@@ -114,9 +225,13 @@ enum Op {
         seq: u64,
         lineno: usize,
         line: String,
+        at: Instant,
     },
     Stats {
         reply: Sender<ServeStats>,
+    },
+    Metrics {
+        reply: Sender<String>,
     },
     Shutdown,
 }
@@ -129,6 +244,7 @@ pub struct Submitter {
     ops: Sender<Op>,
     inflight: Arc<Inflight>,
     loopback: Sender<String>,
+    meters: Arc<Meters>,
 }
 
 impl Submitter {
@@ -139,6 +255,7 @@ impl Submitter {
     /// `n` its framed response will carry.
     pub fn submit_blocking(&mut self, lineno: usize, line: &str) -> u64 {
         self.inflight.acquire();
+        self.meters.inflight.inc();
         self.dispatch(lineno, line)
     }
 
@@ -149,9 +266,13 @@ impl Submitter {
     /// response — overload sheds *work*, never responses.
     pub fn submit_or_overload(&mut self, lineno: usize, line: &str) -> u64 {
         if self.inflight.try_acquire() {
+            self.meters.inflight.inc();
             return self.dispatch(lineno, line);
         }
         let seq = self.next();
+        self.meters.overloaded.inc();
+        self.meters.responses.inc();
+        self.meters.latency.record(0);
         let record = error_json(
             None,
             &SchedError::Overloaded { limit: self.cap }.to_string(),
@@ -167,12 +288,15 @@ impl Submitter {
             seq,
             lineno,
             line: line.to_string(),
+            at: Instant::now(),
         };
         if self.ops.send(op).is_err() {
             // the daemon is gone: the engine loop will never release this
             // slot or answer this line — do both here so the client still
             // sees one response per line and never deadlocks
             self.inflight.release();
+            self.meters.inflight.dec();
+            self.meters.responses.inc();
             let record = error_json(None, "serve daemon is shut down");
             let _ = self.loopback.send(frame(seq, &record));
         }
@@ -180,6 +304,8 @@ impl Submitter {
     }
 
     fn next(&mut self) -> u64 {
+        // every line ever submitted counts, whatever answers it
+        self.meters.requests.inc();
         let seq = self.seq;
         self.seq += 1;
         seq
@@ -245,6 +371,7 @@ pub struct Daemon {
     ops: Sender<Op>,
     next_client: AtomicU64,
     cap: usize,
+    meters: Arc<Meters>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -257,12 +384,16 @@ impl Daemon {
     /// As [`Daemon::new`], over a shared registry.
     pub fn with_registry(registry: Arc<SchedulerRegistry>, config: DaemonConfig) -> Daemon {
         let cap = config.inflight_cap.max(1);
+        let meters = Arc::new(Meters::new());
+        let loop_meters = Arc::clone(&meters);
         let (ops, ops_rx) = channel();
-        let handle = std::thread::spawn(move || engine_loop(&ops_rx, &registry, config));
+        let handle =
+            std::thread::spawn(move || engine_loop(&ops_rx, &registry, config, &loop_meters));
         Daemon {
             ops,
             next_client: AtomicU64::new(0),
             cap,
+            meters,
             handle: Some(handle),
         }
     }
@@ -285,6 +416,7 @@ impl Daemon {
                 ops: self.ops.clone(),
                 inflight,
                 loopback: tx,
+                meters: Arc::clone(&self.meters),
             },
             responses,
         }
@@ -297,6 +429,27 @@ impl Daemon {
             return ServeStats::default();
         }
         rx.recv().unwrap_or_default()
+    }
+
+    /// The current metrics snapshot as one JSONL record — the same
+    /// record a client gets for a `{"op":"metrics"}` line, fetched
+    /// out-of-band (it takes no response slot and books no response).
+    /// Empty when the engine loop is already gone.
+    pub fn metrics_json(&self) -> String {
+        let (reply, rx) = channel();
+        if self.ops.send(Op::Metrics { reply }).is_err() {
+            return String::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// The daemon's metric registry, for scraping or embedding
+    /// (Prometheus-style text via
+    /// [`MetricsSnapshot::to_prometheus`](treesched_obs::MetricsSnapshot::to_prometheus)).
+    /// Engine-counter mirrors refresh only when a snapshot record is
+    /// rendered; prefer [`Daemon::metrics_json`] for consistent reads.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.meters.registry)
     }
 }
 
@@ -314,12 +467,17 @@ struct ClientState {
     inflight: Arc<Inflight>,
 }
 
-fn engine_loop(ops: &Receiver<Op>, registry: &Arc<SchedulerRegistry>, config: DaemonConfig) {
+fn engine_loop(
+    ops: &Receiver<Op>,
+    registry: &Arc<SchedulerRegistry>,
+    config: DaemonConfig,
+    meters: &Meters,
+) {
     let mut engine = ServeEngine::with_registry(Arc::clone(registry), config.workers);
     let mut parser = RequestParser::new(config.default_platform);
     let mut clients: HashMap<u64, ClientState> = HashMap::new();
-    // engine submission index -> (client, client-local submission index)
-    let mut route: HashMap<u64, (u64, u64)> = HashMap::new();
+    // engine submission index -> (client, client-local index, submit time)
+    let mut route: HashMap<u64, (u64, u64, Instant)> = HashMap::new();
     let mut shutdown = false;
     while !shutdown {
         // one window: block for the first operation, then absorb whatever
@@ -330,23 +488,41 @@ fn engine_loop(ops: &Receiver<Op>, registry: &Arc<SchedulerRegistry>, config: Da
             Ok(op) => op,
             Err(_) => break, // every handle dropped
         };
-        shutdown = handle_op(first, &mut engine, &mut parser, &mut clients, &mut route);
+        shutdown = handle_op(
+            first,
+            &mut engine,
+            &mut parser,
+            &mut clients,
+            &mut route,
+            meters,
+        );
         while !shutdown {
             match ops.try_recv() {
                 Ok(op) => {
-                    shutdown = handle_op(op, &mut engine, &mut parser, &mut clients, &mut route)
+                    shutdown = handle_op(
+                        op,
+                        &mut engine,
+                        &mut parser,
+                        &mut clients,
+                        &mut route,
+                        meters,
+                    )
                 }
                 Err(_) => break,
             }
         }
         if engine.queued() > 0 {
+            let _drain = meters.drain_span.enter();
             let mut dead: Vec<u64> = Vec::new();
             let routes = &mut route;
             let attached = &clients;
             engine.drain_with(|result| {
-                let Some((client, seq)) = routes.remove(&result.index) else {
+                let Some((client, seq, at)) = routes.remove(&result.index) else {
                     return;
                 };
+                meters.responses.inc();
+                meters.latency.record(at.elapsed().as_micros() as u64);
+                meters.inflight.dec();
                 let Some(state) = attached.get(&client) else {
                     return; // client detached; nothing waits on the slot
                 };
@@ -369,7 +545,8 @@ fn handle_op(
     engine: &mut ServeEngine,
     parser: &mut RequestParser,
     clients: &mut HashMap<u64, ClientState>,
-    route: &mut HashMap<u64, (u64, u64)>,
+    route: &mut HashMap<u64, (u64, u64, Instant)>,
+    meters: &Meters,
 ) -> bool {
     match op {
         Op::Register {
@@ -384,28 +561,60 @@ fn handle_op(
             seq,
             lineno,
             line,
+            at,
         } => {
             let Some(state) = clients.get(&client) else {
                 return false; // detached while ops were queued
             };
-            match parser.build(lineno, &line) {
-                Ok(request) => {
-                    let index = engine.submit(request);
-                    route.insert(index, (client, seq));
+            // control requests (an `"op"` key) answer from the daemon
+            // itself, before the request parser — which rightly rejects
+            // `op` as an unknown request key — ever sees the line
+            let answer = match classify_control(&line) {
+                Some(Ok(())) => {
+                    // book this line as answered *before* rendering, so
+                    // an otherwise idle snapshot shows itself conserved
+                    meters.inflight.dec();
+                    Some(meters.snapshot_record(engine.stats(), true))
                 }
-                Err(record) => {
-                    // protocol/file errors answer without touching the
-                    // engine; the slot frees immediately
-                    let gone = state.tx.send(frame(seq, &record)).is_err();
-                    state.inflight.release();
-                    if gone {
-                        clients.remove(&client);
+                Some(Err(reason)) => {
+                    meters.inflight.dec();
+                    meters.malformed.inc();
+                    meters.responses.inc();
+                    Some(malformed_json(lineno, &reason))
+                }
+                None => {
+                    let parsed = meters.parse_span.time(|| parser.build(lineno, &line));
+                    match parsed {
+                        Ok(request) => {
+                            let index = engine.submit(request);
+                            route.insert(index, (client, seq, at));
+                            None
+                        }
+                        Err(record) => {
+                            meters.inflight.dec();
+                            meters.malformed.inc();
+                            meters.responses.inc();
+                            Some(record)
+                        }
                     }
+                }
+            };
+            if let Some(record) = answer {
+                // control and protocol/file-error lines answer without
+                // touching the engine; the slot frees immediately
+                meters.latency.record(at.elapsed().as_micros() as u64);
+                let gone = state.tx.send(frame(seq, &record)).is_err();
+                state.inflight.release();
+                if gone {
+                    clients.remove(&client);
                 }
             }
         }
         Op::Stats { reply } => {
             let _ = reply.send(engine.stats());
+        }
+        Op::Metrics { reply } => {
+            let _ = reply.send(meters.snapshot_record(engine.stats(), false));
         }
         Op::Shutdown => return true,
     }
@@ -636,6 +845,126 @@ mod tests {
         for line in &lines[..4] {
             assert!(!line.contains("\"error\""), "{line}");
         }
+    }
+
+    #[test]
+    fn metrics_line_answers_with_a_conserving_snapshot() {
+        let input = stream("a");
+        let daemon = Daemon::new(SchedulerRegistry::standard(), DaemonConfig::default());
+        // serve a full data batch first; run_batch returns only after
+        // every response was delivered, so the daemon is idle again
+        let got = daemon.client().run_batch(&input, true);
+        assert_eq!(got, batch_reference(&input), "data lines undisturbed");
+        let data_lines = input.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+
+        // a second client asks for the snapshot in-band
+        let snapshot = daemon.client().run_batch("{\"op\":\"metrics\"}\n", true);
+        assert!(snapshot.starts_with("{\"op\":\"metrics\","), "{snapshot}");
+        let n = data_lines + 1; // the metrics line itself is counted
+        assert!(
+            snapshot.contains(&format!("\"requests_total\":{n},\"responses_total\":{n}")),
+            "idle daemon conserves requests == responses: {snapshot}"
+        );
+        assert!(snapshot.contains("\"worker_lost_total\":0"), "{snapshot}");
+        assert!(snapshot.contains("\"inflight\":0"), "{snapshot}");
+        assert!(
+            snapshot.contains(&format!("\"engine_requests_total\":{data_lines}")),
+            "{snapshot}"
+        );
+        // the latency histogram saw every engine-served response, each
+        // sample in exactly one bucket (count == Σ buckets)
+        let hist = snapshot
+            .split("\"response_latency_us\":{\"count\":")
+            .nth(1)
+            .expect("histogram present");
+        let count: u64 = hist.split(',').next().unwrap().parse().unwrap();
+        let buckets: u64 = hist
+            .split("\"buckets\":[")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .expect("buckets array")
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(
+            count, buckets,
+            "every sample in exactly one bucket: {snapshot}"
+        );
+
+        // out-of-band fetch sees the same totals and books no response
+        let again = daemon.metrics_json();
+        assert!(
+            again.contains(&format!("\"requests_total\":{n},\"responses_total\":{n}")),
+            "{again}"
+        );
+    }
+
+    #[test]
+    fn malformed_control_requests_answer_with_typed_records() {
+        let daemon = Daemon::new(SchedulerRegistry::standard(), DaemonConfig::default());
+        let got = daemon.client().run_batch(
+            "{\"op\":\"status\"}\n\
+             {\"op\":\"metrics\",\"x\":1}\n\
+             {\"op\":3}\n",
+            true,
+        );
+        let lines: Vec<&str> = got.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].starts_with("{\"id\":null,\"error\":\"bad request on line 1: ")
+                && lines[0].contains("unknown control op `status` (expected `metrics`)")
+                && lines[0].ends_with("\"line\":1}"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("a control request holds exactly one key, `op`"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("control `op` must be a string"),
+            "{}",
+            lines[2]
+        );
+        let snapshot = daemon.metrics_json();
+        assert!(snapshot.contains("\"malformed_total\":3"), "{snapshot}");
+        assert!(
+            snapshot.contains("\"requests_total\":3,\"responses_total\":3"),
+            "{snapshot}"
+        );
+    }
+
+    #[test]
+    fn shed_lines_count_as_overloaded_and_conserve() {
+        let (fork, _) = fixtures();
+        let daemon = Daemon::new(
+            slow_registry(150),
+            DaemonConfig {
+                inflight_cap: 1,
+                ..DaemonConfig::default()
+            },
+        );
+        let (mut submitter, responses) = daemon.client().split();
+        for k in 0..4 {
+            submitter.submit_or_overload(k + 1, &slow_line(&fork, k));
+        }
+        for _ in 0..submitter.submitted() {
+            responses.recv().expect("every line answered");
+        }
+        let snapshot = daemon.metrics_json();
+        assert!(
+            snapshot.contains("\"requests_total\":4,\"responses_total\":4"),
+            "{snapshot}"
+        );
+        let shed: u64 = snapshot
+            .split("\"overloaded_total\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("overloaded_total present");
+        assert!((1..=3).contains(&shed), "sheds counted: {snapshot}");
     }
 
     #[test]

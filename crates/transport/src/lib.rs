@@ -23,6 +23,16 @@
 //!   ([`serve_stdio`], the `serve --stdio` loop) and a Unix-domain socket
 //!   ([`listen_unix`] / [`connect_unix`], the `serve --listen` /
 //!   `connect` pair).
+//! * **Graceful drain** — the stoppable transport variants
+//!   ([`listen_unix_stoppable`], [`serve_stdio_stoppable`]) watch an
+//!   atomic stop flag (wired to SIGTERM by [`signal::term_flag`] in the
+//!   CLI): on stop they take no new work, answer everything already
+//!   submitted, and return so the process can flush a final metrics
+//!   snapshot and exit 0.
+//! * **Observability** — every daemon carries a
+//!   [`treesched_obs::MetricsRegistry`]; clients fetch a live snapshot
+//!   in-band with a `{"op":"metrics"}` request line, embedders with
+//!   [`Daemon::metrics_json`] (see the [`daemon`] module docs).
 //! * [`RequestParser`] — the shared per-line front-end (parse, tree
 //!   cache, platform defaulting, scheduler defaulting) used by **both**
 //!   the one-shot batch `serve` command and the daemon, which is what
@@ -42,6 +52,8 @@ pub mod daemon;
 pub mod frame;
 pub mod proto;
 #[cfg(unix)]
+pub mod signal;
+#[cfg(unix)]
 pub mod socket;
 pub mod stdio;
 
@@ -53,5 +65,5 @@ pub use daemon::{ClientHandle, Daemon, DaemonConfig, Submitter};
 pub use frame::{frame, reorder, unframe};
 pub use proto::{default_scheduler, RequestParser};
 #[cfg(unix)]
-pub use socket::{connect_unix, listen_unix, ListenOptions};
-pub use stdio::serve_stdio;
+pub use socket::{connect_unix, listen_unix, listen_unix_stoppable, ListenOptions};
+pub use stdio::{serve_stdio, serve_stdio_stoppable};

@@ -13,6 +13,9 @@
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 use crate::daemon::{ClientHandle, Daemon};
 use crate::pump::pump;
@@ -45,21 +48,64 @@ impl Default for ListenOptions {
 /// on its own thread; the call returns — with the number of connections
 /// served — once every accepted connection has completed.
 pub fn listen_unix(daemon: &Daemon, path: &Path, options: ListenOptions) -> std::io::Result<u64> {
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    listen_unix_stoppable(daemon, path, options, &NEVER)
+}
+
+/// As [`listen_unix`], but drains gracefully when `stop` latches (a
+/// SIGTERM flag from [`crate::signal::term_flag`], or any test-owned
+/// atomic): the listener stops accepting, every open connection's read
+/// side is shut down so its pump sees EOF, and the call returns — with
+/// the connection count — once every already-submitted line has been
+/// answered and flushed.
+pub fn listen_unix_stoppable(
+    daemon: &Daemon,
+    path: &Path,
+    options: ListenOptions,
+    stop: &AtomicBool,
+) -> std::io::Result<u64> {
     let _ = std::fs::remove_file(path); // stale socket from a dead daemon
     let listener = UnixListener::bind(path)?;
+    // nonblocking accepts so the loop can observe `stop` between polls
+    listener.set_nonblocking(true)?;
+    // read halves of live connections, for the stop-time EOF broadcast
+    let open: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
     let mut served = 0u64;
     std::thread::scope(|scope| {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            let client = daemon.client();
-            let block = options.block;
-            scope.spawn(move || handle_conn(stream, client, block));
-            served += 1;
-            if options.accept.is_some_and(|budget| served >= budget) {
+        loop {
+            if stop.load(Ordering::SeqCst) {
                 break;
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    stream.set_nonblocking(false)?;
+                    if let Ok(clone) = stream.try_clone() {
+                        open.lock().expect("socket list poisoned").push(clone);
+                    }
+                    let client = daemon.client();
+                    let block = options.block;
+                    scope.spawn(move || handle_conn(stream, client, block));
+                    served += 1;
+                    if options.accept.is_some_and(|budget| served >= budget) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            // force every pump's reader to EOF: in-flight lines drain,
+            // no new lines enter (shutdown spans all clones of a socket)
+            for conn in open.lock().expect("socket list poisoned").iter() {
+                let _ = conn.shutdown(std::net::Shutdown::Read);
             }
         }
         Ok::<(), std::io::Error>(())
+        // the scope joins every connection thread: each pump returns only
+        // after its submitted lines are answered and written back
     })?;
     let _ = std::fs::remove_file(path);
     Ok(served)
@@ -195,6 +241,51 @@ mod tests {
         // both connections flowed through the one shared engine
         let stats = daemon.stats();
         assert_eq!(stats.requests, 2 * 12);
+    }
+
+    #[test]
+    fn stop_drains_the_open_connection_and_returns() {
+        use std::io::{BufRead as _, Write as _};
+        let path = socket_path("stop");
+        let daemon = Daemon::new(SchedulerRegistry::standard(), DaemonConfig::default());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let listener = scope
+                .spawn(|| listen_unix_stoppable(&daemon, &path, ListenOptions::default(), &stop));
+            let mut conn = None;
+            for _ in 0..200 {
+                match UnixStream::connect(&path) {
+                    Ok(s) => {
+                        conn = Some(s);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            let conn = conn.expect("listener came up");
+            let mut write_half = conn.try_clone().unwrap();
+            let input = stream("stop");
+            for line in input.lines().take(3) {
+                writeln!(write_half, "{line}").unwrap();
+            }
+            write_half.flush().unwrap();
+            // collect the three answers; the write half stays open, so
+            // only the stop latch can end this connection
+            let mut reader = BufReader::new(conn);
+            for _ in 0..3 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                crate::frame::unframe(line.trim_end()).expect("framed response");
+            }
+            stop.store(true, Ordering::SeqCst);
+            // drain broadcast: the daemon shuts the connection down and
+            // the client sees EOF instead of hanging
+            let mut tail = String::new();
+            reader.read_line(&mut tail).unwrap();
+            assert_eq!(tail, "", "write side closed after the drain");
+            assert_eq!(listener.join().unwrap().expect("listener exits"), 1);
+        });
+        assert_eq!(daemon.stats().requests, 3, "all submitted lines served");
     }
 
     #[test]

@@ -26,6 +26,23 @@ pub fn serve_stdio<W: Write + Send + 'static>(
     pump(daemon.client(), input, output, block)
 }
 
+/// As [`serve_stdio`], but drains gracefully when `stop` latches (a
+/// SIGTERM flag from [`crate::signal::term_flag`], or any test-owned
+/// atomic): no further lines are consumed past the next line boundary,
+/// every line already submitted is answered and flushed, and the call
+/// returns the delivered count. A reader blocked on an idle pipe is left
+/// behind (it cannot be interrupted from safe code), which is why the
+/// input must be `Send + 'static` here.
+pub fn serve_stdio_stoppable(
+    daemon: &Daemon,
+    input: impl BufRead + Send + 'static,
+    output: impl Write,
+    block: bool,
+    stop: &'static std::sync::atomic::AtomicBool,
+) -> std::io::Result<u64> {
+    crate::pump::pump_stoppable(daemon.client(), input, output, block, stop)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +60,82 @@ mod tests {
         let framed = String::from_utf8(out).unwrap();
         let got = crate::frame::reorder(framed.lines()).expect("every line framed");
         assert_eq!(got, batch_reference(&input));
+    }
+
+    #[test]
+    fn stoppable_stdio_drains_submitted_lines_without_eof() {
+        use std::io::Read;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{mpsc, Arc, Mutex};
+        use std::time::Duration;
+
+        /// A pipe stand-in: yields `head`, then blocks (no EOF) until
+        /// the test drops the gate sender — like an idle stdin.
+        struct Held {
+            head: std::io::Cursor<Vec<u8>>,
+            gate: mpsc::Receiver<()>,
+        }
+        impl Read for Held {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.head.read(buf)?;
+                if n > 0 {
+                    return Ok(n);
+                }
+                let _ = self.gate.recv();
+                Ok(0)
+            }
+        }
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let input = stream("halt");
+        let want = input.lines().count();
+        let (keep_open, gate) = mpsc::channel::<()>();
+        let held = Held {
+            head: std::io::Cursor::new(input.clone().into_bytes()),
+            gate,
+        };
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let sink = Shared(Arc::new(Mutex::new(Vec::new())));
+        let view = sink.clone();
+        let served = std::thread::spawn(move || {
+            let daemon = Daemon::new(SchedulerRegistry::standard(), DaemonConfig::default());
+            serve_stdio_stoppable(&daemon, std::io::BufReader::new(held), sink, true, stop)
+        });
+        // wait until every line is answered, then latch stop: the input
+        // never reaches EOF, so only the drain path can end the serve
+        for _ in 0..500 {
+            let newlines = view
+                .0
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count();
+            if newlines >= want {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::SeqCst);
+        let delivered = served.join().unwrap().expect("serve returns");
+        assert_eq!(delivered, want as u64, "every submitted line answered");
+        let framed = String::from_utf8(view.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            crate::frame::reorder(framed.lines()).unwrap(),
+            batch_reference(&input)
+        );
+        drop(keep_open); // release the parked reader thread
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   MatrixMarket coordinate patterns routed through the sparse
 //!   elimination/assembly-tree pipeline ([`mm`]), and the native
 //!   `treesched tree v1` text format.
-//! * **Transform** — prune subtrees, extract a subtree ([`ops`]).
+//! * **Transform** — prune subtrees, extract a subtree, reroot ([`ops`]).
 //! * **Out** — Newick ([`newick::to_newick`]), v1 text, and serve-wire
 //!   request JSONL ([`requests`]) that the serving engine accepts
 //!   verbatim.
@@ -30,7 +30,7 @@ pub mod requests;
 pub use error::{LoadError, TreeParseError};
 pub use mm::{from_matrix_market, parse_pattern, IngestOptions, OrderingKind};
 pub use newick::{from_newick, to_newick};
-pub use ops::{prune, subtree, OpError};
+pub use ops::{prune, reroot, subtree, OpError};
 pub use requests::{to_requests, RequestOptions};
 
 use treesched_model::TaskTree;

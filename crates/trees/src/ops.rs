@@ -1,9 +1,10 @@
-//! Structural transforms: prune subtrees, extract a subtree.
+//! Structural transforms: prune subtrees, extract a subtree, reroot.
 //!
-//! Both transforms renumber the surviving nodes densely (keeping their
-//! relative id order) and rebuild through `TaskTree::from_parents`, so the
-//! result obeys the same ascending-child-id convention as every other tree
-//! in the workspace and round-trips through the writers unchanged.
+//! The transforms rebuild through `TaskTree::from_parents` (renumbering
+//! survivors densely in ascending old-id order where nodes are dropped),
+//! so the result obeys the same ascending-child-id convention as every
+//! other tree in the workspace and round-trips through the writers
+//! unchanged.
 
 use treesched_model::{NodeId, TaskTree};
 
@@ -143,6 +144,40 @@ pub fn subtree(tree: &TaskTree, root: usize) -> Result<TaskTree, OpError> {
         .expect("a subtree of a valid tree is valid"))
 }
 
+/// Re-hangs the tree so `root` becomes its root: every edge on the path
+/// from `root` up to the old root is reversed, and each reversed edge
+/// keeps its output size (the weight travels with the edge, so the new
+/// parent's output toward `root` is what the old child produced toward
+/// it). Node ids, work, and exec are untouched; rerooting at the current
+/// root returns the tree unchanged.
+pub fn reroot(tree: &TaskTree, root: usize) -> Result<TaskTree, OpError> {
+    let n = tree.len();
+    if root >= n {
+        return Err(OpError::UnknownNode { id: root, len: n });
+    }
+    let mut parents: Vec<Option<usize>> = (0..n)
+        .map(|i| tree.parent(NodeId::from_index(i)).map(|p| p.index()))
+        .collect();
+    let orig_out: Vec<f64> = (0..n).map(|i| tree.output(NodeId::from_index(i))).collect();
+    let mut output = orig_out.clone();
+    // the path new root → old root; every edge on it reverses
+    let mut path = vec![root];
+    while let Some(p) = parents[*path.last().expect("non-empty")] {
+        path.push(p);
+    }
+    for pair in path.windows(2) {
+        let (child, parent) = (pair[0], pair[1]);
+        parents[parent] = Some(child);
+        output[parent] = orig_out[child];
+    }
+    parents[root] = None;
+    output[root] = orig_out[*path.last().expect("non-empty")];
+    let work: Vec<f64> = (0..n).map(|i| tree.work(NodeId::from_index(i))).collect();
+    let exec: Vec<f64> = (0..n).map(|i| tree.exec(NodeId::from_index(i))).collect();
+    Ok(TaskTree::from_parents(&parents, &work, &output, &exec)
+        .expect("rerooting a valid tree keeps it valid"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +226,45 @@ mod tests {
         let t = subtree(&sample(), 5).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.work(NodeId(0)), 6.0);
+    }
+
+    #[test]
+    fn reroot_reverses_the_path_and_moves_edge_weights() {
+        // reroot the sample at old node 3: path 3 → 1 → 0 reverses
+        let t = reroot(&sample(), 3).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.root(), NodeId(3));
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(3)));
+        assert_eq!(t.parent(NodeId(0)), Some(NodeId(1)));
+        // off-path nodes keep their parents
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(2)));
+        // edge weights travel with their (reversed) edges
+        assert_eq!(t.output(NodeId(1)), 3.5); // old edge 3→1
+        assert_eq!(t.output(NodeId(0)), 1.5); // old edge 1→0
+        assert_eq!(t.output(NodeId(3)), 0.5); // the old root's output
+        assert_eq!(t.output(NodeId(2)), 2.5); // untouched
+                                              // work/exec stay put
+        assert_eq!(t.work(NodeId(3)), 4.0);
+        assert_eq!(t.exec(NodeId(1)), 0.1);
+    }
+
+    #[test]
+    fn reroot_at_current_root_is_identity() {
+        assert_eq!(reroot(&sample(), 0).unwrap(), sample());
+    }
+
+    #[test]
+    fn reroot_twice_round_trips() {
+        let once = reroot(&sample(), 5).unwrap();
+        assert_eq!(reroot(&once, 0).unwrap(), sample());
+    }
+
+    #[test]
+    fn reroot_unknown_node_is_typed() {
+        let e = reroot(&sample(), 6).unwrap_err();
+        assert_eq!(e, OpError::UnknownNode { id: 6, len: 6 });
+        assert_eq!(e.to_string(), "node 6 out of range (tree has 6 node(s))");
     }
 }

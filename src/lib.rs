@@ -19,7 +19,11 @@
 //!   with per-client ordered response channels, bounded in-flight
 //!   backpressure, and stdio-pipe / Unix-socket transports.
 //! * [`trees`] — the workload toolbox: attributed-Newick and MatrixMarket
-//!   ingest, prune/subtree transforms, and serve-wire request export.
+//!   ingest, prune/subtree/reroot transforms, and serve-wire request
+//!   export.
+//! * [`obs`] — observability: lock-free counters and gauges, exact-merge
+//!   log2 latency histograms, stage spans, and `MetricsRegistry`
+//!   snapshots rendered as JSONL or Prometheus-style text.
 //! * [`mod@bench`] — the experiment layer: declarative campaign specs
 //!   ([`bench::CampaignSpec`]) executed over the serving engine, plus the
 //!   paper's table/figure aggregations.
@@ -30,6 +34,7 @@ pub use treesched_bench as bench;
 pub use treesched_core as core;
 pub use treesched_gen as gen;
 pub use treesched_model as model;
+pub use treesched_obs as obs;
 pub use treesched_seq as seq;
 pub use treesched_serve as serve;
 pub use treesched_sparse as sparse;
